@@ -1,0 +1,294 @@
+// Benchmarks regenerating every experiment table/figure of the
+// reproduction (E1..E9, see DESIGN.md §5 and EXPERIMENTS.md) plus
+// micro-benchmarks of the core primitives. Experiment benchmarks run at a
+// reduced, laptop-friendly scale; cmd/coconut-bench runs the full tables.
+package coconut
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/extsort"
+	"repro/internal/gen"
+	"repro/internal/index"
+	"repro/internal/record"
+	"repro/internal/sax"
+	"repro/internal/series"
+	"repro/internal/sortable"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func benchScale() workload.Scale {
+	return workload.Scale{SeriesLen: 128, Segments: 16, Bits: 8, Seed: 42}
+}
+
+// --- Micro-benchmarks: the primitives everything else is built from. ---
+
+func BenchmarkPAA(b *testing.B) {
+	s := gen.RandomWalk(rand.New(rand.NewSource(1)), 256).ZNormalize()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = sax.PAA(s, 16)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	// Full pipeline: z-normalize + PAA + symbols + interleave.
+	s := gen.RandomWalk(rand.New(rand.NewSource(1)), 256)
+	cfg := index.Config{SeriesLen: 256, Segments: 16, Bits: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = cfg.Summarize(s)
+	}
+}
+
+func BenchmarkInterleave(b *testing.B) {
+	w := sax.FromSeries(gen.RandomWalk(rand.New(rand.NewSource(1)), 256).ZNormalize(), 16, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = sortable.Interleave(w)
+	}
+}
+
+func BenchmarkMinDistKey(b *testing.B) {
+	cfg := index.Config{SeriesLen: 256, Segments: 16, Bits: 8}
+	rng := rand.New(rand.NewSource(2))
+	q := index.NewQuery(gen.RandomWalk(rng, 256), cfg)
+	k := sortable.FromSeries(gen.RandomWalk(rng, 256).ZNormalize(), 16, 8)
+	for i := 0; i < b.N; i++ {
+		_ = cfg.MinDistKey(q.PAA, k)
+	}
+}
+
+func BenchmarkExternalSortPerEntry(b *testing.B) {
+	// Sort cost amortized per entry at a fixed run shape.
+	const n = 20000
+	c := record.Codec{}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := storage.NewDisk(0)
+		w, _ := storage.NewRecordWriter(d, "in", c.Size())
+		rng := rand.New(rand.NewSource(3))
+		buf := make([]byte, 0, c.Size())
+		for j := 0; j < n; j++ {
+			buf = buf[:0]
+			buf, _ = c.Append(buf, record.Entry{Key: sortable.Key{Hi: rng.Uint64(), Lo: rng.Uint64()}, ID: int64(j)})
+			w.Write(buf)
+		}
+		w.Close()
+		b.StartTimer()
+		s := &extsort.Sorter{Disk: d, Codec: c, MemBudget: 64 * 1024}
+		if _, err := s.Sort("in", n, "out"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "entries/s")
+}
+
+// --- Index-level benchmarks (one per core operation). ---
+
+type builtSet struct {
+	once sync.Once
+	m    map[string]*workload.Built
+	ds   *series.Dataset
+}
+
+var benchBuilt builtSet
+
+func builds(b *testing.B) (map[string]*workload.Built, *series.Dataset) {
+	b.Helper()
+	benchBuilt.once.Do(func() {
+		sc := benchScale()
+		ds, _ := gen.Astronomy(gen.AstronomyConfig{N: 10000, Len: sc.SeriesLen, FracEvent: 0.05, Seed: sc.Seed})
+		benchBuilt.ds = ds
+		benchBuilt.m = map[string]*workload.Built{}
+		cfg := index.Config{SeriesLen: sc.SeriesLen, Segments: sc.Segments, Bits: sc.Bits}
+		for _, v := range workload.Variants {
+			built, err := workload.BuildVariant(v, ds, cfg, workload.BuildOptions{})
+			if err != nil {
+				panic(err)
+			}
+			benchBuilt.m[v] = built
+		}
+	})
+	return benchBuilt.m, benchBuilt.ds
+}
+
+func BenchmarkBuild(b *testing.B) {
+	sc := benchScale()
+	ds, _ := gen.Astronomy(gen.AstronomyConfig{N: 5000, Len: sc.SeriesLen, FracEvent: 0.05, Seed: sc.Seed})
+	cfg := index.Config{SeriesLen: sc.SeriesLen, Segments: sc.Segments, Bits: sc.Bits}
+	for _, v := range workload.Variants {
+		b.Run(v, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				built, err := workload.BuildVariant(v, ds, cfg, workload.BuildOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = built.BuildCost(storage.DefaultCostModel)
+			}
+			b.ReportMetric(cost, "io-cost")
+			b.ReportMetric(float64(5000)/b.Elapsed().Seconds()*float64(b.N), "series/s")
+		})
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	m, _ := builds(b)
+	sc := benchScale()
+	cfg := index.Config{SeriesLen: sc.SeriesLen, Segments: sc.Segments, Bits: sc.Bits}
+	rng := rand.New(rand.NewSource(9))
+	queries := make([]series.Series, 32)
+	for i := range queries {
+		queries[i] = gen.RandomWalk(rng, sc.SeriesLen)
+	}
+	for _, v := range workload.Variants {
+		for _, mode := range []string{"approx", "exact"} {
+			b.Run(fmt.Sprintf("%s/%s", v, mode), func(b *testing.B) {
+				built := m[v]
+				before := built.Disk.Stats()
+				for i := 0; i < b.N; i++ {
+					q := index.NewQuery(queries[i%len(queries)], cfg)
+					var err error
+					if mode == "exact" {
+						_, err = built.Index.ExactSearch(q, 1)
+					} else {
+						_, err = built.Index.ApproxSearch(q, 1)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				diff := built.Disk.Stats().Sub(before)
+				b.ReportMetric(diff.Cost(storage.DefaultCostModel)/float64(b.N), "io-cost/query")
+			})
+		}
+	}
+}
+
+// --- Experiment benchmarks: one per table/figure (reduced scale). ---
+
+func BenchmarkE1Construction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.E1Construction(benchScale(), []int{2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2Query(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.E2Query(benchScale(), 2000, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE3Materialization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.E3Materialization(benchScale(), 2000, []int{1, 100, 10000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE4Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.E4Memory(benchScale(), 2000, []float64{0.01, 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5Tradeoffs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.E5FillFactor(benchScale(), 2000, 100, 5, []float64{0.5, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := workload.E5GrowthFactor(benchScale(), 2000, 5, []int{2, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6Streaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.E6Streaming(benchScale(), 16, 50, 128, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7Heatmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := workload.E7Heatmap(benchScale(), 2000, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8Recommender(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = workload.E8Recommender()
+	}
+}
+
+func BenchmarkE9Storage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.E9Storage(benchScale(), []int{2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Streaming ingest benchmark (Scenario 2's write path). ---
+
+func BenchmarkStreamIngest(b *testing.B) {
+	for _, kind := range []SchemeKind{PP, TP, BTP} {
+		b.Run(string(kind), func(b *testing.B) {
+			s, err := NewStream(kind, Options{SeriesLen: 128, BufferEntries: 512})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(4))
+			ser := make([][]float64, 256)
+			for i := range ser {
+				ser[i] = gen.RandomWalk(rng, 128)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Ingest(ser[i%len(ser)], int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE10Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.E10Ablation(benchScale(), 2000, 50, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11Cardinality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.E11Cardinality(benchScale(), 1000, 5, []int{1, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12Recall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.E12Recall(benchScale(), 1000, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

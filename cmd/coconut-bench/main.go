@@ -1,0 +1,150 @@
+// Command coconut-bench regenerates every experiment table and figure of
+// the reproduction (see DESIGN.md section 5 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	coconut-bench                 # run everything at the default scale
+//	coconut-bench -exp E1,E6      # run selected experiments
+//	coconut-bench -quick          # reduced sizes for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E9) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+	)
+	flag.Parse()
+
+	cfg := workload.DefaultRunConfig()
+	if *quick {
+		cfg.E1Sizes = []int{1000, 2000}
+		cfg.E2N, cfg.E2Queries = 2000, 10
+		cfg.E3N = 2000
+		cfg.E4N = 2000
+		cfg.E5N, cfg.E5Inserts, cfg.E5Queries = 2000, 200, 10
+		cfg.E6Batches, cfg.E6BatchSize, cfg.E6Queries = 20, 50, 4
+		cfg.E7N, cfg.E7Queries = 2000, 5
+		cfg.E9Sizes = []int{1000, 2000}
+	}
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	if err := run(cfg, want); err != nil {
+		fmt.Fprintf(os.Stderr, "coconut-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg workload.RunConfig, want map[string]bool) error {
+	sc := cfg.Scale
+	emit := func(t *workload.Table) { fmt.Println(t.String()) }
+
+	if want["E1"] {
+		t, err := workload.E1Construction(sc, cfg.E1Sizes)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E2"] {
+		t, err := workload.E2Query(sc, cfg.E2N, cfg.E2Queries)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E3"] {
+		t, err := workload.E3Materialization(cfg.E3Scale, cfg.E3N, cfg.E3Counts)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E4"] {
+		t, err := workload.E4Memory(sc, cfg.E4N, cfg.E4Fracs)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E5"] {
+		t, err := workload.E5FillFactor(cfg.E5Scale, cfg.E5N, cfg.E5Inserts, cfg.E5Queries, cfg.E5Fills)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		t, err = workload.E5GrowthFactor(sc, cfg.E5N, cfg.E5Queries, cfg.E5Growths)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E6"] {
+		t, err := workload.E6Streaming(sc, cfg.E6Batches, cfg.E6BatchSize, cfg.E6Buffer, cfg.E6Queries)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E7"] {
+		t, art, err := workload.E7Heatmap(sc, cfg.E7N, cfg.E7Queries)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		for _, line := range art {
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+	if want["E8"] {
+		emit(workload.E8Recommender())
+	}
+	if want["E9"] {
+		t, err := workload.E9Storage(sc, cfg.E9Sizes)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E10"] {
+		t, err := workload.E10Ablation(sc, cfg.E2N, 100, 64)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E11"] {
+		t, err := workload.E11Cardinality(sc, cfg.E2N/2, 10, []int{1, 2, 4, 6, 8})
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E12"] {
+		t, err := workload.E12Recall(sc, cfg.E2N/2, 50)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	return nil
+}

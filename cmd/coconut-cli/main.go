@@ -1,0 +1,249 @@
+// Command coconut-cli is the exploration client of Coconut Palm: the CLI
+// stand-in for the demo's GUI (Figure 2). It talks to a running
+// coconut-server over the REST API and supports the full demo workflow —
+// generating datasets, building and comparing index variants, drawing
+// (generating) query patterns, issuing approximate/exact windowed queries,
+// consulting the recommender, and printing access-pattern heat maps.
+//
+// Usage:
+//
+//	coconut-cli [-server URL] <command> [flags]
+//
+// Commands:
+//
+//	health                              check the server
+//	dataset  -kind astronomy -n 10000 -len 256
+//	build    -dataset ds-1 -variant CTree [-fill 0.9] [-growth 4]
+//	query    -build build-1 -template supernova [-k 5] [-exact] [-min 0 -max 99]
+//	recommend -streaming -queries 500 -memfrac 0.1 [-tight] [-smallwin]
+//	heatmap  -build build-1
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	serverURL := "http://localhost:8734"
+	args := os.Args[1:]
+	if args[0] == "-server" && len(args) >= 2 {
+		serverURL = args[1]
+		args = args[2:]
+	}
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "health":
+		err = health(serverURL)
+	case "dataset":
+		err = dataset(serverURL, rest)
+	case "build":
+		err = build(serverURL, rest)
+	case "query":
+		err = query(serverURL, rest)
+	case "recommend":
+		err = recommend(serverURL, rest)
+	case "heatmap":
+		err = heatmapCmd(serverURL, rest)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coconut-cli: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: coconut-cli [-server URL] <health|dataset|build|query|recommend|heatmap> [flags]")
+}
+
+func call(method, url string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rdr = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+func pretty(v any) {
+	buf, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Println(string(buf))
+}
+
+func health(base string) error {
+	var out map[string]string
+	if err := call("GET", base+"/api/health", nil, &out); err != nil {
+		return err
+	}
+	pretty(out)
+	return nil
+}
+
+func dataset(base string, args []string) error {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	kind := fs.String("kind", "astronomy", "astronomy or randomwalk")
+	n := fs.Int("n", 10000, "series count")
+	length := fs.Int("len", 256, "series length")
+	frac := fs.Float64("frac", 0.05, "fraction of injected event templates (astronomy)")
+	seed := fs.Int64("seed", 42, "generator seed")
+	fs.Parse(args)
+	var out server.DatasetResponse
+	err := call("POST", base+"/api/datasets", server.DatasetRequest{
+		Kind: *kind, N: *n, Len: *length, FracEvent: *frac, Seed: *seed,
+	}, &out)
+	if err != nil {
+		return err
+	}
+	pretty(out)
+	return nil
+}
+
+func build(base string, args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	ds := fs.String("dataset", "", "dataset id (required)")
+	variant := fs.String("variant", "CTree", "ADS+, ADSFull, CTree, CTreeFull, CLSM, CLSMFull")
+	segments := fs.Int("segments", 16, "iSAX segments")
+	bits := fs.Int("bits", 8, "cardinality bits per segment")
+	fill := fs.Float64("fill", 1.0, "CTree leaf fill factor")
+	growth := fs.Int("growth", 4, "CLSM growth factor")
+	mem := fs.Int("mem", 1<<20, "construction memory budget (bytes)")
+	fs.Parse(args)
+	if *ds == "" {
+		return fmt.Errorf("build: -dataset is required")
+	}
+	var out server.BuildResponse
+	err := call("POST", base+"/api/build", server.BuildRequest{
+		Dataset: *ds, Variant: *variant, Segments: *segments, Bits: *bits,
+		FillFactor: *fill, GrowthFactor: *growth, MemBudget: *mem,
+	}, &out)
+	if err != nil {
+		return err
+	}
+	pretty(out)
+	return nil
+}
+
+func query(base string, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	buildID := fs.String("build", "", "build id (required)")
+	template := fs.String("template", "supernova", "query pattern: supernova, binary-star, earthquake, randomwalk")
+	length := fs.Int("len", 256, "query length (must match the dataset)")
+	k := fs.Int("k", 1, "neighbors")
+	exact := fs.Bool("exact", false, "exact (vs approximate) search")
+	minTS := fs.Int64("min", -1, "window lower bound (with -max)")
+	maxTS := fs.Int64("max", -1, "window upper bound (with -min)")
+	seed := fs.Int64("seed", 1, "pattern seed")
+	fs.Parse(args)
+	if *buildID == "" {
+		return fmt.Errorf("query: -build is required")
+	}
+	var q []float64
+	switch *template {
+	case "supernova":
+		q = gen.TemplateQueries(gen.TemplateSupernova, *length, 1, 0.1, *seed)[0]
+	case "binary-star":
+		q = gen.TemplateQueries(gen.TemplateBinaryStar, *length, 1, 0.1, *seed)[0]
+	case "earthquake":
+		q = gen.TemplateQueries(gen.TemplateEarthquake, *length, 1, 0.1, *seed)[0]
+	case "randomwalk":
+		q = gen.TemplateQueries(gen.TemplateSupernova, *length, 1, 10, *seed)[0]
+	default:
+		return fmt.Errorf("query: unknown template %q", *template)
+	}
+	req := server.QueryRequest{Build: *buildID, Series: q, K: *k, Exact: *exact}
+	if *minTS >= 0 && *maxTS >= 0 {
+		req.MinTS, req.MaxTS = minTS, maxTS
+	}
+	var out server.QueryResponse
+	if err := call("POST", base+"/api/query", req, &out); err != nil {
+		return err
+	}
+	pretty(out)
+	return nil
+}
+
+func recommend(base string, args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	streaming := fs.Bool("streaming", false, "data arrives continuously")
+	queries := fs.Int("queries", 100, "expected query count")
+	update := fs.Float64("update", 0, "update rate [0,1]")
+	mem := fs.Float64("memfrac", 0.1, "memory budget as fraction of data")
+	tight := fs.Bool("tight", false, "storage is a first-order cost")
+	smallwin := fs.Bool("smallwin", false, "queries favor narrow recent windows")
+	fs.Parse(args)
+	var out server.RecommendResponse
+	err := call("POST", base+"/api/recommend", server.RecommendRequest{
+		Streaming: *streaming, ExpectedQueries: *queries, UpdateRate: *update,
+		MemoryBudgetFrac: *mem, StorageTight: *tight, SmallWindows: *smallwin,
+	}, &out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recommendation: %s\n", out.Variant)
+	for i, r := range out.Rationale {
+		fmt.Printf("  %d. %s\n", i+1, r)
+	}
+	return nil
+}
+
+func heatmapCmd(base string, args []string) error {
+	fs := flag.NewFlagSet("heatmap", flag.ExitOnError)
+	buildID := fs.String("build", "", "build id (required)")
+	fs.Parse(args)
+	if *buildID == "" {
+		return fmt.Errorf("heatmap: -build is required")
+	}
+	var out server.HeatmapResponse
+	if err := call("GET", base+"/api/heatmap?build="+*buildID, nil, &out); err != nil {
+		return err
+	}
+	for _, line := range out.ASCII {
+		fmt.Println(line)
+	}
+	fmt.Printf("accesses=%d seq_frac=%.2f avg_jump=%.1f file_swaps=%d write_share=%.2f\n",
+		out.Jumps.Accesses, out.Jumps.SeqFrac, out.Jumps.AvgJump, out.Jumps.FileSwaps, out.Jumps.WriteShare)
+	return nil
+}

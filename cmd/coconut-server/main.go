@@ -1,0 +1,40 @@
+// Command coconut-server runs the Coconut Palm algorithms server (Figure 1
+// of the demo paper): a REST/JSON web service exposing dataset generation,
+// index construction across all variants, approximate/exact windowed
+// queries, the recommender, and heat-map access-pattern visualization.
+//
+// Usage:
+//
+//	coconut-server -addr :8734
+//
+// Then, for example:
+//
+//	curl -s localhost:8734/api/health
+//	curl -s -X POST localhost:8734/api/datasets -d '{"kind":"astronomy","n":10000,"len":256}'
+//	curl -s -X POST localhost:8734/api/build -d '{"dataset":"ds-1","variant":"CTree"}'
+//	curl -s -X POST localhost:8734/api/recommend -d '{"streaming":true,"small_windows":true}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8734", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New().Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("coconut-palm algorithms server listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

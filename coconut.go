@@ -1,0 +1,288 @@
+// Package coconut is the public API of the Coconut data series indexing
+// infrastructure (Kondylakis, Dayan, Zoumpatianos, Palpanas: "Coconut",
+// PVLDB 2018; demonstrated as "Coconut Palm", SIGMOD 2019).
+//
+// Coconut organizes data series by a sortable summarization: the bits of an
+// iSAX word's segments are interleaved most-significant-first so that
+// sorting the resulting keys keeps similar series adjacent. On top of that
+// ordering the package offers:
+//
+//   - Tree (CoconutTree): a read-optimized, compact and contiguous B+-tree
+//     bulk-loaded with two-pass external sorting.
+//   - LSM (CoconutLSM): a write-optimized log-structured merge index for
+//     continuously arriving series.
+//   - Stream: temporal-window exploration over streams using the PP, TP, or
+//     BTP schemes.
+//   - Recommend: the decision-tree recommender that picks a configuration
+//     for a scenario and explains why.
+//
+// All distances are Euclidean distances between z-normalized series, the
+// standard in data series similarity search. Indexes run against a
+// simulated page-addressed disk that accounts sequential vs. random I/O;
+// use Stats to observe the access-pattern behaviour the papers describe.
+package coconut
+
+import (
+	"fmt"
+
+	"repro/internal/clsm"
+	"repro/internal/ctree"
+	"repro/internal/index"
+	"repro/internal/recommender"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// Options configures an index.
+type Options struct {
+	// SeriesLen is the (fixed) length of every series. Required.
+	SeriesLen int
+	// Segments is the number of iSAX segments (default 16).
+	Segments int
+	// Bits is the per-segment cardinality in bits (default 8).
+	Bits int
+	// Materialized stores full series inside the index (faster queries,
+	// larger and slower to build). Non-materialized indexes keep series in
+	// a raw store and fetch them during search.
+	Materialized bool
+	// FillFactor (Tree only): fraction of each leaf filled at build time,
+	// in (0,1]. Lower values absorb later inserts without splits.
+	FillFactor float64
+	// GrowthFactor (LSM only): runs per level before merging (default 4).
+	GrowthFactor int
+	// BufferEntries (LSM only): in-memory write buffer capacity (default
+	// 1024).
+	BufferEntries int
+	// MemBudget is construction memory in bytes (default 1 MiB).
+	MemBudget int
+	// PageSize of the simulated disk (default 4096).
+	PageSize int
+}
+
+func (o Options) config() (index.Config, error) {
+	cfg := index.Config{
+		SeriesLen:    o.SeriesLen,
+		Segments:     o.Segments,
+		Bits:         o.Bits,
+		Materialized: o.Materialized,
+	}
+	if cfg.Segments == 0 {
+		cfg.Segments = 16
+	}
+	if cfg.Bits == 0 {
+		cfg.Bits = 8
+	}
+	return cfg, cfg.Validate()
+}
+
+// Match is one similarity-search answer.
+type Match struct {
+	ID   int     // series ID (position in insertion/build order)
+	TS   int64   // ingestion timestamp
+	Dist float64 // Euclidean distance between z-normalized series
+}
+
+// Stats reports the I/O behaviour of an index's disk.
+type Stats struct {
+	SeqReads, RandReads   int64
+	SeqWrites, RandWrites int64
+	Pages                 int64 // total pages on the index's disk
+}
+
+// Cost prices the accesses with random I/O costing ratio times a
+// sequential one (the experiments use ratio 10).
+func (s Stats) Cost(ratio float64) float64 {
+	return float64(s.SeqReads+s.SeqWrites) + ratio*float64(s.RandReads+s.RandWrites)
+}
+
+// memStore is the facade's raw store: ingested series are z-normalized and
+// kept in memory, so the accounted I/O isolates index behaviour.
+type memStore struct{ ss []series.Series }
+
+func (m *memStore) Get(id int) (series.Series, error) {
+	if id < 0 || id >= len(m.ss) {
+		return nil, fmt.Errorf("coconut: series %d out of range", id)
+	}
+	return m.ss[id], nil
+}
+func (m *memStore) Count() int { return len(m.ss) }
+
+func convert(rs []index.Result) []Match {
+	out := make([]Match, len(rs))
+	for i, r := range rs {
+		out[i] = Match{ID: int(r.ID), TS: r.TS, Dist: r.Dist}
+	}
+	return out
+}
+
+func statsOf(d *storage.Disk) Stats {
+	st := d.Stats()
+	return Stats{
+		SeqReads: st.SeqReads, RandReads: st.RandReads,
+		SeqWrites: st.SeqWrites, RandWrites: st.RandWrites,
+		Pages: d.TotalPages(),
+	}
+}
+
+// Tree is a CoconutTree index.
+type Tree struct {
+	tree *ctree.Tree
+	cfg  index.Config
+	disk *storage.Disk
+	raw  *memStore
+}
+
+// BuildTree bulk-loads a CoconutTree over the given series (IDs are their
+// positions). Construction summarizes, external-sorts, and packs leaves
+// contiguously — sequential I/O end to end.
+func BuildTree(data [][]float64, opts Options) (*Tree, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	raw := &memStore{}
+	ds := series.NewDataset(cfg.SeriesLen)
+	for i, s := range data {
+		if _, err := ds.Append(series.Series(s)); err != nil {
+			return nil, fmt.Errorf("coconut: series %d: %w", i, err)
+		}
+		raw.ss = append(raw.ss, series.Series(s).ZNormalize())
+	}
+	disk := storage.NewDisk(opts.PageSize)
+	tr, err := ctree.Build(ctree.Options{
+		Disk:       disk,
+		Name:       "ctree",
+		Config:     cfg,
+		FillFactor: opts.FillFactor,
+		MemBudget:  opts.MemBudget,
+		Raw:        raw,
+	}, ds, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{tree: tr, cfg: cfg, disk: disk, raw: raw}, nil
+}
+
+// Count returns the number of indexed series.
+func (t *Tree) Count() int { return int(t.tree.Count()) }
+
+// Insert adds one series with a timestamp, using the leaf slack left by
+// FillFactor (splits happen when a leaf is full).
+func (t *Tree) Insert(s []float64, ts int64) error {
+	if len(s) != t.cfg.SeriesLen {
+		return fmt.Errorf("coconut: series length %d, want %d", len(s), t.cfg.SeriesLen)
+	}
+	t.raw.ss = append(t.raw.ss, series.Series(s).ZNormalize())
+	return t.tree.Insert(series.Series(s), ts)
+}
+
+// Search returns the exact k nearest neighbors of q.
+func (t *Tree) Search(q []float64, k int) ([]Match, error) {
+	rs, err := t.tree.ExactSearch(index.NewQuery(series.Series(q), t.cfg), k)
+	return convert(rs), err
+}
+
+// SearchApprox returns up to k likely neighbors with one or two page reads
+// and no exactness guarantee.
+func (t *Tree) SearchApprox(q []float64, k int) ([]Match, error) {
+	rs, err := t.tree.ApproxSearch(index.NewQuery(series.Series(q), t.cfg), k)
+	return convert(rs), err
+}
+
+// SearchRange returns every indexed series within Euclidean distance eps
+// of q, sorted by distance.
+func (t *Tree) SearchRange(q []float64, eps float64) ([]Match, error) {
+	rs, err := t.tree.RangeSearch(index.NewQuery(series.Series(q), t.cfg), eps)
+	return convert(rs), err
+}
+
+// Stats returns the I/O accounting of the tree's disk since creation.
+func (t *Tree) Stats() Stats { return statsOf(t.disk) }
+
+// LSM is a CoconutLSM index.
+type LSM struct {
+	lsm  *clsm.LSM
+	cfg  index.Config
+	disk *storage.Disk
+	raw  *memStore
+}
+
+// NewLSM creates an empty CoconutLSM ready for continuous insertion.
+func NewLSM(opts Options) (*LSM, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	raw := &memStore{}
+	disk := storage.NewDisk(opts.PageSize)
+	l, err := clsm.New(clsm.Options{
+		Disk:          disk,
+		Name:          "clsm",
+		Config:        cfg,
+		GrowthFactor:  opts.GrowthFactor,
+		BufferEntries: opts.BufferEntries,
+		Raw:           raw,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LSM{lsm: l, cfg: cfg, disk: disk, raw: raw}, nil
+}
+
+// Insert adds one series with a timestamp; writes are log-structured.
+func (l *LSM) Insert(s []float64, ts int64) error {
+	if len(s) != l.cfg.SeriesLen {
+		return fmt.Errorf("coconut: series length %d, want %d", len(s), l.cfg.SeriesLen)
+	}
+	l.raw.ss = append(l.raw.ss, series.Series(s).ZNormalize())
+	return l.lsm.Insert(series.Series(s), ts)
+}
+
+// Flush forces the in-memory buffer into a sorted on-disk run.
+func (l *LSM) Flush() error { return l.lsm.Flush() }
+
+// Count returns the number of indexed series (buffered included).
+func (l *LSM) Count() int { return int(l.lsm.Count()) }
+
+// Runs returns the number of on-disk sorted runs.
+func (l *LSM) Runs() int { return l.lsm.Runs() }
+
+// Search returns the exact k nearest neighbors of q.
+func (l *LSM) Search(q []float64, k int) ([]Match, error) {
+	rs, err := l.lsm.ExactSearch(index.NewQuery(series.Series(q), l.cfg), k)
+	return convert(rs), err
+}
+
+// SearchApprox probes each run near q's key without exactness guarantees.
+func (l *LSM) SearchApprox(q []float64, k int) ([]Match, error) {
+	rs, err := l.lsm.ApproxSearch(index.NewQuery(series.Series(q), l.cfg), k)
+	return convert(rs), err
+}
+
+// SearchWindow returns the exact k nearest neighbors among entries whose
+// timestamp lies in [minTS, maxTS].
+func (l *LSM) SearchWindow(q []float64, k int, minTS, maxTS int64) ([]Match, error) {
+	pq := index.NewQuery(series.Series(q), l.cfg).WithWindow(minTS, maxTS)
+	rs, err := l.lsm.ExactSearch(pq, k)
+	return convert(rs), err
+}
+
+// SearchRange returns every indexed series within Euclidean distance eps
+// of q, sorted by distance.
+func (l *LSM) SearchRange(q []float64, eps float64) ([]Match, error) {
+	rs, err := l.lsm.RangeSearch(index.NewQuery(series.Series(q), l.cfg), eps)
+	return convert(rs), err
+}
+
+// Stats returns the I/O accounting of the LSM's disk since creation.
+func (l *LSM) Stats() Stats { return statsOf(l.disk) }
+
+// Scenario describes an application for the recommender; see the field
+// documentation in the recommender package.
+type Scenario = recommender.Scenario
+
+// Recommendation is the recommender's advice with its rationale.
+type Recommendation = recommender.Recommendation
+
+// Recommend walks the recommender's decision tree for a scenario.
+func Recommend(s Scenario) Recommendation { return recommender.Recommend(s) }

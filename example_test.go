@@ -1,0 +1,88 @@
+package coconut_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	coconut "repro"
+)
+
+func makeWalks(n, length int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		s := make([]float64, length)
+		v := 0.0
+		for j := range s {
+			v += rng.NormFloat64()
+			s[j] = v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Build a read-optimized CoconutTree and find a stored series exactly.
+func ExampleBuildTree() {
+	data := makeWalks(1000, 128, 7)
+	tree, err := coconut.BuildTree(data, coconut.Options{SeriesLen: 128, Materialized: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches, err := tree.Search(data[42], 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("id=%d dist=%.1f\n", matches[0].ID, matches[0].Dist)
+	// Output: id=42 dist=0.0
+}
+
+// Stream data into a write-optimized CoconutLSM and query a recent window.
+func ExampleNewLSM() {
+	lsm, err := coconut.NewLSM(coconut.Options{SeriesLen: 64, BufferEntries: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := makeWalks(500, 64, 9)
+	for ts, s := range data {
+		if err := lsm.Insert(s, int64(ts)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Only entries with timestamps in [400, 499] are eligible.
+	matches, err := lsm.SearchWindow(data[450], 1, 400, 499)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("id=%d ts=%d dist=%.1f\n", matches[0].ID, matches[0].TS, matches[0].Dist)
+	// Output: id=450 ts=450 dist=0.0
+}
+
+// Use Bounded Temporal Partitioning for streaming window exploration.
+func ExampleNewStream() {
+	st, err := coconut.NewStream(coconut.BTP, coconut.Options{SeriesLen: 64, BufferEntries: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := makeWalks(1000, 64, 11)
+	for ts, s := range data {
+		if _, err := st.Ingest(s, int64(ts)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println(st.Name(), "partitions bounded:", st.Partitions() < 5)
+	// Output: CLSM+BTP partitions bounded: true
+}
+
+// Ask the recommender for the demo's streaming scenario.
+func ExampleRecommend() {
+	rec := coconut.Recommend(coconut.Scenario{
+		Streaming:        true,
+		ExpectedQueries:  100,
+		MemoryBudgetFrac: 0.05,
+		SmallWindows:     true,
+	})
+	fmt.Println(rec.Variant())
+	// Output: CLSM+BTP
+}

@@ -1,0 +1,52 @@
+// Recommender drives the demo's recommender tool across the scenario space
+// and prints the advice with its decision-tree rationale, including the two
+// scripted moments of the demonstration: the static scenario flipping to a
+// materialized index as projected queries grow, and the streaming scenario
+// choosing CLSM with BTP.
+package main
+
+import (
+	"fmt"
+
+	coconut "repro"
+)
+
+func main() {
+	fmt.Println("--- Scenario 1: static astronomy archive, exploratory use ---")
+	fmt.Println(coconut.Recommend(coconut.Scenario{
+		Streaming:        false,
+		ExpectedQueries:  20,
+		MemoryBudgetFrac: 0.1,
+	}).String())
+
+	fmt.Println("--- Scenario 1 revisited: the workload grows to thousands of queries ---")
+	fmt.Println(coconut.Recommend(coconut.Scenario{
+		Streaming:        false,
+		ExpectedQueries:  5000,
+		MemoryBudgetFrac: 0.1,
+	}).String())
+
+	fmt.Println("--- Scenario 2: streaming seismic data, recent-window queries ---")
+	fmt.Println(coconut.Recommend(coconut.Scenario{
+		Streaming:        true,
+		ExpectedQueries:  100,
+		MemoryBudgetFrac: 0.05,
+		SmallWindows:     true,
+	}).String())
+
+	fmt.Println("--- Cloud deployment: storage cost dominates ---")
+	fmt.Println(coconut.Recommend(coconut.Scenario{
+		Streaming:        false,
+		ExpectedQueries:  100000,
+		MemoryBudgetFrac: 0.25,
+		StorageTight:     true,
+	}).String())
+
+	fmt.Println("--- Edge device: 1% memory, occasional appends ---")
+	fmt.Println(coconut.Recommend(coconut.Scenario{
+		Streaming:        false,
+		ExpectedQueries:  50,
+		UpdateRate:       0.05,
+		MemoryBudgetFrac: 0.01,
+	}).String())
+}

@@ -1,0 +1,98 @@
+// Tuning demonstrates navigating Coconut's read/write trade-offs — the
+// "rich indexing design choices" the demo walks users through: the CTree
+// leaf fill factor and the CLSM growth factor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	coconut "repro"
+)
+
+func walks(n, length int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		s := make([]float64, length)
+		v := 0.0
+		for j := range s {
+			v += rng.NormFloat64()
+			s[j] = v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func main() {
+	// Length-64 series keep materialized entries small enough that several
+	// fit per page, giving the fill-factor knob fine steps.
+	const (
+		n      = 10000
+		length = 64
+	)
+	data := walks(n, length, 1)
+	inserts := walks(1000, length, 2)
+	queries := walks(20, length, 3)
+
+	fmt.Println("CTree fill-factor sweep under an insert-then-query workload:")
+	fmt.Println("slack absorbs inserts cheaply; packed trees split, paying on both inserts and later scans")
+	fmt.Printf("%-6s %-12s %-12s %-12s\n", "fill", "build-pages", "insert-cost", "query-cost")
+	for _, fill := range []float64{0.5, 0.7, 0.9, 1.0} {
+		tree, err := coconut.BuildTree(data, coconut.Options{
+			SeriesLen: length, Materialized: true, FillFactor: fill,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		afterBuild := tree.Stats()
+		for i, s := range inserts {
+			if err := tree.Insert(s, int64(i)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		afterInsert := tree.Stats()
+		for _, q := range queries {
+			if _, err := tree.Search(q, 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+		afterQuery := tree.Stats()
+		fmt.Printf("%-6.2f %-12d %-12.0f %-12.0f\n",
+			fill,
+			afterBuild.Pages,
+			afterInsert.Cost(10)-afterBuild.Cost(10),
+			(afterQuery.Cost(10)-afterInsert.Cost(10))/float64(len(queries)))
+	}
+
+	fmt.Println("\nCLSM growth-factor sweep: higher T = cheaper ingest, more runs per query")
+	fmt.Printf("%-4s %-12s %-8s %-12s\n", "T", "ingest-cost", "runs", "query-cost")
+	for _, growth := range []int{2, 4, 8} {
+		lsm, err := coconut.NewLSM(coconut.Options{
+			SeriesLen: length, Materialized: true,
+			GrowthFactor: growth, BufferEntries: 512,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, s := range data {
+			if err := lsm.Insert(s, int64(i)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		afterIngest := lsm.Stats()
+		for _, q := range queries {
+			if _, err := lsm.Search(q, 1); err != nil {
+				log.Fatal(err)
+			}
+		}
+		afterQuery := lsm.Stats()
+		fmt.Printf("%-4d %-12.0f %-8d %-12.0f\n",
+			growth,
+			afterIngest.Cost(10),
+			lsm.Runs(),
+			(afterQuery.Cost(10)-afterIngest.Cost(10))/float64(len(queries)))
+	}
+}

@@ -1,0 +1,206 @@
+package adsplus
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/index"
+	"repro/internal/sax"
+)
+
+// nodeMinDist lower-bounds the distance between the query and any series
+// under node n, using each segment's symbol prefix at its own cardinality.
+func (t *Tree) nodeMinDist(paa []float64, n *node) float64 {
+	acc := 0.0
+	for i, v := range paa {
+		lo, hi := sax.Region(n.syms[i], int(n.bits[i]))
+		var d float64
+		switch {
+		case v < lo:
+			d = lo - v
+		case v > hi:
+			d = v - hi
+		}
+		acc += d * d
+	}
+	return math.Sqrt(float64(t.opts.Config.SeriesLen) / float64(len(paa)) * acc)
+}
+
+// descend walks from a root to the leaf covering word w.
+func descend(n *node, w sax.Word) *node {
+	for !n.leaf {
+		n = n.children[segBit(w, n.splitSeg, int(n.bits[n.splitSeg]))]
+	}
+	return n
+}
+
+// ApproxSearch answers an approximate k-NN query by descending to the leaf
+// that covers the query's iSAX word and evaluating it (one scattered leaf
+// read). If that root subtree does not exist, the closest existing root by
+// lower bound is used.
+func (t *Tree) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
+	col := index.NewCollector(k)
+	if len(t.roots) == 0 {
+		return col.Results(), nil
+	}
+	w := sax.FromPAA(q.PAA, t.opts.Config.Bits)
+	root, ok := t.roots[t.rootKey(w)]
+	if !ok {
+		best := math.Inf(1)
+		for _, n := range t.roots {
+			if d := t.nodeMinDist(q.PAA, n); d < best {
+				best, root = d, n
+			}
+		}
+	}
+	leafNode := descend(root, w)
+	if err := t.evalLeaf(leafNode, q, col); err != nil {
+		return nil, err
+	}
+	// If the leaf was too sparse for k results, widen to the best remaining
+	// leaves by lower bound (still approximate: no guarantee).
+	if !col.Full() {
+		pq := t.newNodeQueue(q)
+		for pq.Len() > 0 && !col.Full() {
+			n := heap.Pop(pq).(*nodeDist).n
+			if n == leafNode {
+				continue
+			}
+			if err := t.evalLeaf(n, q, col); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return col.Results(), nil
+}
+
+// ExactSearch returns the true k nearest neighbors via best-first traversal:
+// nodes are visited in lower-bound order and leaves whose bound reaches the
+// current k-th distance are pruned. Every visited leaf is a separate extent,
+// so exact search pays one head movement per surviving leaf.
+func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
+	approx, err := t.ApproxSearch(q, k)
+	if err != nil {
+		return nil, err
+	}
+	col := index.NewCollector(k)
+	for _, r := range approx {
+		col.Add(r)
+	}
+	pq := &nodePQ{}
+	for _, n := range t.roots {
+		heap.Push(pq, &nodeDist{n: n, d: t.nodeMinDist(q.PAA, n)})
+	}
+	for pq.Len() > 0 {
+		nd := heap.Pop(pq).(*nodeDist)
+		if nd.d >= col.Worst() {
+			break // every remaining node is at least this far
+		}
+		if nd.n.leaf {
+			if err := t.evalLeaf(nd.n, q, col); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		for b := 0; b < 2; b++ {
+			c := nd.n.children[b]
+			if d := t.nodeMinDist(q.PAA, c); d < col.Worst() {
+				heap.Push(pq, &nodeDist{n: c, d: d})
+			}
+		}
+	}
+	return col.Results(), nil
+}
+
+// evalLeaf computes true distances for the in-window entries of a leaf
+// (disk extent plus buffer), verifying candidates in ascending lower-bound
+// order.
+func (t *Tree) evalLeaf(n *node, q index.Query, col *index.Collector) error {
+	entries, err := t.loadLeaf(n)
+	if err != nil {
+		return err
+	}
+	inWin := entries[:0:0]
+	for _, e := range entries {
+		if q.InWindow(e.TS) {
+			inWin = append(inWin, e)
+		}
+	}
+	_, err = index.EvalCandidates(q, inWin, t.opts.Config, t.opts.Raw, col)
+	return err
+}
+
+// newNodeQueue builds a priority queue of all leaves ordered by lower bound.
+func (t *Tree) newNodeQueue(q index.Query) *nodePQ {
+	pq := &nodePQ{}
+	t.walk(func(n *node) {
+		if n.leaf {
+			pq.items = append(pq.items, &nodeDist{n: n, d: t.nodeMinDist(q.PAA, n)})
+		}
+	})
+	heap.Init(pq)
+	return pq
+}
+
+type nodeDist struct {
+	n *node
+	d float64
+}
+
+type nodePQ struct {
+	items []*nodeDist
+}
+
+func (p *nodePQ) Len() int           { return len(p.items) }
+func (p *nodePQ) Less(i, j int) bool { return p.items[i].d < p.items[j].d }
+func (p *nodePQ) Swap(i, j int)      { p.items[i], p.items[j] = p.items[j], p.items[i] }
+func (p *nodePQ) Push(x any)         { p.items = append(p.items, x.(*nodeDist)) }
+func (p *nodePQ) Pop() any {
+	old := p.items
+	n := len(old)
+	x := old[n-1]
+	p.items = old[:n-1]
+	return x
+}
+
+// RangeSearch returns every indexed series within Euclidean distance eps of
+// the query by visiting all subtrees whose node bound is within eps.
+func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
+	col := index.NewRangeCollector(eps)
+	var visit func(n *node) error
+	visit = func(n *node) error {
+		if t.nodeMinDist(q.PAA, n) > eps {
+			return nil
+		}
+		if !n.leaf {
+			if err := visit(n.children[0]); err != nil {
+				return err
+			}
+			return visit(n.children[1])
+		}
+		entries, err := t.loadLeaf(n)
+		if err != nil {
+			return err
+		}
+		inWin := entries[:0:0]
+		for _, e := range entries {
+			if q.InWindow(e.TS) {
+				inWin = append(inWin, e)
+			}
+		}
+		return index.EvalRangeCandidates(q, inWin, t.opts.Config, t.opts.Raw, col)
+	}
+	for _, root := range t.roots {
+		if err := visit(root); err != nil {
+			return nil, err
+		}
+	}
+	return col.Results(), nil
+}
+
+var (
+	_ index.Index         = (*Tree)(nil)
+	_ index.Inserter      = (*Tree)(nil)
+	_ index.RangeSearcher = (*Tree)(nil)
+	_ heap.Interface      = (*nodePQ)(nil)
+)

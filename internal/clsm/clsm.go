@@ -1,0 +1,240 @@
+// Package clsm implements CoconutLSM (CLSM), the write-optimized index of
+// the Coconut infrastructure: a log-structured merge-tree over sortable
+// summarizations. Incoming series accumulate in an in-memory buffer; each
+// flush writes a sorted run with sequential I/O, and runs of the same level
+// are sort-merged once the growth factor's worth of them accumulate
+// (tiering). The growth factor is the read/write knob the demo exposes:
+// larger T means fewer, cheaper merges (faster ingest) but more runs to
+// inspect per query.
+package clsm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/extsort"
+	"repro/internal/index"
+	"repro/internal/record"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// Options configures a CLSM index.
+type Options struct {
+	Disk   *storage.Disk
+	Name   string       // file name prefix
+	Config index.Config // summarization shape; Materialized selects CLSMFull
+	// GrowthFactor T: runs per level tolerated before they are merged into
+	// the next level. Default 4.
+	GrowthFactor int
+	// BufferEntries is the in-memory write buffer capacity. Default 1024.
+	BufferEntries int
+	// Raw is consulted by non-materialized searches. Series inserted into
+	// the index must appear in Raw at the same IDs (insertion order,
+	// starting at 0).
+	Raw series.RawStore
+}
+
+func (o *Options) setDefaults() error {
+	if o.Disk == nil {
+		return fmt.Errorf("clsm: Disk is required")
+	}
+	if o.Name == "" {
+		o.Name = "clsm"
+	}
+	if err := o.Config.Validate(); err != nil {
+		return err
+	}
+	if o.GrowthFactor == 0 {
+		o.GrowthFactor = 4
+	}
+	if o.GrowthFactor < 2 {
+		return fmt.Errorf("clsm: GrowthFactor must be >= 2, got %d", o.GrowthFactor)
+	}
+	if o.BufferEntries == 0 {
+		o.BufferEntries = 1024
+	}
+	if o.BufferEntries < 1 {
+		return fmt.Errorf("clsm: BufferEntries must be positive, got %d", o.BufferEntries)
+	}
+	return nil
+}
+
+// run is one sorted run on disk.
+type run struct {
+	file  string
+	count int64
+}
+
+// LSM is a CoconutLSM index.
+type LSM struct {
+	opts   Options
+	codec  record.Codec
+	buffer []record.Entry // unsorted in-memory write buffer
+	levels [][]run        // levels[l] = runs at level l, oldest first
+	seq    int            // run file name counter
+	count  int64
+	nextID int64
+	// Write-amplification accounting.
+	flushes int64
+	merges  int64
+	pageBuf []byte
+}
+
+// New creates an empty CLSM index.
+func New(opts Options) (*LSM, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	l := &LSM{
+		opts:    opts,
+		codec:   opts.Config.Codec(),
+		pageBuf: make([]byte, opts.Disk.PageSize()),
+	}
+	if l.codec.Size() > opts.Disk.PageSize() {
+		return nil, fmt.Errorf("clsm: entry size %d exceeds page size %d", l.codec.Size(), opts.Disk.PageSize())
+	}
+	return l, nil
+}
+
+// Name implements index.Index; "CLSM" or "CLSMFull" when materialized.
+func (l *LSM) Name() string {
+	if l.opts.Config.Materialized {
+		return "CLSMFull"
+	}
+	return "CLSM"
+}
+
+// Count returns the number of indexed series (buffered included).
+func (l *LSM) Count() int64 { return l.count }
+
+// Config returns the summarization configuration the LSM was created with.
+func (l *LSM) Config() index.Config { return l.opts.Config }
+
+// Runs returns the current number of on-disk runs.
+func (l *LSM) Runs() int {
+	n := 0
+	for _, lvl := range l.levels {
+		n += len(lvl)
+	}
+	return n
+}
+
+// Depth returns the number of levels currently holding runs.
+func (l *LSM) Depth() int { return len(l.levels) }
+
+// Flushes returns how many buffer flushes have occurred.
+func (l *LSM) Flushes() int64 { return l.flushes }
+
+// Merges returns how many run merges have occurred.
+func (l *LSM) Merges() int64 { return l.merges }
+
+// Insert adds one series with the given ingestion timestamp. IDs are
+// assigned in insertion order starting at 0.
+func (l *LSM) Insert(s series.Series, ts int64) error {
+	key, z := l.opts.Config.Summarize(s)
+	e := record.Entry{Key: key, ID: l.nextID, TS: ts}
+	if l.opts.Config.Materialized {
+		e.Payload = z
+	}
+	l.nextID++
+	return l.InsertEntry(e)
+}
+
+// InsertEntry adds a pre-summarized entry with caller-controlled ID — used
+// by the streaming schemes, which summarize once and own global IDs.
+func (l *LSM) InsertEntry(e record.Entry) error {
+	if e.ID >= l.nextID {
+		l.nextID = e.ID + 1
+	}
+	l.count++
+	l.buffer = append(l.buffer, e)
+	if len(l.buffer) >= l.opts.BufferEntries {
+		return l.Flush()
+	}
+	return nil
+}
+
+// Flush sorts the in-memory buffer into a level-0 run and triggers any
+// cascading merges. It is a no-op on an empty buffer.
+func (l *LSM) Flush() error {
+	if len(l.buffer) == 0 {
+		return nil
+	}
+	sort.Slice(l.buffer, func(i, j int) bool { return l.buffer[i].Less(l.buffer[j]) })
+	name := l.runName()
+	w, err := storage.NewRecordWriter(l.opts.Disk, name, l.codec.Size())
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, l.codec.Size())
+	for _, e := range l.buffer {
+		buf = buf[:0]
+		if buf, err = l.codec.Append(buf, e); err != nil {
+			return err
+		}
+		if err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	l.addRun(0, run{file: name, count: int64(len(l.buffer))})
+	l.buffer = l.buffer[:0]
+	l.flushes++
+	return l.compact()
+}
+
+func (l *LSM) runName() string {
+	l.seq++
+	return fmt.Sprintf("%s.run.%06d", l.opts.Name, l.seq)
+}
+
+func (l *LSM) addRun(level int, r run) {
+	for len(l.levels) <= level {
+		l.levels = append(l.levels, nil)
+	}
+	l.levels[level] = append(l.levels[level], r)
+}
+
+// compact merges any level holding >= GrowthFactor runs into a single run
+// at the next level, cascading upward (tiered compaction).
+func (l *LSM) compact() error {
+	sorter := &extsort.Sorter{Disk: l.opts.Disk, Codec: l.codec, MemBudget: 1 << 20, TmpPrefix: l.opts.Name + ".merge"}
+	for level := 0; level < len(l.levels); level++ {
+		for len(l.levels[level]) >= l.opts.GrowthFactor {
+			victims := l.levels[level]
+			names := make([]string, len(victims))
+			counts := make([]int64, len(victims))
+			for i, r := range victims {
+				names[i] = r.file
+				counts[i] = r.count
+			}
+			merged := l.runName()
+			total, err := sorter.MergeSorted(names, counts, merged)
+			if err != nil {
+				return err
+			}
+			for _, r := range victims {
+				if err := l.opts.Disk.Remove(r.file); err != nil {
+					return err
+				}
+			}
+			l.levels[level] = nil
+			l.addRun(level+1, run{file: merged, count: total})
+			l.merges++
+		}
+	}
+	return nil
+}
+
+// allRuns returns every on-disk run, newest level first (level 0 holds the
+// freshest data).
+func (l *LSM) allRuns() []run {
+	var out []run
+	for _, lvl := range l.levels {
+		out = append(out, lvl...)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package clsm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// Metadata format (stored in "<name>.meta" on the LSM's disk):
+//
+//	magic "CLSMMETA" | version u32 | payload length u64
+//	count u64 | nextID u64 | seq u64 | flushes u64 | merges u64
+//	growth u32 | bufferEntries u32
+//	materialized u8 | seriesLen u32 | segments u32 | bits u32
+//	levelCount u32 | per level: runCount u32 |
+//	  per run: nameLen u32 | name | count u64
+const (
+	lsmMetaMagic   = "CLSMMETA"
+	lsmMetaVersion = 1
+)
+
+// Save flushes the write buffer and persists the LSM's structure metadata
+// to "<name>.meta" on its disk, so it can be reopened (together with the
+// disk snapshot) via Open. An existing meta file is replaced.
+func (l *LSM) Save() error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	name := l.opts.Name + ".meta"
+	if l.opts.Disk.Exists(name) {
+		if err := l.opts.Disk.Remove(name); err != nil {
+			return err
+		}
+	}
+	payload := l.encodeMeta()
+	head := make([]byte, 0, len(lsmMetaMagic)+12+len(payload))
+	head = append(head, lsmMetaMagic...)
+	head = binary.LittleEndian.AppendUint32(head, lsmMetaVersion)
+	head = binary.LittleEndian.AppendUint64(head, uint64(len(payload)))
+	head = append(head, payload...)
+	if err := l.opts.Disk.Create(name); err != nil {
+		return err
+	}
+	_, err := l.opts.Disk.AppendPages(name, head)
+	return err
+}
+
+func (l *LSM) encodeMeta() []byte {
+	buf := make([]byte, 0, 128)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.count))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.nextID))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.seq))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.flushes))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.merges))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.opts.GrowthFactor))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.opts.BufferEntries))
+	if l.opts.Config.Materialized {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.opts.Config.SeriesLen))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.opts.Config.Segments))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.opts.Config.Bits))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.levels)))
+	for _, lvl := range l.levels {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(lvl)))
+		for _, r := range lvl {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.file)))
+			buf = append(buf, r.file...)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(r.count))
+		}
+	}
+	return buf
+}
+
+// Open reconstructs a saved LSM from a disk holding its runs and
+// "<name>.meta". The caller supplies the Raw store for non-materialized
+// searches.
+func Open(disk *storage.Disk, name string, raw series.RawStore) (*LSM, error) {
+	if disk == nil {
+		return nil, fmt.Errorf("clsm: Disk is required")
+	}
+	if name == "" {
+		name = "clsm"
+	}
+	metaName := name + ".meta"
+	npages, err := disk.NumPages(metaName)
+	if err != nil {
+		return nil, fmt.Errorf("clsm: opening %q: %w", metaName, err)
+	}
+	blob := make([]byte, int(npages)*disk.PageSize())
+	if _, err := disk.ReadPages(metaName, 0, int(npages), blob); err != nil {
+		return nil, err
+	}
+	if len(blob) < len(lsmMetaMagic)+12 {
+		return nil, fmt.Errorf("clsm: meta file too short")
+	}
+	if string(blob[:len(lsmMetaMagic)]) != lsmMetaMagic {
+		return nil, fmt.Errorf("clsm: bad meta magic %q", blob[:len(lsmMetaMagic)])
+	}
+	off := len(lsmMetaMagic)
+	if v := binary.LittleEndian.Uint32(blob[off:]); v != lsmMetaVersion {
+		return nil, fmt.Errorf("clsm: unsupported meta version %d", v)
+	}
+	off += 4
+	plen := int(binary.LittleEndian.Uint64(blob[off:]))
+	off += 8
+	if off+plen > len(blob) {
+		return nil, fmt.Errorf("clsm: truncated meta payload")
+	}
+	return decodeMeta(disk, name, blob[off:off+plen], raw)
+}
+
+func decodeMeta(disk *storage.Disk, name string, buf []byte, raw series.RawStore) (*LSM, error) {
+	const fixed = 8*5 + 4*2 + 1 + 4*3 + 4
+	if len(buf) < fixed {
+		return nil, fmt.Errorf("clsm: meta payload too short: %d", len(buf))
+	}
+	l := &LSM{pageBuf: make([]byte, disk.PageSize())}
+	l.count = int64(binary.LittleEndian.Uint64(buf))
+	l.nextID = int64(binary.LittleEndian.Uint64(buf[8:]))
+	l.seq = int(binary.LittleEndian.Uint64(buf[16:]))
+	l.flushes = int64(binary.LittleEndian.Uint64(buf[24:]))
+	l.merges = int64(binary.LittleEndian.Uint64(buf[32:]))
+	growth := int(binary.LittleEndian.Uint32(buf[40:]))
+	bufferEntries := int(binary.LittleEndian.Uint32(buf[44:]))
+	materialized := buf[48] == 1
+	seriesLen := int(binary.LittleEndian.Uint32(buf[49:]))
+	segments := int(binary.LittleEndian.Uint32(buf[53:]))
+	bits := int(binary.LittleEndian.Uint32(buf[57:]))
+	levelCount := int(binary.LittleEndian.Uint32(buf[61:]))
+
+	l.opts = Options{
+		Disk: disk,
+		Name: name,
+		Config: index.Config{
+			SeriesLen:    seriesLen,
+			Segments:     segments,
+			Bits:         bits,
+			Materialized: materialized,
+		},
+		GrowthFactor:  growth,
+		BufferEntries: bufferEntries,
+		Raw:           raw,
+	}
+	if err := l.opts.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("clsm: invalid persisted config: %w", err)
+	}
+	l.codec = l.opts.Config.Codec()
+
+	off := 65
+	var total int64
+	for lv := 0; lv < levelCount; lv++ {
+		if off+4 > len(buf) {
+			return nil, fmt.Errorf("clsm: meta truncated at level %d", lv)
+		}
+		runCount := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		var runs []run
+		for ri := 0; ri < runCount; ri++ {
+			if off+4 > len(buf) {
+				return nil, fmt.Errorf("clsm: meta truncated at level %d run %d", lv, ri)
+			}
+			nameLen := int(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+			if off+nameLen+8 > len(buf) {
+				return nil, fmt.Errorf("clsm: meta truncated in run name")
+			}
+			r := run{
+				file:  string(buf[off : off+nameLen]),
+				count: int64(binary.LittleEndian.Uint64(buf[off+nameLen:])),
+			}
+			off += nameLen + 8
+			if !disk.Exists(r.file) {
+				return nil, fmt.Errorf("clsm: run file %q missing", r.file)
+			}
+			total += r.count
+			runs = append(runs, r)
+		}
+		l.levels = append(l.levels, runs)
+	}
+	if total != l.count {
+		return nil, fmt.Errorf("clsm: persisted counts inconsistent: runs hold %d, meta says %d", total, l.count)
+	}
+	return l, nil
+}

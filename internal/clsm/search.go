@@ -1,0 +1,230 @@
+package clsm
+
+import (
+	"repro/internal/index"
+	"repro/internal/record"
+	"repro/internal/sortable"
+)
+
+// ApproxSearch answers an approximate k-NN query by probing each component:
+// the in-memory buffer is scanned outright, and in every on-disk run a
+// binary search over pages locates the query key's neighborhood, of which
+// one page is examined. Cost grows with the number of runs — the read side
+// of the LSM trade-off.
+func (l *LSM) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
+	col := index.NewCollector(k)
+	if err := l.scanBuffer(q, col, false); err != nil {
+		return nil, err
+	}
+	for _, r := range l.allRuns() {
+		if err := l.probeRun(r, q, col); err != nil {
+			return nil, err
+		}
+	}
+	return col.Results(), nil
+}
+
+// ExactSearch returns the true k nearest neighbors: the approximate answer
+// seeds the best-so-far bound, then the buffer and every run are scanned
+// sequentially with per-entry iSAX lower-bound pruning.
+func (l *LSM) ExactSearch(q index.Query, k int) ([]index.Result, error) {
+	approx, err := l.ApproxSearch(q, k)
+	if err != nil {
+		return nil, err
+	}
+	col := index.NewCollector(k)
+	for _, r := range approx {
+		col.Add(r)
+	}
+	if err := l.scanBuffer(q, col, true); err != nil {
+		return nil, err
+	}
+	for _, r := range l.allRuns() {
+		if err := l.scanRun(r, q, col); err != nil {
+			return nil, err
+		}
+	}
+	return col.Results(), nil
+}
+
+// scanBuffer evaluates in-memory entries; with prune set, entries are
+// filtered through the iSAX lower bound first.
+func (l *LSM) scanBuffer(q index.Query, col *index.Collector, prune bool) error {
+	for _, e := range l.buffer {
+		if !q.InWindow(e.TS) {
+			continue
+		}
+		bound := col.Worst()
+		if prune && l.opts.Config.MinDistKey(q.PAA, e.Key) >= bound {
+			continue
+		}
+		d, err := index.TrueDist(q, e, l.opts.Raw, bound)
+		if err != nil {
+			return err
+		}
+		col.Add(index.Result{ID: e.ID, TS: e.TS, Dist: d})
+	}
+	return nil
+}
+
+// probeRun binary-searches the run's pages for the query key and evaluates
+// the covering page.
+func (l *LSM) probeRun(r run, q index.Query, col *index.Collector) error {
+	perPage := l.opts.Disk.PageSize() / l.codec.Size()
+	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
+	if pages == 0 {
+		return nil
+	}
+	// Binary search over pages by first key.
+	lo, hi := 0, pages-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		first, err := l.firstKey(r, mid)
+		if err != nil {
+			return err
+		}
+		if q.Key.Less(first) {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	return l.evalPage(r, lo, q, col)
+}
+
+func (l *LSM) firstKey(r run, page int) (sortable.Key, error) {
+	if _, err := l.opts.Disk.ReadPage(r.file, int64(page), l.pageBuf); err != nil {
+		return sortable.Key{}, err
+	}
+	return record.DecodeKeyOnly(l.pageBuf), nil
+}
+
+// evalPage computes true distances for all in-window entries on one page of
+// a run. The page is assumed freshly read into pageBuf by firstKey when
+// called from probeRun; it re-reads to keep the logic self-contained (the
+// repeat read of the same page is accounted as buffered/sequential).
+func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector) error {
+	if _, err := l.opts.Disk.ReadPage(r.file, int64(page), l.pageBuf); err != nil {
+		return err
+	}
+	perPage := l.opts.Disk.PageSize() / l.codec.Size()
+	start := int64(page) * int64(perPage)
+	n := perPage
+	if rem := r.count - start; rem < int64(n) {
+		n = int(rem)
+	}
+	recSize := l.codec.Size()
+	cands := make([]record.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		e, err := l.codec.Decode(l.pageBuf[i*recSize : (i+1)*recSize])
+		if err != nil {
+			return err
+		}
+		if q.InWindow(e.TS) {
+			cands = append(cands, e)
+		}
+	}
+	_, err := index.EvalCandidates(q, cands, l.opts.Config, l.opts.Raw, col)
+	return err
+}
+
+// scanRun scans one run sequentially with lower-bound pruning, verifying
+// each page's surviving candidates in ascending lower-bound order.
+func (l *LSM) scanRun(r run, q index.Query, col *index.Collector) error {
+	perPage := l.opts.Disk.PageSize() / l.codec.Size()
+	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
+	recSize := l.codec.Size()
+	var cands []record.Entry
+	for p := 0; p < pages; p++ {
+		if _, err := l.opts.Disk.ReadPage(r.file, int64(p), l.pageBuf); err != nil {
+			return err
+		}
+		start := int64(p) * int64(perPage)
+		n := perPage
+		if rem := r.count - start; rem < int64(n) {
+			n = int(rem)
+		}
+		cands = cands[:0]
+		for i := 0; i < n; i++ {
+			rec := l.pageBuf[i*recSize : (i+1)*recSize]
+			if l.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) >= col.Worst() {
+				continue
+			}
+			e, err := l.codec.Decode(rec)
+			if err != nil {
+				return err
+			}
+			if !q.InWindow(e.TS) {
+				continue
+			}
+			cands = append(cands, e)
+		}
+		if _, err := index.EvalCandidates(q, cands, l.opts.Config, l.opts.Raw, col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RangeSearch returns every indexed series within Euclidean distance eps
+// of the query, scanning the buffer and every run with epsilon pruning.
+func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
+	col := index.NewRangeCollector(eps)
+	var buffered []record.Entry
+	for _, e := range l.buffer {
+		if q.InWindow(e.TS) {
+			buffered = append(buffered, e)
+		}
+	}
+	if err := index.EvalRangeCandidates(q, buffered, l.opts.Config, l.opts.Raw, col); err != nil {
+		return nil, err
+	}
+	for _, r := range l.allRuns() {
+		if err := l.rangeScanRun(r, q, col); err != nil {
+			return nil, err
+		}
+	}
+	return col.Results(), nil
+}
+
+func (l *LSM) rangeScanRun(r run, q index.Query, col *index.RangeCollector) error {
+	perPage := l.opts.Disk.PageSize() / l.codec.Size()
+	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
+	recSize := l.codec.Size()
+	var cands []record.Entry
+	for p := 0; p < pages; p++ {
+		if _, err := l.opts.Disk.ReadPage(r.file, int64(p), l.pageBuf); err != nil {
+			return err
+		}
+		start := int64(p) * int64(perPage)
+		n := perPage
+		if rem := r.count - start; rem < int64(n) {
+			n = int(rem)
+		}
+		cands = cands[:0]
+		for i := 0; i < n; i++ {
+			rec := l.pageBuf[i*recSize : (i+1)*recSize]
+			if l.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) > col.Bound() {
+				continue
+			}
+			e, err := l.codec.Decode(rec)
+			if err != nil {
+				return err
+			}
+			if !q.InWindow(e.TS) {
+				continue
+			}
+			cands = append(cands, e)
+		}
+		if err := index.EvalRangeCandidates(q, cands, l.opts.Config, l.opts.Raw, col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var (
+	_ index.Index         = (*LSM)(nil)
+	_ index.Inserter      = (*LSM)(nil)
+	_ index.RangeSearcher = (*LSM)(nil)
+)

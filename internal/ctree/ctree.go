@@ -1,0 +1,438 @@
+// Package ctree implements CoconutTree (CTree), the read-optimized index of
+// the Coconut infrastructure: a compact and contiguous B+-tree over sortable
+// summarizations, bulk-loaded bottom-up with two-pass external sorting.
+// Leaves live contiguously in a single file in key order, so index
+// construction and exact-search scans are sequential I/O. A configurable
+// leaf fill factor leaves slack for later inserts, trading space and scan
+// length for cheaper updates — the read/write knob the demo exposes.
+package ctree
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/extsort"
+	"repro/internal/index"
+	"repro/internal/record"
+	"repro/internal/series"
+	"repro/internal/sortable"
+	"repro/internal/storage"
+)
+
+// Options configures a CTree build.
+type Options struct {
+	Disk   *storage.Disk
+	Name   string       // file name prefix on the disk
+	Config index.Config // summarization shape; Materialized selects CTreeFull
+	// FillFactor is the fraction of each leaf page populated at build time,
+	// in (0,1]; the remainder is slack for inserts. Default 1.0 (fully
+	// packed, the read-optimal layout).
+	FillFactor float64
+	// MemBudget is the working memory for external sorting, in bytes.
+	// Default 1 MiB.
+	MemBudget int
+	// Raw is consulted by non-materialized searches to fetch original
+	// (z-normalized) series. Required unless Config.Materialized.
+	Raw series.RawStore
+}
+
+func (o *Options) setDefaults() error {
+	if o.Disk == nil {
+		return fmt.Errorf("ctree: Disk is required")
+	}
+	if o.Name == "" {
+		o.Name = "ctree"
+	}
+	if err := o.Config.Validate(); err != nil {
+		return err
+	}
+	if o.FillFactor == 0 {
+		o.FillFactor = 1.0
+	}
+	if o.FillFactor <= 0 || o.FillFactor > 1 {
+		return fmt.Errorf("ctree: FillFactor %v out of (0,1]", o.FillFactor)
+	}
+	if o.MemBudget <= 0 {
+		o.MemBudget = 1 << 20
+	}
+	return nil
+}
+
+// leaf is the in-memory directory entry for one on-disk leaf page. The
+// directory plays the role of the B+-tree's internal levels; with thousands
+// of entries per page the internal levels always fit in memory, as in the
+// paper's implementation.
+type leaf struct {
+	minKey sortable.Key // smallest key in the leaf
+	count  int          // live entries in the page
+}
+
+// Tree is a built CoconutTree.
+type Tree struct {
+	opts     Options
+	codec    record.Codec
+	leafFile string
+	leaves   []leaf
+	// pageOf maps directory position (key order) to physical page number.
+	// It is nil while the bulk-loaded identity mapping holds and is
+	// materialized by the first split, whose appended page breaks it.
+	pageOf   []int64
+	capacity int   // max entries per leaf page
+	target   int   // entries per leaf at build time (fill factor applied)
+	count    int64 // total entries
+	nextID64 int64 // next auto-assigned insert ID
+	pageBuf  []byte
+}
+
+func (t *Tree) nextID() int64 {
+	id := t.nextID64
+	t.nextID64++
+	return id
+}
+
+// Name implements index.Index; "CTree" or "CTreeFull" when materialized.
+func (t *Tree) Name() string {
+	if t.opts.Config.Materialized {
+		return "CTreeFull"
+	}
+	return "CTree"
+}
+
+// Count returns the number of indexed series.
+func (t *Tree) Count() int64 { return t.count }
+
+// Config returns the summarization configuration the tree was built with.
+func (t *Tree) Config() index.Config { return t.opts.Config }
+
+// Leaves returns the number of leaf pages (the index footprint in pages).
+func (t *Tree) Leaves() int { return len(t.leaves) }
+
+// Build constructs a CTree over all series in src, assigning IDs 0..n-1 in
+// source order and timestamp ts to every entry. Construction is bottom-up:
+// summarize sequentially, external-sort, then pack leaves contiguously.
+func Build(opts Options, src series.RawStore, ts int64) (*Tree, error) {
+	return BuildTS(opts, src, func(int) int64 { return ts })
+}
+
+// BuildTS is Build with a per-ID timestamp function (used by the streaming
+// schemes to stamp entries with arrival time).
+func BuildTS(opts Options, src series.RawStore, tsOf func(id int) int64) (*Tree, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		opts:    opts,
+		codec:   opts.Config.Codec(),
+		pageBuf: make([]byte, opts.Disk.PageSize()),
+	}
+	perPage := opts.Disk.PageSize() / t.codec.Size()
+	if perPage < 1 {
+		return nil, fmt.Errorf("ctree: entry size %d exceeds page size %d", t.codec.Size(), opts.Disk.PageSize())
+	}
+	t.capacity = perPage
+	t.target = int(math.Max(1, math.Floor(float64(perPage)*opts.FillFactor)))
+
+	// Pass 0: summarize every series into an unsorted entry file
+	// (sequential read of the source, sequential write of entries).
+	unsorted := opts.Name + ".unsorted"
+	w, err := storage.NewRecordWriter(opts.Disk, unsorted, t.codec.Size())
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, t.codec.Size())
+	n := src.Count()
+	for id := 0; id < n; id++ {
+		s, err := src.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		key, z := opts.Config.Summarize(s)
+		e := record.Entry{Key: key, ID: int64(id), TS: tsOf(id)}
+		if opts.Config.Materialized {
+			e.Payload = z
+		}
+		buf = buf[:0]
+		if buf, err = t.codec.Append(buf, e); err != nil {
+			return nil, err
+		}
+		if err := w.Write(buf); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+
+	// Passes 1..2: two-pass external sort.
+	sorter := &extsort.Sorter{Disk: opts.Disk, Codec: t.codec, MemBudget: opts.MemBudget, TmpPrefix: opts.Name + ".sort"}
+	sorted := opts.Name + ".sorted"
+	if _, err := sorter.Sort(unsorted, int64(n), sorted); err != nil {
+		return nil, err
+	}
+	if err := opts.Disk.Remove(unsorted); err != nil {
+		return nil, err
+	}
+
+	// Final pass: pack leaves at the fill factor, sequential write.
+	if err := t.packLeaves(sorted, int64(n)); err != nil {
+		return nil, err
+	}
+	if err := opts.Disk.Remove(sorted); err != nil {
+		return nil, err
+	}
+	t.nextID64 = int64(n)
+	return t, nil
+}
+
+// BuildFromEntries bulk-loads a tree from an already-sorted entry file
+// (used by the streaming partitions, whose flushes are pre-sorted). The
+// input file is consumed (removed).
+func BuildFromEntries(opts Options, sortedFile string, n int64) (*Tree, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		opts:    opts,
+		codec:   opts.Config.Codec(),
+		pageBuf: make([]byte, opts.Disk.PageSize()),
+	}
+	perPage := opts.Disk.PageSize() / t.codec.Size()
+	if perPage < 1 {
+		return nil, fmt.Errorf("ctree: entry size %d exceeds page size %d", t.codec.Size(), opts.Disk.PageSize())
+	}
+	t.capacity = perPage
+	t.target = int(math.Max(1, math.Floor(float64(perPage)*opts.FillFactor)))
+	if err := t.packLeaves(sortedFile, n); err != nil {
+		return nil, err
+	}
+	t.nextID64 = n
+	return t, opts.Disk.Remove(sortedFile)
+}
+
+func (t *Tree) packLeaves(sorted string, n int64) error {
+	t.leafFile = t.opts.Name + ".leaves"
+	if err := t.opts.Disk.Create(t.leafFile); err != nil {
+		return err
+	}
+	r, err := storage.NewRecordReader(t.opts.Disk, sorted, t.codec.Size(), n)
+	if err != nil {
+		return err
+	}
+	recSize := t.codec.Size()
+	pageSize := t.opts.Disk.PageSize()
+	// Leaf pages are assembled in a write-behind chunk and appended in
+	// batches, keeping the leaf file write stream sequential even though it
+	// interleaves with reads of the sorted input.
+	const chunkPages = 16
+	chunk := make([]byte, 0, chunkPages*pageSize)
+	page := make([]byte, pageSize)
+	inPage := 0
+	var first sortable.Key
+	flushChunk := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if _, err := t.opts.Disk.AppendPages(t.leafFile, chunk); err != nil {
+			return err
+		}
+		chunk = chunk[:0]
+		return nil
+	}
+	closeLeaf := func() error {
+		if inPage == 0 {
+			return nil
+		}
+		for i := inPage * recSize; i < pageSize; i++ {
+			page[i] = 0
+		}
+		chunk = append(chunk, page...)
+		t.leaves = append(t.leaves, leaf{minKey: first, count: inPage})
+		inPage = 0
+		if len(chunk) >= chunkPages*pageSize {
+			return flushChunk()
+		}
+		return nil
+	}
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if inPage == 0 {
+			first = record.DecodeKeyOnly(rec)
+		}
+		copy(page[inPage*recSize:], rec)
+		inPage++
+		t.count++
+		if inPage == t.target {
+			if err := closeLeaf(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := closeLeaf(); err != nil {
+		return err
+	}
+	return flushChunk()
+}
+
+// findLeaf returns the index of the leaf whose key range contains k: the
+// last leaf with minKey <= k (or 0).
+func (t *Tree) findLeaf(k sortable.Key) int {
+	i := sort.Search(len(t.leaves), func(i int) bool { return k.Less(t.leaves[i].minKey) })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// readLeaf decodes all live entries of leaf li. The returned entries share
+// no storage with the page buffer.
+func (t *Tree) readLeaf(li int) ([]record.Entry, error) {
+	if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), t.pageBuf); err != nil {
+		return nil, err
+	}
+	recSize := t.codec.Size()
+	out := make([]record.Entry, 0, t.leaves[li].count)
+	for i := 0; i < t.leaves[li].count; i++ {
+		e, err := t.codec.Decode(t.pageBuf[i*recSize : (i+1)*recSize])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Insert adds one series top-down: locate the target leaf by key, insert in
+// place if the fill-factor slack allows, otherwise split the leaf. Splits
+// append the new page at the end of the file, eroding contiguity — exactly
+// the degradation the fill-factor knob trades against.
+func (t *Tree) Insert(s series.Series, ts int64) error {
+	key, z := t.opts.Config.Summarize(s)
+	e := record.Entry{Key: key, ID: t.nextID(), TS: ts}
+	if t.opts.Config.Materialized {
+		e.Payload = z
+	}
+	return t.InsertEntry(e)
+}
+
+// InsertEntry adds a pre-summarized entry with caller-controlled ID — used
+// by the streaming schemes, which summarize once and own global IDs.
+func (t *Tree) InsertEntry(e record.Entry) error {
+	if e.ID >= t.nextID64 {
+		t.nextID64 = e.ID + 1
+	}
+	if len(t.leaves) == 0 {
+		return t.insertEntryIntoEmpty(e)
+	}
+	li := t.findLeaf(e.Key)
+	entries, err := t.readLeaf(li)
+	if err != nil {
+		return err
+	}
+	pos := sort.Search(len(entries), func(i int) bool { return e.Less(entries[i]) })
+	entries = append(entries, record.Entry{})
+	copy(entries[pos+1:], entries[pos:])
+	entries[pos] = e
+
+	if len(entries) <= t.capacity {
+		if err := t.writeLeaf(li, entries); err != nil {
+			return err
+		}
+		t.count++
+		return nil
+	}
+	// Split: the low half stays in place; the high half becomes a new leaf
+	// appended at the end of the file. The directory stays in key order,
+	// so the page map diverges from the identity mapping here.
+	t.ensurePageMap()
+	mid := len(entries) / 2
+	if err := t.writeLeaf(li, entries[:mid]); err != nil {
+		return err
+	}
+	hi := entries[mid:]
+	page, n, err := t.encodePage(hi)
+	if err != nil {
+		return err
+	}
+	newPage, err := t.opts.Disk.AppendPage(t.leafFile, page[:n])
+	if err != nil {
+		return err
+	}
+	t.leaves = append(t.leaves, leaf{})
+	copy(t.leaves[li+2:], t.leaves[li+1:])
+	t.leaves[li+1] = leaf{minKey: hi[0].Key, count: len(hi)}
+	t.pageOf = append(t.pageOf, 0)
+	copy(t.pageOf[li+2:], t.pageOf[li+1:])
+	t.pageOf[li+1] = newPage
+	t.count++
+	return nil
+}
+
+func (t *Tree) insertEntryIntoEmpty(e record.Entry) error {
+	page, n, err := t.encodePage([]record.Entry{e})
+	if err != nil {
+		return err
+	}
+	if t.leafFile == "" {
+		t.leafFile = t.opts.Name + ".leaves"
+		if err := t.opts.Disk.Create(t.leafFile); err != nil {
+			return err
+		}
+	}
+	if _, err := t.opts.Disk.AppendPage(t.leafFile, page[:n]); err != nil {
+		return err
+	}
+	t.leaves = append(t.leaves, leaf{minKey: e.Key, count: 1})
+	t.count++
+	return nil
+}
+
+func (t *Tree) encodePage(entries []record.Entry) ([]byte, int, error) {
+	recSize := t.codec.Size()
+	page := make([]byte, t.opts.Disk.PageSize())
+	for i, e := range entries {
+		buf, err := t.codec.Encode(e)
+		if err != nil {
+			return nil, 0, err
+		}
+		copy(page[i*recSize:], buf)
+	}
+	return page, len(entries) * recSize, nil
+}
+
+func (t *Tree) writeLeaf(li int, entries []record.Entry) error {
+	page, n, err := t.encodePage(entries)
+	if err != nil {
+		return err
+	}
+	if err := t.opts.Disk.WritePage(t.leafFile, t.pageNum(li), page[:n]); err != nil {
+		return err
+	}
+	t.leaves[li].count = len(entries)
+	t.leaves[li].minKey = entries[0].Key
+	return nil
+}
+
+func (t *Tree) pageNum(li int) int64 {
+	if t.pageOf == nil {
+		return int64(li)
+	}
+	return t.pageOf[li]
+}
+
+// ensurePageMap materializes the identity page map before the first split.
+func (t *Tree) ensurePageMap() {
+	if t.pageOf == nil {
+		t.pageOf = make([]int64, len(t.leaves))
+		for i := range t.pageOf {
+			t.pageOf[i] = int64(i)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package ctree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/index"
+	"repro/internal/series"
+	"repro/internal/sortable"
+	"repro/internal/storage"
+)
+
+// Metadata format (stored on the same disk as the leaves, in
+// "<name>.meta"):
+//
+//	magic "CTREEMTA" | version u32 | payload length u64
+//	count u64 | nextID u64 | capacity u32 | target u32 | fill f64-bits u64
+//	materialized u8 | seriesLen u32 | segments u32 | bits u32
+//	leafCount u32 | per leaf: minKey 16B | count u32 | page u64
+const (
+	metaMagic   = "CTREEMTA"
+	metaVersion = 1
+)
+
+// Save persists the tree's directory metadata to "<name>.meta" on its
+// disk, so the tree can be reopened (together with the disk snapshot) via
+// Open. An existing meta file is replaced.
+func (t *Tree) Save() error {
+	name := t.opts.Name + ".meta"
+	if t.opts.Disk.Exists(name) {
+		if err := t.opts.Disk.Remove(name); err != nil {
+			return err
+		}
+	}
+	payload := t.encodeMeta()
+	head := make([]byte, 0, len(metaMagic)+12+len(payload))
+	head = append(head, metaMagic...)
+	head = binary.LittleEndian.AppendUint32(head, metaVersion)
+	head = binary.LittleEndian.AppendUint64(head, uint64(len(payload)))
+	head = append(head, payload...)
+	if err := t.opts.Disk.Create(name); err != nil {
+		return err
+	}
+	_, err := t.opts.Disk.AppendPages(name, head)
+	return err
+}
+
+func (t *Tree) encodeMeta() []byte {
+	buf := make([]byte, 0, 64+len(t.leaves)*28)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.count))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(t.nextID64))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.capacity))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.target))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.opts.FillFactor))
+	if t.opts.Config.Materialized {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.opts.Config.SeriesLen))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.opts.Config.Segments))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.opts.Config.Bits))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.leaves)))
+	for i, l := range t.leaves {
+		buf = l.minKey.AppendBinary(buf)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(l.count))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.pageNum(i)))
+	}
+	return buf
+}
+
+// Open reconstructs a saved tree from a disk holding "<name>.leaves" and
+// "<name>.meta". The caller supplies the Disk and (for non-materialized
+// trees) the Raw store; all structural parameters are restored from the
+// metadata and validated against opts.Config when that is non-zero.
+func Open(disk *storage.Disk, name string, raw series.RawStore) (*Tree, error) {
+	if disk == nil {
+		return nil, fmt.Errorf("ctree: Disk is required")
+	}
+	if name == "" {
+		name = "ctree"
+	}
+	metaName := name + ".meta"
+	npages, err := disk.NumPages(metaName)
+	if err != nil {
+		return nil, fmt.Errorf("ctree: opening %q: %w", metaName, err)
+	}
+	raw2 := make([]byte, int(npages)*disk.PageSize())
+	if _, err := disk.ReadPages(metaName, 0, int(npages), raw2); err != nil {
+		return nil, err
+	}
+	if len(raw2) < len(metaMagic)+12 {
+		return nil, fmt.Errorf("ctree: meta file too short")
+	}
+	if string(raw2[:len(metaMagic)]) != metaMagic {
+		return nil, fmt.Errorf("ctree: bad meta magic %q", raw2[:len(metaMagic)])
+	}
+	off := len(metaMagic)
+	if v := binary.LittleEndian.Uint32(raw2[off:]); v != metaVersion {
+		return nil, fmt.Errorf("ctree: unsupported meta version %d", v)
+	}
+	off += 4
+	plen := int(binary.LittleEndian.Uint64(raw2[off:]))
+	off += 8
+	if off+plen > len(raw2) {
+		return nil, fmt.Errorf("ctree: truncated meta payload: want %d bytes", plen)
+	}
+	return decodeMeta(disk, name, raw2[off:off+plen], raw)
+}
+
+func decodeMeta(disk *storage.Disk, name string, buf []byte, raw series.RawStore) (*Tree, error) {
+	const fixed = 8 + 8 + 4 + 4 + 8 + 1 + 4 + 4 + 4 + 4
+	if len(buf) < fixed {
+		return nil, fmt.Errorf("ctree: meta payload too short: %d", len(buf))
+	}
+	t := &Tree{pageBuf: make([]byte, disk.PageSize())}
+	t.count = int64(binary.LittleEndian.Uint64(buf))
+	t.nextID64 = int64(binary.LittleEndian.Uint64(buf[8:]))
+	t.capacity = int(binary.LittleEndian.Uint32(buf[16:]))
+	t.target = int(binary.LittleEndian.Uint32(buf[20:]))
+	fill := math.Float64frombits(binary.LittleEndian.Uint64(buf[24:]))
+	materialized := buf[32] == 1
+	seriesLen := int(binary.LittleEndian.Uint32(buf[33:]))
+	segments := int(binary.LittleEndian.Uint32(buf[37:]))
+	bits := int(binary.LittleEndian.Uint32(buf[41:]))
+	leafCount := int(binary.LittleEndian.Uint32(buf[45:]))
+
+	t.opts = Options{
+		Disk: disk,
+		Name: name,
+		Config: index.Config{
+			SeriesLen:    seriesLen,
+			Segments:     segments,
+			Bits:         bits,
+			Materialized: materialized,
+		},
+		FillFactor: fill,
+		Raw:        raw,
+	}
+	if err := t.opts.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("ctree: invalid persisted config: %w", err)
+	}
+	t.codec = t.opts.Config.Codec()
+	t.leafFile = name + ".leaves"
+	if !disk.Exists(t.leafFile) {
+		return nil, fmt.Errorf("ctree: leaf file %q missing", t.leafFile)
+	}
+
+	const perLeaf = sortable.KeyBytes + 4 + 8
+	rest := buf[49:]
+	if len(rest) < leafCount*perLeaf {
+		return nil, fmt.Errorf("ctree: meta truncated: %d leaves need %d bytes, have %d",
+			leafCount, leafCount*perLeaf, len(rest))
+	}
+	identity := true
+	t.leaves = make([]leaf, leafCount)
+	pages := make([]int64, leafCount)
+	var total int64
+	for i := 0; i < leafCount; i++ {
+		rec := rest[i*perLeaf:]
+		t.leaves[i] = leaf{
+			minKey: sortable.DecodeKey(rec),
+			count:  int(binary.LittleEndian.Uint32(rec[sortable.KeyBytes:])),
+		}
+		pages[i] = int64(binary.LittleEndian.Uint64(rec[sortable.KeyBytes+4:]))
+		if pages[i] != int64(i) {
+			identity = false
+		}
+		total += int64(t.leaves[i].count)
+		if i > 0 && t.leaves[i].minKey.Less(t.leaves[i-1].minKey) {
+			return nil, fmt.Errorf("ctree: persisted directory out of order at leaf %d", i)
+		}
+	}
+	if total != t.count {
+		return nil, fmt.Errorf("ctree: persisted counts inconsistent: leaves hold %d, meta says %d", total, t.count)
+	}
+	if !identity {
+		t.pageOf = pages
+	}
+	return t, nil
+}

@@ -1,0 +1,146 @@
+package ctree
+
+import (
+	"repro/internal/index"
+	"repro/internal/record"
+)
+
+// ApproxSearch answers an approximate k-NN query by descending to the leaf
+// that covers the query's sortable key and scanning it (plus neighboring
+// leaves until k candidates are seen). This is the cheap, no-guarantee
+// search of the demo: one or two page reads.
+func (t *Tree) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
+	col := index.NewCollector(k)
+	if len(t.leaves) == 0 {
+		return col.Results(), nil
+	}
+	center := t.findLeaf(q.Key)
+	// Scan the covering leaf, then alternate outward until k candidates
+	// have been evaluated (fill-factor slack or windows can leave leaves
+	// short).
+	seen, err := t.scanLeafInto(center, q, col)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := center, center
+	for seen < k && (lo > 0 || hi < len(t.leaves)-1) {
+		if lo > 0 {
+			lo--
+			n, err := t.scanLeafInto(lo, q, col)
+			if err != nil {
+				return nil, err
+			}
+			seen += n
+		}
+		if seen < k && hi < len(t.leaves)-1 {
+			hi++
+			n, err := t.scanLeafInto(hi, q, col)
+			if err != nil {
+				return nil, err
+			}
+			seen += n
+		}
+	}
+	return col.Results(), nil
+}
+
+func (t *Tree) scanLeafInto(li int, q index.Query, col *index.Collector) (int, error) {
+	entries, err := t.readLeaf(li)
+	if err != nil {
+		return 0, err
+	}
+	inWin := entries[:0:0]
+	for _, e := range entries {
+		if q.InWindow(e.TS) {
+			inWin = append(inWin, e)
+		}
+	}
+	n, err := index.EvalCandidates(q, inWin, t.opts.Config, t.opts.Raw, col)
+	return n, err
+}
+
+// ExactSearch returns the true k nearest neighbors. It first runs
+// ApproxSearch to seed the best-so-far bound, then scans the entire leaf
+// file sequentially, pruning every entry whose iSAX lower bound meets the
+// bound; only survivors pay for a true distance (an inline payload read, or
+// a random raw-file fetch when non-materialized). The sequential scan over
+// a compact, contiguous file is exactly the access pattern Coconut's
+// sortable layout buys.
+func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
+	col := index.NewCollector(k)
+	if len(t.leaves) == 0 {
+		return col.Results(), nil
+	}
+	approx, err := t.ApproxSearch(q, k)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range approx {
+		col.Add(r)
+	}
+	recSize := t.codec.Size()
+	var cands []record.Entry
+	for li := range t.leaves {
+		if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), t.pageBuf); err != nil {
+			return nil, err
+		}
+		cands = cands[:0]
+		for i := 0; i < t.leaves[li].count; i++ {
+			rec := t.pageBuf[i*recSize : (i+1)*recSize]
+			// Cheap reject on the raw key before decoding the entry.
+			if t.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) >= col.Worst() {
+				continue
+			}
+			e, err := t.codec.Decode(rec)
+			if err != nil {
+				return nil, err
+			}
+			if !q.InWindow(e.TS) {
+				continue
+			}
+			cands = append(cands, e)
+		}
+		if _, err := index.EvalCandidates(q, cands, t.opts.Config, t.opts.Raw, col); err != nil {
+			return nil, err
+		}
+	}
+	return col.Results(), nil
+}
+
+// RangeSearch returns every indexed series within Euclidean distance eps
+// of the query: one sequential pruned scan of the leaf file.
+func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
+	col := index.NewRangeCollector(eps)
+	recSize := t.codec.Size()
+	var cands []record.Entry
+	for li := range t.leaves {
+		if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), t.pageBuf); err != nil {
+			return nil, err
+		}
+		cands = cands[:0]
+		for i := 0; i < t.leaves[li].count; i++ {
+			rec := t.pageBuf[i*recSize : (i+1)*recSize]
+			if t.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) > eps {
+				continue
+			}
+			e, err := t.codec.Decode(rec)
+			if err != nil {
+				return nil, err
+			}
+			if !q.InWindow(e.TS) {
+				continue
+			}
+			cands = append(cands, e)
+		}
+		if err := index.EvalRangeCandidates(q, cands, t.opts.Config, t.opts.Raw, col); err != nil {
+			return nil, err
+		}
+	}
+	return col.Results(), nil
+}
+
+var (
+	_ index.Index         = (*Tree)(nil)
+	_ index.Inserter      = (*Tree)(nil)
+	_ index.RangeSearcher = (*Tree)(nil)
+)

@@ -1,0 +1,294 @@
+// Package extsort implements the two-pass external merge sort at the heart
+// of Coconut's bottom-up index construction. Phase one streams the unsorted
+// entry file through a bounded in-memory buffer, emitting sorted runs with
+// sequential writes; phase two k-way-merges the runs (multi-pass when the
+// fan-in exceeds the memory budget) with sequential reads and writes. This
+// is what lets Coconut build a compact, contiguous index without the
+// random I/O of top-down insertion.
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/record"
+	"repro/internal/storage"
+)
+
+// Sorter sorts entry files on a Disk under a fixed memory budget.
+type Sorter struct {
+	Disk      *storage.Disk
+	Codec     record.Codec
+	MemBudget int    // bytes of working memory for buffering entries
+	TmpPrefix string // prefix for temporary run files (default "extsort")
+}
+
+// MinMemBudget is the smallest workable budget: room for a handful of
+// entries and two merge pages.
+func (s *Sorter) minEntries() int {
+	n := s.MemBudget / s.Codec.Size()
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+func (s *Sorter) tmpName(pass, i int) string {
+	p := s.TmpPrefix
+	if p == "" {
+		p = "extsort"
+	}
+	return fmt.Sprintf("%s.p%d.r%d", p, pass, i)
+}
+
+// Sort reads count entries from the input file and writes them in (Key, ID)
+// order to the output file (created by the sort; it must not exist). The
+// input file is left intact. Returns the number of merge passes used
+// (0 = input fit in memory, 1 = classic two-pass, >1 = constrained memory).
+func (s *Sorter) Sort(input string, count int64, output string) (passes int, err error) {
+	if count == 0 {
+		w, err := storage.NewRecordWriter(s.Disk, output, s.Codec.Size())
+		if err != nil {
+			return 0, err
+		}
+		return 0, w.Close()
+	}
+
+	// Phase 1: produce sorted runs.
+	bufEntries := s.minEntries()
+	reader, err := storage.NewRecordReader(s.Disk, input, s.Codec.Size(), count)
+	if err != nil {
+		return 0, err
+	}
+	var runs []runInfo
+	entries := make([]record.Entry, 0, bufEntries)
+	flush := func() error {
+		if len(entries) == 0 {
+			return nil
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Less(entries[j]) })
+		name := s.tmpName(0, len(runs))
+		if err := s.writeRun(name, entries); err != nil {
+			return err
+		}
+		runs = append(runs, runInfo{name: name, count: int64(len(entries))})
+		entries = entries[:0]
+		return nil
+	}
+	for {
+		rec, err := reader.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		e, err := s.Codec.Decode(rec)
+		if err != nil {
+			return 0, err
+		}
+		entries = append(entries, e)
+		if len(entries) == bufEntries {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+
+	// Single run: it is already the answer.
+	if len(runs) == 1 {
+		return 0, s.Disk.Rename(runs[0].name, output)
+	}
+
+	// Phase 2: k-way merge passes. Fan-in is bounded by how many run pages
+	// fit in the memory budget (at least 2).
+	fanIn := s.MemBudget / s.Disk.PageSize()
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	pass := 1
+	for len(runs) > 1 {
+		var next []runInfo
+		for i := 0; i < len(runs); i += fanIn {
+			group := runs[i:min(i+fanIn, len(runs))]
+			var name string
+			if len(runs) <= fanIn {
+				name = output // final merge writes the output directly
+			} else {
+				name = s.tmpName(pass, len(next))
+			}
+			merged, err := s.merge(group, name)
+			if err != nil {
+				return passes, err
+			}
+			next = append(next, merged)
+		}
+		for _, r := range runs {
+			if err := s.Disk.Remove(r.name); err != nil {
+				return passes, err
+			}
+		}
+		runs = next
+		passes = pass
+		pass++
+	}
+	return passes, nil
+}
+
+type runInfo struct {
+	name  string
+	count int64
+}
+
+func (s *Sorter) writeRun(name string, entries []record.Entry) error {
+	w, err := storage.NewRecordWriter(s.Disk, name, s.Codec.Size())
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, s.Codec.Size())
+	for _, e := range entries {
+		buf = buf[:0]
+		buf, err = s.Codec.Append(buf, e)
+		if err != nil {
+			return err
+		}
+		if err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// merge performs a single k-way merge of the given runs into a new file.
+// The memory budget is split into per-run read-ahead buffers plus a
+// write-behind buffer, so each stream moves the head once per chunk — the
+// I/O discipline that makes external merging sequential.
+func (s *Sorter) merge(runs []runInfo, outName string) (runInfo, error) {
+	bufPages := s.MemBudget / s.Disk.PageSize() / (len(runs) + 1)
+	if bufPages < 1 {
+		bufPages = 1
+	}
+	w, err := storage.NewRecordWriterBuffered(s.Disk, outName, s.Codec.Size(), bufPages)
+	if err != nil {
+		return runInfo{}, err
+	}
+	h := &mergeHeap{}
+	for i, r := range runs {
+		rd, err := storage.NewRecordReaderBuffered(s.Disk, r.name, s.Codec.Size(), r.count, bufPages)
+		if err != nil {
+			return runInfo{}, err
+		}
+		src := &mergeSource{reader: rd, codec: s.Codec, idx: i}
+		ok, err := src.advance()
+		if err != nil {
+			return runInfo{}, err
+		}
+		if ok {
+			h.items = append(h.items, src)
+		}
+	}
+	heap.Init(h)
+	buf := make([]byte, 0, s.Codec.Size())
+	var total int64
+	for h.Len() > 0 {
+		src := h.items[0]
+		buf = buf[:0]
+		buf, err = s.Codec.Append(buf, src.cur)
+		if err != nil {
+			return runInfo{}, err
+		}
+		if err := w.Write(buf); err != nil {
+			return runInfo{}, err
+		}
+		total++
+		ok, err := src.advance()
+		if err != nil {
+			return runInfo{}, err
+		}
+		if ok {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return runInfo{}, err
+	}
+	return runInfo{name: outName, count: total}, nil
+}
+
+type mergeSource struct {
+	reader *storage.RecordReader
+	codec  record.Codec
+	cur    record.Entry
+	idx    int
+}
+
+func (m *mergeSource) advance() (bool, error) {
+	rec, err := m.reader.Next()
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	m.cur, err = m.codec.Decode(rec)
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+type mergeHeap struct {
+	items []*mergeSource
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.cur.Less(b.cur) {
+		return true
+	}
+	if b.cur.Less(a.cur) {
+		return false
+	}
+	return a.idx < b.idx // stable across sources
+}
+func (h *mergeHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x any)    { h.items = append(h.items, x.(*mergeSource)) }
+func (h *mergeHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// MergeSorted merges already-sorted entry files (for example CLSM runs or
+// BTP partitions) into a single sorted output file. Inputs are left intact.
+func (s *Sorter) MergeSorted(inputs []string, counts []int64, output string) (int64, error) {
+	if len(inputs) != len(counts) {
+		return 0, fmt.Errorf("extsort: %d inputs but %d counts", len(inputs), len(counts))
+	}
+	runs := make([]runInfo, len(inputs))
+	for i := range inputs {
+		runs[i] = runInfo{name: inputs[i], count: counts[i]}
+	}
+	merged, err := s.merge(runs, output)
+	if err != nil {
+		return 0, err
+	}
+	return merged.count, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

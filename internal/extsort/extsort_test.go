@@ -1,0 +1,353 @@
+package extsort
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/record"
+	"repro/internal/sortable"
+	"repro/internal/storage"
+)
+
+func writeUnsorted(t *testing.T, d *storage.Disk, name string, c record.Codec, n int, seed int64) []record.Entry {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	w, err := storage.NewRecordWriter(d, name, c.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]record.Entry, n)
+	for i := range entries {
+		entries[i] = record.Entry{
+			Key: sortable.Key{Hi: rng.Uint64(), Lo: rng.Uint64()},
+			ID:  int64(i),
+			TS:  int64(rng.Intn(1000)),
+		}
+		buf, err := c.Encode(entries[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+func readAll(t *testing.T, d *storage.Disk, name string, c record.Codec, n int64) []record.Entry {
+	t.Helper()
+	r, err := storage.NewRecordReader(d, name, c.Size(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []record.Entry
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := c.Decode(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func checkSorted(t *testing.T, entries []record.Entry) {
+	t.Helper()
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Less(entries[i-1]) {
+			t.Fatalf("output not sorted at %d", i)
+		}
+	}
+}
+
+func TestSortInMemoryFit(t *testing.T) {
+	d := storage.NewDisk(512)
+	c := record.Codec{}
+	want := writeUnsorted(t, d, "in", c, 100, 1)
+	s := &Sorter{Disk: d, Codec: c, MemBudget: 1 << 20}
+	passes, err := s.Sort("in", 100, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes != 0 {
+		t.Errorf("passes = %d, want 0 (fit in memory)", passes)
+	}
+	got := readAll(t, d, "out", c, 100)
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	checkSorted(t, got)
+	// Same multiset: IDs are unique so check the ID set.
+	seen := make(map[int64]bool)
+	for _, e := range got {
+		seen[e.ID] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("entries lost or duplicated")
+	}
+}
+
+func TestSortTwoPass(t *testing.T) {
+	d := storage.NewDisk(512)
+	c := record.Codec{}
+	const n = 5000
+	writeUnsorted(t, d, "in", c, n, 2)
+	// Budget for ~200 entries -> 25 runs, fan-in 12 -> 2 merge passes max.
+	s := &Sorter{Disk: d, Codec: c, MemBudget: 200 * c.Size()}
+	passes, err := s.Sort("in", n, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes < 1 {
+		t.Errorf("passes = %d, want >=1", passes)
+	}
+	got := readAll(t, d, "out", c, n)
+	if len(got) != n {
+		t.Fatalf("got %d entries, want %d", len(got), n)
+	}
+	checkSorted(t, got)
+	// Temporary run files must be cleaned up.
+	for _, f := range d.Files() {
+		if f != "in" && f != "out" {
+			t.Errorf("leftover temp file %q", f)
+		}
+	}
+}
+
+func TestSortTinyMemoryMultiPass(t *testing.T) {
+	d := storage.NewDisk(128)
+	c := record.Codec{}
+	const n = 2000
+	writeUnsorted(t, d, "in", c, n, 3)
+	s := &Sorter{Disk: d, Codec: c, MemBudget: 1} // degenerate: 4-entry runs, fan-in 2
+	passes, err := s.Sort("in", n, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passes < 2 {
+		t.Errorf("passes = %d, want multi-pass under tiny memory", passes)
+	}
+	got := readAll(t, d, "out", c, n)
+	if len(got) != n {
+		t.Fatalf("got %d, want %d", len(got), n)
+	}
+	checkSorted(t, got)
+}
+
+func TestSortEmpty(t *testing.T) {
+	d := storage.NewDisk(512)
+	c := record.Codec{}
+	writeUnsorted(t, d, "in", c, 0, 4)
+	s := &Sorter{Disk: d, Codec: c, MemBudget: 1 << 10}
+	if _, err := s.Sort("in", 0, "out"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, d, "out", c, 0); len(got) != 0 {
+		t.Fatalf("expected empty output, got %d", len(got))
+	}
+}
+
+func TestSortMaterialized(t *testing.T) {
+	d := storage.NewDisk(4096)
+	c := record.Codec{SeriesLen: 16, Materialized: true}
+	rng := rand.New(rand.NewSource(5))
+	w, err := storage.NewRecordWriter(d, "in", c.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		payload := make([]float64, 16)
+		for j := range payload {
+			payload[j] = rng.NormFloat64()
+		}
+		e := record.Entry{Key: sortable.Key{Hi: rng.Uint64()}, ID: int64(i), Payload: payload}
+		buf, _ := c.Encode(e)
+		if err := w.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	s := &Sorter{Disk: d, Codec: c, MemBudget: 50 * c.Size()}
+	if _, err := s.Sort("in", n, "out"); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, d, "out", c, n)
+	checkSorted(t, got)
+	for _, e := range got {
+		if len(e.Payload) != 16 {
+			t.Fatal("payload lost in sort")
+		}
+	}
+}
+
+func TestSortIsStableByID(t *testing.T) {
+	// Entries with equal keys must come out ordered by ID (Less ties on ID).
+	d := storage.NewDisk(256)
+	c := record.Codec{}
+	w, _ := storage.NewRecordWriter(d, "in", c.Size())
+	rng := rand.New(rand.NewSource(6))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		e := record.Entry{Key: sortable.Key{Hi: uint64(rng.Intn(3))}, ID: int64(i)}
+		buf, _ := c.Encode(e)
+		w.Write(buf)
+	}
+	w.Close()
+	s := &Sorter{Disk: d, Codec: c, MemBudget: 64 * c.Size()}
+	if _, err := s.Sort("in", n, "out"); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, d, "out", c, n)
+	for i := 1; i < len(got); i++ {
+		if got[i].Key == got[i-1].Key && got[i].ID <= got[i-1].ID {
+			t.Fatalf("equal keys not ordered by ID at %d", i)
+		}
+	}
+}
+
+func TestSortSequentialIODominates(t *testing.T) {
+	// The point of external sorting: I/O should be overwhelmingly sequential.
+	d := storage.NewDisk(512)
+	c := record.Codec{}
+	const n = 20000
+	writeUnsorted(t, d, "in", c, n, 7)
+	d.ResetStats()
+	// A realistic budget (~10% of the data) keeps per-stream buffers large
+	// enough that chunked streaming dominates head movement.
+	s := &Sorter{Disk: d, Codec: c, MemBudget: 2000 * c.Size()}
+	if _, err := s.Sort("in", n, "out"); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	seq := st.SeqReads + st.SeqWrites
+	rand := st.RandReads + st.RandWrites
+	if seq < 5*rand {
+		t.Errorf("sequential I/O %d not >> random %d", seq, rand)
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	d := storage.NewDisk(512)
+	c := record.Codec{}
+	s := &Sorter{Disk: d, Codec: c, MemBudget: 1 << 16}
+	// Build three sorted inputs via Sort.
+	var names []string
+	var counts []int64
+	total := 0
+	for i := 0; i < 3; i++ {
+		in := "u" + string(rune('0'+i))
+		out := "s" + string(rune('0'+i))
+		n := 100 * (i + 1)
+		writeUnsorted(t, d, in, c, n, int64(10+i))
+		if _, err := s.Sort(in, int64(n), out); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, out)
+		counts = append(counts, int64(n))
+		total += n
+	}
+	got, err := s.MergeSorted(names, counts, "merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != int64(total) {
+		t.Fatalf("merged %d entries, want %d", got, total)
+	}
+	checkSorted(t, readAll(t, d, "merged", c, int64(total)))
+	// Inputs intact.
+	for i, name := range names {
+		if got := readAll(t, d, name, c, counts[i]); len(got) != int(counts[i]) {
+			t.Fatalf("input %s damaged", name)
+		}
+	}
+}
+
+func TestMergeSortedArgMismatch(t *testing.T) {
+	s := &Sorter{Disk: storage.NewDisk(0), Codec: record.Codec{}}
+	if _, err := s.MergeSorted([]string{"a"}, nil, "out"); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestPropertySortAnyBudget(t *testing.T) {
+	// External sort must produce identical output for any memory budget.
+	f := func(seed int64, budgetRaw uint16, nRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		budget := int(budgetRaw) + 1
+		d := storage.NewDisk(256)
+		c := record.Codec{}
+		rng := rand.New(rand.NewSource(seed))
+		w, err := storage.NewRecordWriter(d, "in", c.Size())
+		if err != nil {
+			return false
+		}
+		keys := make([]sortable.Key, n)
+		for i := 0; i < n; i++ {
+			keys[i] = sortable.Key{Hi: rng.Uint64() % 16, Lo: rng.Uint64() % 16}
+			buf, _ := c.Encode(record.Entry{Key: keys[i], ID: int64(i)})
+			if err := w.Write(buf); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		s := &Sorter{Disk: d, Codec: c, MemBudget: budget}
+		if _, err := s.Sort("in", int64(n), "out"); err != nil {
+			return false
+		}
+		got := readAllQuick(d, c, int64(n))
+		if len(got) != n {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Less(got[i-1]) {
+				return false
+			}
+		}
+		// Multiset preservation via ID uniqueness.
+		seen := make(map[int64]bool, n)
+		for _, e := range got {
+			if seen[e.ID] {
+				return false
+			}
+			seen[e.ID] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func readAllQuick(d *storage.Disk, c record.Codec, n int64) []record.Entry {
+	r, err := storage.NewRecordReader(d, "out", c.Size(), n)
+	if err != nil {
+		return nil
+	}
+	var out []record.Entry
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			return out
+		}
+		e, err := c.Decode(rec)
+		if err != nil {
+			return nil
+		}
+		out = append(out, e)
+	}
+}

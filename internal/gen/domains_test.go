@@ -1,0 +1,136 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGBMPositivePrices(t *testing.T) {
+	s := GBM(rand.New(rand.NewSource(1)), 1000, 100, 0, 0.01)
+	for i, v := range s {
+		if v <= 0 {
+			t.Fatalf("price[%d] = %v, GBM must stay positive", i, v)
+		}
+	}
+	if s.Std() == 0 {
+		t.Fatal("flat GBM path")
+	}
+}
+
+func TestGBMVolatilityScales(t *testing.T) {
+	lo := GBM(rand.New(rand.NewSource(2)), 5000, 100, 0, 0.001)
+	hi := GBM(rand.New(rand.NewSource(2)), 5000, 100, 0, 0.05)
+	// Relative step sizes should be much larger for high sigma.
+	relStep := func(s []float64) float64 {
+		sum := 0.0
+		for i := 1; i < len(s); i++ {
+			sum += math.Abs(s[i]-s[i-1]) / s[i-1]
+		}
+		return sum / float64(len(s)-1)
+	}
+	if relStep(hi) < 10*relStep(lo) {
+		t.Errorf("volatility scaling wrong: hi %v vs lo %v", relStep(hi), relStep(lo))
+	}
+}
+
+func TestFinanceCrashes(t *testing.T) {
+	ds, crashes := Finance(FinanceConfig{N: 500, Len: 128, CrashProb: 0.1, Seed: 3})
+	if ds.Count() != 500 {
+		t.Fatalf("count = %d", ds.Count())
+	}
+	if len(crashes) == 0 || len(crashes) > 100 {
+		t.Fatalf("crashes = %d, expected ~50", len(crashes))
+	}
+	// Crash series must have a large drawdown; compare to typical paths.
+	drawdown := func(id int) float64 {
+		s, _ := ds.Get(id)
+		peak, worst := s[0], 0.0
+		for _, v := range s {
+			peak = math.Max(peak, v)
+			worst = math.Max(worst, (peak-v)/peak)
+		}
+		return worst
+	}
+	crashSet := map[int]bool{}
+	for _, id := range crashes {
+		crashSet[id] = true
+	}
+	var crashDD, normalDD float64
+	var nc, nn int
+	for id := 0; id < ds.Count(); id++ {
+		if crashSet[id] {
+			crashDD += drawdown(id)
+			nc++
+		} else {
+			normalDD += drawdown(id)
+			nn++
+		}
+	}
+	if crashDD/float64(nc) <= normalDD/float64(nn) {
+		t.Errorf("crash drawdown %v not above normal %v", crashDD/float64(nc), normalDD/float64(nn))
+	}
+}
+
+func TestECGStructure(t *testing.T) {
+	s := ECG(rand.New(rand.NewSource(4)), 512, 64, 0.01)
+	if len(s) != 512 {
+		t.Fatalf("len = %d", len(s))
+	}
+	// R spikes: maximum should approach 1, most samples near baseline.
+	maxV := 0.0
+	nearZero := 0
+	for _, v := range s {
+		maxV = math.Max(maxV, v)
+		if math.Abs(v) < 0.2 {
+			nearZero++
+		}
+	}
+	if maxV < 0.7 {
+		t.Errorf("max = %v, want QRS spike near 1", maxV)
+	}
+	if nearZero < len(s)/2 {
+		t.Errorf("only %d/%d samples near baseline", nearZero, len(s))
+	}
+}
+
+func TestECGDatasetAnomalies(t *testing.T) {
+	ds, anomalies := ECGDataset(ECGConfig{N: 300, Len: 256, ArrhythPct: 0.1, Seed: 5})
+	if ds.Count() != 300 {
+		t.Fatalf("count = %d", ds.Count())
+	}
+	if len(anomalies) == 0 || len(anomalies) > 60 {
+		t.Fatalf("anomalies = %d", len(anomalies))
+	}
+	// Arrhythmic windows have lower peak count; proxy: lower total energy.
+	aset := map[int]bool{}
+	for _, id := range anomalies {
+		aset[id] = true
+	}
+	var aE, nE float64
+	var na, nn int
+	for id := 0; id < ds.Count(); id++ {
+		s, _ := ds.Get(id)
+		e := 0.0
+		for _, v := range s {
+			e += v * v
+		}
+		if aset[id] {
+			aE += e
+			na++
+		} else {
+			nE += e
+			nn++
+		}
+	}
+	if aE/float64(na) >= nE/float64(nn) {
+		t.Errorf("arrhythmia energy %v not below normal %v", aE/float64(na), nE/float64(nn))
+	}
+}
+
+func TestECGBeatLenDefault(t *testing.T) {
+	s := ECG(rand.New(rand.NewSource(6)), 128, 0, 0.01)
+	if len(s) != 128 {
+		t.Fatal("default beat length failed")
+	}
+}

@@ -1,0 +1,199 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	a := RandomWalk(rand.New(rand.NewSource(1)), 64)
+	b := RandomWalk(rand.New(rand.NewSource(1)), 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give same walk")
+		}
+	}
+	c := RandomWalk(rand.New(rand.NewSource(2)), 64)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical walks")
+	}
+}
+
+func TestNoiseStd(t *testing.T) {
+	n := Noise(rand.New(rand.NewSource(3)), 100000, 2.0)
+	if got := n.Std(); math.Abs(got-2.0) > 0.05 {
+		t.Errorf("noise std = %v, want ~2.0", got)
+	}
+	if got := math.Abs(n.Mean()); got > 0.05 {
+		t.Errorf("noise mean = %v, want ~0", got)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	got := Add([]float64{1, 2}, []float64{10, 20})
+	if got[0] != 11 || got[1] != 22 {
+		t.Fatalf("Add = %v", got)
+	}
+}
+
+func TestTemplateShapes(t *testing.T) {
+	const n = 256
+	for _, tpl := range []Template{TemplateBinaryStar, TemplateSupernova, TemplateEarthquake} {
+		s := tpl.Shape(n, 0.3)
+		if len(s) != n {
+			t.Fatalf("%v: length %d", tpl, len(s))
+		}
+		if s.Std() == 0 {
+			t.Fatalf("%v: flat shape", tpl)
+		}
+		if tpl.String() == "unknown" {
+			t.Fatalf("template %d has no name", tpl)
+		}
+	}
+	if Template(99).String() != "unknown" {
+		t.Fatal("invalid template should be unknown")
+	}
+}
+
+func TestTemplateShapeStructure(t *testing.T) {
+	const n = 256
+	// Binary star: value near 1 away from eclipses, dips below.
+	bs := TemplateBinaryStar.Shape(n, 0)
+	minV, maxV := bs[0], bs[0]
+	for _, v := range bs {
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV > 1.001 || minV > 0.5 {
+		t.Errorf("binary star range [%v,%v] unexpected", minV, maxV)
+	}
+	// Supernova: zero before onset, peak then decay.
+	sn := TemplateSupernova.Shape(n, 0.5)
+	if sn[0] != 0 {
+		t.Error("supernova should be dark before onset")
+	}
+	peak := 0.0
+	for _, v := range sn {
+		peak = math.Max(peak, v)
+	}
+	if peak < 0.9 {
+		t.Errorf("supernova peak %v < 0.9", peak)
+	}
+	if sn[n-1] > peak/2 {
+		t.Error("supernova should decay from its peak")
+	}
+}
+
+func TestSameTemplateCloserThanOther(t *testing.T) {
+	// Same-template instances (different noise, same phase) must be closer
+	// in z-normalized Euclidean distance than cross-template ones.
+	const n = 256
+	a1 := Add(TemplateBinaryStar.Shape(n, 0.2), Noise(rand.New(rand.NewSource(1)), n, 0.05)).ZNormalize()
+	a2 := Add(TemplateBinaryStar.Shape(n, 0.2), Noise(rand.New(rand.NewSource(2)), n, 0.05)).ZNormalize()
+	b := Add(TemplateSupernova.Shape(n, 0.2), Noise(rand.New(rand.NewSource(3)), n, 0.05)).ZNormalize()
+	same := a1.SqDist(a2)
+	cross := a1.SqDist(b)
+	if same >= cross {
+		t.Errorf("same-template distance %v >= cross-template %v", same, cross)
+	}
+}
+
+func TestAstronomy(t *testing.T) {
+	cfg := AstronomyConfig{N: 500, Len: 128, FracEvent: 0.1, Seed: 42}
+	d, inj := Astronomy(cfg)
+	if d.Count() != 500 {
+		t.Fatalf("count = %d", d.Count())
+	}
+	if d.Len != 128 {
+		t.Fatalf("len = %d", d.Len)
+	}
+	if len(inj) == 0 || len(inj) > 120 {
+		t.Fatalf("injected %d templates, expected ~50", len(inj))
+	}
+	for _, in := range inj {
+		if in.ID < 0 || in.ID >= 500 {
+			t.Fatalf("injection ID %d out of range", in.ID)
+		}
+		if in.Template != TemplateBinaryStar && in.Template != TemplateSupernova {
+			t.Fatalf("unexpected template %v", in.Template)
+		}
+	}
+	// Deterministic.
+	d2, inj2 := Astronomy(cfg)
+	if d2.Count() != d.Count() || len(inj2) != len(inj) {
+		t.Fatal("astronomy not deterministic")
+	}
+	s1, _ := d.Get(0)
+	s2, _ := d2.Get(0)
+	if s1[0] != s2[0] {
+		t.Fatal("astronomy series not deterministic")
+	}
+}
+
+func TestSeismic(t *testing.T) {
+	cfg := SeismicConfig{Batches: 10, BatchSize: 50, Len: 128, QuakeProb: 0.05, Seed: 7}
+	batches := Seismic(cfg)
+	if len(batches) != 10 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	quakes := 0
+	for i, b := range batches {
+		if b.TS != int64(i) {
+			t.Fatalf("batch %d TS = %d", i, b.TS)
+		}
+		if len(b.Series) != 50 {
+			t.Fatalf("batch %d size = %d", i, len(b.Series))
+		}
+		quakes += len(b.Quakes)
+		for _, q := range b.Quakes {
+			if q < 0 || q >= len(b.Series) {
+				t.Fatalf("quake index %d out of range", q)
+			}
+		}
+	}
+	if quakes == 0 || quakes > 100 {
+		t.Fatalf("quakes = %d, expected ~25", quakes)
+	}
+}
+
+func TestSeismicTSIncrement(t *testing.T) {
+	batches := Seismic(SeismicConfig{Batches: 3, BatchSize: 1, Len: 16, TSPerBatch: 100, Seed: 1})
+	if batches[2].TS != 200 {
+		t.Fatalf("TS = %d, want 200", batches[2].TS)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	d, _ := Astronomy(AstronomyConfig{N: 100, Len: 64, Seed: 1})
+	qs, ids := Queries(d, 20, 0.01, 9)
+	if len(qs) != 20 || len(ids) != 20 {
+		t.Fatal("wrong counts")
+	}
+	for i, q := range qs {
+		base, _ := d.Get(ids[i])
+		// The query must be very close to its source series.
+		if d := q.SqDist(base); d > float64(len(q))*0.01 {
+			t.Fatalf("query %d too far from source: %v", i, d)
+		}
+	}
+}
+
+func TestTemplateQueries(t *testing.T) {
+	qs := TemplateQueries(TemplateEarthquake, 128, 5, 0.1, 3)
+	if len(qs) != 5 {
+		t.Fatal("wrong count")
+	}
+	for _, q := range qs {
+		if len(q) != 128 {
+			t.Fatal("wrong length")
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package heatmap records page-access traces from the storage layer and
+// renders them as heat maps — the demo's access-pattern visualization that
+// "allows users to appreciate how the structural properties of an index
+// affect query performance". The recorder implements storage.Tracer; the
+// renderer produces an ASCII map (for the CLI) and a JSON-friendly matrix
+// (for the REST server).
+package heatmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Recorder accumulates per-page access counts by file. It is safe for
+// concurrent use and implements storage.Tracer.
+type Recorder struct {
+	mu     sync.Mutex
+	files  map[string]map[int64]int // file -> page -> count
+	order  []accessEvent            // chronological trace for jump analysis
+	record bool
+}
+
+type accessEvent struct {
+	file  string
+	page  int64
+	write bool
+}
+
+// NewRecorder creates an empty recorder that also keeps the chronological
+// trace (needed for seek/jump statistics).
+func NewRecorder() *Recorder {
+	return &Recorder{files: make(map[string]map[int64]int), record: true}
+}
+
+// Access implements storage.Tracer.
+func (r *Recorder) Access(file string, page int64, write bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.files[file]
+	if !ok {
+		m = make(map[int64]int)
+		r.files[file] = m
+	}
+	m[page]++
+	if r.record {
+		r.order = append(r.order, accessEvent{file, page, write})
+	}
+}
+
+// Reset discards all recorded accesses.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.files = make(map[string]map[int64]int)
+	r.order = nil
+}
+
+// Files returns the traced file names, sorted.
+func (r *Recorder) Files() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.files))
+	for f := range r.files {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total returns the total number of recorded accesses.
+func (r *Recorder) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, m := range r.files {
+		for _, c := range m {
+			n += c
+		}
+	}
+	return n
+}
+
+// Map is a rendered heat map: access counts bucketed over the page space of
+// one file (or all files concatenated).
+type Map struct {
+	File    string `json:"file"`
+	Buckets []int  `json:"buckets"` // access count per bucket
+	Pages   int64  `json:"pages"`   // page span covered
+	Max     int    `json:"max"`     // hottest bucket count
+}
+
+// Render buckets the accesses of one file into `buckets` cells spanning
+// pages [0, maxPage]. Cell i covers pages [i*span, (i+1)*span).
+func (r *Recorder) Render(file string, buckets int) Map {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := Map{File: file}
+	counts := r.files[file]
+	if len(counts) == 0 || buckets < 1 {
+		m.Buckets = make([]int, max(1, buckets))
+		return m
+	}
+	var maxPage int64
+	for p := range counts {
+		if p > maxPage {
+			maxPage = p
+		}
+	}
+	m.Pages = maxPage + 1
+	m.Buckets = make([]int, buckets)
+	span := float64(m.Pages) / float64(buckets)
+	for p, c := range counts {
+		b := int(float64(p) / span)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		m.Buckets[b] += c
+	}
+	for _, c := range m.Buckets {
+		if c > m.Max {
+			m.Max = c
+		}
+	}
+	return m
+}
+
+// shades orders ASCII intensity levels from cold to hot.
+const shades = " .:-=+*#%@"
+
+// ASCII renders the map as one line of intensity characters plus a legend.
+func (m Map) ASCII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s |", m.File)
+	for _, c := range m.Buckets {
+		if m.Max == 0 {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := c * (len(shades) - 1) / m.Max
+		b.WriteByte(shades[idx])
+	}
+	fmt.Fprintf(&b, "| %d pages, max %d hits/bucket", m.Pages, m.Max)
+	return b.String()
+}
+
+// JumpStats summarize the chronological trace: how far the head moved
+// between consecutive accesses. Contiguous layouts show short jumps.
+type JumpStats struct {
+	Accesses   int     `json:"accesses"`
+	FileSwaps  int     `json:"file_swaps"`  // consecutive accesses on different files
+	AvgJump    float64 `json:"avg_jump"`    // mean |page delta| within a file
+	SeqFrac    float64 `json:"seq_frac"`    // fraction of accesses at delta 0 or +1
+	WriteShare float64 `json:"write_share"` // fraction of accesses that were writes
+}
+
+// Jumps computes JumpStats over the chronological trace.
+func (r *Recorder) Jumps() JumpStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s JumpStats
+	s.Accesses = len(r.order)
+	if s.Accesses == 0 {
+		return s
+	}
+	writes := 0
+	var jumpSum float64
+	jumpN := 0
+	seq := 0
+	for i, ev := range r.order {
+		if ev.write {
+			writes++
+		}
+		if i == 0 {
+			continue
+		}
+		prev := r.order[i-1]
+		if prev.file != ev.file {
+			s.FileSwaps++
+			continue
+		}
+		d := ev.page - prev.page
+		if d == 0 || d == 1 {
+			seq++
+		}
+		if d < 0 {
+			d = -d
+		}
+		jumpSum += float64(d)
+		jumpN++
+	}
+	if jumpN > 0 {
+		s.AvgJump = jumpSum / float64(jumpN)
+	}
+	s.SeqFrac = float64(seq) / float64(s.Accesses-1)
+	s.WriteShare = float64(writes) / float64(s.Accesses)
+	return s
+}
+
+// RenderAll renders every traced file, sorted by name.
+func (r *Recorder) RenderAll(buckets int) []Map {
+	files := r.Files()
+	out := make([]Map, 0, len(files))
+	for _, f := range files {
+		out = append(out, r.Render(f, buckets))
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,315 @@
+// Package index defines the abstractions shared by every data series index
+// in the repository (CTree, CLSM, ADS+): the summarization configuration,
+// query preparation, nearest-neighbor result collection, and the Index
+// interface the exploration tools and benchmarks program against.
+//
+// Convention: indexes z-normalize series at ingestion and queries at
+// preparation, so all distances are Euclidean distances between
+// z-normalized series — the standard setting in the data series similarity
+// search literature the paper builds on.
+package index
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/record"
+	"repro/internal/sax"
+	"repro/internal/series"
+	"repro/internal/sortable"
+)
+
+// Config fixes the summarization shape shared by an index and its queries.
+type Config struct {
+	SeriesLen    int  // length of every data series
+	Segments     int  // iSAX segments (w)
+	Bits         int  // cardinality bits per segment
+	Materialized bool // entries carry the full series inline
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.SeriesLen <= 0 {
+		return fmt.Errorf("index: SeriesLen must be positive, got %d", c.SeriesLen)
+	}
+	if c.Segments <= 0 || c.Segments > sortable.MaxSegments {
+		return fmt.Errorf("index: Segments must be in [1,%d], got %d", sortable.MaxSegments, c.Segments)
+	}
+	if c.Bits <= 0 || c.Bits > sax.MaxBits {
+		return fmt.Errorf("index: Bits must be in [1,%d], got %d", sax.MaxBits, c.Bits)
+	}
+	if c.Segments > c.SeriesLen {
+		return fmt.Errorf("index: Segments %d exceeds SeriesLen %d", c.Segments, c.SeriesLen)
+	}
+	return nil
+}
+
+// Codec returns the entry codec for this configuration.
+func (c Config) Codec() record.Codec {
+	return record.Codec{SeriesLen: c.SeriesLen, Materialized: c.Materialized}
+}
+
+// Summarize z-normalizes s and returns its sortable key along with the
+// z-normalized series.
+func (c Config) Summarize(s series.Series) (sortable.Key, series.Series) {
+	z := s.ZNormalize()
+	return sortable.FromSeries(z, c.Segments, c.Bits), z
+}
+
+// MinDistKey returns the iSAX lower bound between a prepared query's PAA and
+// the series summarized by key k: no series with this key can be closer.
+func (c Config) MinDistKey(paa []float64, k sortable.Key) float64 {
+	w := sortable.Deinterleave(k, c.Segments, c.Bits)
+	return sax.MinDistPAA(paa, w, c.SeriesLen)
+}
+
+// Query is a prepared similarity-search target.
+type Query struct {
+	Norm series.Series // z-normalized query series
+	PAA  []float64     // PAA of Norm
+	Key  sortable.Key  // sortable summarization of Norm
+	// Window restricts the search to entries with TS in [MinTS, MaxTS];
+	// both zero means unrestricted. Used by the streaming schemes.
+	MinTS, MaxTS int64
+	Windowed     bool
+}
+
+// NewQuery prepares a raw series as a query under config c.
+func NewQuery(s series.Series, c Config) Query {
+	z := s.ZNormalize()
+	paa := sax.PAA(z, c.Segments)
+	return Query{
+		Norm: z,
+		PAA:  paa,
+		Key:  sortable.Interleave(sax.FromPAA(paa, c.Bits)),
+	}
+}
+
+// WithWindow returns a copy of q restricted to the temporal window
+// [minTS, maxTS] (inclusive).
+func (q Query) WithWindow(minTS, maxTS int64) Query {
+	q.MinTS, q.MaxTS = minTS, maxTS
+	q.Windowed = true
+	return q
+}
+
+// InWindow reports whether a timestamp satisfies the query's window.
+func (q Query) InWindow(ts int64) bool {
+	return !q.Windowed || (ts >= q.MinTS && ts <= q.MaxTS)
+}
+
+// Result is one nearest-neighbor answer.
+type Result struct {
+	ID   int64   // series ID in the raw store
+	TS   int64   // ingestion timestamp
+	Dist float64 // true Euclidean distance (z-normalized)
+}
+
+// Collector maintains the k best results seen so far (a max-heap on
+// distance), deduplicating by series ID.
+type Collector struct {
+	k     int
+	items resultHeap
+	seen  map[int64]bool
+}
+
+// NewCollector creates a collector for the k nearest neighbors.
+func NewCollector(k int) *Collector {
+	if k < 1 {
+		k = 1
+	}
+	return &Collector{k: k, seen: make(map[int64]bool)}
+}
+
+// Add offers a candidate. It returns true if the candidate entered the
+// current top-k.
+func (c *Collector) Add(r Result) bool {
+	if c.seen[r.ID] {
+		return false
+	}
+	if len(c.items) < c.k {
+		c.seen[r.ID] = true
+		heap.Push(&c.items, r)
+		return true
+	}
+	if r.Dist >= c.items[0].Dist {
+		return false
+	}
+	c.seen[r.ID] = true
+	delete(c.seen, c.items[0].ID)
+	c.items[0] = r
+	heap.Fix(&c.items, 0)
+	return true
+}
+
+// Worst returns the current pruning bound: the distance of the k-th best
+// result, or +Inf while fewer than k results are held. Any candidate whose
+// lower bound meets or exceeds Worst can be skipped.
+func (c *Collector) Worst() float64 {
+	if len(c.items) < c.k {
+		return math.Inf(1)
+	}
+	return c.items[0].Dist
+}
+
+// Full reports whether k results have been collected.
+func (c *Collector) Full() bool { return len(c.items) >= c.k }
+
+// Results returns the collected results sorted by ascending distance.
+func (c *Collector) Results() []Result {
+	out := make([]Result, len(c.items))
+	copy(out, c.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+type resultHeap []Result
+
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return h[i].Dist > h[j].Dist } // max-heap
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+var _ heap.Interface = (*resultHeap)(nil)
+
+// Index is the common interface of every data series index in the repo.
+type Index interface {
+	// Name identifies the index variant (e.g. "CTree", "CLSMFull").
+	Name() string
+	// Count returns the number of indexed series.
+	Count() int64
+	// ApproxSearch returns up to k likely near neighbors by navigating
+	// directly to the query's summarization region. No distance guarantee.
+	ApproxSearch(q Query, k int) ([]Result, error)
+	// ExactSearch returns the true k nearest neighbors.
+	ExactSearch(q Query, k int) ([]Result, error)
+}
+
+// Inserter is implemented by indexes that accept incremental inserts
+// (CLSM natively; CTree via leaf slack; ADS+ top-down).
+type Inserter interface {
+	Insert(s series.Series, ts int64) error
+}
+
+// RangeSearcher is implemented by indexes that answer range (epsilon)
+// queries: every series within Euclidean distance eps of the query.
+type RangeSearcher interface {
+	RangeSearch(q Query, eps float64) ([]Result, error)
+}
+
+// RangeCollector accumulates all results within eps, sorted by distance on
+// Results(). Unlike Collector there is no k; the pruning bound is eps
+// itself.
+type RangeCollector struct {
+	eps   float64
+	items []Result
+	seen  map[int64]bool
+}
+
+// NewRangeCollector creates a collector for results within eps.
+func NewRangeCollector(eps float64) *RangeCollector {
+	return &RangeCollector{eps: eps, seen: make(map[int64]bool)}
+}
+
+// Bound returns the pruning bound: candidates with lower bounds >= Bound
+// cannot qualify.
+func (c *RangeCollector) Bound() float64 { return c.eps }
+
+// Add offers a candidate; it is kept when within eps and not a duplicate.
+func (c *RangeCollector) Add(r Result) bool {
+	if r.Dist > c.eps || c.seen[r.ID] {
+		return false
+	}
+	c.seen[r.ID] = true
+	c.items = append(c.items, r)
+	return true
+}
+
+// Results returns all collected results sorted by ascending distance.
+func (c *RangeCollector) Results() []Result {
+	out := make([]Result, len(c.items))
+	copy(out, c.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// EvalRangeCandidates verifies in-memory candidates against a range
+// collector, pruning by the epsilon bound.
+func EvalRangeCandidates(q Query, entries []record.Entry, cfg Config, raw series.RawStore, col *RangeCollector) error {
+	for _, e := range entries {
+		if cfg.MinDistKey(q.PAA, e.Key) > col.Bound() {
+			continue
+		}
+		d, err := TrueDist(q, e, raw, col.Bound())
+		if err != nil {
+			return err
+		}
+		col.Add(Result{ID: e.ID, TS: e.TS, Dist: d})
+	}
+	return nil
+}
+
+// EvalCandidates evaluates a batch of already-in-memory candidate entries
+// against the collector in ascending lower-bound order: the most promising
+// candidate is verified first, collapsing the pruning bound so the rest are
+// skipped without paying their (possibly random) raw fetches. This is the
+// standard candidate-ordering optimization of data series indexes; every
+// leaf/page evaluation in the repository funnels through it. It returns the
+// number of candidates considered.
+func EvalCandidates(q Query, entries []record.Entry, cfg Config, raw series.RawStore, col *Collector) (int, error) {
+	type cand struct {
+		e  record.Entry
+		lb float64
+	}
+	cands := make([]cand, 0, len(entries))
+	for _, e := range entries {
+		cands = append(cands, cand{e: e, lb: cfg.MinDistKey(q.PAA, e.Key)})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
+	for _, c := range cands {
+		bound := col.Worst()
+		if col.Full() && c.lb >= bound {
+			break // all remaining candidates have larger lower bounds
+		}
+		d, err := TrueDist(q, c.e, raw, bound)
+		if err != nil {
+			return len(cands), err
+		}
+		col.Add(Result{ID: c.e.ID, TS: c.e.TS, Dist: d})
+	}
+	return len(cands), nil
+}
+
+// TrueDist computes the distance between a prepared query and a candidate
+// entry, using the inline payload when materialized or fetching from raw
+// otherwise. The payload/raw series must already be z-normalized.
+func TrueDist(q Query, e record.Entry, raw series.RawStore, bound float64) (float64, error) {
+	var s series.Series
+	if e.Payload != nil {
+		s = e.Payload
+	} else {
+		if raw == nil {
+			return 0, fmt.Errorf("index: non-materialized entry %d but no raw store", e.ID)
+		}
+		var err error
+		s, err = raw.Get(int(e.ID))
+		if err != nil {
+			return 0, err
+		}
+	}
+	sq := q.Norm.SqDistEarlyAbandon(s, bound*bound)
+	return math.Sqrt(sq), nil
+}

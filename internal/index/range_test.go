@@ -1,0 +1,48 @@
+package index
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRangeCollectorBasics(t *testing.T) {
+	c := NewRangeCollector(5.0)
+	if c.Bound() != 5.0 {
+		t.Fatalf("bound = %v", c.Bound())
+	}
+	if !c.Add(Result{ID: 1, Dist: 4.9}) {
+		t.Fatal("in-range candidate rejected")
+	}
+	if c.Add(Result{ID: 2, Dist: 5.1}) {
+		t.Fatal("out-of-range candidate accepted")
+	}
+	if c.Add(Result{ID: 1, Dist: 1.0}) {
+		t.Fatal("duplicate accepted")
+	}
+	if !c.Add(Result{ID: 3, Dist: 5.0}) {
+		t.Fatal("boundary candidate (== eps) rejected")
+	}
+	c.Add(Result{ID: 4, Dist: 0.5})
+	res := c.Results()
+	if len(res) != 3 {
+		t.Fatalf("results = %v", res)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+	if res[0].ID != 4 {
+		t.Fatalf("closest = %+v", res[0])
+	}
+}
+
+func TestRangeCollectorEmpty(t *testing.T) {
+	c := NewRangeCollector(0)
+	if got := c.Results(); len(got) != 0 {
+		t.Fatalf("results = %v", got)
+	}
+	if math.IsNaN(c.Bound()) {
+		t.Fatal("bound NaN")
+	}
+}

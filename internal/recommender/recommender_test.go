@@ -1,0 +1,136 @@
+package recommender
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenario1FewQueries(t *testing.T) {
+	// The paper's Scenario 1 opening: big static collection, exploratory
+	// (few) queries -> non-materialized CTree (with PP only if updates).
+	r := Recommend(Scenario{Streaming: false, ExpectedQueries: 10, MemoryBudgetFrac: 0.1})
+	if r.Index != ChoiceCTree || r.Materialized {
+		t.Fatalf("got %s, want non-materialized CTree", r.Variant())
+	}
+	if r.Scheme != SchemeNone {
+		t.Fatalf("static no-update scenario should have no scheme, got %s", r.Scheme)
+	}
+	if r.FillFactor != 1.0 {
+		t.Fatalf("static tree should pack full, fill = %v", r.FillFactor)
+	}
+}
+
+func TestScenario1ManyQueriesSwitchesToMaterialized(t *testing.T) {
+	// "as we increase the projected number of queries ... recommender
+	// changes its choice to using a materialized CTree".
+	few := Recommend(Scenario{ExpectedQueries: 50, MemoryBudgetFrac: 0.1})
+	many := Recommend(Scenario{ExpectedQueries: 1000, MemoryBudgetFrac: 0.1})
+	if few.Materialized {
+		t.Fatal("few queries should stay non-materialized")
+	}
+	if !many.Materialized {
+		t.Fatal("many queries should switch to materialized")
+	}
+	if many.Index != ChoiceCTree {
+		t.Fatalf("static stays CTree, got %s", many.Index)
+	}
+	if many.Variant() != "CTreeFull" {
+		t.Fatalf("variant = %q", many.Variant())
+	}
+}
+
+func TestScenario2Streaming(t *testing.T) {
+	// The paper's Scenario 2: streaming seismic data, windowed queries ->
+	// non-materialized CLSM with BTP.
+	r := Recommend(Scenario{Streaming: true, ExpectedQueries: 50, MemoryBudgetFrac: 0.05, SmallWindows: true})
+	if r.Variant() != "CLSM+BTP" {
+		t.Fatalf("got %s, want CLSM+BTP", r.Variant())
+	}
+	if r.GrowthFactor < 2 {
+		t.Fatal("growth factor unset")
+	}
+}
+
+func TestStorageTightForcesNonMaterialized(t *testing.T) {
+	r := Recommend(Scenario{ExpectedQueries: 100000, StorageTight: true, MemoryBudgetFrac: 0.1})
+	if r.Materialized {
+		t.Fatal("storage-tight scenario must not materialize")
+	}
+}
+
+func TestWriteHeavyStaticPicksCLSM(t *testing.T) {
+	r := Recommend(Scenario{UpdateRate: 0.5, ExpectedQueries: 10, MemoryBudgetFrac: 0.1})
+	if r.Index != ChoiceCLSM {
+		t.Fatalf("write-heavy workload should pick CLSM, got %s", r.Index)
+	}
+}
+
+func TestLightUpdatesLeaveSlack(t *testing.T) {
+	r := Recommend(Scenario{UpdateRate: 0.05, ExpectedQueries: 10, MemoryBudgetFrac: 0.1})
+	if r.Index != ChoiceCTree {
+		t.Fatalf("light updates stay CTree, got %s", r.Index)
+	}
+	if r.FillFactor >= 1.0 {
+		t.Fatal("light updates should leave leaf slack")
+	}
+	if r.Scheme != SchemePP {
+		t.Fatalf("appends with temporal predicates use PP, got %q", r.Scheme)
+	}
+}
+
+func TestRationaleAlwaysPresent(t *testing.T) {
+	scenarios := []Scenario{
+		{},
+		{Streaming: true},
+		{ExpectedQueries: 1 << 20},
+		{UpdateRate: 1, StorageTight: true},
+		{Streaming: true, SmallWindows: true, MemoryBudgetFrac: 0.01},
+	}
+	for i, s := range scenarios {
+		r := Recommend(s)
+		if len(r.Rationale) < 2 {
+			t.Errorf("scenario %d: rationale has %d steps", i, len(r.Rationale))
+		}
+		out := r.String()
+		if !strings.Contains(out, "recommendation:") || !strings.Contains(out, "rationale:") {
+			t.Errorf("scenario %d: String() missing sections:\n%s", i, out)
+		}
+	}
+}
+
+func TestTinyMemoryMentionsExternalSort(t *testing.T) {
+	r := Recommend(Scenario{ExpectedQueries: 10, MemoryBudgetFrac: 0.01})
+	found := false
+	for _, step := range r.Rationale {
+		if strings.Contains(step, "external sorting") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tiny-memory scenario should explain the external-sort advantage")
+	}
+}
+
+func TestQueryHeavyStreamMergesAggressively(t *testing.T) {
+	r := Recommend(Scenario{Streaming: true, ExpectedQueries: 100000, MemoryBudgetFrac: 0.1})
+	if r.GrowthFactor != 2 {
+		t.Fatalf("query-heavy stream growth factor = %d, want 2", r.GrowthFactor)
+	}
+}
+
+func TestVariantNaming(t *testing.T) {
+	cases := []struct {
+		r    Recommendation
+		want string
+	}{
+		{Recommendation{Index: ChoiceCTree}, "CTree"},
+		{Recommendation{Index: ChoiceCTree, Materialized: true}, "CTreeFull"},
+		{Recommendation{Index: ChoiceCLSM, Scheme: SchemeBTP}, "CLSM+BTP"},
+		{Recommendation{Index: ChoiceCTree, Materialized: true, Scheme: SchemePP}, "CTreeFull+PP"},
+	}
+	for _, c := range cases {
+		if got := c.r.Variant(); got != c.want {
+			t.Errorf("Variant = %q, want %q", got, c.want)
+		}
+	}
+}

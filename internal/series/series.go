@@ -1,0 +1,152 @@
+// Package series provides the fundamental data series type used throughout
+// the Coconut infrastructure: fixed-length sequences of float64 points,
+// z-normalization, Euclidean distance, and binary (de)serialization for the
+// raw data file that non-materialized indexes point into.
+package series
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is a single data series: an ordered sequence of real values.
+// All series in one dataset share the same length.
+type Series []float64
+
+// Errors returned by series operations.
+var (
+	ErrLengthMismatch = errors.New("series: length mismatch")
+	ErrEmpty          = errors.New("series: empty series")
+)
+
+// Clone returns a deep copy of s.
+func (s Series) Clone() Series {
+	out := make(Series, len(s))
+	copy(out, s)
+	return out
+}
+
+// Mean returns the arithmetic mean of the series values.
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// Std returns the population standard deviation of the series values.
+func (s Series) Std() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	acc := 0.0
+	for _, v := range s {
+		d := v - mean
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(s)))
+}
+
+// ZNormalize returns a z-normalized copy of s: zero mean, unit variance.
+// Constant series (zero variance) normalize to all zeros, matching the
+// convention used by iSAX implementations.
+func (s Series) ZNormalize() Series {
+	out := make(Series, len(s))
+	mean := s.Mean()
+	std := s.Std()
+	if std < 1e-12 {
+		return out // all zeros
+	}
+	for i, v := range s {
+		out[i] = (v - mean) / std
+	}
+	return out
+}
+
+// Dist returns the Euclidean distance between s and t.
+func (s Series) Dist(t Series) (float64, error) {
+	if len(s) != len(t) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrLengthMismatch, len(s), len(t))
+	}
+	return math.Sqrt(s.sqDist(t, math.Inf(1))), nil
+}
+
+// SqDist returns the squared Euclidean distance between s and t.
+// It panics if the lengths differ; use Dist for a checked variant.
+func (s Series) SqDist(t Series) float64 {
+	if len(s) != len(t) {
+		panic(fmt.Sprintf("series: SqDist length mismatch %d vs %d", len(s), len(t)))
+	}
+	return s.sqDist(t, math.Inf(1))
+}
+
+// SqDistEarlyAbandon computes the squared Euclidean distance but abandons
+// the computation (returning a value >= limit) as soon as the running sum
+// exceeds limit. This is the standard early-abandoning optimization used by
+// data series indexes during exact search.
+func (s Series) SqDistEarlyAbandon(t Series, limit float64) float64 {
+	if len(s) != len(t) {
+		panic(fmt.Sprintf("series: SqDistEarlyAbandon length mismatch %d vs %d", len(s), len(t)))
+	}
+	return s.sqDist(t, limit)
+}
+
+func (s Series) sqDist(t Series, limit float64) float64 {
+	acc := 0.0
+	for i, v := range s {
+		d := v - t[i]
+		acc += d * d
+		if acc > limit {
+			return acc
+		}
+	}
+	return acc
+}
+
+// Size is the serialized size in bytes of a series of length n.
+func Size(n int) int { return 8 * n }
+
+// AppendBinary appends the little-endian IEEE-754 encoding of s to buf.
+func (s Series) AppendBinary(buf []byte) []byte {
+	for _, v := range s {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeBinary decodes a series of length n from buf, which must hold at
+// least Size(n) bytes.
+func DecodeBinary(buf []byte, n int) (Series, error) {
+	if len(buf) < Size(n) {
+		return nil, fmt.Errorf("series: short buffer: have %d want %d", len(buf), Size(n))
+	}
+	out := make(Series, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}
+
+// Write writes the binary encoding of s to w.
+func (s Series) Write(w io.Writer) error {
+	buf := s.AppendBinary(make([]byte, 0, Size(len(s))))
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read reads a series of length n from r.
+func Read(r io.Reader, n int) (Series, error) {
+	buf := make([]byte, Size(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return DecodeBinary(buf, n)
+}

@@ -1,0 +1,405 @@
+// Package server implements the algorithms server of Figure 1: the GUI
+// client (here: any HTTP client, including cmd/coconut-cli) talks to it
+// through REST web-service calls exchanging JSON. It exposes dataset
+// generation, index construction across every variant, approximate/exact
+// (optionally windowed) queries, the recommender, and the heat-map
+// visualization of access patterns.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	mrand "math/rand"
+	"net/http"
+	"sync"
+
+	"repro/internal/gen"
+	"repro/internal/heatmap"
+	"repro/internal/index"
+	"repro/internal/recommender"
+	"repro/internal/series"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Server is the algorithms server. Create with New and mount via Handler.
+type Server struct {
+	mu       sync.Mutex
+	datasets map[string]*dataset
+	builds   map[string]*build
+	seq      int
+	cost     storage.CostModel
+}
+
+type dataset struct {
+	id   string
+	kind string
+	ds   *series.Dataset
+}
+
+type build struct {
+	id      string
+	variant string
+	cfg     index.Config
+	built   *workload.Built
+	rec     *heatmap.Recorder
+}
+
+// New creates an empty server.
+func New() *Server {
+	return &Server{
+		datasets: make(map[string]*dataset),
+		builds:   make(map[string]*build),
+		cost:     storage.DefaultCostModel,
+	}
+}
+
+// Handler returns the HTTP handler exposing the REST API under /api/.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/health", s.handleHealth)
+	mux.HandleFunc("/api/variants", s.handleVariants)
+	mux.HandleFunc("/api/datasets", s.handleDatasets)
+	mux.HandleFunc("/api/build", s.handleBuild)
+	mux.HandleFunc("/api/query", s.handleQuery)
+	mux.HandleFunc("/api/recommend", s.handleRecommend)
+	mux.HandleFunc("/api/heatmap", s.handleHeatmap)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) nextID(prefix string) string {
+	s.seq++
+	return fmt.Sprintf("%s-%d", prefix, s.seq)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "service": "coconut-palm algorithms server"})
+}
+
+func (s *Server) handleVariants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"variants": workload.Variants})
+}
+
+// DatasetRequest asks for a synthetic dataset.
+type DatasetRequest struct {
+	Kind      string  `json:"kind"` // "astronomy", "randomwalk"
+	N         int     `json:"n"`
+	Len       int     `json:"len"`
+	FracEvent float64 `json:"frac_event"`
+	Seed      int64   `json:"seed"`
+}
+
+// DatasetResponse describes a generated dataset.
+type DatasetResponse struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	Count int    `json:"count"`
+	Len   int    `json:"len"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := []DatasetResponse{}
+		for _, d := range s.datasets {
+			out = append(out, DatasetResponse{ID: d.id, Kind: d.kind, Count: d.ds.Count(), Len: d.ds.Len})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+	case http.MethodPost:
+		var req DatasetRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request: %v", err)
+			return
+		}
+		if req.N <= 0 || req.N > 1<<20 {
+			writeError(w, http.StatusBadRequest, "n must be in (0, 2^20], got %d", req.N)
+			return
+		}
+		if req.Len <= 0 || req.Len > 1<<14 {
+			writeError(w, http.StatusBadRequest, "len must be in (0, 16384], got %d", req.Len)
+			return
+		}
+		var ds *series.Dataset
+		switch req.Kind {
+		case "astronomy", "":
+			ds, _ = gen.Astronomy(gen.AstronomyConfig{N: req.N, Len: req.Len, FracEvent: req.FracEvent, Seed: req.Seed})
+			req.Kind = "astronomy"
+		case "randomwalk":
+			ds = series.NewDataset(req.Len)
+			rng := newRand(req.Seed)
+			for i := 0; i < req.N; i++ {
+				ds.Append(gen.RandomWalk(rng, req.Len))
+			}
+		case "finance":
+			ds, _ = gen.Finance(gen.FinanceConfig{N: req.N, Len: req.Len, CrashProb: req.FracEvent, Seed: req.Seed})
+		case "ecg":
+			ds, _ = gen.ECGDataset(gen.ECGConfig{N: req.N, Len: req.Len, ArrhythPct: req.FracEvent, Seed: req.Seed})
+		default:
+			writeError(w, http.StatusBadRequest, "unknown dataset kind %q", req.Kind)
+			return
+		}
+		s.mu.Lock()
+		id := s.nextID("ds")
+		s.datasets[id] = &dataset{id: id, kind: req.Kind, ds: ds}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusCreated, DatasetResponse{ID: id, Kind: req.Kind, Count: ds.Count(), Len: ds.Len})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+// BuildRequest asks for an index build.
+type BuildRequest struct {
+	Dataset      string  `json:"dataset"`
+	Variant      string  `json:"variant"`
+	Segments     int     `json:"segments"`
+	Bits         int     `json:"bits"`
+	FillFactor   float64 `json:"fill_factor"`
+	GrowthFactor int     `json:"growth_factor"`
+	MemBudget    int     `json:"mem_budget"`
+}
+
+// BuildResponse reports construction accounting, the numbers the demo GUI
+// visualizes when comparing construction speed and storage consumption.
+type BuildResponse struct {
+	ID         string  `json:"id"`
+	Variant    string  `json:"variant"`
+	Count      int64   `json:"count"`
+	BuildCost  float64 `json:"build_cost"`
+	SeqIO      int64   `json:"seq_io"`
+	RandIO     int64   `json:"rand_io"`
+	IndexPages int64   `json:"index_pages"`
+	RawPages   int64   `json:"raw_pages"`
+	BuildMilli int64   `json:"build_ms"`
+}
+
+func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BuildRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	d, ok := s.datasets[req.Dataset]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
+		return
+	}
+	if req.Segments == 0 {
+		req.Segments = 16
+	}
+	if req.Bits == 0 {
+		req.Bits = 8
+	}
+	cfg := index.Config{SeriesLen: d.ds.Len, Segments: req.Segments, Bits: req.Bits}
+	if err := cfg.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	b, err := workload.BuildVariant(req.Variant, d.ds, cfg, workload.BuildOptions{
+		FillFactor:   req.FillFactor,
+		GrowthFactor: req.GrowthFactor,
+		MemBudget:    req.MemBudget,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "build failed: %v", err)
+		return
+	}
+	rec := heatmap.NewRecorder()
+	b.Disk.SetTracer(rec)
+	s.mu.Lock()
+	id := s.nextID("build")
+	s.builds[id] = &build{id: id, variant: req.Variant, cfg: cfg, built: b, rec: rec}
+	s.mu.Unlock()
+	st := b.BuildStats
+	writeJSON(w, http.StatusCreated, BuildResponse{
+		ID:         id,
+		Variant:    b.Index.Name(),
+		Count:      b.Index.Count(),
+		BuildCost:  b.BuildCost(s.cost),
+		SeqIO:      st.SeqReads + st.SeqWrites,
+		RandIO:     st.RandReads + st.RandWrites,
+		IndexPages: b.IndexPages,
+		RawPages:   b.RawPages,
+		BuildMilli: b.BuildTime.Milliseconds(),
+	})
+}
+
+// QueryRequest issues a similarity query against a build. Series is the
+// drawn/selected query target (raw values; the server z-normalizes).
+type QueryRequest struct {
+	Build  string    `json:"build"`
+	Series []float64 `json:"series"`
+	K      int       `json:"k"`
+	Exact  bool      `json:"exact"`
+	MinTS  *int64    `json:"min_ts,omitempty"`
+	MaxTS  *int64    `json:"max_ts,omitempty"`
+}
+
+// QueryResult is one neighbor.
+type QueryResult struct {
+	ID   int64   `json:"id"`
+	TS   int64   `json:"ts"`
+	Dist float64 `json:"dist"`
+}
+
+// QueryResponse reports answers plus the I/O cost the demo GUI charts.
+type QueryResponse struct {
+	Results []QueryResult `json:"results"`
+	Cost    float64       `json:"cost"`
+	SeqIO   int64         `json:"seq_io"`
+	RandIO  int64         `json:"rand_io"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	s.mu.Lock()
+	b, ok := s.builds[req.Build]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "build %q not found", req.Build)
+		return
+	}
+	if len(req.Series) != b.cfg.SeriesLen {
+		writeError(w, http.StatusBadRequest, "query length %d, want %d", len(req.Series), b.cfg.SeriesLen)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 1
+	}
+	q := index.NewQuery(series.Series(req.Series), b.cfg)
+	if req.MinTS != nil && req.MaxTS != nil {
+		q = q.WithWindow(*req.MinTS, *req.MaxTS)
+	}
+	before := b.built.Disk.Stats()
+	var rs []index.Result
+	var err error
+	if req.Exact {
+		rs, err = b.built.Index.ExactSearch(q, req.K)
+	} else {
+		rs, err = b.built.Index.ApproxSearch(q, req.K)
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+		return
+	}
+	diff := b.built.Disk.Stats().Sub(before)
+	resp := QueryResponse{
+		Cost:   diff.Cost(s.cost),
+		SeqIO:  diff.SeqReads + diff.SeqWrites,
+		RandIO: diff.RandReads + diff.RandWrites,
+	}
+	for _, res := range rs {
+		resp.Results = append(resp.Results, QueryResult{ID: res.ID, TS: res.TS, Dist: res.Dist})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RecommendRequest mirrors recommender.Scenario.
+type RecommendRequest struct {
+	Streaming        bool    `json:"streaming"`
+	ExpectedQueries  int     `json:"expected_queries"`
+	UpdateRate       float64 `json:"update_rate"`
+	MemoryBudgetFrac float64 `json:"memory_budget_frac"`
+	StorageTight     bool    `json:"storage_tight"`
+	SmallWindows     bool    `json:"small_windows"`
+}
+
+// RecommendResponse carries the advice and its rationale.
+type RecommendResponse struct {
+	Variant      string   `json:"variant"`
+	FillFactor   float64  `json:"fill_factor,omitempty"`
+	GrowthFactor int      `json:"growth_factor,omitempty"`
+	Rationale    []string `json:"rationale"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req RecommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	rec := recommender.Recommend(recommender.Scenario{
+		Streaming:        req.Streaming,
+		ExpectedQueries:  req.ExpectedQueries,
+		UpdateRate:       req.UpdateRate,
+		MemoryBudgetFrac: req.MemoryBudgetFrac,
+		StorageTight:     req.StorageTight,
+		SmallWindows:     req.SmallWindows,
+	})
+	writeJSON(w, http.StatusOK, RecommendResponse{
+		Variant:      rec.Variant(),
+		FillFactor:   rec.FillFactor,
+		GrowthFactor: rec.GrowthFactor,
+		Rationale:    rec.Rationale,
+	})
+}
+
+// HeatmapResponse carries the access-pattern visualization of a build's
+// disk since construction (builds install a tracer).
+type HeatmapResponse struct {
+	Maps  []heatmap.Map     `json:"maps"`
+	Jumps heatmap.JumpStats `json:"jumps"`
+	ASCII []string          `json:"ascii"`
+}
+
+func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := r.URL.Query().Get("build")
+	s.mu.Lock()
+	b, ok := s.builds[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "build %q not found", id)
+		return
+	}
+	buckets := 60
+	maps := b.rec.RenderAll(buckets)
+	resp := HeatmapResponse{Maps: maps, Jumps: b.rec.Jumps()}
+	for _, m := range maps {
+		resp.ASCII = append(resp.ASCII, m.ASCII())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func newRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }

@@ -1,0 +1,263 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndVariants(t *testing.T) {
+	ts := newTestServer(t)
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/api/health", &health); code != 200 {
+		t.Fatalf("health status %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("health = %v", health)
+	}
+	var vs struct {
+		Variants []string `json:"variants"`
+	}
+	if code := getJSON(t, ts.URL+"/api/variants", &vs); code != 200 {
+		t.Fatalf("variants status %d", code)
+	}
+	if len(vs.Variants) != 6 {
+		t.Fatalf("variants = %v", vs.Variants)
+	}
+}
+
+func TestDatasetLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	var d DatasetResponse
+	code := postJSON(t, ts.URL+"/api/datasets", DatasetRequest{Kind: "astronomy", N: 200, Len: 64, Seed: 1}, &d)
+	if code != http.StatusCreated {
+		t.Fatalf("create status %d", code)
+	}
+	if d.Count != 200 || d.Len != 64 || d.ID == "" {
+		t.Fatalf("dataset = %+v", d)
+	}
+	var list struct {
+		Datasets []DatasetResponse `json:"datasets"`
+	}
+	getJSON(t, ts.URL+"/api/datasets", &list)
+	if len(list.Datasets) != 1 || list.Datasets[0].ID != d.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestDatasetValidation(t *testing.T) {
+	ts := newTestServer(t)
+	var e errorResponse
+	if code := postJSON(t, ts.URL+"/api/datasets", DatasetRequest{N: 0, Len: 64}, &e); code != http.StatusBadRequest {
+		t.Fatalf("zero n status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/datasets", DatasetRequest{N: 10, Len: 0}, &e); code != http.StatusBadRequest {
+		t.Fatalf("zero len status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/datasets", DatasetRequest{Kind: "nope", N: 10, Len: 64}, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad kind status %d", code)
+	}
+}
+
+func buildOn(t *testing.T, ts *httptest.Server, variant string) (DatasetResponse, BuildResponse) {
+	t.Helper()
+	var d DatasetResponse
+	postJSON(t, ts.URL+"/api/datasets", DatasetRequest{Kind: "astronomy", N: 300, Len: 64, Seed: 2}, &d)
+	var b BuildResponse
+	code := postJSON(t, ts.URL+"/api/build", BuildRequest{Dataset: d.ID, Variant: variant, Segments: 8, Bits: 8}, &b)
+	if code != http.StatusCreated {
+		t.Fatalf("build status %d", code)
+	}
+	return d, b
+}
+
+func TestBuildAllVariants(t *testing.T) {
+	ts := newTestServer(t)
+	for _, v := range []string{"CTree", "CTreeFull", "CLSM", "ADS+"} {
+		_, b := buildOn(t, ts, v)
+		if b.Variant != v || b.Count != 300 {
+			t.Fatalf("%s: build = %+v", v, b)
+		}
+		if b.BuildCost <= 0 || b.IndexPages <= 0 {
+			t.Fatalf("%s: missing accounting: %+v", v, b)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	ts := newTestServer(t)
+	var e errorResponse
+	if code := postJSON(t, ts.URL+"/api/build", BuildRequest{Dataset: "missing", Variant: "CTree"}, &e); code != http.StatusNotFound {
+		t.Fatalf("missing dataset status %d", code)
+	}
+	var d DatasetResponse
+	postJSON(t, ts.URL+"/api/datasets", DatasetRequest{N: 10, Len: 64}, &d)
+	if code := postJSON(t, ts.URL+"/api/build", BuildRequest{Dataset: d.ID, Variant: "bogus"}, &e); code != http.StatusBadRequest {
+		t.Fatalf("bogus variant status %d", code)
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	_, b := buildOn(t, ts, "CTreeFull")
+	q := make([]float64, 64)
+	for i := range q {
+		q[i] = float64(i % 7)
+	}
+	var resp QueryResponse
+	code := postJSON(t, ts.URL+"/api/query", QueryRequest{Build: b.ID, Series: q, K: 3, Exact: true}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("query status %d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+	for i := 1; i < len(resp.Results); i++ {
+		if resp.Results[i].Dist < resp.Results[i-1].Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+	if resp.SeqIO+resp.RandIO == 0 {
+		t.Fatal("query reported no I/O")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	ts := newTestServer(t)
+	_, b := buildOn(t, ts, "CTree")
+	var e errorResponse
+	if code := postJSON(t, ts.URL+"/api/query", QueryRequest{Build: "missing", Series: make([]float64, 64)}, &e); code != http.StatusNotFound {
+		t.Fatalf("missing build status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/query", QueryRequest{Build: b.ID, Series: make([]float64, 5)}, &e); code != http.StatusBadRequest {
+		t.Fatalf("wrong length status %d", code)
+	}
+}
+
+func TestWindowedQuery(t *testing.T) {
+	ts := newTestServer(t)
+	_, b := buildOn(t, ts, "CTreeFull")
+	minTS, maxTS := int64(5), int64(10)
+	var resp QueryResponse
+	// Build stamps everything TS=0, so a [5,10] window excludes all.
+	code := postJSON(t, ts.URL+"/api/query", QueryRequest{
+		Build: b.ID, Series: make([]float64, 64), K: 1, Exact: true, MinTS: &minTS, MaxTS: &maxTS,
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Results) != 0 {
+		t.Fatalf("window should exclude everything, got %+v", resp.Results)
+	}
+}
+
+func TestRecommendEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var r RecommendResponse
+	code := postJSON(t, ts.URL+"/api/recommend", RecommendRequest{Streaming: true, SmallWindows: true, MemoryBudgetFrac: 0.1}, &r)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if r.Variant != "CLSM+BTP" {
+		t.Fatalf("variant = %q", r.Variant)
+	}
+	if len(r.Rationale) == 0 {
+		t.Fatal("no rationale")
+	}
+	code = postJSON(t, ts.URL+"/api/recommend", RecommendRequest{ExpectedQueries: 1000, MemoryBudgetFrac: 0.2}, &r)
+	if code != http.StatusOK || r.Variant != "CTreeFull" {
+		t.Fatalf("static many-queries: %d %q", code, r.Variant)
+	}
+}
+
+func TestHeatmapEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	_, b := buildOn(t, ts, "CTreeFull")
+	// Issue a query so the tracer has something.
+	postJSON(t, ts.URL+"/api/query", QueryRequest{Build: b.ID, Series: make([]float64, 64), K: 1, Exact: true}, nil)
+	var h HeatmapResponse
+	code := getJSON(t, fmt.Sprintf("%s/api/heatmap?build=%s", ts.URL, b.ID), &h)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(h.Maps) == 0 || len(h.ASCII) == 0 {
+		t.Fatalf("empty heatmap: %+v", h)
+	}
+	if h.Jumps.Accesses == 0 {
+		t.Fatal("no traced accesses")
+	}
+	if code := getJSON(t, ts.URL+"/api/heatmap?build=missing", nil); code != http.StatusNotFound {
+		t.Fatalf("missing build status %d", code)
+	}
+}
+
+func TestMethodEnforcement(t *testing.T) {
+	ts := newTestServer(t)
+	if code := getJSON(t, ts.URL+"/api/build", nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET build status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/variants", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST variants status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/heatmap", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST heatmap status %d", code)
+	}
+}
+
+func TestDatasetKinds(t *testing.T) {
+	ts := newTestServer(t)
+	for _, kind := range []string{"astronomy", "randomwalk", "finance", "ecg"} {
+		var d DatasetResponse
+		code := postJSON(t, ts.URL+"/api/datasets", DatasetRequest{Kind: kind, N: 50, Len: 64, FracEvent: 0.1, Seed: 1}, &d)
+		if code != http.StatusCreated {
+			t.Fatalf("%s: status %d", kind, code)
+		}
+		if d.Count != 50 {
+			t.Fatalf("%s: count %d", kind, d.Count)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package sortable implements Coconut's core contribution: sortable data
+// series summarizations. An iSAX word is turned into a single integer key by
+// interleaving the bits of all segments round-robin, most-significant bits
+// first (a z-order / Morton encoding over iSAX symbol space). Sorting these
+// keys keeps series that are similar across *all* segments adjacent, which
+// is what lets external sorting, B-trees, and LSM-trees organize data series
+// indexes with sequential I/O.
+package sortable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sax"
+	"repro/internal/series"
+)
+
+// Key is a 128-bit sortable summarization, compared big-endian (Hi first).
+// It holds w*bits interleaved bits left-aligned: the first interleaving
+// round (the most significant bit of every segment) occupies the top w bits.
+type Key struct {
+	Hi, Lo uint64
+}
+
+// KeyBytes is the serialized size of a Key.
+const KeyBytes = 16
+
+// MaxSegments is the largest segment count for which a full 8-bit-cardinality
+// word still fits into 128 bits.
+const MaxSegments = 16
+
+// Interleave encodes an iSAX word into a sortable key. The total bit count
+// w.Bits*len(w.Symbols) must not exceed 128. Bits are laid out round-robin:
+// round r (r=0 is each symbol's MSB) contributes len(Symbols) bits, ordered
+// by segment.
+func Interleave(w sax.Word) Key {
+	nseg := len(w.Symbols)
+	total := nseg * w.Bits
+	if total > 128 {
+		panic(fmt.Sprintf("sortable: %d segments x %d bits = %d > 128 bits", nseg, w.Bits, total))
+	}
+	var k Key
+	pos := 0 // next bit position from the top (0 = MSB of Hi)
+	for r := 0; r < w.Bits; r++ {
+		srcBit := uint(w.Bits - 1 - r)
+		for s := 0; s < nseg; s++ {
+			b := (w.Symbols[s] >> srcBit) & 1
+			if b != 0 {
+				k.setBit(pos)
+			}
+			pos++
+		}
+	}
+	return k
+}
+
+// Concat encodes an iSAX word segment-major: all bits of segment 0, then
+// all bits of segment 1, and so on. This is the *naive* sortable encoding
+// the paper argues against — sorting by it clusters series by their first
+// segment (the beginning of the series) and ignores the rest, so similar
+// series end up arbitrarily far apart. It exists for the ablation
+// experiment (E10) that quantifies why interleaving matters.
+func Concat(w sax.Word) Key {
+	nseg := len(w.Symbols)
+	total := nseg * w.Bits
+	if total > 128 {
+		panic(fmt.Sprintf("sortable: %d segments x %d bits = %d > 128 bits", nseg, w.Bits, total))
+	}
+	var k Key
+	pos := 0
+	for s := 0; s < nseg; s++ {
+		for b := w.Bits - 1; b >= 0; b-- {
+			if (w.Symbols[s]>>uint(b))&1 != 0 {
+				k.setBit(pos)
+			}
+			pos++
+		}
+	}
+	return k
+}
+
+// Deconcat inverts Concat given the segment count and cardinality bits.
+func Deconcat(k Key, nseg, bitsPer int) sax.Word {
+	total := nseg * bitsPer
+	if total > 128 {
+		panic(fmt.Sprintf("sortable: %d segments x %d bits = %d > 128 bits", nseg, bitsPer, total))
+	}
+	syms := make([]uint8, nseg)
+	pos := 0
+	for s := 0; s < nseg; s++ {
+		for b := bitsPer - 1; b >= 0; b-- {
+			if k.bit(pos) {
+				syms[s] |= 1 << uint(b)
+			}
+			pos++
+		}
+	}
+	return sax.Word{Symbols: syms, Bits: bitsPer}
+}
+
+// Deinterleave inverts Interleave, recovering the iSAX word given the
+// segment count and cardinality bits it was encoded with.
+func Deinterleave(k Key, nseg, bitsPer int) sax.Word {
+	total := nseg * bitsPer
+	if total > 128 {
+		panic(fmt.Sprintf("sortable: %d segments x %d bits = %d > 128 bits", nseg, bitsPer, total))
+	}
+	syms := make([]uint8, nseg)
+	pos := 0
+	for r := 0; r < bitsPer; r++ {
+		dstBit := uint(bitsPer - 1 - r)
+		for s := 0; s < nseg; s++ {
+			if k.bit(pos) {
+				syms[s] |= 1 << dstBit
+			}
+			pos++
+		}
+	}
+	return sax.Word{Symbols: syms, Bits: bitsPer}
+}
+
+// FromSeries is a convenience: summarize a (z-normalized) series with w
+// segments at bits cardinality bits and interleave in one step.
+func FromSeries(s series.Series, w, bitsPer int) Key {
+	return Interleave(sax.FromSeries(s, w, bitsPer))
+}
+
+func (k *Key) setBit(pos int) {
+	if pos < 64 {
+		k.Hi |= 1 << uint(63-pos)
+	} else {
+		k.Lo |= 1 << uint(127-pos)
+	}
+}
+
+func (k Key) bit(pos int) bool {
+	if pos < 64 {
+		return k.Hi&(1<<uint(63-pos)) != 0
+	}
+	return k.Lo&(1<<uint(127-pos)) != 0
+}
+
+// Compare returns -1, 0, or +1 comparing k and o as 128-bit big-endian
+// unsigned integers.
+func (k Key) Compare(o Key) int {
+	switch {
+	case k.Hi < o.Hi:
+		return -1
+	case k.Hi > o.Hi:
+		return 1
+	case k.Lo < o.Lo:
+		return -1
+	case k.Lo > o.Lo:
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether k sorts before o.
+func (k Key) Less(o Key) bool { return k.Compare(o) < 0 }
+
+// IsZero reports whether k is the all-zero key.
+func (k Key) IsZero() bool { return k.Hi == 0 && k.Lo == 0 }
+
+// CommonPrefixLen returns the number of leading bits shared by k and o
+// (0..128). Keys sharing longer prefixes agree on more interleaving rounds,
+// i.e. on coarser iSAX representations of more significance.
+func (k Key) CommonPrefixLen(o Key) int {
+	if k.Hi != o.Hi {
+		return bits.LeadingZeros64(k.Hi ^ o.Hi)
+	}
+	if k.Lo != o.Lo {
+		return 64 + bits.LeadingZeros64(k.Lo^o.Lo)
+	}
+	return 128
+}
+
+// PrefixRound truncates the key after the first `rounds` interleaving rounds
+// for nseg segments, zeroing everything below: the coarsened z-order cell
+// lower bound. Two keys with equal PrefixRound(r) have identical iSAX words
+// at cardinality 2^r.
+func (k Key) PrefixRound(rounds, nseg int) Key {
+	keep := rounds * nseg
+	return k.truncate(keep)
+}
+
+func (k Key) truncate(keep int) Key {
+	if keep <= 0 {
+		return Key{}
+	}
+	if keep >= 128 {
+		return k
+	}
+	var out Key
+	if keep <= 64 {
+		out.Hi = k.Hi &^ (^uint64(0) >> uint(keep))
+	} else {
+		out.Hi = k.Hi
+		out.Lo = k.Lo &^ (^uint64(0) >> uint(keep-64))
+	}
+	return out
+}
+
+// AppendBinary appends the 16-byte big-endian encoding of k to buf; the
+// encoding preserves order under bytes.Compare.
+func (k Key) AppendBinary(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, k.Hi)
+	buf = binary.BigEndian.AppendUint64(buf, k.Lo)
+	return buf
+}
+
+// DecodeKey decodes a key from the first 16 bytes of buf.
+func DecodeKey(buf []byte) Key {
+	return Key{
+		Hi: binary.BigEndian.Uint64(buf),
+		Lo: binary.BigEndian.Uint64(buf[8:]),
+	}
+}
+
+// String renders the key as 32 hex digits.
+func (k Key) String() string { return fmt.Sprintf("%016x%016x", k.Hi, k.Lo) }

@@ -1,0 +1,86 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/series"
+)
+
+// RawFile stores the original data series on a Disk, addressed by series ID.
+// Non-materialized indexes keep only (key, ID) pairs and fetch originals
+// from a RawFile during search — each fetch costing (typically random) page
+// I/O, which is exactly the space/time trade-off the paper describes.
+type RawFile struct {
+	rf     *RecordFile
+	n      int   // series length
+	count  int64 // number of series
+	disk   *Disk
+	name   string
+	writer *RecordWriter
+}
+
+// CreateRawFile creates a raw series file for series of length n and returns
+// it ready for appending.
+func CreateRawFile(d *Disk, name string, n int) (*RawFile, error) {
+	w, err := NewRecordWriter(d, name, series.Size(n))
+	if err != nil {
+		return nil, err
+	}
+	return &RawFile{n: n, disk: d, name: name, writer: w}, nil
+}
+
+// Append adds a series, returning its ID. It must not be called after Seal.
+func (r *RawFile) Append(s series.Series) (int, error) {
+	if r.writer == nil {
+		return 0, fmt.Errorf("storage: raw file %q is sealed", r.name)
+	}
+	if len(s) != r.n {
+		return 0, fmt.Errorf("storage: series length %d, want %d", len(s), r.n)
+	}
+	id := int(r.count)
+	if err := r.writer.Write(s.AppendBinary(make([]byte, 0, series.Size(r.n)))); err != nil {
+		return 0, err
+	}
+	r.count++
+	return id, nil
+}
+
+// Seal flushes pending writes and switches the file to read mode.
+func (r *RawFile) Seal() error {
+	if r.writer == nil {
+		return nil
+	}
+	if err := r.writer.Close(); err != nil {
+		return err
+	}
+	r.writer = nil
+	rf, err := OpenRecordFile(r.disk, r.name, series.Size(r.n))
+	if err != nil {
+		return err
+	}
+	r.rf = rf
+	return nil
+}
+
+// Get fetches the series with the given ID (read mode only).
+func (r *RawFile) Get(id int) (series.Series, error) {
+	if r.rf == nil {
+		return nil, fmt.Errorf("storage: raw file %q not sealed for reading", r.name)
+	}
+	if id < 0 || int64(id) >= r.count {
+		return nil, fmt.Errorf("%w: series %d of %d", ErrOutOfRange, id, r.count)
+	}
+	rec, err := r.rf.Get(int64(id))
+	if err != nil {
+		return nil, err
+	}
+	return series.DecodeBinary(rec, r.n)
+}
+
+// Count returns the number of series stored.
+func (r *RawFile) Count() int { return int(r.count) }
+
+// SeriesLen returns the length of each stored series.
+func (r *RawFile) SeriesLen() int { return r.n }
+
+var _ series.RawStore = (*RawFile)(nil)

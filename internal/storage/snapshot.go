@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Snapshot format: the whole simulated disk serialized to a real file, so
+// built indexes survive process restarts and can be shipped around.
+//
+//	magic "CCNUTDSK" | version u32 | pageSize u32 | fileCount u32
+//	per file: nameLen u32 | name | pageCount u64 | pages (pageSize each)
+const (
+	snapshotMagic   = "CCNUTDSK"
+	snapshotVersion = 1
+)
+
+// WriteTo serializes the disk's full contents (all files and pages) to w.
+// Serialization does not touch the I/O accounting.
+func (d *Disk) WriteTo(w io.Writer) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	if err := write([]byte(snapshotMagic)); err != nil {
+		return n, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], snapshotVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(d.pageSize))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(d.files)))
+	if err := write(hdr[:]); err != nil {
+		return n, err
+	}
+	names := make([]string, 0, len(d.files))
+	for name := range d.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := d.files[name]
+		var fh [4]byte
+		binary.LittleEndian.PutUint32(fh[:], uint32(len(name)))
+		if err := write(fh[:]); err != nil {
+			return n, err
+		}
+		if err := write([]byte(name)); err != nil {
+			return n, err
+		}
+		var pc [8]byte
+		binary.LittleEndian.PutUint64(pc[:], uint64(len(f.pages)))
+		if err := write(pc[:]); err != nil {
+			return n, err
+		}
+		for _, page := range f.pages {
+			if err := write(page); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadDisk deserializes a disk snapshot produced by WriteTo. The returned
+// disk starts with zeroed I/O statistics.
+func ReadDisk(r io.Reader) (*Disk, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("storage: reading snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("storage: bad snapshot magic %q", magic)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != snapshotVersion {
+		return nil, fmt.Errorf("storage: unsupported snapshot version %d", v)
+	}
+	pageSize := int(binary.LittleEndian.Uint32(hdr[4:]))
+	fileCount := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if pageSize <= 0 || pageSize > 1<<24 {
+		return nil, fmt.Errorf("storage: implausible page size %d", pageSize)
+	}
+	d := NewDisk(pageSize)
+	for i := 0; i < fileCount; i++ {
+		var fh [4]byte
+		if _, err := io.ReadFull(br, fh[:]); err != nil {
+			return nil, fmt.Errorf("storage: truncated snapshot (file %d): %w", i, err)
+		}
+		nameLen := int(binary.LittleEndian.Uint32(fh[:]))
+		if nameLen <= 0 || nameLen > 1<<16 {
+			return nil, fmt.Errorf("storage: implausible file name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, err
+		}
+		var pc [8]byte
+		if _, err := io.ReadFull(br, pc[:]); err != nil {
+			return nil, err
+		}
+		pages := binary.LittleEndian.Uint64(pc[:])
+		f := &file{name: string(nameBuf), pages: make([][]byte, pages)}
+		for p := range f.pages {
+			f.pages[p] = make([]byte, pageSize)
+			if _, err := io.ReadFull(br, f.pages[p]); err != nil {
+				return nil, fmt.Errorf("storage: truncated snapshot (file %q page %d): %w", f.name, p, err)
+			}
+		}
+		if _, ok := d.files[f.name]; ok {
+			return nil, fmt.Errorf("storage: duplicate file %q in snapshot", f.name)
+		}
+		d.files[f.name] = f
+	}
+	return d, nil
+}
+
+// SaveFile writes the disk snapshot to a real file on the host filesystem.
+func (d *Disk) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := d.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDiskFile reads a disk snapshot from the host filesystem.
+func LoadDiskFile(path string) (*Disk, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDisk(f)
+}

@@ -1,0 +1,361 @@
+// Package storage provides the page-based storage layer beneath every index
+// in the repository. It substitutes for the raw disks of the paper's C/C++
+// algorithms server: all reads and writes go through fixed-size pages, and
+// the layer accounts sequential vs. random accesses separately so that the
+// I/O-pattern claims of the paper (compact & contiguous layouts are
+// sequential; top-down-built trees are random) become measurable and
+// reproducible. An optional access tracer feeds the heat-map visualization.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultPageSize is the page size used unless configured otherwise.
+const DefaultPageSize = 4096
+
+// Errors returned by the storage layer.
+var (
+	ErrNotFound   = errors.New("storage: file not found")
+	ErrExists     = errors.New("storage: file already exists")
+	ErrOutOfRange = errors.New("storage: page out of range")
+)
+
+// Stats accumulates I/O accounting. The disk models a single head: an
+// access to page p of file f is sequential when the immediately preceding
+// access touched the same file at page p-1 (or p itself, a buffered
+// repeat); anything else — including switching files — counts as random.
+// Multi-page operations (ReadPages, AppendPages) therefore cost at most one
+// random access followed by sequential ones, which is how buffered
+// streaming I/O earns its sequential profile.
+type Stats struct {
+	SeqReads   int64
+	RandReads  int64
+	SeqWrites  int64
+	RandWrites int64
+}
+
+// Reads returns total page reads.
+func (s Stats) Reads() int64 { return s.SeqReads + s.RandReads }
+
+// Writes returns total page writes.
+func (s Stats) Writes() int64 { return s.SeqWrites + s.RandWrites }
+
+// Total returns total page accesses.
+func (s Stats) Total() int64 { return s.Reads() + s.Writes() }
+
+// Sub returns s - o, useful for measuring a window of activity.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		SeqReads:   s.SeqReads - o.SeqReads,
+		RandReads:  s.RandReads - o.RandReads,
+		SeqWrites:  s.SeqWrites - o.SeqWrites,
+		RandWrites: s.RandWrites - o.RandWrites,
+	}
+}
+
+// Add returns s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		SeqReads:   s.SeqReads + o.SeqReads,
+		RandReads:  s.RandReads + o.RandReads,
+		SeqWrites:  s.SeqWrites + o.SeqWrites,
+		RandWrites: s.RandWrites + o.RandWrites,
+	}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("seqR=%d randR=%d seqW=%d randW=%d", s.SeqReads, s.RandReads, s.SeqWrites, s.RandWrites)
+}
+
+// CostModel prices page accesses. The defaults approximate a spinning disk
+// where a random access costs 10x a sequential one; the ratio, not the
+// absolute unit, drives every comparison in the experiments.
+type CostModel struct {
+	SeqCost  float64 // cost units per sequential page access
+	RandCost float64 // cost units per random page access
+}
+
+// DefaultCostModel is the disk-like model used by the benchmarks.
+var DefaultCostModel = CostModel{SeqCost: 1, RandCost: 10}
+
+// Cost returns the total cost of the accounted accesses under m.
+func (s Stats) Cost(m CostModel) float64 {
+	return float64(s.SeqReads+s.SeqWrites)*m.SeqCost + float64(s.RandReads+s.RandWrites)*m.RandCost
+}
+
+// Tracer observes every page access; the heat-map package implements it.
+type Tracer interface {
+	Access(file string, page int64, write bool)
+}
+
+// Disk is a simulated page-addressed disk holding named files. It is safe
+// for concurrent use. Pages are PageSize bytes; files grow by appending
+// pages.
+type Disk struct {
+	pageSize int
+
+	mu       sync.Mutex
+	files    map[string]*file
+	stats    Stats
+	tracer   Tracer
+	headFile *file // file under the head after the last access
+	headPage int64 // page under the head after the last access
+}
+
+type file struct {
+	name  string
+	pages [][]byte
+}
+
+// NewDisk creates an empty disk with the given page size (0 means
+// DefaultPageSize).
+func NewDisk(pageSize int) *Disk {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Disk{pageSize: pageSize, files: make(map[string]*file)}
+}
+
+// PageSize returns the disk's page size in bytes.
+func (d *Disk) PageSize() int { return d.pageSize }
+
+// SetTracer installs (or removes, if nil) an access tracer.
+func (d *Disk) SetTracer(t Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracer = t
+}
+
+// Stats returns a snapshot of the accumulated I/O statistics.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the I/O statistics.
+func (d *Disk) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// Create creates an empty file. It fails if the name already exists.
+func (d *Disk) Create(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	d.files[name] = &file{name: name}
+	return nil
+}
+
+// Remove deletes a file and reclaims its pages.
+func (d *Disk) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if d.headFile == f {
+		d.headFile = nil
+	}
+	delete(d.files, name)
+	return nil
+}
+
+// Rename renames a file, failing if the target exists.
+func (d *Disk) Rename(oldName, newName string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, oldName)
+	}
+	if _, ok := d.files[newName]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, newName)
+	}
+	delete(d.files, oldName)
+	f.name = newName
+	d.files[newName] = f
+	return nil
+}
+
+// Exists reports whether a file exists.
+func (d *Disk) Exists(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.files[name]
+	return ok
+}
+
+// Files returns the names of all files, sorted.
+func (d *Disk) Files() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.files))
+	for name := range d.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumPages returns the number of pages in a file.
+func (d *Disk) NumPages(name string) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return int64(len(f.pages)), nil
+}
+
+// TotalPages returns the number of pages across all files (the storage
+// footprint).
+func (d *Disk) TotalPages() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for _, f := range d.files {
+		n += int64(len(f.pages))
+	}
+	return n
+}
+
+// ReadPage reads page number page of the named file into buf, which must be
+// at least PageSize bytes. It returns the number of bytes copied.
+func (d *Disk) ReadPage(name string, page int64, buf []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if page < 0 || page >= int64(len(f.pages)) {
+		return 0, fmt.Errorf("%w: %q page %d of %d", ErrOutOfRange, name, page, len(f.pages))
+	}
+	d.account(f, page, false)
+	return copy(buf, f.pages[page]), nil
+}
+
+// WritePage overwrites page number page of the named file. Writing exactly
+// one page past the end appends a new page.
+func (d *Disk) WritePage(name string, page int64, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if page < 0 || page > int64(len(f.pages)) {
+		return fmt.Errorf("%w: %q page %d of %d", ErrOutOfRange, name, page, len(f.pages))
+	}
+	if len(data) > d.pageSize {
+		return fmt.Errorf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize)
+	}
+	d.account(f, page, true)
+	p := make([]byte, d.pageSize)
+	copy(p, data)
+	if page == int64(len(f.pages)) {
+		f.pages = append(f.pages, p)
+	} else {
+		f.pages[page] = p
+	}
+	return nil
+}
+
+// AppendPage appends a page to the named file, returning its page number.
+func (d *Disk) AppendPage(name string, data []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if len(data) > d.pageSize {
+		return 0, fmt.Errorf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize)
+	}
+	page := int64(len(f.pages))
+	d.account(f, page, true)
+	p := make([]byte, d.pageSize)
+	copy(p, data)
+	f.pages = append(f.pages, p)
+	return page, nil
+}
+
+// ReadPages reads up to n consecutive pages starting at page into buf
+// (which must hold n*PageSize bytes), returning how many pages were read
+// (clamped at end of file). One head movement plus sequential transfers.
+func (d *Disk) ReadPages(name string, page int64, n int, buf []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if page < 0 || page >= int64(len(f.pages)) {
+		return 0, fmt.Errorf("%w: %q page %d of %d", ErrOutOfRange, name, page, len(f.pages))
+	}
+	if len(buf) < n*d.pageSize {
+		return 0, fmt.Errorf("storage: buffer %d bytes for %d pages of %d", len(buf), n, d.pageSize)
+	}
+	got := 0
+	for i := 0; i < n && page+int64(i) < int64(len(f.pages)); i++ {
+		d.account(f, page+int64(i), false)
+		copy(buf[i*d.pageSize:(i+1)*d.pageSize], f.pages[page+int64(i)])
+		got++
+	}
+	return got, nil
+}
+
+// AppendPages appends len(data)/PageSize full pages plus any trailing
+// partial page to the named file, returning the first new page number. One
+// head movement plus sequential transfers.
+func (d *Disk) AppendPages(name string, data []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	first := int64(len(f.pages))
+	for off := 0; off < len(data); off += d.pageSize {
+		end := off + d.pageSize
+		if end > len(data) {
+			end = len(data)
+		}
+		p := make([]byte, d.pageSize)
+		copy(p, data[off:end])
+		d.account(f, int64(len(f.pages)), true)
+		f.pages = append(f.pages, p)
+	}
+	return first, nil
+}
+
+// account must be called with d.mu held.
+func (d *Disk) account(f *file, page int64, write bool) {
+	sequential := d.headFile == f && (page == d.headPage+1 || page == d.headPage)
+	d.headFile = f
+	d.headPage = page
+	switch {
+	case write && sequential:
+		d.stats.SeqWrites++
+	case write:
+		d.stats.RandWrites++
+	case sequential:
+		d.stats.SeqReads++
+	default:
+		d.stats.RandReads++
+	}
+	if d.tracer != nil {
+		d.tracer.Access(f.name, page, write)
+	}
+}

@@ -1,0 +1,261 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+)
+
+// DefaultBufferPages is the read-ahead / write-behind chunk size (in pages)
+// used by record streams unless configured otherwise. Streaming through a
+// chunk costs one head movement and then sequential transfers, which is how
+// external sorting and log-structured writes earn their sequential I/O
+// profile.
+const DefaultBufferPages = 16
+
+// RecordWriter appends fixed-size records to a file, packing as many whole
+// records per page as fit (records never span pages, as in slotted pages).
+// Completed pages accumulate in a write-behind chunk flushed with a single
+// multi-page append. Close flushes the final partial page.
+type RecordWriter struct {
+	disk     *Disk
+	name     string
+	recSize  int
+	perPage  int
+	bufPages int
+	page     []byte // current page being assembled
+	n        int    // records in current page
+	chunk    []byte // completed pages awaiting append
+	total    int64  // records written in total
+	closed   bool
+}
+
+// NewRecordWriter creates the file (which must not exist) and returns a
+// writer of recSize-byte records with the default write-behind buffer.
+func NewRecordWriter(d *Disk, name string, recSize int) (*RecordWriter, error) {
+	return NewRecordWriterBuffered(d, name, recSize, DefaultBufferPages)
+}
+
+// NewRecordWriterBuffered is NewRecordWriter with an explicit write-behind
+// buffer of bufPages pages (min 1).
+func NewRecordWriterBuffered(d *Disk, name string, recSize, bufPages int) (*RecordWriter, error) {
+	perPage := d.PageSize() / recSize
+	if perPage < 1 {
+		return nil, fmt.Errorf("storage: record size %d exceeds page size %d", recSize, d.PageSize())
+	}
+	if bufPages < 1 {
+		bufPages = 1
+	}
+	if err := d.Create(name); err != nil {
+		return nil, err
+	}
+	return &RecordWriter{
+		disk:     d,
+		name:     name,
+		recSize:  recSize,
+		perPage:  perPage,
+		bufPages: bufPages,
+		page:     make([]byte, d.PageSize()),
+		chunk:    make([]byte, 0, bufPages*d.PageSize()),
+	}, nil
+}
+
+// Write appends one record, which must be exactly recSize bytes.
+func (w *RecordWriter) Write(rec []byte) error {
+	if w.closed {
+		return fmt.Errorf("storage: write to closed writer %q", w.name)
+	}
+	if len(rec) != w.recSize {
+		return fmt.Errorf("storage: record size %d, want %d", len(rec), w.recSize)
+	}
+	copy(w.page[w.n*w.recSize:], rec)
+	w.n++
+	w.total++
+	if w.n == w.perPage {
+		w.chunk = append(w.chunk, w.page...)
+		w.n = 0
+		if len(w.chunk) >= w.bufPages*w.disk.PageSize() {
+			return w.flushChunk()
+		}
+	}
+	return nil
+}
+
+func (w *RecordWriter) flushChunk() error {
+	if len(w.chunk) == 0 {
+		return nil
+	}
+	if _, err := w.disk.AppendPages(w.name, w.chunk); err != nil {
+		return err
+	}
+	w.chunk = w.chunk[:0]
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *RecordWriter) Count() int64 { return w.total }
+
+// Close flushes buffered pages, including a final partial page. The record
+// count must then be tracked by the caller (files carry no header).
+func (w *RecordWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.n > 0 {
+		w.chunk = append(w.chunk, w.page[:w.n*w.recSize]...)
+		w.n = 0
+	}
+	return w.flushChunk()
+}
+
+// RecordReader scans fixed-size records from a file sequentially with
+// read-ahead. The caller supplies the total record count (files carry no
+// header).
+type RecordReader struct {
+	disk     *Disk
+	name     string
+	recSize  int
+	perPage  int
+	bufPages int
+	chunk    []byte // read-ahead buffer
+	chunkN   int    // pages currently in chunk
+	pageIdx  int    // page within chunk holding the next record
+	idx      int    // record within current page
+	nextPage int64  // next file page to fetch
+	npages   int64
+	read     int64 // records returned so far
+	count    int64 // total records in file
+}
+
+// NewRecordReader opens a sequential reader over count records of recSize
+// bytes in the named file, with the default read-ahead.
+func NewRecordReader(d *Disk, name string, recSize int, count int64) (*RecordReader, error) {
+	return NewRecordReaderBuffered(d, name, recSize, count, DefaultBufferPages)
+}
+
+// NewRecordReaderBuffered is NewRecordReader with an explicit read-ahead of
+// bufPages pages (min 1).
+func NewRecordReaderBuffered(d *Disk, name string, recSize int, count int64, bufPages int) (*RecordReader, error) {
+	perPage := d.PageSize() / recSize
+	if perPage < 1 {
+		return nil, fmt.Errorf("storage: record size %d exceeds page size %d", recSize, d.PageSize())
+	}
+	if bufPages < 1 {
+		bufPages = 1
+	}
+	npages, err := d.NumPages(name)
+	if err != nil {
+		return nil, err
+	}
+	need := (count + int64(perPage) - 1) / int64(perPage)
+	if npages < need {
+		return nil, fmt.Errorf("storage: file %q has %d pages, need %d for %d records", name, npages, need, count)
+	}
+	return &RecordReader{
+		disk:     d,
+		name:     name,
+		recSize:  recSize,
+		perPage:  perPage,
+		bufPages: bufPages,
+		chunk:    make([]byte, bufPages*d.PageSize()),
+		npages:   npages,
+		count:    count,
+	}, nil
+}
+
+// Next returns the next record, or io.EOF when exhausted. The returned slice
+// aliases an internal buffer valid until the next call.
+func (r *RecordReader) Next() ([]byte, error) {
+	if r.read >= r.count {
+		return nil, io.EOF
+	}
+	if r.idx >= r.perPage {
+		// Current page exhausted: move within the chunk or refill.
+		if r.pageIdx+1 < r.chunkN {
+			r.pageIdx++
+			r.idx = 0
+		} else if err := r.fill(); err != nil {
+			return nil, err
+		}
+	} else if r.chunkN == 0 {
+		if err := r.fill(); err != nil {
+			return nil, err
+		}
+	}
+	pageOff := r.pageIdx * r.disk.PageSize()
+	rec := r.chunk[pageOff+r.idx*r.recSize : pageOff+(r.idx+1)*r.recSize]
+	r.idx++
+	r.read++
+	return rec, nil
+}
+
+func (r *RecordReader) fill() error {
+	if r.nextPage >= r.npages {
+		return io.EOF
+	}
+	want := r.bufPages
+	if rem := r.npages - r.nextPage; rem < int64(want) {
+		want = int(rem)
+	}
+	got, err := r.disk.ReadPages(r.name, r.nextPage, want, r.chunk)
+	if err != nil {
+		return err
+	}
+	r.nextPage += int64(got)
+	r.chunkN = got
+	r.pageIdx = 0
+	r.idx = 0
+	return nil
+}
+
+// Remaining returns how many records are left to read.
+func (r *RecordReader) Remaining() int64 { return r.count - r.read }
+
+// RecordFile provides random access to fixed-size records in a file.
+type RecordFile struct {
+	disk    *Disk
+	name    string
+	recSize int
+	perPage int
+	buf     []byte
+	curPage int64 // page currently in buf, -1 if none
+}
+
+// OpenRecordFile opens the named file for random record access.
+func OpenRecordFile(d *Disk, name string, recSize int) (*RecordFile, error) {
+	perPage := d.PageSize() / recSize
+	if perPage < 1 {
+		return nil, fmt.Errorf("storage: record size %d exceeds page size %d", recSize, d.PageSize())
+	}
+	if !d.Exists(name) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return &RecordFile{
+		disk:    d,
+		name:    name,
+		recSize: recSize,
+		perPage: perPage,
+		buf:     make([]byte, d.PageSize()),
+		curPage: -1,
+	}, nil
+}
+
+// Get reads record number i. Page reads hit the disk (and its accounting)
+// unless i falls on the page read by the immediately preceding call.
+func (f *RecordFile) Get(i int64) ([]byte, error) {
+	if i < 0 {
+		return nil, fmt.Errorf("%w: record %d", ErrOutOfRange, i)
+	}
+	page := i / int64(f.perPage)
+	if page != f.curPage {
+		if _, err := f.disk.ReadPage(f.name, page, f.buf); err != nil {
+			return nil, err
+		}
+		f.curPage = page
+	}
+	off := int(i%int64(f.perPage)) * f.recSize
+	return f.buf[off : off+f.recSize], nil
+}
+
+// RecordsPerPage reports how many records fit on one page.
+func (f *RecordFile) RecordsPerPage() int { return f.perPage }

@@ -1,0 +1,347 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/extsort"
+	"repro/internal/index"
+	"repro/internal/record"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// btpPart is one temporal partition: a key-sorted run on disk covering a
+// contiguous time range. Parts are kept in time order (oldest first).
+type btpPart struct {
+	file         string
+	count        int64
+	minTS, maxTS int64
+	class        int // size class; merging K class-c parts yields class c+1
+}
+
+// BTP implements Bounded Temporal Partitioning — the scheme the sortable
+// summarization makes possible (Section 3). Buffer flushes create class-0
+// partitions; whenever MergeFactor time-adjacent partitions of the same
+// class accumulate, they are sort-merged into one partition of the next
+// class. Newer data therefore lives in small partitions (cheap small-window
+// queries, as TP) while older data consolidates into large contiguous runs
+// (effective pruning and bounded partition counts for large windows, as PP).
+type BTP struct {
+	disk        *storage.Disk
+	name        string
+	cfg         index.Config
+	codec       record.Codec
+	raw         series.RawStore
+	sum         summarizer
+	bufferCap   int
+	mergeFactor int
+	buffer      []record.Entry
+	parts       []btpPart
+	seq         int
+	count       int64
+	merges      int64
+	pageBuf     []byte
+}
+
+// NewBTP builds a bounded-temporal-partitioning scheme over sorted runs.
+// mergeFactor is the number of same-class partitions that triggers a merge
+// (default 2, the most aggressive bounding).
+func NewBTP(disk *storage.Disk, name string, cfg index.Config, bufferCap, mergeFactor int, raw series.RawStore) (*BTP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if disk == nil {
+		return nil, fmt.Errorf("stream: Disk is required")
+	}
+	if bufferCap < 1 {
+		return nil, fmt.Errorf("stream: bufferCap must be positive, got %d", bufferCap)
+	}
+	if mergeFactor == 0 {
+		mergeFactor = 2
+	}
+	if mergeFactor < 2 {
+		return nil, fmt.Errorf("stream: mergeFactor must be >= 2, got %d", mergeFactor)
+	}
+	codec := cfg.Codec()
+	if codec.Size() > disk.PageSize() {
+		return nil, fmt.Errorf("stream: entry size %d exceeds page size %d", codec.Size(), disk.PageSize())
+	}
+	return &BTP{
+		disk:        disk,
+		name:        name,
+		cfg:         cfg,
+		codec:       codec,
+		raw:         raw,
+		sum:         summarizer{cfg: cfg},
+		bufferCap:   bufferCap,
+		mergeFactor: mergeFactor,
+		pageBuf:     make([]byte, disk.PageSize()),
+	}, nil
+}
+
+// Name implements Scheme.
+func (b *BTP) Name() string {
+	if b.cfg.Materialized {
+		return "CLSMFull+BTP"
+	}
+	return "CLSM+BTP"
+}
+
+// Ingest implements Scheme.
+func (b *BTP) Ingest(s series.Series, ts int64) (int64, error) {
+	e, err := b.sum.entry(s, ts)
+	if err != nil {
+		return 0, err
+	}
+	b.buffer = append(b.buffer, e)
+	b.count++
+	if len(b.buffer) >= b.bufferCap {
+		return e.ID, b.Seal()
+	}
+	return e.ID, nil
+}
+
+// Seal implements Scheme: flush the buffer into a class-0 partition and
+// apply the bounding merges.
+func (b *BTP) Seal() error {
+	if len(b.buffer) == 0 {
+		return nil
+	}
+	minTS, maxTS := b.buffer[0].TS, b.buffer[0].TS
+	for _, e := range b.buffer {
+		if e.TS < minTS {
+			minTS = e.TS
+		}
+		if e.TS > maxTS {
+			maxTS = e.TS
+		}
+	}
+	sort.Slice(b.buffer, func(i, j int) bool { return b.buffer[i].Less(b.buffer[j]) })
+	b.seq++
+	file := fmt.Sprintf("%s.btp.%06d", b.name, b.seq)
+	w, err := storage.NewRecordWriter(b.disk, file, b.codec.Size())
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, b.codec.Size())
+	for _, e := range b.buffer {
+		buf = buf[:0]
+		if buf, err = b.codec.Append(buf, e); err != nil {
+			return err
+		}
+		if err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	b.parts = append(b.parts, btpPart{file: file, count: int64(len(b.buffer)), minTS: minTS, maxTS: maxTS, class: 0})
+	b.buffer = nil
+	return b.bound()
+}
+
+// bound sort-merges any run of mergeFactor time-adjacent same-class
+// partitions into the next class, repeating until no such run exists.
+// Because partitions are created in time order and merges preserve
+// adjacency, time ranges across partitions stay disjoint and ordered.
+func (b *BTP) bound() error {
+	sorter := &extsort.Sorter{Disk: b.disk, Codec: b.codec, MemBudget: 1 << 20, TmpPrefix: b.name + ".btpmerge"}
+	for {
+		i := b.findMergeRun()
+		if i < 0 {
+			return nil
+		}
+		group := b.parts[i : i+b.mergeFactor]
+		names := make([]string, len(group))
+		counts := make([]int64, len(group))
+		minTS, maxTS := group[0].minTS, group[0].maxTS
+		for j, p := range group {
+			names[j] = p.file
+			counts[j] = p.count
+			if p.minTS < minTS {
+				minTS = p.minTS
+			}
+			if p.maxTS > maxTS {
+				maxTS = p.maxTS
+			}
+		}
+		b.seq++
+		merged := fmt.Sprintf("%s.btp.%06d", b.name, b.seq)
+		total, err := sorter.MergeSorted(names, counts, merged)
+		if err != nil {
+			return err
+		}
+		for _, p := range group {
+			if err := b.disk.Remove(p.file); err != nil {
+				return err
+			}
+		}
+		newPart := btpPart{file: merged, count: total, minTS: minTS, maxTS: maxTS, class: group[0].class + 1}
+		rest := append([]btpPart{}, b.parts[:i]...)
+		rest = append(rest, newPart)
+		rest = append(rest, b.parts[i+b.mergeFactor:]...)
+		b.parts = rest
+		b.merges++
+	}
+}
+
+// findMergeRun returns the index of the first run of mergeFactor
+// consecutive partitions sharing a class, or -1.
+func (b *BTP) findMergeRun() int {
+	for i := 0; i+b.mergeFactor <= len(b.parts); i++ {
+		c := b.parts[i].class
+		ok := true
+		for j := 1; j < b.mergeFactor; j++ {
+			if b.parts[i+j].class != c {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// Count implements Scheme.
+func (b *BTP) Count() int64 { return b.count }
+
+// Partitions implements Scheme.
+func (b *BTP) Partitions() int { return len(b.parts) }
+
+// Merges returns the number of partition merges performed.
+func (b *BTP) Merges() int64 { return b.merges }
+
+// ApproxSearch implements Scheme: the buffer is scanned and each
+// intersecting partition is probed at the query key's page.
+func (b *BTP) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
+	col := index.NewCollector(k)
+	if err := b.scanBuffer(q, col); err != nil {
+		return nil, err
+	}
+	for _, p := range b.parts {
+		if !intersects(q, p.minTS, p.maxTS) {
+			continue
+		}
+		if err := b.probePart(p, q, col); err != nil {
+			return nil, err
+		}
+	}
+	return col.Results(), nil
+}
+
+// ExactSearch implements Scheme: approximate first for the bound, then a
+// sequential pruned scan of every intersecting partition. Partitions whose
+// range falls outside the window are skipped wholesale — the bandwidth
+// saving TP pioneered, here with a bounded partition count.
+func (b *BTP) ExactSearch(q index.Query, k int) ([]index.Result, error) {
+	approx, err := b.ApproxSearch(q, k)
+	if err != nil {
+		return nil, err
+	}
+	col := index.NewCollector(k)
+	for _, r := range approx {
+		col.Add(r)
+	}
+	if err := b.scanBuffer(q, col); err != nil {
+		return nil, err
+	}
+	for _, p := range b.parts {
+		if !intersects(q, p.minTS, p.maxTS) {
+			continue
+		}
+		if err := b.scanPart(p, q, col); err != nil {
+			return nil, err
+		}
+	}
+	return col.Results(), nil
+}
+
+func (b *BTP) scanBuffer(q index.Query, col *index.Collector) error {
+	for _, e := range b.buffer {
+		if !q.InWindow(e.TS) {
+			continue
+		}
+		bound := col.Worst()
+		if col.Full() && b.cfg.MinDistKey(q.PAA, e.Key) >= bound {
+			continue
+		}
+		d, err := index.TrueDist(q, e, b.raw, bound)
+		if err != nil {
+			return err
+		}
+		col.Add(index.Result{ID: e.ID, TS: e.TS, Dist: d})
+	}
+	return nil
+}
+
+func (b *BTP) perPage() int { return b.disk.PageSize() / b.codec.Size() }
+
+// probePart binary-searches a partition's pages for the query key and
+// evaluates the covering page.
+func (b *BTP) probePart(p btpPart, q index.Query, col *index.Collector) error {
+	perPage := b.perPage()
+	pages := int((p.count + int64(perPage) - 1) / int64(perPage))
+	if pages == 0 {
+		return nil
+	}
+	lo, hi := 0, pages-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if _, err := b.disk.ReadPage(p.file, int64(mid), b.pageBuf); err != nil {
+			return err
+		}
+		if q.Key.Less(record.DecodeKeyOnly(b.pageBuf)) {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	return b.evalPage(p, lo, q, col, false)
+}
+
+// scanPart scans a partition sequentially with lower-bound pruning.
+func (b *BTP) scanPart(p btpPart, q index.Query, col *index.Collector) error {
+	perPage := b.perPage()
+	pages := int((p.count + int64(perPage) - 1) / int64(perPage))
+	for pg := 0; pg < pages; pg++ {
+		if err := b.evalPage(p, pg, q, col, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *BTP) evalPage(p btpPart, page int, q index.Query, col *index.Collector, prune bool) error {
+	if _, err := b.disk.ReadPage(p.file, int64(page), b.pageBuf); err != nil {
+		return err
+	}
+	perPage := b.perPage()
+	start := int64(page) * int64(perPage)
+	n := perPage
+	if rem := p.count - start; rem < int64(n) {
+		n = int(rem)
+	}
+	recSize := b.codec.Size()
+	cands := make([]record.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		rec := b.pageBuf[i*recSize : (i+1)*recSize]
+		if prune && col.Full() && b.cfg.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) >= col.Worst() {
+			continue // cheap reject before even decoding
+		}
+		e, err := b.codec.Decode(rec)
+		if err != nil {
+			return err
+		}
+		if q.InWindow(e.TS) {
+			cands = append(cands, e)
+		}
+	}
+	_, err := index.EvalCandidates(q, cands, b.cfg, b.raw, col)
+	return err
+}
+
+var _ Scheme = (*BTP)(nil)

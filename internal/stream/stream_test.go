@@ -1,0 +1,404 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adsplus"
+	"repro/internal/clsm"
+	"repro/internal/gen"
+	"repro/internal/index"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+func testConfig(materialized bool) index.Config {
+	return index.Config{SeriesLen: 64, Segments: 8, Bits: 8, Materialized: materialized}
+}
+
+// memRaw collects ingested z-normalized series as the schemes' raw store.
+type memRaw struct{ ss []series.Series }
+
+func (m *memRaw) Get(id int) (series.Series, error) { return m.ss[id], nil }
+func (m *memRaw) Count() int                        { return len(m.ss) }
+func (m *memRaw) add(s series.Series)               { m.ss = append(m.ss, s.ZNormalize()) }
+
+// streamData generates a deterministic timestamped stream.
+func streamData(n int, seed int64) ([]series.Series, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	ss := make([]series.Series, n)
+	ts := make([]int64, n)
+	for i := range ss {
+		ss[i] = gen.RandomWalk(rng, 64)
+		ts[i] = int64(i) // one arrival per tick
+	}
+	return ss, ts
+}
+
+// ingestAll pushes the stream through a scheme, mirroring series into raw.
+func ingestAll(t *testing.T, sc Scheme, raw *memRaw, ss []series.Series, ts []int64) {
+	t.Helper()
+	for i, s := range ss {
+		raw.add(s)
+		id, err := sc.Ingest(s, ts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != int64(i) {
+			t.Fatalf("ingest %d assigned id %d", i, id)
+		}
+	}
+}
+
+// bruteWindowKNN is ground truth: linear scan restricted to the window.
+func bruteWindowKNN(q series.Series, ss []series.Series, ts []int64, minTS, maxTS int64, k int) []index.Result {
+	col := index.NewCollector(k)
+	zq := q.ZNormalize()
+	for i, s := range ss {
+		if ts[i] < minTS || ts[i] > maxTS {
+			continue
+		}
+		col.Add(index.Result{ID: int64(i), TS: ts[i], Dist: math.Sqrt(zq.SqDist(s.ZNormalize()))})
+	}
+	return col.Results()
+}
+
+func newPPCLSM(t *testing.T, raw *memRaw, mat bool) *PP {
+	t.Helper()
+	disk := storage.NewDisk(0)
+	base, err := clsm.New(clsm.Options{Disk: disk, Config: testConfig(mat), BufferEntries: 128, Raw: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPP(base, testConfig(mat))
+}
+
+func newPPADS(t *testing.T, raw *memRaw, mat bool) *PP {
+	t.Helper()
+	disk := storage.NewDisk(0)
+	base, err := adsplus.New(adsplus.Options{Disk: disk, Config: testConfig(mat), Raw: raw, LeafCapacity: 64, BufferEntries: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPP(base, testConfig(mat))
+}
+
+func schemes(t *testing.T, raw *memRaw, mat bool) map[string]Scheme {
+	t.Helper()
+	out := map[string]Scheme{
+		"PP-CLSM": newPPCLSM(t, raw, mat),
+		"PP-ADS":  newPPADS(t, raw, mat),
+	}
+	diskTP := storage.NewDisk(0)
+	tp, err := NewTP("tp", testConfig(mat), CTreeFactory(diskTP, testConfig(mat), raw), 128, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["TP-CTree"] = tp
+	diskTPA := storage.NewDisk(0)
+	tpa, err := NewTP("tpa", testConfig(mat), ADSFactory(diskTPA, testConfig(mat), raw), 128, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["TP-ADS"] = tpa
+	btp, err := NewBTP(storage.NewDisk(0), "btp", testConfig(mat), 128, 2, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["BTP"] = btp
+	return out
+}
+
+func TestAllSchemesExactMatchesBruteForce(t *testing.T) {
+	ss, ts := streamData(600, 1)
+	for _, mat := range []bool{false, true} {
+		for name, sc := range schemes(t, &memRaw{}, mat) {
+			raw := &memRaw{}
+			// Rebuild scheme bound to this raw store.
+			_ = sc
+			scs := schemes(t, raw, mat)
+			sc = scs[name]
+			ingestAll(t, sc, raw, ss, ts)
+			rng := rand.New(rand.NewSource(10))
+			for trial := 0; trial < 5; trial++ {
+				q := gen.RandomWalk(rng, 64)
+				// Full-range window and a narrow window.
+				for _, w := range [][2]int64{{0, 599}, {200, 350}} {
+					want := bruteWindowKNN(q, ss, ts, w[0], w[1], 3)
+					qq := index.NewQuery(q, testConfig(mat)).WithWindow(w[0], w[1])
+					got, err := sc.ExactSearch(qq, 3)
+					if err != nil {
+						t.Fatalf("%s mat=%v: %v", name, mat, err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s mat=%v window %v: %d results, want %d", name, mat, w, len(got), len(want))
+					}
+					for i := range want {
+						if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+							t.Fatalf("%s mat=%v window %v result %d: dist %v want %v",
+								name, mat, w, i, got[i].Dist, want[i].Dist)
+						}
+						if got[i].TS < w[0] || got[i].TS > w[1] {
+							t.Fatalf("%s: result outside window: %+v", name, got[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPPNameAndPartitions(t *testing.T) {
+	raw := &memRaw{}
+	pp := newPPCLSM(t, raw, false)
+	if pp.Name() != "CLSM+PP" {
+		t.Fatalf("name = %q", pp.Name())
+	}
+	if pp.Partitions() != 1 {
+		t.Fatal("PP must report one partition")
+	}
+	ss, ts := streamData(50, 2)
+	ingestAll(t, pp, raw, ss, ts)
+	if pp.Count() != 50 {
+		t.Fatalf("count = %d", pp.Count())
+	}
+	if err := pp.Seal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPPartitionsGrowLinearly(t *testing.T) {
+	raw := &memRaw{}
+	disk := storage.NewDisk(0)
+	tp, err := NewTP("tp", testConfig(false), CTreeFactory(disk, testConfig(false), raw), 100, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ts := streamData(1000, 3)
+	ingestAll(t, tp, raw, ss, ts)
+	if tp.Partitions() != 10 {
+		t.Fatalf("TP partitions = %d, want 10", tp.Partitions())
+	}
+	if tp.Name() != "CTree+TP" {
+		t.Fatalf("name = %q", tp.Name())
+	}
+}
+
+func TestBTPBoundsPartitions(t *testing.T) {
+	raw := &memRaw{}
+	btp, err := NewBTP(storage.NewDisk(0), "btp", testConfig(false), 100, 2, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ts := streamData(1600, 4)
+	ingestAll(t, btp, raw, ss, ts)
+	// 16 flushes with merge factor 2: partition count stays logarithmic
+	// (binary-counter behavior), far below TP's 16.
+	if btp.Partitions() > 5 {
+		t.Fatalf("BTP partitions = %d, want <= 5 (log of 16 flushes)", btp.Partitions())
+	}
+	if btp.Merges() == 0 {
+		t.Fatal("expected merges")
+	}
+	if btp.Name() != "CLSM+BTP" {
+		t.Fatalf("name = %q", btp.Name())
+	}
+}
+
+func TestBTPTimeRangesDisjointOrdered(t *testing.T) {
+	raw := &memRaw{}
+	btp, err := NewBTP(storage.NewDisk(0), "btp", testConfig(false), 64, 2, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ts := streamData(1000, 5)
+	ingestAll(t, btp, raw, ss, ts)
+	for i := 1; i < len(btp.parts); i++ {
+		if btp.parts[i].minTS <= btp.parts[i-1].maxTS {
+			t.Fatalf("partitions %d,%d time-overlap: [%d,%d] then [%d,%d]",
+				i-1, i, btp.parts[i-1].minTS, btp.parts[i-1].maxTS, btp.parts[i].minTS, btp.parts[i].maxTS)
+		}
+	}
+	// Newer partitions have smaller class (newest data in small parts).
+	for i := 1; i < len(btp.parts); i++ {
+		if btp.parts[i].class > btp.parts[i-1].class {
+			t.Fatalf("class increases toward newer data: %d then %d", btp.parts[i-1].class, btp.parts[i].class)
+		}
+	}
+	// Entry conservation.
+	var total int64
+	for _, p := range btp.parts {
+		total += p.count
+	}
+	total += int64(len(btp.buffer))
+	if total != 1000 {
+		t.Fatalf("entries = %d, want 1000", total)
+	}
+}
+
+func TestBTPSmallWindowSkipsLargePartitions(t *testing.T) {
+	raw := &memRaw{}
+	disk := storage.NewDisk(0)
+	btp, err := NewBTP(disk, "btp", testConfig(true), 128, 2, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2648 entries = 20 full flushes plus a tail: the binary-counter merge
+	// state leaves one big old partition plus small recent ones. (At exact
+	// powers of two everything collapses into a single partition and small
+	// windows cannot save anything — by design.)
+	ss, ts := streamData(2648, 6)
+	ingestAll(t, btp, raw, ss, ts)
+	if err := btp.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	q := index.NewQuery(gen.RandomWalk(rand.New(rand.NewSource(66)), 64), testConfig(true))
+
+	// Recent small window: should cost far less I/O than the full range.
+	disk.ResetStats()
+	if _, err := btp.ExactSearch(q.WithWindow(2500, 2647), 1); err != nil {
+		t.Fatal(err)
+	}
+	smallIO := disk.Stats().Reads()
+	disk.ResetStats()
+	if _, err := btp.ExactSearch(q.WithWindow(0, 2647), 1); err != nil {
+		t.Fatal(err)
+	}
+	fullIO := disk.Stats().Reads()
+	if smallIO*3 > fullIO {
+		t.Errorf("small-window I/O %d not well below full-window %d", smallIO, fullIO)
+	}
+}
+
+func TestTPWindowSkipsPartitions(t *testing.T) {
+	raw := &memRaw{}
+	disk := storage.NewDisk(0)
+	tp, err := NewTP("tp", testConfig(true), CTreeFactory(disk, testConfig(true), raw), 128, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, ts := streamData(1024, 7)
+	ingestAll(t, tp, raw, ss, ts)
+	if err := tp.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	q := index.NewQuery(gen.RandomWalk(rand.New(rand.NewSource(77)), 64), testConfig(true))
+	disk.ResetStats()
+	if _, err := tp.ExactSearch(q.WithWindow(900, 1023), 1); err != nil {
+		t.Fatal(err)
+	}
+	smallIO := disk.Stats().Reads()
+	disk.ResetStats()
+	if _, err := tp.ExactSearch(q.WithWindow(0, 1023), 1); err != nil {
+		t.Fatal(err)
+	}
+	fullIO := disk.Stats().Reads()
+	if smallIO*2 > fullIO {
+		t.Errorf("TP small-window I/O %d not below full-window %d", smallIO, fullIO)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	raw := &memRaw{}
+	pp := newPPCLSM(t, raw, false)
+	if _, err := pp.Ingest(make(series.Series, 5), 0); err == nil {
+		t.Fatal("wrong-length ingest should fail")
+	}
+	if _, err := NewTP("x", index.Config{}, nil, 10, raw); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+	if _, err := NewTP("x", testConfig(false), nil, 0, raw); err == nil {
+		t.Fatal("zero buffer should fail")
+	}
+	if _, err := NewBTP(nil, "x", testConfig(false), 10, 2, raw); err == nil {
+		t.Fatal("nil disk should fail")
+	}
+	if _, err := NewBTP(storage.NewDisk(0), "x", testConfig(false), 10, 1, raw); err == nil {
+		t.Fatal("merge factor 1 should fail")
+	}
+}
+
+func TestApproxSearchAcrossSchemes(t *testing.T) {
+	ss, ts := streamData(500, 8)
+	raw := &memRaw{}
+	scs := schemes(t, raw, true)
+	for name, sc := range scs {
+		r := &memRaw{}
+		sc = schemes(t, r, true)[name]
+		ingestAll(t, sc, r, ss, ts)
+		// Perturbed stored series should usually be found approximately.
+		rng := rand.New(rand.NewSource(88))
+		hits := 0
+		for trial := 0; trial < 20; trial++ {
+			id := rng.Intn(len(ss))
+			q := gen.Add(ss[id], gen.Noise(rng, 64, 0.001))
+			got, err := sc.ApproxSearch(index.NewQuery(q, testConfig(true)), 1)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(got) == 1 && got[0].ID == int64(id) {
+				hits++
+			}
+		}
+		if hits < 10 {
+			t.Errorf("%s: approx hit rate %d/20", name, hits)
+		}
+	}
+}
+
+// TestBTPPartitionCountLogarithmic drives a long stream and verifies the
+// headline BTP bound: partitions grow like the binary representation of
+// the flush count, not linearly as TP.
+func TestBTPPartitionCountLogarithmic(t *testing.T) {
+	raw := &memRaw{}
+	btp, err := NewBTP(storage.NewDisk(0), "btp", testConfig(false), 50, 2, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(90))
+	flushes := 0
+	for i := 0; i < 50*63; i++ { // 63 flushes = 111111b -> 6 partitions
+		s := gen.RandomWalk(rng, 64)
+		raw.add(s)
+		if _, err := btp.Ingest(s, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%50 == 0 {
+			flushes++
+		}
+	}
+	if flushes != 63 {
+		t.Fatalf("flushes = %d", flushes)
+	}
+	// popcount(63) = 6 partitions under merge factor 2.
+	if btp.Partitions() != 6 {
+		t.Errorf("partitions = %d, want 6 (binary-counter invariant)", btp.Partitions())
+	}
+	// TP over the same stream would hold 63.
+}
+
+// TestBTPClassSizes verifies size-class structure: a class-c partition
+// holds exactly 2^c buffers' worth of entries (merge factor 2).
+func TestBTPClassSizes(t *testing.T) {
+	raw := &memRaw{}
+	const buf = 40
+	btp, err := NewBTP(storage.NewDisk(0), "btp", testConfig(false), buf, 2, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < buf*21; i++ { // 21 flushes = 10101b
+		s := gen.RandomWalk(rng, 64)
+		raw.add(s)
+		if _, err := btp.Ingest(s, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range btp.parts {
+		want := int64(buf) << uint(p.class)
+		if p.count != want {
+			t.Errorf("class-%d partition holds %d entries, want %d", p.class, p.count, want)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adsplus"
+	"repro/internal/ctree"
+	"repro/internal/index"
+	"repro/internal/record"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// PartitionFactory builds a searchable partition from one buffer's worth of
+// entries. The name is unique per partition.
+type PartitionFactory func(name string, entries []record.Entry) (index.Index, error)
+
+// CTreeFactory returns a factory producing bulk-loaded CTree partitions
+// (the paper's CTreeTP / CTreeFullTP).
+func CTreeFactory(disk *storage.Disk, cfg index.Config, raw series.RawStore) PartitionFactory {
+	codec := cfg.Codec()
+	return func(name string, entries []record.Entry) (index.Index, error) {
+		sorted := make([]record.Entry, len(entries))
+		copy(sorted, entries)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+		file := name + ".sorted"
+		w, err := storage.NewRecordWriter(disk, file, codec.Size())
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 0, codec.Size())
+		for _, e := range sorted {
+			buf = buf[:0]
+			if buf, err = codec.Append(buf, e); err != nil {
+				return nil, err
+			}
+			if err := w.Write(buf); err != nil {
+				return nil, err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		return ctree.BuildFromEntries(ctree.Options{Disk: disk, Name: name, Config: cfg, Raw: raw}, file, int64(len(sorted)))
+	}
+}
+
+// ADSFactory returns a factory producing top-down ADS+ partitions (the
+// paper's ADS+TP / ADSFullTP baseline).
+func ADSFactory(disk *storage.Disk, cfg index.Config, raw series.RawStore) PartitionFactory {
+	return func(name string, entries []record.Entry) (index.Index, error) {
+		t, err := adsplus.New(adsplus.Options{Disk: disk, Name: name, Config: cfg, Raw: raw})
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if err := t.InsertEntry(e); err != nil {
+				return nil, err
+			}
+		}
+		if err := t.FlushBuffers(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+}
+
+type tpPart struct {
+	idx          index.Index
+	minTS, maxTS int64
+}
+
+// TP implements Temporal Partitioning: every buffer fill seals a new
+// immutable partition tagged with its time range. Queries search only
+// partitions whose range intersects the window — but nothing ever merges,
+// so partitions accumulate linearly with stream length.
+type TP struct {
+	baseName  string
+	sum       summarizer
+	raw       series.RawStore
+	factory   PartitionFactory
+	bufferCap int
+	buffer    []record.Entry
+	parts     []tpPart
+	seq       int
+	count     int64
+}
+
+// NewTP builds a temporal-partitioning scheme. baseName names partition
+// files ("<baseName>.part.N..."); bufferCap is the partition size in
+// entries; raw serves non-materialized distance evaluation of buffered
+// entries.
+func NewTP(baseName string, cfg index.Config, factory PartitionFactory, bufferCap int, raw series.RawStore) (*TP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if bufferCap < 1 {
+		return nil, fmt.Errorf("stream: bufferCap must be positive, got %d", bufferCap)
+	}
+	return &TP{
+		baseName:  baseName,
+		sum:       summarizer{cfg: cfg},
+		raw:       raw,
+		factory:   factory,
+		bufferCap: bufferCap,
+	}, nil
+}
+
+// Name implements Scheme: "<base>+TP" after the first partition exists, or
+// the generic "TP" before.
+func (t *TP) Name() string {
+	if len(t.parts) > 0 {
+		return t.parts[0].idx.Name() + "+TP"
+	}
+	return "TP"
+}
+
+// Ingest implements Scheme.
+func (t *TP) Ingest(s series.Series, ts int64) (int64, error) {
+	e, err := t.sum.entry(s, ts)
+	if err != nil {
+		return 0, err
+	}
+	t.buffer = append(t.buffer, e)
+	t.count++
+	if len(t.buffer) >= t.bufferCap {
+		return e.ID, t.Seal()
+	}
+	return e.ID, nil
+}
+
+// Seal implements Scheme: the buffered entries become a new partition.
+func (t *TP) Seal() error {
+	if len(t.buffer) == 0 {
+		return nil
+	}
+	minTS, maxTS := t.buffer[0].TS, t.buffer[0].TS
+	for _, e := range t.buffer {
+		if e.TS < minTS {
+			minTS = e.TS
+		}
+		if e.TS > maxTS {
+			maxTS = e.TS
+		}
+	}
+	t.seq++
+	name := fmt.Sprintf("%s.part.%04d", t.baseName, t.seq)
+	idx, err := t.factory(name, t.buffer)
+	if err != nil {
+		return err
+	}
+	t.parts = append(t.parts, tpPart{idx: idx, minTS: minTS, maxTS: maxTS})
+	t.buffer = nil
+	return nil
+}
+
+// Count implements Scheme.
+func (t *TP) Count() int64 { return t.count }
+
+// Partitions implements Scheme.
+func (t *TP) Partitions() int { return len(t.parts) }
+
+// intersects reports whether a partition's range meets the query window.
+func intersects(q index.Query, minTS, maxTS int64) bool {
+	return !q.Windowed || (maxTS >= q.MinTS && minTS <= q.MaxTS)
+}
+
+// ApproxSearch implements Scheme: probe each intersecting partition and the
+// buffer.
+func (t *TP) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
+	return t.search(q, k, func(idx index.Index) ([]index.Result, error) { return idx.ApproxSearch(q, k) })
+}
+
+// ExactSearch implements Scheme.
+func (t *TP) ExactSearch(q index.Query, k int) ([]index.Result, error) {
+	return t.search(q, k, func(idx index.Index) ([]index.Result, error) { return idx.ExactSearch(q, k) })
+}
+
+func (t *TP) search(q index.Query, k int, f func(index.Index) ([]index.Result, error)) ([]index.Result, error) {
+	col := index.NewCollector(k)
+	for _, e := range t.buffer {
+		if !q.InWindow(e.TS) {
+			continue
+		}
+		bound := col.Worst()
+		if col.Full() && t.sum.cfg.MinDistKey(q.PAA, e.Key) >= bound {
+			continue
+		}
+		d, err := index.TrueDist(q, e, t.raw, bound)
+		if err != nil {
+			return nil, err
+		}
+		col.Add(index.Result{ID: e.ID, TS: e.TS, Dist: d})
+	}
+	for _, p := range t.parts {
+		if !intersects(q, p.minTS, p.maxTS) {
+			continue
+		}
+		rs, err := f(p.idx)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			col.Add(r)
+		}
+	}
+	return col.Results(), nil
+}
+
+var _ Scheme = (*TP)(nil)

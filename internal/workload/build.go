@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adsplus"
+	"repro/internal/clsm"
+	"repro/internal/ctree"
+	"repro/internal/index"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// Variant names accepted by BuildVariant, matching Figure 1 of the paper.
+var Variants = []string{"ADS+", "ADSFull", "CTree", "CTreeFull", "CLSM", "CLSMFull"}
+
+// normStore adapts a dataset to the z-normalized raw store the indexes
+// expect (indexes store and compare z-normalized series).
+type normStore struct{ d *series.Dataset }
+
+// Get returns the z-normalized series with the given ID.
+func (n normStore) Get(id int) (series.Series, error) {
+	s, err := n.d.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.ZNormalize(), nil
+}
+
+// Count returns the dataset size.
+func (n normStore) Count() int { return n.d.Count() }
+
+// NormStore wraps a dataset as a z-normalizing series.RawStore.
+func NormStore(d *series.Dataset) series.RawStore { return normStore{d} }
+
+// DiskRawStore materializes the z-normalized dataset onto the disk as the
+// raw series file non-materialized indexes fetch from, charging its I/O to
+// the disk like the paper's raw data file.
+func DiskRawStore(d *storage.Disk, ds *series.Dataset, name string) (*storage.RawFile, error) {
+	rf, err := storage.CreateRawFile(d, name, ds.Len)
+	if err != nil {
+		return nil, err
+	}
+	for id := 0; id < ds.Count(); id++ {
+		s, err := ds.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := rf.Append(s.ZNormalize()); err != nil {
+			return nil, err
+		}
+	}
+	if err := rf.Seal(); err != nil {
+		return nil, err
+	}
+	return rf, nil
+}
+
+// BuildOptions tune BuildVariant.
+type BuildOptions struct {
+	// MemBudget is the construction memory in bytes (external sort for
+	// CTree; write buffer for CLSM; insert buffer for ADS+). Default 1 MiB.
+	MemBudget int
+	// FillFactor applies to CTree (default 1.0).
+	FillFactor float64
+	// GrowthFactor applies to CLSM (default 4).
+	GrowthFactor int
+	// LeafCapacity applies to ADS+ (default 4 pages worth).
+	LeafCapacity int
+	// RawInMemory serves raw-series fetches from memory instead of the
+	// on-disk raw file. The default (false) charges non-materialized query
+	// fetches their page I/O, as in the paper.
+	RawInMemory bool
+}
+
+// Built is a constructed index plus its cost accounting.
+type Built struct {
+	Index      index.Index
+	Disk       *storage.Disk
+	Raw        series.RawStore
+	BuildStats storage.Stats
+	BuildTime  time.Duration
+	IndexPages int64 // pages used by index structures (excluding raw file)
+	RawPages   int64 // pages used by the raw series file
+}
+
+// BuildCost returns the I/O cost of construction under the model.
+func (b Built) BuildCost(m storage.CostModel) float64 { return b.BuildStats.Cost(m) }
+
+// BuildVariant constructs the named index variant over the dataset on a
+// fresh simulated disk and returns it with its construction accounting.
+func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts BuildOptions) (*Built, error) {
+	if opts.MemBudget == 0 {
+		opts.MemBudget = 1 << 20
+	}
+	if opts.FillFactor == 0 {
+		opts.FillFactor = 1.0
+	}
+	if opts.GrowthFactor == 0 {
+		opts.GrowthFactor = 4
+	}
+	disk := storage.NewDisk(0)
+	out := &Built{Disk: disk}
+
+	materialized := variant == "ADSFull" || variant == "CTreeFull" || variant == "CLSMFull"
+	cfg.Materialized = materialized
+
+	// Raw series file: non-materialized variants need it for queries; it is
+	// written before the build (shared by all variants, like the paper's
+	// raw data file) and its pages are tracked separately.
+	var raw series.RawStore
+	if opts.RawInMemory {
+		raw = NormStore(ds)
+	} else {
+		rf, err := DiskRawStore(disk, ds, "raw")
+		if err != nil {
+			return nil, err
+		}
+		raw = rf
+		out.RawPages, _ = disk.NumPages("raw")
+	}
+	out.Raw = raw
+	disk.ResetStats()
+
+	entryBudget := opts.MemBudget / cfg.Codec().Size()
+	if entryBudget < 4 {
+		entryBudget = 4
+	}
+	start := time.Now()
+	var idx index.Index
+	var err error
+	switch variant {
+	case "CTree", "CTreeFull":
+		idx, err = ctree.Build(ctree.Options{
+			Disk: disk, Name: "idx", Config: cfg,
+			FillFactor: opts.FillFactor, MemBudget: opts.MemBudget, Raw: raw,
+		}, ds, 0)
+	case "CLSM", "CLSMFull":
+		var l *clsm.LSM
+		l, err = clsm.New(clsm.Options{
+			Disk: disk, Name: "idx", Config: cfg,
+			GrowthFactor: opts.GrowthFactor, BufferEntries: entryBudget, Raw: raw,
+		})
+		if err == nil {
+			for id := 0; id < ds.Count() && err == nil; id++ {
+				var s series.Series
+				s, err = ds.Get(id)
+				if err == nil {
+					err = l.Insert(s, 0)
+				}
+			}
+			if err == nil {
+				// Construction ends with a durability flush, like the
+				// paper's builds.
+				err = l.Flush()
+			}
+		}
+		idx = l
+	case "ADS+", "ADSFull":
+		var t *adsplus.Tree
+		t, err = adsplus.New(adsplus.Options{
+			Disk: disk, Name: "idx", Config: cfg,
+			LeafCapacity: opts.LeafCapacity, BufferEntries: entryBudget, Raw: raw,
+		})
+		if err == nil {
+			for id := 0; id < ds.Count() && err == nil; id++ {
+				var s series.Series
+				s, err = ds.Get(id)
+				if err == nil {
+					err = t.Insert(s, 0)
+				}
+			}
+			if err == nil {
+				err = t.FlushBuffers()
+			}
+		}
+		idx = t
+	default:
+		return nil, fmt.Errorf("workload: unknown variant %q (want one of %v)", variant, Variants)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Index = idx
+	out.BuildTime = time.Since(start)
+	out.BuildStats = disk.Stats()
+	out.IndexPages = disk.TotalPages() - out.RawPages
+	return out, nil
+}
+
+// QueryStats aggregates a query workload's cost.
+type QueryStats struct {
+	Queries   int
+	Stats     storage.Stats // I/O during the workload
+	WallTime  time.Duration
+	MeanDist  float64 // mean distance of the best answer (quality indicator)
+	ExactDist float64 // mean true 1-NN distance (for approximate recall context)
+}
+
+// Cost returns the workload's I/O cost per query under the model.
+func (q QueryStats) Cost(m storage.CostModel) float64 {
+	if q.Queries == 0 {
+		return 0
+	}
+	return q.Stats.Cost(m) / float64(q.Queries)
+}
+
+// RunQueries executes a query workload against a built index. Exact selects
+// exact (vs. approximate) search.
+func RunQueries(b *Built, queries []series.Series, cfg index.Config, k int, exact bool) (QueryStats, error) {
+	cfg.Materialized = false // query preparation does not depend on it
+	before := b.Disk.Stats()
+	start := time.Now()
+	var distSum float64
+	for _, q := range queries {
+		pq := index.NewQuery(q, index.Config{
+			SeriesLen: cfg.SeriesLen, Segments: cfg.Segments, Bits: cfg.Bits,
+		})
+		var rs []index.Result
+		var err error
+		if exact {
+			rs, err = b.Index.ExactSearch(pq, k)
+		} else {
+			rs, err = b.Index.ApproxSearch(pq, k)
+		}
+		if err != nil {
+			return QueryStats{}, err
+		}
+		if len(rs) > 0 {
+			distSum += rs[0].Dist
+		}
+	}
+	return QueryStats{
+		Queries:  len(queries),
+		Stats:    b.Disk.Stats().Sub(before),
+		WallTime: time.Since(start),
+		MeanDist: distSum / float64(max(1, len(queries))),
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,376 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/adsplus"
+	"repro/internal/clsm"
+	"repro/internal/ctree"
+	"repro/internal/gen"
+	"repro/internal/heatmap"
+	"repro/internal/index"
+	"repro/internal/recommender"
+	"repro/internal/series"
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// memRaw accumulates ingested z-normalized series in memory, serving as the
+// shared raw store of the streaming schemes (all schemes get the identical
+// treatment, so relative index I/O is what the experiment isolates).
+type memRaw struct{ ss []series.Series }
+
+// Get implements series.RawStore.
+func (m *memRaw) Get(id int) (series.Series, error) {
+	if id < 0 || id >= len(m.ss) {
+		return nil, fmt.Errorf("workload: raw id %d out of range", id)
+	}
+	return m.ss[id], nil
+}
+
+// Count implements series.RawStore.
+func (m *memRaw) Count() int { return len(m.ss) }
+
+// StreamSchemes builds the Scenario 2 contenders on fresh disks: the ADS+
+// baselines with PP and TP, the CTree variants, and the recommender's
+// choice CLSM+BTP.
+func StreamSchemes(sc Scale, bufferEntries int) (map[string]stream.Scheme, map[string]*storage.Disk, *memRaw, error) {
+	sc = sc.defaults()
+	cfg := sc.config()
+	raw := &memRaw{}
+	schemes := map[string]stream.Scheme{}
+	disks := map[string]*storage.Disk{}
+
+	dPP := storage.NewDisk(0)
+	adsPP, err := adsplus.New(adsplus.Options{Disk: dPP, Name: "adspp", Config: cfg, Raw: raw, BufferEntries: bufferEntries})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	schemes["ADS+PP"], disks["ADS+PP"] = stream.NewPP(adsPP, cfg), dPP
+
+	dTP := storage.NewDisk(0)
+	adsTP, err := stream.NewTP("adstp", cfg, stream.ADSFactory(dTP, cfg, raw), bufferEntries, raw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	schemes["ADS+TP"], disks["ADS+TP"] = adsTP, dTP
+
+	dCPP := storage.NewDisk(0)
+	clsmPP, err := clsm.New(clsm.Options{Disk: dCPP, Name: "clsmpp", Config: cfg, Raw: raw, BufferEntries: bufferEntries})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	schemes["CLSM+PP"], disks["CLSM+PP"] = stream.NewPP(clsmPP, cfg), dCPP
+
+	dCTP := storage.NewDisk(0)
+	ctreeTP, err := stream.NewTP("ctreetp", cfg, stream.CTreeFactory(dCTP, cfg, raw), bufferEntries, raw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	schemes["CTree+TP"], disks["CTree+TP"] = ctreeTP, dCTP
+
+	dBTP := storage.NewDisk(0)
+	btp, err := stream.NewBTP(dBTP, "btp", cfg, bufferEntries, 2, raw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	schemes["CLSM+BTP"], disks["CLSM+BTP"] = btp, dBTP
+	return schemes, disks, raw, nil
+}
+
+// E6Streaming regenerates Scenario 2: a seismic stream is ingested by each
+// scheme, then windowed exact queries of increasing width are issued.
+// Expected shape: CLSM+BTP sustains cheap ingest while keeping window
+// queries cheap at every width and partitions bounded; ADS+PP pays for the
+// whole history at every query; ADS+TP degrades for wide windows as
+// partitions accumulate.
+func E6Streaming(sc Scale, batches, batchSize, bufferEntries, numQueries int) (*Table, error) {
+	sc = sc.defaults()
+	t := &Table{
+		ID:      "E6",
+		Title:   fmt.Sprintf("streaming: ingest + windowed exact queries (%d batches x %d series)", batches, batchSize),
+		Note:    "window widths as fractions of history; expect CLSM+BTP cheapest overall with bounded partitions",
+		Columns: []string{"scheme", "ingest cost", "q 5% win", "q 25% win", "q 100% win", "partitions"},
+	}
+	data := gen.Seismic(gen.SeismicConfig{
+		Batches: batches, BatchSize: batchSize, Len: sc.SeriesLen,
+		QuakeProb: 0.02, Seed: sc.Seed + 6,
+	})
+	maxTS := data[len(data)-1].TS
+	queries := gen.TemplateQueries(gen.TemplateEarthquake, sc.SeriesLen, numQueries, 0.2, sc.Seed+7)
+
+	schemes, disks, raw, err := StreamSchemes(sc, bufferEntries)
+	if err != nil {
+		return nil, err
+	}
+	order := []string{"ADS+PP", "ADS+TP", "CLSM+PP", "CTree+TP", "CLSM+BTP"}
+	cfg := sc.config()
+	for _, name := range order {
+		s := schemes[name]
+		disk := disks[name]
+		// The raw mirror is rebuilt per scheme so IDs stay aligned with
+		// each scheme's own ingestion order.
+		raw.ss = nil
+		disk.ResetStats()
+		for _, b := range data {
+			for _, ser := range b.Series {
+				raw.ss = append(raw.ss, ser.ZNormalize())
+				if _, err := s.Ingest(ser, b.TS); err != nil {
+					return nil, fmt.Errorf("E6 %s ingest: %w", name, err)
+				}
+			}
+		}
+		ingestCost := disk.Stats().Cost(sc.Cost)
+
+		runWin := func(frac float64) (float64, error) {
+			minTS := maxTS - int64(frac*float64(maxTS))
+			disk.ResetStats()
+			for _, q := range queries {
+				pq := index.NewQuery(q, cfg).WithWindow(minTS, maxTS)
+				if _, err := s.ExactSearch(pq, 1); err != nil {
+					return 0, err
+				}
+			}
+			return disk.Stats().Cost(sc.Cost) / float64(len(queries)), nil
+		}
+		q5, err := runWin(0.05)
+		if err != nil {
+			return nil, fmt.Errorf("E6 %s q5: %w", name, err)
+		}
+		q25, err := runWin(0.25)
+		if err != nil {
+			return nil, err
+		}
+		q100, err := runWin(1.0)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%.0f", ingestCost),
+			fmt.Sprintf("%.1f", q5), fmt.Sprintf("%.1f", q25), fmt.Sprintf("%.1f", q100),
+			fmt.Sprintf("%d", s.Partitions()))
+	}
+	return t, nil
+}
+
+// E7Heatmap regenerates the demo's access-pattern comparison: page traces
+// of CTree vs ADS+ during construction and exact queries, summarized as
+// jump statistics plus ASCII heat maps. Expected shape: CTree's trace is
+// near-fully sequential with short jumps; ADS+'s is scattered.
+func E7Heatmap(sc Scale, n, numQueries int) (*Table, []string, error) {
+	sc = sc.defaults()
+	t := &Table{
+		ID:      "E7",
+		Title:   fmt.Sprintf("access-pattern heat map at N=%d (%d exact queries)", n, numQueries),
+		Note:    "seq frac = accesses continuing the previous one; expect CTree >> ADS+",
+		Columns: []string{"variant", "phase", "accesses", "seq frac", "avg jump", "file swaps"},
+	}
+	ds := sc.dataset(n)
+	queries, _ := gen.Queries(ds, numQueries, 0.05, sc.Seed+8)
+	var art []string
+	for _, v := range []string{"CTree", "ADS+"} {
+		rec := heatmap.NewRecorder()
+		disk := storage.NewDisk(0)
+		disk.SetTracer(rec)
+		// Build under trace.
+		raw := NormStore(ds)
+		var idx index.Index
+		var err error
+		switch v {
+		case "CTree":
+			idx, err = buildCTreeOn(disk, ds, sc, raw)
+		default:
+			idx, err = buildADSOn(disk, ds, sc, raw)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("E7 %s: %w", v, err)
+		}
+		js := rec.Jumps()
+		t.AddRow(v, "build", fmt.Sprintf("%d", js.Accesses),
+			fmt.Sprintf("%.2f", js.SeqFrac), fmt.Sprintf("%.1f", js.AvgJump), fmt.Sprintf("%d", js.FileSwaps))
+		art = append(art, hottestMaps(rec, v+" build", 6)...)
+		// Queries under a fresh trace.
+		rec.Reset()
+		for _, q := range queries {
+			pq := index.NewQuery(q, sc.config())
+			if _, err := idx.ExactSearch(pq, 1); err != nil {
+				return nil, nil, err
+			}
+		}
+		js = rec.Jumps()
+		t.AddRow(v, "query", fmt.Sprintf("%d", js.Accesses),
+			fmt.Sprintf("%.2f", js.SeqFrac), fmt.Sprintf("%.1f", js.AvgJump), fmt.Sprintf("%d", js.FileSwaps))
+		art = append(art, hottestMaps(rec, v+" query", 6)...)
+	}
+	return t, art, nil
+}
+
+// hottestMaps renders the top-k most-accessed files of a trace; ADS+ spawns
+// one extent per leaf, so the long cold tail is summarized instead of
+// printed.
+func hottestMaps(rec *heatmap.Recorder, label string, k int) []string {
+	maps := rec.RenderAll(60)
+	sort.Slice(maps, func(i, j int) bool { return total(maps[i]) > total(maps[j]) })
+	var out []string
+	for i, m := range maps {
+		if i >= k {
+			out = append(out, fmt.Sprintf("[%s] ... and %d more files", label, len(maps)-k))
+			break
+		}
+		out = append(out, fmt.Sprintf("[%s] %s", label, m.ASCII()))
+	}
+	return out
+}
+
+func total(m heatmap.Map) int {
+	n := 0
+	for _, c := range m.Buckets {
+		n += c
+	}
+	return n
+}
+
+func buildCTreeOn(disk *storage.Disk, ds *series.Dataset, sc Scale, raw series.RawStore) (index.Index, error) {
+	return ctree.Build(ctree.Options{Disk: disk, Name: "idx", Config: sc.config(), Raw: raw}, ds, 0)
+}
+
+func buildADSOn(disk *storage.Disk, ds *series.Dataset, sc Scale, raw series.RawStore) (index.Index, error) {
+	t, err := adsplus.New(adsplus.Options{Disk: disk, Name: "idx", Config: sc.config(), Raw: raw})
+	if err != nil {
+		return nil, err
+	}
+	for id := 0; id < ds.Count(); id++ {
+		s, err := ds.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Insert(s, 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.FlushBuffers(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// E8Recommender regenerates the recommender decision table over the
+// scenario grid, checking the demo's two scripted choices along the way.
+func E8Recommender() *Table {
+	t := &Table{
+		ID:      "E8",
+		Title:   "recommender decision table",
+		Note:    "Scenario 1 (static, few queries) -> CTree; +queries -> CTreeFull; Scenario 2 (streaming) -> CLSM+BTP",
+		Columns: []string{"streaming", "queries", "memory", "storage-tight", "windows", "recommendation"},
+	}
+	for _, streaming := range []bool{false, true} {
+		for _, q := range []int{10, 1000} {
+			for _, mem := range []float64{0.01, 0.25} {
+				for _, tight := range []bool{false, true} {
+					s := recommender.Scenario{
+						Streaming:        streaming,
+						ExpectedQueries:  q,
+						MemoryBudgetFrac: mem,
+						StorageTight:     tight,
+						SmallWindows:     streaming,
+					}
+					r := recommender.Recommend(s)
+					win := "-"
+					if streaming {
+						win = "small"
+					}
+					t.AddRow(fmt.Sprintf("%v", streaming), fmt.Sprintf("%d", q),
+						fmt.Sprintf("%.0f%%", mem*100), fmt.Sprintf("%v", tight), win, r.Variant())
+				}
+			}
+		}
+	}
+	return t
+}
+
+// E9Storage regenerates the footprint comparison: index pages per variant
+// (raw series file excluded) across dataset sizes. Expected shape: Coconut
+// indexes are compact (packed pages); ADS+ leaves are sparse; materialized
+// variants pay the payload multiple.
+func E9Storage(sc Scale, sizes []int) (*Table, error) {
+	sc = sc.defaults()
+	t := &Table{
+		ID:      "E9",
+		Title:   "index storage footprint (pages, raw file excluded)",
+		Note:    "expect CTree <= CLSM < ADS+ within a materialization class",
+		Columns: append([]string{"N"}, Variants...),
+	}
+	for _, n := range sizes {
+		ds := sc.dataset(n)
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, v := range Variants {
+			b, err := BuildVariant(v, ds, sc.config(), BuildOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("E9 %s n=%d: %w", v, n, err)
+			}
+			row = append(row, fmt.Sprintf("%d", b.IndexPages))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// RunAll executes every experiment at the given scale factors and returns
+// the tables in order. Used by cmd/coconut-bench.
+type RunConfig struct {
+	Scale Scale
+	// E3Scale and E5Scale default to shorter series (64 points) so that
+	// several materialized entries pack per page: the materialization
+	// crossover (E3) and the leaf fill factor (E5a) only have room to act
+	// when a leaf holds more than one entry. See EXPERIMENTS.md.
+	E3Scale     Scale
+	E5Scale     Scale
+	E1Sizes     []int
+	E2N         int
+	E2Queries   int
+	E3N         int
+	E3Counts    []int
+	E4N         int
+	E4Fracs     []float64
+	E5N         int
+	E5Inserts   int
+	E5Queries   int
+	E5Fills     []float64
+	E5Growths   []int
+	E6Batches   int
+	E6BatchSize int
+	E6Buffer    int
+	E6Queries   int
+	E7N         int
+	E7Queries   int
+	E9Sizes     []int
+}
+
+// DefaultRunConfig returns the laptop-scale defaults used by
+// cmd/coconut-bench (a few seconds per experiment).
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		E3Scale:     Scale{SeriesLen: 64, Segments: 8, Bits: 8},
+		E5Scale:     Scale{SeriesLen: 64, Segments: 8, Bits: 8},
+		E1Sizes:     []int{2000, 5000, 10000},
+		E2N:         10000,
+		E2Queries:   50,
+		E3N:         10000,
+		E3Counts:    []int{1, 10, 100, 1000, 10000},
+		E4N:         10000,
+		E4Fracs:     []float64{0.005, 0.02, 0.1, 0.5},
+		E5N:         5000,
+		E5Inserts:   500,
+		E5Queries:   25,
+		E5Fills:     []float64{0.5, 0.7, 0.9, 1.0},
+		E5Growths:   []int{2, 4, 8},
+		E6Batches:   40,
+		E6BatchSize: 100,
+		E6Buffer:    512,
+		E6Queries:   10,
+		E7N:         5000,
+		E7Queries:   10,
+		E9Sizes:     []int{2000, 10000},
+	}
+}

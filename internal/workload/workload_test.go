@@ -1,0 +1,379 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/series"
+)
+
+// Small scale for fast tests: short series, modest counts. The assertions
+// check the *shapes* the paper claims, not absolute numbers.
+func testScale() Scale {
+	return Scale{SeriesLen: 64, Segments: 8, Bits: 8, Seed: 7}
+}
+
+func cell(t *testing.T, tab *Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == col {
+			return tab.Rows[row][i]
+		}
+	}
+	t.Fatalf("column %q not in %v", col, tab.Columns)
+	return ""
+}
+
+func cellF(t *testing.T, tab *Table, row int, col string) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(cell(t, tab, row, col), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "T", Title: "demo", Note: "note", Columns: []string{"a", "bb"}}
+	tab.AddRow("1", "2", "dropped")
+	tab.AddRow("only")
+	out := tab.String()
+	if !strings.Contains(out, "=== T: demo ===") || !strings.Contains(out, "note") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if len(tab.Rows[0]) != 2 || tab.Rows[1][1] != "" {
+		t.Fatal("row normalization wrong")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestBuildVariantAllVariants(t *testing.T) {
+	sc := testScale()
+	ds := sc.dataset(300)
+	for _, v := range Variants {
+		b, err := BuildVariant(v, ds, sc.config(), BuildOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if b.Index.Count() != 300 {
+			t.Fatalf("%s count = %d", v, b.Index.Count())
+		}
+		if b.Index.Name() != v {
+			t.Fatalf("built %q when asked for %q", b.Index.Name(), v)
+		}
+		if b.IndexPages <= 0 {
+			t.Fatalf("%s index pages = %d", v, b.IndexPages)
+		}
+		if b.RawPages <= 0 {
+			t.Fatalf("%s raw pages = %d", v, b.RawPages)
+		}
+	}
+	if _, err := BuildVariant("nope", ds, sc.config(), BuildOptions{}); err == nil {
+		t.Fatal("unknown variant should fail")
+	}
+}
+
+func TestRunQueriesProducesAnswers(t *testing.T) {
+	sc := testScale()
+	ds := sc.dataset(300)
+	b, err := BuildVariant("CTree", ds, sc.config(), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]series.Series, 5)
+	for i := range qs {
+		qs[i], _ = ds.Get(i)
+	}
+	stats, err := RunQueries(b, qs, sc.config(), 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != 5 {
+		t.Fatalf("queries = %d", stats.Queries)
+	}
+	// Self-queries: mean distance ~0.
+	if stats.MeanDist > 1e-6 {
+		t.Fatalf("self-query mean dist = %v", stats.MeanDist)
+	}
+	if stats.Stats.Reads() == 0 {
+		t.Fatal("queries should read pages")
+	}
+}
+
+func TestE1ShapeCTreeBeatsADS(t *testing.T) {
+	tab, err := E1Construction(testScale(), []int{1000, 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for r := range tab.Rows {
+		ct := cellF(t, tab, r, "CTree")
+		ads := cellF(t, tab, r, "ADS+")
+		if ct >= ads {
+			t.Errorf("row %d: CTree cost %v not below ADS+ %v", r, ct, ads)
+		}
+		ctf := cellF(t, tab, r, "CTreeFull")
+		adsf := cellF(t, tab, r, "ADSFull")
+		if ctf >= adsf {
+			t.Errorf("row %d: CTreeFull cost %v not below ADSFull %v", r, ctf, adsf)
+		}
+	}
+}
+
+func TestE2ShapeCTreeQueryCheaper(t *testing.T) {
+	tab, err := E2Query(testScale(), 5000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := map[string]float64{}
+	for r := range tab.Rows {
+		cost[cell(t, tab, r, "variant")] = cellF(t, tab, r, "exact")
+	}
+	// The layout claim: on materialized indexes the compact contiguous scan
+	// beats the scattered leaf visits.
+	if cost["CTreeFull"] >= cost["ADSFull"] {
+		t.Errorf("CTreeFull exact %v not below ADSFull %v", cost["CTreeFull"], cost["ADSFull"])
+	}
+	// Materialized beats non-materialized on query cost (no raw fetches).
+	if cost["CTreeFull"] >= cost["CTree"] {
+		t.Errorf("CTreeFull exact %v not below CTree %v", cost["CTreeFull"], cost["CTree"])
+	}
+}
+
+func TestE3ShapeCrossoverExists(t *testing.T) {
+	tab, err := E3Materialization(testScale(), 2000, []int{1, 10, 100, 1000, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cell(t, tab, 0, "winner")
+	last := cell(t, tab, len(tab.Rows)-1, "winner")
+	if first != "CTree" {
+		t.Errorf("at Q=1 winner = %s, want CTree", first)
+	}
+	if last != "CTreeFull" {
+		t.Errorf("at Q=10000 winner = %s, want CTreeFull", last)
+	}
+	// Winner switches at most once (monotone crossover).
+	switched := 0
+	for r := 1; r < len(tab.Rows); r++ {
+		if cell(t, tab, r, "winner") != cell(t, tab, r-1, "winner") {
+			switched++
+		}
+	}
+	if switched != 1 {
+		t.Errorf("winner switched %d times, want exactly 1", switched)
+	}
+}
+
+func TestE4ShapeADSDegradesFaster(t *testing.T) {
+	tab, err := E4Memory(testScale(), 3000, []float64{0.01, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioTight := cellF(t, tab, 0, "ADS+/CTree")
+	ratioAmple := cellF(t, tab, 1, "ADS+/CTree")
+	if ratioTight <= ratioAmple {
+		t.Errorf("ADS+/CTree ratio at tight memory (%v) not above ample (%v)", ratioTight, ratioAmple)
+	}
+	if ratioTight <= 1 {
+		t.Errorf("ADS+ should cost more than CTree under tight memory, ratio %v", ratioTight)
+	}
+}
+
+func TestE5FillFactorShape(t *testing.T) {
+	tab, err := E5FillFactor(testScale(), 2000, 200, 10, []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insLow := cellF(t, tab, 0, "insert cost")  // fill 0.5
+	insHigh := cellF(t, tab, 1, "insert cost") // fill 1.0
+	if insLow >= insHigh {
+		t.Errorf("insert cost at fill 0.5 (%v) not below fill 1.0 (%v)", insLow, insHigh)
+	}
+	leavesLow := cellF(t, tab, 0, "leaves")
+	leavesHigh := cellF(t, tab, 1, "leaves")
+	if leavesLow <= leavesHigh {
+		t.Errorf("slack leaves %v not above packed %v", leavesLow, leavesHigh)
+	}
+}
+
+func TestE5GrowthFactorShape(t *testing.T) {
+	tab, err := E5GrowthFactor(testScale(), 3000, 10, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest2 := cellF(t, tab, 0, "ingest cost")
+	ingest8 := cellF(t, tab, 1, "ingest cost")
+	if ingest8 >= ingest2 {
+		t.Errorf("T=8 ingest %v not below T=2 %v", ingest8, ingest2)
+	}
+	runs2 := cellF(t, tab, 0, "runs")
+	runs8 := cellF(t, tab, 1, "runs")
+	if runs8 <= runs2 {
+		t.Errorf("T=8 runs %v not above T=2 %v", runs8, runs2)
+	}
+}
+
+func TestE6ShapeBTPWins(t *testing.T) {
+	tab, err := E6Streaming(testScale(), 20, 50, 128, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := map[string]int{}
+	for r := range tab.Rows {
+		row[cell(t, tab, r, "scheme")] = r
+	}
+	// Small windows: BTP far cheaper than PP (which scans everything).
+	btpSmall := cellF(t, tab, row["CLSM+BTP"], "q 5% win")
+	ppSmall := cellF(t, tab, row["ADS+PP"], "q 5% win")
+	if btpSmall >= ppSmall {
+		t.Errorf("BTP small-window %v not below ADS+PP %v", btpSmall, ppSmall)
+	}
+	// Partition bounding: BTP partitions strictly below TP's.
+	btpParts := cellF(t, tab, row["CLSM+BTP"], "partitions")
+	tpParts := cellF(t, tab, row["ADS+TP"], "partitions")
+	if btpParts >= tpParts {
+		t.Errorf("BTP partitions %v not below TP %v", btpParts, tpParts)
+	}
+	// Ingest: BTP (log-structured) below ADS+PP (scattered leaf flushes).
+	btpIngest := cellF(t, tab, row["CLSM+BTP"], "ingest cost")
+	adsIngest := cellF(t, tab, row["ADS+PP"], "ingest cost")
+	if btpIngest >= adsIngest {
+		t.Errorf("BTP ingest %v not below ADS+PP %v", btpIngest, adsIngest)
+	}
+}
+
+func TestE7ShapeCTreeSequential(t *testing.T) {
+	tab, art, err := E7Heatmap(testScale(), 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctreeBuild, adsBuild float64
+	for r := range tab.Rows {
+		v := cell(t, tab, r, "variant")
+		phase := cell(t, tab, r, "phase")
+		if phase != "build" {
+			continue
+		}
+		if v == "CTree" {
+			ctreeBuild = cellF(t, tab, r, "seq frac")
+		} else {
+			adsBuild = cellF(t, tab, r, "seq frac")
+		}
+	}
+	if ctreeBuild <= adsBuild {
+		t.Errorf("CTree build seq frac %v not above ADS+ %v", ctreeBuild, adsBuild)
+	}
+	if ctreeBuild < 0.8 {
+		t.Errorf("CTree build seq frac = %v, want near 1", ctreeBuild)
+	}
+	if len(art) == 0 {
+		t.Fatal("no heat-map art")
+	}
+}
+
+func TestE8RecommenderTable(t *testing.T) {
+	tab := E8Recommender()
+	if len(tab.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(tab.Rows))
+	}
+	// The demo's two scripted choices must appear.
+	foundS1, foundS2 := false, false
+	for r := range tab.Rows {
+		rec := cell(t, tab, r, "recommendation")
+		if cell(t, tab, r, "streaming") == "false" && rec == "CTree" {
+			foundS1 = true
+		}
+		if cell(t, tab, r, "streaming") == "true" && rec == "CLSM+BTP" {
+			foundS2 = true
+		}
+	}
+	if !foundS1 || !foundS2 {
+		t.Errorf("scripted scenario choices missing: S1=%v S2=%v", foundS1, foundS2)
+	}
+}
+
+func TestE9ShapeCompactness(t *testing.T) {
+	tab, err := E9Storage(testScale(), []int{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := cellF(t, tab, 0, "CTree")
+	ads := cellF(t, tab, 0, "ADS+")
+	if ct > ads {
+		t.Errorf("CTree pages %v above ADS+ %v", ct, ads)
+	}
+	ctf := cellF(t, tab, 0, "CTreeFull")
+	if ctf <= ct {
+		t.Errorf("materialized pages %v not above non-materialized %v", ctf, ct)
+	}
+}
+
+func TestE10AblationInterleavingWins(t *testing.T) {
+	tab, err := E10Ablation(testScale(), 2000, 100, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	interLoc := cellF(t, tab, 0, "locality")
+	concatLoc := cellF(t, tab, 1, "locality")
+	if interLoc >= concatLoc {
+		t.Errorf("interleaved locality %v not below concatenated %v", interLoc, concatLoc)
+	}
+	interHit := cellF(t, tab, 0, "hit@leaf")
+	concatHit := cellF(t, tab, 1, "hit@leaf")
+	if interHit <= concatHit {
+		t.Errorf("interleaved hit rate %v not above concatenated %v", interHit, concatHit)
+	}
+}
+
+func TestE11CardinalityMonotone(t *testing.T) {
+	tab, err := E11Cardinality(testScale(), 1000, 5, []int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevTight := -1.0
+	for r := range tab.Rows {
+		tight := cellF(t, tab, r, "tightness")
+		if tight < prevTight {
+			t.Errorf("tightness not monotone at row %d: %v after %v", r, tight, prevTight)
+		}
+		prevTight = tight
+	}
+	// More bits should never make exact queries costlier by much; the
+	// 8-bit cost must be at most the 1-bit cost.
+	if c8, c1 := cellF(t, tab, 2, "exact query cost"), cellF(t, tab, 0, "exact query cost"); c8 > c1 {
+		t.Errorf("8-bit cost %v above 1-bit %v", c8, c1)
+	}
+}
+
+func TestE12RecallShape(t *testing.T) {
+	tab, err := E12Recall(testScale(), 1500, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tab.Rows {
+		v := cell(t, tab, r, "variant")
+		recall := cellF(t, tab, r, "recall@1")
+		if recall < 0.5 {
+			t.Errorf("%s: recall %v < 0.5", v, recall)
+		}
+		infl := cellF(t, tab, r, "dist inflation")
+		if infl < 0.999 {
+			t.Errorf("%s: inflation %v < 1 (approx cannot beat exact)", v, infl)
+		}
+		ratio := cellF(t, tab, r, "approx/exact cost")
+		if ratio >= 1 {
+			t.Errorf("%s: approximate search not cheaper than exact (ratio %v)", v, ratio)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package coconut
+
+import (
+	"fmt"
+
+	"repro/internal/clsm"
+	"repro/internal/ctree"
+	"repro/internal/series"
+	"repro/internal/storage"
+)
+
+// facadeRawFile is the on-disk mirror of the facade's raw store inside a
+// saved tree snapshot, so non-materialized trees reopen self-contained.
+const facadeRawFile = "coconut.raw"
+
+// SaveFile persists the tree — leaves, directory metadata, and the raw
+// series store — into a single snapshot file on the host filesystem. The
+// tree can be reopened with OpenTree.
+func (t *Tree) SaveFile(path string) error {
+	if err := t.tree.Save(); err != nil {
+		return err
+	}
+	if t.disk.Exists(facadeRawFile) {
+		if err := t.disk.Remove(facadeRawFile); err != nil {
+			return err
+		}
+	}
+	rf, err := storage.CreateRawFile(t.disk, facadeRawFile, t.cfg.SeriesLen)
+	if err != nil {
+		return err
+	}
+	for _, s := range t.raw.ss {
+		if _, err := rf.Append(s); err != nil {
+			return err
+		}
+	}
+	if err := rf.Seal(); err != nil {
+		return err
+	}
+	return t.disk.SaveFile(path)
+}
+
+// SaveFile persists the LSM — its runs, structure metadata, and the raw
+// series store — into a single snapshot file on the host filesystem. The
+// write buffer is flushed first; reopen with OpenLSM.
+func (l *LSM) SaveFile(path string) error {
+	if err := l.lsm.Save(); err != nil {
+		return err
+	}
+	if l.disk.Exists(facadeRawFile) {
+		if err := l.disk.Remove(facadeRawFile); err != nil {
+			return err
+		}
+	}
+	rf, err := storage.CreateRawFile(l.disk, facadeRawFile, l.cfg.SeriesLen)
+	if err != nil {
+		return err
+	}
+	for _, s := range l.raw.ss {
+		if _, err := rf.Append(s); err != nil {
+			return err
+		}
+	}
+	if err := rf.Seal(); err != nil {
+		return err
+	}
+	return l.disk.SaveFile(path)
+}
+
+// OpenLSM reopens an LSM saved with SaveFile.
+func OpenLSM(path string) (*LSM, error) {
+	disk, err := storage.LoadDiskFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw := &memStore{}
+	lsm, err := clsm.Open(disk, "clsm", raw)
+	if err != nil {
+		return nil, err
+	}
+	out := &LSM{lsm: lsm, disk: disk, raw: raw}
+	out.cfg = lsm.Config()
+	if err := loadFacadeRaw(disk, raw, out.cfg.SeriesLen, int64(out.Count())); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// loadFacadeRaw reads the snapshot's raw series mirror back into memory.
+func loadFacadeRaw(disk *storage.Disk, raw *memStore, seriesLen int, count int64) error {
+	if !disk.Exists(facadeRawFile) {
+		return fmt.Errorf("coconut: snapshot missing raw store %q", facadeRawFile)
+	}
+	rf, err := storage.OpenRecordFile(disk, facadeRawFile, series.Size(seriesLen))
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < count; i++ {
+		rec, err := rf.Get(i)
+		if err != nil {
+			return fmt.Errorf("coconut: reading raw series %d: %w", i, err)
+		}
+		s, err := series.DecodeBinary(rec, seriesLen)
+		if err != nil {
+			return err
+		}
+		raw.ss = append(raw.ss, s)
+	}
+	return nil
+}
+
+// OpenTree reopens a tree saved with SaveFile. Searches, inserts, and
+// statistics work exactly as on the original.
+func OpenTree(path string) (*Tree, error) {
+	disk, err := storage.LoadDiskFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw := &memStore{}
+	tr, err := ctree.Open(disk, "ctree", raw)
+	if err != nil {
+		return nil, err
+	}
+	out := &Tree{tree: tr, disk: disk, raw: raw}
+	out.cfg = tr.Config() // restored from the persisted metadata
+	if err := loadFacadeRaw(disk, raw, out.cfg.SeriesLen, tr.Count()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

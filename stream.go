@@ -1,0 +1,135 @@
+package coconut
+
+import (
+	"fmt"
+
+	"repro/internal/clsm"
+	"repro/internal/index"
+	"repro/internal/series"
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// SchemeKind selects a streaming exploration scheme.
+type SchemeKind string
+
+// Streaming schemes (Section 3 of the demo paper).
+const (
+	// PP keeps one CLSM index over everything and filters timestamps
+	// during search.
+	PP SchemeKind = "PP"
+	// TP seals a new CTree partition per buffer fill; queries skip
+	// partitions outside the window, but partitions accumulate forever.
+	TP SchemeKind = "TP"
+	// BTP sort-merges time-adjacent partitions of similar size, keeping
+	// recent data in small partitions and the partition count bounded.
+	BTP SchemeKind = "BTP"
+)
+
+// Stream explores continuously arriving data series within temporal
+// windows.
+type Stream struct {
+	scheme stream.Scheme
+	cfg    index.Config
+	disk   *storage.Disk
+	raw    *memStore
+}
+
+// NewStream creates a streaming index using the given scheme. BufferEntries
+// (default 1024) sets the partition/flush granularity for TP and BTP and
+// the write buffer for PP.
+func NewStream(kind SchemeKind, opts Options) (*Stream, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	buf := opts.BufferEntries
+	if buf == 0 {
+		buf = 1024
+	}
+	raw := &memStore{}
+	disk := storage.NewDisk(opts.PageSize)
+	st := &Stream{cfg: cfg, disk: disk, raw: raw}
+	switch kind {
+	case PP:
+		base, err := newPPBase(disk, cfg, buf, raw)
+		if err != nil {
+			return nil, err
+		}
+		st.scheme = stream.NewPP(base, cfg)
+	case TP:
+		tp, err := stream.NewTP("stream", cfg, stream.CTreeFactory(disk, cfg, raw), buf, raw)
+		if err != nil {
+			return nil, err
+		}
+		st.scheme = tp
+	case BTP:
+		btp, err := stream.NewBTP(disk, "stream", cfg, buf, 2, raw)
+		if err != nil {
+			return nil, err
+		}
+		st.scheme = btp
+	default:
+		return nil, fmt.Errorf("coconut: unknown scheme %q (want PP, TP, or BTP)", kind)
+	}
+	return st, nil
+}
+
+// Ingest adds one arriving series with its timestamp, returning its ID.
+func (s *Stream) Ingest(ser []float64, ts int64) (int, error) {
+	if len(ser) != s.cfg.SeriesLen {
+		return 0, fmt.Errorf("coconut: series length %d, want %d", len(ser), s.cfg.SeriesLen)
+	}
+	s.raw.ss = append(s.raw.ss, series.Series(ser).ZNormalize())
+	id, err := s.scheme.Ingest(series.Series(ser), ts)
+	return int(id), err
+}
+
+// Seal flushes buffered arrivals into the scheme's on-disk structures.
+func (s *Stream) Seal() error { return s.scheme.Seal() }
+
+// SearchWindow returns the exact k nearest neighbors among entries whose
+// timestamp lies in [minTS, maxTS].
+func (s *Stream) SearchWindow(q []float64, k int, minTS, maxTS int64) ([]Match, error) {
+	pq := index.NewQuery(series.Series(q), s.cfg).WithWindow(minTS, maxTS)
+	rs, err := s.scheme.ExactSearch(pq, k)
+	return convert(rs), err
+}
+
+// Search returns the exact k nearest neighbors over the whole history.
+func (s *Stream) Search(q []float64, k int) ([]Match, error) {
+	rs, err := s.scheme.ExactSearch(index.NewQuery(series.Series(q), s.cfg), k)
+	return convert(rs), err
+}
+
+// SearchApprox probes the scheme near q's key without exactness
+// guarantees, restricted to [minTS, maxTS].
+func (s *Stream) SearchApprox(q []float64, k int, minTS, maxTS int64) ([]Match, error) {
+	pq := index.NewQuery(series.Series(q), s.cfg).WithWindow(minTS, maxTS)
+	rs, err := s.scheme.ApproxSearch(pq, k)
+	return convert(rs), err
+}
+
+// Count returns the number of ingested series.
+func (s *Stream) Count() int { return int(s.scheme.Count()) }
+
+// Partitions returns how many separately-searchable pieces exist: 1 for
+// PP, linear in stream length for TP, logarithmic for BTP.
+func (s *Stream) Partitions() int { return s.scheme.Partitions() }
+
+// Name reports the scheme and base index, e.g. "CLSM+BTP".
+func (s *Stream) Name() string { return s.scheme.Name() }
+
+// Stats returns the I/O accounting of the stream's disk since creation.
+func (s *Stream) Stats() Stats { return statsOf(s.disk) }
+
+// newPPBase builds the CLSM index PP wraps.
+func newPPBase(disk *storage.Disk, cfg index.Config, buf int, raw series.RawStore) (stream.EntryIndex, error) {
+	return clsm.New(clsm.Options{
+		Disk:          disk,
+		Name:          "stream",
+		Config:        cfg,
+		BufferEntries: buf,
+		Raw:           raw,
+	})
+}

@@ -269,6 +269,51 @@ func BenchmarkStreamIngest(b *testing.B) {
 	}
 }
 
+// --- Parallel query engine benchmark (speedup trajectory in TRAJECTORY.md). ---
+
+// BenchmarkParallelSearch measures exact k-NN latency on a multi-run LSM
+// workload at 1/2/4/8 workers. The serial path and every parallel width
+// return identical results (see parallel_equivalence_test.go); this
+// benchmark tracks the wall-clock side of that trade. Run on a multi-core
+// machine: with GOMAXPROCS=1 the pool degenerates to interleaving and no
+// speedup is possible.
+func BenchmarkParallelSearch(b *testing.B) {
+	const n, length = 20000, 128
+	rng := rand.New(rand.NewSource(5))
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = gen.RandomWalk(rng, length)
+	}
+	queries := make([][]float64, 32)
+	for i := range queries {
+		queries[i] = gen.RandomWalk(rng, length)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		// Small buffer + high growth factor: a deep, many-run read path —
+		// the shape the worker pool is built to fan out over.
+		l, err := NewLSM(Options{
+			SeriesLen: length, Parallelism: workers,
+			BufferEntries: 512, GrowthFactor: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i, s := range data {
+			if err := l.Insert(s, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportMetric(float64(l.Runs()), "runs")
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Search(queries[i%len(queries)], 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkE10Ablation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := workload.E10Ablation(benchScale(), 2000, 50, 64); err != nil {

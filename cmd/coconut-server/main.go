@@ -26,11 +26,17 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8734", "listen address")
+	// Serial by default so out-of-the-box build and query I/O accounting
+	// reproduces the paper's single-stream numbers; opt into the parallel
+	// engine per server (-parallelism) or per build request.
+	par := flag.Int("parallelism", 1, "default per-query worker pool size for builds (1 = serial, matching the paper's accounting; -1 = one worker per CPU)")
 	flag.Parse()
 
+	s := server.New()
+	s.SetDefaultParallelism(*par)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New().Handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("coconut-palm algorithms server listening on %s", *addr)

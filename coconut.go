@@ -20,6 +20,20 @@
 // standard in data series similarity search. Indexes run against a
 // simulated page-addressed disk that accounts sequential vs. random I/O;
 // use Stats to observe the access-pattern behaviour the papers describe.
+//
+// # Parallelism
+//
+// Searches fan out over independent sub-scans — the runs of an LSM, the
+// time-partitions of a stream, the leaf ranges of a tree — on a bounded
+// worker pool sized by Options.Parallelism (default: one worker per CPU,
+// i.e. GOMAXPROCS). Parallelism never changes answers: every search
+// returns results identical to the serial path's, because each worker
+// collects into a deterministic top-k structure whose contents depend only
+// on the candidate set, not on evaluation order. Set Parallelism to 1 to
+// recover the exact serial execution, e.g. when comparing I/O access
+// patterns against the paper. Completed indexes are safe for concurrent
+// searches from multiple goroutines; inserts still require external
+// serialization against searches.
 package coconut
 
 import (
@@ -57,6 +71,12 @@ type Options struct {
 	MemBudget int
 	// PageSize of the simulated disk (default 4096).
 	PageSize int
+	// Parallelism bounds the worker goroutines one search (and one
+	// external-sort pass during Tree construction) may use. The default (0)
+	// selects GOMAXPROCS — one worker per CPU; 1 runs fully serially.
+	// Results are byte-identical at every setting; only wall-clock time and
+	// the simulated head's seq/rand accounting change.
+	Parallelism int
 }
 
 func (o Options) config() (index.Config, error) {
@@ -150,12 +170,13 @@ func BuildTree(data [][]float64, opts Options) (*Tree, error) {
 	}
 	disk := storage.NewDisk(opts.PageSize)
 	tr, err := ctree.Build(ctree.Options{
-		Disk:       disk,
-		Name:       "ctree",
-		Config:     cfg,
-		FillFactor: opts.FillFactor,
-		MemBudget:  opts.MemBudget,
-		Raw:        raw,
+		Disk:        disk,
+		Name:        "ctree",
+		Config:      cfg,
+		FillFactor:  opts.FillFactor,
+		MemBudget:   opts.MemBudget,
+		Raw:         raw,
+		Parallelism: opts.Parallelism,
 	}, ds, 0)
 	if err != nil {
 		return nil, err
@@ -196,6 +217,11 @@ func (t *Tree) SearchRange(q []float64, eps float64) ([]Match, error) {
 	return convert(rs), err
 }
 
+// SetParallelism re-sizes the tree's search worker pool (n <= 0 selects
+// GOMAXPROCS; 1 is serial). Answers are identical at every setting. Call
+// only while no search is in flight.
+func (t *Tree) SetParallelism(n int) { t.tree.SetParallelism(n) }
+
 // Stats returns the I/O accounting of the tree's disk since creation.
 func (t *Tree) Stats() Stats { return statsOf(t.disk) }
 
@@ -222,6 +248,7 @@ func NewLSM(opts Options) (*LSM, error) {
 		GrowthFactor:  opts.GrowthFactor,
 		BufferEntries: opts.BufferEntries,
 		Raw:           raw,
+		Parallelism:   opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -273,6 +300,11 @@ func (l *LSM) SearchRange(q []float64, eps float64) ([]Match, error) {
 	rs, err := l.lsm.RangeSearch(index.NewQuery(series.Series(q), l.cfg), eps)
 	return convert(rs), err
 }
+
+// SetParallelism re-sizes the LSM's search worker pool (n <= 0 selects
+// GOMAXPROCS; 1 is serial). Answers are identical at every setting. Call
+// only while no search is in flight.
+func (l *LSM) SetParallelism(n int) { l.lsm.SetParallelism(n) }
 
 // Stats returns the I/O accounting of the LSM's disk since creation.
 func (l *LSM) Stats() Stats { return statsOf(l.disk) }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/extsort"
 	"repro/internal/index"
+	"repro/internal/parallel"
 	"repro/internal/record"
 	"repro/internal/series"
 	"repro/internal/storage"
@@ -31,8 +32,16 @@ type Options struct {
 	BufferEntries int
 	// Raw is consulted by non-materialized searches. Series inserted into
 	// the index must appear in Raw at the same IDs (insertion order,
-	// starting at 0).
+	// starting at 0). When Parallelism exceeds 1, Raw must be safe for
+	// concurrent Get calls.
 	Raw series.RawStore
+	// Parallelism bounds the worker goroutines a single search uses to
+	// probe on-disk runs concurrently. 1 keeps the serial path; values <= 0
+	// select GOMAXPROCS. Results are identical at every setting: each
+	// worker collects into its own deterministic top-k collector and the
+	// per-worker results merge into the same answer the serial scan
+	// produces.
+	Parallelism int
 }
 
 func (o *Options) setDefaults() error {
@@ -78,7 +87,7 @@ type LSM struct {
 	// Write-amplification accounting.
 	flushes int64
 	merges  int64
-	pageBuf []byte
+	pool    *parallel.Pool
 }
 
 // New creates an empty CLSM index.
@@ -86,10 +95,13 @@ func New(opts Options) (*LSM, error) {
 	if err := opts.setDefaults(); err != nil {
 		return nil, err
 	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = parallel.Resolve(opts.Parallelism)
+	}
 	l := &LSM{
-		opts:    opts,
-		codec:   opts.Config.Codec(),
-		pageBuf: make([]byte, opts.Disk.PageSize()),
+		opts:  opts,
+		codec: opts.Config.Codec(),
+		pool:  parallel.New(opts.Parallelism),
 	}
 	if l.codec.Size() > opts.Disk.PageSize() {
 		return nil, fmt.Errorf("clsm: entry size %d exceeds page size %d", l.codec.Size(), opts.Disk.PageSize())
@@ -107,6 +119,12 @@ func (l *LSM) Name() string {
 
 // Count returns the number of indexed series (buffered included).
 func (l *LSM) Count() int64 { return l.count }
+
+// SetParallelism re-sizes the search worker pool (n <= 0 selects
+// GOMAXPROCS; 1 is serial). Parallelism is not persisted, so reopened
+// indexes default to GOMAXPROCS — call this after Open to restore a serial
+// configuration. Call only while no search is in flight.
+func (l *LSM) SetParallelism(n int) { l.pool = parallel.New(n) }
 
 // Config returns the summarization configuration the LSM was created with.
 func (l *LSM) Config() index.Config { return l.opts.Config }

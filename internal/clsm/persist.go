@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/index"
+	"repro/internal/parallel"
 	"repro/internal/series"
 	"repro/internal/storage"
 )
@@ -120,7 +121,7 @@ func decodeMeta(disk *storage.Disk, name string, buf []byte, raw series.RawStore
 	if len(buf) < fixed {
 		return nil, fmt.Errorf("clsm: meta payload too short: %d", len(buf))
 	}
-	l := &LSM{pageBuf: make([]byte, disk.PageSize())}
+	l := &LSM{pool: parallel.New(0)}
 	l.count = int64(binary.LittleEndian.Uint64(buf))
 	l.nextID = int64(binary.LittleEndian.Uint64(buf[8:]))
 	l.seq = int(binary.LittleEndian.Uint64(buf[16:]))

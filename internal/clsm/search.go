@@ -6,27 +6,39 @@ import (
 	"repro/internal/sortable"
 )
 
+// Search in a CLSM fans out over the on-disk runs: every run is an
+// independent sorted file, so run probes and run scans execute concurrently
+// on the index's worker pool (Options.Parallelism). Each worker owns a page
+// buffer and a deterministic top-k collector; merged per-worker results are
+// identical to the serial scan's because the collector's contents are a
+// pure function of the candidate set (see index.Collector). A search
+// allocates its own page buffers, so any number of searches may also run
+// concurrently against one LSM — only inserts/flushes require external
+// serialization against searches.
+
 // ApproxSearch answers an approximate k-NN query by probing each component:
 // the in-memory buffer is scanned outright, and in every on-disk run a
 // binary search over pages locates the query key's neighborhood, of which
 // one page is examined. Cost grows with the number of runs — the read side
-// of the LSM trade-off.
+// of the LSM trade-off; concurrency over runs is what claws the latency
+// back.
 func (l *LSM) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 	col := index.NewCollector(k)
 	if err := l.scanBuffer(q, col, false); err != nil {
 		return nil, err
 	}
-	for _, r := range l.allRuns() {
-		if err := l.probeRun(r, q, col); err != nil {
-			return nil, err
-		}
+	err := l.forEachRun(l.allRuns(), col, func(r run, buf []byte, col *index.Collector) error {
+		return l.probeRun(r, q, col, buf)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return col.Results(), nil
 }
 
 // ExactSearch returns the true k nearest neighbors: the approximate answer
 // seeds the best-so-far bound, then the buffer and every run are scanned
-// sequentially with per-entry iSAX lower-bound pruning.
+// with per-entry iSAX lower-bound pruning, runs concurrently.
 func (l *LSM) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	approx, err := l.ApproxSearch(q, k)
 	if err != nil {
@@ -39,12 +51,23 @@ func (l *LSM) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	if err := l.scanBuffer(q, col, true); err != nil {
 		return nil, err
 	}
-	for _, r := range l.allRuns() {
-		if err := l.scanRun(r, q, col); err != nil {
-			return nil, err
-		}
+	err = l.forEachRun(l.allRuns(), col, func(r run, buf []byte, col *index.Collector) error {
+		return l.scanRun(r, q, col, buf)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return col.Results(), nil
+}
+
+// forEachRun applies scan to every run through index.FanOut: serial into
+// col directly with one worker, per-worker seeded clones merged back
+// otherwise, identical results either way.
+func (l *LSM) forEachRun(runs []run, col *index.Collector, scan func(run, []byte, *index.Collector) error) error {
+	return index.FanOut(l.pool, len(runs), col, (*index.Collector).Clone, (*index.Collector).Merge,
+		l.opts.Disk.PageSize(), func(i int, col *index.Collector, buf []byte) error {
+			return scan(runs[i], buf, col)
+		})
 }
 
 // scanBuffer evaluates in-memory entries; with prune set, entries are
@@ -54,11 +77,10 @@ func (l *LSM) scanBuffer(q index.Query, col *index.Collector, prune bool) error 
 		if !q.InWindow(e.TS) {
 			continue
 		}
-		bound := col.Worst()
-		if prune && l.opts.Config.MinDistKey(q.PAA, e.Key) >= bound {
+		if prune && col.Skip(l.opts.Config.MinDistKey(q.PAA, e.Key)) {
 			continue
 		}
-		d, err := index.TrueDist(q, e, l.opts.Raw, bound)
+		d, err := index.TrueDist(q, e, l.opts.Raw, col.Worst())
 		if err != nil {
 			return err
 		}
@@ -69,7 +91,7 @@ func (l *LSM) scanBuffer(q index.Query, col *index.Collector, prune bool) error 
 
 // probeRun binary-searches the run's pages for the query key and evaluates
 // the covering page.
-func (l *LSM) probeRun(r run, q index.Query, col *index.Collector) error {
+func (l *LSM) probeRun(r run, q index.Query, col *index.Collector, buf []byte) error {
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
 	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
 	if pages == 0 {
@@ -79,7 +101,7 @@ func (l *LSM) probeRun(r run, q index.Query, col *index.Collector) error {
 	lo, hi := 0, pages-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		first, err := l.firstKey(r, mid)
+		first, err := l.firstKey(r, mid, buf)
 		if err != nil {
 			return err
 		}
@@ -89,22 +111,22 @@ func (l *LSM) probeRun(r run, q index.Query, col *index.Collector) error {
 			lo = mid
 		}
 	}
-	return l.evalPage(r, lo, q, col)
+	return l.evalPage(r, lo, q, col, buf)
 }
 
-func (l *LSM) firstKey(r run, page int) (sortable.Key, error) {
-	if _, err := l.opts.Disk.ReadPage(r.file, int64(page), l.pageBuf); err != nil {
+func (l *LSM) firstKey(r run, page int, buf []byte) (sortable.Key, error) {
+	if _, err := l.opts.Disk.ReadPage(r.file, int64(page), buf); err != nil {
 		return sortable.Key{}, err
 	}
-	return record.DecodeKeyOnly(l.pageBuf), nil
+	return record.DecodeKeyOnly(buf), nil
 }
 
 // evalPage computes true distances for all in-window entries on one page of
-// a run. The page is assumed freshly read into pageBuf by firstKey when
-// called from probeRun; it re-reads to keep the logic self-contained (the
-// repeat read of the same page is accounted as buffered/sequential).
-func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector) error {
-	if _, err := l.opts.Disk.ReadPage(r.file, int64(page), l.pageBuf); err != nil {
+// a run. The page is assumed freshly read into buf by firstKey when called
+// from probeRun; it re-reads to keep the logic self-contained (the repeat
+// read of the same page is accounted as buffered/sequential).
+func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector, buf []byte) error {
+	if _, err := l.opts.Disk.ReadPage(r.file, int64(page), buf); err != nil {
 		return err
 	}
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
@@ -116,7 +138,7 @@ func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector) err
 	recSize := l.codec.Size()
 	cands := make([]record.Entry, 0, n)
 	for i := 0; i < n; i++ {
-		e, err := l.codec.Decode(l.pageBuf[i*recSize : (i+1)*recSize])
+		e, err := l.codec.Decode(buf[i*recSize : (i+1)*recSize])
 		if err != nil {
 			return err
 		}
@@ -130,13 +152,13 @@ func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector) err
 
 // scanRun scans one run sequentially with lower-bound pruning, verifying
 // each page's surviving candidates in ascending lower-bound order.
-func (l *LSM) scanRun(r run, q index.Query, col *index.Collector) error {
+func (l *LSM) scanRun(r run, q index.Query, col *index.Collector, buf []byte) error {
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
 	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
 	recSize := l.codec.Size()
 	var cands []record.Entry
 	for p := 0; p < pages; p++ {
-		if _, err := l.opts.Disk.ReadPage(r.file, int64(p), l.pageBuf); err != nil {
+		if _, err := l.opts.Disk.ReadPage(r.file, int64(p), buf); err != nil {
 			return err
 		}
 		start := int64(p) * int64(perPage)
@@ -146,8 +168,8 @@ func (l *LSM) scanRun(r run, q index.Query, col *index.Collector) error {
 		}
 		cands = cands[:0]
 		for i := 0; i < n; i++ {
-			rec := l.pageBuf[i*recSize : (i+1)*recSize]
-			if l.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) >= col.Worst() {
+			rec := buf[i*recSize : (i+1)*recSize]
+			if col.Skip(l.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec))) {
 				continue
 			}
 			e, err := l.codec.Decode(rec)
@@ -168,6 +190,8 @@ func (l *LSM) scanRun(r run, q index.Query, col *index.Collector) error {
 
 // RangeSearch returns every indexed series within Euclidean distance eps
 // of the query, scanning the buffer and every run with epsilon pruning.
+// Runs scan concurrently; the epsilon bound is static, so per-worker range
+// collectors merge into exactly the serial answer.
 func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 	col := index.NewRangeCollector(eps)
 	var buffered []record.Entry
@@ -179,21 +203,24 @@ func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 	if err := index.EvalRangeCandidates(q, buffered, l.opts.Config, l.opts.Raw, col); err != nil {
 		return nil, err
 	}
-	for _, r := range l.allRuns() {
-		if err := l.rangeScanRun(r, q, col); err != nil {
-			return nil, err
-		}
+	runs := l.allRuns()
+	err := index.FanOut(l.pool, len(runs), col, (*index.RangeCollector).Clone, (*index.RangeCollector).Merge,
+		l.opts.Disk.PageSize(), func(i int, col *index.RangeCollector, buf []byte) error {
+			return l.rangeScanRun(runs[i], q, col, buf)
+		})
+	if err != nil {
+		return nil, err
 	}
 	return col.Results(), nil
 }
 
-func (l *LSM) rangeScanRun(r run, q index.Query, col *index.RangeCollector) error {
+func (l *LSM) rangeScanRun(r run, q index.Query, col *index.RangeCollector, buf []byte) error {
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
 	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
 	recSize := l.codec.Size()
 	var cands []record.Entry
 	for p := 0; p < pages; p++ {
-		if _, err := l.opts.Disk.ReadPage(r.file, int64(p), l.pageBuf); err != nil {
+		if _, err := l.opts.Disk.ReadPage(r.file, int64(p), buf); err != nil {
 			return err
 		}
 		start := int64(p) * int64(perPage)
@@ -203,7 +230,7 @@ func (l *LSM) rangeScanRun(r run, q index.Query, col *index.RangeCollector) erro
 		}
 		cands = cands[:0]
 		for i := 0; i < n; i++ {
-			rec := l.pageBuf[i*recSize : (i+1)*recSize]
+			rec := buf[i*recSize : (i+1)*recSize]
 			if l.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) > col.Bound() {
 				continue
 			}

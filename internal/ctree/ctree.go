@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/extsort"
 	"repro/internal/index"
+	"repro/internal/parallel"
 	"repro/internal/record"
 	"repro/internal/series"
 	"repro/internal/sortable"
@@ -34,8 +35,15 @@ type Options struct {
 	// Default 1 MiB.
 	MemBudget int
 	// Raw is consulted by non-materialized searches to fetch original
-	// (z-normalized) series. Required unless Config.Materialized.
+	// (z-normalized) series. Required unless Config.Materialized. When
+	// Parallelism exceeds 1, Raw must be safe for concurrent Get calls.
 	Raw series.RawStore
+	// Parallelism bounds the worker goroutines used per operation: exact
+	// and range searches scan leaf ranges concurrently, and construction's
+	// external sort sorts in-memory runs on workers. 1 keeps the serial
+	// paths; values <= 0 select GOMAXPROCS. Search results and the built
+	// index are identical at every setting.
+	Parallelism int
 }
 
 func (o *Options) setDefaults() error {
@@ -56,6 +64,9 @@ func (o *Options) setDefaults() error {
 	}
 	if o.MemBudget <= 0 {
 		o.MemBudget = 1 << 20
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = parallel.Resolve(o.Parallelism)
 	}
 	return nil
 }
@@ -83,7 +94,8 @@ type Tree struct {
 	target   int   // entries per leaf at build time (fill factor applied)
 	count    int64 // total entries
 	nextID64 int64 // next auto-assigned insert ID
-	pageBuf  []byte
+	pageBuf  []byte // insert-path scratch; searches allocate their own
+	pool     *parallel.Pool
 }
 
 func (t *Tree) nextID() int64 {
@@ -109,6 +121,12 @@ func (t *Tree) Config() index.Config { return t.opts.Config }
 // Leaves returns the number of leaf pages (the index footprint in pages).
 func (t *Tree) Leaves() int { return len(t.leaves) }
 
+// SetParallelism re-sizes the search worker pool (n <= 0 selects
+// GOMAXPROCS; 1 is serial). Parallelism is not persisted, so reopened
+// trees default to GOMAXPROCS — call this after Open to restore a serial
+// configuration. Call only while no search is in flight.
+func (t *Tree) SetParallelism(n int) { t.pool = parallel.New(n) }
+
 // Build constructs a CTree over all series in src, assigning IDs 0..n-1 in
 // source order and timestamp ts to every entry. Construction is bottom-up:
 // summarize sequentially, external-sort, then pack leaves contiguously.
@@ -126,6 +144,7 @@ func BuildTS(opts Options, src series.RawStore, tsOf func(id int) int64) (*Tree,
 		opts:    opts,
 		codec:   opts.Config.Codec(),
 		pageBuf: make([]byte, opts.Disk.PageSize()),
+		pool:    parallel.New(opts.Parallelism),
 	}
 	perPage := opts.Disk.PageSize() / t.codec.Size()
 	if perPage < 1 {
@@ -165,8 +184,12 @@ func BuildTS(opts Options, src series.RawStore, tsOf func(id int) int64) (*Tree,
 		return nil, err
 	}
 
-	// Passes 1..2: two-pass external sort.
-	sorter := &extsort.Sorter{Disk: opts.Disk, Codec: t.codec, MemBudget: opts.MemBudget, TmpPrefix: opts.Name + ".sort"}
+	// Passes 1..2: two-pass external sort; in-memory runs sort on the
+	// worker pool while completed runs stream to disk.
+	sorter := &extsort.Sorter{
+		Disk: opts.Disk, Codec: t.codec, MemBudget: opts.MemBudget,
+		TmpPrefix: opts.Name + ".sort", Parallelism: opts.Parallelism,
+	}
 	sorted := opts.Name + ".sorted"
 	if _, err := sorter.Sort(unsorted, int64(n), sorted); err != nil {
 		return nil, err
@@ -197,6 +220,7 @@ func BuildFromEntries(opts Options, sortedFile string, n int64) (*Tree, error) {
 		opts:    opts,
 		codec:   opts.Config.Codec(),
 		pageBuf: make([]byte, opts.Disk.PageSize()),
+		pool:    parallel.New(opts.Parallelism),
 	}
 	perPage := opts.Disk.PageSize() / t.codec.Size()
 	if perPage < 1 {
@@ -291,16 +315,22 @@ func (t *Tree) findLeaf(k sortable.Key) int {
 	return i - 1
 }
 
-// readLeaf decodes all live entries of leaf li. The returned entries share
-// no storage with the page buffer.
+// readLeaf decodes all live entries of leaf li into the insert-path page
+// buffer. The returned entries share no storage with the page buffer.
 func (t *Tree) readLeaf(li int) ([]record.Entry, error) {
-	if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), t.pageBuf); err != nil {
+	return t.readLeafBuf(li, t.pageBuf)
+}
+
+// readLeafBuf is readLeaf with a caller-owned page buffer, so concurrent
+// searches (and search workers) never share scratch space.
+func (t *Tree) readLeafBuf(li int, buf []byte) ([]record.Entry, error) {
+	if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
 		return nil, err
 	}
 	recSize := t.codec.Size()
 	out := make([]record.Entry, 0, t.leaves[li].count)
 	for i := 0; i < t.leaves[li].count; i++ {
-		e, err := t.codec.Decode(t.pageBuf[i*recSize : (i+1)*recSize])
+		e, err := t.codec.Decode(buf[i*recSize : (i+1)*recSize])
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/index"
+	"repro/internal/parallel"
 	"repro/internal/series"
 	"repro/internal/sortable"
 	"repro/internal/storage"
@@ -114,7 +115,7 @@ func decodeMeta(disk *storage.Disk, name string, buf []byte, raw series.RawStore
 	if len(buf) < fixed {
 		return nil, fmt.Errorf("ctree: meta payload too short: %d", len(buf))
 	}
-	t := &Tree{pageBuf: make([]byte, disk.PageSize())}
+	t := &Tree{pageBuf: make([]byte, disk.PageSize()), pool: parallel.New(0)}
 	t.count = int64(binary.LittleEndian.Uint64(buf))
 	t.nextID64 = int64(binary.LittleEndian.Uint64(buf[8:]))
 	t.capacity = int(binary.LittleEndian.Uint32(buf[16:]))

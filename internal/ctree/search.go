@@ -5,20 +5,31 @@ import (
 	"repro/internal/record"
 )
 
+// Search in a CTree fans out over contiguous leaf ranges: the leaf file is
+// one sorted sequence, so exact and range searches split it into one chunk
+// per worker (Options.Parallelism) and scan the chunks concurrently, each
+// worker with its own page buffer and deterministic collector. Merged
+// per-worker results are identical to the serial scan's (see
+// index.Collector). Searches allocate their own page buffers, so any number
+// of searches may run concurrently against one tree; only inserts require
+// external serialization against searches.
+
 // ApproxSearch answers an approximate k-NN query by descending to the leaf
 // that covers the query's sortable key and scanning it (plus neighboring
 // leaves until k candidates are seen). This is the cheap, no-guarantee
-// search of the demo: one or two page reads.
+// search of the demo: one or two page reads, inherently navigational, so it
+// stays serial at every parallelism setting.
 func (t *Tree) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 	col := index.NewCollector(k)
 	if len(t.leaves) == 0 {
 		return col.Results(), nil
 	}
+	buf := make([]byte, t.opts.Disk.PageSize())
 	center := t.findLeaf(q.Key)
 	// Scan the covering leaf, then alternate outward until k candidates
 	// have been evaluated (fill-factor slack or windows can leave leaves
 	// short).
-	seen, err := t.scanLeafInto(center, q, col)
+	seen, err := t.scanLeafInto(center, q, col, buf)
 	if err != nil {
 		return nil, err
 	}
@@ -26,7 +37,7 @@ func (t *Tree) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 	for seen < k && (lo > 0 || hi < len(t.leaves)-1) {
 		if lo > 0 {
 			lo--
-			n, err := t.scanLeafInto(lo, q, col)
+			n, err := t.scanLeafInto(lo, q, col, buf)
 			if err != nil {
 				return nil, err
 			}
@@ -34,7 +45,7 @@ func (t *Tree) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 		}
 		if seen < k && hi < len(t.leaves)-1 {
 			hi++
-			n, err := t.scanLeafInto(hi, q, col)
+			n, err := t.scanLeafInto(hi, q, col, buf)
 			if err != nil {
 				return nil, err
 			}
@@ -44,8 +55,8 @@ func (t *Tree) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 	return col.Results(), nil
 }
 
-func (t *Tree) scanLeafInto(li int, q index.Query, col *index.Collector) (int, error) {
-	entries, err := t.readLeaf(li)
+func (t *Tree) scanLeafInto(li int, q index.Query, col *index.Collector, buf []byte) (int, error) {
+	entries, err := t.readLeafBuf(li, buf)
 	if err != nil {
 		return 0, err
 	}
@@ -59,13 +70,30 @@ func (t *Tree) scanLeafInto(li int, q index.Query, col *index.Collector) (int, e
 	return n, err
 }
 
+// leafChunks splits the leaf directory into one contiguous range per
+// available worker, so each worker keeps the sequential access pattern the
+// compact layout buys within its own range.
+func (t *Tree) leafChunks() [][2]int {
+	n := len(t.leaves)
+	w := t.pool.WorkersFor(n)
+	chunks := make([][2]int, 0, w)
+	for i := 0; i < w; i++ {
+		lo := i * n / w
+		hi := (i + 1) * n / w
+		if lo < hi {
+			chunks = append(chunks, [2]int{lo, hi})
+		}
+	}
+	return chunks
+}
+
 // ExactSearch returns the true k nearest neighbors. It first runs
 // ApproxSearch to seed the best-so-far bound, then scans the entire leaf
-// file sequentially, pruning every entry whose iSAX lower bound meets the
-// bound; only survivors pay for a true distance (an inline payload read, or
-// a random raw-file fetch when non-materialized). The sequential scan over
-// a compact, contiguous file is exactly the access pattern Coconut's
-// sortable layout buys.
+// file, pruning every entry whose iSAX lower bound passes the bound; only
+// survivors pay for a true distance (an inline payload read, or a random
+// raw-file fetch when non-materialized). The scan splits into one
+// contiguous leaf range per worker — the sequential access pattern of
+// Coconut's sortable layout, striped across the pool.
 func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	col := index.NewCollector(k)
 	if len(t.leaves) == 0 {
@@ -78,22 +106,35 @@ func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	for _, r := range approx {
 		col.Add(r)
 	}
+	chunks := t.leafChunks()
+	err = index.FanOut(t.pool, len(chunks), col, (*index.Collector).Clone, (*index.Collector).Merge,
+		t.opts.Disk.PageSize(), func(i int, col *index.Collector, buf []byte) error {
+			return t.exactScanRange(chunks[i][0], chunks[i][1], q, col, buf)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return col.Results(), nil
+}
+
+// exactScanRange scans leaves [lo, hi) with lower-bound pruning into col.
+func (t *Tree) exactScanRange(lo, hi int, q index.Query, col *index.Collector, buf []byte) error {
 	recSize := t.codec.Size()
 	var cands []record.Entry
-	for li := range t.leaves {
-		if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), t.pageBuf); err != nil {
-			return nil, err
+	for li := lo; li < hi; li++ {
+		if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
+			return err
 		}
 		cands = cands[:0]
 		for i := 0; i < t.leaves[li].count; i++ {
-			rec := t.pageBuf[i*recSize : (i+1)*recSize]
+			rec := buf[i*recSize : (i+1)*recSize]
 			// Cheap reject on the raw key before decoding the entry.
-			if t.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) >= col.Worst() {
+			if col.Skip(t.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec))) {
 				continue
 			}
 			e, err := t.codec.Decode(rec)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !q.InWindow(e.TS) {
 				continue
@@ -101,31 +142,48 @@ func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 			cands = append(cands, e)
 		}
 		if _, err := index.EvalCandidates(q, cands, t.opts.Config, t.opts.Raw, col); err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// RangeSearch returns every indexed series within Euclidean distance eps
+// of the query: one pruned scan of the leaf file, striped across the pool
+// in contiguous leaf ranges.
+func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
+	col := index.NewRangeCollector(eps)
+	if len(t.leaves) == 0 {
+		return col.Results(), nil
+	}
+	chunks := t.leafChunks()
+	err := index.FanOut(t.pool, len(chunks), col, (*index.RangeCollector).Clone, (*index.RangeCollector).Merge,
+		t.opts.Disk.PageSize(), func(i int, col *index.RangeCollector, buf []byte) error {
+			return t.rangeScanRange(chunks[i][0], chunks[i][1], q, col, buf)
+		})
+	if err != nil {
+		return nil, err
 	}
 	return col.Results(), nil
 }
 
-// RangeSearch returns every indexed series within Euclidean distance eps
-// of the query: one sequential pruned scan of the leaf file.
-func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
-	col := index.NewRangeCollector(eps)
+// rangeScanRange scans leaves [lo, hi) with epsilon pruning into col.
+func (t *Tree) rangeScanRange(lo, hi int, q index.Query, col *index.RangeCollector, buf []byte) error {
 	recSize := t.codec.Size()
 	var cands []record.Entry
-	for li := range t.leaves {
-		if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), t.pageBuf); err != nil {
-			return nil, err
+	for li := lo; li < hi; li++ {
+		if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
+			return err
 		}
 		cands = cands[:0]
 		for i := 0; i < t.leaves[li].count; i++ {
-			rec := t.pageBuf[i*recSize : (i+1)*recSize]
-			if t.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) > eps {
+			rec := buf[i*recSize : (i+1)*recSize]
+			if t.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) > col.Bound() {
 				continue
 			}
 			e, err := t.codec.Decode(rec)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !q.InWindow(e.TS) {
 				continue
@@ -133,10 +191,10 @@ func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 			cands = append(cands, e)
 		}
 		if err := index.EvalRangeCandidates(q, cands, t.opts.Config, t.opts.Raw, col); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return col.Results(), nil
+	return nil
 }
 
 var (

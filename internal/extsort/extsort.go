@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/record"
 	"repro/internal/storage"
 )
@@ -23,6 +25,16 @@ type Sorter struct {
 	Codec     record.Codec
 	MemBudget int    // bytes of working memory for buffering entries
 	TmpPrefix string // prefix for temporary run files (default "extsort")
+	// Parallelism bounds the worker goroutines used by Sort: in-memory runs
+	// sort on workers while completed runs stream to disk (overlapping sort
+	// CPU with run-writing I/O), and independent merge groups of a pass run
+	// concurrently. 0 or 1 keeps the classic serial two-pass sort. Because
+	// entries are totally ordered by (Key, ID), the sorted output file is
+	// byte-identical at every parallelism level; only wall-clock changes.
+	// When parallel, a few in-flight buffers per worker may hold entries at
+	// once, so resident memory can exceed MemBudget by a small constant
+	// factor.
+	Parallelism int
 }
 
 // MinMemBudget is the smallest workable budget: room for a handful of
@@ -57,10 +69,85 @@ func (s *Sorter) Sort(input string, count int64, output string) (passes int, err
 	}
 
 	// Phase 1: produce sorted runs.
+	workers := s.workers()
+	var runs []runInfo
+	if workers == 1 {
+		var err error
+		if runs, err = s.sortRunsSerial(input, count); err != nil {
+			return 0, err
+		}
+	} else {
+		var err error
+		if runs, err = s.sortRunsParallel(input, count, workers); err != nil {
+			return 0, err
+		}
+	}
+
+	// Single run: it is already the answer.
+	if len(runs) == 1 {
+		return 0, s.Disk.Rename(runs[0].name, output)
+	}
+
+	// Phase 2: k-way merge passes. Fan-in is bounded by how many run pages
+	// fit in the memory budget (at least 2). Merge groups within a pass are
+	// independent and run on the worker pool; the final single-group merge
+	// writes the output directly.
+	fanIn := s.MemBudget / s.Disk.PageSize()
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	pool := parallel.New(workers)
+	pass := 1
+	for len(runs) > 1 {
+		var groups [][]runInfo
+		for i := 0; i < len(runs); i += fanIn {
+			groups = append(groups, runs[i:min(i+fanIn, len(runs))])
+		}
+		next := make([]runInfo, len(groups))
+		concurrent := pool.WorkersFor(len(groups))
+		budget := s.MemBudget / concurrent
+		err := pool.ForEach(len(groups), func(_, g int) error {
+			name := s.tmpName(pass, g)
+			if len(groups) == 1 {
+				name = output // final merge writes the output directly
+			}
+			merged, err := s.mergeBudget(groups[g], name, budget)
+			if err != nil {
+				return err
+			}
+			next[g] = merged
+			return nil
+		})
+		if err != nil {
+			return passes, err
+		}
+		for _, r := range runs {
+			if err := s.Disk.Remove(r.name); err != nil {
+				return passes, err
+			}
+		}
+		runs = next
+		passes = pass
+		pass++
+	}
+	return passes, nil
+}
+
+// workers resolves the Parallelism knob: 0 or 1 means serial.
+func (s *Sorter) workers() int {
+	if s.Parallelism <= 1 {
+		return 1
+	}
+	return s.Parallelism
+}
+
+// sortRunsSerial is the classic phase 1: fill one bounded buffer, sort it,
+// write it out, repeat.
+func (s *Sorter) sortRunsSerial(input string, count int64) ([]runInfo, error) {
 	bufEntries := s.minEntries()
 	reader, err := storage.NewRecordReader(s.Disk, input, s.Codec.Size(), count)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	var runs []runInfo
 	entries := make([]record.Entry, 0, bufEntries)
@@ -83,61 +170,121 @@ func (s *Sorter) Sort(input string, count int64, output string) (passes int, err
 			break
 		}
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		e, err := s.Codec.Decode(rec)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		entries = append(entries, e)
 		if len(entries) == bufEntries {
 			if err := flush(); err != nil {
-				return 0, err
+				return nil, err
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		return 0, err
+		return nil, err
 	}
+	return runs, nil
+}
 
-	// Single run: it is already the answer.
-	if len(runs) == 1 {
-		return 0, s.Disk.Rename(runs[0].name, output)
+// sortRunsParallel is phase 1 as a three-stage pipeline: this goroutine
+// streams the input and batches entries, workers sort batches, and a writer
+// goroutine streams completed runs to disk strictly in batch order, so
+// sorting CPU overlaps run-writing I/O and the write stream stays
+// single-headed. The memory budget is split across workers, so the
+// intermediate runs are smaller and more numerous than the serial pass's —
+// only the final merged output is byte-identical (entries are totally
+// ordered by (Key, ID)), not the intermediate run files.
+func (s *Sorter) sortRunsParallel(input string, count int64, workers int) ([]runInfo, error) {
+	type batch struct {
+		idx     int
+		entries []record.Entry
 	}
-
-	// Phase 2: k-way merge passes. Fan-in is bounded by how many run pages
-	// fit in the memory budget (at least 2).
-	fanIn := s.MemBudget / s.Disk.PageSize()
-	if fanIn < 2 {
-		fanIn = 2
+	bufEntries := s.minEntries() / workers
+	if bufEntries < 4 {
+		bufEntries = 4
 	}
-	pass := 1
-	for len(runs) > 1 {
-		var next []runInfo
-		for i := 0; i < len(runs); i += fanIn {
-			group := runs[i:min(i+fanIn, len(runs))]
-			var name string
-			if len(runs) <= fanIn {
-				name = output // final merge writes the output directly
-			} else {
-				name = s.tmpName(pass, len(next))
+	reader, err := storage.NewRecordReader(s.Disk, input, s.Codec.Size(), count)
+	if err != nil {
+		return nil, err
+	}
+	sortCh := make(chan batch, workers)
+	writeCh := make(chan batch, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for b := range sortCh {
+				sort.Slice(b.entries, func(x, y int) bool { return b.entries[x].Less(b.entries[y]) })
+				writeCh <- b
 			}
-			merged, err := s.merge(group, name)
-			if err != nil {
-				return passes, err
+		}()
+	}
+	var (
+		runs      []runInfo
+		writerErr error
+		writerDn  = make(chan struct{})
+	)
+	go func() {
+		defer close(writerDn)
+		pending := make(map[int][]record.Entry)
+		next := 0
+		for b := range writeCh {
+			pending[b.idx] = b.entries
+			for entries, ok := pending[next]; ok; entries, ok = pending[next] {
+				delete(pending, next)
+				if writerErr == nil {
+					name := s.tmpName(0, next)
+					if err := s.writeRun(name, entries); err != nil {
+						writerErr = err
+					} else {
+						runs = append(runs, runInfo{name: name, count: int64(len(entries))})
+					}
+				}
+				next++
 			}
-			next = append(next, merged)
 		}
-		for _, r := range runs {
-			if err := s.Disk.Remove(r.name); err != nil {
-				return passes, err
-			}
+	}()
+	var readErr error
+	idx := 0
+	entries := make([]record.Entry, 0, bufEntries)
+	for readErr == nil {
+		rec, err := reader.Next()
+		if err == io.EOF {
+			break
 		}
-		runs = next
-		passes = pass
-		pass++
+		if err != nil {
+			readErr = err
+			break
+		}
+		var e record.Entry
+		if e, readErr = s.Codec.Decode(rec); readErr != nil {
+			break
+		}
+		entries = append(entries, e)
+		if len(entries) == bufEntries {
+			sortCh <- batch{idx: idx, entries: entries}
+			idx++
+			entries = make([]record.Entry, 0, bufEntries)
+		}
 	}
-	return passes, nil
+	if readErr == nil && len(entries) > 0 {
+		sortCh <- batch{idx: idx, entries: entries}
+	}
+	close(sortCh)
+	wg.Wait()
+	close(writeCh)
+	<-writerDn
+	if readErr != nil {
+		return nil, readErr
+	}
+	if writerErr != nil {
+		return nil, writerErr
+	}
+	return runs, nil
 }
 
 type runInfo struct {
@@ -164,12 +311,19 @@ func (s *Sorter) writeRun(name string, entries []record.Entry) error {
 	return w.Close()
 }
 
-// merge performs a single k-way merge of the given runs into a new file.
-// The memory budget is split into per-run read-ahead buffers plus a
+// merge performs a single k-way merge of the given runs into a new file
+// under the sorter's full memory budget.
+func (s *Sorter) merge(runs []runInfo, outName string) (runInfo, error) {
+	return s.mergeBudget(runs, outName, s.MemBudget)
+}
+
+// mergeBudget performs a single k-way merge of the given runs into a new
+// file. The memory budget (a share of MemBudget when merges run
+// concurrently) is split into per-run read-ahead buffers plus a
 // write-behind buffer, so each stream moves the head once per chunk — the
 // I/O discipline that makes external merging sequential.
-func (s *Sorter) merge(runs []runInfo, outName string) (runInfo, error) {
-	bufPages := s.MemBudget / s.Disk.PageSize() / (len(runs) + 1)
+func (s *Sorter) mergeBudget(runs []runInfo, outName string, budget int) (runInfo, error) {
+	bufPages := budget / s.Disk.PageSize() / (len(runs) + 1)
 	if bufPages < 1 {
 		bufPages = 1
 	}

@@ -1,0 +1,42 @@
+package index
+
+import "repro/internal/parallel"
+
+// FanOut is the one fan-out/merge scaffold every parallel search path uses:
+// n independent scan tasks execute over the pool, collecting into col. With
+// a single usable worker the tasks run serially, in order, directly into
+// col with one scratch buffer — the exact serial path, sharing col's
+// evolving pruning bound across tasks. Otherwise each worker slot scans
+// into clone(col) with a private bufSize-byte buffer, and the per-slot
+// collectors merge back into col. Because both Collector and
+// RangeCollector are order-independent, the two routes return identical
+// results; the parallel one merely evaluates a few extra candidates whose
+// distances lose at the merge.
+func FanOut[C any](pool *parallel.Pool, n int, col C, clone func(C) C, merge func(dst, src C), bufSize int, scan func(i int, col C, buf []byte) error) error {
+	w := pool.WorkersFor(n)
+	if w <= 1 {
+		buf := make([]byte, bufSize)
+		for i := 0; i < n; i++ {
+			if err := scan(i, col, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cols := make([]C, w)
+	bufs := make([][]byte, w)
+	for i := 0; i < w; i++ {
+		cols[i] = clone(col)
+		bufs[i] = make([]byte, bufSize)
+	}
+	err := pool.ForEach(n, func(worker, i int) error {
+		return scan(i, cols[worker], bufs[worker])
+	})
+	if err != nil {
+		return err
+	}
+	for _, c := range cols {
+		merge(col, c)
+	}
+	return nil
+}

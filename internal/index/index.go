@@ -107,8 +107,25 @@ type Result struct {
 	Dist float64 // true Euclidean distance (z-normalized)
 }
 
+// worse reports whether a is strictly worse than b under the collector's
+// total order: farther first, with the larger ID losing ties. Ordering
+// results totally (rather than by distance alone) is what makes collection
+// order-independent, which the parallel query engine relies on: per-worker
+// collectors merged in any order yield the same k results as one serial
+// collector fed the same candidates.
+func worse(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.ID > b.ID
+}
+
 // Collector maintains the k best results seen so far (a max-heap on
-// distance), deduplicating by series ID.
+// (distance, ID)), deduplicating by series ID.
+//
+// The collector's final contents are the k smallest (Dist, ID) pairs among
+// every result offered, independent of the order they were offered in —
+// the determinism guarantee behind parallel search.
 type Collector struct {
 	k     int
 	items resultHeap
@@ -134,7 +151,7 @@ func (c *Collector) Add(r Result) bool {
 		heap.Push(&c.items, r)
 		return true
 	}
-	if r.Dist >= c.items[0].Dist {
+	if !worse(c.items[0], r) {
 		return false
 	}
 	c.seen[r.ID] = true
@@ -142,6 +159,37 @@ func (c *Collector) Add(r Result) bool {
 	c.items[0] = r
 	heap.Fix(&c.items, 0)
 	return true
+}
+
+// Skip reports whether a candidate whose iSAX lower bound is lb cannot
+// change the collected results and may be skipped. The comparison is strict:
+// a candidate whose true distance exactly equals the current k-th distance
+// can still enter on an ID tie-break, so only bounds strictly beyond the
+// k-th distance are prunable. Using Skip (rather than comparing against
+// Worst directly) is what keeps pruning consistent with the collector's
+// total order, and therefore keeps parallel and serial search identical.
+func (c *Collector) Skip(lb float64) bool {
+	return len(c.items) >= c.k && lb > c.items[0].Dist
+}
+
+// Clone returns a new collector with the same k and the same current
+// results. The parallel engine seeds one clone per worker so every worker
+// prunes with the bound established by the approximate phase.
+func (c *Collector) Clone() *Collector {
+	n := NewCollector(c.k)
+	for _, r := range c.items {
+		n.Add(r)
+	}
+	return n
+}
+
+// Merge folds another collector's results into c, deduplicating by ID.
+// Because collection is order-independent, merging per-worker collectors in
+// any order produces the same final top-k as a single serial collector.
+func (c *Collector) Merge(o *Collector) {
+	for _, r := range o.items {
+		c.Add(r)
+	}
 }
 
 // Worst returns the current pruning bound: the distance of the k-th best
@@ -173,7 +221,7 @@ func (c *Collector) Results() []Result {
 type resultHeap []Result
 
 func (h resultHeap) Len() int           { return len(h) }
-func (h resultHeap) Less(i, j int) bool { return h[i].Dist > h[j].Dist } // max-heap
+func (h resultHeap) Less(i, j int) bool { return worse(h[i], h[j]) } // max-heap on (Dist, ID)
 func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
 func (h *resultHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
@@ -233,6 +281,20 @@ func (c *RangeCollector) Add(r Result) bool {
 	return true
 }
 
+// Clone returns a new empty collector with the same epsilon. Unlike
+// Collector.Clone it carries no seed results: range collection prunes with
+// the static eps bound, so workers gain nothing from seeding.
+func (c *RangeCollector) Clone() *RangeCollector { return NewRangeCollector(c.eps) }
+
+// Merge folds another range collector's results into c, deduplicating by
+// ID. The collected set — every candidate within eps — does not depend on
+// order, so per-worker range collectors merge deterministically.
+func (c *RangeCollector) Merge(o *RangeCollector) {
+	for _, r := range o.items {
+		c.Add(r)
+	}
+}
+
 // Results returns all collected results sorted by ascending distance.
 func (c *RangeCollector) Results() []Result {
 	out := make([]Result, len(c.items))
@@ -280,11 +342,10 @@ func EvalCandidates(q Query, entries []record.Entry, cfg Config, raw series.RawS
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
 	for _, c := range cands {
-		bound := col.Worst()
-		if col.Full() && c.lb >= bound {
+		if col.Skip(c.lb) {
 			break // all remaining candidates have larger lower bounds
 		}
-		d, err := TrueDist(q, c.e, raw, bound)
+		d, err := TrueDist(q, c.e, raw, col.Worst())
 		if err != nil {
 			return len(cands), err
 		}
@@ -295,7 +356,9 @@ func EvalCandidates(q Query, entries []record.Entry, cfg Config, raw series.RawS
 
 // TrueDist computes the distance between a prepared query and a candidate
 // entry, using the inline payload when materialized or fetching from raw
-// otherwise. The payload/raw series must already be z-normalized.
+// otherwise. The payload/raw series must already be z-normalized. Because
+// the parallel query engine evaluates candidates on worker goroutines, raw
+// stores must be safe for concurrent Get calls.
 func TrueDist(q Query, e record.Entry, raw series.RawStore, bound float64) (float64, error) {
 	var s series.Series
 	if e.Payload != nil {

@@ -1,0 +1,143 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d", got)
+	}
+}
+
+func TestWorkersFor(t *testing.T) {
+	p := New(4)
+	for _, tc := range []struct{ n, want int }{{0, 1}, {1, 1}, {3, 3}, {4, 4}, {100, 4}} {
+		if got := p.WorkersFor(tc.n); got != tc.want {
+			t.Errorf("WorkersFor(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestForEachRunsEveryTask(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 33} {
+		t.Run(fmt.Sprint(workers), func(t *testing.T) {
+			const n = 100
+			var hits [n]atomic.Int32
+			err := New(workers).ForEach(n, func(_, i int) error {
+				hits[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("task %d ran %d times", i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachWorkerSlotsAreExclusive(t *testing.T) {
+	// No two tasks may run on the same worker slot concurrently: per-slot
+	// scratch state (page buffers, collectors) relies on it.
+	p := New(4)
+	w := p.WorkersFor(64)
+	busy := make([]atomic.Bool, w)
+	err := p.ForEach(64, func(worker, i int) error {
+		if !busy[worker].CompareAndSwap(false, true) {
+			return fmt.Errorf("worker slot %d entered twice", worker)
+		}
+		defer busy[worker].Store(false)
+		runtime.Gosched() // widen the window
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	p := New(3)
+	var cur, max atomic.Int32
+	var mu sync.Mutex
+	err := p.ForEach(50, func(_, i int) error {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > max.Load() {
+			max.Store(c)
+		}
+		mu.Unlock()
+		runtime.Gosched()
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max.Load() > 3 {
+		t.Errorf("observed %d concurrent tasks, want <= 3", max.Load())
+	}
+}
+
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Regardless of scheduling, the error from the lowest failing index
+	// wins, so error reporting is deterministic under concurrency.
+	for trial := 0; trial < 20; trial++ {
+		err := New(8).ForEach(40, func(_, i int) error {
+			switch i {
+			case 7:
+				return errA
+			case 23:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, errA)
+		}
+	}
+}
+
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := 0
+	err := New(1).ForEach(10, func(_, i int) error {
+		ran++
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("serial pool ran %d tasks after error, want stop at 4", ran)
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	called := false
+	if err := New(4).ForEach(0, func(_, i int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for n=0")
+	}
+}

@@ -29,6 +29,9 @@ type Server struct {
 	builds   map[string]*build
 	seq      int
 	cost     storage.CostModel
+	// defaultParallelism applies to builds whose request leaves the
+	// parallelism field unset; 0 keeps the workload default (serial).
+	defaultParallelism int
 }
 
 type dataset struct {
@@ -53,6 +56,13 @@ func New() *Server {
 		cost:     storage.DefaultCostModel,
 	}
 }
+
+// SetDefaultParallelism sets the worker-pool bound applied to builds whose
+// request does not specify one: n > 1 lets every query fan its run and
+// partition probes out over n workers, n < 0 selects GOMAXPROCS, and 0 or 1
+// keeps queries serial (the paper-faithful default). Call before serving;
+// the setting is not synchronized with in-flight requests.
+func (s *Server) SetDefaultParallelism(n int) { s.defaultParallelism = n }
 
 // Handler returns the HTTP handler exposing the REST API under /api/.
 func (s *Server) Handler() http.Handler {
@@ -177,6 +187,11 @@ type BuildRequest struct {
 	FillFactor   float64 `json:"fill_factor"`
 	GrowthFactor int     `json:"growth_factor"`
 	MemBudget    int     `json:"mem_budget"`
+	// Parallelism bounds the worker goroutines each query against this
+	// build may use (and construction's sort workers): unset or 0 falls
+	// back to the server default, 1 is serial, negative selects GOMAXPROCS.
+	// Answers are identical at every setting.
+	Parallelism int `json:"parallelism"`
 }
 
 // BuildResponse reports construction accounting, the numbers the demo GUI
@@ -221,10 +236,14 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Parallelism == 0 {
+		req.Parallelism = s.defaultParallelism
+	}
 	b, err := workload.BuildVariant(req.Variant, d.ds, cfg, workload.BuildOptions{
 		FillFactor:   req.FillFactor,
 		GrowthFactor: req.GrowthFactor,
 		MemBudget:    req.MemBudget,
+		Parallelism:  req.Parallelism,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "build failed: %v", err)

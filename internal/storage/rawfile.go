@@ -62,7 +62,9 @@ func (r *RawFile) Seal() error {
 	return nil
 }
 
-// Get fetches the series with the given ID (read mode only).
+// Get fetches the series with the given ID (read mode only). It is safe
+// for concurrent calls; decoding happens under the record cache's lock, so
+// each fetch allocates only the returned series.
 func (r *RawFile) Get(id int) (series.Series, error) {
 	if r.rf == nil {
 		return nil, fmt.Errorf("storage: raw file %q not sealed for reading", r.name)
@@ -70,11 +72,13 @@ func (r *RawFile) Get(id int) (series.Series, error) {
 	if id < 0 || int64(id) >= r.count {
 		return nil, fmt.Errorf("%w: series %d of %d", ErrOutOfRange, id, r.count)
 	}
-	rec, err := r.rf.Get(int64(id))
-	if err != nil {
-		return nil, err
-	}
-	return series.DecodeBinary(rec, r.n)
+	var s series.Series
+	err := r.rf.View(int64(id), func(rec []byte) error {
+		var err error
+		s, err = series.DecodeBinary(rec, r.n)
+		return err
+	})
+	return s, err
 }
 
 // Count returns the number of series stored.

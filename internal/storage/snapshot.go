@@ -22,8 +22,8 @@ const (
 // WriteTo serializes the disk's full contents (all files and pages) to w.
 // Serialization does not touch the I/O accounting.
 func (d *Disk) WriteTo(w io.Writer) (int64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	var n int64
 	write := func(p []byte) error {
@@ -112,7 +112,8 @@ func ReadDisk(r io.Reader) (*Disk, error) {
 			return nil, err
 		}
 		pages := binary.LittleEndian.Uint64(pc[:])
-		f := &file{name: string(nameBuf), pages: make([][]byte, pages)}
+		f := d.newFile(string(nameBuf))
+		f.pages = make([][]byte, pages)
 		for p := range f.pages {
 			f.pages[p] = make([]byte, pageSize)
 			if _, err := io.ReadFull(br, f.pages[p]); err != nil {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the page size used unless configured otherwise.
@@ -88,25 +89,41 @@ func (s Stats) Cost(m CostModel) float64 {
 }
 
 // Tracer observes every page access; the heat-map package implements it.
+// The parallel query engine issues reads from worker goroutines, so tracers
+// must be safe for concurrent Access calls.
 type Tracer interface {
 	Access(file string, page int64, write bool)
 }
 
 // Disk is a simulated page-addressed disk holding named files. It is safe
-// for concurrent use. Pages are PageSize bytes; files grow by appending
-// pages.
+// for concurrent use: reads proceed concurrently under a shared lock, while
+// mutations (create/remove/rename/write) are exclusive. Pages are PageSize
+// bytes; files grow by appending pages.
+//
+// Access accounting is atomic, not lock-protected: the head position is a
+// single packed atomic word and the counters are atomic integers, so
+// concurrent readers never race on the accounting even though they share
+// the read lock. Under concurrency the single simulated head is shared by
+// all workers, so interleaved streams classify more accesses as random —
+// the same penalty a real spinning disk would charge for interleaved I/O.
 type Disk struct {
 	pageSize int
 
-	mu       sync.Mutex
-	files    map[string]*file
-	stats    Stats
-	tracer   Tracer
-	headFile *file // file under the head after the last access
-	headPage int64 // page under the head after the last access
+	mu         sync.RWMutex
+	files      map[string]*file
+	nextFileID uint32
+	tracer     Tracer
+
+	seqReads, randReads   atomic.Int64
+	seqWrites, randWrites atomic.Int64
+	// head is the packed position after the last access: (fileID+1)<<32 |
+	// page, or 0 when no access has happened yet. Reading and replacing it
+	// is a single atomic swap.
+	head atomic.Uint64
 }
 
 type file struct {
+	id    uint32 // immutable identity for head tracking; never reused
 	name  string
 	pages [][]byte
 }
@@ -118,6 +135,13 @@ func NewDisk(pageSize int) *Disk {
 		pageSize = DefaultPageSize
 	}
 	return &Disk{pageSize: pageSize, files: make(map[string]*file)}
+}
+
+// newFile allocates a file with a fresh identity; callers must hold d.mu.
+func (d *Disk) newFile(name string) *file {
+	f := &file{id: d.nextFileID, name: name}
+	d.nextFileID++
+	return f
 }
 
 // PageSize returns the disk's page size in bytes.
@@ -132,16 +156,20 @@ func (d *Disk) SetTracer(t Tracer) {
 
 // Stats returns a snapshot of the accumulated I/O statistics.
 func (d *Disk) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		SeqReads:   d.seqReads.Load(),
+		RandReads:  d.randReads.Load(),
+		SeqWrites:  d.seqWrites.Load(),
+		RandWrites: d.randWrites.Load(),
+	}
 }
 
 // ResetStats zeroes the I/O statistics.
 func (d *Disk) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
+	d.seqReads.Store(0)
+	d.randReads.Store(0)
+	d.seqWrites.Store(0)
+	d.randWrites.Store(0)
 }
 
 // Create creates an empty file. It fails if the name already exists.
@@ -151,20 +179,18 @@ func (d *Disk) Create(name string) error {
 	if _, ok := d.files[name]; ok {
 		return fmt.Errorf("%w: %q", ErrExists, name)
 	}
-	d.files[name] = &file{name: name}
+	d.files[name] = d.newFile(name)
 	return nil
 }
 
-// Remove deletes a file and reclaims its pages.
+// Remove deletes a file and reclaims its pages. File identities are never
+// reused, so a head position pointing at a removed file simply never
+// matches again (the next access counts as random, as it should).
 func (d *Disk) Remove(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	f, ok := d.files[name]
-	if !ok {
+	if _, ok := d.files[name]; !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
-	}
-	if d.headFile == f {
-		d.headFile = nil
 	}
 	delete(d.files, name)
 	return nil
@@ -189,16 +215,16 @@ func (d *Disk) Rename(oldName, newName string) error {
 
 // Exists reports whether a file exists.
 func (d *Disk) Exists(name string) bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	_, ok := d.files[name]
 	return ok
 }
 
 // Files returns the names of all files, sorted.
 func (d *Disk) Files() []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]string, 0, len(d.files))
 	for name := range d.files {
 		out = append(out, name)
@@ -209,8 +235,8 @@ func (d *Disk) Files() []string {
 
 // NumPages returns the number of pages in a file.
 func (d *Disk) NumPages(name string) (int64, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	f, ok := d.files[name]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -221,8 +247,8 @@ func (d *Disk) NumPages(name string) (int64, error) {
 // TotalPages returns the number of pages across all files (the storage
 // footprint).
 func (d *Disk) TotalPages() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var n int64
 	for _, f := range d.files {
 		n += int64(len(f.pages))
@@ -231,10 +257,12 @@ func (d *Disk) TotalPages() int64 {
 }
 
 // ReadPage reads page number page of the named file into buf, which must be
-// at least PageSize bytes. It returns the number of bytes copied.
+// at least PageSize bytes. It returns the number of bytes copied. Reads
+// take the shared lock, so any number of workers can probe pages
+// concurrently.
 func (d *Disk) ReadPage(name string, page int64, buf []byte) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	f, ok := d.files[name]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -295,8 +323,8 @@ func (d *Disk) AppendPage(name string, data []byte) (int64, error) {
 // (which must hold n*PageSize bytes), returning how many pages were read
 // (clamped at end of file). One head movement plus sequential transfers.
 func (d *Disk) ReadPages(name string, page int64, n int, buf []byte) (int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	f, ok := d.files[name]
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
@@ -340,20 +368,29 @@ func (d *Disk) AppendPages(name string, data []byte) (int64, error) {
 	return first, nil
 }
 
-// account must be called with d.mu held.
+// account classifies one page access as sequential or random and advances
+// the head. It must be called with d.mu held (shared or exclusive): the
+// head swap and counter increments are atomic, so concurrent readers under
+// the shared lock account without racing. An access is sequential when the
+// head sits on the same file at the previous page (or the same page, a
+// buffered repeat); with several workers interleaving streams the shared
+// head bounces between files and accesses classify as random — the honest
+// cost of concurrent streams on a one-head disk.
 func (d *Disk) account(f *file, page int64, write bool) {
-	sequential := d.headFile == f && (page == d.headPage+1 || page == d.headPage)
-	d.headFile = f
-	d.headPage = page
+	packed := (uint64(f.id)+1)<<32 | uint64(uint32(page))
+	prev := d.head.Swap(packed)
+	prevPage := prev & 0xffffffff
+	sequential := prev != 0 && prev>>32 == uint64(f.id)+1 &&
+		(uint64(uint32(page)) == prevPage+1 || uint64(uint32(page)) == prevPage)
 	switch {
 	case write && sequential:
-		d.stats.SeqWrites++
+		d.seqWrites.Add(1)
 	case write:
-		d.stats.RandWrites++
+		d.randWrites.Add(1)
 	case sequential:
-		d.stats.SeqReads++
+		d.seqReads.Add(1)
 	default:
-		d.stats.RandReads++
+		d.randReads.Add(1)
 	}
 	if d.tracer != nil {
 		d.tracer.Access(f.name, page, write)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/extsort"
 	"repro/internal/index"
+	"repro/internal/parallel"
 	"repro/internal/record"
 	"repro/internal/series"
 	"repro/internal/storage"
@@ -41,7 +42,7 @@ type BTP struct {
 	seq         int
 	count       int64
 	merges      int64
-	pageBuf     []byte
+	pool        *parallel.Pool
 }
 
 // NewBTP builds a bounded-temporal-partitioning scheme over sorted runs.
@@ -76,9 +77,15 @@ func NewBTP(disk *storage.Disk, name string, cfg index.Config, bufferCap, mergeF
 		sum:         summarizer{cfg: cfg},
 		bufferCap:   bufferCap,
 		mergeFactor: mergeFactor,
-		pageBuf:     make([]byte, disk.PageSize()),
+		pool:        parallel.New(0),
 	}, nil
 }
+
+// SetParallelism bounds the worker goroutines one query uses to probe
+// intersecting partitions concurrently (n <= 0 selects GOMAXPROCS). Results
+// are identical at every setting. Call before querying; the setting is not
+// synchronized with in-flight searches.
+func (b *BTP) SetParallelism(n int) { b.pool = parallel.New(n) }
 
 // Name implements Scheme.
 func (b *BTP) Name() string {
@@ -216,27 +223,28 @@ func (b *BTP) Partitions() int { return len(b.parts) }
 func (b *BTP) Merges() int64 { return b.merges }
 
 // ApproxSearch implements Scheme: the buffer is scanned and each
-// intersecting partition is probed at the query key's page.
+// intersecting partition is probed at the query key's page. Partitions are
+// independent sorted runs, so probes execute concurrently on the worker
+// pool.
 func (b *BTP) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 	col := index.NewCollector(k)
 	if err := b.scanBuffer(q, col); err != nil {
 		return nil, err
 	}
-	for _, p := range b.parts {
-		if !intersects(q, p.minTS, p.maxTS) {
-			continue
-		}
-		if err := b.probePart(p, q, col); err != nil {
-			return nil, err
-		}
+	err := b.forEachPart(q, col, func(p btpPart, buf []byte, col *index.Collector) error {
+		return b.probePart(p, q, col, buf)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return col.Results(), nil
 }
 
 // ExactSearch implements Scheme: approximate first for the bound, then a
-// sequential pruned scan of every intersecting partition. Partitions whose
-// range falls outside the window are skipped wholesale — the bandwidth
-// saving TP pioneered, here with a bounded partition count.
+// pruned scan of every intersecting partition, partitions scanning
+// concurrently. Partitions whose range falls outside the window are skipped
+// wholesale — the bandwidth saving TP pioneered, here with a bounded
+// partition count.
 func (b *BTP) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	approx, err := b.ApproxSearch(q, k)
 	if err != nil {
@@ -249,15 +257,29 @@ func (b *BTP) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	if err := b.scanBuffer(q, col); err != nil {
 		return nil, err
 	}
-	for _, p := range b.parts {
-		if !intersects(q, p.minTS, p.maxTS) {
-			continue
-		}
-		if err := b.scanPart(p, q, col); err != nil {
-			return nil, err
-		}
+	err = b.forEachPart(q, col, func(p btpPart, buf []byte, col *index.Collector) error {
+		return b.scanPart(p, q, col, buf)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return col.Results(), nil
+}
+
+// forEachPart applies scan to every partition intersecting the query
+// window through index.FanOut — the same fan-out/merge discipline as CLSM
+// runs, with the same determinism guarantee.
+func (b *BTP) forEachPart(q index.Query, col *index.Collector, scan func(btpPart, []byte, *index.Collector) error) error {
+	var active []btpPart
+	for _, p := range b.parts {
+		if intersects(q, p.minTS, p.maxTS) {
+			active = append(active, p)
+		}
+	}
+	return index.FanOut(b.pool, len(active), col, (*index.Collector).Clone, (*index.Collector).Merge,
+		b.disk.PageSize(), func(i int, col *index.Collector, buf []byte) error {
+			return scan(active[i], buf, col)
+		})
 }
 
 func (b *BTP) scanBuffer(q index.Query, col *index.Collector) error {
@@ -265,11 +287,10 @@ func (b *BTP) scanBuffer(q index.Query, col *index.Collector) error {
 		if !q.InWindow(e.TS) {
 			continue
 		}
-		bound := col.Worst()
-		if col.Full() && b.cfg.MinDistKey(q.PAA, e.Key) >= bound {
+		if col.Skip(b.cfg.MinDistKey(q.PAA, e.Key)) {
 			continue
 		}
-		d, err := index.TrueDist(q, e, b.raw, bound)
+		d, err := index.TrueDist(q, e, b.raw, col.Worst())
 		if err != nil {
 			return err
 		}
@@ -282,7 +303,7 @@ func (b *BTP) perPage() int { return b.disk.PageSize() / b.codec.Size() }
 
 // probePart binary-searches a partition's pages for the query key and
 // evaluates the covering page.
-func (b *BTP) probePart(p btpPart, q index.Query, col *index.Collector) error {
+func (b *BTP) probePart(p btpPart, q index.Query, col *index.Collector, buf []byte) error {
 	perPage := b.perPage()
 	pages := int((p.count + int64(perPage) - 1) / int64(perPage))
 	if pages == 0 {
@@ -291,32 +312,32 @@ func (b *BTP) probePart(p btpPart, q index.Query, col *index.Collector) error {
 	lo, hi := 0, pages-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if _, err := b.disk.ReadPage(p.file, int64(mid), b.pageBuf); err != nil {
+		if _, err := b.disk.ReadPage(p.file, int64(mid), buf); err != nil {
 			return err
 		}
-		if q.Key.Less(record.DecodeKeyOnly(b.pageBuf)) {
+		if q.Key.Less(record.DecodeKeyOnly(buf)) {
 			hi = mid - 1
 		} else {
 			lo = mid
 		}
 	}
-	return b.evalPage(p, lo, q, col, false)
+	return b.evalPage(p, lo, q, col, false, buf)
 }
 
 // scanPart scans a partition sequentially with lower-bound pruning.
-func (b *BTP) scanPart(p btpPart, q index.Query, col *index.Collector) error {
+func (b *BTP) scanPart(p btpPart, q index.Query, col *index.Collector, buf []byte) error {
 	perPage := b.perPage()
 	pages := int((p.count + int64(perPage) - 1) / int64(perPage))
 	for pg := 0; pg < pages; pg++ {
-		if err := b.evalPage(p, pg, q, col, true); err != nil {
+		if err := b.evalPage(p, pg, q, col, true, buf); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (b *BTP) evalPage(p btpPart, page int, q index.Query, col *index.Collector, prune bool) error {
-	if _, err := b.disk.ReadPage(p.file, int64(page), b.pageBuf); err != nil {
+func (b *BTP) evalPage(p btpPart, page int, q index.Query, col *index.Collector, prune bool, buf []byte) error {
+	if _, err := b.disk.ReadPage(p.file, int64(page), buf); err != nil {
 		return err
 	}
 	perPage := b.perPage()
@@ -328,8 +349,8 @@ func (b *BTP) evalPage(p btpPart, page int, q index.Query, col *index.Collector,
 	recSize := b.codec.Size()
 	cands := make([]record.Entry, 0, n)
 	for i := 0; i < n; i++ {
-		rec := b.pageBuf[i*recSize : (i+1)*recSize]
-		if prune && col.Full() && b.cfg.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) >= col.Worst() {
+		rec := buf[i*recSize : (i+1)*recSize]
+		if prune && col.Skip(b.cfg.MinDistKey(q.PAA, record.DecodeKeyOnly(rec))) {
 			continue // cheap reject before even decoding
 		}
 		e, err := b.codec.Decode(rec)

@@ -16,6 +16,12 @@
 //
 // All schemes share a Ingestor front end that z-normalizes, summarizes,
 // assigns global IDs, and timestamps each arriving series.
+//
+// TP and BTP search their time-partitions concurrently on a bounded worker
+// pool (SetParallelism); PP inherits whatever parallelism its base index
+// was built with. Window-query answers are identical at every parallelism
+// setting — partitions are independent, and per-worker results merge
+// through the deterministic collector of package index.
 package stream
 
 import (

@@ -7,6 +7,7 @@ import (
 	"repro/internal/adsplus"
 	"repro/internal/ctree"
 	"repro/internal/index"
+	"repro/internal/parallel"
 	"repro/internal/record"
 	"repro/internal/series"
 	"repro/internal/storage"
@@ -42,7 +43,10 @@ func CTreeFactory(disk *storage.Disk, cfg index.Config, raw series.RawStore) Par
 		if err := w.Close(); err != nil {
 			return nil, err
 		}
-		return ctree.BuildFromEntries(ctree.Options{Disk: disk, Name: name, Config: cfg, Raw: raw}, file, int64(len(sorted)))
+		// Partitions stay serial internally (Parallelism 1): the scheme's
+		// pool fans out across partitions, and nesting another fan-out
+		// inside each small partition would only oversubscribe the pool.
+		return ctree.BuildFromEntries(ctree.Options{Disk: disk, Name: name, Config: cfg, Raw: raw, Parallelism: 1}, file, int64(len(sorted)))
 	}
 }
 
@@ -85,6 +89,7 @@ type TP struct {
 	parts     []tpPart
 	seq       int
 	count     int64
+	pool      *parallel.Pool
 }
 
 // NewTP builds a temporal-partitioning scheme. baseName names partition
@@ -104,8 +109,15 @@ func NewTP(baseName string, cfg index.Config, factory PartitionFactory, bufferCa
 		raw:       raw,
 		factory:   factory,
 		bufferCap: bufferCap,
+		pool:      parallel.New(0),
 	}, nil
 }
+
+// SetParallelism bounds the worker goroutines one query uses to search
+// intersecting partitions concurrently (n <= 0 selects GOMAXPROCS). Results
+// are identical at every setting. Call before querying; the setting is not
+// synchronized with in-flight searches.
+func (t *TP) SetParallelism(n int) { t.pool = parallel.New(n) }
 
 // Name implements Scheme: "<base>+TP" after the first partition exists, or
 // the generic "TP" before.
@@ -177,30 +189,45 @@ func (t *TP) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	return t.search(q, k, func(idx index.Index) ([]index.Result, error) { return idx.ExactSearch(q, k) })
 }
 
+// search scans the in-memory buffer, then queries every partition whose
+// time range intersects the window. Partitions are independent indexes, so
+// they are searched concurrently on the worker pool; each partition's
+// results fold into one deterministic collector, giving the same answer as
+// the serial partition-by-partition loop.
 func (t *TP) search(q index.Query, k int, f func(index.Index) ([]index.Result, error)) ([]index.Result, error) {
 	col := index.NewCollector(k)
 	for _, e := range t.buffer {
 		if !q.InWindow(e.TS) {
 			continue
 		}
-		bound := col.Worst()
-		if col.Full() && t.sum.cfg.MinDistKey(q.PAA, e.Key) >= bound {
+		if col.Skip(t.sum.cfg.MinDistKey(q.PAA, e.Key)) {
 			continue
 		}
-		d, err := index.TrueDist(q, e, t.raw, bound)
+		d, err := index.TrueDist(q, e, t.raw, col.Worst())
 		if err != nil {
 			return nil, err
 		}
 		col.Add(index.Result{ID: e.ID, TS: e.TS, Dist: d})
 	}
+	var active []index.Index
 	for _, p := range t.parts {
-		if !intersects(q, p.minTS, p.maxTS) {
-			continue
+		if intersects(q, p.minTS, p.maxTS) {
+			active = append(active, p.idx)
 		}
-		rs, err := f(p.idx)
+	}
+	results := make([][]index.Result, len(active))
+	err := t.pool.ForEach(len(active), func(_, i int) error {
+		rs, err := f(active[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = rs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rs := range results {
 		for _, r := range rs {
 			col.Add(r)
 		}

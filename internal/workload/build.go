@@ -72,6 +72,12 @@ type BuildOptions struct {
 	// on-disk raw file. The default (false) charges non-materialized query
 	// fetches their page I/O, as in the paper.
 	RawInMemory bool
+	// Parallelism bounds worker goroutines for construction sorting and
+	// searches of the built index. The default (0) means 1 — fully serial —
+	// so experiment tables keep the paper's single-stream I/O accounting;
+	// pass a higher value (or a negative one for GOMAXPROCS) to exercise
+	// the parallel query engine.
+	Parallelism int
 }
 
 // Built is a constructed index plus its cost accounting.
@@ -99,6 +105,9 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	}
 	if opts.GrowthFactor == 0 {
 		opts.GrowthFactor = 4
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = 1
 	}
 	disk := storage.NewDisk(0)
 	out := &Built{Disk: disk}
@@ -135,12 +144,14 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 		idx, err = ctree.Build(ctree.Options{
 			Disk: disk, Name: "idx", Config: cfg,
 			FillFactor: opts.FillFactor, MemBudget: opts.MemBudget, Raw: raw,
+			Parallelism: opts.Parallelism,
 		}, ds, 0)
 	case "CLSM", "CLSMFull":
 		var l *clsm.LSM
 		l, err = clsm.New(clsm.Options{
 			Disk: disk, Name: "idx", Config: cfg,
 			GrowthFactor: opts.GrowthFactor, BufferEntries: entryBudget, Raw: raw,
+			Parallelism: opts.Parallelism,
 		})
 		if err == nil {
 			for id := 0; id < ds.Count() && err == nil; id++ {

@@ -1,0 +1,306 @@
+package coconut
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Serial-vs-parallel equivalence: for every index and streaming scheme,
+// Parallelism: 1 and Parallelism: 8 must return identical results — same
+// IDs, same timestamps, bit-identical distances — on seeded random
+// workloads. This is the determinism guarantee of the parallel query
+// engine, and under -race (see .github/workflows/ci.yml) it doubles as the
+// race test for the concurrent probing paths: 8 workers on the same pool
+// interleave even on one CPU.
+
+func seededWalks(n, length int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		s := make([]float64, length)
+		v := 0.0
+		for j := range s {
+			v += rng.NormFloat64()
+			s[j] = v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func matchesEqual(t *testing.T, label string, serial, par []Match) {
+	t.Helper()
+	if len(serial) != len(par) {
+		t.Fatalf("%s: serial returned %d results, parallel %d\nserial: %v\nparallel: %v",
+			label, len(serial), len(par), serial, par)
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("%s: result %d differs: serial %+v vs parallel %+v", label, i, serial[i], par[i])
+		}
+	}
+}
+
+func TestParallelEquivalenceTree(t *testing.T) {
+	const n, length = 3000, 96
+	data := seededWalks(n, length, 101)
+	queries := seededWalks(20, length, 102)
+	build := func(par int) *Tree {
+		tr, err := BuildTree(data, Options{SeriesLen: length, Parallelism: par, FillFactor: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	serial, par := build(1), build(8)
+	for qi, q := range queries {
+		for _, k := range []int{1, 5, 17} {
+			s, err := serial.Search(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := par.Search(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchesEqual(t, fmt.Sprintf("tree exact q%d k%d", qi, k), s, p)
+
+			s, err = serial.SearchApprox(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err = par.SearchApprox(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchesEqual(t, fmt.Sprintf("tree approx q%d k%d", qi, k), s, p)
+		}
+		// Pick an epsilon that catches a non-trivial neighborhood.
+		probe, err := serial.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := probe[len(probe)-1].Dist
+		s, err := serial.SearchRange(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := par.SearchRange(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchesEqual(t, fmt.Sprintf("tree range q%d", qi), s, p)
+	}
+}
+
+func TestParallelEquivalenceLSM(t *testing.T) {
+	const n, length = 3000, 96
+	data := seededWalks(n, length, 201)
+	queries := seededWalks(20, length, 202)
+	build := func(par int) *LSM {
+		// Small buffer and high growth factor: many runs to probe.
+		l, err := NewLSM(Options{SeriesLen: length, Parallelism: par, BufferEntries: 128, GrowthFactor: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range data {
+			if err := l.Insert(s, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return l
+	}
+	serial, par := build(1), build(8)
+	if serial.Runs() < 4 {
+		t.Fatalf("workload too small: only %d runs", serial.Runs())
+	}
+	for qi, q := range queries {
+		for _, k := range []int{1, 5} {
+			s, err := serial.Search(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := par.Search(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchesEqual(t, fmt.Sprintf("lsm exact q%d k%d", qi, k), s, p)
+
+			s, err = serial.SearchApprox(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err = par.SearchApprox(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchesEqual(t, fmt.Sprintf("lsm approx q%d k%d", qi, k), s, p)
+		}
+		s, err := serial.SearchWindow(q, 3, int64(n/4), int64(3*n/4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := par.SearchWindow(q, 3, int64(n/4), int64(3*n/4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchesEqual(t, fmt.Sprintf("lsm window q%d", qi), s, p)
+
+		probe, err := serial.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := probe[len(probe)-1].Dist
+		s, err = serial.SearchRange(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err = par.SearchRange(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchesEqual(t, fmt.Sprintf("lsm range q%d", qi), s, p)
+	}
+}
+
+func TestParallelEquivalenceStreams(t *testing.T) {
+	const n, length = 2500, 96
+	data := seededWalks(n, length, 301)
+	queries := seededWalks(12, length, 302)
+	windows := [][2]int64{
+		{0, int64(n - 1)},            // everything
+		{int64(n - 200), int64(n)},   // recent
+		{int64(n / 3), int64(n / 2)}, // middle slice
+	}
+	for _, kind := range []SchemeKind{PP, TP, BTP} {
+		t.Run(string(kind), func(t *testing.T) {
+			build := func(par int) *Stream {
+				st, err := NewStream(kind, Options{SeriesLen: length, Parallelism: par, BufferEntries: 256})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, s := range data {
+					if _, err := st.Ingest(s, int64(i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := st.Seal(); err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			serial, par := build(1), build(8)
+			if kind != PP && serial.Partitions() < 2 {
+				t.Fatalf("workload too small: %d partitions", serial.Partitions())
+			}
+			for qi, q := range queries {
+				s, err := serial.Search(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := par.Search(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				matchesEqual(t, fmt.Sprintf("%s full q%d", kind, qi), s, p)
+				for wi, w := range windows {
+					s, err := serial.SearchWindow(q, 5, w[0], w[1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					p, err := par.SearchWindow(q, 5, w[0], w[1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					matchesEqual(t, fmt.Sprintf("%s window%d q%d", kind, wi, qi), s, p)
+
+					s, err = serial.SearchApprox(q, 5, w[0], w[1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					p, err = par.SearchApprox(q, 5, w[0], w[1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					matchesEqual(t, fmt.Sprintf("%s approx window%d q%d", kind, wi, qi), s, p)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentSearches drives many goroutines through the same completed
+// indexes at once — the server's serving pattern. Search paths allocate
+// their own scratch buffers, so concurrent queries must neither race (the
+// CI run is under -race) nor perturb each other's answers.
+func TestConcurrentSearches(t *testing.T) {
+	const n, length = 1500, 64
+	data := seededWalks(n, length, 401)
+	queries := seededWalks(16, length, 402)
+
+	tr, err := BuildTree(data, Options{SeriesLen: length, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsm, err := NewLSM(Options{SeriesLen: length, Parallelism: 4, BufferEntries: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range data {
+		if err := lsm.Insert(s, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	wantTree := make([][]Match, len(queries))
+	wantLSM := make([][]Match, len(queries))
+	for i, q := range queries {
+		if wantTree[i], err = tr.Search(q, 3); err != nil {
+			t.Fatal(err)
+		}
+		if wantLSM[i], err = lsm.Search(q, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				qi := (g + round*3) % len(queries)
+				got, err := tr.Search(queries[qi], 3)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := range got {
+					if got[i] != wantTree[qi][i] {
+						errCh <- fmt.Errorf("tree q%d: concurrent result %+v != %+v", qi, got[i], wantTree[qi][i])
+						return
+					}
+				}
+				got, err = lsm.Search(queries[qi], 3)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := range got {
+					if got[i] != wantLSM[qi][i] {
+						errCh <- fmt.Errorf("lsm q%d: concurrent result %+v != %+v", qi, got[i], wantLSM[qi][i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -67,7 +67,9 @@ func (l *LSM) SaveFile(path string) error {
 	return l.disk.SaveFile(path)
 }
 
-// OpenLSM reopens an LSM saved with SaveFile.
+// OpenLSM reopens an LSM saved with SaveFile. Parallelism is not part of
+// the snapshot: reopened indexes use the default (GOMAXPROCS) worker pool;
+// call SetParallelism to change it.
 func OpenLSM(path string) (*LSM, error) {
 	disk, err := storage.LoadDiskFile(path)
 	if err != nil {
@@ -110,7 +112,9 @@ func loadFacadeRaw(disk *storage.Disk, raw *memStore, seriesLen int, count int64
 }
 
 // OpenTree reopens a tree saved with SaveFile. Searches, inserts, and
-// statistics work exactly as on the original.
+// statistics work exactly as on the original. Parallelism is not part of
+// the snapshot: reopened trees use the default (GOMAXPROCS) worker pool;
+// call SetParallelism to change it.
 func OpenTree(path string) (*Tree, error) {
 	disk, err := storage.LoadDiskFile(path)
 	if err != nil {

@@ -52,7 +52,7 @@ func NewStream(kind SchemeKind, opts Options) (*Stream, error) {
 	st := &Stream{cfg: cfg, disk: disk, raw: raw}
 	switch kind {
 	case PP:
-		base, err := newPPBase(disk, cfg, buf, raw)
+		base, err := newPPBase(disk, cfg, buf, raw, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -62,12 +62,14 @@ func NewStream(kind SchemeKind, opts Options) (*Stream, error) {
 		if err != nil {
 			return nil, err
 		}
+		tp.SetParallelism(opts.Parallelism)
 		st.scheme = tp
 	case BTP:
 		btp, err := stream.NewBTP(disk, "stream", cfg, buf, 2, raw)
 		if err != nil {
 			return nil, err
 		}
+		btp.SetParallelism(opts.Parallelism)
 		st.scheme = btp
 	default:
 		return nil, fmt.Errorf("coconut: unknown scheme %q (want PP, TP, or BTP)", kind)
@@ -124,12 +126,13 @@ func (s *Stream) Name() string { return s.scheme.Name() }
 func (s *Stream) Stats() Stats { return statsOf(s.disk) }
 
 // newPPBase builds the CLSM index PP wraps.
-func newPPBase(disk *storage.Disk, cfg index.Config, buf int, raw series.RawStore) (stream.EntryIndex, error) {
+func newPPBase(disk *storage.Disk, cfg index.Config, buf int, raw series.RawStore, par int) (stream.EntryIndex, error) {
 	return clsm.New(clsm.Options{
 		Disk:          disk,
 		Name:          "stream",
 		Config:        cfg,
 		BufferEntries: buf,
 		Raw:           raw,
+		Parallelism:   par,
 	})
 }

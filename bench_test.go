@@ -53,14 +53,86 @@ func BenchmarkInterleave(b *testing.B) {
 	}
 }
 
-func BenchmarkMinDistKey(b *testing.B) {
+// BenchmarkMinDist contrasts the two lower-bound computations on identical
+// inputs: the legacy region-derivation path (Deinterleave + Region + sqrt)
+// and the squared-space table probe of the pruning pipeline. The table
+// variant is the one every index probe pays per candidate; "prepare"
+// measures the once-per-query cost of building the tables.
+func BenchmarkMinDist(b *testing.B) {
 	cfg := index.Config{SeriesLen: 256, Segments: 16, Bits: 8}
 	rng := rand.New(rand.NewSource(2))
 	q := index.NewQuery(gen.RandomWalk(rng, 256), cfg)
-	k := sortable.FromSeries(gen.RandomWalk(rng, 256).ZNormalize(), 16, 8)
-	for i := 0; i < b.N; i++ {
-		_ = cfg.MinDistKey(q.PAA, k)
+	keys := make([]sortable.Key, 256)
+	for i := range keys {
+		keys[i] = sortable.FromSeries(gen.RandomWalk(rng, 256).ZNormalize(), 16, 8)
 	}
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = cfg.MinDistKey(q.PAA, keys[i%len(keys)])
+		}
+	})
+	b.Run("table", func(b *testing.B) {
+		ctx := index.AcquireCtx(q, cfg)
+		defer ctx.Release()
+		sc := ctx.Scratch0()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = sc.P.MinDistSqKey(keys[i%len(keys)])
+		}
+	})
+	b.Run("prepare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := index.AcquireCtx(q, cfg)
+			ctx.Release()
+		}
+	})
+}
+
+// BenchmarkVerify measures candidate verification: the early-abandoning
+// squared accumulation straight from encoded payload bytes against the
+// decode-then-distance path it replaced, at a tight bound (the common case
+// deep in an exact search: most candidates abandon within a few points).
+func BenchmarkVerify(b *testing.B) {
+	const n = 256
+	rng := rand.New(rand.NewSource(3))
+	q := gen.RandomWalk(rng, n).ZNormalize()
+	cands := make([][]byte, 64)
+	for i := range cands {
+		cands[i] = gen.RandomWalk(rng, n).ZNormalize().AppendBinary(nil)
+	}
+	// A realistic late-search bound: just above the best candidate's
+	// distance, so nearly every verification abandons within a few points.
+	dists := make([]float64, len(cands))
+	for i, c := range cands {
+		s, _ := series.DecodeBinary(c, n)
+		dists[i] = q.SqDist(s)
+	}
+	boundSq := dists[0]
+	for _, d := range dists {
+		if d < boundSq {
+			boundSq = d
+		}
+	}
+	boundSq *= 1.1
+	b.Run("decode-then-dist", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := series.DecodeBinary(cands[i%len(cands)], n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = q.SqDistEarlyAbandon(s, boundSq)
+		}
+	})
+	b.Run("encoded-early-abandon", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = q.SqDistEncodedEarlyAbandon(cands[i%len(cands)], boundSq)
+		}
+	})
 }
 
 func BenchmarkExternalSortPerEntry(b *testing.B) {
@@ -151,6 +223,7 @@ func BenchmarkQuery(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", v, mode), func(b *testing.B) {
 				built := m[v]
 				before := built.Disk.Stats()
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					q := index.NewQuery(queries[i%len(queries)], cfg)
 					var err error
@@ -259,6 +332,7 @@ func BenchmarkStreamIngest(b *testing.B) {
 			for i := range ser {
 				ser[i] = gen.RandomWalk(rng, 128)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Ingest(ser[i%len(ser)], int64(i)); err != nil {
@@ -304,6 +378,7 @@ func BenchmarkParallelSearch(b *testing.B) {
 			}
 		}
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			b.ReportMetric(float64(l.Runs()), "runs")
 			for i := 0; i < b.N; i++ {
 				if _, err := l.Search(queries[i%len(queries)], 5); err != nil {

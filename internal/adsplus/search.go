@@ -8,22 +8,13 @@ import (
 	"repro/internal/sax"
 )
 
-// nodeMinDist lower-bounds the distance between the query and any series
-// under node n, using each segment's symbol prefix at its own cardinality.
-func (t *Tree) nodeMinDist(paa []float64, n *node) float64 {
-	acc := 0.0
-	for i, v := range paa {
-		lo, hi := sax.Region(n.syms[i], int(n.bits[i]))
-		var d float64
-		switch {
-		case v < lo:
-			d = lo - v
-		case v > hi:
-			d = v - hi
-		}
-		acc += d * d
-	}
-	return math.Sqrt(float64(t.opts.Config.SeriesLen) / float64(len(paa)) * acc)
+// nodeMinDistSq lower-bounds (squared) the distance between the query and
+// any series under node n, using each segment's symbol prefix at its own
+// cardinality. The per-query tables of the squared-space pruning pipeline
+// serve every cardinality level (ctx.P.FillAll at search entry), so a node
+// bound is one table lookup per segment — no Region derivation, no sqrt.
+func nodeMinDistSq(p *index.Pruner, n *node) float64 {
+	return p.MinDistSqMixed(n.syms, n.bits)
 }
 
 // descend walks from a root to the leaf covering word w.
@@ -39,72 +30,87 @@ func descend(n *node, w sax.Word) *node {
 // read). If that root subtree does not exist, the closest existing root by
 // lower bound is used.
 func (t *Tree) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
+	ctx := index.AcquireCtx(q, t.opts.Config)
+	defer ctx.Release()
+	ctx.P.FillAll()
 	col := index.NewCollector(k)
-	if len(t.roots) == 0 {
-		return col.Results(), nil
+	if err := t.approxInto(q, k, col, ctx); err != nil {
+		return nil, err
 	}
+	return col.Results(), nil
+}
+
+// approxInto runs the approximate phase into col with an already-acquired
+// context (tables filled for every cardinality), so ExactSearch shares one
+// context across both phases.
+func (t *Tree) approxInto(q index.Query, k int, col *index.Collector, ctx *index.SearchCtx) error {
+	if len(t.roots) == 0 {
+		return nil
+	}
+	sc := ctx.Scratch0()
 	w := sax.FromPAA(q.PAA, t.opts.Config.Bits)
 	root, ok := t.roots[t.rootKey(w)]
 	if !ok {
 		best := math.Inf(1)
 		for _, n := range t.roots {
-			if d := t.nodeMinDist(q.PAA, n); d < best {
+			if d := nodeMinDistSq(sc.P, n); d < best {
 				best, root = d, n
 			}
 		}
 	}
 	leafNode := descend(root, w)
-	if err := t.evalLeaf(leafNode, q, col); err != nil {
-		return nil, err
+	if err := t.evalLeaf(leafNode, q, col, sc); err != nil {
+		return err
 	}
 	// If the leaf was too sparse for k results, widen to the best remaining
 	// leaves by lower bound (still approximate: no guarantee).
 	if !col.Full() {
-		pq := t.newNodeQueue(q)
+		pq := t.newNodeQueue(q, sc.P)
 		for pq.Len() > 0 && !col.Full() {
 			n := heap.Pop(pq).(*nodeDist).n
 			if n == leafNode {
 				continue
 			}
-			if err := t.evalLeaf(n, q, col); err != nil {
-				return nil, err
+			if err := t.evalLeaf(n, q, col, sc); err != nil {
+				return err
 			}
 		}
 	}
-	return col.Results(), nil
+	return nil
 }
 
 // ExactSearch returns the true k nearest neighbors via best-first traversal:
-// nodes are visited in lower-bound order and leaves whose bound reaches the
-// current k-th distance are pruned. Every visited leaf is a separate extent,
-// so exact search pays one head movement per surviving leaf.
+// nodes are visited in squared lower-bound order and leaves whose bound
+// reaches the current squared k-th distance are pruned. Every visited leaf
+// is a separate extent, so exact search pays one head movement per
+// surviving leaf.
 func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
-	approx, err := t.ApproxSearch(q, k)
-	if err != nil {
+	ctx := index.AcquireCtx(q, t.opts.Config)
+	defer ctx.Release()
+	ctx.P.FillAll()
+	col := index.NewCollector(k)
+	if err := t.approxInto(q, k, col, ctx); err != nil {
 		return nil, err
 	}
-	col := index.NewCollector(k)
-	for _, r := range approx {
-		col.Add(r)
-	}
+	sc := ctx.Scratch0()
 	pq := &nodePQ{}
 	for _, n := range t.roots {
-		heap.Push(pq, &nodeDist{n: n, d: t.nodeMinDist(q.PAA, n)})
+		heap.Push(pq, &nodeDist{n: n, d: nodeMinDistSq(sc.P, n)})
 	}
 	for pq.Len() > 0 {
 		nd := heap.Pop(pq).(*nodeDist)
-		if nd.d >= col.Worst() {
+		if nd.d >= col.WorstSq() {
 			break // every remaining node is at least this far
 		}
 		if nd.n.leaf {
-			if err := t.evalLeaf(nd.n, q, col); err != nil {
+			if err := t.evalLeaf(nd.n, q, col, sc); err != nil {
 				return nil, err
 			}
 			continue
 		}
 		for b := 0; b < 2; b++ {
 			c := nd.n.children[b]
-			if d := t.nodeMinDist(q.PAA, c); d < col.Worst() {
+			if d := nodeMinDistSq(sc.P, c); d < col.WorstSq() {
 				heap.Push(pq, &nodeDist{n: c, d: d})
 			}
 		}
@@ -113,9 +119,9 @@ func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 }
 
 // evalLeaf computes true distances for the in-window entries of a leaf
-// (disk extent plus buffer), verifying candidates in ascending lower-bound
-// order.
-func (t *Tree) evalLeaf(n *node, q index.Query, col *index.Collector) error {
+// (disk extent plus buffer), verifying candidates in ascending squared
+// lower-bound order.
+func (t *Tree) evalLeaf(n *node, q index.Query, col *index.Collector, sc *index.Scratch) error {
 	entries, err := t.loadLeaf(n)
 	if err != nil {
 		return err
@@ -126,16 +132,17 @@ func (t *Tree) evalLeaf(n *node, q index.Query, col *index.Collector) error {
 			inWin = append(inWin, e)
 		}
 	}
-	_, err = index.EvalCandidates(q, inWin, t.opts.Config, t.opts.Raw, col)
+	_, err = index.EvalCandidates(q, inWin, t.opts.Raw, col, sc)
 	return err
 }
 
-// newNodeQueue builds a priority queue of all leaves ordered by lower bound.
-func (t *Tree) newNodeQueue(q index.Query) *nodePQ {
+// newNodeQueue builds a priority queue of all leaves ordered by squared
+// lower bound.
+func (t *Tree) newNodeQueue(q index.Query, p *index.Pruner) *nodePQ {
 	pq := &nodePQ{}
 	t.walk(func(n *node) {
 		if n.leaf {
-			pq.items = append(pq.items, &nodeDist{n: n, d: t.nodeMinDist(q.PAA, n)})
+			pq.items = append(pq.items, &nodeDist{n: n, d: nodeMinDistSq(p, n)})
 		}
 	})
 	heap.Init(pq)
@@ -144,7 +151,7 @@ func (t *Tree) newNodeQueue(q index.Query) *nodePQ {
 
 type nodeDist struct {
 	n *node
-	d float64
+	d float64 // squared lower bound
 }
 
 type nodePQ struct {
@@ -164,12 +171,17 @@ func (p *nodePQ) Pop() any {
 }
 
 // RangeSearch returns every indexed series within Euclidean distance eps of
-// the query by visiting all subtrees whose node bound is within eps.
+// the query by visiting all subtrees whose squared node bound is within the
+// squared epsilon.
 func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
+	ctx := index.AcquireCtx(q, t.opts.Config)
+	defer ctx.Release()
+	ctx.P.FillAll()
 	col := index.NewRangeCollector(eps)
+	sc := ctx.Scratch0()
 	var visit func(n *node) error
 	visit = func(n *node) error {
-		if t.nodeMinDist(q.PAA, n) > eps {
+		if col.PruneSq(nodeMinDistSq(sc.P, n)) {
 			return nil
 		}
 		if !n.leaf {
@@ -188,7 +200,7 @@ func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 				inWin = append(inWin, e)
 			}
 		}
-		return index.EvalRangeCandidates(q, inWin, t.opts.Config, t.opts.Raw, col)
+		return index.EvalRangeCandidates(q, inWin, t.opts.Raw, col, sc)
 	}
 	for _, root := range t.roots {
 		if err := visit(root); err != nil {

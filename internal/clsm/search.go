@@ -8,13 +8,16 @@ import (
 
 // Search in a CLSM fans out over the on-disk runs: every run is an
 // independent sorted file, so run probes and run scans execute concurrently
-// on the index's worker pool (Options.Parallelism). Each worker owns a page
-// buffer and a deterministic top-k collector; merged per-worker results are
-// identical to the serial scan's because the collector's contents are a
-// pure function of the candidate set (see index.Collector). A search
-// allocates its own page buffers, so any number of searches may also run
-// concurrently against one LSM — only inserts/flushes require external
-// serialization against searches.
+// on the index's worker pool (Options.Parallelism). Each worker owns a
+// scratch state and a deterministic top-k collector; merged per-worker
+// results are identical to the serial scan's because the collector's
+// contents are a pure function of the candidate set (see index.Collector).
+// Probes run through the squared-space pruning pipeline (index.SearchCtx):
+// per-query MINDIST tables, squared bounds, and early-abandoning
+// verification straight from the page bytes, with all per-query state drawn
+// from a shared pool — so any number of searches may run concurrently
+// against one LSM; only inserts/flushes require external serialization
+// against searches.
 
 // ApproxSearch answers an approximate k-NN query by probing each component:
 // the in-memory buffer is scanned outright, and in every on-disk run a
@@ -23,36 +26,41 @@ import (
 // of the LSM trade-off; concurrency over runs is what claws the latency
 // back.
 func (l *LSM) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
+	ctx := index.AcquireCtx(q, l.opts.Config)
+	defer ctx.Release()
 	col := index.NewCollector(k)
-	if err := l.scanBuffer(q, col, false); err != nil {
-		return nil, err
-	}
-	err := l.forEachRun(l.allRuns(), col, func(r run, buf []byte, col *index.Collector) error {
-		return l.probeRun(r, q, col, buf)
-	})
-	if err != nil {
+	if err := l.approxInto(q, col, ctx); err != nil {
 		return nil, err
 	}
 	return col.Results(), nil
 }
 
-// ExactSearch returns the true k nearest neighbors: the approximate answer
-// seeds the best-so-far bound, then the buffer and every run are scanned
-// with per-entry iSAX lower-bound pruning, runs concurrently.
+// approxInto runs the approximate phase into col with an already-acquired
+// context, so ExactSearch shares one context (and one table fill) across
+// both phases.
+func (l *LSM) approxInto(q index.Query, col *index.Collector, ctx *index.SearchCtx) error {
+	if err := l.scanBuffer(q, col, false, ctx.Scratch0()); err != nil {
+		return err
+	}
+	return l.forEachRun(l.allRuns(), ctx, col, func(r run, sc *index.Scratch, col *index.Collector) error {
+		return l.probeRun(r, q, col, sc)
+	})
+}
+
+// ExactSearch returns the true k nearest neighbors: the approximate phase
+// seeds the best-so-far bound, then every run is scanned with per-entry
+// squared lower-bound pruning, runs concurrently. The buffer was already
+// fully evaluated by the approximate phase (deduplication by ID makes
+// re-offering it a no-op), so only the runs need the full pass.
 func (l *LSM) ExactSearch(q index.Query, k int) ([]index.Result, error) {
-	approx, err := l.ApproxSearch(q, k)
-	if err != nil {
-		return nil, err
-	}
+	ctx := index.AcquireCtx(q, l.opts.Config)
+	defer ctx.Release()
 	col := index.NewCollector(k)
-	for _, r := range approx {
-		col.Add(r)
-	}
-	if err := l.scanBuffer(q, col, true); err != nil {
+	if err := l.approxInto(q, col, ctx); err != nil {
 		return nil, err
 	}
-	err = l.forEachRun(l.allRuns(), col, func(r run, buf []byte, col *index.Collector) error {
-		return l.scanRun(r, q, col, buf)
+	err := l.forEachRun(l.allRuns(), ctx, col, func(r run, sc *index.Scratch, col *index.Collector) error {
+		return l.scanRun(r, q, col, sc)
 	})
 	if err != nil {
 		return nil, err
@@ -61,42 +69,43 @@ func (l *LSM) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 }
 
 // forEachRun applies scan to every run through index.FanOut: serial into
-// col directly with one worker, per-worker seeded clones merged back
+// col directly with one worker, per-worker pooled clones merged back
 // otherwise, identical results either way.
-func (l *LSM) forEachRun(runs []run, col *index.Collector, scan func(run, []byte, *index.Collector) error) error {
-	return index.FanOut(l.pool, len(runs), col, (*index.Collector).Clone, (*index.Collector).Merge,
-		l.opts.Disk.PageSize(), func(i int, col *index.Collector, buf []byte) error {
-			return scan(runs[i], buf, col)
+func (l *LSM) forEachRun(runs []run, ctx *index.SearchCtx, col *index.Collector, scan func(run, *index.Scratch, *index.Collector) error) error {
+	return index.FanOut(l.pool, len(runs), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
+		func(i int, col *index.Collector, sc *index.Scratch) error {
+			return scan(runs[i], sc, col)
 		})
 }
 
 // scanBuffer evaluates in-memory entries; with prune set, entries are
-// filtered through the iSAX lower bound first.
-func (l *LSM) scanBuffer(q index.Query, col *index.Collector, prune bool) error {
+// filtered through the squared iSAX lower bound first.
+func (l *LSM) scanBuffer(q index.Query, col *index.Collector, prune bool, sc *index.Scratch) error {
 	for _, e := range l.buffer {
 		if !q.InWindow(e.TS) {
 			continue
 		}
-		if prune && col.Skip(l.opts.Config.MinDistKey(q.PAA, e.Key)) {
+		if prune && col.SkipSq(sc.P.MinDistSqKey(e.Key)) {
 			continue
 		}
-		d, err := index.TrueDist(q, e, l.opts.Raw, col.Worst())
+		dSq, err := index.TrueDistSq(q, e, l.opts.Raw, col.WorstSq(), sc)
 		if err != nil {
 			return err
 		}
-		col.Add(index.Result{ID: e.ID, TS: e.TS, Dist: d})
+		col.AddSq(e.ID, e.TS, dSq)
 	}
 	return nil
 }
 
 // probeRun binary-searches the run's pages for the query key and evaluates
 // the covering page.
-func (l *LSM) probeRun(r run, q index.Query, col *index.Collector, buf []byte) error {
+func (l *LSM) probeRun(r run, q index.Query, col *index.Collector, sc *index.Scratch) error {
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
 	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
 	if pages == 0 {
 		return nil
 	}
+	buf := sc.Page(l.opts.Disk.PageSize())
 	// Binary search over pages by first key.
 	lo, hi := 0, pages-1
 	for lo < hi {
@@ -111,7 +120,7 @@ func (l *LSM) probeRun(r run, q index.Query, col *index.Collector, buf []byte) e
 			lo = mid
 		}
 	}
-	return l.evalPage(r, lo, q, col, buf)
+	return l.evalPage(r, lo, q, col, sc)
 }
 
 func (l *LSM) firstKey(r run, page int, buf []byte) (sortable.Key, error) {
@@ -121,11 +130,12 @@ func (l *LSM) firstKey(r run, page int, buf []byte) (sortable.Key, error) {
 	return record.DecodeKeyOnly(buf), nil
 }
 
-// evalPage computes true distances for all in-window entries on one page of
-// a run. The page is assumed freshly read into buf by firstKey when called
-// from probeRun; it re-reads to keep the logic self-contained (the repeat
-// read of the same page is accounted as buffered/sequential).
-func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector, buf []byte) error {
+// evalPage evaluates all entries on one page of a run straight from the
+// page bytes. The page is assumed freshly read into the scratch by firstKey
+// when called from probeRun; it re-reads to keep the logic self-contained
+// (the repeat read of the same page is accounted as buffered/sequential).
+func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector, sc *index.Scratch) error {
+	buf := sc.Page(l.opts.Disk.PageSize())
 	if _, err := l.opts.Disk.ReadPage(r.file, int64(page), buf); err != nil {
 		return err
 	}
@@ -135,28 +145,17 @@ func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector, buf
 	if rem := r.count - start; rem < int64(n) {
 		n = int(rem)
 	}
-	recSize := l.codec.Size()
-	cands := make([]record.Entry, 0, n)
-	for i := 0; i < n; i++ {
-		e, err := l.codec.Decode(buf[i*recSize : (i+1)*recSize])
-		if err != nil {
-			return err
-		}
-		if q.InWindow(e.TS) {
-			cands = append(cands, e)
-		}
-	}
-	_, err := index.EvalCandidates(q, cands, l.opts.Config, l.opts.Raw, col)
+	_, err := index.EvalEncoded(q, buf, n, l.codec, l.opts.Raw, col, sc)
 	return err
 }
 
-// scanRun scans one run sequentially with lower-bound pruning, verifying
-// each page's surviving candidates in ascending lower-bound order.
-func (l *LSM) scanRun(r run, q index.Query, col *index.Collector, buf []byte) error {
+// scanRun scans one run sequentially with squared lower-bound pruning,
+// verifying each page's surviving candidates in ascending lower-bound
+// order.
+func (l *LSM) scanRun(r run, q index.Query, col *index.Collector, sc *index.Scratch) error {
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
 	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
-	recSize := l.codec.Size()
-	var cands []record.Entry
+	buf := sc.Page(l.opts.Disk.PageSize())
 	for p := 0; p < pages; p++ {
 		if _, err := l.opts.Disk.ReadPage(r.file, int64(p), buf); err != nil {
 			return err
@@ -166,22 +165,7 @@ func (l *LSM) scanRun(r run, q index.Query, col *index.Collector, buf []byte) er
 		if rem := r.count - start; rem < int64(n) {
 			n = int(rem)
 		}
-		cands = cands[:0]
-		for i := 0; i < n; i++ {
-			rec := buf[i*recSize : (i+1)*recSize]
-			if col.Skip(l.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec))) {
-				continue
-			}
-			e, err := l.codec.Decode(rec)
-			if err != nil {
-				return err
-			}
-			if !q.InWindow(e.TS) {
-				continue
-			}
-			cands = append(cands, e)
-		}
-		if _, err := index.EvalCandidates(q, cands, l.opts.Config, l.opts.Raw, col); err != nil {
+		if _, err := index.EvalEncoded(q, buf, n, l.codec, l.opts.Raw, col, sc); err != nil {
 			return err
 		}
 	}
@@ -189,24 +173,27 @@ func (l *LSM) scanRun(r run, q index.Query, col *index.Collector, buf []byte) er
 }
 
 // RangeSearch returns every indexed series within Euclidean distance eps
-// of the query, scanning the buffer and every run with epsilon pruning.
-// Runs scan concurrently; the epsilon bound is static, so per-worker range
-// collectors merge into exactly the serial answer.
+// of the query, scanning the buffer and every run with squared epsilon
+// pruning. Runs scan concurrently; the epsilon bound is static, so
+// per-worker range collectors merge into exactly the serial answer.
 func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
+	ctx := index.AcquireCtx(q, l.opts.Config)
+	defer ctx.Release()
 	col := index.NewRangeCollector(eps)
+	sc := ctx.Scratch0()
 	var buffered []record.Entry
 	for _, e := range l.buffer {
 		if q.InWindow(e.TS) {
 			buffered = append(buffered, e)
 		}
 	}
-	if err := index.EvalRangeCandidates(q, buffered, l.opts.Config, l.opts.Raw, col); err != nil {
+	if err := index.EvalRangeCandidates(q, buffered, l.opts.Raw, col, sc); err != nil {
 		return nil, err
 	}
 	runs := l.allRuns()
-	err := index.FanOut(l.pool, len(runs), col, (*index.RangeCollector).Clone, (*index.RangeCollector).Merge,
-		l.opts.Disk.PageSize(), func(i int, col *index.RangeCollector, buf []byte) error {
-			return l.rangeScanRun(runs[i], q, col, buf)
+	err := index.FanOut(l.pool, len(runs), ctx, col, (*index.RangeCollector).PooledClone, (*index.RangeCollector).MergeRelease,
+		func(i int, col *index.RangeCollector, sc *index.Scratch) error {
+			return l.rangeScanRun(runs[i], q, col, sc)
 		})
 	if err != nil {
 		return nil, err
@@ -214,11 +201,10 @@ func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 	return col.Results(), nil
 }
 
-func (l *LSM) rangeScanRun(r run, q index.Query, col *index.RangeCollector, buf []byte) error {
+func (l *LSM) rangeScanRun(r run, q index.Query, col *index.RangeCollector, sc *index.Scratch) error {
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
 	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
-	recSize := l.codec.Size()
-	var cands []record.Entry
+	buf := sc.Page(l.opts.Disk.PageSize())
 	for p := 0; p < pages; p++ {
 		if _, err := l.opts.Disk.ReadPage(r.file, int64(p), buf); err != nil {
 			return err
@@ -228,22 +214,7 @@ func (l *LSM) rangeScanRun(r run, q index.Query, col *index.RangeCollector, buf 
 		if rem := r.count - start; rem < int64(n) {
 			n = int(rem)
 		}
-		cands = cands[:0]
-		for i := 0; i < n; i++ {
-			rec := buf[i*recSize : (i+1)*recSize]
-			if l.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) > col.Bound() {
-				continue
-			}
-			e, err := l.codec.Decode(rec)
-			if err != nil {
-				return err
-			}
-			if !q.InWindow(e.TS) {
-				continue
-			}
-			cands = append(cands, e)
-		}
-		if err := index.EvalRangeCandidates(q, cands, l.opts.Config, l.opts.Raw, col); err != nil {
+		if err := index.EvalEncodedRange(q, buf, n, l.codec, l.opts.Raw, col, sc); err != nil {
 			return err
 		}
 	}

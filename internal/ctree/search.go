@@ -2,16 +2,18 @@ package ctree
 
 import (
 	"repro/internal/index"
-	"repro/internal/record"
 )
 
 // Search in a CTree fans out over contiguous leaf ranges: the leaf file is
 // one sorted sequence, so exact and range searches split it into one chunk
 // per worker (Options.Parallelism) and scan the chunks concurrently, each
-// worker with its own page buffer and deterministic collector. Merged
+// worker with its own scratch state and deterministic collector. Merged
 // per-worker results are identical to the serial scan's (see
-// index.Collector). Searches allocate their own page buffers, so any number
-// of searches may run concurrently against one tree; only inserts require
+// index.Collector). Every probe runs through the squared-space pruning
+// pipeline (index.SearchCtx): per-query MINDIST tables, no per-candidate
+// allocation, early-abandoning squared verification straight from the page
+// bytes. Searches draw their contexts from a shared pool, so any number of
+// searches may run concurrently against one tree; only inserts require
 // external serialization against searches.
 
 // ApproxSearch answers an approximate k-NN query by descending to the leaf
@@ -20,54 +22,59 @@ import (
 // search of the demo: one or two page reads, inherently navigational, so it
 // stays serial at every parallelism setting.
 func (t *Tree) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
+	ctx := index.AcquireCtx(q, t.opts.Config)
+	defer ctx.Release()
 	col := index.NewCollector(k)
-	if len(t.leaves) == 0 {
-		return col.Results(), nil
+	if err := t.approxInto(q, k, col, ctx); err != nil {
+		return nil, err
 	}
-	buf := make([]byte, t.opts.Disk.PageSize())
+	return col.Results(), nil
+}
+
+// approxInto runs the approximate phase into col with an already-acquired
+// context, so ExactSearch shares one context (and one table fill) across
+// both phases.
+func (t *Tree) approxInto(q index.Query, k int, col *index.Collector, ctx *index.SearchCtx) error {
+	if len(t.leaves) == 0 {
+		return nil
+	}
+	sc := ctx.Scratch0()
 	center := t.findLeaf(q.Key)
 	// Scan the covering leaf, then alternate outward until k candidates
 	// have been evaluated (fill-factor slack or windows can leave leaves
 	// short).
-	seen, err := t.scanLeafInto(center, q, col, buf)
+	seen, err := t.scanLeafInto(center, q, col, sc)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	lo, hi := center, center
 	for seen < k && (lo > 0 || hi < len(t.leaves)-1) {
 		if lo > 0 {
 			lo--
-			n, err := t.scanLeafInto(lo, q, col, buf)
+			n, err := t.scanLeafInto(lo, q, col, sc)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			seen += n
 		}
 		if seen < k && hi < len(t.leaves)-1 {
 			hi++
-			n, err := t.scanLeafInto(hi, q, col, buf)
+			n, err := t.scanLeafInto(hi, q, col, sc)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			seen += n
 		}
 	}
-	return col.Results(), nil
+	return nil
 }
 
-func (t *Tree) scanLeafInto(li int, q index.Query, col *index.Collector, buf []byte) (int, error) {
-	entries, err := t.readLeafBuf(li, buf)
-	if err != nil {
+func (t *Tree) scanLeafInto(li int, q index.Query, col *index.Collector, sc *index.Scratch) (int, error) {
+	buf := sc.Page(t.opts.Disk.PageSize())
+	if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
 		return 0, err
 	}
-	inWin := entries[:0:0]
-	for _, e := range entries {
-		if q.InWindow(e.TS) {
-			inWin = append(inWin, e)
-		}
-	}
-	n, err := index.EvalCandidates(q, inWin, t.opts.Config, t.opts.Raw, col)
-	return n, err
+	return index.EvalEncoded(q, buf, t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
 }
 
 // leafChunks splits the leaf directory into one contiguous range per
@@ -87,29 +94,28 @@ func (t *Tree) leafChunks() [][2]int {
 	return chunks
 }
 
-// ExactSearch returns the true k nearest neighbors. It first runs
-// ApproxSearch to seed the best-so-far bound, then scans the entire leaf
-// file, pruning every entry whose iSAX lower bound passes the bound; only
-// survivors pay for a true distance (an inline payload read, or a random
-// raw-file fetch when non-materialized). The scan splits into one
-// contiguous leaf range per worker — the sequential access pattern of
+// ExactSearch returns the true k nearest neighbors. The approximate phase
+// seeds the best-so-far bound, then the entire leaf file is scanned,
+// pruning every entry whose squared iSAX lower bound passes the squared
+// bound; only survivors pay for a true distance (an early-abandoning
+// squared accumulation over the inline payload bytes, or a random raw-file
+// fetch into worker scratch when non-materialized). The scan splits into
+// one contiguous leaf range per worker — the sequential access pattern of
 // Coconut's sortable layout, striped across the pool.
 func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
+	ctx := index.AcquireCtx(q, t.opts.Config)
+	defer ctx.Release()
 	col := index.NewCollector(k)
 	if len(t.leaves) == 0 {
 		return col.Results(), nil
 	}
-	approx, err := t.ApproxSearch(q, k)
-	if err != nil {
+	if err := t.approxInto(q, k, col, ctx); err != nil {
 		return nil, err
 	}
-	for _, r := range approx {
-		col.Add(r)
-	}
 	chunks := t.leafChunks()
-	err = index.FanOut(t.pool, len(chunks), col, (*index.Collector).Clone, (*index.Collector).Merge,
-		t.opts.Disk.PageSize(), func(i int, col *index.Collector, buf []byte) error {
-			return t.exactScanRange(chunks[i][0], chunks[i][1], q, col, buf)
+	err := index.FanOut(t.pool, len(chunks), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
+		func(i int, col *index.Collector, sc *index.Scratch) error {
+			return t.exactScanRange(chunks[i][0], chunks[i][1], q, col, sc)
 		})
 	if err != nil {
 		return nil, err
@@ -117,31 +123,15 @@ func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	return col.Results(), nil
 }
 
-// exactScanRange scans leaves [lo, hi) with lower-bound pruning into col.
-func (t *Tree) exactScanRange(lo, hi int, q index.Query, col *index.Collector, buf []byte) error {
-	recSize := t.codec.Size()
-	var cands []record.Entry
+// exactScanRange scans leaves [lo, hi) with squared lower-bound pruning
+// into col, evaluating candidates straight from the page bytes.
+func (t *Tree) exactScanRange(lo, hi int, q index.Query, col *index.Collector, sc *index.Scratch) error {
+	buf := sc.Page(t.opts.Disk.PageSize())
 	for li := lo; li < hi; li++ {
 		if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
 			return err
 		}
-		cands = cands[:0]
-		for i := 0; i < t.leaves[li].count; i++ {
-			rec := buf[i*recSize : (i+1)*recSize]
-			// Cheap reject on the raw key before decoding the entry.
-			if col.Skip(t.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec))) {
-				continue
-			}
-			e, err := t.codec.Decode(rec)
-			if err != nil {
-				return err
-			}
-			if !q.InWindow(e.TS) {
-				continue
-			}
-			cands = append(cands, e)
-		}
-		if _, err := index.EvalCandidates(q, cands, t.opts.Config, t.opts.Raw, col); err != nil {
+		if _, err := index.EvalEncoded(q, buf, t.leaves[li].count, t.codec, t.opts.Raw, col, sc); err != nil {
 			return err
 		}
 	}
@@ -152,14 +142,16 @@ func (t *Tree) exactScanRange(lo, hi int, q index.Query, col *index.Collector, b
 // of the query: one pruned scan of the leaf file, striped across the pool
 // in contiguous leaf ranges.
 func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
+	ctx := index.AcquireCtx(q, t.opts.Config)
+	defer ctx.Release()
 	col := index.NewRangeCollector(eps)
 	if len(t.leaves) == 0 {
 		return col.Results(), nil
 	}
 	chunks := t.leafChunks()
-	err := index.FanOut(t.pool, len(chunks), col, (*index.RangeCollector).Clone, (*index.RangeCollector).Merge,
-		t.opts.Disk.PageSize(), func(i int, col *index.RangeCollector, buf []byte) error {
-			return t.rangeScanRange(chunks[i][0], chunks[i][1], q, col, buf)
+	err := index.FanOut(t.pool, len(chunks), ctx, col, (*index.RangeCollector).PooledClone, (*index.RangeCollector).MergeRelease,
+		func(i int, col *index.RangeCollector, sc *index.Scratch) error {
+			return t.rangeScanRange(chunks[i][0], chunks[i][1], q, col, sc)
 		})
 	if err != nil {
 		return nil, err
@@ -167,30 +159,15 @@ func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 	return col.Results(), nil
 }
 
-// rangeScanRange scans leaves [lo, hi) with epsilon pruning into col.
-func (t *Tree) rangeScanRange(lo, hi int, q index.Query, col *index.RangeCollector, buf []byte) error {
-	recSize := t.codec.Size()
-	var cands []record.Entry
+// rangeScanRange scans leaves [lo, hi) with squared epsilon pruning into
+// col.
+func (t *Tree) rangeScanRange(lo, hi int, q index.Query, col *index.RangeCollector, sc *index.Scratch) error {
+	buf := sc.Page(t.opts.Disk.PageSize())
 	for li := lo; li < hi; li++ {
 		if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
 			return err
 		}
-		cands = cands[:0]
-		for i := 0; i < t.leaves[li].count; i++ {
-			rec := buf[i*recSize : (i+1)*recSize]
-			if t.opts.Config.MinDistKey(q.PAA, record.DecodeKeyOnly(rec)) > col.Bound() {
-				continue
-			}
-			e, err := t.codec.Decode(rec)
-			if err != nil {
-				return err
-			}
-			if !q.InWindow(e.TS) {
-				continue
-			}
-			cands = append(cands, e)
-		}
-		if err := index.EvalRangeCandidates(q, cands, t.opts.Config, t.opts.Raw, col); err != nil {
+		if err := index.EvalEncodedRange(q, buf, t.leaves[li].count, t.codec, t.opts.Raw, col, sc); err != nil {
 			return err
 		}
 	}

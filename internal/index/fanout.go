@@ -5,38 +5,41 @@ import "repro/internal/parallel"
 // FanOut is the one fan-out/merge scaffold every parallel search path uses:
 // n independent scan tasks execute over the pool, collecting into col. With
 // a single usable worker the tasks run serially, in order, directly into
-// col with one scratch buffer — the exact serial path, sharing col's
-// evolving pruning bound across tasks. Otherwise each worker slot scans
-// into clone(col) with a private bufSize-byte buffer, and the per-slot
-// collectors merge back into col. Because both Collector and
+// col with the context's slot-0 scratch — the exact serial path, sharing
+// col's evolving pruning bound across tasks. Otherwise each worker slot
+// scans into clone(col) with its own per-slot Scratch from ctx, and the
+// per-slot collectors merge back into col. Because both Collector and
 // RangeCollector are order-independent, the two routes return identical
 // results; the parallel one merely evaluates a few extra candidates whose
 // distances lose at the merge.
-func FanOut[C any](pool *parallel.Pool, n int, col C, clone func(C) C, merge func(dst, src C), bufSize int, scan func(i int, col C, buf []byte) error) error {
+//
+// For Collector fan-outs pass (*Collector).PooledClone and
+// (*Collector).MergeRelease so the per-worker collectors recycle their
+// storage through the collector pool instead of churning fresh heaps and
+// seen maps every query.
+func FanOut[C any](pool *parallel.Pool, n int, ctx *SearchCtx, col C, clone func(C) C, merge func(dst, src C), scan func(i int, col C, sc *Scratch) error) error {
 	w := pool.WorkersFor(n)
 	if w <= 1 {
-		buf := make([]byte, bufSize)
+		sc := ctx.Scratch0()
 		for i := 0; i < n; i++ {
-			if err := scan(i, col, buf); err != nil {
+			if err := scan(i, col, sc); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	scs := ctx.Scratches(w)
 	cols := make([]C, w)
-	bufs := make([][]byte, w)
 	for i := 0; i < w; i++ {
 		cols[i] = clone(col)
-		bufs[i] = make([]byte, bufSize)
 	}
 	err := pool.ForEach(n, func(worker, i int) error {
-		return scan(i, cols[worker], bufs[worker])
+		return scan(i, cols[worker], scs[worker])
 	})
-	if err != nil {
-		return err
-	}
+	// Merge even on error: the caller discards col then, but the merge
+	// callback is also what releases pooled clones back to their pool.
 	for _, c := range cols {
 		merge(col, c)
 	}
-	return nil
+	return err
 }

@@ -10,10 +10,10 @@
 package index
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/record"
 	"repro/internal/sax"
@@ -107,28 +107,44 @@ type Result struct {
 	Dist float64 // true Euclidean distance (z-normalized)
 }
 
-// worse reports whether a is strictly worse than b under the collector's
+// sqItem is one collected result held in squared space: collectors keep
+// and compare squared distances so the hot path never pays a square root;
+// the conversion to a true distance happens exactly once, in Results().
+// sqrt is monotone, so ordering by (distSq, id) is ordering by (Dist, ID),
+// and because IEEE-754 sqrt is correctly rounded, sqrt(d*d) == d for any
+// non-negative double whose square neither overflows nor underflows —
+// round-tripping a true distance through Add/Results is exact. (Distances
+// below ~1.5e-154 square into the subnormal range and collapse toward 0;
+// z-normalized series distances sit many orders of magnitude above that.)
+type sqItem struct {
+	id, ts int64
+	distSq float64
+}
+
+// worseSq reports whether a is strictly worse than b under the collector's
 // total order: farther first, with the larger ID losing ties. Ordering
 // results totally (rather than by distance alone) is what makes collection
 // order-independent, which the parallel query engine relies on: per-worker
 // collectors merged in any order yield the same k results as one serial
 // collector fed the same candidates.
-func worse(a, b Result) bool {
-	if a.Dist != b.Dist {
-		return a.Dist > b.Dist
+func worseSq(a, b sqItem) bool {
+	if a.distSq != b.distSq {
+		return a.distSq > b.distSq
 	}
-	return a.ID > b.ID
+	return a.id > b.id
 }
 
 // Collector maintains the k best results seen so far (a max-heap on
-// (distance, ID)), deduplicating by series ID.
+// (squared distance, ID)), deduplicating by series ID. The heap is
+// hand-rolled rather than container/heap so pushes never box results into
+// interfaces — candidate collection allocates nothing.
 //
 // The collector's final contents are the k smallest (Dist, ID) pairs among
 // every result offered, independent of the order they were offered in —
 // the determinism guarantee behind parallel search.
 type Collector struct {
 	k     int
-	items resultHeap
+	items []sqItem
 	seen  map[int64]bool
 }
 
@@ -137,49 +153,121 @@ func NewCollector(k int) *Collector {
 	if k < 1 {
 		k = 1
 	}
-	return &Collector{k: k, seen: make(map[int64]bool)}
+	return &Collector{k: k, seen: make(map[int64]bool, k)}
 }
 
-// Add offers a candidate. It returns true if the candidate entered the
-// current top-k.
+// Add offers a candidate carrying a true distance. It returns true if the
+// candidate entered the current top-k.
 func (c *Collector) Add(r Result) bool {
-	if c.seen[r.ID] {
+	return c.AddSq(r.ID, r.TS, r.Dist*r.Dist)
+}
+
+// AddSq offers a candidate by squared distance — the hot-path entry point:
+// verifiers accumulate squared sums and never convert back. It returns true
+// if the candidate entered the current top-k.
+func (c *Collector) AddSq(id, ts int64, distSq float64) bool {
+	if c.seen[id] {
 		return false
 	}
+	it := sqItem{id: id, ts: ts, distSq: distSq}
 	if len(c.items) < c.k {
-		c.seen[r.ID] = true
-		heap.Push(&c.items, r)
+		c.seen[id] = true
+		c.items = append(c.items, it)
+		c.siftUp(len(c.items) - 1)
 		return true
 	}
-	if !worse(c.items[0], r) {
+	if !worseSq(c.items[0], it) {
 		return false
 	}
-	c.seen[r.ID] = true
-	delete(c.seen, c.items[0].ID)
-	c.items[0] = r
-	heap.Fix(&c.items, 0)
+	c.seen[id] = true
+	delete(c.seen, c.items[0].id)
+	c.items[0] = it
+	c.siftDown(0)
 	return true
 }
 
+func (c *Collector) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worseSq(c.items[i], c.items[p]) {
+			return
+		}
+		c.items[i], c.items[p] = c.items[p], c.items[i]
+		i = p
+	}
+}
+
+func (c *Collector) siftDown(i int) {
+	n := len(c.items)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && worseSq(c.items[l], c.items[worst]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && worseSq(c.items[r], c.items[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		c.items[i], c.items[worst] = c.items[worst], c.items[i]
+		i = worst
+	}
+}
+
 // Skip reports whether a candidate whose iSAX lower bound is lb cannot
-// change the collected results and may be skipped. The comparison is strict:
-// a candidate whose true distance exactly equals the current k-th distance
-// can still enter on an ID tie-break, so only bounds strictly beyond the
-// k-th distance are prunable. Using Skip (rather than comparing against
-// Worst directly) is what keeps pruning consistent with the collector's
-// total order, and therefore keeps parallel and serial search identical.
+// change the collected results and may be skipped.
 func (c *Collector) Skip(lb float64) bool {
-	return len(c.items) >= c.k && lb > c.items[0].Dist
+	return c.SkipSq(lb * lb)
+}
+
+// SkipSq is Skip in squared space. The comparison is strict: a candidate
+// whose true distance exactly equals the current k-th distance can still
+// enter on an ID tie-break, so only bounds strictly beyond the k-th
+// distance are prunable. Using SkipSq (rather than comparing against
+// WorstSq directly) is what keeps pruning consistent with the collector's
+// total order, and therefore keeps parallel and serial search identical.
+func (c *Collector) SkipSq(lbSq float64) bool {
+	return len(c.items) >= c.k && lbSq > c.items[0].distSq
 }
 
 // Clone returns a new collector with the same k and the same current
 // results. The parallel engine seeds one clone per worker so every worker
-// prunes with the bound established by the approximate phase.
+// prunes with the bound established by the approximate phase. Prefer
+// PooledClone/MergeRelease on the fan-out path: they recycle the clones'
+// heap and seen-map storage across queries.
 func (c *Collector) Clone() *Collector {
 	n := NewCollector(c.k)
-	for _, r := range c.items {
-		n.Add(r)
+	n.copyFrom(c)
+	return n
+}
+
+// copyFrom seeds an empty collector with c's items (a verbatim copy
+// preserves the heap invariant) and rebuilds the seen set.
+func (n *Collector) copyFrom(c *Collector) {
+	n.items = append(n.items, c.items...)
+	for _, it := range c.items {
+		n.seen[it.id] = true
 	}
+}
+
+// collectorPool recycles collectors across fan-outs so each worker clone
+// reuses a previously allocated heap slice and seen map instead of churning
+// fresh ones per query.
+var collectorPool = sync.Pool{New: func() any { return new(Collector) }}
+
+// PooledClone is Clone drawing storage from the collector pool. Pair it
+// with MergeRelease so the storage returns to the pool after the fan-out.
+func (c *Collector) PooledClone() *Collector {
+	n := collectorPool.Get().(*Collector)
+	n.k = c.k
+	n.items = n.items[:0]
+	if n.seen == nil {
+		n.seen = make(map[int64]bool, c.k)
+	} else {
+		clear(n.seen)
+	}
+	n.copyFrom(c)
 	return n
 }
 
@@ -187,28 +275,43 @@ func (c *Collector) Clone() *Collector {
 // Because collection is order-independent, merging per-worker collectors in
 // any order produces the same final top-k as a single serial collector.
 func (c *Collector) Merge(o *Collector) {
-	for _, r := range o.items {
-		c.Add(r)
+	for _, it := range o.items {
+		c.AddSq(it.id, it.ts, it.distSq)
 	}
 }
 
-// Worst returns the current pruning bound: the distance of the k-th best
-// result, or +Inf while fewer than k results are held. Any candidate whose
-// lower bound meets or exceeds Worst can be skipped.
+// MergeRelease merges o into c and returns o's storage to the collector
+// pool. o must not be used afterwards.
+func (c *Collector) MergeRelease(o *Collector) {
+	c.Merge(o)
+	collectorPool.Put(o)
+}
+
+// Worst returns the current pruning bound as a true distance: the distance
+// of the k-th best result, or +Inf while fewer than k results are held.
 func (c *Collector) Worst() float64 {
+	return math.Sqrt(c.WorstSq())
+}
+
+// WorstSq returns the squared pruning bound — the hot-path form: verifiers
+// pass it straight to the early-abandoning squared distance accumulators.
+func (c *Collector) WorstSq() float64 {
 	if len(c.items) < c.k {
 		return math.Inf(1)
 	}
-	return c.items[0].Dist
+	return c.items[0].distSq
 }
 
 // Full reports whether k results have been collected.
 func (c *Collector) Full() bool { return len(c.items) >= c.k }
 
-// Results returns the collected results sorted by ascending distance.
+// Results returns the collected results sorted by ascending distance. This
+// is the only place squared distances convert back to true distances.
 func (c *Collector) Results() []Result {
 	out := make([]Result, len(c.items))
-	copy(out, c.items)
+	for i, it := range c.items {
+		out[i] = Result{ID: it.id, TS: it.ts, Dist: math.Sqrt(it.distSq)}
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
 			return out[i].Dist < out[j].Dist
@@ -217,16 +320,6 @@ func (c *Collector) Results() []Result {
 	})
 	return out
 }
-
-type resultHeap []Result
-
-func (h resultHeap) Len() int           { return len(h) }
-func (h resultHeap) Less(i, j int) bool { return worse(h[i], h[j]) } // max-heap on (Dist, ID)
-func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
-
-var _ heap.Interface = (*resultHeap)(nil)
 
 // Index is the common interface of every data series index in the repo.
 type Index interface {
@@ -255,50 +348,108 @@ type RangeSearcher interface {
 
 // RangeCollector accumulates all results within eps, sorted by distance on
 // Results(). Unlike Collector there is no k; the pruning bound is eps
-// itself.
+// itself, held squared so membership tests stay in squared space.
 type RangeCollector struct {
 	eps   float64
-	items []Result
+	epsSq float64
+	items []sqItem
 	seen  map[int64]bool
 }
 
 // NewRangeCollector creates a collector for results within eps.
 func NewRangeCollector(eps float64) *RangeCollector {
-	return &RangeCollector{eps: eps, seen: make(map[int64]bool)}
+	return &RangeCollector{eps: eps, epsSq: eps * eps, seen: make(map[int64]bool)}
 }
 
-// Bound returns the pruning bound: candidates with lower bounds >= Bound
-// cannot qualify.
+// Bound returns the pruning bound as a true distance: candidates with lower
+// bounds beyond Bound cannot qualify.
 func (c *RangeCollector) Bound() float64 { return c.eps }
 
-// Add offers a candidate; it is kept when within eps and not a duplicate.
+// BoundSq returns the squared epsilon, used as the early-abandon limit for
+// candidate verification (the same fl(eps*eps) the true-distance code used
+// as bound*bound).
+func (c *RangeCollector) BoundSq() float64 { return c.epsSq }
+
+// PruneSq reports whether a candidate (or subtree) whose squared lower
+// bound is lbSq cannot contain qualifying results and may be skipped. The
+// comparison happens in true-distance space, mirroring AddSq's membership
+// test, so prune-implies-reject holds exactly even in the 1-ulp window
+// where fl(eps*eps) under-rounds eps² — one sqrt per pruning decision on
+// the range path only (k-NN pruning, whose bound is a collected distance
+// rather than a caller contract, stays fully squared).
+func (c *RangeCollector) PruneSq(lbSq float64) bool {
+	return math.Sqrt(lbSq) > c.eps
+}
+
+// Add offers a candidate carrying a true distance; it is kept when within
+// eps and not a duplicate.
 func (c *RangeCollector) Add(r Result) bool {
-	if r.Dist > c.eps || c.seen[r.ID] {
+	return c.AddSq(r.ID, r.TS, r.Dist*r.Dist)
+}
+
+// AddSq offers a candidate by squared distance, the hot-path entry point.
+// Membership is decided in true-distance space (one sqrt per candidate that
+// survived lower-bound pruning — a rounding error away from free): a caller
+// who sets eps to a distance reported in a Result must get that boundary
+// neighbor back, exactly as when the comparison was r.Dist > eps, and
+// fl(eps*eps) can under-round that boundary in squared space.
+func (c *RangeCollector) AddSq(id, ts int64, distSq float64) bool {
+	if math.Sqrt(distSq) > c.eps || c.seen[id] {
 		return false
 	}
-	c.seen[r.ID] = true
-	c.items = append(c.items, r)
+	c.seen[id] = true
+	c.items = append(c.items, sqItem{id: id, ts: ts, distSq: distSq})
 	return true
 }
 
 // Clone returns a new empty collector with the same epsilon. Unlike
 // Collector.Clone it carries no seed results: range collection prunes with
-// the static eps bound, so workers gain nothing from seeding.
+// the static eps bound, so workers gain nothing from seeding. Prefer
+// PooledClone/MergeRelease on the fan-out path.
 func (c *RangeCollector) Clone() *RangeCollector { return NewRangeCollector(c.eps) }
+
+// rangeCollectorPool recycles range collectors across fan-outs, mirroring
+// the Collector pool: per-worker clones reuse previously allocated items
+// slices and seen maps.
+var rangeCollectorPool = sync.Pool{New: func() any { return new(RangeCollector) }}
+
+// PooledClone is Clone drawing storage from the range-collector pool. Pair
+// it with MergeRelease so the storage returns to the pool after the
+// fan-out.
+func (c *RangeCollector) PooledClone() *RangeCollector {
+	n := rangeCollectorPool.Get().(*RangeCollector)
+	n.eps, n.epsSq = c.eps, c.epsSq
+	n.items = n.items[:0]
+	if n.seen == nil {
+		n.seen = make(map[int64]bool)
+	} else {
+		clear(n.seen)
+	}
+	return n
+}
+
+// MergeRelease merges o into c and returns o's storage to the pool. o must
+// not be used afterwards.
+func (c *RangeCollector) MergeRelease(o *RangeCollector) {
+	c.Merge(o)
+	rangeCollectorPool.Put(o)
+}
 
 // Merge folds another range collector's results into c, deduplicating by
 // ID. The collected set — every candidate within eps — does not depend on
 // order, so per-worker range collectors merge deterministically.
 func (c *RangeCollector) Merge(o *RangeCollector) {
-	for _, r := range o.items {
-		c.Add(r)
+	for _, it := range o.items {
+		c.AddSq(it.id, it.ts, it.distSq)
 	}
 }
 
 // Results returns all collected results sorted by ascending distance.
 func (c *RangeCollector) Results() []Result {
 	out := make([]Result, len(c.items))
-	copy(out, c.items)
+	for i, it := range c.items {
+		out[i] = Result{ID: it.id, TS: it.ts, Dist: math.Sqrt(it.distSq)}
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
 			return out[i].Dist < out[j].Dist
@@ -308,71 +459,14 @@ func (c *RangeCollector) Results() []Result {
 	return out
 }
 
-// EvalRangeCandidates verifies in-memory candidates against a range
-// collector, pruning by the epsilon bound.
-func EvalRangeCandidates(q Query, entries []record.Entry, cfg Config, raw series.RawStore, col *RangeCollector) error {
-	for _, e := range entries {
-		if cfg.MinDistKey(q.PAA, e.Key) > col.Bound() {
-			continue
-		}
-		d, err := TrueDist(q, e, raw, col.Bound())
-		if err != nil {
-			return err
-		}
-		col.Add(Result{ID: e.ID, TS: e.TS, Dist: d})
-	}
-	return nil
-}
-
-// EvalCandidates evaluates a batch of already-in-memory candidate entries
-// against the collector in ascending lower-bound order: the most promising
-// candidate is verified first, collapsing the pruning bound so the rest are
-// skipped without paying their (possibly random) raw fetches. This is the
-// standard candidate-ordering optimization of data series indexes; every
-// leaf/page evaluation in the repository funnels through it. It returns the
-// number of candidates considered.
-func EvalCandidates(q Query, entries []record.Entry, cfg Config, raw series.RawStore, col *Collector) (int, error) {
-	type cand struct {
-		e  record.Entry
-		lb float64
-	}
-	cands := make([]cand, 0, len(entries))
-	for _, e := range entries {
-		cands = append(cands, cand{e: e, lb: cfg.MinDistKey(q.PAA, e.Key)})
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].lb < cands[j].lb })
-	for _, c := range cands {
-		if col.Skip(c.lb) {
-			break // all remaining candidates have larger lower bounds
-		}
-		d, err := TrueDist(q, c.e, raw, col.Worst())
-		if err != nil {
-			return len(cands), err
-		}
-		col.Add(Result{ID: c.e.ID, TS: c.e.TS, Dist: d})
-	}
-	return len(cands), nil
-}
-
-// TrueDist computes the distance between a prepared query and a candidate
-// entry, using the inline payload when materialized or fetching from raw
-// otherwise. The payload/raw series must already be z-normalized. Because
-// the parallel query engine evaluates candidates on worker goroutines, raw
-// stores must be safe for concurrent Get calls.
+// TrueDist computes the true distance between a prepared query and a
+// candidate entry, early-abandoning beyond bound. It is the legacy
+// convenience form of TrueDistSq (see prune.go), kept for callers off the
+// hot path; it performs no scratch reuse.
 func TrueDist(q Query, e record.Entry, raw series.RawStore, bound float64) (float64, error) {
-	var s series.Series
-	if e.Payload != nil {
-		s = e.Payload
-	} else {
-		if raw == nil {
-			return 0, fmt.Errorf("index: non-materialized entry %d but no raw store", e.ID)
-		}
-		var err error
-		s, err = raw.Get(int(e.ID))
-		if err != nil {
-			return 0, err
-		}
+	sq, err := TrueDistSq(q, e, raw, bound*bound, nil)
+	if err != nil {
+		return 0, err
 	}
-	sq := q.Norm.SqDistEarlyAbandon(s, bound*bound)
 	return math.Sqrt(sq), nil
 }

@@ -1,0 +1,422 @@
+package index
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"sync"
+
+	"repro/internal/record"
+	"repro/internal/sax"
+	"repro/internal/series"
+	"repro/internal/sortable"
+)
+
+// This file implements the squared-space pruning pipeline shared by every
+// index's query hot path.
+//
+// Every candidate probe lower-bounds the query-candidate distance with iSAX
+// MINDIST. Computed naively that is expensive: the interleaved key is
+// decoded into a freshly allocated Word, each segment re-derives its
+// Gaussian breakpoint region, and a math.Sqrt is paid just to compare
+// against a pruning bound that could equally well be compared squared. The
+// pipeline removes all of that:
+//
+//   - A Pruner materializes, once per query, a lookup table
+//     tab[segment<<bits|symbol] -> pre-scaled squared per-segment MINDIST
+//     contribution, for each cardinality in use. A candidate's squared
+//     lower bound is then Segments array lookups summed — no Region calls,
+//     no Word allocation (symbols decode straight out of the interleaved
+//     key bits on the stack), and no sqrt (collectors compare squared
+//     bounds; true distances materialize only in Results()).
+//
+//   - A SearchCtx bundles the Pruner with per-worker Scratch states (page
+//     buffer, raw-series decode buffer, candidate-ordering scratch) and is
+//     recycled through a sync.Pool, so concurrent searches allocate nothing
+//     per candidate probe.
+//
+// # Query-context lifecycle
+//
+// A search entry point acquires one context per query and releases it when
+// the query completes:
+//
+//	ctx := index.AcquireCtx(q, cfg)
+//	defer ctx.Release()
+//
+// The context's Pruner is read-only after AcquireCtx (FillAll may extend it
+// with coarser cardinalities before fan-out; ADS+ needs those for its
+// per-segment cardinalities) and is therefore safely shared by every worker
+// of the query. Scratch states are handed out one per worker slot by
+// FanOut; a scratch is exclusive to its slot while a task runs, so its
+// buffers need no locking. Scratches must be materialized on the
+// coordinating goroutine (Scratches / Scratch0) before workers start.
+// Release returns the whole bundle — tables, page buffers, decode scratch,
+// candidate slices — to the pool for the next query; a context must not be
+// used after Release.
+
+// Pruner holds the per-query MINDIST lookup tables in squared space. The
+// zero value is unusable; tables are populated by Fill (one cardinality) and
+// FillAll (every cardinality up to the configured bits). After filling, a
+// Pruner is read-only and safe for concurrent use by any number of workers.
+type Pruner struct {
+	segments  int
+	bits      int
+	seriesLen int
+	paa       []float64
+	// tab[b] is the table for cardinality 2^b, flattened as
+	// [segment<<b | symbol], each entry the pre-scaled (n/w * d^2) squared
+	// contribution of that symbol on that segment.
+	tab     [sax.MaxBits + 1][]float64
+	filled  [sax.MaxBits + 1]bool
+	backing []float64
+}
+
+// Fill prepares the pruner for a query with the given PAA under cfg,
+// materializing the table for cfg.Bits (the cardinality every sortable key
+// carries). Tables for coarser cardinalities are added by FillAll.
+func (p *Pruner) Fill(paa []float64, cfg Config) {
+	if len(paa) != cfg.Segments {
+		panic(fmt.Sprintf("index: PAA has %d segments, config %d", len(paa), cfg.Segments))
+	}
+	p.segments = cfg.Segments
+	p.bits = cfg.Bits
+	p.seriesLen = cfg.SeriesLen
+	p.paa = append(p.paa[:0], paa...)
+	// One backing array holds every level's table: level b starts at
+	// w*(2^b - 2) and spans w<<b entries.
+	total := cfg.Segments * (2<<cfg.Bits - 2)
+	if cap(p.backing) < total {
+		p.backing = make([]float64, total)
+	}
+	off := 0
+	for b := 1; b <= cfg.Bits; b++ {
+		size := cfg.Segments << b
+		p.tab[b] = p.backing[off : off+size]
+		p.filled[b] = false
+		off += size
+	}
+	for b := cfg.Bits + 1; b <= sax.MaxBits; b++ {
+		p.tab[b] = nil
+		p.filled[b] = false
+	}
+	p.fillLevel(cfg.Bits)
+}
+
+// FillAll materializes the tables for every cardinality 1..Bits. Indexes
+// with per-segment cardinalities (ADS+) need all of them; key-probing
+// indexes only ever touch the top level, which Fill already built. FillAll
+// must run on the coordinating goroutine before workers share the pruner.
+func (p *Pruner) FillAll() {
+	for b := 1; b <= p.bits; b++ {
+		if !p.filled[b] {
+			p.fillLevel(b)
+		}
+	}
+}
+
+// fillLevel computes level b's table: for each segment's PAA value and each
+// symbol at cardinality 2^b, the squared distance from the value to the
+// symbol's breakpoint region, pre-scaled by seriesLen/segments so summing
+// entries directly yields the squared MINDIST.
+func (p *Pruner) fillLevel(b int) {
+	card := 1 << b
+	bp := sax.Breakpoints(card)
+	scale := float64(p.seriesLen) / float64(p.segments)
+	t := p.tab[b]
+	for seg, v := range p.paa {
+		row := t[seg<<b : seg<<b+card]
+		for sym := 0; sym < card; sym++ {
+			var d float64
+			if sym > 0 && v < bp[sym-1] {
+				d = bp[sym-1] - v
+			} else if sym < card-1 && v > bp[sym] {
+				d = v - bp[sym]
+			}
+			row[sym] = scale * d * d
+		}
+	}
+	p.filled[b] = true
+}
+
+// Bits returns the cardinality bits the pruner was filled for.
+func (p *Pruner) Bits() int { return p.bits }
+
+// MinDistSqKey returns the squared iSAX lower bound between the query and
+// any series summarized by the interleaved key k: no series with this key
+// can be closer than the square root of the returned value. Symbols are
+// decoded from the key's bit rounds into a stack array, so the probe
+// performs no allocation and no trigonometric or square-root work — just
+// bit twiddling and table lookups.
+func (p *Pruner) MinDistSqKey(k sortable.Key) float64 {
+	var syms [sortable.MaxSegments]uint8
+	w := p.segments
+	pos := 0
+	for r := 0; r < p.bits; r++ {
+		for s := 0; s < w; s++ {
+			var bit uint8
+			if pos < 64 {
+				bit = uint8(k.Hi >> uint(63-pos) & 1)
+			} else {
+				bit = uint8(k.Lo >> uint(127-pos) & 1)
+			}
+			syms[s] = syms[s]<<1 | bit
+			pos++
+		}
+	}
+	t := p.tab[p.bits]
+	acc := 0.0
+	for s := 0; s < w; s++ {
+		acc += t[s<<uint(p.bits)|int(syms[s])]
+	}
+	return acc
+}
+
+// MinDistSqMixed returns the squared lower bound for a summarization with
+// per-segment cardinalities: symbol syms[i] at bits[i] cardinality bits on
+// segment i — the shape of ADS+ tree nodes. Requires FillAll; touching an
+// unfilled level panics rather than reading a stale pooled table, because a
+// silently wrong bound would corrupt results instead of failing.
+func (p *Pruner) MinDistSqMixed(syms, bits []uint8) float64 {
+	acc := 0.0
+	for i, sym := range syms {
+		b := int(bits[i])
+		if !p.filled[b] {
+			panic(fmt.Sprintf("index: MinDistSqMixed at %d bits without FillAll", b))
+		}
+		acc += p.tab[b][i<<uint(b)|int(sym)]
+	}
+	return acc
+}
+
+// entCand orders an already-decoded candidate entry by squared lower bound.
+type entCand struct {
+	lbSq float64
+	e    record.Entry
+}
+
+// offCand orders an encoded candidate (an offset into a page buffer) by
+// squared lower bound.
+type offCand struct {
+	lbSq float64
+	off  int32
+}
+
+// Scratch is the per-worker mutable state of one query: a page buffer, a
+// raw-series decode buffer, and candidate-ordering scratch. Exactly one
+// task uses a scratch at a time (FanOut hands one to each worker slot), so
+// none of it is locked. P points at the query's shared read-only Pruner.
+type Scratch struct {
+	P      *Pruner
+	page   []byte
+	ser    series.Series
+	ecands []entCand
+	ocands []offCand
+}
+
+// Page returns the scratch page buffer resized to n bytes, reusing the
+// allocation across pages, runs, and queries.
+func (s *Scratch) Page(n int) []byte {
+	if cap(s.page) < n {
+		s.page = make([]byte, n)
+	}
+	return s.page[:n]
+}
+
+// SeriesBuf returns the scratch series buffer resized to n points.
+func (s *Scratch) SeriesBuf(n int) series.Series {
+	if cap(s.ser) < n {
+		s.ser = make(series.Series, n)
+	}
+	return s.ser[:n]
+}
+
+// SearchCtx is the pooled per-query search context: the query's pruning
+// tables plus one Scratch per worker slot. Acquire with AcquireCtx, release
+// with Release. See the lifecycle notes at the top of this file.
+type SearchCtx struct {
+	P         Pruner
+	scratches []*Scratch
+}
+
+var ctxPool = sync.Pool{New: func() any { return new(SearchCtx) }}
+
+// AcquireCtx returns a search context from the pool with pruning tables
+// filled for q under cfg. The caller must Release it when the query
+// completes.
+func AcquireCtx(q Query, cfg Config) *SearchCtx {
+	ctx := ctxPool.Get().(*SearchCtx)
+	ctx.P.Fill(q.PAA, cfg)
+	return ctx
+}
+
+// Release returns the context and all its scratch buffers to the pool. The
+// context must not be used afterwards.
+func (c *SearchCtx) Release() { ctxPool.Put(c) }
+
+// Scratches returns scratch states for worker slots 0..n-1, growing the set
+// as needed. It must be called on the coordinating goroutine before workers
+// start; the returned scratches may then be used concurrently, one per
+// slot.
+func (c *SearchCtx) Scratches(n int) []*Scratch {
+	for len(c.scratches) < n {
+		c.scratches = append(c.scratches, &Scratch{P: &c.P})
+	}
+	return c.scratches[:n]
+}
+
+// Scratch0 returns the serial path's scratch (worker slot 0).
+func (c *SearchCtx) Scratch0() *Scratch { return c.Scratches(1)[0] }
+
+// rawDistSq fetches series id from raw and returns its early-abandoning
+// squared distance to the query, decoding into the scratch buffer when the
+// store supports it so the fetch allocates nothing.
+func rawDistSq(q Query, id int64, raw series.RawStore, limitSq float64, sc *Scratch) (float64, error) {
+	if raw == nil {
+		return 0, fmt.Errorf("index: non-materialized entry %d but no raw store", id)
+	}
+	var s series.Series
+	var err error
+	if g, ok := raw.(series.IntoGetter); ok && sc != nil {
+		s, err = g.GetInto(int(id), sc.SeriesBuf(len(q.Norm)))
+	} else {
+		s, err = raw.Get(int(id))
+	}
+	if err != nil {
+		return 0, err
+	}
+	return q.Norm.SqDistEarlyAbandon(s, limitSq), nil
+}
+
+// TrueDistSq computes the squared distance between a prepared query and a
+// candidate entry, using the inline payload when materialized or fetching
+// from raw otherwise, abandoning accumulation beyond limitSq. The
+// payload/raw series must already be z-normalized. Raw stores must be safe
+// for concurrent fetches: workers verify candidates concurrently.
+func TrueDistSq(q Query, e record.Entry, raw series.RawStore, limitSq float64, sc *Scratch) (float64, error) {
+	if e.Payload != nil {
+		return q.Norm.SqDistEarlyAbandon(e.Payload, limitSq), nil
+	}
+	return rawDistSq(q, e.ID, raw, limitSq, sc)
+}
+
+// EvalCandidates evaluates a batch of already-in-memory candidate entries
+// against the collector in ascending lower-bound order: the most promising
+// candidate is verified first, collapsing the pruning bound so the rest are
+// skipped without paying their (possibly random) raw fetches. Bounds are
+// compared in squared space throughout. It returns the number of candidates
+// considered.
+func EvalCandidates(q Query, entries []record.Entry, raw series.RawStore, col *Collector, sc *Scratch) (int, error) {
+	cands := sc.ecands[:0]
+	for _, e := range entries {
+		cands = append(cands, entCand{e: e, lbSq: sc.P.MinDistSqKey(e.Key)})
+	}
+	slices.SortFunc(cands, func(a, b entCand) int { return cmp.Compare(a.lbSq, b.lbSq) })
+	// Keep the grown capacity for the next batch, but zero the contents:
+	// entries can carry payload slices, which must not stay reachable from
+	// the pooled scratch after the query ends.
+	defer func() {
+		clear(cands)
+		sc.ecands = cands[:0]
+	}()
+	for _, c := range cands {
+		if col.SkipSq(c.lbSq) {
+			break // all remaining candidates have larger lower bounds
+		}
+		dSq, err := TrueDistSq(q, c.e, raw, col.WorstSq(), sc)
+		if err != nil {
+			return len(cands), err
+		}
+		col.AddSq(c.e.ID, c.e.TS, dSq)
+	}
+	return len(cands), nil
+}
+
+// EvalRangeCandidates verifies in-memory candidates against a range
+// collector, pruning table-computed lower bounds by the epsilon bound.
+func EvalRangeCandidates(q Query, entries []record.Entry, raw series.RawStore, col *RangeCollector, sc *Scratch) error {
+	for _, e := range entries {
+		if col.PruneSq(sc.P.MinDistSqKey(e.Key)) {
+			continue
+		}
+		dSq, err := TrueDistSq(q, e, raw, col.BoundSq(), sc)
+		if err != nil {
+			return err
+		}
+		col.AddSq(e.ID, e.TS, dSq)
+	}
+	return nil
+}
+
+// EvalEncoded evaluates n records encoded back-to-back in page (codec.Size()
+// bytes each) against the collector, straight from the page bytes: the
+// window filter and the squared lower bound are computed from the encoded
+// header alone, and surviving candidates verify in ascending lower-bound
+// order with early-abandoning squared distances accumulated directly from
+// the encoded payload (materialized) or a scratch-buffer raw fetch. No
+// record is ever decoded into an Entry, so a probe allocates nothing. It
+// returns the number of in-window candidates seen.
+func EvalEncoded(q Query, page []byte, n int, codec record.Codec, raw series.RawStore, col *Collector, sc *Scratch) (int, error) {
+	recSize := codec.Size()
+	cands := sc.ocands[:0]
+	count := 0
+	for i := 0; i < n; i++ {
+		rec := page[i*recSize : (i+1)*recSize]
+		if !q.InWindow(record.DecodeTS(rec)) {
+			continue
+		}
+		count++
+		lbSq := sc.P.MinDistSqKey(record.DecodeKeyOnly(rec))
+		if col.SkipSq(lbSq) {
+			continue // cheap reject before even locating the payload
+		}
+		cands = append(cands, offCand{lbSq: lbSq, off: int32(i * recSize)})
+	}
+	slices.SortFunc(cands, func(a, b offCand) int { return cmp.Compare(a.lbSq, b.lbSq) })
+	sc.ocands = cands
+	for _, c := range cands {
+		if col.SkipSq(c.lbSq) {
+			break
+		}
+		rec := page[c.off : int(c.off)+recSize]
+		var dSq float64
+		if codec.Materialized {
+			dSq = q.Norm.SqDistEncodedEarlyAbandon(codec.PayloadBytes(rec), col.WorstSq())
+		} else {
+			var err error
+			dSq, err = rawDistSq(q, record.DecodeID(rec), raw, col.WorstSq(), sc)
+			if err != nil {
+				return count, err
+			}
+		}
+		col.AddSq(record.DecodeID(rec), record.DecodeTS(rec), dSq)
+	}
+	return count, nil
+}
+
+// EvalEncodedRange is EvalEncoded against a range collector: the epsilon
+// bound is static, so candidates need no ordering and every in-window,
+// unpruned record verifies directly from the encoded bytes.
+func EvalEncodedRange(q Query, page []byte, n int, codec record.Codec, raw series.RawStore, col *RangeCollector, sc *Scratch) error {
+	recSize := codec.Size()
+	for i := 0; i < n; i++ {
+		rec := page[i*recSize : (i+1)*recSize]
+		if !q.InWindow(record.DecodeTS(rec)) {
+			continue
+		}
+		if col.PruneSq(sc.P.MinDistSqKey(record.DecodeKeyOnly(rec))) {
+			continue
+		}
+		var dSq float64
+		if codec.Materialized {
+			dSq = q.Norm.SqDistEncodedEarlyAbandon(codec.PayloadBytes(rec), col.BoundSq())
+		} else {
+			var err error
+			dSq, err = rawDistSq(q, record.DecodeID(rec), raw, col.BoundSq(), sc)
+			if err != nil {
+				return err
+			}
+		}
+		col.AddSq(record.DecodeID(rec), record.DecodeTS(rec), dSq)
+	}
+	return nil
+}

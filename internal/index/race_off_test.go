@@ -1,0 +1,7 @@
+//go:build !race
+
+package index
+
+// raceEnabled reports whether the race detector is active; allocation-count
+// assertions are skipped under instrumentation.
+const raceEnabled = false

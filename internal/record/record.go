@@ -91,3 +91,19 @@ func (c Codec) Decode(buf []byte) (Entry, error) {
 func DecodeKeyOnly(buf []byte) sortable.Key {
 	return sortable.DecodeKey(buf)
 }
+
+// DecodeID extracts just the series ID from an encoded entry.
+func DecodeID(buf []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(buf[sortable.KeyBytes:]))
+}
+
+// DecodeTS extracts just the timestamp from an encoded entry.
+func DecodeTS(buf []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(buf[sortable.KeyBytes+8:]))
+}
+
+// PayloadBytes returns the encoded payload portion of an entry, valid only
+// for materialized codecs. The slice aliases buf.
+func (c Codec) PayloadBytes(buf []byte) []byte {
+	return buf[HeaderBytes:c.Size()]
+}

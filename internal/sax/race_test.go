@@ -1,0 +1,36 @@
+package sax
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBreakpointsConcurrent hammers Breakpoints from many goroutines with
+// non-power-of-two cardinalities — the access pattern that raced when the
+// cache was a lazily written map. The cache is now a read-only array
+// populated fully at init, so this passes under -race.
+func TestBreakpointsConcurrent(t *testing.T) {
+	cards := []int{2, 3, 5, 7, 13, 100, 255, 256}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := cards[(g+i)%len(cards)]
+				bp := Breakpoints(c)
+				if len(bp) != c-1 {
+					t.Errorf("Breakpoints(%d) has %d entries", c, len(bp))
+					return
+				}
+				for j := 1; j < len(bp); j++ {
+					if bp[j] <= bp[j-1] {
+						t.Errorf("Breakpoints(%d) not increasing at %d", c, j)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -23,29 +23,29 @@ const MaxBits = 8
 
 // Breakpoints returns the cardinality-1 breakpoints that divide the standard
 // normal distribution into cardinality equi-probable regions, in increasing
-// order. Results are cached per cardinality.
+// order. The cache is a fixed array populated fully at init and read-only
+// afterwards, so concurrent searches may call Breakpoints freely. Callers
+// must not modify the returned slice.
 func Breakpoints(cardinality int) []float64 {
 	if cardinality < 2 || cardinality > 1<<MaxBits {
 		panic(fmt.Sprintf("sax: cardinality %d out of range [2,%d]", cardinality, 1<<MaxBits))
 	}
-	if bp := bpCache[cardinality]; bp != nil {
-		return bp
-	}
-	bp := make([]float64, cardinality-1)
-	for i := 1; i < cardinality; i++ {
-		p := float64(i) / float64(cardinality)
-		bp[i-1] = math.Sqrt2 * math.Erfinv(2*p-1)
-	}
-	bpCache[cardinality] = bp
-	return bp
+	return bpCache[cardinality]
 }
 
-var bpCache = make(map[int][]float64)
+// bpCache[c] holds the breakpoints for cardinality c, for every c in
+// [2, 2^MaxBits]. It is written only by init; all later access is read-only,
+// which is what makes Breakpoints safe under the parallel query engine.
+var bpCache [1<<MaxBits + 1][]float64
 
 func init() {
-	// Pre-compute all power-of-two cardinalities used by iSAX.
-	for b := 1; b <= MaxBits; b++ {
-		Breakpoints(1 << b)
+	for c := 2; c <= 1<<MaxBits; c++ {
+		bp := make([]float64, c-1)
+		for i := 1; i < c; i++ {
+			p := float64(i) / float64(c)
+			bp[i-1] = math.Sqrt2 * math.Erfinv(2*p-1)
+		}
+		bpCache[c] = bp
 	}
 }
 

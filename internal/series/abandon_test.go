@@ -1,0 +1,105 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSeries(rng *rand.Rand, n int) Series {
+	s := make(Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+// TestEarlyAbandonMatchesFullDistance: whenever the early-abandoning
+// accumulation does not abandon (the limit is never crossed), its result is
+// exactly the full squared Euclidean distance; when it does abandon, the
+// partial sum it returns exceeds the limit.
+func TestEarlyAbandonMatchesFullDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(256)
+		a, b := randSeries(rng, n), randSeries(rng, n)
+		full := a.SqDist(b)
+		// A limit above the full distance never abandons: exact equality.
+		if got := a.SqDistEarlyAbandon(b, full+1); got != full {
+			t.Fatalf("trial %d: unabandoned %v != full %v", trial, got, full)
+		}
+		if got := a.SqDistEarlyAbandon(b, math.Inf(1)); got != full {
+			t.Fatalf("trial %d: limit=+Inf %v != full %v", trial, got, full)
+		}
+		// A limit below the full distance abandons with a partial sum that
+		// certifies the candidate lost: strictly above the limit.
+		if full > 0 {
+			limit := full * rng.Float64() * 0.99
+			if got := a.SqDistEarlyAbandon(b, limit); got <= limit {
+				t.Fatalf("trial %d: abandoned %v not beyond limit %v", trial, got, limit)
+			}
+		}
+	}
+}
+
+// TestEncodedDistanceMatchesDecoded: accumulating the squared distance
+// straight from the binary encoding is bit-identical to decoding first.
+func TestEncodedDistanceMatchesDecoded(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + rng.Intn(256)
+		a, b := randSeries(rng, n), randSeries(rng, n)
+		buf := b.AppendBinary(make([]byte, 0, Size(n)))
+		full := a.SqDist(b)
+		if got := a.SqDistEncodedEarlyAbandon(buf, math.Inf(1)); got != full {
+			t.Fatalf("trial %d: encoded %v != decoded %v", trial, got, full)
+		}
+		if full > 0 {
+			limit := full * rng.Float64() * 0.99
+			got := a.SqDistEncodedEarlyAbandon(buf, limit)
+			want := a.SqDistEarlyAbandon(b, limit)
+			if got != want {
+				t.Fatalf("trial %d: abandoned encoded %v != decoded %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestDecodeBinaryInto and ZNormalizeInto round-trips.
+func TestIntoVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := randSeries(rng, 64)
+	buf := s.AppendBinary(nil)
+	dst := make(Series, 64)
+	got, err := DecodeBinaryInto(buf, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Fatalf("DecodeBinaryInto[%d] = %v, want %v", i, got[i], s[i])
+		}
+	}
+	if _, err := DecodeBinaryInto(buf[:8], dst); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+	want := s.ZNormalize()
+	zdst := make(Series, 64)
+	z := s.ZNormalizeInto(zdst)
+	for i := range want {
+		if z[i] != want[i] {
+			t.Fatalf("ZNormalizeInto[%d] = %v, want %v", i, z[i], want[i])
+		}
+	}
+	// Constant series normalize to zeros in both variants.
+	c := make(Series, 8)
+	for i := range c {
+		c[i] = 42
+	}
+	zc := c.ZNormalizeInto(make(Series, 8))
+	for i := range zc {
+		if zc[i] != 0 {
+			t.Fatalf("constant series normalized to %v", zc)
+		}
+	}
+}

@@ -59,16 +59,28 @@ func (s Series) Std() float64 {
 // Constant series (zero variance) normalize to all zeros, matching the
 // convention used by iSAX implementations.
 func (s Series) ZNormalize() Series {
-	out := make(Series, len(s))
+	return s.ZNormalizeInto(make(Series, len(s)))
+}
+
+// ZNormalizeInto z-normalizes s into dst (which must have len(s) elements)
+// and returns dst. It is the allocation-free variant of ZNormalize used by
+// the query hot path's reusable scratch buffers.
+func (s Series) ZNormalizeInto(dst Series) Series {
+	if len(dst) != len(s) {
+		panic(fmt.Sprintf("series: ZNormalizeInto length mismatch %d vs %d", len(dst), len(s)))
+	}
 	mean := s.Mean()
 	std := s.Std()
 	if std < 1e-12 {
-		return out // all zeros
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
 	for i, v := range s {
-		out[i] = (v - mean) / std
+		dst[i] = (v - mean) / std
 	}
-	return out
+	return dst
 }
 
 // Dist returns the Euclidean distance between s and t.
@@ -111,6 +123,27 @@ func (s Series) sqDist(t Series, limit float64) float64 {
 	return acc
 }
 
+// SqDistEncodedEarlyAbandon computes the early-abandoning squared Euclidean
+// distance between s and a series stored in its AppendBinary encoding,
+// decoding points on the fly. This fuses payload decoding with distance
+// accumulation so verifying a materialized candidate straight out of a page
+// buffer costs no allocation and stops at the first point where the partial
+// sum exceeds limit. buf must hold at least Size(len(s)) bytes.
+func (s Series) SqDistEncodedEarlyAbandon(buf []byte, limit float64) float64 {
+	if len(buf) < Size(len(s)) {
+		panic(fmt.Sprintf("series: SqDistEncodedEarlyAbandon short buffer %d for %d points", len(buf), len(s)))
+	}
+	acc := 0.0
+	for i, v := range s {
+		d := v - math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		acc += d * d
+		if acc > limit {
+			return acc
+		}
+	}
+	return acc
+}
+
 // Size is the serialized size in bytes of a series of length n.
 func Size(n int) int { return 8 * n }
 
@@ -128,11 +161,20 @@ func DecodeBinary(buf []byte, n int) (Series, error) {
 	if len(buf) < Size(n) {
 		return nil, fmt.Errorf("series: short buffer: have %d want %d", len(buf), Size(n))
 	}
-	out := make(Series, n)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	return DecodeBinaryInto(buf, make(Series, n))
+}
+
+// DecodeBinaryInto decodes len(dst) points from buf into dst, the
+// allocation-free variant of DecodeBinary used with reusable scratch
+// buffers. buf must hold at least Size(len(dst)) bytes.
+func DecodeBinaryInto(buf []byte, dst Series) (Series, error) {
+	if len(buf) < Size(len(dst)) {
+		return nil, fmt.Errorf("series: short buffer: have %d want %d", len(buf), Size(len(dst)))
 	}
-	return out, nil
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return dst, nil
 }
 
 // Write writes the binary encoding of s to w.

@@ -81,10 +81,37 @@ func (r *RawFile) Get(id int) (series.Series, error) {
 	return s, err
 }
 
+// GetInto fetches the series with the given ID into dst, which must have
+// the file's series length. Decoding happens under the record cache's lock
+// straight into dst, so a fetch allocates nothing — the hot verification
+// path of non-materialized exact search with per-worker scratch buffers.
+func (r *RawFile) GetInto(id int, dst series.Series) (series.Series, error) {
+	if r.rf == nil {
+		return nil, fmt.Errorf("storage: raw file %q not sealed for reading", r.name)
+	}
+	if id < 0 || int64(id) >= r.count {
+		return nil, fmt.Errorf("%w: series %d of %d", ErrOutOfRange, id, r.count)
+	}
+	if len(dst) != r.n {
+		return nil, fmt.Errorf("storage: GetInto buffer length %d, want %d", len(dst), r.n)
+	}
+	err := r.rf.View(int64(id), func(rec []byte) error {
+		_, err := series.DecodeBinaryInto(rec, dst)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
 // Count returns the number of series stored.
 func (r *RawFile) Count() int { return int(r.count) }
 
 // SeriesLen returns the length of each stored series.
 func (r *RawFile) SeriesLen() int { return r.n }
 
-var _ series.RawStore = (*RawFile)(nil)
+var (
+	_ series.RawStore   = (*RawFile)(nil)
+	_ series.IntoGetter = (*RawFile)(nil)
+)

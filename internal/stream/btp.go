@@ -227,38 +227,43 @@ func (b *BTP) Merges() int64 { return b.merges }
 // independent sorted runs, so probes execute concurrently on the worker
 // pool.
 func (b *BTP) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
+	ctx := index.AcquireCtx(q, b.cfg)
+	defer ctx.Release()
 	col := index.NewCollector(k)
-	if err := b.scanBuffer(q, col); err != nil {
-		return nil, err
-	}
-	err := b.forEachPart(q, col, func(p btpPart, buf []byte, col *index.Collector) error {
-		return b.probePart(p, q, col, buf)
-	})
-	if err != nil {
+	if err := b.approxInto(q, col, ctx); err != nil {
 		return nil, err
 	}
 	return col.Results(), nil
 }
 
-// ExactSearch implements Scheme: approximate first for the bound, then a
-// pruned scan of every intersecting partition, partitions scanning
-// concurrently. Partitions whose range falls outside the window are skipped
-// wholesale — the bandwidth saving TP pioneered, here with a bounded
-// partition count.
+// approxInto runs the approximate phase into col with an already-acquired
+// context, so ExactSearch shares one context (and one table fill) across
+// both phases.
+func (b *BTP) approxInto(q index.Query, col *index.Collector, ctx *index.SearchCtx) error {
+	if err := b.scanBuffer(q, col, ctx.Scratch0()); err != nil {
+		return err
+	}
+	return b.forEachPart(q, ctx, col, func(p btpPart, sc *index.Scratch, col *index.Collector) error {
+		return b.probePart(p, q, col, sc)
+	})
+}
+
+// ExactSearch implements Scheme: the approximate phase seeds the bound,
+// then a pruned scan of every intersecting partition, partitions scanning
+// concurrently. The buffer was already fully evaluated by the approximate
+// phase (deduplication by ID makes re-offering it a no-op), so only the
+// partitions need the full pass. Partitions whose range falls outside the
+// window are skipped wholesale — the bandwidth saving TP pioneered, here
+// with a bounded partition count.
 func (b *BTP) ExactSearch(q index.Query, k int) ([]index.Result, error) {
-	approx, err := b.ApproxSearch(q, k)
-	if err != nil {
-		return nil, err
-	}
+	ctx := index.AcquireCtx(q, b.cfg)
+	defer ctx.Release()
 	col := index.NewCollector(k)
-	for _, r := range approx {
-		col.Add(r)
-	}
-	if err := b.scanBuffer(q, col); err != nil {
+	if err := b.approxInto(q, col, ctx); err != nil {
 		return nil, err
 	}
-	err = b.forEachPart(q, col, func(p btpPart, buf []byte, col *index.Collector) error {
-		return b.scanPart(p, q, col, buf)
+	err := b.forEachPart(q, ctx, col, func(p btpPart, sc *index.Scratch, col *index.Collector) error {
+		return b.scanPart(p, q, col, sc)
 	})
 	if err != nil {
 		return nil, err
@@ -269,32 +274,32 @@ func (b *BTP) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 // forEachPart applies scan to every partition intersecting the query
 // window through index.FanOut — the same fan-out/merge discipline as CLSM
 // runs, with the same determinism guarantee.
-func (b *BTP) forEachPart(q index.Query, col *index.Collector, scan func(btpPart, []byte, *index.Collector) error) error {
+func (b *BTP) forEachPart(q index.Query, ctx *index.SearchCtx, col *index.Collector, scan func(btpPart, *index.Scratch, *index.Collector) error) error {
 	var active []btpPart
 	for _, p := range b.parts {
 		if intersects(q, p.minTS, p.maxTS) {
 			active = append(active, p)
 		}
 	}
-	return index.FanOut(b.pool, len(active), col, (*index.Collector).Clone, (*index.Collector).Merge,
-		b.disk.PageSize(), func(i int, col *index.Collector, buf []byte) error {
-			return scan(active[i], buf, col)
+	return index.FanOut(b.pool, len(active), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
+		func(i int, col *index.Collector, sc *index.Scratch) error {
+			return scan(active[i], sc, col)
 		})
 }
 
-func (b *BTP) scanBuffer(q index.Query, col *index.Collector) error {
+func (b *BTP) scanBuffer(q index.Query, col *index.Collector, sc *index.Scratch) error {
 	for _, e := range b.buffer {
 		if !q.InWindow(e.TS) {
 			continue
 		}
-		if col.Skip(b.cfg.MinDistKey(q.PAA, e.Key)) {
+		if col.SkipSq(sc.P.MinDistSqKey(e.Key)) {
 			continue
 		}
-		d, err := index.TrueDist(q, e, b.raw, col.Worst())
+		dSq, err := index.TrueDistSq(q, e, b.raw, col.WorstSq(), sc)
 		if err != nil {
 			return err
 		}
-		col.Add(index.Result{ID: e.ID, TS: e.TS, Dist: d})
+		col.AddSq(e.ID, e.TS, dSq)
 	}
 	return nil
 }
@@ -303,12 +308,13 @@ func (b *BTP) perPage() int { return b.disk.PageSize() / b.codec.Size() }
 
 // probePart binary-searches a partition's pages for the query key and
 // evaluates the covering page.
-func (b *BTP) probePart(p btpPart, q index.Query, col *index.Collector, buf []byte) error {
+func (b *BTP) probePart(p btpPart, q index.Query, col *index.Collector, sc *index.Scratch) error {
 	perPage := b.perPage()
 	pages := int((p.count + int64(perPage) - 1) / int64(perPage))
 	if pages == 0 {
 		return nil
 	}
+	buf := sc.Page(b.disk.PageSize())
 	lo, hi := 0, pages-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
@@ -321,22 +327,26 @@ func (b *BTP) probePart(p btpPart, q index.Query, col *index.Collector, buf []by
 			lo = mid
 		}
 	}
-	return b.evalPage(p, lo, q, col, false, buf)
+	return b.evalPage(p, lo, q, col, sc)
 }
 
-// scanPart scans a partition sequentially with lower-bound pruning.
-func (b *BTP) scanPart(p btpPart, q index.Query, col *index.Collector, buf []byte) error {
+// scanPart scans a partition sequentially with squared lower-bound pruning.
+func (b *BTP) scanPart(p btpPart, q index.Query, col *index.Collector, sc *index.Scratch) error {
 	perPage := b.perPage()
 	pages := int((p.count + int64(perPage) - 1) / int64(perPage))
 	for pg := 0; pg < pages; pg++ {
-		if err := b.evalPage(p, pg, q, col, true, buf); err != nil {
+		if err := b.evalPage(p, pg, q, col, sc); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (b *BTP) evalPage(p btpPart, page int, q index.Query, col *index.Collector, prune bool, buf []byte) error {
+// evalPage evaluates one partition page straight from the page bytes
+// through the squared-space pipeline: window filter and lower bound on the
+// encoded header, early-abandoning squared verification on survivors.
+func (b *BTP) evalPage(p btpPart, page int, q index.Query, col *index.Collector, sc *index.Scratch) error {
+	buf := sc.Page(b.disk.PageSize())
 	if _, err := b.disk.ReadPage(p.file, int64(page), buf); err != nil {
 		return err
 	}
@@ -346,22 +356,7 @@ func (b *BTP) evalPage(p btpPart, page int, q index.Query, col *index.Collector,
 	if rem := p.count - start; rem < int64(n) {
 		n = int(rem)
 	}
-	recSize := b.codec.Size()
-	cands := make([]record.Entry, 0, n)
-	for i := 0; i < n; i++ {
-		rec := buf[i*recSize : (i+1)*recSize]
-		if prune && col.Skip(b.cfg.MinDistKey(q.PAA, record.DecodeKeyOnly(rec))) {
-			continue // cheap reject before even decoding
-		}
-		e, err := b.codec.Decode(rec)
-		if err != nil {
-			return err
-		}
-		if q.InWindow(e.TS) {
-			cands = append(cands, e)
-		}
-	}
-	_, err := index.EvalCandidates(q, cands, b.cfg, b.raw, col)
+	_, err := index.EvalEncoded(q, buf, n, b.codec, b.raw, col, sc)
 	return err
 }
 

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/adsplus"
@@ -189,25 +190,36 @@ func (t *TP) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	return t.search(q, k, func(idx index.Index) ([]index.Result, error) { return idx.ExactSearch(q, k) })
 }
 
-// search scans the in-memory buffer, then queries every partition whose
-// time range intersects the window. Partitions are independent indexes, so
-// they are searched concurrently on the worker pool; each partition's
-// results fold into one deterministic collector, giving the same answer as
-// the serial partition-by-partition loop.
+// search scans the in-memory buffer through the squared-space pruning
+// pipeline, then queries every partition whose time range intersects the
+// window. Partitions are independent indexes, so they are searched
+// concurrently on the worker pool (each acquiring its own pooled search
+// context internally); each partition's results fold into one deterministic
+// collector, giving the same answer as the serial partition-by-partition
+// loop.
 func (t *TP) search(q index.Query, k int, f func(index.Index) ([]index.Result, error)) ([]index.Result, error) {
+	ctx := index.AcquireCtx(q, t.sum.cfg)
+	defer ctx.Release()
+	sc := ctx.Scratch0()
 	col := index.NewCollector(k)
 	for _, e := range t.buffer {
 		if !q.InWindow(e.TS) {
 			continue
 		}
-		if col.Skip(t.sum.cfg.MinDistKey(q.PAA, e.Key)) {
+		if col.SkipSq(sc.P.MinDistSqKey(e.Key)) {
 			continue
 		}
-		d, err := index.TrueDist(q, e, t.raw, col.Worst())
+		dSq, err := index.TrueDistSq(q, e, t.raw, col.WorstSq(), sc)
 		if err != nil {
 			return nil, err
 		}
-		col.Add(index.Result{ID: e.ID, TS: e.TS, Dist: d})
+		// Partition results arrive below as true distances and are
+		// re-squared by Add; offering buffer candidates through the same
+		// sqrt->square round trip keeps a buffered copy and a partitioned
+		// copy of equal-distance series comparing exactly equal, so the ID
+		// tie-break decides — as it did when the whole merge ran in true
+		// distances.
+		col.Add(index.Result{ID: e.ID, TS: e.TS, Dist: math.Sqrt(dSq)})
 	}
 	var active []index.Index
 	for _, p := range t.parts {

@@ -31,6 +31,16 @@ func (n normStore) Get(id int) (series.Series, error) {
 // Count returns the dataset size.
 func (n normStore) Count() int { return n.d.Count() }
 
+// GetInto implements series.IntoGetter: the raw series is normalized into
+// dst, so repeated fetches through a scratch buffer allocate nothing.
+func (n normStore) GetInto(id int, dst series.Series) (series.Series, error) {
+	s, err := n.d.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.ZNormalizeInto(dst), nil
+}
+
 // NormStore wraps a dataset as a z-normalizing series.RawStore.
 func NormStore(d *series.Dataset) series.RawStore { return normStore{d} }
 

@@ -389,6 +389,68 @@ func BenchmarkParallelSearch(b *testing.B) {
 	}
 }
 
+// --- Sharded + batched execution benchmark (PR 3's layer). ---
+
+// BenchmarkBatchSearch measures exact k-NN throughput over a CoconutTree
+// at several shard counts, comparing one-query-at-a-time execution against
+// SearchBatch (pooled per-worker contexts, queries spread across the
+// pool). One benchmark op is a full 32-query sweep; the qps metric is the
+// per-query throughput. All configurations return byte-identical results
+// (pinned by sharded_equivalence_test.go).
+func BenchmarkBatchSearch(b *testing.B) {
+	const n, length, k = 20000, 128, 5
+	rng := rand.New(rand.NewSource(6))
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = gen.RandomWalk(rng, length)
+	}
+	queries := make([][]float64, 32)
+	for i := range queries {
+		queries[i] = gen.RandomWalk(rng, length)
+	}
+	opts := Options{SeriesLen: length, Materialized: true}
+	for _, shards := range []int{1, 2, 4} {
+		type searcher interface {
+			Search(q []float64, k int) ([]Match, error)
+			SearchBatch(qs [][]float64, k int) ([][]Match, error)
+		}
+		var idx searcher
+		if shards == 1 {
+			t, err := BuildTree(data, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			idx = t
+		} else {
+			sh, err := BuildShardedTree(data, shards, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			idx = sh
+		}
+		b.Run(fmt.Sprintf("shards=%d/loop", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if _, err := idx.Search(q, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "qps")
+		})
+		b.Run(fmt.Sprintf("shards=%d/batch", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := idx.SearchBatch(queries, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(queries)*b.N)/b.Elapsed().Seconds(), "qps")
+		})
+	}
+}
+
 func BenchmarkE10Ablation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := workload.E10Ablation(benchScale(), 2000, 50, 64); err != nil {

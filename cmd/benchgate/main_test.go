@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseBench = `
+goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkParallelSearch/workers=1-8         	      20	   5400000 ns/op	      3500 B/op	      23 allocs/op
+BenchmarkParallelSearch/workers=1-8         	      20	   5500000 ns/op	      3500 B/op	      23 allocs/op
+BenchmarkParallelSearch/workers=4-8         	      20	   5000000 ns/op	      7000 B/op	      49 allocs/op
+BenchmarkMinDist/table-8                    	 5000000	       219 ns/op	         0 B/op	       0 allocs/op
+BenchmarkMinDist/table-8                    	 5000000	       225 ns/op	         0 B/op	       0 allocs/op
+BenchmarkVerify/encoded-early-abandon-8     	 6000000	       206 ns/op	         0 B/op	       0 allocs/op
+PASS
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	ms, err := ParseBench(strings.NewReader(baseBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := ms["BenchmarkParallelSearch/workers=1"]
+	if !ok {
+		t.Fatalf("missing workers=1; have %v", ms)
+	}
+	if len(m.NsPerOp) != 2 || m.MinNs() != 5400000 {
+		t.Fatalf("workers=1 runs %v, min %v", m.NsPerOp, m.MinNs())
+	}
+	if m.AllocsPerOp != 23 || m.BytesPerOp != 3500 {
+		t.Fatalf("workers=1 allocs %v bytes %v", m.AllocsPerOp, m.BytesPerOp)
+	}
+	if got := ms["BenchmarkMinDist/table"].MinNs(); got != 219 {
+		t.Fatalf("table min %v", got)
+	}
+}
+
+func TestGatePassesOnEqualAndFaster(t *testing.T) {
+	head := strings.ReplaceAll(baseBench, "5400000", "4300000") // faster is fine
+	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed {
+		t.Fatalf("gate failed on a speedup: %+v", report.Compared)
+	}
+	if len(report.Compared) != 4 {
+		t.Fatalf("compared %d benchmarks, want 4", len(report.Compared))
+	}
+}
+
+// TestGateTripsOnTimeRegression is the gate's dry run: a synthetic head
+// 5x slower on one benchmark must fail.
+func TestGateTripsOnTimeRegression(t *testing.T) {
+	head := strings.ReplaceAll(baseBench, "   5400000 ns/op", "  27000000 ns/op")
+	head = strings.ReplaceAll(head, "   5500000 ns/op", "  27500000 ns/op")
+	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Failed {
+		t.Fatal("gate passed a 5x time regression")
+	}
+	var hit bool
+	for _, c := range report.Compared {
+		if c.Name == "BenchmarkParallelSearch/workers=1" && len(c.Regressions) > 0 {
+			hit = true
+			if c.TimeRatio < 4.9 || c.TimeRatio > 5.1 {
+				t.Fatalf("ratio %v, want ~5", c.TimeRatio)
+			}
+		}
+	}
+	if !hit {
+		t.Fatalf("regression not attributed to the slowed benchmark: %+v", report.Compared)
+	}
+}
+
+func TestGateTripsOnAllocRegression(t *testing.T) {
+	// Times unchanged; one benchmark grows a single allocation.
+	head := strings.ReplaceAll(baseBench, "       0 allocs/op", "       1 allocs/op")
+	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Failed {
+		t.Fatal("gate passed an alloc/op regression")
+	}
+}
+
+func TestGateIgnoresNoiseFloor(t *testing.T) {
+	// A 219ns benchmark jumping 30% stays under the 400ns floor: not gated.
+	head := strings.ReplaceAll(baseBench, "       219 ns/op", "       290 ns/op")
+	head = strings.ReplaceAll(head, "       225 ns/op", "       292 ns/op")
+	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed {
+		t.Fatalf("gate failed inside the noise floor: %+v", report.Compared)
+	}
+}
+
+func TestGateToleratesMissingBenchmarks(t *testing.T) {
+	// Head adds a benchmark the base lacks (the common first-PR case) and
+	// the base has one the head dropped: reported, never gated.
+	head := baseBench + "BenchmarkNewThing-8    100    999999 ns/op    10 B/op    1 allocs/op\n"
+	base := baseBench + "BenchmarkOldThing-8    100    999999 ns/op    10 B/op    1 allocs/op\n"
+	report, err := gate(writeTemp(t, "base.txt", base), writeTemp(t, "head.txt", head), 1.15, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed {
+		t.Fatal("gate failed on asymmetric benchmark sets")
+	}
+	if len(report.HeadOnly) != 1 || report.HeadOnly[0] != "BenchmarkNewThing" {
+		t.Fatalf("head-only %v", report.HeadOnly)
+	}
+	if len(report.BaseOnly) != 1 || report.BaseOnly[0] != "BenchmarkOldThing" {
+		t.Fatalf("base-only %v", report.BaseOnly)
+	}
+}
+
+func TestReportJSONRoundTrips(t *testing.T) {
+	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", baseBench), 1.15, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Failed || len(back.Compared) != len(report.Compared) {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement aggregates every run of one benchmark in a `go test -bench`
+// output file. Runs of the same benchmark (from -count > 1) accumulate so
+// the gate can compare noise-resistant summaries instead of single samples.
+type Measurement struct {
+	Name    string    // benchmark name with the -GOMAXPROCS suffix stripped
+	NsPerOp []float64 // one entry per run
+	// AllocsPerOp / BytesPerOp are -1 until a run reports them (-benchmem
+	// or b.ReportAllocs); allocation counts are deterministic, so the gate
+	// keeps the minimum across runs.
+	AllocsPerOp float64
+	BytesPerOp  float64
+}
+
+// MinNs returns the fastest run — the standard noise-robust summary for
+// best-case comparisons: external interference only ever slows a run down,
+// so the minimum is the closest observable to the code's true cost.
+func (m *Measurement) MinNs() float64 {
+	min := m.NsPerOp[0]
+	for _, v := range m.NsPerOp[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// ParseBench reads `go test -bench` output and returns the measurements
+// keyed by benchmark name. Lines that are not benchmark results (headers,
+// PASS, custom metrics printed by the harness) are skipped.
+func ParseBench(r io.Reader) (map[string]*Measurement, error) {
+	out := map[string]*Measurement{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shape: Name iterations value unit [value unit]...
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // not an iteration count; some other Benchmark-prefixed line
+		}
+		name := normalizeName(fields[0])
+		m := out[name]
+		if m == nil {
+			m = &Measurement{Name: name, AllocsPerOp: -1, BytesPerOp: -1}
+			out[name] = m
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = append(m.NsPerOp, val)
+			case "allocs/op":
+				if m.AllocsPerOp < 0 || val < m.AllocsPerOp {
+					m.AllocsPerOp = val
+				}
+			case "B/op":
+				if m.BytesPerOp < 0 || val < m.BytesPerOp {
+					m.BytesPerOp = val
+				}
+			}
+		}
+		if len(m.NsPerOp) == 0 {
+			delete(out, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading bench output: %w", err)
+	}
+	return out, nil
+}
+
+// normalizeName strips the trailing -N GOMAXPROCS suffix go test appends,
+// so results compare across machines with different core counts.
+func normalizeName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// sortedNames returns the benchmark names present in both maps, sorted.
+func sortedNames(base, head map[string]*Measurement) []string {
+	var names []string
+	for name := range head {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/workload"
@@ -19,8 +20,9 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E9) or 'all'")
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E13) or 'all'")
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+		shards  = flag.String("shards", "", "comma-separated shard counts for the E13 sharding experiment (default 1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -34,11 +36,25 @@ func main() {
 		cfg.E6Batches, cfg.E6BatchSize, cfg.E6Queries = 20, 50, 4
 		cfg.E7N, cfg.E7Queries = 2000, 5
 		cfg.E9Sizes = []int{1000, 2000}
+		cfg.E13N, cfg.E13Queries = 2000, 16
+		cfg.E13Shards = []int{1, 2, 4}
+	}
+	if *shards != "" {
+		var counts []int
+		for _, part := range strings.Split(*shards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "coconut-bench: bad -shards value %q\n", part)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		cfg.E13Shards = counts
 	}
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
 			want[id] = true
 		}
 	} else {
@@ -141,6 +157,13 @@ func run(cfg workload.RunConfig, want map[string]bool) error {
 	}
 	if want["E12"] {
 		t, err := workload.E12Recall(sc, cfg.E2N/2, 50)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E13"] {
+		t, err := workload.E13Sharding(sc, cfg.E13N, cfg.E13Queries, cfg.E13K, cfg.E13Shards)
 		if err != nil {
 			return err
 		}

@@ -30,10 +30,17 @@ func main() {
 	// reproduces the paper's single-stream numbers; opt into the parallel
 	// engine per server (-parallelism) or per build request.
 	par := flag.Int("parallelism", 1, "default per-query worker pool size for builds (1 = serial, matching the paper's accounting; -1 = one worker per CPU)")
+	shards := flag.Int("shards", 0, "default shard count for builds (0 or 1 = unsharded; N > 1 hash-partitions each build across N shards, queries fan across them)")
 	flag.Parse()
+	// Reject a bad default at startup: otherwise every build request that
+	// leaves "shards" unset would fail with a 400 blaming the client.
+	if *shards < 0 || *shards > 256 {
+		log.Fatalf("coconut-server: -shards must be in [0, 256], got %d", *shards)
+	}
 
 	s := server.New()
 	s.SetDefaultParallelism(*par)
+	s.SetDefaultShards(*shards)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

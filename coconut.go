@@ -13,6 +13,9 @@
 //     continuously arriving series.
 //   - Stream: temporal-window exploration over streams using the PP, TP, or
 //     BTP schemes.
+//   - Sharded: N independent Tree or LSM shards behind one facade, series
+//     hash-partitioned across them, probes fanned out and merged
+//     deterministically.
 //   - Recommend: the decision-tree recommender that picks a configuration
 //     for a scenario and explains why.
 //
@@ -34,6 +37,22 @@
 // patterns against the paper. Completed indexes are safe for concurrent
 // searches from multiple goroutines; inserts still require external
 // serialization against searches.
+//
+// # Sharding and batching
+//
+// Sharded (BuildShardedTree / NewShardedLSM) hash-partitions series across
+// N complete sub-indexes, each on its own simulated disk, and answers by
+// fanning probes across the shards. Exact and range results are
+// byte-identical to the unsharded index's at every shard count: placement
+// is a pure function of the series ID, distances are per-pair, each
+// shard's top-k is exhaustive over its subset, and per-shard answers merge
+// through the same order-independent collectors the parallel engine uses.
+//
+// SearchBatch on Tree, LSM, and Sharded executes many queries through
+// pooled per-worker search contexts — tables refilled per query, scratch
+// buffers reused across the batch — moving parallelism from within one
+// scan to across queries. Every batched answer is byte-identical to the
+// corresponding single Search.
 package coconut
 
 import (

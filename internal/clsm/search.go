@@ -2,6 +2,7 @@ package clsm
 
 import (
 	"repro/internal/index"
+	"repro/internal/parallel"
 	"repro/internal/record"
 	"repro/internal/sortable"
 )
@@ -29,7 +30,7 @@ func (l *LSM) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 	ctx := index.AcquireCtx(q, l.opts.Config)
 	defer ctx.Release()
 	col := index.NewCollector(k)
-	if err := l.approxInto(q, col, ctx); err != nil {
+	if err := l.approxInto(q, col, ctx, l.pool); err != nil {
 		return nil, err
 	}
 	return col.Results(), nil
@@ -38,11 +39,11 @@ func (l *LSM) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 // approxInto runs the approximate phase into col with an already-acquired
 // context, so ExactSearch shares one context (and one table fill) across
 // both phases.
-func (l *LSM) approxInto(q index.Query, col *index.Collector, ctx *index.SearchCtx) error {
+func (l *LSM) approxInto(q index.Query, col *index.Collector, ctx *index.SearchCtx, pool *parallel.Pool) error {
 	if err := l.scanBuffer(q, col, false, ctx.Scratch0()); err != nil {
 		return err
 	}
-	return l.forEachRun(l.allRuns(), ctx, col, func(r run, sc *index.Scratch, col *index.Collector) error {
+	return l.forEachRun(l.allRuns(), ctx, col, pool, func(r run, sc *index.Scratch, col *index.Collector) error {
 		return l.probeRun(r, q, col, sc)
 	})
 }
@@ -55,24 +56,64 @@ func (l *LSM) approxInto(q index.Query, col *index.Collector, ctx *index.SearchC
 func (l *LSM) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	ctx := index.AcquireCtx(q, l.opts.Config)
 	defer ctx.Release()
-	col := index.NewCollector(k)
-	if err := l.approxInto(q, col, ctx); err != nil {
-		return nil, err
-	}
-	err := l.forEachRun(l.allRuns(), ctx, col, func(r run, sc *index.Scratch, col *index.Collector) error {
-		return l.scanRun(r, q, col, sc)
+	return l.exactCtx(q, k, ctx, l.pool)
+}
+
+// ExactSearchCtx answers an exact k-NN query with a caller-managed context
+// (already filled for q — see index.SearchCtx.Refill) and a serial scan.
+// Batch executors and sharded probes use it to own the parallelism at a
+// coarser grain: across queries, or across shards, instead of within one
+// scan. Results are byte-identical to ExactSearch.
+func (l *LSM) ExactSearchCtx(q index.Query, k int, ctx *index.SearchCtx) ([]index.Result, error) {
+	return l.exactCtx(q, k, ctx, index.SerialPool)
+}
+
+// ExactSearchColl is ExactSearchCtx returning the collector itself, exact
+// squared sums intact, for the sharded merge (see index.CollSearcher).
+func (l *LSM) ExactSearchColl(q index.Query, k int, ctx *index.SearchCtx) (*index.Collector, error) {
+	return l.exactColl(q, k, ctx, index.SerialPool)
+}
+
+// ExactSearchBatch answers one exact k-NN query per element of qs, pipelined
+// over the LSM's worker pool: each worker slot reuses one search context
+// (tables refilled per query, scratch buffers persistent) for every query it
+// executes. out[i] is byte-identical to ExactSearch(qs[i], k).
+func (l *LSM) ExactSearchBatch(qs []index.Query, k int) ([][]index.Result, error) {
+	return index.Batch(l.pool, l.opts.Config, qs, func(q index.Query, ctx *index.SearchCtx) ([]index.Result, error) {
+		return l.ExactSearchCtx(q, k, ctx)
 	})
+}
+
+// exactCtx is the exact-search core: approximate phase to seed the bound,
+// then the full pruned run scans, both over the given pool.
+func (l *LSM) exactCtx(q index.Query, k int, ctx *index.SearchCtx, pool *parallel.Pool) ([]index.Result, error) {
+	col, err := l.exactColl(q, k, ctx, pool)
 	if err != nil {
 		return nil, err
 	}
 	return col.Results(), nil
 }
 
+// exactColl runs the exact search and returns the filled collector.
+func (l *LSM) exactColl(q index.Query, k int, ctx *index.SearchCtx, pool *parallel.Pool) (*index.Collector, error) {
+	col := index.NewCollector(k)
+	if err := l.approxInto(q, col, ctx, pool); err != nil {
+		return nil, err
+	}
+	err := l.forEachRun(l.allRuns(), ctx, col, pool, func(r run, sc *index.Scratch, col *index.Collector) error {
+		return l.scanRun(r, q, col, sc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
 // forEachRun applies scan to every run through index.FanOut: serial into
 // col directly with one worker, per-worker pooled clones merged back
 // otherwise, identical results either way.
-func (l *LSM) forEachRun(runs []run, ctx *index.SearchCtx, col *index.Collector, scan func(run, *index.Scratch, *index.Collector) error) error {
-	return index.FanOut(l.pool, len(runs), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
+func (l *LSM) forEachRun(runs []run, ctx *index.SearchCtx, col *index.Collector, pool *parallel.Pool, scan func(run, *index.Scratch, *index.Collector) error) error {
+	return index.FanOut(pool, len(runs), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
 		func(i int, col *index.Collector, sc *index.Scratch) error {
 			return scan(runs[i], sc, col)
 		})
@@ -225,4 +266,7 @@ var (
 	_ index.Index         = (*LSM)(nil)
 	_ index.Inserter      = (*LSM)(nil)
 	_ index.RangeSearcher = (*LSM)(nil)
+	_ index.CtxSearcher   = (*LSM)(nil)
+	_ index.CollSearcher  = (*LSM)(nil)
+	_ index.BatchSearcher = (*LSM)(nil)
 )

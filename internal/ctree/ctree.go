@@ -90,10 +90,10 @@ type Tree struct {
 	// It is nil while the bulk-loaded identity mapping holds and is
 	// materialized by the first split, whose appended page breaks it.
 	pageOf   []int64
-	capacity int   // max entries per leaf page
-	target   int   // entries per leaf at build time (fill factor applied)
-	count    int64 // total entries
-	nextID64 int64 // next auto-assigned insert ID
+	capacity int    // max entries per leaf page
+	target   int    // entries per leaf at build time (fill factor applied)
+	count    int64  // total entries
+	nextID64 int64  // next auto-assigned insert ID
 	pageBuf  []byte // insert-path scratch; searches allocate their own
 	pool     *parallel.Pool
 }

@@ -2,6 +2,7 @@ package ctree
 
 import (
 	"repro/internal/index"
+	"repro/internal/parallel"
 )
 
 // Search in a CTree fans out over contiguous leaf ranges: the leaf file is
@@ -78,11 +79,11 @@ func (t *Tree) scanLeafInto(li int, q index.Query, col *index.Collector, sc *ind
 }
 
 // leafChunks splits the leaf directory into one contiguous range per
-// available worker, so each worker keeps the sequential access pattern the
-// compact layout buys within its own range.
-func (t *Tree) leafChunks() [][2]int {
+// available worker of the given pool, so each worker keeps the sequential
+// access pattern the compact layout buys within its own range.
+func (t *Tree) leafChunks(pool *parallel.Pool) [][2]int {
 	n := len(t.leaves)
-	w := t.pool.WorkersFor(n)
+	w := pool.WorkersFor(n)
 	chunks := make([][2]int, 0, w)
 	for i := 0; i < w; i++ {
 		lo := i * n / w
@@ -105,22 +106,62 @@ func (t *Tree) leafChunks() [][2]int {
 func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	ctx := index.AcquireCtx(q, t.opts.Config)
 	defer ctx.Release()
+	return t.exactCtx(q, k, ctx, t.pool)
+}
+
+// ExactSearchCtx answers an exact k-NN query with a caller-managed context
+// (already filled for q — see index.SearchCtx.Refill) and a serial scan.
+// Batch executors and sharded probes use it to own the parallelism at a
+// coarser grain: across queries, or across shards, instead of within one
+// scan. Results are byte-identical to ExactSearch.
+func (t *Tree) ExactSearchCtx(q index.Query, k int, ctx *index.SearchCtx) ([]index.Result, error) {
+	return t.exactCtx(q, k, ctx, index.SerialPool)
+}
+
+// ExactSearchColl is ExactSearchCtx returning the collector itself, exact
+// squared sums intact, for the sharded merge (see index.CollSearcher).
+func (t *Tree) ExactSearchColl(q index.Query, k int, ctx *index.SearchCtx) (*index.Collector, error) {
+	return t.exactColl(q, k, ctx, index.SerialPool)
+}
+
+// ExactSearchBatch answers one exact k-NN query per element of qs, pipelined
+// over the tree's worker pool: each worker slot reuses one search context
+// (tables refilled per query, scratch buffers persistent) for every query it
+// executes. out[i] is byte-identical to ExactSearch(qs[i], k).
+func (t *Tree) ExactSearchBatch(qs []index.Query, k int) ([][]index.Result, error) {
+	return index.Batch(t.pool, t.opts.Config, qs, func(q index.Query, ctx *index.SearchCtx) ([]index.Result, error) {
+		return t.ExactSearchCtx(q, k, ctx)
+	})
+}
+
+// exactCtx is the exact-search core: approximate phase to seed the bound,
+// then the pruned scan of the leaf file striped across the given pool.
+func (t *Tree) exactCtx(q index.Query, k int, ctx *index.SearchCtx, pool *parallel.Pool) ([]index.Result, error) {
+	col, err := t.exactColl(q, k, ctx, pool)
+	if err != nil {
+		return nil, err
+	}
+	return col.Results(), nil
+}
+
+// exactColl runs the exact search and returns the filled collector.
+func (t *Tree) exactColl(q index.Query, k int, ctx *index.SearchCtx, pool *parallel.Pool) (*index.Collector, error) {
 	col := index.NewCollector(k)
 	if len(t.leaves) == 0 {
-		return col.Results(), nil
+		return col, nil
 	}
 	if err := t.approxInto(q, k, col, ctx); err != nil {
 		return nil, err
 	}
-	chunks := t.leafChunks()
-	err := index.FanOut(t.pool, len(chunks), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
+	chunks := t.leafChunks(pool)
+	err := index.FanOut(pool, len(chunks), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
 		func(i int, col *index.Collector, sc *index.Scratch) error {
 			return t.exactScanRange(chunks[i][0], chunks[i][1], q, col, sc)
 		})
 	if err != nil {
 		return nil, err
 	}
-	return col.Results(), nil
+	return col, nil
 }
 
 // exactScanRange scans leaves [lo, hi) with squared lower-bound pruning
@@ -148,7 +189,7 @@ func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 	if len(t.leaves) == 0 {
 		return col.Results(), nil
 	}
-	chunks := t.leafChunks()
+	chunks := t.leafChunks(t.pool)
 	err := index.FanOut(t.pool, len(chunks), ctx, col, (*index.RangeCollector).PooledClone, (*index.RangeCollector).MergeRelease,
 		func(i int, col *index.RangeCollector, sc *index.Scratch) error {
 			return t.rangeScanRange(chunks[i][0], chunks[i][1], q, col, sc)
@@ -178,4 +219,7 @@ var (
 	_ index.Index         = (*Tree)(nil)
 	_ index.Inserter      = (*Tree)(nil)
 	_ index.RangeSearcher = (*Tree)(nil)
+	_ index.CtxSearcher   = (*Tree)(nil)
+	_ index.CollSearcher  = (*Tree)(nil)
+	_ index.BatchSearcher = (*Tree)(nil)
 )

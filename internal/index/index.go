@@ -305,6 +305,17 @@ func (c *Collector) WorstSq() float64 {
 // Full reports whether k results have been collected.
 func (c *Collector) Full() bool { return len(c.items) >= c.k }
 
+// Each visits every collected result with its exact squared distance, in
+// unspecified (heap) order. The sharded merge uses it to fold per-shard
+// collectors together on the original accumulated sums — the same ordering
+// keys the unsharded collector compares — so sharding preserves even
+// sub-ulp tie-breaks that re-squaring a reported distance could lose.
+func (c *Collector) Each(fn func(id, ts int64, distSq float64)) {
+	for _, it := range c.items {
+		fn(it.id, it.ts, it.distSq)
+	}
+}
+
 // Results returns the collected results sorted by ascending distance. This
 // is the only place squared distances convert back to true distances.
 func (c *Collector) Results() []Result {

@@ -23,8 +23,15 @@ import (
 )
 
 // Server is the algorithms server. Create with New and mount via Handler.
+//
+// Locking: mu is a read-write lock guarding only the registries (datasets,
+// builds, seq). Query execution never runs under it — handlers take a read
+// lock just long enough to resolve an ID, release it, and then search;
+// completed indexes are safe for concurrent searches, so any number of
+// queries proceed in parallel, and registrations (POST /api/datasets,
+// /api/build) only contend on the brief map updates.
 type Server struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	datasets map[string]*dataset
 	builds   map[string]*build
 	seq      int
@@ -32,6 +39,9 @@ type Server struct {
 	// defaultParallelism applies to builds whose request leaves the
 	// parallelism field unset; 0 keeps the workload default (serial).
 	defaultParallelism int
+	// defaultShards applies to builds whose request leaves the shards field
+	// unset; 0 or 1 keeps builds unsharded.
+	defaultShards int
 }
 
 type dataset struct {
@@ -64,6 +74,22 @@ func New() *Server {
 // the setting is not synchronized with in-flight requests.
 func (s *Server) SetDefaultParallelism(n int) { s.defaultParallelism = n }
 
+// SetDefaultShards sets the shard count applied to builds whose request
+// does not specify one: n > 1 hash-partitions every new build across n
+// independent shards queried through the sharding layer; 0 or 1 keeps
+// builds unsharded. Call before serving; the setting is not synchronized
+// with in-flight requests.
+func (s *Server) SetDefaultShards(n int) { s.defaultShards = n }
+
+// lookupBuild resolves a build ID under a read lock, so concurrent queries
+// never serialize on the registry mutex.
+func (s *Server) lookupBuild(id string) (*build, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.builds[id]
+	return b, ok
+}
+
 // Handler returns the HTTP handler exposing the REST API under /api/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -72,6 +98,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/datasets", s.handleDatasets)
 	mux.HandleFunc("/api/build", s.handleBuild)
 	mux.HandleFunc("/api/query", s.handleQuery)
+	mux.HandleFunc("/api/query/batch", s.handleQueryBatch)
+	mux.HandleFunc("/api/stats", s.handleStats)
 	mux.HandleFunc("/api/recommend", s.handleRecommend)
 	mux.HandleFunc("/api/heatmap", s.handleHeatmap)
 	return mux
@@ -128,8 +156,8 @@ type DatasetResponse struct {
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		s.mu.Lock()
-		defer s.mu.Unlock()
+		s.mu.RLock()
+		defer s.mu.RUnlock()
 		out := []DatasetResponse{}
 		for _, d := range s.datasets {
 			out = append(out, DatasetResponse{ID: d.id, Kind: d.kind, Count: d.ds.Count(), Len: d.ds.Len})
@@ -192,6 +220,11 @@ type BuildRequest struct {
 	// back to the server default, 1 is serial, negative selects GOMAXPROCS.
 	// Answers are identical at every setting.
 	Parallelism int `json:"parallelism"`
+	// Shards > 1 hash-partitions the build across that many independent
+	// shards, each on its own disk, with queries fanned across them; unset
+	// or 0 falls back to the server default, 1 forces unsharded. Answers
+	// are identical at every setting.
+	Shards int `json:"shards"`
 }
 
 // BuildResponse reports construction accounting, the numbers the demo GUI
@@ -206,6 +239,7 @@ type BuildResponse struct {
 	IndexPages int64   `json:"index_pages"`
 	RawPages   int64   `json:"raw_pages"`
 	BuildMilli int64   `json:"build_ms"`
+	Shards     int     `json:"shards"`
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
@@ -218,9 +252,9 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	d, ok := s.datasets[req.Dataset]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "dataset %q not found", req.Dataset)
 		return
@@ -239,18 +273,26 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	if req.Parallelism == 0 {
 		req.Parallelism = s.defaultParallelism
 	}
+	if req.Shards == 0 {
+		req.Shards = s.defaultShards
+	}
+	if req.Shards < 0 || req.Shards > 256 {
+		writeError(w, http.StatusBadRequest, "shards must be in [0, 256], got %d", req.Shards)
+		return
+	}
 	b, err := workload.BuildVariant(req.Variant, d.ds, cfg, workload.BuildOptions{
 		FillFactor:   req.FillFactor,
 		GrowthFactor: req.GrowthFactor,
 		MemBudget:    req.MemBudget,
 		Parallelism:  req.Parallelism,
+		Shards:       req.Shards,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "build failed: %v", err)
 		return
 	}
 	rec := heatmap.NewRecorder()
-	b.Disk.SetTracer(rec)
+	b.SetTracer(rec)
 	s.mu.Lock()
 	id := s.nextID("build")
 	s.builds[id] = &build{id: id, variant: req.Variant, cfg: cfg, built: b, rec: rec}
@@ -266,6 +308,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		IndexPages: b.IndexPages,
 		RawPages:   b.RawPages,
 		BuildMilli: b.BuildTime.Milliseconds(),
+		Shards:     b.Shards(),
 	})
 }
 
@@ -305,9 +348,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
-	s.mu.Lock()
-	b, ok := s.builds[req.Build]
-	s.mu.Unlock()
+	b, ok := s.lookupBuild(req.Build)
 	if !ok {
 		writeError(w, http.StatusNotFound, "build %q not found", req.Build)
 		return
@@ -323,7 +364,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.MinTS != nil && req.MaxTS != nil {
 		q = q.WithWindow(*req.MinTS, *req.MaxTS)
 	}
-	before := b.built.Disk.Stats()
+	before := b.built.IOStats()
 	var rs []index.Result
 	var err error
 	if req.Exact {
@@ -335,7 +376,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
 		return
 	}
-	diff := b.built.Disk.Stats().Sub(before)
+	diff := b.built.IOStats().Sub(before)
 	resp := QueryResponse{
 		Cost:   diff.Cost(s.cost),
 		SeqIO:  diff.SeqReads + diff.SeqWrites,
@@ -343,6 +384,158 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, res := range rs {
 		resp.Results = append(resp.Results, QueryResult{ID: res.ID, TS: res.TS, Dist: res.Dist})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchQueryRequest issues many similarity queries against a build in one
+// round trip. All queries share k and the exact/approximate mode.
+type BatchQueryRequest struct {
+	Build   string      `json:"build"`
+	Queries [][]float64 `json:"queries"`
+	K       int         `json:"k"`
+	Exact   bool        `json:"exact"`
+}
+
+// BatchQueryResponse reports per-query answers plus the batch's aggregate
+// I/O cost.
+type BatchQueryResponse struct {
+	Results [][]QueryResult `json:"results"`
+	Queries int             `json:"queries"`
+	Cost    float64         `json:"cost"`
+	SeqIO   int64           `json:"seq_io"`
+	RandIO  int64           `json:"rand_io"`
+}
+
+// handleQueryBatch answers POST /api/query/batch: many queries executed
+// through the index's pipelined batch path when it has one (exact mode on
+// Tree/LSM/sharded indexes — pooled per-worker search contexts, queries
+// spread across the worker pool), falling back to a per-query loop
+// otherwise. Each answer is byte-identical to the corresponding single
+// /api/query call.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BatchQueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	b, ok := s.lookupBuild(req.Build)
+	if !ok {
+		writeError(w, http.StatusNotFound, "build %q not found", req.Build)
+		return
+	}
+	if len(req.Queries) == 0 || len(req.Queries) > 1<<16 {
+		writeError(w, http.StatusBadRequest, "queries must number in (0, 65536], got %d", len(req.Queries))
+		return
+	}
+	if req.K <= 0 {
+		req.K = 1
+	}
+	qs := make([]index.Query, len(req.Queries))
+	for i, raw := range req.Queries {
+		if len(raw) != b.cfg.SeriesLen {
+			writeError(w, http.StatusBadRequest, "query %d length %d, want %d", i, len(raw), b.cfg.SeriesLen)
+			return
+		}
+		qs[i] = index.NewQuery(series.Series(raw), b.cfg)
+	}
+	before := b.built.IOStats()
+	var rss [][]index.Result
+	var err error
+	if bs, ok := b.built.Index.(index.BatchSearcher); ok && req.Exact {
+		rss, err = bs.ExactSearchBatch(qs, req.K)
+	} else {
+		rss = make([][]index.Result, len(qs))
+		for i, q := range qs {
+			if req.Exact {
+				rss[i], err = b.built.Index.ExactSearch(q, req.K)
+			} else {
+				rss[i], err = b.built.Index.ApproxSearch(q, req.K)
+			}
+			if err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "batch query failed: %v", err)
+		return
+	}
+	diff := b.built.IOStats().Sub(before)
+	resp := BatchQueryResponse{
+		Results: make([][]QueryResult, len(rss)),
+		Queries: len(rss),
+		Cost:    diff.Cost(s.cost),
+		SeqIO:   diff.SeqReads + diff.SeqWrites,
+		RandIO:  diff.RandReads + diff.RandWrites,
+	}
+	for i, rs := range rss {
+		out := make([]QueryResult, 0, len(rs))
+		for _, res := range rs {
+			out = append(out, QueryResult{ID: res.ID, TS: res.TS, Dist: res.Dist})
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DiskStats is the JSON shape of one disk's accounting.
+type DiskStats struct {
+	SeqReads   int64   `json:"seq_reads"`
+	RandReads  int64   `json:"rand_reads"`
+	SeqWrites  int64   `json:"seq_writes"`
+	RandWrites int64   `json:"rand_writes"`
+	Cost       float64 `json:"cost"`
+}
+
+// StatsResponse reports a build's I/O accounting since construction:
+// aggregate over every disk backing the build, plus the per-shard
+// breakdown (one entry, equal to the aggregate, for unsharded builds).
+type StatsResponse struct {
+	Build     string      `json:"build"`
+	Variant   string      `json:"variant"`
+	Shards    int         `json:"shards"`
+	Aggregate DiskStats   `json:"aggregate"`
+	PerShard  []DiskStats `json:"per_shard"`
+}
+
+func (s *Server) diskStats(st storage.Stats) DiskStats {
+	return DiskStats{
+		SeqReads: st.SeqReads, RandReads: st.RandReads,
+		SeqWrites: st.SeqWrites, RandWrites: st.RandWrites,
+		Cost: st.Cost(s.cost),
+	}
+}
+
+// handleStats answers GET /api/stats?build=...: the per-shard and
+// aggregate I/O accounting of a build's disks.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := r.URL.Query().Get("build")
+	b, ok := s.lookupBuild(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "build %q not found", id)
+		return
+	}
+	resp := StatsResponse{
+		Build:     id,
+		Variant:   b.built.Index.Name(),
+		Shards:    b.built.Shards(),
+		Aggregate: s.diskStats(b.built.IOStats()),
+	}
+	if len(b.built.ShardDisks) > 0 {
+		for _, d := range b.built.ShardDisks {
+			resp.PerShard = append(resp.PerShard, s.diskStats(d.Stats()))
+		}
+	} else {
+		resp.PerShard = []DiskStats{resp.Aggregate}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -405,9 +598,7 @@ func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.URL.Query().Get("build")
-	s.mu.Lock()
-	b, ok := s.builds[id]
-	s.mu.Unlock()
+	b, ok := s.lookupBuild(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "build %q not found", id)
 		return

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -259,5 +261,210 @@ func TestDatasetKinds(t *testing.T) {
 		if d.Count != 50 {
 			t.Fatalf("%s: count %d", kind, d.Count)
 		}
+	}
+}
+
+func TestShardedBuildAndQuery(t *testing.T) {
+	ts := newTestServer(t)
+	var d DatasetResponse
+	postJSON(t, ts.URL+"/api/datasets", DatasetRequest{Kind: "astronomy", N: 400, Len: 64, Seed: 3}, &d)
+
+	var plain, sharded BuildResponse
+	if code := postJSON(t, ts.URL+"/api/build", BuildRequest{Dataset: d.ID, Variant: "CTreeFull", Segments: 8, Bits: 8}, &plain); code != http.StatusCreated {
+		t.Fatalf("plain build status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/build", BuildRequest{Dataset: d.ID, Variant: "CTreeFull", Segments: 8, Bits: 8, Shards: 4}, &sharded); code != http.StatusCreated {
+		t.Fatalf("sharded build status %d", code)
+	}
+	if sharded.Shards != 4 || plain.Shards != 1 {
+		t.Fatalf("shards reported %d and %d, want 4 and 1", sharded.Shards, plain.Shards)
+	}
+	if sharded.Count != plain.Count {
+		t.Fatalf("sharded count %d, plain %d", sharded.Count, plain.Count)
+	}
+
+	// Same queries against both builds must return identical answers.
+	q := make([]float64, 64)
+	for i := range q {
+		q[i] = float64((i * 13) % 11)
+	}
+	var rp, rs QueryResponse
+	postJSON(t, ts.URL+"/api/query", QueryRequest{Build: plain.ID, Series: q, K: 3, Exact: true}, &rp)
+	postJSON(t, ts.URL+"/api/query", QueryRequest{Build: sharded.ID, Series: q, K: 3, Exact: true}, &rs)
+	if len(rp.Results) != 3 || len(rs.Results) != 3 {
+		t.Fatalf("results %d and %d, want 3", len(rp.Results), len(rs.Results))
+	}
+	for i := range rp.Results {
+		if rp.Results[i] != rs.Results[i] {
+			t.Fatalf("result %d diverges: plain %+v sharded %+v", i, rp.Results[i], rs.Results[i])
+		}
+	}
+	if code := postJSON(t, ts.URL+"/api/build", BuildRequest{Dataset: d.ID, Variant: "CTree", Shards: 1000}, nil); code != http.StatusBadRequest {
+		t.Fatalf("absurd shard count status %d", code)
+	}
+
+	// The sharded heat map must keep shard files distinct: every shard's
+	// disk reuses the same constant file names, so the tracer namespaces
+	// them per shard.
+	var h HeatmapResponse
+	if code := getJSON(t, ts.URL+"/api/heatmap?build="+sharded.ID, &h); code != http.StatusOK {
+		t.Fatalf("sharded heatmap status %d", code)
+	}
+	prefixes := map[string]bool{}
+	for _, m := range h.Maps {
+		if !strings.HasPrefix(m.File, "shard") {
+			t.Fatalf("sharded heatmap file %q lacks a shard prefix", m.File)
+		}
+		prefixes[strings.SplitN(m.File, "/", 2)[0]] = true
+	}
+	if len(prefixes) < 2 {
+		t.Fatalf("sharded heatmap shows %d shard namespaces, want several: %v", len(prefixes), prefixes)
+	}
+}
+
+func TestBatchQueryEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var d DatasetResponse
+	postJSON(t, ts.URL+"/api/datasets", DatasetRequest{Kind: "astronomy", N: 400, Len: 64, Seed: 4}, &d)
+	var b BuildResponse
+	if code := postJSON(t, ts.URL+"/api/build", BuildRequest{Dataset: d.ID, Variant: "CTreeFull", Segments: 8, Bits: 8, Shards: 3, Parallelism: 2}, &b); code != http.StatusCreated {
+		t.Fatalf("build status %d", code)
+	}
+	queries := make([][]float64, 5)
+	for i := range queries {
+		queries[i] = make([]float64, 64)
+		for j := range queries[i] {
+			queries[i][j] = float64((i + j*j) % 17)
+		}
+	}
+	var batch BatchQueryResponse
+	if code := postJSON(t, ts.URL+"/api/query/batch", BatchQueryRequest{Build: b.ID, Queries: queries, K: 3, Exact: true}, &batch); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if batch.Queries != 5 || len(batch.Results) != 5 {
+		t.Fatalf("batch reported %d/%d result sets, want 5", batch.Queries, len(batch.Results))
+	}
+	// Each batched answer must match the corresponding single query.
+	for i, q := range queries {
+		var single QueryResponse
+		postJSON(t, ts.URL+"/api/query", QueryRequest{Build: b.ID, Series: q, K: 3, Exact: true}, &single)
+		if len(single.Results) != len(batch.Results[i]) {
+			t.Fatalf("query %d: single %d results, batch %d", i, len(single.Results), len(batch.Results[i]))
+		}
+		for j := range single.Results {
+			if single.Results[j] != batch.Results[i][j] {
+				t.Fatalf("query %d result %d: single %+v batch %+v", i, j, single.Results[j], batch.Results[i][j])
+			}
+		}
+	}
+	// Approximate batches take the fallback loop and still answer.
+	if code := postJSON(t, ts.URL+"/api/query/batch", BatchQueryRequest{Build: b.ID, Queries: queries, K: 2}, &batch); code != http.StatusOK {
+		t.Fatalf("approx batch status %d", code)
+	}
+	var e errorResponse
+	if code := postJSON(t, ts.URL+"/api/query/batch", BatchQueryRequest{Build: b.ID, Queries: nil, K: 1}, &e); code != http.StatusBadRequest {
+		t.Fatalf("empty batch status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/query/batch", BatchQueryRequest{Build: "missing", Queries: queries}, &e); code != http.StatusNotFound {
+		t.Fatalf("missing build status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/api/query/batch", BatchQueryRequest{Build: b.ID, Queries: [][]float64{make([]float64, 3)}}, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad length status %d", code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var d DatasetResponse
+	postJSON(t, ts.URL+"/api/datasets", DatasetRequest{Kind: "astronomy", N: 400, Len: 64, Seed: 5}, &d)
+	var b BuildResponse
+	postJSON(t, ts.URL+"/api/build", BuildRequest{Dataset: d.ID, Variant: "CLSMFull", Segments: 8, Bits: 8, Shards: 4}, &b)
+
+	q := make([]float64, 64)
+	postJSON(t, ts.URL+"/api/query", QueryRequest{Build: b.ID, Series: q, K: 2, Exact: true}, nil)
+
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/api/stats?build="+b.ID, &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Fatalf("stats shards %d with %d per-shard entries, want 4", st.Shards, len(st.PerShard))
+	}
+	var sum DiskStats
+	for _, s := range st.PerShard {
+		sum.SeqReads += s.SeqReads
+		sum.RandReads += s.RandReads
+		sum.SeqWrites += s.SeqWrites
+		sum.RandWrites += s.RandWrites
+	}
+	agg := st.Aggregate
+	agg.Cost, sum.Cost = 0, 0
+	if agg != sum {
+		t.Fatalf("aggregate %+v is not the sum of shards %+v", st.Aggregate, sum)
+	}
+	if st.Aggregate.SeqReads+st.Aggregate.RandReads == 0 {
+		t.Fatal("stats report no reads after a query")
+	}
+	// Unsharded builds report a single per-shard entry equal to the aggregate.
+	var plain BuildResponse
+	postJSON(t, ts.URL+"/api/build", BuildRequest{Dataset: d.ID, Variant: "CTree", Segments: 8, Bits: 8}, &plain)
+	if code := getJSON(t, ts.URL+"/api/stats?build="+plain.ID, &st); code != http.StatusOK {
+		t.Fatalf("plain stats status %d", code)
+	}
+	if st.Shards != 1 || len(st.PerShard) != 1 {
+		t.Fatalf("plain stats shards %d/%d entries", st.Shards, len(st.PerShard))
+	}
+	if code := getJSON(t, ts.URL+"/api/stats?build=missing", nil); code != http.StatusNotFound {
+		t.Fatalf("missing build status %d", code)
+	}
+}
+
+// TestConcurrentQueries issues many parallel queries against one build;
+// with the registry behind an RWMutex the searches themselves run
+// concurrently, and under -race this pins the handler paths as data-race
+// free.
+func TestConcurrentQueries(t *testing.T) {
+	ts := newTestServer(t)
+	_, b := buildOn(t, ts, "CTreeFull")
+	q := make([]float64, 64)
+	for i := range q {
+		q[i] = float64(i % 5)
+	}
+	var want QueryResponse
+	postJSON(t, ts.URL+"/api/query", QueryRequest{Build: b.ID, Series: q, K: 3, Exact: true}, &want)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				buf, _ := json.Marshal(QueryRequest{Build: b.ID, Series: q, K: 3, Exact: true})
+				resp, err := http.Post(ts.URL+"/api/query", "application/json", bytes.NewReader(buf))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var got QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range want.Results {
+					if got.Results[j] != want.Results[j] {
+						errs <- fmt.Errorf("concurrent result %d diverges: %+v vs %+v", j, got.Results[j], want.Results[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

@@ -8,7 +8,9 @@ import (
 	"repro/internal/clsm"
 	"repro/internal/ctree"
 	"repro/internal/index"
+	"repro/internal/parallel"
 	"repro/internal/series"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -88,6 +90,12 @@ type BuildOptions struct {
 	// pass a higher value (or a negative one for GOMAXPROCS) to exercise
 	// the parallel query engine.
 	Parallelism int
+	// Shards > 1 hash-partitions the dataset across that many independent
+	// shards of the chosen variant, each on its own disk, wrapped in a
+	// shard.Sharded that fans queries across them (see internal/shard).
+	// Shard construction and cross-shard probing use the Parallelism pool;
+	// per-shard internals stay serial. 0 or 1 builds the unsharded index.
+	Shards int
 }
 
 // Built is a constructed index plus its cost accounting.
@@ -99,10 +107,63 @@ type Built struct {
 	BuildTime  time.Duration
 	IndexPages int64 // pages used by index structures (excluding raw file)
 	RawPages   int64 // pages used by the raw series file
+	// ShardDisks holds every shard's disk for sharded builds (Disk then
+	// aliases shard 0, keeping single-disk callers working); nil otherwise.
+	ShardDisks []*storage.Disk
 }
 
 // BuildCost returns the I/O cost of construction under the model.
 func (b Built) BuildCost(m storage.CostModel) float64 { return b.BuildStats.Cost(m) }
+
+// IOStats returns the current disk statistics aggregated over every disk
+// backing the build — the one disk of an unsharded index, or all shard
+// disks of a sharded one. Query-cost accounting must diff this, not
+// Disk.Stats, to charge cross-shard probes.
+func (b *Built) IOStats() storage.Stats {
+	if len(b.ShardDisks) == 0 {
+		return b.Disk.Stats()
+	}
+	var agg storage.Stats
+	for _, d := range b.ShardDisks {
+		agg = agg.Add(d.Stats())
+	}
+	return agg
+}
+
+// prefixTracer namespaces one shard's page accesses before forwarding them:
+// every shard's disk reuses the same constant file names ("idx", "raw"), so
+// without the prefix a shared recorder would overlay unrelated files'
+// histograms into one meaningless heat map.
+type prefixTracer struct {
+	prefix string
+	t      storage.Tracer
+}
+
+func (p prefixTracer) Access(file string, page int64, write bool) {
+	p.t.Access(p.prefix+file, page, write)
+}
+
+// SetTracer installs a page-access tracer on every disk backing the build.
+// Sharded builds wrap the tracer per shard so file names stay distinct
+// ("shard03/idx"); the heatmap recorder is mutex-protected, so one recorder
+// may observe all shards' (concurrent) accesses.
+func (b *Built) SetTracer(t storage.Tracer) {
+	if len(b.ShardDisks) == 0 {
+		b.Disk.SetTracer(t)
+		return
+	}
+	for i, d := range b.ShardDisks {
+		d.SetTracer(prefixTracer{prefix: fmt.Sprintf("shard%02d/", i), t: t})
+	}
+}
+
+// Shards returns the shard count of the built index (1 when unsharded).
+func (b *Built) Shards() int {
+	if n := len(b.ShardDisks); n > 0 {
+		return n
+	}
+	return 1
+}
 
 // BuildVariant constructs the named index variant over the dataset on a
 // fresh simulated disk and returns it with its construction accounting.
@@ -118,6 +179,9 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	}
 	if opts.Parallelism == 0 {
 		opts.Parallelism = 1
+	}
+	if opts.Shards > 1 {
+		return buildSharded(variant, ds, cfg, opts)
 	}
 	disk := storage.NewDisk(0)
 	out := &Built{Disk: disk}
@@ -210,6 +274,59 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	return out, nil
 }
 
+// buildSharded hash-partitions the dataset across opts.Shards sub-datasets,
+// builds one variant per partition concurrently (each on its own disk, with
+// serial internals) on a pool bounded by opts.Parallelism, and wraps the
+// shards in a shard.Sharded whose cross-shard probes run on the same pool.
+func buildSharded(variant string, ds *series.Dataset, cfg index.Config, opts BuildOptions) (*Built, error) {
+	nsh := opts.Shards
+	part := shard.Partition(int64(ds.Count()), nsh)
+	inner := opts
+	inner.Shards = 0
+	inner.Parallelism = 1
+	builts := make([]*Built, nsh)
+	pool := parallel.New(opts.Parallelism)
+	start := time.Now()
+	err := pool.ForEach(nsh, func(_, i int) error {
+		sub := series.NewDataset(ds.Len)
+		for _, gid := range part[i] {
+			s, gerr := ds.Get(int(gid))
+			if gerr != nil {
+				return gerr
+			}
+			if _, aerr := sub.Append(s); aerr != nil {
+				return aerr
+			}
+		}
+		b, berr := BuildVariant(variant, sub, cfg, inner)
+		if berr != nil {
+			return fmt.Errorf("workload: building shard %d: %w", i, berr)
+		}
+		builts[i] = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Built{BuildTime: time.Since(start)}
+	shards := make([]shard.Shard, nsh)
+	for i, b := range builts {
+		shards[i] = shard.Shard{Index: b.Index, Disk: b.Disk, IDs: part[i]}
+		out.ShardDisks = append(out.ShardDisks, b.Disk)
+		out.BuildStats = out.BuildStats.Add(b.BuildStats)
+		out.IndexPages += b.IndexPages
+		out.RawPages += b.RawPages
+	}
+	sh, err := shard.New(cfg, shards, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	out.Index = sh
+	out.Disk = builts[0].Disk
+	out.Raw = builts[0].Raw
+	return out, nil
+}
+
 // QueryStats aggregates a query workload's cost.
 type QueryStats struct {
 	Queries   int
@@ -231,7 +348,7 @@ func (q QueryStats) Cost(m storage.CostModel) float64 {
 // exact (vs. approximate) search.
 func RunQueries(b *Built, queries []series.Series, cfg index.Config, k int, exact bool) (QueryStats, error) {
 	cfg.Materialized = false // query preparation does not depend on it
-	before := b.Disk.Stats()
+	before := b.IOStats()
 	start := time.Now()
 	var distSum float64
 	for _, q := range queries {
@@ -254,7 +371,7 @@ func RunQueries(b *Built, queries []series.Series, cfg index.Config, k int, exac
 	}
 	return QueryStats{
 		Queries:  len(queries),
-		Stats:    b.Disk.Stats().Sub(before),
+		Stats:    b.IOStats().Sub(before),
 		WallTime: time.Since(start),
 		MeanDist: distSum / float64(max(1, len(queries))),
 	}, nil

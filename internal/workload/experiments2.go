@@ -345,6 +345,10 @@ type RunConfig struct {
 	E7N         int
 	E7Queries   int
 	E9Sizes     []int
+	E13N        int
+	E13Queries  int
+	E13K        int
+	E13Shards   []int
 }
 
 // DefaultRunConfig returns the laptop-scale defaults used by
@@ -372,5 +376,9 @@ func DefaultRunConfig() RunConfig {
 		E7N:         5000,
 		E7Queries:   10,
 		E9Sizes:     []int{2000, 10000},
+		E13N:        10000,
+		E13Queries:  64,
+		E13K:        5,
+		E13Shards:   []int{1, 2, 4, 8},
 	}
 }

@@ -1,11 +1,14 @@
 package coconut
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 
 	"repro/internal/clsm"
 	"repro/internal/ctree"
 	"repro/internal/series"
+	"repro/internal/shard"
 	"repro/internal/storage"
 )
 
@@ -109,6 +112,97 @@ func loadFacadeRaw(disk *storage.Disk, raw *memStore, seriesLen int, count int64
 		raw.ss = append(raw.ss, s)
 	}
 	return nil
+}
+
+// shardedManifest is the JSON header of a sharded snapshot: everything
+// needed to reopen the shard files and rebuild the global ID space (the
+// hash placement is a pure function of count and shard count, so the
+// local-to-global mappings are not stored).
+type shardedManifest struct {
+	Format string `json:"format"` // "coconut-sharded"
+	Kind   string `json:"kind"`   // "tree" or "lsm"
+	Shards int    `json:"shards"`
+	Count  int64  `json:"count"`
+}
+
+const shardedFormat = "coconut-sharded"
+
+// shardFilePath names shard i's snapshot file within a sharded file set.
+func shardFilePath(path string, i int) string { return fmt.Sprintf("%s.shard%03d", path, i) }
+
+// SaveFile persists the sharded index as one file set: a JSON manifest at
+// path plus one self-contained shard snapshot per shard at path.shardNNN
+// (each saved exactly as an unsharded Tree/LSM snapshot, raw mirror
+// included). Reopen with OpenSharded. LSM shards are flushed first.
+func (s *Sharded) SaveFile(path string) error {
+	for i := 0; i < s.NumShards(); i++ {
+		var err error
+		switch s.kind {
+		case shardKindTree:
+			err = s.trees[i].SaveFile(shardFilePath(path, i))
+		default:
+			err = s.lsms[i].SaveFile(shardFilePath(path, i))
+		}
+		if err != nil {
+			return fmt.Errorf("coconut: saving shard %d: %w", i, err)
+		}
+	}
+	m := shardedManifest{Format: shardedFormat, Kind: s.kind, Shards: s.NumShards(), Count: int64(s.Count())}
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// OpenSharded reopens a sharded index saved with SaveFile: the manifest
+// names the shard files, each shard reopens as an unsharded snapshot, and
+// the global ID space is rebuilt from the deterministic hash placement.
+// Parallelism is not part of the snapshot: reopened sharded indexes probe
+// shards on the default (GOMAXPROCS) pool with serial per-shard scans; call
+// SetParallelism to change the cross-shard pool.
+func OpenSharded(path string) (*Sharded, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m shardedManifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("coconut: %s is not a sharded snapshot manifest: %w", path, err)
+	}
+	if m.Format != shardedFormat {
+		return nil, fmt.Errorf("coconut: %s has format %q, want %q", path, m.Format, shardedFormat)
+	}
+	if m.Shards < 1 {
+		return nil, fmt.Errorf("coconut: manifest %s names %d shards", path, m.Shards)
+	}
+	part := shard.Partition(m.Count, m.Shards)
+	switch m.Kind {
+	case shardKindTree:
+		trees := make([]*Tree, m.Shards)
+		for i := range trees {
+			t, oerr := OpenTree(shardFilePath(path, i))
+			if oerr != nil {
+				return nil, fmt.Errorf("coconut: opening shard %d: %w", i, oerr)
+			}
+			t.SetParallelism(1)
+			trees[i] = t
+		}
+		return assembleShardedTrees(trees, part, trees[0].cfg, 0)
+	case shardKindLSM:
+		lsms := make([]*LSM, m.Shards)
+		for i := range lsms {
+			l, oerr := OpenLSM(shardFilePath(path, i))
+			if oerr != nil {
+				return nil, fmt.Errorf("coconut: opening shard %d: %w", i, oerr)
+			}
+			l.SetParallelism(1)
+			lsms[i] = l
+		}
+		return assembleShardedLSMs(lsms, part, lsms[0].cfg, 0)
+	default:
+		return nil, fmt.Errorf("coconut: manifest %s has unknown kind %q", path, m.Kind)
+	}
 }
 
 // OpenTree reopens a tree saved with SaveFile. Searches, inserts, and

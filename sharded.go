@@ -1,0 +1,301 @@
+package coconut
+
+import (
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/parallel"
+	"repro/internal/series"
+	"repro/internal/shard"
+)
+
+// Sharded is a horizontally partitioned index: N independent shards (each a
+// Tree or LSM on its own simulated disk) holding hash-assigned partitions
+// of the ingested series. Searches fan probes across the shards on a
+// bounded worker pool and merge per-shard answers through the deterministic
+// squared-space collectors, so Search and SearchRange return results
+// byte-identical to the equivalent unsharded index at every shard count and
+// parallelism setting; see internal/shard for the argument.
+//
+// Shards help when the machine has cores to spare for one query (each
+// shard's scan runs on its own disk, with no shared pruning state to
+// contend on), when build time matters (shards bulk-load concurrently), and
+// as the unit of horizontal scale-out: the hash placement is a pure
+// function of (series ID, shard count), so a partition computed here maps
+// directly onto N machines. A single shard (ShardCount 1) behaves exactly
+// like the unsharded index plus one ID translation.
+type Sharded struct {
+	sh    *shard.Sharded
+	kind  string // "tree" or "lsm"
+	trees []*Tree
+	lsms  []*LSM
+	cfg   index.Config
+}
+
+// shardKindTree and shardKindLSM tag snapshots and drive facade dispatch.
+const (
+	shardKindTree = "tree"
+	shardKindLSM  = "lsm"
+)
+
+// innerOptions returns the per-shard build options: shards run their
+// internal scans serially because the sharded layer owns the fan-out.
+func innerOptions(opts Options) Options {
+	opts.Parallelism = 1
+	return opts
+}
+
+// BuildShardedTree bulk-loads a sharded CoconutTree: series are
+// hash-partitioned across n shards (IDs are their positions in data, as in
+// BuildTree) and the shards bulk-load concurrently on a worker pool bounded
+// by opts.Parallelism, each on its own simulated disk.
+func BuildShardedTree(data [][]float64, n int, opts Options) (*Sharded, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("coconut: shard count must be >= 1, got %d", n)
+	}
+	part := shard.Partition(int64(len(data)), n)
+	trees := make([]*Tree, n)
+	pool := parallel.New(opts.Parallelism)
+	err = pool.ForEach(n, func(_, i int) error {
+		sub := make([][]float64, len(part[i]))
+		for j, gid := range part[i] {
+			sub[j] = data[gid]
+		}
+		t, berr := BuildTree(sub, innerOptions(opts))
+		if berr != nil {
+			return fmt.Errorf("coconut: building shard %d: %w", i, berr)
+		}
+		trees[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assembleShardedTrees(trees, part, cfg, opts.Parallelism)
+}
+
+func assembleShardedTrees(trees []*Tree, part [][]int64, cfg index.Config, parallelism int) (*Sharded, error) {
+	shards := make([]shard.Shard, len(trees))
+	for i, t := range trees {
+		shards[i] = shard.Shard{Index: t.tree, Disk: t.disk, IDs: part[i]}
+	}
+	sh, err := shard.New(cfg, shards, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{sh: sh, kind: shardKindTree, trees: trees, cfg: cfg}, nil
+}
+
+// NewShardedLSM creates an empty sharded CoconutLSM with n shards, each a
+// write-optimized LSM on its own disk. Inserted series route to their
+// hash-assigned shard; IDs are assigned in insertion order, exactly as in
+// an unsharded LSM.
+func NewShardedLSM(n int, opts Options) (*Sharded, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("coconut: shard count must be >= 1, got %d", n)
+	}
+	lsms := make([]*LSM, n)
+	for i := range lsms {
+		l, lerr := NewLSM(innerOptions(opts))
+		if lerr != nil {
+			return nil, lerr
+		}
+		lsms[i] = l
+	}
+	return assembleShardedLSMs(lsms, make([][]int64, n), cfg, opts.Parallelism)
+}
+
+func assembleShardedLSMs(lsms []*LSM, part [][]int64, cfg index.Config, parallelism int) (*Sharded, error) {
+	shards := make([]shard.Shard, len(lsms))
+	for i, l := range lsms {
+		shards[i] = shard.Shard{Index: l.lsm, Disk: l.disk, IDs: part[i]}
+	}
+	sh, err := shard.New(cfg, shards, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{sh: sh, kind: shardKindLSM, lsms: lsms, cfg: cfg}, nil
+}
+
+// Kind reports the shard index variant: "tree" or "lsm".
+func (s *Sharded) Kind() string { return s.kind }
+
+// Count returns the total number of indexed series across all shards.
+func (s *Sharded) Count() int { return int(s.sh.Count()) }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return s.sh.NumShards() }
+
+// SetParallelism re-sizes the cross-shard worker pool (n <= 0 selects
+// GOMAXPROCS; 1 probes shards serially). Answers are identical at every
+// setting. Call only while no search is in flight.
+func (s *Sharded) SetParallelism(n int) { s.sh.SetParallelism(n) }
+
+// Insert adds one series with a timestamp, routing it to its hash-assigned
+// shard. The facade keeps the shard's raw series mirror in sync, so
+// non-materialized shards keep answering searches.
+func (s *Sharded) Insert(ser []float64, ts int64) error {
+	if len(ser) != s.cfg.SeriesLen {
+		return fmt.Errorf("coconut: series length %d, want %d", len(ser), s.cfg.SeriesLen)
+	}
+	si := shard.Of(s.sh.Count(), s.sh.NumShards())
+	// The facade shard insert (Tree.Insert / LSM.Insert) appends to the
+	// shard's raw store and its internal index; the sharded layer only has
+	// to record the new global ID against the shard.
+	var err error
+	switch s.kind {
+	case shardKindTree:
+		err = s.trees[si].Insert(ser, ts)
+	default:
+		err = s.lsms[si].Insert(ser, ts)
+	}
+	if err != nil {
+		return err
+	}
+	s.sh.NoteInsert(si)
+	return nil
+}
+
+// Flush forces every LSM shard's in-memory buffer into a sorted on-disk
+// run. On a tree-kind index it is a no-op.
+func (s *Sharded) Flush() error {
+	for _, l := range s.lsms {
+		if err := l.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Search returns the exact k nearest neighbors of q, byte-identical to the
+// unsharded index's answer: shards scan concurrently and their exact
+// per-shard top-k answers merge deterministically.
+func (s *Sharded) Search(q []float64, k int) ([]Match, error) {
+	rs, err := s.sh.ExactSearch(index.NewQuery(series.Series(q), s.cfg), k)
+	return convert(rs), err
+}
+
+// SearchApprox probes every shard's approximate path (one or two page reads
+// per shard) and merges the best k. No exactness guarantee; results keep
+// the approximate contract: up to k deduplicated matches with true
+// distances, ordered by (distance, ID).
+func (s *Sharded) SearchApprox(q []float64, k int) ([]Match, error) {
+	rs, err := s.sh.ApproxSearch(index.NewQuery(series.Series(q), s.cfg), k)
+	return convert(rs), err
+}
+
+// SearchRange returns every indexed series within Euclidean distance eps of
+// q, sorted by distance — byte-identical to the unsharded answer.
+func (s *Sharded) SearchRange(q []float64, eps float64) ([]Match, error) {
+	rs, err := s.sh.RangeSearch(index.NewQuery(series.Series(q), s.cfg), eps)
+	return convert(rs), err
+}
+
+// SearchWindow returns the exact k nearest neighbors among entries whose
+// timestamp lies in [minTS, maxTS], across all shards.
+func (s *Sharded) SearchWindow(q []float64, k int, minTS, maxTS int64) ([]Match, error) {
+	pq := index.NewQuery(series.Series(q), s.cfg).WithWindow(minTS, maxTS)
+	rs, err := s.sh.ExactSearch(pq, k)
+	return convert(rs), err
+}
+
+// SearchBatch answers one exact k-NN query per element of qs. The batch
+// pipelines through pooled per-worker search contexts — one context per
+// worker slot for the whole batch, refilled per query, its scratch buffers
+// reused across queries — and each query probes all shards with that single
+// context. out[i] is byte-identical to Search(qs[i], k); batching changes
+// throughput, never answers.
+func (s *Sharded) SearchBatch(qs [][]float64, k int) ([][]Match, error) {
+	iqs, err := s.prepareBatch(qs)
+	if err != nil {
+		return nil, err
+	}
+	rss, err := s.sh.ExactSearchBatch(iqs, k)
+	if err != nil {
+		return nil, err
+	}
+	return convertBatch(rss), nil
+}
+
+func (s *Sharded) prepareBatch(qs [][]float64) ([]index.Query, error) {
+	return prepareQueries(qs, s.cfg)
+}
+
+// Stats returns the I/O accounting aggregated across every shard's disk.
+func (s *Sharded) Stats() Stats {
+	st := s.sh.IOStats()
+	return Stats{
+		SeqReads: st.SeqReads, RandReads: st.RandReads,
+		SeqWrites: st.SeqWrites, RandWrites: st.RandWrites,
+		Pages: s.sh.TotalPages(),
+	}
+}
+
+// ShardStats returns each shard's I/O accounting, in shard order.
+func (s *Sharded) ShardStats() []Stats {
+	out := make([]Stats, s.sh.NumShards())
+	for i, sh := range s.sh.Shards() {
+		out[i] = statsOf(sh.Disk)
+	}
+	return out
+}
+
+// prepareQueries validates and prepares a batch of raw queries under cfg.
+func prepareQueries(qs [][]float64, cfg index.Config) ([]index.Query, error) {
+	iqs := make([]index.Query, len(qs))
+	for i, q := range qs {
+		if len(q) != cfg.SeriesLen {
+			return nil, fmt.Errorf("coconut: query %d length %d, want %d", i, len(q), cfg.SeriesLen)
+		}
+		iqs[i] = index.NewQuery(series.Series(q), cfg)
+	}
+	return iqs, nil
+}
+
+func convertBatch(rss [][]index.Result) [][]Match {
+	out := make([][]Match, len(rss))
+	for i, rs := range rss {
+		out[i] = convert(rs)
+	}
+	return out
+}
+
+// SearchBatch answers one exact k-NN query per element of qs against the
+// tree, pipelined over the tree's worker pool: parallelism moves from
+// within one scan to across queries, and each worker slot reuses one pooled
+// search context (tables refilled per query, scratch persistent) for the
+// whole batch. out[i] is byte-identical to Search(qs[i], k).
+func (t *Tree) SearchBatch(qs [][]float64, k int) ([][]Match, error) {
+	iqs, err := prepareQueries(qs, t.cfg)
+	if err != nil {
+		return nil, err
+	}
+	rss, err := t.tree.ExactSearchBatch(iqs, k)
+	if err != nil {
+		return nil, err
+	}
+	return convertBatch(rss), nil
+}
+
+// SearchBatch answers one exact k-NN query per element of qs against the
+// LSM, pipelined over the LSM's worker pool exactly as Tree.SearchBatch.
+// out[i] is byte-identical to Search(qs[i], k).
+func (l *LSM) SearchBatch(qs [][]float64, k int) ([][]Match, error) {
+	iqs, err := prepareQueries(qs, l.cfg)
+	if err != nil {
+		return nil, err
+	}
+	rss, err := l.lsm.ExactSearchBatch(iqs, k)
+	if err != nil {
+		return nil, err
+	}
+	return convertBatch(rss), nil
+}

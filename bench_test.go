@@ -474,3 +474,63 @@ func BenchmarkE12Recall(b *testing.B) {
 		}
 	}
 }
+
+// --- Buffer-pool benchmark (PR 4's layer): cold vs warm cache. ---
+
+// BenchmarkCachedSearch measures exact k-NN latency on a non-materialized
+// CTree whose raw series file lives on the same disk — the workload where
+// the buffer pool earns its keep, because every verified candidate pays a
+// raw-page fetch. "cold" purges the pool before every query; "warm" runs
+// after a warming pass, so index and raw pages are served from pinned
+// frames with zero copies. "warm-pin" isolates the page-fetch primitive
+// itself: a warm PinPage/Release must be 0 allocs/op (the gate asserts
+// allocations never grow), which is what keeps the whole warm search path
+// allocation-flat. io-cost/query shows the accounting side: warm cost
+// collapses to the misses, i.e. zero at this cache size.
+func BenchmarkCachedSearch(b *testing.B) {
+	sc := benchScale()
+	ds, _ := gen.Astronomy(gen.AstronomyConfig{N: 10000, Len: sc.SeriesLen, FracEvent: 0.05, Seed: sc.Seed})
+	cfg := index.Config{SeriesLen: sc.SeriesLen, Segments: sc.Segments, Bits: sc.Bits}
+	built, err := workload.BuildVariant("CTree", ds, cfg, workload.BuildOptions{CacheBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	queries := make([]index.Query, 32)
+	for i := range queries {
+		queries[i] = index.NewQuery(gen.RandomWalk(rng, sc.SeriesLen), cfg)
+	}
+	run := func(b *testing.B, purge bool) {
+		b.ReportAllocs()
+		before := built.IOStats()
+		for i := 0; i < b.N; i++ {
+			if purge {
+				built.Pool.Purge()
+			}
+			if _, err := built.Index.ExactSearch(queries[i%len(queries)], 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+		diff := built.IOStats().Sub(before)
+		b.ReportMetric(diff.Cost(storage.DefaultCostModel)/float64(b.N), "io-cost/query")
+		b.ReportMetric(100*diff.HitRatio(), "hit%")
+	}
+	b.Run("cold", func(b *testing.B) { run(b, true) })
+	// Warming pass: one sweep of the query set fills the pool.
+	for _, q := range queries {
+		if _, err := built.Index.ExactSearch(q, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("warm", func(b *testing.B) { run(b, false) })
+	b.Run("warm-pin", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h, err := built.Pool.PinPage("idx.leaves", int64(i%8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Release()
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package coconut
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the buffer-pool layer's core contract: a cache between
+// the indexes and the disk may change I/O accounting and wall-clock time,
+// but never answers. Every query below runs against an uncached index and
+// a cached one (twice — cold and warm, so both the miss-fill path and the
+// borrowed-frame hit path are exercised) and must match byte for byte, on
+// exact, range, and windowed searches, for Tree, LSM, and Sharded at shard
+// counts 1 and 4.
+
+const cacheEquivBytes = 16 << 20
+
+func cacheEquivData(n, length int, seed int64) ([][]float64, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	walk := func() []float64 {
+		s := make([]float64, length)
+		v := 0.0
+		for i := range s {
+			v += rng.NormFloat64()
+			s[i] = v
+		}
+		return s
+	}
+	data := make([][]float64, n)
+	for i := range data {
+		data[i] = walk()
+	}
+	queries := make([][]float64, 12)
+	for i := range queries {
+		queries[i] = walk()
+	}
+	return data, queries
+}
+
+func sameMatches(t *testing.T, label string, want, got []Match) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d results", label, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s result %d: %+v vs %+v", label, i, want[i], got[i])
+		}
+	}
+}
+
+// searcher is the query surface shared by Tree, LSM, and Sharded facades.
+type equivSearcher interface {
+	Search(q []float64, k int) ([]Match, error)
+	SearchRange(q []float64, eps float64) ([]Match, error)
+}
+
+// checkCachedEquiv runs the full query matrix against the uncached
+// reference and the cached index, cold then warm.
+func checkCachedEquiv(t *testing.T, label string, queries [][]float64, plain, cached equivSearcher) {
+	t.Helper()
+	for _, q := range queries {
+		wantK, err := plain.Search(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := 1.0
+		if len(wantK) > 2 {
+			eps = wantK[2].Dist // guarantees a non-trivial range answer
+		}
+		wantR, err := plain.SearchRange(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pass := range []string{"cold", "warm"} {
+			gotK, err := cached.Search(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameMatches(t, label+"/exact/"+pass, wantK, gotK)
+			gotR, err := cached.SearchRange(q, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameMatches(t, label+"/range/"+pass, wantR, gotR)
+		}
+	}
+}
+
+func TestCachedTreeEquivalence(t *testing.T) {
+	data, queries := cacheEquivData(3000, 64, 1)
+	for _, mat := range []bool{false, true} {
+		opts := Options{SeriesLen: 64, Segments: 8, Bits: 6, Materialized: mat}
+		plain, err := BuildTree(data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.CacheBytes = cacheEquivBytes
+		cached, err := BuildTree(data, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := map[bool]string{false: "tree", true: "treefull"}[mat]
+		checkCachedEquiv(t, label, queries, plain, cached)
+		if st := cached.Stats(); st.CacheHits == 0 {
+			t.Fatalf("%s: cached run recorded no hits (%+v)", label, st)
+		}
+		if st := plain.Stats(); st.CacheHits != 0 || st.CacheMisses != 0 {
+			t.Fatalf("uncached %s reports cache traffic (%+v)", label, st)
+		}
+	}
+}
+
+func TestCachedLSMEquivalence(t *testing.T) {
+	data, queries := cacheEquivData(3000, 64, 2)
+	build := func(cacheBytes int64) *LSM {
+		l, err := NewLSM(Options{
+			SeriesLen: 64, Segments: 8, Bits: 6,
+			BufferEntries: 256, GrowthFactor: 3, CacheBytes: cacheBytes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range data {
+			if err := l.Insert(s, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	plain := build(0)
+	cached := build(cacheEquivBytes)
+	checkCachedEquiv(t, "lsm", queries, plain, cached)
+	// Windowed queries through the cache.
+	for _, q := range queries[:4] {
+		want, err := plain.SearchWindow(q, 5, 500, 2200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pass := range []string{"cold", "warm"} {
+			got, err := cached.SearchWindow(q, 5, 500, 2200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameMatches(t, "lsm/window/"+pass, want, got)
+		}
+	}
+	if st := cached.Stats(); st.CacheHits == 0 {
+		t.Fatalf("cached LSM recorded no hits (%+v)", st)
+	}
+}
+
+func TestCachedShardedEquivalence(t *testing.T) {
+	data, queries := cacheEquivData(3000, 64, 3)
+	opts := Options{SeriesLen: 64, Segments: 8, Bits: 6, Materialized: true}
+	plainTree, err := BuildTree(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		plainSharded, err := BuildShardedTree(data, shards, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedOpts := opts
+		cachedOpts.CacheBytes = cacheEquivBytes
+		cached, err := BuildShardedTree(data, shards, cachedOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := map[int]string{1: "sharded1", 4: "sharded4"}[shards]
+		// Against the uncached unsharded tree (the strongest reference) and
+		// windowed against the uncached sharded twin.
+		checkCachedEquiv(t, label, queries, plainTree, cached)
+		for _, q := range queries[:4] {
+			want, err := plainSharded.SearchWindow(q, 5, 100, 2500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pass := range []string{"cold", "warm"} {
+				got, err := cached.SearchWindow(q, 5, 100, 2500)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameMatches(t, label+"/window/"+pass, want, got)
+			}
+		}
+		if st := cached.Stats(); st.CacheHits == 0 {
+			t.Fatalf("%s recorded no hits (%+v)", label, st)
+		}
+		if shards == 4 {
+			per := cached.ShardStats()
+			if len(per) != 4 {
+				t.Fatalf("%d shard stats, want 4", len(per))
+			}
+			var hits int64
+			for _, st := range per {
+				hits += st.CacheHits
+			}
+			if hits != cached.Stats().CacheHits {
+				t.Fatalf("per-shard hits %d != aggregate %d", hits, cached.Stats().CacheHits)
+			}
+		}
+	}
+}
+
+// TestCachedStreamEquivalence covers the TP and BTP streaming schemes: the
+// partition probes ride the same PageReader plumbing.
+func TestCachedStreamEquivalence(t *testing.T) {
+	data, queries := cacheEquivData(1500, 64, 4)
+	for _, kind := range []SchemeKind{PP, TP, BTP} {
+		build := func(cacheBytes int64) *Stream {
+			s, err := NewStream(kind, Options{
+				SeriesLen: 64, Segments: 8, Bits: 6,
+				BufferEntries: 200, CacheBytes: cacheBytes,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, ser := range data {
+				if _, err := s.Ingest(ser, int64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Seal(); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		plain := build(0)
+		cached := build(cacheEquivBytes)
+		for _, q := range queries[:6] {
+			want, err := plain.SearchWindow(q, 3, 100, 1300)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pass := range []string{"cold", "warm"} {
+				got, err := cached.SearchWindow(q, 3, 100, 1300)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameMatches(t, string(kind)+"/window/"+pass, want, got)
+			}
+		}
+		if st := cached.Stats(); st.CacheHits == 0 {
+			t.Fatalf("%s: cached stream recorded no hits (%+v)", kind, st)
+		}
+	}
+}

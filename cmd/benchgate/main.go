@@ -11,6 +11,11 @@
 //	git checkout <merge-base> && go test ... | tee base.txt
 //	benchgate -base base.txt -head head.txt -max-time-ratio 1.15 -json BENCH_compare.json
 //
+// The CI workflow currently gates BenchmarkParallelSearch, BenchmarkMinDist,
+// BenchmarkVerify, and BenchmarkCachedSearch (the GATE_BENCH list in
+// .github/workflows/ci.yml); the alloc/op rule is what pins the cached
+// search's zero-allocation warm page fetches.
+//
 // Time comparisons use the minimum across -count runs (noise only ever
 // slows a run down), and regressions below -noise-floor-ns are ignored so
 // sub-microsecond benchmarks cannot flake the gate. Allocation counts are

@@ -20,9 +20,10 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E13) or 'all'")
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E14) or 'all'")
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		shards  = flag.String("shards", "", "comma-separated shard counts for the E13 sharding experiment (default 1,2,4,8)")
+		cache   = flag.String("cache", "", "comma-separated cache sizes in KB for the E14 buffer-pool experiment, 0 = uncached (default 0,256,4096,65536)")
 	)
 	flag.Parse()
 
@@ -38,23 +39,39 @@ func main() {
 		cfg.E9Sizes = []int{1000, 2000}
 		cfg.E13N, cfg.E13Queries = 2000, 16
 		cfg.E13Shards = []int{1, 2, 4}
+		cfg.E14N, cfg.E14Queries = 2000, 8
+		cfg.E14CacheKB = []int{0, 64, 4096}
 	}
 	if *shards != "" {
 		var counts []int
 		for _, part := range strings.Split(*shards, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "coconut-bench: bad -shards value %q\n", part)
+				// A shard count of 0 or less is meaningless — reject loudly
+				// rather than building a degenerate experiment.
+				fmt.Fprintf(os.Stderr, "coconut-bench: -shards values must be positive integers, got %q\n", part)
 				os.Exit(2)
 			}
 			counts = append(counts, n)
 		}
 		cfg.E13Shards = counts
 	}
+	if *cache != "" {
+		var sizes []int
+		for _, part := range strings.Split(*cache, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 0 {
+				fmt.Fprintf(os.Stderr, "coconut-bench: -cache values must be >= 0 KB (0 = uncached), got %q\n", part)
+				os.Exit(2)
+			}
+			sizes = append(sizes, n)
+		}
+		cfg.E14CacheKB = sizes
+	}
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"} {
 			want[id] = true
 		}
 	} else {
@@ -164,6 +181,13 @@ func run(cfg workload.RunConfig, want map[string]bool) error {
 	}
 	if want["E13"] {
 		t, err := workload.E13Sharding(sc, cfg.E13N, cfg.E13Queries, cfg.E13K, cfg.E13Shards)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E14"] {
+		t, err := workload.E14CacheSweep(sc, cfg.E14N, cfg.E14Queries, cfg.E14K, cfg.E14CacheKB)
 		if err != nil {
 			return err
 		}

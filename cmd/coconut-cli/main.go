@@ -13,7 +13,7 @@
 //
 //	health                              check the server
 //	dataset  -kind astronomy -n 10000 -len 256
-//	build    -dataset ds-1 -variant CTree [-fill 0.9] [-growth 4]
+//	build    -dataset ds-1 -variant CTree [-fill 0.9] [-growth 4] [-shards 4] [-cache 4194304]
 //	query    -build build-1 -template supernova [-k 5] [-exact] [-min 0 -max 99]
 //	recommend -streaming -queries 500 -memfrac 0.1 [-tight] [-smallwin]
 //	heatmap  -build build-1
@@ -58,6 +58,8 @@ func main() {
 		err = build(serverURL, rest)
 	case "query":
 		err = query(serverURL, rest)
+	case "stats":
+		err = statsCmd(serverURL, rest)
 	case "recommend":
 		err = recommend(serverURL, rest)
 	case "heatmap":
@@ -73,7 +75,23 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: coconut-cli [-server URL] <health|dataset|build|query|recommend|heatmap> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: coconut-cli [-server URL] <health|dataset|build|query|stats|recommend|heatmap> [flags]")
+}
+
+// statsCmd prints a build's I/O and buffer-pool accounting.
+func statsCmd(base string, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	buildID := fs.String("build", "", "build id (required)")
+	fs.Parse(args)
+	if *buildID == "" {
+		return fmt.Errorf("stats: -build is required")
+	}
+	var out server.StatsResponse
+	if err := call("GET", base+"/api/stats?build="+*buildID, nil, &out); err != nil {
+		return err
+	}
+	pretty(out)
+	return nil
 }
 
 func call(method, url string, body, out any) error {
@@ -150,14 +168,26 @@ func build(base string, args []string) error {
 	fill := fs.Float64("fill", 1.0, "CTree leaf fill factor")
 	growth := fs.Int("growth", 4, "CLSM growth factor")
 	mem := fs.Int("mem", 1<<20, "construction memory budget (bytes)")
+	shards := fs.Int("shards", 0, "shard count (0 = server default, 1 = unsharded, N > 1 hash-partitions)")
+	par := fs.Int("parallelism", 0, "per-query worker pool (0 = server default, 1 = serial, -1 = one per CPU)")
+	cache := fs.Int64("cache", 0, "buffer-pool bytes (0 = server default, -1 = force uncached)")
 	fs.Parse(args)
 	if *ds == "" {
 		return fmt.Errorf("build: -dataset is required")
+	}
+	// Validate client-side so a bad flag fails fast with a clear message
+	// instead of a server 400.
+	if *shards < 0 {
+		return fmt.Errorf("build: -shards must be >= 0 (0 = server default, N > 1 shards), got %d", *shards)
+	}
+	if *cache < -1 {
+		return fmt.Errorf("build: -cache must be >= -1 (-1 = force uncached, 0 = server default), got %d", *cache)
 	}
 	var out server.BuildResponse
 	err := call("POST", base+"/api/build", server.BuildRequest{
 		Dataset: *ds, Variant: *variant, Segments: *segments, Bits: *bits,
 		FillFactor: *fill, GrowthFactor: *growth, MemBudget: *mem,
+		Shards: *shards, Parallelism: *par, CacheBytes: *cache,
 	}, &out)
 	if err != nil {
 		return err

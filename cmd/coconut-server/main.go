@@ -31,16 +31,21 @@ func main() {
 	// engine per server (-parallelism) or per build request.
 	par := flag.Int("parallelism", 1, "default per-query worker pool size for builds (1 = serial, matching the paper's accounting; -1 = one worker per CPU)")
 	shards := flag.Int("shards", 0, "default shard count for builds (0 or 1 = unsharded; N > 1 hash-partitions each build across N shards, queries fan across them)")
+	cache := flag.Int64("cache", 0, "default buffer-pool size in bytes for builds (0 = uncached, the paper-faithful accounting; N > 0 serves hot pages from a shared cache and charges only misses)")
 	flag.Parse()
-	// Reject a bad default at startup: otherwise every build request that
-	// leaves "shards" unset would fail with a 400 blaming the client.
+	// Reject bad defaults at startup: otherwise every build request that
+	// leaves the field unset would fail with a 400 blaming the client.
 	if *shards < 0 || *shards > 256 {
-		log.Fatalf("coconut-server: -shards must be in [0, 256], got %d", *shards)
+		log.Fatalf("coconut-server: -shards must be in [0, 256] (0 or 1 = unsharded), got %d", *shards)
+	}
+	if *cache < 0 || *cache > 1<<32 {
+		log.Fatalf("coconut-server: -cache must be in [0, %d] bytes (0 = uncached), got %d", int64(1)<<32, *cache)
 	}
 
 	s := server.New()
 	s.SetDefaultParallelism(*par)
 	s.SetDefaultShards(*shards)
+	s.SetDefaultCacheBytes(*cache)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

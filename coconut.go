@@ -58,6 +58,7 @@ package coconut
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/clsm"
 	"repro/internal/ctree"
 	"repro/internal/index"
@@ -90,6 +91,14 @@ type Options struct {
 	MemBudget int
 	// PageSize of the simulated disk (default 4096).
 	PageSize int
+	// CacheBytes sizes the buffer pool between the index and its disk: hot
+	// pages (leaf pages, run pages, raw-series pages) are served from
+	// memory, and only cache misses reach the disk and its cost accounting.
+	// 0 (the default) disables caching — every read reaches the simulated
+	// head, the paper-faithful setting. Sharded indexes share one pool of
+	// this size across all shards. Results are byte-identical at every
+	// cache size; only I/O cost and wall-clock time change.
+	CacheBytes int64
 	// Parallelism bounds the worker goroutines one search (and one
 	// external-sort pass during Tree construction) may use. The default (0)
 	// selects GOMAXPROCS — one worker per CPU; 1 runs fully serially.
@@ -121,17 +130,34 @@ type Match struct {
 	Dist float64 // Euclidean distance between z-normalized series
 }
 
-// Stats reports the I/O behaviour of an index's disk.
+// Stats reports the I/O behaviour of an index's disk, including the
+// buffer-pool counters when a cache is configured (CacheBytes > 0): a
+// cache hit is served from memory and never reaches the disk, so it adds
+// nothing to the read counters or the cost; a miss appears both as a miss
+// and as the disk read it triggered.
 type Stats struct {
 	SeqReads, RandReads   int64
 	SeqWrites, RandWrites int64
+	CacheHits             int64
+	CacheMisses           int64
 	Pages                 int64 // total pages on the index's disk
 }
 
 // Cost prices the accesses with random I/O costing ratio times a
-// sequential one (the experiments use ratio 10).
+// sequential one (the experiments use ratio 10). Cache hits are free; only
+// the reads and writes that reached the disk are charged.
 func (s Stats) Cost(ratio float64) float64 {
 	return float64(s.SeqReads+s.SeqWrites) + ratio*float64(s.RandReads+s.RandWrites)
+}
+
+// HitRatio returns the cache hit fraction, or 0 when no cached reads were
+// observed (including when no cache is configured).
+func (s Stats) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // memStore is the facade's raw store: ingested series are z-normalized and
@@ -154,12 +180,24 @@ func convert(rs []index.Result) []Match {
 	return out
 }
 
-func statsOf(d *storage.Disk) Stats {
-	st := d.Stats()
+// statsWith renders a disk's accounting, folding in the buffer-pool
+// counters when a pool fronts the disk.
+func statsWith(d *storage.Disk, pool *bufpool.Pool) Stats {
+	if pool != nil {
+		return toStats(pool.Stats(), d.TotalPages())
+	}
+	return toStats(d.Stats(), d.TotalPages())
+}
+
+// toStats is the one storage.Stats → facade Stats conversion; every stats
+// surface funnels through it so new counters cannot silently diverge
+// between the aggregate, per-shard, and single-disk views.
+func toStats(st storage.Stats, pages int64) Stats {
 	return Stats{
 		SeqReads: st.SeqReads, RandReads: st.RandReads,
 		SeqWrites: st.SeqWrites, RandWrites: st.RandWrites,
-		Pages: d.TotalPages(),
+		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
+		Pages: pages,
 	}
 }
 
@@ -168,6 +206,7 @@ type Tree struct {
 	tree *ctree.Tree
 	cfg  index.Config
 	disk *storage.Disk
+	pool *bufpool.Pool // buffer pool fronting disk; nil when uncached
 	raw  *memStore
 }
 
@@ -175,6 +214,26 @@ type Tree struct {
 // positions). Construction summarizes, external-sorts, and packs leaves
 // contiguously — sequential I/O end to end.
 func BuildTree(data [][]float64, opts Options) (*Tree, error) {
+	return buildTreeCache(data, opts, nil)
+}
+
+// attachPool wires a disk into the caching layer (bufpool.AttachOrNew):
+// shared cache, private pool, or uncached. The returned reader is nil when
+// uncached (index options then default to the disk) — a plain *Pool return
+// cannot serve as the reader directly because a typed-nil interface would
+// not compare equal to nil.
+func attachPool(disk *storage.Disk, opts Options, cache *bufpool.Cache) (*bufpool.Pool, storage.PageReader, error) {
+	pool, err := bufpool.AttachOrNew(disk, cache, opts.CacheBytes)
+	if err != nil || pool == nil {
+		return nil, nil, err
+	}
+	return pool, pool, nil
+}
+
+// buildTreeCache is BuildTree with an optional shared cache (the sharded
+// facade passes one so every shard's disk draws frames from a single
+// budget).
+func buildTreeCache(data [][]float64, opts Options, cache *bufpool.Cache) (*Tree, error) {
 	cfg, err := opts.config()
 	if err != nil {
 		return nil, err
@@ -188,8 +247,13 @@ func BuildTree(data [][]float64, opts Options) (*Tree, error) {
 		raw.ss = append(raw.ss, series.Series(s).ZNormalize())
 	}
 	disk := storage.NewDisk(opts.PageSize)
+	pool, reader, err := attachPool(disk, opts, cache)
+	if err != nil {
+		return nil, err
+	}
 	tr, err := ctree.Build(ctree.Options{
 		Disk:        disk,
+		Reader:      reader,
 		Name:        "ctree",
 		Config:      cfg,
 		FillFactor:  opts.FillFactor,
@@ -200,7 +264,7 @@ func BuildTree(data [][]float64, opts Options) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{tree: tr, cfg: cfg, disk: disk, raw: raw}, nil
+	return &Tree{tree: tr, cfg: cfg, disk: disk, pool: pool, raw: raw}, nil
 }
 
 // Count returns the number of indexed series.
@@ -241,27 +305,50 @@ func (t *Tree) SearchRange(q []float64, eps float64) ([]Match, error) {
 // only while no search is in flight.
 func (t *Tree) SetParallelism(n int) { t.tree.SetParallelism(n) }
 
-// Stats returns the I/O accounting of the tree's disk since creation.
-func (t *Tree) Stats() Stats { return statsOf(t.disk) }
+// Stats returns the I/O accounting of the tree's disk since creation,
+// cache counters included when a buffer pool is configured.
+func (t *Tree) Stats() Stats { return statsWith(t.disk, t.pool) }
+
+// EnableCache installs a buffer pool of cacheBytes between the tree and
+// its disk (useful after OpenTree, which reopens uncached). A no-op if a
+// pool is already attached. Call only while no search is in flight.
+func (t *Tree) EnableCache(cacheBytes int64) {
+	if t.pool != nil || cacheBytes <= 0 {
+		return
+	}
+	t.pool = bufpool.New(t.disk, cacheBytes)
+	t.tree.UseReader(t.pool)
+}
 
 // LSM is a CoconutLSM index.
 type LSM struct {
 	lsm  *clsm.LSM
 	cfg  index.Config
 	disk *storage.Disk
+	pool *bufpool.Pool // buffer pool fronting disk; nil when uncached
 	raw  *memStore
 }
 
 // NewLSM creates an empty CoconutLSM ready for continuous insertion.
 func NewLSM(opts Options) (*LSM, error) {
+	return newLSMCache(opts, nil)
+}
+
+// newLSMCache is NewLSM with an optional shared cache (sharded facade).
+func newLSMCache(opts Options, cache *bufpool.Cache) (*LSM, error) {
 	cfg, err := opts.config()
 	if err != nil {
 		return nil, err
 	}
 	raw := &memStore{}
 	disk := storage.NewDisk(opts.PageSize)
+	pool, reader, err := attachPool(disk, opts, cache)
+	if err != nil {
+		return nil, err
+	}
 	l, err := clsm.New(clsm.Options{
 		Disk:          disk,
+		Reader:        reader,
 		Name:          "clsm",
 		Config:        cfg,
 		GrowthFactor:  opts.GrowthFactor,
@@ -272,7 +359,7 @@ func NewLSM(opts Options) (*LSM, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LSM{lsm: l, cfg: cfg, disk: disk, raw: raw}, nil
+	return &LSM{lsm: l, cfg: cfg, disk: disk, pool: pool, raw: raw}, nil
 }
 
 // Insert adds one series with a timestamp; writes are log-structured.
@@ -325,8 +412,20 @@ func (l *LSM) SearchRange(q []float64, eps float64) ([]Match, error) {
 // only while no search is in flight.
 func (l *LSM) SetParallelism(n int) { l.lsm.SetParallelism(n) }
 
-// Stats returns the I/O accounting of the LSM's disk since creation.
-func (l *LSM) Stats() Stats { return statsOf(l.disk) }
+// Stats returns the I/O accounting of the LSM's disk since creation,
+// cache counters included when a buffer pool is configured.
+func (l *LSM) Stats() Stats { return statsWith(l.disk, l.pool) }
+
+// EnableCache installs a buffer pool of cacheBytes between the LSM and its
+// disk (useful after OpenLSM, which reopens uncached). A no-op if a pool
+// is already attached. Call only while no search is in flight.
+func (l *LSM) EnableCache(cacheBytes int64) {
+	if l.pool != nil || cacheBytes <= 0 {
+		return
+	}
+	l.pool = bufpool.New(l.disk, cacheBytes)
+	l.lsm.UseReader(l.pool)
+}
 
 // Scenario describes an application for the recommender; see the field
 // documentation in the recommender package.

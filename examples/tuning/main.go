@@ -95,4 +95,47 @@ func main() {
 			lsm.Runs(),
 			(afterQuery.Cost(10)-afterIngest.Cost(10))/float64(len(queries)))
 	}
+
+	fmt.Println("\nBuffer-pool sweep: cache size vs. hit ratio and warm query cost")
+	fmt.Println("the pool sits between every index and the disk; hits are free, only misses reach the head")
+	fmt.Printf("%-8s %-8s %-14s %-14s\n", "cache", "hit%", "cold-cost/q", "warm-cost/q")
+	for _, cacheKB := range []int64{0, 64, 512, 8192} {
+		tree, err := coconut.BuildTree(data, coconut.Options{
+			SeriesLen: length, Materialized: true,
+			CacheBytes: cacheKB * 1024,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost := func(run func()) float64 {
+			before := tree.Stats()
+			run()
+			return (tree.Stats().Cost(10) - before.Cost(10)) / float64(len(queries))
+		}
+		coldCost := cost(func() {
+			for _, q := range queries {
+				if _, err := tree.Search(q, 1); err != nil {
+					log.Fatal(err)
+				}
+			}
+		})
+		before := tree.Stats()
+		warmCost := cost(func() {
+			for _, q := range queries {
+				if _, err := tree.Search(q, 1); err != nil {
+					log.Fatal(err)
+				}
+			}
+		})
+		warm := tree.Stats()
+		hitPct := 0.0
+		if total := warm.CacheHits - before.CacheHits + warm.CacheMisses - before.CacheMisses; total > 0 {
+			hitPct = 100 * float64(warm.CacheHits-before.CacheHits) / float64(total)
+		}
+		label := "off"
+		if cacheKB > 0 {
+			label = fmt.Sprintf("%dKB", cacheKB)
+		}
+		fmt.Printf("%-8s %-8.1f %-14.0f %-14.0f\n", label, hitPct, coldCost, warmCost)
+	}
 }

@@ -36,6 +36,11 @@ type Options struct {
 	BufferEntries int
 	// Raw is consulted by non-materialized searches.
 	Raw series.RawStore
+	// Reader serves leaf-extent reads (searches and split read-backs). nil
+	// selects the Disk itself (uncached); pass a buffer pool over the same
+	// disk to serve hot leaves from memory. Writes always go to Disk, which
+	// invalidates through any attached pool.
+	Reader storage.PageReader
 }
 
 func (o *Options) setDefaults() error {
@@ -63,6 +68,9 @@ func (o *Options) setDefaults() error {
 	}
 	if o.BufferEntries < 1 {
 		return fmt.Errorf("adsplus: BufferEntries must be positive")
+	}
+	if o.Reader == nil {
+		o.Reader = o.Disk
 	}
 	return nil
 }
@@ -288,7 +296,7 @@ func (t *Tree) chooseSplitSegment(n *node) int {
 func (t *Tree) loadLeaf(n *node) ([]record.Entry, error) {
 	out := make([]record.Entry, 0, int(n.onDisk)+len(n.buffered))
 	if n.file != "" && n.onDisk > 0 {
-		r, err := storage.NewRecordReaderBuffered(t.opts.Disk, n.file, t.codec.Size(), n.onDisk, 1)
+		r, err := storage.NewRecordReaderBuffered(t.opts.Reader, n.file, t.codec.Size(), n.onDisk, 1)
 		if err != nil {
 			return nil, err
 		}

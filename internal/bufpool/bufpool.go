@@ -1,0 +1,400 @@
+// Package bufpool implements the shared buffer-pool layer between the
+// indexes and the simulated disks: a sharded CLOCK page cache with
+// pin/unpin semantics, per-file invalidation, and hit/miss/eviction
+// counters. A Pool fronts one *storage.Disk and satisfies
+// storage.PageReader, so every index read path works identically against a
+// bare disk and against a cached one; several Pools may share one Cache
+// (the sharded facade attaches every shard's disk to a single cache so the
+// configured bytes bound the whole deployment, not each shard).
+//
+// # Semantics
+//
+//   - PinPage on a hit hands out a borrowed reference to the cached frame,
+//     zero copies and zero allocations; the frame cannot be evicted while
+//     pinned. On a miss the page is read from the backing disk into a frame
+//     claimed by a CLOCK sweep (evicting an unpinned, unreferenced victim),
+//     and that disk read carries the usual sequential/random accounting —
+//     Cost therefore charges exactly the misses.
+//   - Writes never go through the pool. The pool registers itself as a
+//     storage.Invalidator on its disk, so page writes, Remove, and Rename
+//     drop stale frames. An invalidated frame that is still pinned stays
+//     alive (its bytes remain a stable snapshot for the borrower) and is
+//     reclaimed by the clock once the last pin drops.
+//   - When every frame is pinned and the budget is exhausted, a miss is
+//     served through a transient overflow frame that is never cached —
+//     progress is never blocked on eviction.
+//
+// Concurrency: any number of goroutines may pin, read, and unpin
+// concurrently with each other and with invalidation. As everywhere else
+// in the repo, writes to the underlying pages require external
+// serialization against readers of those same pages.
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// numShards is the fixed lock-striping factor of a cache. Sixteen shards
+// keep pin/unpin contention negligible at the repo's worker-pool sizes
+// while keeping whole-file invalidation a cheap sweep.
+const numShards = 16
+
+// pageKey identifies one cached page: which attached disk, which file,
+// which page. Keys are plain comparable structs, so map probes allocate
+// nothing.
+type pageKey struct {
+	disk uint32
+	page int64
+	name string
+}
+
+// frame is one cache slot. pins is atomic so Unpin takes no lock; all
+// other fields are guarded by the owning shard's mutex.
+type frame struct {
+	key  pageKey
+	data []byte
+	pins atomic.Int32
+	ref  bool // CLOCK reference bit
+	dead bool // invalidated; reclaim as soon as pins drops to zero
+}
+
+// Unpin implements storage.Unpinner: one atomic decrement, no lock.
+func (f *frame) Unpin() { f.pins.Add(-1) }
+
+type cacheShard struct {
+	mu     sync.Mutex
+	frames map[pageKey]*frame
+	ring   []*frame // every frame this shard owns, swept by the clock hand
+	hand   int
+}
+
+// Cache is the shared frame store. Create one with NewCache and attach
+// each disk with Attach; the byte budget is global across all attached
+// disks.
+type Cache struct {
+	pageSize  int
+	capFrames int64
+	allocated atomic.Int64 // frames allocated across all shards, <= capFrames
+	nextDisk  atomic.Uint32
+	evictions atomic.Int64
+	shards    [numShards]cacheShard
+}
+
+// NewCache creates a cache holding up to cacheBytes worth of pageSize
+// pages (at least one frame; pageSize 0 selects storage.DefaultPageSize).
+func NewCache(cacheBytes int64, pageSize int) *Cache {
+	if pageSize <= 0 {
+		pageSize = storage.DefaultPageSize
+	}
+	frames := cacheBytes / int64(pageSize)
+	if frames < 1 {
+		frames = 1
+	}
+	c := &Cache{pageSize: pageSize, capFrames: frames}
+	for i := range c.shards {
+		c.shards[i].frames = make(map[pageKey]*frame)
+	}
+	return c
+}
+
+// CapacityBytes returns the configured capacity in bytes.
+func (c *Cache) CapacityBytes() int64 { return c.capFrames * int64(c.pageSize) }
+
+// CapacityFrames returns the capacity in page frames.
+func (c *Cache) CapacityFrames() int64 { return c.capFrames }
+
+// Evictions returns how many cached pages were evicted to make room.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
+// PageSize returns the page size every attached disk must share.
+func (c *Cache) PageSize() int { return c.pageSize }
+
+// shardFor maps a key to its lock stripe with an inline FNV-1a over the
+// file name mixed with the disk id and page number — allocation-free, so
+// the pin hot path stays zero-alloc.
+func (c *Cache) shardFor(k pageKey) *cacheShard {
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.name); i++ {
+		h ^= uint64(k.name[i])
+		h *= prime64
+	}
+	h ^= uint64(k.disk)
+	h *= prime64
+	h ^= uint64(k.page)
+	h *= prime64
+	h ^= h >> 32
+	return &c.shards[h%numShards]
+}
+
+// claim returns a frame ready to be filled, pinned once. tracked reports
+// whether the frame belongs to the shard's ring (and so may be inserted
+// into the map); an untracked overflow frame serves exactly one pinned
+// read-through and is garbage once unpinned. Callers must hold sh.mu.
+func (c *Cache) claim(sh *cacheShard) (fr *frame, tracked bool) {
+	// An empty ring always allocates its first frame, even past the global
+	// budget (overshooting by at most numShards-1 frames): otherwise a
+	// stripe whose first miss arrives after other stripes consumed the
+	// whole budget could never cache anything — its CLOCK sweep has no
+	// victims — and every key hashing there would miss forever.
+	if len(sh.ring) == 0 {
+		c.allocated.Add(1)
+		fr = &frame{data: make([]byte, c.pageSize)}
+		fr.pins.Store(1)
+		sh.ring = append(sh.ring, fr)
+		return fr, true
+	}
+	// Allocate a new frame while the global budget allows.
+	if c.allocated.Load() < c.capFrames {
+		if c.allocated.Add(1) <= c.capFrames {
+			fr = &frame{data: make([]byte, c.pageSize)}
+			fr.pins.Store(1)
+			sh.ring = append(sh.ring, fr)
+			return fr, true
+		}
+		c.allocated.Add(-1) // raced past the budget; evict instead
+	}
+	// CLOCK sweep over this shard's ring: dead frames are reclaimed on
+	// sight, referenced frames get one more revolution, pinned frames are
+	// skipped. Two full revolutions guarantee termination.
+	for sweep := 0; sweep < 2*len(sh.ring); sweep++ {
+		fr := sh.ring[sh.hand]
+		sh.hand++
+		if sh.hand == len(sh.ring) {
+			sh.hand = 0
+		}
+		if fr.pins.Load() != 0 {
+			continue
+		}
+		if fr.dead {
+			fr.dead = false
+			fr.pins.Store(1)
+			return fr, true
+		}
+		if fr.ref {
+			fr.ref = false
+			continue
+		}
+		delete(sh.frames, fr.key)
+		c.evictions.Add(1)
+		fr.pins.Store(1)
+		return fr, true
+	}
+	// Everything pinned (or the ring is empty because other shards hold the
+	// whole budget): overflow with a transient, uncached frame.
+	fr = &frame{data: make([]byte, c.pageSize)}
+	fr.pins.Store(1)
+	return fr, false
+}
+
+// Pool is one disk's cached view of a Cache: it implements
+// storage.PageReader (reads served from the shared frames, misses filled
+// from the disk) and storage.Invalidator (registered on the disk at Attach
+// so writes stay coherent). Hit/miss counters are per pool, so per-shard
+// stats stay meaningful even when many disks share one cache.
+type Pool struct {
+	c            *Cache
+	d            *storage.Disk
+	id           uint32
+	hits, misses atomic.Int64
+}
+
+// Attach registers a disk with the cache and returns its cached reader.
+// The disk's page size must match the cache's.
+func (c *Cache) Attach(d *storage.Disk) (*Pool, error) {
+	if d.PageSize() != c.pageSize {
+		return nil, fmt.Errorf("bufpool: disk page size %d, cache %d", d.PageSize(), c.pageSize)
+	}
+	p := &Pool{c: c, d: d, id: c.nextDisk.Add(1)}
+	d.AddInvalidator(p)
+	return p, nil
+}
+
+// New builds a single-disk pool: a fresh cache of cacheBytes attached to d.
+func New(d *storage.Disk, cacheBytes int64) *Pool {
+	p, err := NewCache(cacheBytes, d.PageSize()).Attach(d)
+	if err != nil { // unreachable: the cache adopts the disk's page size
+		panic(err)
+	}
+	return p
+}
+
+// AttachOrNew is the one attach decision both facades use: attach to the
+// shared cache when one is provided (sharded builds — one budget for the
+// whole index), build a private pool of cacheBytes when asked, and return
+// nil (uncached) otherwise.
+func AttachOrNew(d *storage.Disk, cache *Cache, cacheBytes int64) (*Pool, error) {
+	switch {
+	case cache != nil:
+		return cache.Attach(d)
+	case cacheBytes > 0:
+		return New(d, cacheBytes), nil
+	}
+	return nil, nil
+}
+
+// Cache returns the shared frame store behind this pool.
+func (p *Pool) Cache() *Cache { return p.c }
+
+// Disk returns the backing disk.
+func (p *Pool) Disk() *storage.Disk { return p.d }
+
+// PageSize implements storage.PageReader.
+func (p *Pool) PageSize() int { return p.c.pageSize }
+
+// Exists implements storage.PageReader.
+func (p *Pool) Exists(name string) bool { return p.d.Exists(name) }
+
+// NumPages implements storage.PageReader.
+func (p *Pool) NumPages(name string) (int64, error) { return p.d.NumPages(name) }
+
+// PinPage implements storage.PageReader: the hot path of every cached
+// probe. A hit is a map probe, a pin, and a borrowed slice — no copy, no
+// allocation. A miss claims a frame and fills it from the disk while
+// holding only this shard's lock (the simulated read is memory-speed, and
+// holding the lock deduplicates concurrent misses on the same page).
+func (p *Pool) PinPage(name string, page int64) (storage.PageHandle, error) {
+	k := pageKey{disk: p.id, page: page, name: name}
+	sh := p.c.shardFor(k)
+	sh.mu.Lock()
+	if fr := sh.frames[k]; fr != nil {
+		fr.pins.Add(1)
+		fr.ref = true
+		sh.mu.Unlock()
+		p.hits.Add(1)
+		return storage.NewPageHandle(fr.data, fr), nil
+	}
+	fr, tracked := p.c.claim(sh)
+	if _, err := p.d.ReadPage(name, page, fr.data); err != nil {
+		// Leave the frame reclaimable: dead, unpinned, out of the map.
+		fr.dead = true
+		fr.pins.Store(0)
+		sh.mu.Unlock()
+		return storage.PageHandle{}, err
+	}
+	if tracked {
+		fr.key = k
+		fr.ref = true
+		sh.frames[k] = fr
+	}
+	sh.mu.Unlock()
+	p.misses.Add(1)
+	return storage.NewPageHandle(fr.data, fr), nil
+}
+
+// ReadPage implements storage.PageReader with copy semantics identical to
+// Disk.ReadPage: up to a page's worth of bytes copied into buf.
+func (p *Pool) ReadPage(name string, page int64, buf []byte) (int, error) {
+	h, err := p.PinPage(name, page)
+	if err != nil {
+		return 0, err
+	}
+	n := copy(buf, h.Data())
+	h.Release()
+	return n, nil
+}
+
+// ReadPages implements storage.PageReader, serving each page through the
+// cache. Like Disk.ReadPages it clamps at end of file and requires buf to
+// hold n pages.
+func (p *Pool) ReadPages(name string, page int64, n int, buf []byte) (int, error) {
+	npages, err := p.d.NumPages(name)
+	if err != nil {
+		return 0, err
+	}
+	if page < 0 || page >= npages {
+		return 0, fmt.Errorf("%w: %q page %d of %d", storage.ErrOutOfRange, name, page, npages)
+	}
+	if len(buf) < n*p.c.pageSize {
+		return 0, fmt.Errorf("storage: buffer %d bytes for %d pages of %d", len(buf), n, p.c.pageSize)
+	}
+	got := 0
+	for i := 0; i < n && page+int64(i) < npages; i++ {
+		if _, err := p.ReadPage(name, page+int64(i), buf[i*p.c.pageSize:(i+1)*p.c.pageSize]); err != nil {
+			return got, err
+		}
+		got++
+	}
+	return got, nil
+}
+
+// InvalidatePage implements storage.Invalidator.
+func (p *Pool) InvalidatePage(name string, page int64) {
+	k := pageKey{disk: p.id, page: page, name: name}
+	sh := p.c.shardFor(k)
+	sh.mu.Lock()
+	if fr := sh.frames[k]; fr != nil {
+		delete(sh.frames, k)
+		fr.dead = true
+	}
+	sh.mu.Unlock()
+}
+
+// InvalidateFile implements storage.Invalidator: drops every cached page
+// of the named file on this pool's disk.
+func (p *Pool) InvalidateFile(name string) {
+	for i := range p.c.shards {
+		sh := &p.c.shards[i]
+		sh.mu.Lock()
+		for k, fr := range sh.frames {
+			if k.disk == p.id && k.name == name {
+				delete(sh.frames, k)
+				fr.dead = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Purge drops every cached page of this pool's disk (hit/miss counters are
+// kept). Benchmarks use it to measure cold-cache behaviour.
+func (p *Pool) Purge() {
+	for i := range p.c.shards {
+		sh := &p.c.shards[i]
+		sh.mu.Lock()
+		for k, fr := range sh.frames {
+			if k.disk == p.id {
+				delete(sh.frames, k)
+				fr.dead = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Hits returns how many pins were served from the cache.
+func (p *Pool) Hits() int64 { return p.hits.Load() }
+
+// Misses returns how many pins had to read from the backing disk.
+func (p *Pool) Misses() int64 { return p.misses.Load() }
+
+// Stats implements storage.StatsProvider: the backing disk's accounting
+// with this pool's cache counters filled in. Because every miss performed
+// exactly one disk read, Stats().Cost charges exactly the misses.
+func (p *Pool) Stats() storage.Stats {
+	st := p.d.Stats()
+	st.CacheHits = p.hits.Load()
+	st.CacheMisses = p.misses.Load()
+	return st
+}
+
+// ResetStats zeroes the cache counters and the backing disk's accounting.
+func (p *Pool) ResetStats() {
+	p.hits.Store(0)
+	p.misses.Store(0)
+	p.d.ResetStats()
+}
+
+var (
+	_ storage.PageReader    = (*Pool)(nil)
+	_ storage.Invalidator   = (*Pool)(nil)
+	_ storage.StatsProvider = (*Pool)(nil)
+	_ storage.Unpinner      = (*frame)(nil)
+)

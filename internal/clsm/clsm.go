@@ -35,6 +35,11 @@ type Options struct {
 	// starting at 0). When Parallelism exceeds 1, Raw must be safe for
 	// concurrent Get calls.
 	Raw series.RawStore
+	// Reader serves every page read of the run files during search. nil
+	// selects the Disk itself (uncached); pass a buffer pool over the same
+	// disk to serve hot run pages from memory. Writes (flushes, merges)
+	// always go to Disk, which invalidates through any attached pool.
+	Reader storage.PageReader
 	// Parallelism bounds the worker goroutines a single search uses to
 	// probe on-disk runs concurrently. 1 keeps the serial path; values <= 0
 	// select GOMAXPROCS. Results are identical at every setting: each
@@ -65,6 +70,9 @@ func (o *Options) setDefaults() error {
 	}
 	if o.BufferEntries < 1 {
 		return fmt.Errorf("clsm: BufferEntries must be positive, got %d", o.BufferEntries)
+	}
+	if o.Reader == nil {
+		o.Reader = o.Disk
 	}
 	return nil
 }
@@ -125,6 +133,17 @@ func (l *LSM) Count() int64 { return l.count }
 // indexes default to GOMAXPROCS — call this after Open to restore a serial
 // configuration. Call only while no search is in flight.
 func (l *LSM) SetParallelism(n int) { l.pool = parallel.New(n) }
+
+// UseReader routes subsequent page reads through r — typically a buffer
+// pool over the LSM's disk (nil restores the uncached disk). Like
+// SetParallelism it is not persisted; call after Open to re-attach a
+// cache. Call only while no search is in flight.
+func (l *LSM) UseReader(r storage.PageReader) {
+	if r == nil {
+		r = l.opts.Disk
+	}
+	l.opts.Reader = r
+}
 
 // Config returns the summarization configuration the LSM was created with.
 func (l *LSM) Config() index.Config { return l.opts.Config }

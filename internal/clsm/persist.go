@@ -147,6 +147,7 @@ func decodeMeta(disk *storage.Disk, name string, buf []byte, raw series.RawStore
 		GrowthFactor:  growth,
 		BufferEntries: bufferEntries,
 		Raw:           raw,
+		Reader:        disk,
 	}
 	if err := l.opts.Config.Validate(); err != nil {
 		return nil, fmt.Errorf("clsm: invalid persisted config: %w", err)

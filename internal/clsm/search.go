@@ -146,12 +146,11 @@ func (l *LSM) probeRun(r run, q index.Query, col *index.Collector, sc *index.Scr
 	if pages == 0 {
 		return nil
 	}
-	buf := sc.Page(l.opts.Disk.PageSize())
 	// Binary search over pages by first key.
 	lo, hi := 0, pages-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		first, err := l.firstKey(r, mid, buf)
+		first, err := l.firstKey(r, mid)
 		if err != nil {
 			return err
 		}
@@ -164,20 +163,24 @@ func (l *LSM) probeRun(r run, q index.Query, col *index.Collector, sc *index.Scr
 	return l.evalPage(r, lo, q, col, sc)
 }
 
-func (l *LSM) firstKey(r run, page int, buf []byte) (sortable.Key, error) {
-	if _, err := l.opts.Disk.ReadPage(r.file, int64(page), buf); err != nil {
+func (l *LSM) firstKey(r run, page int) (sortable.Key, error) {
+	h, err := l.opts.Reader.PinPage(r.file, int64(page))
+	if err != nil {
 		return sortable.Key{}, err
 	}
-	return record.DecodeKeyOnly(buf), nil
+	k := record.DecodeKeyOnly(h.Data())
+	h.Release()
+	return k, nil
 }
 
 // evalPage evaluates all entries on one page of a run straight from the
-// page bytes. The page is assumed freshly read into the scratch by firstKey
-// when called from probeRun; it re-reads to keep the logic self-contained
-// (the repeat read of the same page is accounted as buffered/sequential).
+// pinned page bytes. The page was just examined by firstKey when called
+// from probeRun; it re-pins to keep the logic self-contained (an uncached
+// repeat pin of the same page is accounted as buffered/sequential, and a
+// cached one is a hit).
 func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector, sc *index.Scratch) error {
-	buf := sc.Page(l.opts.Disk.PageSize())
-	if _, err := l.opts.Disk.ReadPage(r.file, int64(page), buf); err != nil {
+	h, err := l.opts.Reader.PinPage(r.file, int64(page))
+	if err != nil {
 		return err
 	}
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
@@ -186,7 +189,8 @@ func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector, sc 
 	if rem := r.count - start; rem < int64(n) {
 		n = int(rem)
 	}
-	_, err := index.EvalEncoded(q, buf, n, l.codec, l.opts.Raw, col, sc)
+	_, err = index.EvalEncoded(q, h.Data(), n, l.codec, l.opts.Raw, col, sc)
+	h.Release()
 	return err
 }
 
@@ -196,9 +200,9 @@ func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector, sc 
 func (l *LSM) scanRun(r run, q index.Query, col *index.Collector, sc *index.Scratch) error {
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
 	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
-	buf := sc.Page(l.opts.Disk.PageSize())
 	for p := 0; p < pages; p++ {
-		if _, err := l.opts.Disk.ReadPage(r.file, int64(p), buf); err != nil {
+		h, err := l.opts.Reader.PinPage(r.file, int64(p))
+		if err != nil {
 			return err
 		}
 		start := int64(p) * int64(perPage)
@@ -206,7 +210,9 @@ func (l *LSM) scanRun(r run, q index.Query, col *index.Collector, sc *index.Scra
 		if rem := r.count - start; rem < int64(n) {
 			n = int(rem)
 		}
-		if _, err := index.EvalEncoded(q, buf, n, l.codec, l.opts.Raw, col, sc); err != nil {
+		_, err = index.EvalEncoded(q, h.Data(), n, l.codec, l.opts.Raw, col, sc)
+		h.Release()
+		if err != nil {
 			return err
 		}
 	}
@@ -245,9 +251,9 @@ func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 func (l *LSM) rangeScanRun(r run, q index.Query, col *index.RangeCollector, sc *index.Scratch) error {
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
 	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
-	buf := sc.Page(l.opts.Disk.PageSize())
 	for p := 0; p < pages; p++ {
-		if _, err := l.opts.Disk.ReadPage(r.file, int64(p), buf); err != nil {
+		h, err := l.opts.Reader.PinPage(r.file, int64(p))
+		if err != nil {
 			return err
 		}
 		start := int64(p) * int64(perPage)
@@ -255,7 +261,9 @@ func (l *LSM) rangeScanRun(r run, q index.Query, col *index.RangeCollector, sc *
 		if rem := r.count - start; rem < int64(n) {
 			n = int(rem)
 		}
-		if err := index.EvalEncodedRange(q, buf, n, l.codec, l.opts.Raw, col, sc); err != nil {
+		err = index.EvalEncodedRange(q, h.Data(), n, l.codec, l.opts.Raw, col, sc)
+		h.Release()
+		if err != nil {
 			return err
 		}
 	}

@@ -38,6 +38,12 @@ type Options struct {
 	// (z-normalized) series. Required unless Config.Materialized. When
 	// Parallelism exceeds 1, Raw must be safe for concurrent Get calls.
 	Raw series.RawStore
+	// Reader serves every page read of the tree (leaf scans, probes, and
+	// the insert path's read-modify-write). nil selects the Disk itself —
+	// the uncached behaviour; pass a buffer pool over the same disk to
+	// serve hot leaf pages from memory. Writes always go to Disk, which
+	// invalidates through any attached pool.
+	Reader storage.PageReader
 	// Parallelism bounds the worker goroutines used per operation: exact
 	// and range searches scan leaf ranges concurrently, and construction's
 	// external sort sorts in-memory runs on workers. 1 keeps the serial
@@ -67,6 +73,9 @@ func (o *Options) setDefaults() error {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = parallel.Resolve(o.Parallelism)
+	}
+	if o.Reader == nil {
+		o.Reader = o.Disk
 	}
 	return nil
 }
@@ -126,6 +135,17 @@ func (t *Tree) Leaves() int { return len(t.leaves) }
 // trees default to GOMAXPROCS — call this after Open to restore a serial
 // configuration. Call only while no search is in flight.
 func (t *Tree) SetParallelism(n int) { t.pool = parallel.New(n) }
+
+// UseReader routes subsequent page reads through r — typically a buffer
+// pool over the tree's disk (nil restores the uncached disk). Like
+// SetParallelism it is not persisted; call after Open to re-attach a
+// cache. Call only while no search is in flight.
+func (t *Tree) UseReader(r storage.PageReader) {
+	if r == nil {
+		r = t.opts.Disk
+	}
+	t.opts.Reader = r
+}
 
 // Build constructs a CTree over all series in src, assigning IDs 0..n-1 in
 // source order and timestamp ts to every entry. Construction is bottom-up:
@@ -324,7 +344,7 @@ func (t *Tree) readLeaf(li int) ([]record.Entry, error) {
 // readLeafBuf is readLeaf with a caller-owned page buffer, so concurrent
 // searches (and search workers) never share scratch space.
 func (t *Tree) readLeafBuf(li int, buf []byte) ([]record.Entry, error) {
-	if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
+	if _, err := t.opts.Reader.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
 		return nil, err
 	}
 	recSize := t.codec.Size()

@@ -138,6 +138,7 @@ func decodeMeta(disk *storage.Disk, name string, buf []byte, raw series.RawStore
 		},
 		FillFactor: fill,
 		Raw:        raw,
+		Reader:     disk,
 	}
 	if err := t.opts.Config.Validate(); err != nil {
 		return nil, fmt.Errorf("ctree: invalid persisted config: %w", err)

@@ -71,11 +71,13 @@ func (t *Tree) approxInto(q index.Query, k int, col *index.Collector, ctx *index
 }
 
 func (t *Tree) scanLeafInto(li int, q index.Query, col *index.Collector, sc *index.Scratch) (int, error) {
-	buf := sc.Page(t.opts.Disk.PageSize())
-	if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
+	h, err := t.opts.Reader.PinPage(t.leafFile, t.pageNum(li))
+	if err != nil {
 		return 0, err
 	}
-	return index.EvalEncoded(q, buf, t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
+	n, err := index.EvalEncoded(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
+	h.Release()
+	return n, err
 }
 
 // leafChunks splits the leaf directory into one contiguous range per
@@ -165,14 +167,17 @@ func (t *Tree) exactColl(q index.Query, k int, ctx *index.SearchCtx, pool *paral
 }
 
 // exactScanRange scans leaves [lo, hi) with squared lower-bound pruning
-// into col, evaluating candidates straight from the page bytes.
+// into col, evaluating candidates straight from the pinned page bytes —
+// zero copies whether the pin lands in a buffer pool or on the bare disk.
 func (t *Tree) exactScanRange(lo, hi int, q index.Query, col *index.Collector, sc *index.Scratch) error {
-	buf := sc.Page(t.opts.Disk.PageSize())
 	for li := lo; li < hi; li++ {
-		if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
+		h, err := t.opts.Reader.PinPage(t.leafFile, t.pageNum(li))
+		if err != nil {
 			return err
 		}
-		if _, err := index.EvalEncoded(q, buf, t.leaves[li].count, t.codec, t.opts.Raw, col, sc); err != nil {
+		_, err = index.EvalEncoded(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
+		h.Release()
+		if err != nil {
 			return err
 		}
 	}
@@ -203,12 +208,14 @@ func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 // rangeScanRange scans leaves [lo, hi) with squared epsilon pruning into
 // col.
 func (t *Tree) rangeScanRange(lo, hi int, q index.Query, col *index.RangeCollector, sc *index.Scratch) error {
-	buf := sc.Page(t.opts.Disk.PageSize())
 	for li := lo; li < hi; li++ {
-		if _, err := t.opts.Disk.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
+		h, err := t.opts.Reader.PinPage(t.leafFile, t.pageNum(li))
+		if err != nil {
 			return err
 		}
-		if err := index.EvalEncodedRange(q, buf, t.leaves[li].count, t.codec, t.opts.Raw, col, sc); err != nil {
+		err = index.EvalEncodedRange(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
+		h.Release()
+		if err != nil {
 			return err
 		}
 	}

@@ -30,10 +30,11 @@ import (
 //     key bits on the stack), and no sqrt (collectors compare squared
 //     bounds; true distances materialize only in Results()).
 //
-//   - A SearchCtx bundles the Pruner with per-worker Scratch states (page
-//     buffer, raw-series decode buffer, candidate-ordering scratch) and is
+//   - A SearchCtx bundles the Pruner with per-worker Scratch states
+//     (raw-series decode buffer, candidate-ordering scratch) and is
 //     recycled through a sync.Pool, so concurrent searches allocate nothing
-//     per candidate probe.
+//     per candidate probe. Pages themselves arrive as pinned borrows from
+//     the storage.PageReader (zero-copy), not as scratch copies.
 //
 // # Query-context lifecycle
 //
@@ -50,9 +51,9 @@ import (
 // FanOut; a scratch is exclusive to its slot while a task runs, so its
 // buffers need no locking. Scratches must be materialized on the
 // coordinating goroutine (Scratches / Scratch0) before workers start.
-// Release returns the whole bundle — tables, page buffers, decode scratch,
-// candidate slices — to the pool for the next query; a context must not be
-// used after Release.
+// Release returns the whole bundle — tables, decode scratch, candidate
+// slices — to the pool for the next query; a context must not be used
+// after Release.
 
 // Pruner holds the per-query MINDIST lookup tables in squared space. The
 // zero value is unusable; tables are populated by Fill (one cardinality) and
@@ -201,25 +202,16 @@ type offCand struct {
 	off  int32
 }
 
-// Scratch is the per-worker mutable state of one query: a page buffer, a
-// raw-series decode buffer, and candidate-ordering scratch. Exactly one
+// Scratch is the per-worker mutable state of one query: a raw-series
+// decode buffer and candidate-ordering scratch (index pages are read as
+// pinned zero-copy borrows, so no page buffer lives here). Exactly one
 // task uses a scratch at a time (FanOut hands one to each worker slot), so
 // none of it is locked. P points at the query's shared read-only Pruner.
 type Scratch struct {
 	P      *Pruner
-	page   []byte
 	ser    series.Series
 	ecands []entCand
 	ocands []offCand
-}
-
-// Page returns the scratch page buffer resized to n bytes, reusing the
-// allocation across pages, runs, and queries.
-func (s *Scratch) Page(n int) []byte {
-	if cap(s.page) < n {
-		s.page = make([]byte, n)
-	}
-	return s.page[:n]
 }
 
 // SeriesBuf returns the scratch series buffer resized to n points.

@@ -42,6 +42,9 @@ type Server struct {
 	// defaultShards applies to builds whose request leaves the shards field
 	// unset; 0 or 1 keeps builds unsharded.
 	defaultShards int
+	// defaultCacheBytes applies to builds whose request leaves the
+	// cache_bytes field unset; 0 keeps builds uncached.
+	defaultCacheBytes int64
 }
 
 type dataset struct {
@@ -80,6 +83,13 @@ func (s *Server) SetDefaultParallelism(n int) { s.defaultParallelism = n }
 // builds unsharded. Call before serving; the setting is not synchronized
 // with in-flight requests.
 func (s *Server) SetDefaultShards(n int) { s.defaultShards = n }
+
+// SetDefaultCacheBytes sets the buffer-pool size applied to builds whose
+// request does not specify one: n > 0 puts a shared page cache of n bytes
+// between each new build's indexes and its disk(s); 0 keeps builds
+// uncached (the paper-faithful accounting). Call before serving; the
+// setting is not synchronized with in-flight requests.
+func (s *Server) SetDefaultCacheBytes(n int64) { s.defaultCacheBytes = n }
 
 // lookupBuild resolves a build ID under a read lock, so concurrent queries
 // never serialize on the registry mutex.
@@ -225,6 +235,11 @@ type BuildRequest struct {
 	// or 0 falls back to the server default, 1 forces unsharded. Answers
 	// are identical at every setting.
 	Shards int `json:"shards"`
+	// CacheBytes > 0 puts a buffer pool of that size between the build's
+	// indexes and its disk(s); sharded builds share one pool. Unset or 0
+	// falls back to the server default; -1 forces uncached. Answers are
+	// identical at every setting — only I/O cost changes.
+	CacheBytes int64 `json:"cache_bytes"`
 }
 
 // BuildResponse reports construction accounting, the numbers the demo GUI
@@ -280,12 +295,23 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "shards must be in [0, 256], got %d", req.Shards)
 		return
 	}
+	if req.CacheBytes == 0 {
+		req.CacheBytes = s.defaultCacheBytes
+	}
+	if req.CacheBytes < 0 {
+		req.CacheBytes = 0 // explicit opt-out of the server default
+	}
+	if req.CacheBytes > 1<<32 {
+		writeError(w, http.StatusBadRequest, "cache_bytes must be at most %d, got %d", int64(1)<<32, req.CacheBytes)
+		return
+	}
 	b, err := workload.BuildVariant(req.Variant, d.ds, cfg, workload.BuildOptions{
 		FillFactor:   req.FillFactor,
 		GrowthFactor: req.GrowthFactor,
 		MemBudget:    req.MemBudget,
 		Parallelism:  req.Parallelism,
 		Shards:       req.Shards,
+		CacheBytes:   req.CacheBytes,
 	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "build failed: %v", err)
@@ -483,13 +509,30 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// DiskStats is the JSON shape of one disk's accounting.
+// DiskStats is the JSON shape of one disk's accounting. The cache fields
+// report the buffer pool fronting the disk and stay zero on uncached
+// builds; cost charges only the accesses that reached the disk (hits are
+// free, misses already appear as the reads they triggered).
 type DiskStats struct {
-	SeqReads   int64   `json:"seq_reads"`
-	RandReads  int64   `json:"rand_reads"`
-	SeqWrites  int64   `json:"seq_writes"`
-	RandWrites int64   `json:"rand_writes"`
-	Cost       float64 `json:"cost"`
+	SeqReads    int64   `json:"seq_reads"`
+	RandReads   int64   `json:"rand_reads"`
+	SeqWrites   int64   `json:"seq_writes"`
+	RandWrites  int64   `json:"rand_writes"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	HitRatio    float64 `json:"hit_ratio"`
+	Cost        float64 `json:"cost"`
+}
+
+// CacheStats is the /api/stats section describing a build's buffer pool.
+type CacheStats struct {
+	Enabled        bool    `json:"enabled"`
+	CapacityBytes  int64   `json:"capacity_bytes"`
+	CapacityFrames int64   `json:"capacity_frames"`
+	Hits           int64   `json:"hits"`
+	Misses         int64   `json:"misses"`
+	HitRatio       float64 `json:"hit_ratio"`
+	Evictions      int64   `json:"evictions"`
 }
 
 // StatsResponse reports a build's I/O accounting since construction:
@@ -501,13 +544,16 @@ type StatsResponse struct {
 	Shards    int         `json:"shards"`
 	Aggregate DiskStats   `json:"aggregate"`
 	PerShard  []DiskStats `json:"per_shard"`
+	Cache     CacheStats  `json:"cache"`
 }
 
 func (s *Server) diskStats(st storage.Stats) DiskStats {
 	return DiskStats{
 		SeqReads: st.SeqReads, RandReads: st.RandReads,
 		SeqWrites: st.SeqWrites, RandWrites: st.RandWrites,
-		Cost: st.Cost(s.cost),
+		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
+		HitRatio: st.HitRatio(),
+		Cost:     st.Cost(s.cost),
 	}
 }
 
@@ -524,17 +570,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "build %q not found", id)
 		return
 	}
+	agg := b.built.IOStats()
 	resp := StatsResponse{
 		Build:     id,
 		Variant:   b.built.Index.Name(),
 		Shards:    b.built.Shards(),
-		Aggregate: s.diskStats(b.built.IOStats()),
+		Aggregate: s.diskStats(agg),
 	}
-	if len(b.built.ShardDisks) > 0 {
+	if c := b.built.Cache; c != nil {
+		resp.Cache = CacheStats{
+			Enabled:        true,
+			CapacityBytes:  c.CapacityBytes(),
+			CapacityFrames: c.CapacityFrames(),
+			Hits:           agg.CacheHits,
+			Misses:         agg.CacheMisses,
+			HitRatio:       agg.HitRatio(),
+			Evictions:      c.Evictions(),
+		}
+	}
+	switch {
+	case len(b.built.ShardPools) > 0:
+		for _, p := range b.built.ShardPools {
+			resp.PerShard = append(resp.PerShard, s.diskStats(p.Stats()))
+		}
+	case len(b.built.ShardDisks) > 0:
 		for _, d := range b.built.ShardDisks {
 			resp.PerShard = append(resp.PerShard, s.diskStats(d.Stats()))
 		}
-	} else {
+	default:
 		resp.PerShard = []DiskStats{resp.Aggregate}
 	}
 	writeJSON(w, http.StatusOK, resp)

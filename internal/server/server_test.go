@@ -468,3 +468,70 @@ func TestConcurrentQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCachedBuildStats builds with a buffer pool and checks the stats
+// endpoint's cache section plus per-shard hit/miss accounting.
+func TestCachedBuildStats(t *testing.T) {
+	ts := newTestServer(t)
+	var d DatasetResponse
+	postJSON(t, ts.URL+"/api/datasets", DatasetRequest{Kind: "astronomy", N: 400, Len: 64, Seed: 6}, &d)
+	var b BuildResponse
+	code := postJSON(t, ts.URL+"/api/build", BuildRequest{
+		Dataset: d.ID, Variant: "CTree", Segments: 8, Bits: 8, Shards: 2, CacheBytes: 8 << 20,
+	}, &b)
+	if code != http.StatusCreated {
+		t.Fatalf("cached build status %d", code)
+	}
+	q := make([]float64, 64)
+	for i := range q {
+		q[i] = float64(i % 7)
+	}
+	// Two identical exact queries: the second is served warm.
+	for i := 0; i < 2; i++ {
+		if code := postJSON(t, ts.URL+"/api/query", QueryRequest{Build: b.ID, Series: q, K: 2, Exact: true}, nil); code != http.StatusOK {
+			t.Fatalf("query status %d", code)
+		}
+	}
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/api/stats?build="+b.ID, &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if !st.Cache.Enabled {
+		t.Fatalf("cache section disabled: %+v", st.Cache)
+	}
+	if st.Cache.CapacityBytes != 8<<20 {
+		t.Fatalf("cache capacity %d, want %d", st.Cache.CapacityBytes, 8<<20)
+	}
+	if st.Cache.Hits == 0 {
+		t.Fatalf("no cache hits after a warm query: %+v", st.Cache)
+	}
+	if st.Aggregate.CacheHits != st.Cache.Hits || st.Aggregate.CacheMisses != st.Cache.Misses {
+		t.Fatalf("aggregate cache counters %d/%d diverge from cache section %d/%d",
+			st.Aggregate.CacheHits, st.Aggregate.CacheMisses, st.Cache.Hits, st.Cache.Misses)
+	}
+	var perHits int64
+	for _, s := range st.PerShard {
+		perHits += s.CacheHits
+	}
+	if perHits != st.Cache.Hits {
+		t.Fatalf("per-shard hits %d != cache hits %d", perHits, st.Cache.Hits)
+	}
+	if st.Cache.HitRatio <= 0 || st.Cache.HitRatio > 1 {
+		t.Fatalf("hit ratio %v out of (0,1]", st.Cache.HitRatio)
+	}
+	// An uncached build reports a disabled cache section.
+	var plain BuildResponse
+	postJSON(t, ts.URL+"/api/build", BuildRequest{Dataset: d.ID, Variant: "CTree", Segments: 8, Bits: 8}, &plain)
+	if code := getJSON(t, ts.URL+"/api/stats?build="+plain.ID, &st); code != http.StatusOK {
+		t.Fatalf("plain stats status %d", code)
+	}
+	if st.Cache.Enabled {
+		t.Fatalf("uncached build reports an enabled cache: %+v", st.Cache)
+	}
+	// Oversized cache requests are rejected with a clear error.
+	if code := postJSON(t, ts.URL+"/api/build", BuildRequest{
+		Dataset: d.ID, Variant: "CTree", Segments: 8, Bits: 8, CacheBytes: 1 << 40,
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized cache_bytes accepted with status %d", code)
+	}
+}

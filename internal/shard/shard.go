@@ -78,7 +78,21 @@ func Partition(n int64, shards int) [][]int64 {
 type Shard struct {
 	Index index.Index
 	Disk  *storage.Disk
-	IDs   []int64 // IDs[local] = global ID, ascending
+	// Reader is the page reader the shard's index reads through — the disk
+	// itself, or a buffer pool over it. When it provides statistics
+	// (storage.StatsProvider — *bufpool.Pool does), shard-level accounting
+	// includes its cache hit/miss counters; nil falls back to Disk.
+	Reader storage.PageReader
+	IDs    []int64 // IDs[local] = global ID, ascending
+}
+
+// IOStats returns the shard's I/O accounting: the reader's cache-aware
+// statistics when available, the bare disk's otherwise.
+func (sh Shard) IOStats() storage.Stats {
+	if sp, ok := sh.Reader.(storage.StatsProvider); ok {
+		return sp.Stats()
+	}
+	return sh.Disk.Stats()
 }
 
 // Sharded is a horizontally partitioned index. It implements index.Index
@@ -138,20 +152,22 @@ func (s *Sharded) Config() index.Config { return s.cfg }
 // setting. Call only while no search is in flight.
 func (s *Sharded) SetParallelism(n int) { s.pool = parallel.New(n) }
 
-// IOStats returns the disk statistics aggregated across every shard.
+// IOStats returns the disk statistics aggregated across every shard,
+// including buffer-pool hit/miss counters when shards read through one.
 func (s *Sharded) IOStats() storage.Stats {
 	var agg storage.Stats
 	for _, sh := range s.shards {
-		agg = agg.Add(sh.Disk.Stats())
+		agg = agg.Add(sh.IOStats())
 	}
 	return agg
 }
 
-// ShardStats returns each shard's disk statistics, in shard order.
+// ShardStats returns each shard's statistics (cache-aware when the shard
+// reads through a buffer pool), in shard order.
 func (s *Sharded) ShardStats() []storage.Stats {
 	out := make([]storage.Stats, len(s.shards))
 	for i, sh := range s.shards {
-		out[i] = sh.Disk.Stats()
+		out[i] = sh.IOStats()
 	}
 	return out
 }

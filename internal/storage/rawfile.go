@@ -15,18 +15,38 @@ type RawFile struct {
 	n      int   // series length
 	count  int64 // number of series
 	disk   *Disk
+	reader PageReader // read path; defaults to the disk (uncached)
 	name   string
 	writer *RecordWriter
 }
 
 // CreateRawFile creates a raw series file for series of length n and returns
-// it ready for appending.
+// it ready for appending. Reads go straight to the disk; route them through
+// a buffer pool with UseReader.
 func CreateRawFile(d *Disk, name string, n int) (*RawFile, error) {
 	w, err := NewRecordWriter(d, name, series.Size(n))
 	if err != nil {
 		return nil, err
 	}
-	return &RawFile{n: n, disk: d, name: name, writer: w}, nil
+	return &RawFile{n: n, disk: d, reader: d, name: name, writer: w}, nil
+}
+
+// UseReader routes subsequent raw-series reads through r (typically a
+// buffer pool over the same disk). If the file is already sealed the
+// record reader is reopened against r; otherwise r takes effect at Seal.
+func (r *RawFile) UseReader(pr PageReader) error {
+	if pr == nil {
+		pr = r.disk
+	}
+	r.reader = pr
+	if r.rf != nil {
+		rf, err := OpenRecordFile(pr, r.name, series.Size(r.n))
+		if err != nil {
+			return err
+		}
+		r.rf = rf
+	}
+	return nil
 }
 
 // Append adds a series, returning its ID. It must not be called after Seal.
@@ -54,7 +74,7 @@ func (r *RawFile) Seal() error {
 		return err
 	}
 	r.writer = nil
-	rf, err := OpenRecordFile(r.disk, r.name, series.Size(r.n))
+	rf, err := OpenRecordFile(r.reader, r.name, series.Size(r.n))
 	if err != nil {
 		return err
 	}

@@ -32,11 +32,21 @@ var (
 // Multi-page operations (ReadPages, AppendPages) therefore cost at most one
 // random access followed by sequential ones, which is how buffered
 // streaming I/O earns its sequential profile.
+//
+// CacheHits and CacheMisses account the buffer-pool layer when a cached
+// PageReader fronts the disk: a hit is served from memory and never reaches
+// the disk (so it adds nothing to the read counters and nothing to Cost),
+// while a miss also shows up as the underlying disk read it triggered —
+// Cost therefore charges exactly the misses, which is the point of the
+// cache. Both stay zero on an uncached disk.
 type Stats struct {
 	SeqReads   int64
 	RandReads  int64
 	SeqWrites  int64
 	RandWrites int64
+	// Buffer-pool accounting (zero unless reads go through a page cache).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Reads returns total page reads.
@@ -51,25 +61,43 @@ func (s Stats) Total() int64 { return s.Reads() + s.Writes() }
 // Sub returns s - o, useful for measuring a window of activity.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		SeqReads:   s.SeqReads - o.SeqReads,
-		RandReads:  s.RandReads - o.RandReads,
-		SeqWrites:  s.SeqWrites - o.SeqWrites,
-		RandWrites: s.RandWrites - o.RandWrites,
+		SeqReads:    s.SeqReads - o.SeqReads,
+		RandReads:   s.RandReads - o.RandReads,
+		SeqWrites:   s.SeqWrites - o.SeqWrites,
+		RandWrites:  s.RandWrites - o.RandWrites,
+		CacheHits:   s.CacheHits - o.CacheHits,
+		CacheMisses: s.CacheMisses - o.CacheMisses,
 	}
 }
 
 // Add returns s + o.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		SeqReads:   s.SeqReads + o.SeqReads,
-		RandReads:  s.RandReads + o.RandReads,
-		SeqWrites:  s.SeqWrites + o.SeqWrites,
-		RandWrites: s.RandWrites + o.RandWrites,
+		SeqReads:    s.SeqReads + o.SeqReads,
+		RandReads:   s.RandReads + o.RandReads,
+		SeqWrites:   s.SeqWrites + o.SeqWrites,
+		RandWrites:  s.RandWrites + o.RandWrites,
+		CacheHits:   s.CacheHits + o.CacheHits,
+		CacheMisses: s.CacheMisses + o.CacheMisses,
 	}
 }
 
+// HitRatio returns the cache hit fraction, or 0 when no cached reads were
+// observed.
+func (s Stats) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
 func (s Stats) String() string {
-	return fmt.Sprintf("seqR=%d randR=%d seqW=%d randW=%d", s.SeqReads, s.RandReads, s.SeqWrites, s.RandWrites)
+	out := fmt.Sprintf("seqR=%d randR=%d seqW=%d randW=%d", s.SeqReads, s.RandReads, s.SeqWrites, s.RandWrites)
+	if s.CacheHits != 0 || s.CacheMisses != 0 {
+		out += fmt.Sprintf(" cacheHit=%d cacheMiss=%d", s.CacheHits, s.CacheMisses)
+	}
+	return out
 }
 
 // CostModel prices page accesses. The defaults approximate a spinning disk
@@ -83,9 +111,20 @@ type CostModel struct {
 // DefaultCostModel is the disk-like model used by the benchmarks.
 var DefaultCostModel = CostModel{SeqCost: 1, RandCost: 10}
 
-// Cost returns the total cost of the accounted accesses under m.
+// Cost returns the total cost of the accounted accesses under m. Cache
+// hits are free: only the seq/rand counters — which a buffer-pool hit never
+// touches, and a miss increments exactly once via its backing disk read —
+// contribute to the cost.
 func (s Stats) Cost(m CostModel) float64 {
 	return float64(s.SeqReads+s.SeqWrites)*m.SeqCost + float64(s.RandReads+s.RandWrites)*m.RandCost
+}
+
+// StatsProvider exposes I/O statistics. *Disk implements it (cache fields
+// zero); cached readers such as *bufpool.Pool implement it with the
+// hit/miss counters filled in, so cost accounting can be threaded through
+// layers that no longer know whether their reads are cached.
+type StatsProvider interface {
+	Stats() Stats
 }
 
 // Tracer observes every page access; the heat-map package implements it.
@@ -93,6 +132,68 @@ func (s Stats) Cost(m CostModel) float64 {
 // must be safe for concurrent Access calls.
 type Tracer interface {
 	Access(file string, page int64, write bool)
+}
+
+// PageReader is the read side of the storage layer: everything a search
+// path needs to fetch pages. Both *Disk (uncached — every read reaches the
+// simulated head) and *bufpool.Pool (a pinned page cache in front of a
+// disk) satisfy it, so indexes read through a PageReader and stay agnostic
+// of whether a buffer pool is present. Writes always go to the *Disk;
+// write-path coherence is the invalidation hooks' business (Invalidator).
+type PageReader interface {
+	PageSize() int
+	Exists(name string) bool
+	NumPages(name string) (int64, error)
+	ReadPage(name string, page int64, buf []byte) (int, error)
+	ReadPages(name string, page int64, n int, buf []byte) (int, error)
+	// PinPage returns a borrowed, read-only view of one page without
+	// copying. The caller must Release the handle when done with the bytes;
+	// the view is a stable snapshot of the page at pin time.
+	PinPage(name string, page int64) (PageHandle, error)
+}
+
+// Unpinner releases one pinned page back to its cache. Cached readers hand
+// out frames implementing it; uncached reads need no release (nil).
+type Unpinner interface {
+	Unpin()
+}
+
+// PageHandle is a borrowed, read-only view of one page — the zero-copy
+// currency of the PageReader interface. Data remains valid (a stable
+// snapshot) until Release; after Release it must not be touched, because a
+// cache may recycle the underlying frame. Handles are plain values: pinning
+// and releasing allocate nothing.
+type PageHandle struct {
+	data []byte
+	pin  Unpinner
+}
+
+// NewPageHandle wraps page bytes (and an optional unpin hook) in a handle;
+// cache implementations use it to hand out pinned frames.
+func NewPageHandle(data []byte, pin Unpinner) PageHandle {
+	return PageHandle{data: data, pin: pin}
+}
+
+// Data returns the page bytes. Valid only until Release.
+func (h PageHandle) Data() []byte { return h.data }
+
+// Release returns the page to its cache (a no-op for uncached reads).
+func (h PageHandle) Release() {
+	if h.pin != nil {
+		h.pin.Unpin()
+	}
+}
+
+// Invalidator receives write-path invalidation events from a Disk, keeping
+// any page cache in front of it coherent: page writes invalidate one page,
+// Remove and Rename invalidate a whole file. Events fire after the disk
+// mutation completes and outside the disk lock (so an invalidator may take
+// its own locks and read back through the disk); as everywhere else in the
+// storage layer, writes therefore require external serialization against
+// concurrent reads of the same pages.
+type Invalidator interface {
+	InvalidatePage(name string, page int64)
+	InvalidateFile(name string)
 }
 
 // Disk is a simulated page-addressed disk holding named files. It is safe
@@ -113,6 +214,7 @@ type Disk struct {
 	files      map[string]*file
 	nextFileID uint32
 	tracer     Tracer
+	invs       []Invalidator
 
 	seqReads, randReads   atomic.Int64
 	seqWrites, randWrites atomic.Int64
@@ -164,12 +266,44 @@ func (d *Disk) Stats() Stats {
 	}
 }
 
-// ResetStats zeroes the I/O statistics.
+// ResetStats zeroes the I/O statistics, including the packed head position
+// that drives the per-file sequential-vs-random classification. Resetting
+// the head matters: without it, the first access of a measurement window
+// could classify as sequential purely because the previous window happened
+// to park the head on the adjacent page of the same file — the window's
+// accounting would then depend on activity it claims to exclude.
 func (d *Disk) ResetStats() {
 	d.seqReads.Store(0)
 	d.randReads.Store(0)
 	d.seqWrites.Store(0)
 	d.randWrites.Store(0)
+	d.head.Store(0)
+}
+
+// AddInvalidator registers a cache invalidation hook; every subsequent
+// page overwrite, Remove, and Rename notifies it (appends never do: a new
+// page number cannot be cached). Hooks cannot be removed — a pool lives as
+// long as its disk.
+func (d *Disk) AddInvalidator(inv Invalidator) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.invs = append(d.invs, inv)
+}
+
+// notifyPage fires page-level invalidation on a snapshot of the hook list
+// taken under the disk lock. Called after the lock is released so hooks may
+// take their own locks and re-read through the disk without deadlocking.
+func notifyPage(invs []Invalidator, name string, page int64) {
+	for _, inv := range invs {
+		inv.InvalidatePage(name, page)
+	}
+}
+
+// notifyFile is notifyPage for whole-file invalidation (Remove, Rename).
+func notifyFile(invs []Invalidator, name string) {
+	for _, inv := range invs {
+		inv.InvalidateFile(name)
+	}
 }
 
 // Create creates an empty file. It fails if the name already exists.
@@ -185,31 +319,40 @@ func (d *Disk) Create(name string) error {
 
 // Remove deletes a file and reclaims its pages. File identities are never
 // reused, so a head position pointing at a removed file simply never
-// matches again (the next access counts as random, as it should).
+// matches again (the next access counts as random, as it should). Any
+// registered caches drop the file's pages.
 func (d *Disk) Remove(name string) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if _, ok := d.files[name]; !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(d.files, name)
+	invs := d.invs
+	d.mu.Unlock()
+	notifyFile(invs, name)
 	return nil
 }
 
-// Rename renames a file, failing if the target exists.
+// Rename renames a file, failing if the target exists. Any registered
+// caches drop the pages keyed under the old name.
 func (d *Disk) Rename(oldName, newName string) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	f, ok := d.files[oldName]
 	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, oldName)
 	}
 	if _, ok := d.files[newName]; ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrExists, newName)
 	}
 	delete(d.files, oldName)
 	f.name = newName
 	d.files[newName] = f
+	invs := d.invs
+	d.mu.Unlock()
+	notifyFile(invs, oldName)
 	return nil
 }
 
@@ -274,41 +417,71 @@ func (d *Disk) ReadPage(name string, page int64, buf []byte) (int, error) {
 	return copy(buf, f.pages[page]), nil
 }
 
-// WritePage overwrites page number page of the named file. Writing exactly
-// one page past the end appends a new page.
-func (d *Disk) WritePage(name string, page int64, data []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+// PinPage returns a zero-copy, read-only view of one page, accounted
+// exactly like a ReadPage of it. Safe to borrow: the disk never mutates a
+// published page slice in place — WritePage and the append paths install
+// freshly allocated pages — so the view is a stable snapshot even if the
+// page is overwritten after the pin. The handle needs no release (its
+// Release is a no-op), but callers should Release anyway so the same code
+// path works against a pinning cache.
+func (d *Disk) PinPage(name string, page int64) (PageHandle, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	f, ok := d.files[name]
 	if !ok {
+		return PageHandle{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if page < 0 || page >= int64(len(f.pages)) {
+		return PageHandle{}, fmt.Errorf("%w: %q page %d of %d", ErrOutOfRange, name, page, len(f.pages))
+	}
+	d.account(f, page, false)
+	return PageHandle{data: f.pages[page]}, nil
+}
+
+// WritePage overwrites page number page of the named file. Writing exactly
+// one page past the end appends a new page. Registered caches drop their
+// copy of the page. The page slice is replaced, never mutated, so pinned
+// views of the old contents stay valid snapshots.
+func (d *Disk) WritePage(name string, page int64, data []byte) error {
+	d.mu.Lock()
+	f, ok := d.files[name]
+	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if page < 0 || page > int64(len(f.pages)) {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %q page %d of %d", ErrOutOfRange, name, page, len(f.pages))
 	}
 	if len(data) > d.pageSize {
+		d.mu.Unlock()
 		return fmt.Errorf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize)
 	}
 	d.account(f, page, true)
 	p := make([]byte, d.pageSize)
 	copy(p, data)
+	var invs []Invalidator
 	if page == int64(len(f.pages)) {
-		f.pages = append(f.pages, p)
+		f.pages = append(f.pages, p) // append: the page cannot be cached yet
 	} else {
 		f.pages[page] = p
+		invs = d.invs
 	}
+	d.mu.Unlock()
+	notifyPage(invs, name, page)
 	return nil
 }
 
 // AppendPage appends a page to the named file, returning its page number.
 func (d *Disk) AppendPage(name string, data []byte) (int64, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	f, ok := d.files[name]
 	if !ok {
+		d.mu.Unlock()
 		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	if len(data) > d.pageSize {
+		d.mu.Unlock()
 		return 0, fmt.Errorf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize)
 	}
 	page := int64(len(f.pages))
@@ -316,6 +489,10 @@ func (d *Disk) AppendPage(name string, data []byte) (int64, error) {
 	p := make([]byte, d.pageSize)
 	copy(p, data)
 	f.pages = append(f.pages, p)
+	// No invalidation: a freshly appended page number cannot be cached —
+	// pins are bounds-checked, the disk never truncates, and Remove/Rename
+	// already flush a name before it can shrink or be reused.
+	d.mu.Unlock()
 	return page, nil
 }
 
@@ -349,9 +526,9 @@ func (d *Disk) ReadPages(name string, page int64, n int, buf []byte) (int, error
 // head movement plus sequential transfers.
 func (d *Disk) AppendPages(name string, data []byte) (int64, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	f, ok := d.files[name]
 	if !ok {
+		d.mu.Unlock()
 		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	first := int64(len(f.pages))
@@ -365,8 +542,14 @@ func (d *Disk) AppendPages(name string, data []byte) (int64, error) {
 		d.account(f, int64(len(f.pages)), true)
 		f.pages = append(f.pages, p)
 	}
+	// No invalidation: appended page numbers cannot be cached (see
+	// AppendPage).
+	d.mu.Unlock()
 	return first, nil
 }
+
+var _ PageReader = (*Disk)(nil)
+var _ StatsProvider = (*Disk)(nil)
 
 // account classifies one page access as sequential or random and advances
 // the head. It must be called with d.mu held (shared or exclusive): the

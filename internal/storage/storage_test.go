@@ -555,3 +555,85 @@ func TestRemoveResetsHead(t *testing.T) {
 		t.Fatalf("stats after recreate = %v, want 1 random write", st)
 	}
 }
+
+// TestResetStatsResetsHead is the regression test for the stale-head bug:
+// ResetStats used to zero the counters but leave the packed head position
+// (the per-file state behind sequential-vs-random classification), so the
+// first access of a fresh measurement window could ride the previous
+// window's head position and classify as sequential.
+func TestResetStatsResetsHead(t *testing.T) {
+	d := NewDisk(0)
+	if err := d.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, d.PageSize())
+	for i := 0; i < 3; i++ {
+		if _, err := d.AppendPage("f", page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, d.PageSize())
+	if _, err := d.ReadPage("f", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	// Page 1 is adjacent to the pre-reset head; with a stale head it would
+	// count as sequential. A reset window must charge it as random.
+	if _, err := d.ReadPage("f", 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.RandReads != 1 || st.SeqReads != 0 {
+		t.Fatalf("first read after ResetStats classified seq=%d rand=%d, want rand=1 seq=0", st.SeqReads, st.RandReads)
+	}
+	// And the stream continues to classify normally afterwards.
+	if _, err := d.ReadPage("f", 2, buf); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.SeqReads != 1 {
+		t.Fatalf("second read should be sequential, got %v", st)
+	}
+}
+
+// TestPinPageAccounting checks Disk.PinPage charges exactly like ReadPage
+// and borrows stable snapshots across overwrites.
+func TestPinPageAccounting(t *testing.T) {
+	d := NewDisk(0)
+	if err := d.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, d.PageSize())
+	page[0] = 'a'
+	for i := 0; i < 2; i++ {
+		if _, err := d.AppendPage("f", page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.ResetStats()
+	h0, err := d.PinPage("f", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PinPage("f", 1); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.RandReads != 1 || st.SeqReads != 1 {
+		t.Fatalf("pin accounting = %v, want 1 random + 1 sequential", st)
+	}
+	// Overwrite page 0: the pinned view keeps its snapshot.
+	page[0] = 'b'
+	if err := d.WritePage("f", 0, page); err != nil {
+		t.Fatal(err)
+	}
+	if h0.Data()[0] != 'a' {
+		t.Fatalf("pinned snapshot mutated: %q", h0.Data()[0])
+	}
+	h0.Release() // no-op on a disk pin
+	if _, err := d.PinPage("f", 9); err == nil {
+		t.Fatal("pin out of range succeeded")
+	}
+	if _, err := d.PinPage("missing", 0); err == nil {
+		t.Fatal("pin of missing file succeeded")
+	}
+}

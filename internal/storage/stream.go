@@ -113,7 +113,7 @@ func (w *RecordWriter) Close() error {
 // read-ahead. The caller supplies the total record count (files carry no
 // header).
 type RecordReader struct {
-	disk     *Disk
+	reader   PageReader
 	name     string
 	recSize  int
 	perPage  int
@@ -129,22 +129,24 @@ type RecordReader struct {
 }
 
 // NewRecordReader opens a sequential reader over count records of recSize
-// bytes in the named file, with the default read-ahead.
-func NewRecordReader(d *Disk, name string, recSize int, count int64) (*RecordReader, error) {
-	return NewRecordReaderBuffered(d, name, recSize, count, DefaultBufferPages)
+// bytes in the named file, with the default read-ahead. Reads go through r,
+// so a *Disk scans uncached while a buffer pool serves repeat scans from
+// memory.
+func NewRecordReader(r PageReader, name string, recSize int, count int64) (*RecordReader, error) {
+	return NewRecordReaderBuffered(r, name, recSize, count, DefaultBufferPages)
 }
 
 // NewRecordReaderBuffered is NewRecordReader with an explicit read-ahead of
 // bufPages pages (min 1).
-func NewRecordReaderBuffered(d *Disk, name string, recSize int, count int64, bufPages int) (*RecordReader, error) {
-	perPage := d.PageSize() / recSize
+func NewRecordReaderBuffered(r PageReader, name string, recSize int, count int64, bufPages int) (*RecordReader, error) {
+	perPage := r.PageSize() / recSize
 	if perPage < 1 {
-		return nil, fmt.Errorf("storage: record size %d exceeds page size %d", recSize, d.PageSize())
+		return nil, fmt.Errorf("storage: record size %d exceeds page size %d", recSize, r.PageSize())
 	}
 	if bufPages < 1 {
 		bufPages = 1
 	}
-	npages, err := d.NumPages(name)
+	npages, err := r.NumPages(name)
 	if err != nil {
 		return nil, err
 	}
@@ -153,12 +155,12 @@ func NewRecordReaderBuffered(d *Disk, name string, recSize int, count int64, buf
 		return nil, fmt.Errorf("storage: file %q has %d pages, need %d for %d records", name, npages, need, count)
 	}
 	return &RecordReader{
-		disk:     d,
+		reader:   r,
 		name:     name,
 		recSize:  recSize,
 		perPage:  perPage,
 		bufPages: bufPages,
-		chunk:    make([]byte, bufPages*d.PageSize()),
+		chunk:    make([]byte, bufPages*r.PageSize()),
 		npages:   npages,
 		count:    count,
 	}, nil
@@ -183,7 +185,7 @@ func (r *RecordReader) Next() ([]byte, error) {
 			return nil, err
 		}
 	}
-	pageOff := r.pageIdx * r.disk.PageSize()
+	pageOff := r.pageIdx * r.reader.PageSize()
 	rec := r.chunk[pageOff+r.idx*r.recSize : pageOff+(r.idx+1)*r.recSize]
 	r.idx++
 	r.read++
@@ -198,7 +200,7 @@ func (r *RecordReader) fill() error {
 	if rem := r.npages - r.nextPage; rem < int64(want) {
 		want = int(rem)
 	}
-	got, err := r.disk.ReadPages(r.name, r.nextPage, want, r.chunk)
+	got, err := r.reader.ReadPages(r.name, r.nextPage, want, r.chunk)
 	if err != nil {
 		return err
 	}
@@ -217,7 +219,7 @@ func (r *RecordReader) Remaining() int64 { return r.count - r.read }
 // series from worker goroutines, all sharing this one-page cache (one
 // simulated buffer pool frame, as before — concurrency does not grow it).
 type RecordFile struct {
-	disk    *Disk
+	reader  PageReader
 	name    string
 	recSize int
 	perPage int
@@ -227,21 +229,23 @@ type RecordFile struct {
 	curPage int64 // page currently in buf, -1 if none
 }
 
-// OpenRecordFile opens the named file for random record access.
-func OpenRecordFile(d *Disk, name string, recSize int) (*RecordFile, error) {
-	perPage := d.PageSize() / recSize
+// OpenRecordFile opens the named file for random record access through r:
+// a *Disk gives the uncached single-frame behaviour of the paper's raw
+// file, a buffer pool serves repeat pages from the shared cache.
+func OpenRecordFile(r PageReader, name string, recSize int) (*RecordFile, error) {
+	perPage := r.PageSize() / recSize
 	if perPage < 1 {
-		return nil, fmt.Errorf("storage: record size %d exceeds page size %d", recSize, d.PageSize())
+		return nil, fmt.Errorf("storage: record size %d exceeds page size %d", recSize, r.PageSize())
 	}
-	if !d.Exists(name) {
+	if !r.Exists(name) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return &RecordFile{
-		disk:    d,
+		reader:  r,
 		name:    name,
 		recSize: recSize,
 		perPage: perPage,
-		buf:     make([]byte, d.PageSize()),
+		buf:     make([]byte, r.PageSize()),
 		curPage: -1,
 	}, nil
 }
@@ -258,7 +262,7 @@ func (f *RecordFile) View(i int64, fn func(rec []byte) error) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if page != f.curPage {
-		if _, err := f.disk.ReadPage(f.name, page, f.buf); err != nil {
+		if _, err := f.reader.ReadPage(f.name, page, f.buf); err != nil {
 			return err
 		}
 		f.curPage = page

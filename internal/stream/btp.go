@@ -30,6 +30,7 @@ type btpPart struct {
 // (effective pruning and bounded partition counts for large windows, as PP).
 type BTP struct {
 	disk        *storage.Disk
+	reader      storage.PageReader
 	name        string
 	cfg         index.Config
 	codec       record.Codec
@@ -70,6 +71,7 @@ func NewBTP(disk *storage.Disk, name string, cfg index.Config, bufferCap, mergeF
 	}
 	return &BTP{
 		disk:        disk,
+		reader:      disk,
 		name:        name,
 		cfg:         cfg,
 		codec:       codec,
@@ -86,6 +88,16 @@ func NewBTP(disk *storage.Disk, name string, cfg index.Config, bufferCap, mergeF
 // are identical at every setting. Call before querying; the setting is not
 // synchronized with in-flight searches.
 func (b *BTP) SetParallelism(n int) { b.pool = parallel.New(n) }
+
+// UseReader routes partition page reads through r (typically a buffer pool
+// over the scheme's disk); nil restores the uncached disk. Call before
+// querying; the setting is not synchronized with in-flight searches.
+func (b *BTP) UseReader(r storage.PageReader) {
+	if r == nil {
+		r = b.disk
+	}
+	b.reader = r
+}
 
 // Name implements Scheme.
 func (b *BTP) Name() string {
@@ -314,14 +326,16 @@ func (b *BTP) probePart(p btpPart, q index.Query, col *index.Collector, sc *inde
 	if pages == 0 {
 		return nil
 	}
-	buf := sc.Page(b.disk.PageSize())
 	lo, hi := 0, pages-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if _, err := b.disk.ReadPage(p.file, int64(mid), buf); err != nil {
+		h, err := b.reader.PinPage(p.file, int64(mid))
+		if err != nil {
 			return err
 		}
-		if q.Key.Less(record.DecodeKeyOnly(buf)) {
+		less := q.Key.Less(record.DecodeKeyOnly(h.Data()))
+		h.Release()
+		if less {
 			hi = mid - 1
 		} else {
 			lo = mid
@@ -346,8 +360,8 @@ func (b *BTP) scanPart(p btpPart, q index.Query, col *index.Collector, sc *index
 // through the squared-space pipeline: window filter and lower bound on the
 // encoded header, early-abandoning squared verification on survivors.
 func (b *BTP) evalPage(p btpPart, page int, q index.Query, col *index.Collector, sc *index.Scratch) error {
-	buf := sc.Page(b.disk.PageSize())
-	if _, err := b.disk.ReadPage(p.file, int64(page), buf); err != nil {
+	h, err := b.reader.PinPage(p.file, int64(page))
+	if err != nil {
 		return err
 	}
 	perPage := b.perPage()
@@ -356,7 +370,8 @@ func (b *BTP) evalPage(p btpPart, page int, q index.Query, col *index.Collector,
 	if rem := p.count - start; rem < int64(n) {
 		n = int(rem)
 	}
-	_, err := index.EvalEncoded(q, buf, n, b.codec, b.raw, col, sc)
+	_, err = index.EvalEncoded(q, h.Data(), n, b.codec, b.raw, col, sc)
+	h.Release()
 	return err
 }
 

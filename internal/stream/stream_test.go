@@ -91,13 +91,13 @@ func schemes(t *testing.T, raw *memRaw, mat bool) map[string]Scheme {
 		"PP-ADS":  newPPADS(t, raw, mat),
 	}
 	diskTP := storage.NewDisk(0)
-	tp, err := NewTP("tp", testConfig(mat), CTreeFactory(diskTP, testConfig(mat), raw), 128, raw)
+	tp, err := NewTP("tp", testConfig(mat), CTreeFactory(diskTP, nil, testConfig(mat), raw), 128, raw)
 	if err != nil {
 		t.Fatal(err)
 	}
 	out["TP-CTree"] = tp
 	diskTPA := storage.NewDisk(0)
-	tpa, err := NewTP("tpa", testConfig(mat), ADSFactory(diskTPA, testConfig(mat), raw), 128, raw)
+	tpa, err := NewTP("tpa", testConfig(mat), ADSFactory(diskTPA, nil, testConfig(mat), raw), 128, raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestPPNameAndPartitions(t *testing.T) {
 func TestTPPartitionsGrowLinearly(t *testing.T) {
 	raw := &memRaw{}
 	disk := storage.NewDisk(0)
-	tp, err := NewTP("tp", testConfig(false), CTreeFactory(disk, testConfig(false), raw), 100, raw)
+	tp, err := NewTP("tp", testConfig(false), CTreeFactory(disk, nil, testConfig(false), raw), 100, raw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +274,7 @@ func TestBTPSmallWindowSkipsLargePartitions(t *testing.T) {
 func TestTPWindowSkipsPartitions(t *testing.T) {
 	raw := &memRaw{}
 	disk := storage.NewDisk(0)
-	tp, err := NewTP("tp", testConfig(true), CTreeFactory(disk, testConfig(true), raw), 128, raw)
+	tp, err := NewTP("tp", testConfig(true), CTreeFactory(disk, nil, testConfig(true), raw), 128, raw)
 	if err != nil {
 		t.Fatal(err)
 	}

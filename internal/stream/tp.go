@@ -19,8 +19,9 @@ import (
 type PartitionFactory func(name string, entries []record.Entry) (index.Index, error)
 
 // CTreeFactory returns a factory producing bulk-loaded CTree partitions
-// (the paper's CTreeTP / CTreeFullTP).
-func CTreeFactory(disk *storage.Disk, cfg index.Config, raw series.RawStore) PartitionFactory {
+// (the paper's CTreeTP / CTreeFullTP). reader serves the partitions' page
+// reads; nil selects the disk itself (uncached).
+func CTreeFactory(disk *storage.Disk, reader storage.PageReader, cfg index.Config, raw series.RawStore) PartitionFactory {
 	codec := cfg.Codec()
 	return func(name string, entries []record.Entry) (index.Index, error) {
 		sorted := make([]record.Entry, len(entries))
@@ -47,15 +48,16 @@ func CTreeFactory(disk *storage.Disk, cfg index.Config, raw series.RawStore) Par
 		// Partitions stay serial internally (Parallelism 1): the scheme's
 		// pool fans out across partitions, and nesting another fan-out
 		// inside each small partition would only oversubscribe the pool.
-		return ctree.BuildFromEntries(ctree.Options{Disk: disk, Name: name, Config: cfg, Raw: raw, Parallelism: 1}, file, int64(len(sorted)))
+		return ctree.BuildFromEntries(ctree.Options{Disk: disk, Reader: reader, Name: name, Config: cfg, Raw: raw, Parallelism: 1}, file, int64(len(sorted)))
 	}
 }
 
 // ADSFactory returns a factory producing top-down ADS+ partitions (the
-// paper's ADS+TP / ADSFullTP baseline).
-func ADSFactory(disk *storage.Disk, cfg index.Config, raw series.RawStore) PartitionFactory {
+// paper's ADS+TP / ADSFullTP baseline). reader serves the partitions' page
+// reads; nil selects the disk itself (uncached).
+func ADSFactory(disk *storage.Disk, reader storage.PageReader, cfg index.Config, raw series.RawStore) PartitionFactory {
 	return func(name string, entries []record.Entry) (index.Index, error) {
-		t, err := adsplus.New(adsplus.Options{Disk: disk, Name: name, Config: cfg, Raw: raw})
+		t, err := adsplus.New(adsplus.Options{Disk: disk, Reader: reader, Name: name, Config: cfg, Raw: raw})
 		if err != nil {
 			return nil, err
 		}

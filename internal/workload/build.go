@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/adsplus"
+	"repro/internal/bufpool"
 	"repro/internal/clsm"
 	"repro/internal/ctree"
 	"repro/internal/index"
@@ -96,6 +97,17 @@ type BuildOptions struct {
 	// Shard construction and cross-shard probing use the Parallelism pool;
 	// per-shard internals stay serial. 0 or 1 builds the unsharded index.
 	Shards int
+	// CacheBytes sizes the buffer pool between the index and its disk(s):
+	// index pages and raw-series pages are served from memory on repeat
+	// access, and Cost charges only the misses. 0 (the default) keeps every
+	// read on the simulated head — the paper-faithful accounting. Sharded
+	// builds share one pool of this size across all shards. Results are
+	// byte-identical at every cache size.
+	CacheBytes int64
+
+	// cache, when set, is the shared frame store a sharded build hands each
+	// of its per-shard sub-builds (CacheBytes then sizes nothing here).
+	cache *bufpool.Cache
 }
 
 // Built is a constructed index plus its cost accounting.
@@ -110,6 +122,13 @@ type Built struct {
 	// ShardDisks holds every shard's disk for sharded builds (Disk then
 	// aliases shard 0, keeping single-disk callers working); nil otherwise.
 	ShardDisks []*storage.Disk
+	// Pool is the buffer pool fronting Disk when CacheBytes > 0; nil when
+	// uncached. Sharded builds fill ShardPools instead (Pool then aliases
+	// shard 0's pool).
+	Pool       *bufpool.Pool
+	ShardPools []*bufpool.Pool
+	// Cache is the shared frame store behind the pool(s); nil uncached.
+	Cache *bufpool.Cache
 }
 
 // BuildCost returns the I/O cost of construction under the model.
@@ -117,9 +136,20 @@ func (b Built) BuildCost(m storage.CostModel) float64 { return b.BuildStats.Cost
 
 // IOStats returns the current disk statistics aggregated over every disk
 // backing the build — the one disk of an unsharded index, or all shard
-// disks of a sharded one. Query-cost accounting must diff this, not
-// Disk.Stats, to charge cross-shard probes.
+// disks of a sharded one — including buffer-pool hit/miss counters when a
+// cache is configured. Query-cost accounting must diff this, not
+// Disk.Stats, to charge cross-shard probes and observe cache hits.
 func (b *Built) IOStats() storage.Stats {
+	if len(b.ShardPools) > 0 {
+		var agg storage.Stats
+		for _, p := range b.ShardPools {
+			agg = agg.Add(p.Stats())
+		}
+		return agg
+	}
+	if b.Pool != nil {
+		return b.Pool.Stats()
+	}
 	if len(b.ShardDisks) == 0 {
 		return b.Disk.Stats()
 	}
@@ -186,12 +216,25 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	disk := storage.NewDisk(0)
 	out := &Built{Disk: disk}
 
+	// Buffer pool: either a slice of the sharded build's shared cache or a
+	// private one sized by CacheBytes; reader stays nil (→ the bare disk)
+	// when uncached, so the default accounting is exactly the paper's.
+	var reader storage.PageReader
+	pool, perr := bufpool.AttachOrNew(disk, opts.cache, opts.CacheBytes)
+	if perr != nil {
+		return nil, perr
+	}
+	if pool != nil {
+		out.Pool, out.Cache, reader = pool, pool.Cache(), pool
+	}
+
 	materialized := variant == "ADSFull" || variant == "CTreeFull" || variant == "CLSMFull"
 	cfg.Materialized = materialized
 
 	// Raw series file: non-materialized variants need it for queries; it is
 	// written before the build (shared by all variants, like the paper's
-	// raw data file) and its pages are tracked separately.
+	// raw data file) and its pages are tracked separately. Query-time raw
+	// fetches go through the buffer pool when one is configured.
 	var raw series.RawStore
 	if opts.RawInMemory {
 		raw = NormStore(ds)
@@ -200,11 +243,20 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 		if err != nil {
 			return nil, err
 		}
+		if reader != nil {
+			if err := rf.UseReader(reader); err != nil {
+				return nil, err
+			}
+		}
 		raw = rf
 		out.RawPages, _ = disk.NumPages("raw")
 	}
 	out.Raw = raw
-	disk.ResetStats()
+	if out.Pool != nil {
+		out.Pool.ResetStats()
+	} else {
+		disk.ResetStats()
+	}
 
 	entryBudget := opts.MemBudget / cfg.Codec().Size()
 	if entryBudget < 4 {
@@ -216,14 +268,14 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	switch variant {
 	case "CTree", "CTreeFull":
 		idx, err = ctree.Build(ctree.Options{
-			Disk: disk, Name: "idx", Config: cfg,
+			Disk: disk, Reader: reader, Name: "idx", Config: cfg,
 			FillFactor: opts.FillFactor, MemBudget: opts.MemBudget, Raw: raw,
 			Parallelism: opts.Parallelism,
 		}, ds, 0)
 	case "CLSM", "CLSMFull":
 		var l *clsm.LSM
 		l, err = clsm.New(clsm.Options{
-			Disk: disk, Name: "idx", Config: cfg,
+			Disk: disk, Reader: reader, Name: "idx", Config: cfg,
 			GrowthFactor: opts.GrowthFactor, BufferEntries: entryBudget, Raw: raw,
 			Parallelism: opts.Parallelism,
 		})
@@ -245,7 +297,7 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	case "ADS+", "ADSFull":
 		var t *adsplus.Tree
 		t, err = adsplus.New(adsplus.Options{
-			Disk: disk, Name: "idx", Config: cfg,
+			Disk: disk, Reader: reader, Name: "idx", Config: cfg,
 			LeafCapacity: opts.LeafCapacity, BufferEntries: entryBudget, Raw: raw,
 		})
 		if err == nil {
@@ -269,7 +321,14 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	}
 	out.Index = idx
 	out.BuildTime = time.Since(start)
-	out.BuildStats = disk.Stats()
+	// Construction accounting through the pool when one exists, so cached
+	// builds report their construction-era hits/misses alongside the disk
+	// reads the misses triggered.
+	if out.Pool != nil {
+		out.BuildStats = out.Pool.Stats()
+	} else {
+		out.BuildStats = disk.Stats()
+	}
 	out.IndexPages = disk.TotalPages() - out.RawPages
 	return out, nil
 }
@@ -284,6 +343,12 @@ func buildSharded(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	inner := opts
 	inner.Shards = 0
 	inner.Parallelism = 1
+	// One cache for the whole sharded index: CacheBytes bounds the total,
+	// and every shard's disk draws frames from the same budget.
+	if opts.CacheBytes > 0 {
+		inner.cache = bufpool.NewCache(opts.CacheBytes, storage.DefaultPageSize)
+		inner.CacheBytes = 0
+	}
 	builts := make([]*Built, nsh)
 	pool := parallel.New(opts.Parallelism)
 	start := time.Now()
@@ -308,10 +373,14 @@ func buildSharded(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	if err != nil {
 		return nil, err
 	}
-	out := &Built{BuildTime: time.Since(start)}
+	out := &Built{BuildTime: time.Since(start), Cache: inner.cache}
 	shards := make([]shard.Shard, nsh)
 	for i, b := range builts {
 		shards[i] = shard.Shard{Index: b.Index, Disk: b.Disk, IDs: part[i]}
+		if b.Pool != nil {
+			shards[i].Reader = b.Pool
+			out.ShardPools = append(out.ShardPools, b.Pool)
+		}
 		out.ShardDisks = append(out.ShardDisks, b.Disk)
 		out.BuildStats = out.BuildStats.Add(b.BuildStats)
 		out.IndexPages += b.IndexPages
@@ -324,6 +393,9 @@ func buildSharded(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	out.Index = sh
 	out.Disk = builts[0].Disk
 	out.Raw = builts[0].Raw
+	if len(out.ShardPools) > 0 {
+		out.Pool = out.ShardPools[0]
+	}
 	return out, nil
 }
 

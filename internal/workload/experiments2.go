@@ -50,7 +50,7 @@ func StreamSchemes(sc Scale, bufferEntries int) (map[string]stream.Scheme, map[s
 	schemes["ADS+PP"], disks["ADS+PP"] = stream.NewPP(adsPP, cfg), dPP
 
 	dTP := storage.NewDisk(0)
-	adsTP, err := stream.NewTP("adstp", cfg, stream.ADSFactory(dTP, cfg, raw), bufferEntries, raw)
+	adsTP, err := stream.NewTP("adstp", cfg, stream.ADSFactory(dTP, nil, cfg, raw), bufferEntries, raw)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -64,7 +64,7 @@ func StreamSchemes(sc Scale, bufferEntries int) (map[string]stream.Scheme, map[s
 	schemes["CLSM+PP"], disks["CLSM+PP"] = stream.NewPP(clsmPP, cfg), dCPP
 
 	dCTP := storage.NewDisk(0)
-	ctreeTP, err := stream.NewTP("ctreetp", cfg, stream.CTreeFactory(dCTP, cfg, raw), bufferEntries, raw)
+	ctreeTP, err := stream.NewTP("ctreetp", cfg, stream.CTreeFactory(dCTP, nil, cfg, raw), bufferEntries, raw)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -349,6 +349,10 @@ type RunConfig struct {
 	E13Queries  int
 	E13K        int
 	E13Shards   []int
+	E14N        int
+	E14Queries  int
+	E14K        int
+	E14CacheKB  []int
 }
 
 // DefaultRunConfig returns the laptop-scale defaults used by
@@ -380,5 +384,12 @@ func DefaultRunConfig() RunConfig {
 		E13Queries:  64,
 		E13K:        5,
 		E13Shards:   []int{1, 2, 4, 8},
+		E14N:        10000,
+		E14Queries:  32,
+		// 0 = uncached baseline; 256KB exercises eviction under pressure;
+		// 64MB comfortably holds the whole working set (raw file included),
+		// demonstrating the zero-miss warm pass.
+		E14CacheKB: []int{0, 256, 4096, 65536},
+		E14K:       5,
 	}
 }

@@ -188,7 +188,7 @@ func OpenSharded(path string) (*Sharded, error) {
 			t.SetParallelism(1)
 			trees[i] = t
 		}
-		return assembleShardedTrees(trees, part, trees[0].cfg, 0)
+		return assembleShardedTrees(trees, part, trees[0].cfg, 0, nil)
 	case shardKindLSM:
 		lsms := make([]*LSM, m.Shards)
 		for i := range lsms {
@@ -199,7 +199,7 @@ func OpenSharded(path string) (*Sharded, error) {
 			l.SetParallelism(1)
 			lsms[i] = l
 		}
-		return assembleShardedLSMs(lsms, part, lsms[0].cfg, 0)
+		return assembleShardedLSMs(lsms, part, lsms[0].cfg, 0, nil)
 	default:
 		return nil, fmt.Errorf("coconut: manifest %s has unknown kind %q", path, m.Kind)
 	}

@@ -3,10 +3,12 @@ package coconut
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/series"
 	"repro/internal/shard"
+	"repro/internal/storage"
 )
 
 // Sharded is a horizontally partitioned index: N independent shards (each a
@@ -29,6 +31,7 @@ type Sharded struct {
 	kind  string // "tree" or "lsm"
 	trees []*Tree
 	lsms  []*LSM
+	cache *bufpool.Cache // shared across every shard's disk; nil uncached
 	cfg   index.Config
 }
 
@@ -39,10 +42,26 @@ const (
 )
 
 // innerOptions returns the per-shard build options: shards run their
-// internal scans serially because the sharded layer owns the fan-out.
+// internal scans serially because the sharded layer owns the fan-out, and
+// caching is owned by the shared cache the sharded facade attaches (one
+// budget for the whole index, not CacheBytes per shard).
 func innerOptions(opts Options) Options {
 	opts.Parallelism = 1
+	opts.CacheBytes = 0
 	return opts
+}
+
+// sharedCache builds the one cache every shard's disk attaches to, sized
+// by Options.CacheBytes over the whole sharded index; nil when uncached.
+func sharedCache(opts Options) *bufpool.Cache {
+	if opts.CacheBytes <= 0 {
+		return nil
+	}
+	pageSize := opts.PageSize
+	if pageSize <= 0 {
+		pageSize = storage.DefaultPageSize
+	}
+	return bufpool.NewCache(opts.CacheBytes, pageSize)
 }
 
 // BuildShardedTree bulk-loads a sharded CoconutTree: series are
@@ -59,13 +78,14 @@ func BuildShardedTree(data [][]float64, n int, opts Options) (*Sharded, error) {
 	}
 	part := shard.Partition(int64(len(data)), n)
 	trees := make([]*Tree, n)
+	cache := sharedCache(opts)
 	pool := parallel.New(opts.Parallelism)
 	err = pool.ForEach(n, func(_, i int) error {
 		sub := make([][]float64, len(part[i]))
 		for j, gid := range part[i] {
 			sub[j] = data[gid]
 		}
-		t, berr := BuildTree(sub, innerOptions(opts))
+		t, berr := buildTreeCache(sub, innerOptions(opts), cache)
 		if berr != nil {
 			return fmt.Errorf("coconut: building shard %d: %w", i, berr)
 		}
@@ -75,19 +95,22 @@ func BuildShardedTree(data [][]float64, n int, opts Options) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	return assembleShardedTrees(trees, part, cfg, opts.Parallelism)
+	return assembleShardedTrees(trees, part, cfg, opts.Parallelism, cache)
 }
 
-func assembleShardedTrees(trees []*Tree, part [][]int64, cfg index.Config, parallelism int) (*Sharded, error) {
+func assembleShardedTrees(trees []*Tree, part [][]int64, cfg index.Config, parallelism int, cache *bufpool.Cache) (*Sharded, error) {
 	shards := make([]shard.Shard, len(trees))
 	for i, t := range trees {
 		shards[i] = shard.Shard{Index: t.tree, Disk: t.disk, IDs: part[i]}
+		if t.pool != nil {
+			shards[i].Reader = t.pool
+		}
 	}
 	sh, err := shard.New(cfg, shards, parallelism)
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{sh: sh, kind: shardKindTree, trees: trees, cfg: cfg}, nil
+	return &Sharded{sh: sh, kind: shardKindTree, trees: trees, cache: cache, cfg: cfg}, nil
 }
 
 // NewShardedLSM creates an empty sharded CoconutLSM with n shards, each a
@@ -103,26 +126,30 @@ func NewShardedLSM(n int, opts Options) (*Sharded, error) {
 		return nil, fmt.Errorf("coconut: shard count must be >= 1, got %d", n)
 	}
 	lsms := make([]*LSM, n)
+	cache := sharedCache(opts)
 	for i := range lsms {
-		l, lerr := NewLSM(innerOptions(opts))
+		l, lerr := newLSMCache(innerOptions(opts), cache)
 		if lerr != nil {
 			return nil, lerr
 		}
 		lsms[i] = l
 	}
-	return assembleShardedLSMs(lsms, make([][]int64, n), cfg, opts.Parallelism)
+	return assembleShardedLSMs(lsms, make([][]int64, n), cfg, opts.Parallelism, cache)
 }
 
-func assembleShardedLSMs(lsms []*LSM, part [][]int64, cfg index.Config, parallelism int) (*Sharded, error) {
+func assembleShardedLSMs(lsms []*LSM, part [][]int64, cfg index.Config, parallelism int, cache *bufpool.Cache) (*Sharded, error) {
 	shards := make([]shard.Shard, len(lsms))
 	for i, l := range lsms {
 		shards[i] = shard.Shard{Index: l.lsm, Disk: l.disk, IDs: part[i]}
+		if l.pool != nil {
+			shards[i].Reader = l.pool
+		}
 	}
 	sh, err := shard.New(cfg, shards, parallelism)
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{sh: sh, kind: shardKindLSM, lsms: lsms, cfg: cfg}, nil
+	return &Sharded{sh: sh, kind: shardKindLSM, lsms: lsms, cache: cache, cfg: cfg}, nil
 }
 
 // Kind reports the shard index variant: "tree" or "lsm".
@@ -229,23 +256,51 @@ func (s *Sharded) prepareBatch(qs [][]float64) ([]index.Query, error) {
 	return prepareQueries(qs, s.cfg)
 }
 
-// Stats returns the I/O accounting aggregated across every shard's disk.
+// Stats returns the I/O accounting aggregated across every shard's disk,
+// including the shared buffer pool's hit/miss counters when one is
+// configured (CacheBytes > 0 — one pool serves every shard).
 func (s *Sharded) Stats() Stats {
-	st := s.sh.IOStats()
-	return Stats{
-		SeqReads: st.SeqReads, RandReads: st.RandReads,
-		SeqWrites: st.SeqWrites, RandWrites: st.RandWrites,
-		Pages: s.sh.TotalPages(),
-	}
+	return toStats(s.sh.IOStats(), s.sh.TotalPages())
 }
 
-// ShardStats returns each shard's I/O accounting, in shard order.
+// ShardStats returns each shard's I/O accounting, in shard order (cache
+// counters are per shard: each shard's disk has its own view of the shared
+// pool).
 func (s *Sharded) ShardStats() []Stats {
 	out := make([]Stats, s.sh.NumShards())
-	for i, sh := range s.sh.Shards() {
-		out[i] = statsOf(sh.Disk)
+	for i, shd := range s.sh.Shards() {
+		out[i] = toStats(shd.IOStats(), shd.Disk.TotalPages())
 	}
 	return out
+}
+
+// EnableCache installs one shared buffer pool of cacheBytes across every
+// shard's disk (useful after OpenSharded, which reopens uncached). A
+// no-op if a cache is already attached. Call only while no search is in
+// flight.
+func (s *Sharded) EnableCache(cacheBytes int64) error {
+	if s.cache != nil || cacheBytes <= 0 {
+		return nil
+	}
+	shards := s.sh.Shards()
+	cache := bufpool.NewCache(cacheBytes, shards[0].Disk.PageSize())
+	for i := range shards {
+		pool, err := cache.Attach(shards[i].Disk)
+		if err != nil {
+			return err
+		}
+		shards[i].Reader = pool
+		switch s.kind {
+		case shardKindTree:
+			s.trees[i].pool = pool
+			s.trees[i].tree.UseReader(pool)
+		default:
+			s.lsms[i].pool = pool
+			s.lsms[i].lsm.UseReader(pool)
+		}
+	}
+	s.cache = cache
+	return nil
 }
 
 // prepareQueries validates and prepares a batch of raw queries under cfg.

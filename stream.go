@@ -3,6 +3,7 @@ package coconut
 import (
 	"fmt"
 
+	"repro/internal/bufpool"
 	"repro/internal/clsm"
 	"repro/internal/index"
 	"repro/internal/series"
@@ -32,6 +33,7 @@ type Stream struct {
 	scheme stream.Scheme
 	cfg    index.Config
 	disk   *storage.Disk
+	pool   *bufpool.Pool // buffer pool fronting disk; nil when uncached
 	raw    *memStore
 }
 
@@ -50,15 +52,20 @@ func NewStream(kind SchemeKind, opts Options) (*Stream, error) {
 	raw := &memStore{}
 	disk := storage.NewDisk(opts.PageSize)
 	st := &Stream{cfg: cfg, disk: disk, raw: raw}
+	var reader storage.PageReader
+	if opts.CacheBytes > 0 {
+		st.pool = bufpool.New(disk, opts.CacheBytes)
+		reader = st.pool
+	}
 	switch kind {
 	case PP:
-		base, err := newPPBase(disk, cfg, buf, raw, opts.Parallelism)
+		base, err := newPPBase(disk, reader, cfg, buf, raw, opts.Parallelism)
 		if err != nil {
 			return nil, err
 		}
 		st.scheme = stream.NewPP(base, cfg)
 	case TP:
-		tp, err := stream.NewTP("stream", cfg, stream.CTreeFactory(disk, cfg, raw), buf, raw)
+		tp, err := stream.NewTP("stream", cfg, stream.CTreeFactory(disk, reader, cfg, raw), buf, raw)
 		if err != nil {
 			return nil, err
 		}
@@ -70,6 +77,7 @@ func NewStream(kind SchemeKind, opts Options) (*Stream, error) {
 			return nil, err
 		}
 		btp.SetParallelism(opts.Parallelism)
+		btp.UseReader(reader)
 		st.scheme = btp
 	default:
 		return nil, fmt.Errorf("coconut: unknown scheme %q (want PP, TP, or BTP)", kind)
@@ -122,13 +130,15 @@ func (s *Stream) Partitions() int { return s.scheme.Partitions() }
 // Name reports the scheme and base index, e.g. "CLSM+BTP".
 func (s *Stream) Name() string { return s.scheme.Name() }
 
-// Stats returns the I/O accounting of the stream's disk since creation.
-func (s *Stream) Stats() Stats { return statsOf(s.disk) }
+// Stats returns the I/O accounting of the stream's disk since creation,
+// cache counters included when a buffer pool is configured.
+func (s *Stream) Stats() Stats { return statsWith(s.disk, s.pool) }
 
 // newPPBase builds the CLSM index PP wraps.
-func newPPBase(disk *storage.Disk, cfg index.Config, buf int, raw series.RawStore, par int) (stream.EntryIndex, error) {
+func newPPBase(disk *storage.Disk, reader storage.PageReader, cfg index.Config, buf int, raw series.RawStore, par int) (stream.EntryIndex, error) {
 	return clsm.New(clsm.Options{
 		Disk:          disk,
+		Reader:        reader,
 		Name:          "stream",
 		Config:        cfg,
 		BufferEntries: buf,

@@ -20,10 +20,11 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E14) or 'all'")
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E15) or 'all'")
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		shards  = flag.String("shards", "", "comma-separated shard counts for the E13 sharding experiment (default 1,2,4,8)")
 		cache   = flag.String("cache", "", "comma-separated cache sizes in KB for the E14 buffer-pool experiment, 0 = uncached (default 0,256,4096,65536)")
+		workers = flag.String("compact-workers", "", "comma-separated background-merge worker counts for the E15 ingest experiment, 0 = inline (default 0,2)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 		cfg.E13Shards = []int{1, 2, 4}
 		cfg.E14N, cfg.E14Queries = 2000, 8
 		cfg.E14CacheKB = []int{0, 64, 4096}
+		cfg.E15N, cfg.E15Queries = 2000, 4
 	}
 	if *shards != "" {
 		var counts []int
@@ -68,10 +70,22 @@ func main() {
 		}
 		cfg.E14CacheKB = sizes
 	}
+	if *workers != "" {
+		var counts []int
+		for _, part := range strings.Split(*workers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 0 {
+				fmt.Fprintf(os.Stderr, "coconut-bench: -compact-workers values must be >= 0 (0 = inline), got %q\n", part)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		cfg.E15Workers = counts
+	}
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
 			want[id] = true
 		}
 	} else {
@@ -188,6 +202,13 @@ func run(cfg workload.RunConfig, want map[string]bool) error {
 	}
 	if want["E14"] {
 		t, err := workload.E14CacheSweep(sc, cfg.E14N, cfg.E14Queries, cfg.E14K, cfg.E14CacheKB)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E15"] {
+		t, err := workload.E15Ingest(sc, cfg.E15N, cfg.E15Queries, cfg.E15K, cfg.E15Workers)
 		if err != nil {
 			return err
 		}

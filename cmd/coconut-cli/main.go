@@ -14,6 +14,8 @@
 //	health                              check the server
 //	dataset  -kind astronomy -n 10000 -len 256
 //	build    -dataset ds-1 -variant CTree [-fill 0.9] [-growth 4] [-shards 4] [-cache 4194304]
+//	         [-wal batched|sync|off] [-compact-workers 2]
+//	insert   -build build-1 -n 100 [-template supernova] [-ts 7]
 //	query    -build build-1 -template supernova [-k 5] [-exact] [-min 0 -max 99]
 //	recommend -streaming -queries 500 -memfrac 0.1 [-tight] [-smallwin]
 //	heatmap  -build build-1
@@ -56,6 +58,8 @@ func main() {
 		err = dataset(serverURL, rest)
 	case "build":
 		err = build(serverURL, rest)
+	case "insert":
+		err = insertCmd(serverURL, rest)
 	case "query":
 		err = query(serverURL, rest)
 	case "stats":
@@ -75,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: coconut-cli [-server URL] <health|dataset|build|query|stats|recommend|heatmap> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: coconut-cli [-server URL] <health|dataset|build|insert|query|stats|recommend|heatmap> [flags]")
 }
 
 // statsCmd prints a build's I/O and buffer-pool accounting.
@@ -171,9 +175,19 @@ func build(base string, args []string) error {
 	shards := fs.Int("shards", 0, "shard count (0 = server default, 1 = unsharded, N > 1 hash-partitions)")
 	par := fs.Int("parallelism", 0, "per-query worker pool (0 = server default, 1 = serial, -1 = one per CPU)")
 	cache := fs.Int64("cache", 0, "buffer-pool bytes (0 = server default, -1 = force uncached)")
+	walMode := fs.String("wal", "", "CLSM durability: batched, sync, or off (needs the server's -wal root; empty = batched when the root is set)")
+	compactWorkers := fs.Int("compact-workers", 0, "CLSM background-merge workers (0 = server default, -1 = force inline)")
 	fs.Parse(args)
 	if *ds == "" {
 		return fmt.Errorf("build: -dataset is required")
+	}
+	switch *walMode {
+	case "", "batched", "sync", "off":
+	default:
+		return fmt.Errorf("build: -wal must be batched, sync, or off, got %q", *walMode)
+	}
+	if *compactWorkers < -1 || *compactWorkers > 64 {
+		return fmt.Errorf("build: -compact-workers must be in [-1, 64] (-1 = force inline, 0 = server default), got %d", *compactWorkers)
 	}
 	// Validate client-side so a bad flag fails fast with a clear message
 	// instead of a server 400.
@@ -188,8 +202,55 @@ func build(base string, args []string) error {
 		Dataset: *ds, Variant: *variant, Segments: *segments, Bits: *bits,
 		FillFactor: *fill, GrowthFactor: *growth, MemBudget: *mem,
 		Shards: *shards, Parallelism: *par, CacheBytes: *cache,
+		Durability: *walMode, CompactionWorkers: *compactWorkers,
 	}, &out)
 	if err != nil {
+		return err
+	}
+	pretty(out)
+	return nil
+}
+
+// insertCmd streams generated series into a live build — the durable
+// ingest path (POST /api/insert).
+func insertCmd(base string, args []string) error {
+	fs := flag.NewFlagSet("insert", flag.ExitOnError)
+	buildID := fs.String("build", "", "build id (required)")
+	n := fs.Int("n", 100, "series to insert")
+	template := fs.String("template", "randomwalk", "series pattern: supernova, binary-star, earthquake, randomwalk")
+	length := fs.Int("len", 256, "series length (must match the dataset)")
+	ts := fs.Int64("ts", 0, "ingestion timestamp for the batch")
+	seed := fs.Int64("seed", 1, "pattern seed")
+	fs.Parse(args)
+	if *buildID == "" {
+		return fmt.Errorf("insert: -build is required")
+	}
+	if *n < 1 || *n > 1<<16 {
+		return fmt.Errorf("insert: -n must be in [1, 65536], got %d", *n)
+	}
+	var tmpl gen.Template
+	noise := 0.1
+	switch *template {
+	case "supernova":
+		tmpl = gen.TemplateSupernova
+	case "binary-star":
+		tmpl = gen.TemplateBinaryStar
+	case "earthquake":
+		tmpl = gen.TemplateEarthquake
+	case "randomwalk":
+		tmpl, noise = gen.TemplateSupernova, 10
+	default:
+		return fmt.Errorf("insert: unknown template %q", *template)
+	}
+	raw := gen.TemplateQueries(tmpl, *length, *n, noise, *seed)
+	batch := make([][]float64, len(raw))
+	for i, ser := range raw {
+		batch[i] = ser
+	}
+	var out server.InsertResponse
+	if err := call("POST", base+"/api/insert", server.InsertRequest{
+		Build: *buildID, Series: batch, TS: *ts,
+	}, &out); err != nil {
 		return err
 	}
 	pretty(out)

@@ -32,6 +32,8 @@ func main() {
 	par := flag.Int("parallelism", 1, "default per-query worker pool size for builds (1 = serial, matching the paper's accounting; -1 = one worker per CPU)")
 	shards := flag.Int("shards", 0, "default shard count for builds (0 or 1 = unsharded; N > 1 hash-partitions each build across N shards, queries fan across them)")
 	cache := flag.Int64("cache", 0, "default buffer-pool size in bytes for builds (0 = uncached, the paper-faithful accounting; N > 0 serves hot pages from a shared cache and charges only misses)")
+	walRoot := flag.String("wal", "", "WAL root directory: each CLSM build keeps a write-ahead log in its own subdirectory, making POST /api/insert durable (empty = no WALs)")
+	compactWorkers := flag.Int("compact-workers", 0, "default background-merge workers for CLSM builds (0 = inline merges; N > 0 runs level merges off the insert path)")
 	flag.Parse()
 	// Reject bad defaults at startup: otherwise every build request that
 	// leaves the field unset would fail with a 400 blaming the client.
@@ -41,11 +43,16 @@ func main() {
 	if *cache < 0 || *cache > 1<<32 {
 		log.Fatalf("coconut-server: -cache must be in [0, %d] bytes (0 = uncached), got %d", int64(1)<<32, *cache)
 	}
+	if *compactWorkers < 0 || *compactWorkers > 64 {
+		log.Fatalf("coconut-server: -compact-workers must be in [0, 64], got %d", *compactWorkers)
+	}
 
 	s := server.New()
 	s.SetDefaultParallelism(*par)
 	s.SetDefaultShards(*shards)
 	s.SetDefaultCacheBytes(*cache)
+	s.SetWALRoot(*walRoot)
+	s.SetDefaultCompactionWorkers(*compactWorkers)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

@@ -57,14 +57,18 @@ package coconut
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bufpool"
 	"repro/internal/clsm"
+	"repro/internal/compact"
 	"repro/internal/ctree"
 	"repro/internal/index"
 	"repro/internal/recommender"
 	"repro/internal/series"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Options configures an index.
@@ -105,6 +109,54 @@ type Options struct {
 	// Results are byte-identical at every setting; only wall-clock time and
 	// the simulated head's seq/rand accounting change.
 	Parallelism int
+	// WALDir (LSM only) makes ingest durable: every Insert is appended to a
+	// segmented write-ahead log in this host-filesystem directory before it
+	// is acknowledged, and reopening over the same directory (NewLSM on a
+	// log that was never checkpointed, or OpenLSM after a SaveFile
+	// checkpoint) replays the tail so no acknowledged insert is lost — even
+	// after a crash that tore the log mid-append. Empty (the default)
+	// disables the WAL. Sharded LSMs keep one log per shard under this
+	// directory.
+	WALDir string
+	// Durability selects the WAL group-commit policy: DurabilityBatched
+	// (the default) syncs every few inserts or milliseconds, trading a
+	// bounded window of recent acknowledgements for ingest throughput;
+	// DurabilitySync syncs every insert before acknowledging it.
+	Durability Durability
+	// CompactionWorkers (LSM only) moves level merges off the insert path:
+	// n > 0 runs merges as background jobs on a pool of n workers while
+	// inserts and searches keep running against the pre-merge structure
+	// (results stay byte-identical throughout — searches pin an immutable
+	// manifest). 0 (the default) keeps the synchronous cascade inside
+	// flushes, the paper-faithful accounting. A sharded LSM shares one
+	// worker pool across all shards.
+	CompactionWorkers int
+}
+
+// Durability selects how eagerly the write-ahead log syncs; see
+// Options.Durability.
+type Durability string
+
+// WAL group-commit policies.
+const (
+	// DurabilityBatched groups several inserts per fsync (every 64 inserts
+	// or 2ms, whichever first). An acknowledged insert is crash-safe once
+	// the next group commit lands — the standard group-commit trade.
+	DurabilityBatched Durability = "batched"
+	// DurabilitySync fsyncs before acknowledging every insert.
+	DurabilitySync Durability = "sync"
+)
+
+// walOptions maps the facade durability knobs onto the log's sync policy.
+func walOptions(dir string, d Durability) (wal.Options, error) {
+	switch d {
+	case DurabilityBatched, "":
+		return wal.BatchedOptions(dir), nil
+	case DurabilitySync:
+		return wal.SyncOptions(dir), nil
+	default:
+		return wal.Options{}, fmt.Errorf("coconut: unknown durability %q (want %q or %q)", d, DurabilityBatched, DurabilitySync)
+	}
 }
 
 func (o Options) config() (index.Config, error) {
@@ -161,16 +213,54 @@ func (s Stats) HitRatio() float64 {
 }
 
 // memStore is the facade's raw store: ingested series are z-normalized and
-// kept in memory, so the accounted I/O isolates index behaviour.
-type memStore struct{ ss []series.Series }
+// kept in memory, so the accounted I/O isolates index behaviour. Reads are
+// a single atomic snapshot load — zero overhead on the verification hot
+// path — while appends serialize on a mutex and publish a new slice header
+// (the backing array is shared; an append never touches an index a
+// published snapshot can see, so readers and the writer never race).
+type memStore struct {
+	mu sync.Mutex
+	v  atomic.Pointer[[]series.Series]
+}
+
+func (m *memStore) snapshot() []series.Series {
+	p := m.v.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
 
 func (m *memStore) Get(id int) (series.Series, error) {
-	if id < 0 || id >= len(m.ss) {
+	ss := m.snapshot()
+	if id < 0 || id >= len(ss) {
 		return nil, fmt.Errorf("coconut: series %d out of range", id)
 	}
-	return m.ss[id], nil
+	return ss[id], nil
 }
-func (m *memStore) Count() int { return len(m.ss) }
+func (m *memStore) Count() int { return len(m.snapshot()) }
+
+// append adds one series, returning its ID.
+func (m *memStore) append(s series.Series) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ss := append(m.snapshot(), s)
+	m.v.Store(&ss)
+	return len(ss) - 1
+}
+
+// setAt places a series at a specific ID, growing as needed — the WAL
+// replay path, where IDs arrive with the entries.
+func (m *memStore) setAt(id int64, s series.Series) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ss := m.snapshot()
+	for int64(len(ss)) <= id {
+		ss = append(ss, nil)
+	}
+	ss[id] = s
+	m.v.Store(&ss)
+}
 
 func convert(rs []index.Result) []Match {
 	out := make([]Match, len(rs))
@@ -244,7 +334,7 @@ func buildTreeCache(data [][]float64, opts Options, cache *bufpool.Cache) (*Tree
 		if _, err := ds.Append(series.Series(s)); err != nil {
 			return nil, fmt.Errorf("coconut: series %d: %w", i, err)
 		}
-		raw.ss = append(raw.ss, series.Series(s).ZNormalize())
+		raw.append(series.Series(s).ZNormalize())
 	}
 	disk := storage.NewDisk(opts.PageSize)
 	pool, reader, err := attachPool(disk, opts, cache)
@@ -276,7 +366,7 @@ func (t *Tree) Insert(s []float64, ts int64) error {
 	if len(s) != t.cfg.SeriesLen {
 		return fmt.Errorf("coconut: series length %d, want %d", len(s), t.cfg.SeriesLen)
 	}
-	t.raw.ss = append(t.raw.ss, series.Series(s).ZNormalize())
+	t.raw.append(series.Series(s).ZNormalize())
 	return t.tree.Insert(series.Series(s), ts)
 }
 
@@ -320,22 +410,53 @@ func (t *Tree) EnableCache(cacheBytes int64) {
 	t.tree.UseReader(t.pool)
 }
 
-// LSM is a CoconutLSM index.
+// Close releases the tree's resources (its buffer pool's cached pages).
+// Trees have no background machinery, but Close keeps the facade contract
+// uniform — defer it like any other index handle. Idempotent.
+func (t *Tree) Close() error {
+	if t.pool != nil {
+		t.pool.Purge()
+	}
+	return nil
+}
+
+// LSM is a CoconutLSM index. With Options.WALDir set every insert is
+// logged before acknowledgement (see Options.Durability) and with
+// Options.CompactionWorkers set merges run in the background; Insert,
+// Flush, and every Search may then be called concurrently from any number
+// of goroutines. Defer Close to stop the background machinery and sync the
+// log.
 type LSM struct {
 	lsm  *clsm.LSM
 	cfg  index.Config
 	disk *storage.Disk
 	pool *bufpool.Pool // buffer pool fronting disk; nil when uncached
 	raw  *memStore
+
+	insertMu  sync.Mutex         // keeps the raw mirror and ID assignment in step
+	wal       *wal.Log           // nil when WALDir unset
+	sched     *compact.Scheduler // nil when CompactionWorkers == 0
+	ownsSched bool               // sharded facades share one scheduler
+	closed    atomic.Bool
 }
 
-// NewLSM creates an empty CoconutLSM ready for continuous insertion.
+// NewLSM creates an empty CoconutLSM ready for continuous insertion. When
+// opts.WALDir names a directory that already holds log segments — the
+// aftermath of a crash — the log replays first, so the returned index
+// contains every previously acknowledged insert.
 func NewLSM(opts Options) (*LSM, error) {
-	return newLSMCache(opts, nil)
+	return newLSMFull(opts, nil, nil, opts.WALDir)
 }
 
 // newLSMCache is NewLSM with an optional shared cache (sharded facade).
 func newLSMCache(opts Options, cache *bufpool.Cache) (*LSM, error) {
+	return newLSMFull(opts, cache, nil, opts.WALDir)
+}
+
+// newLSMFull is the full constructor: shared cache, shared compaction
+// scheduler, and an explicit WAL directory (the sharded facade passes a
+// per-shard subdirectory and one scheduler for all shards).
+func newLSMFull(opts Options, cache *bufpool.Cache, sched *compact.Scheduler, walDir string) (*LSM, error) {
 	cfg, err := opts.config()
 	if err != nil {
 		return nil, err
@@ -346,7 +467,14 @@ func newLSMCache(opts Options, cache *bufpool.Cache) (*LSM, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, err := clsm.New(clsm.Options{
+	out := &LSM{cfg: cfg, disk: disk, pool: pool, raw: raw}
+	if sched != nil {
+		out.sched = sched
+	} else if opts.CompactionWorkers > 0 {
+		out.sched = compact.NewScheduler(opts.CompactionWorkers)
+		out.ownsSched = true
+	}
+	copts := clsm.Options{
 		Disk:          disk,
 		Reader:        reader,
 		Name:          "clsm",
@@ -355,20 +483,86 @@ func newLSMCache(opts Options, cache *bufpool.Cache) (*LSM, error) {
 		BufferEntries: opts.BufferEntries,
 		Raw:           raw,
 		Parallelism:   opts.Parallelism,
-	})
+		Scheduler:     out.sched,
+	}
+	if walDir != "" {
+		wopts, werr := walOptions(walDir, opts.Durability)
+		if werr != nil {
+			out.closeOwned()
+			return nil, werr
+		}
+		w, werr := wal.Open(wopts)
+		if werr != nil {
+			out.closeOwned()
+			return nil, werr
+		}
+		out.wal = w
+		copts.WAL = w
+		if w.NextLSN() > 0 {
+			// Crash recovery from the log alone: the disk is fresh, so the
+			// whole retained log must still start at LSN 0 — a log truncated
+			// by a SaveFile checkpoint can only be reopened together with
+			// its snapshot (OpenLSM).
+			if w.FirstLSN() > 0 {
+				out.closeAll()
+				return nil, fmt.Errorf("coconut: WAL in %s was truncated by a snapshot checkpoint; reopen the snapshot with OpenLSM", walDir)
+			}
+			lsm, rerr := clsm.Recover(copts, func(e clsm.ReplayedEntry, z series.Series) error {
+				raw.setAt(e.ID, z)
+				return nil
+			})
+			if rerr != nil {
+				out.closeAll()
+				return nil, rerr
+			}
+			out.lsm = lsm
+			return out, nil
+		}
+	}
+	l, err := clsm.New(copts)
 	if err != nil {
+		out.closeAll()
 		return nil, err
 	}
-	return &LSM{lsm: l, cfg: cfg, disk: disk, pool: pool, raw: raw}, nil
+	out.lsm = l
+	return out, nil
 }
 
-// Insert adds one series with a timestamp; writes are log-structured.
+// closeOwned shuts down the machinery this handle owns (not shared ones).
+func (l *LSM) closeOwned() {
+	if l.ownsSched && l.sched != nil {
+		l.sched.Close()
+	}
+}
+
+// closeAll is closeOwned plus the WAL (always owned by its facade handle).
+func (l *LSM) closeAll() {
+	l.closeOwned()
+	if l.wal != nil {
+		l.wal.Close()
+	}
+}
+
+// Insert adds one series with a timestamp; writes are log-structured. With
+// a WAL configured the insert is acknowledged under the configured
+// durability policy. Safe for concurrent use with searches and flushes.
 func (l *LSM) Insert(s []float64, ts int64) error {
 	if len(s) != l.cfg.SeriesLen {
 		return fmt.Errorf("coconut: series length %d, want %d", len(s), l.cfg.SeriesLen)
 	}
-	l.raw.ss = append(l.raw.ss, series.Series(s).ZNormalize())
-	return l.lsm.Insert(series.Series(s), ts)
+	l.insertMu.Lock()
+	defer l.insertMu.Unlock()
+	// Mirror first: by the time the entry becomes visible to a search, its
+	// raw series is resolvable.
+	id := l.raw.append(series.Series(s).ZNormalize())
+	gotID, err := l.lsm.InsertID(series.Series(s), ts)
+	if err != nil {
+		return err
+	}
+	if gotID != int64(id) {
+		return fmt.Errorf("coconut: internal ID drift: index assigned %d, mirror %d", gotID, id)
+	}
+	return nil
 }
 
 // Flush forces the in-memory buffer into a sorted on-disk run.
@@ -425,6 +619,50 @@ func (l *LSM) EnableCache(cacheBytes int64) {
 	}
 	l.pool = bufpool.New(l.disk, cacheBytes)
 	l.lsm.UseReader(l.pool)
+}
+
+// CompactionStats reports the state of the LSM's ingest machinery: flush
+// and merge counters, manifest version and retention, and whether merges
+// run in the background.
+func (l *LSM) CompactionStats() clsm.CompactionStats { return l.lsm.CompactionStats() }
+
+// WALStats reports the write-ahead log's accounting; ok is false when no
+// WAL is configured.
+func (l *LSM) WALStats() (st wal.Stats, ok bool) {
+	if l.wal == nil {
+		return wal.Stats{}, false
+	}
+	return l.wal.Stats(), true
+}
+
+// Quiesce waits until no background merge is pending or in flight (a no-op
+// without CompactionWorkers), surfacing any background-merge error. Useful
+// before comparing against a reference index or measuring steady state.
+func (l *LSM) Quiesce() error { return l.lsm.Quiesce() }
+
+// Close shuts the LSM down cleanly: waits out in-flight background merges,
+// stops an owned compaction worker pool, syncs and closes the write-ahead
+// log, and releases the buffer pool's pages. Idempotent; call with no
+// insert in flight.
+func (l *LSM) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := l.lsm.Close()
+	if l.ownsSched && l.sched != nil {
+		if cerr := l.sched.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if l.wal != nil {
+		if werr := l.wal.Close(); err == nil {
+			err = werr
+		}
+	}
+	if l.pool != nil {
+		l.pool.Purge()
+	}
+	return err
 }
 
 // Scenario describes an application for the recommender; see the field

@@ -30,6 +30,7 @@ func ExampleBuildTree() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer tree.Close()
 	matches, err := tree.Search(data[42], 1)
 	if err != nil {
 		log.Fatal(err)
@@ -44,6 +45,7 @@ func ExampleNewLSM() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer lsm.Close()
 	data := makeWalks(500, 64, 9)
 	for ts, s := range data {
 		if err := lsm.Insert(s, int64(ts)); err != nil {
@@ -65,6 +67,7 @@ func ExampleNewStream() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer st.Close()
 	data := makeWalks(1000, 64, 11)
 	for ts, s := range data {
 		if _, err := st.Ingest(s, int64(ts)); err != nil {

@@ -39,6 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer tree.Close()
 	st := tree.Stats()
 	fmt.Printf("built CTreeFull over %d series: %d pages, %d seq / %d rand writes\n",
 		tree.Count(), st.Pages, st.SeqWrites, st.RandWrites)

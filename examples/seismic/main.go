@@ -78,6 +78,7 @@ func main() {
 			report += fmt.Sprintf("  win%3.0f%%: %-7.0f", frac*100, cost/float64(len(queries)))
 		}
 		fmt.Println(report)
+		s.Close()
 	}
 
 	fmt.Println("\nexpected shape: CLSM+BTP keeps partitions bounded and small windows cheap;")

@@ -65,6 +65,7 @@ func main() {
 			afterBuild.Pages,
 			afterInsert.Cost(10)-afterBuild.Cost(10),
 			(afterQuery.Cost(10)-afterInsert.Cost(10))/float64(len(queries)))
+		tree.Close()
 	}
 
 	fmt.Println("\nCLSM growth-factor sweep: higher T = cheaper ingest, more runs per query")
@@ -94,6 +95,7 @@ func main() {
 			afterIngest.Cost(10),
 			lsm.Runs(),
 			(afterQuery.Cost(10)-afterIngest.Cost(10))/float64(len(queries)))
+		lsm.Close()
 	}
 
 	fmt.Println("\nBuffer-pool sweep: cache size vs. hit ratio and warm query cost")
@@ -137,5 +139,6 @@ func main() {
 			label = fmt.Sprintf("%dKB", cacheKB)
 		}
 		fmt.Printf("%-8s %-8.1f %-14.0f %-14.0f\n", label, hitPct, coldCost, warmCost)
+		tree.Close()
 	}
 }

@@ -1,0 +1,124 @@
+// Benchmarks of the durable ingest subsystem: what the WAL costs at insert
+// time (group commit vs per-insert fsync vs no log), and what searches cost
+// while background merges are running. Both feed the CI bench gate.
+package coconut
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchIngestData generates one reusable insert stream.
+func benchIngestData(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(1234))
+	out := make([][]float64, n)
+	for i := range out {
+		s := make([]float64, 64)
+		v := 0.0
+		for j := range s {
+			v += rng.NormFloat64()
+			s[j] = v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// BenchmarkIngest measures LSM insert throughput with the WAL off, group
+// committed, and strictly synced. series/op divides out the stream length
+// so the modes compare directly.
+func BenchmarkIngest(b *testing.B) {
+	data := benchIngestData(2000)
+	for _, mode := range []struct {
+		name       string
+		durable    bool
+		durability Durability
+	}{
+		{"wal=off", false, ""},
+		{"wal=batched", true, DurabilityBatched},
+		{"wal=sync", true, DurabilitySync},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := Options{
+					SeriesLen: 64, Segments: 8, Bits: 8,
+					BufferEntries: 256, GrowthFactor: 4, Parallelism: 1,
+					Durability: mode.durability,
+				}
+				if mode.durable {
+					opts.WALDir = b.TempDir()
+				}
+				l, err := NewLSM(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, s := range data {
+					if err := l.Insert(s, int64(j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := l.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(data))*float64(b.N)/b.Elapsed().Seconds(), "series/s")
+		})
+	}
+}
+
+// BenchmarkSearchDuringCompaction measures exact search latency while a
+// writer goroutine keeps the background merge machinery busy — the pinned
+// manifest read path under live structural churn. The byte-identity of the
+// answers is the race tests' business; this benchmark watches the cost.
+func BenchmarkSearchDuringCompaction(b *testing.B) {
+	data := benchIngestData(3000)
+	opts := Options{
+		SeriesLen: 64, Segments: 8, Bits: 8,
+		BufferEntries: 128, GrowthFactor: 3, Parallelism: 1,
+		CompactionWorkers: 1,
+	}
+	l, err := NewLSM(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	for i, s := range data[:2000] {
+		if err := l.Insert(s, 0); err != nil {
+			b.Fatal(err)
+		}
+		_ = i
+	}
+	if err := l.Quiesce(); err != nil {
+		b.Fatal(err)
+	}
+	// Churn writer: a bounded stream of ts=1 inserts drives flushes and
+	// background merges through the measurement window (bounded so the
+	// index size — and with it the per-search cost — stays bounded too).
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 2000; i < len(data); i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := l.Insert(data[i], 1); err != nil {
+				return
+			}
+		}
+	}()
+	q := data[137]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.SearchWindow(q, 5, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}

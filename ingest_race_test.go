@@ -1,0 +1,144 @@
+package coconut
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Concurrent Insert + Search + background merge on the public facades:
+// searches windowed to the established data (ts=0) must return results
+// byte-identical to a quiesced index over exactly that data, no matter how
+// the structure churns underneath them. Run under -race in CI.
+
+func concurrentOpts(walDir string) Options {
+	return Options{
+		SeriesLen: 64, Segments: 8, Bits: 8,
+		BufferEntries: 32, GrowthFactor: 3,
+		Parallelism:       1,
+		CompactionWorkers: 2,
+		WALDir:            walDir,
+		Durability:        DurabilityBatched,
+	}
+}
+
+type searcher interface {
+	SearchWindow(q []float64, k int, minTS, maxTS int64) ([]Match, error)
+	Insert(s []float64, ts int64) error
+}
+
+// runConcurrentIdentity loads base data at ts=0 into both indexes, then
+// races ts=1 inserts against windowed searches on live, comparing every
+// answer with quiesced's.
+func runConcurrentIdentity(t *testing.T, live, quiesced searcher, base, churn [][]float64) {
+	t.Helper()
+	for _, s := range base {
+		if err := quiesced.Insert(s, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := live.Insert(s, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const queries = 24
+	rng := rand.New(rand.NewSource(99))
+	qs := make([][]float64, queries)
+	want := make([][]Match, queries)
+	for i := range qs {
+		qs[i] = randSeries(rng, 64)
+		var err error
+		want[i], err = quiesced.SearchWindow(qs[i], 5, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Writer: a bounded churn stream at ts=1 driving flushes and background
+	// merges while searchers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 3; round++ {
+			for _, s := range churn {
+				if err := live.Insert(s, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 10; round++ {
+				i := (w*5 + round) % queries
+				got, err := live.SearchWindow(qs[i], 5, 0, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) != len(want[i]) {
+					t.Errorf("query %d: %d vs %d results", i, len(got), len(want[i]))
+					return
+				}
+				for j := range got {
+					if got[j] != want[i][j] {
+						t.Errorf("query %d result %d: %+v, want %+v", i, j, got[j], want[i][j])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestConcurrentInsertSearchMergeLSM(t *testing.T) {
+	base := makeData(600, 64, 91)
+	churn := makeData(300, 64, 92)
+	quiesced, err := NewLSM(concurrentOpts(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quiesced.Close()
+	live, err := NewLSM(concurrentOpts(t.TempDir())) // WAL on: the full write path races
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	runConcurrentIdentity(t, live, quiesced, base, churn)
+	if err := live.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	if st := live.CompactionStats(); st.Merges == 0 {
+		t.Fatal("no background merges happened; the test exercised nothing")
+	}
+}
+
+func TestConcurrentInsertSearchMergeSharded(t *testing.T) {
+	base := makeData(600, 64, 93)
+	churn := makeData(300, 64, 94)
+	quiesced, err := NewShardedLSM(3, concurrentOpts(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quiesced.Close()
+	live, err := NewShardedLSM(3, concurrentOpts(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	runConcurrentIdentity(t, live, quiesced, base, churn)
+	if err := live.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	merges := int64(0)
+	for _, st := range live.CompactionStats() {
+		merges += st.Merges
+	}
+	if merges == 0 {
+		t.Fatal("no background merges happened across shards")
+	}
+}

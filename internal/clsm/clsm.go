@@ -6,18 +6,50 @@
 // (tiering). The growth factor is the read/write knob the demo exposes:
 // larger T means fewer, cheaper merges (faster ingest) but more runs to
 // inspect per query.
+//
+// # Concurrency: snapshot-isolated manifests
+//
+// The on-disk run set lives in an immutable manifest, and what one search
+// sees — manifest plus a snapshot of the in-memory buffer — is published as
+// a single atomically-swapped view. Searches pin a view and run lock-free
+// against it; inserts append to the buffer and publish a new view; flushes
+// and merges build a replacement manifest and swap it in atomically. A
+// search therefore always observes every acknowledged entry exactly once
+// (in the buffer snapshot or in a run, never neither), and because the
+// collectors of package index are order-independent pure functions of the
+// candidate set, results are byte-identical whether a merge is mid-flight
+// or the index is quiesced.
+//
+// Obsolete manifests retire in version order: once the last search unpins a
+// retired manifest, the run files its successor dropped are reclaimed
+// (Disk.Remove — which also invalidates any buffer-pool pages of those
+// files), epoch-style, so no reader ever loses a file out from under it.
+//
+// # Durability and background compaction
+//
+// With Options.WAL set, every insert is appended to a write-ahead log
+// before it is buffered, and every manifest swap persists the manifest to
+// the index's disk; Recover rebuilds the exact index from the persisted
+// manifest plus a replay of the WAL tail. With Options.Scheduler set, level
+// merges run as background jobs on the scheduler's worker pool instead of
+// cascading synchronously inside Flush — inserts and searches keep running
+// against the pre-merge manifest until the swap.
 package clsm
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/compact"
 	"repro/internal/extsort"
 	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/record"
 	"repro/internal/series"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Options configures a CLSM index.
@@ -47,6 +79,26 @@ type Options struct {
 	// per-worker results merge into the same answer the serial scan
 	// produces.
 	Parallelism int
+	// WAL, when set, makes ingest durable: Insert appends the encoded entry
+	// to the log before buffering it (acknowledgement follows the log's
+	// group-commit policy), and every flush or merge persists the run
+	// manifest to Disk so Recover can rebuild the index from manifest +
+	// WAL tail. The log is owned by the caller (it outlives this index and
+	// is closed by whoever opened it).
+	WAL *wal.Log
+	// TruncateWALOnFlush, with WAL set, truncates log segments as soon as
+	// their entries are safely in an on-disk run behind a persisted
+	// manifest. Enable it when Disk is the durable store (it survives the
+	// crash being guarded against); leave it off when durability instead
+	// comes from snapshot checkpoints of the disk (the facade's SaveFile),
+	// which truncate at checkpoint time.
+	TruncateWALOnFlush bool
+	// Scheduler, when set, runs level merges as background jobs on its
+	// worker pool; flushes stay inline. nil keeps the legacy synchronous
+	// cascade inside Flush — the paper-faithful single-stream accounting.
+	// The scheduler is owned by the caller and may be shared across many
+	// indexes (one background-work budget for a whole sharded deployment).
+	Scheduler *compact.Scheduler
 }
 
 func (o *Options) setDefaults() error {
@@ -77,25 +129,101 @@ func (o *Options) setDefaults() error {
 	return nil
 }
 
+// ReplayedEntry is the entry type Recover's callback observes — an alias
+// so facade layers need not import the record package for the one type.
+type ReplayedEntry = record.Entry
+
 // run is one sorted run on disk.
 type run struct {
 	file  string
 	count int64
 }
 
-// LSM is a CoconutLSM index.
+// manifest is one immutable version of the on-disk run set. Searches pin
+// the manifest they run against; writers never mutate a published manifest,
+// they swap in a clone. Retired manifests form a version-ordered chain
+// (next) along which run files dropped by each transition are reclaimed
+// once every earlier pin is gone.
+type manifest struct {
+	version int64
+	levels  [][]run // levels[l] = runs at level l, oldest first; never mutated
+	// durableLSN is the WAL LSN of the last entry contained in these runs
+	// (-1 when none, or when no WAL is configured). Recovery replays the
+	// log strictly after it.
+	durableLSN int64
+
+	pins    atomic.Int64             // searches currently pinned to this version
+	next    atomic.Pointer[manifest] // successor; non-nil once retired
+	dropped []string                 // run files the transition to next dropped; set before next
+}
+
+// runsIn counts the runs a manifest references.
+func (m *manifest) runsIn() int {
+	n := 0
+	for _, lvl := range m.levels {
+		n += len(lvl)
+	}
+	return n
+}
+
+// entriesIn sums the entry counts of every run.
+func (m *manifest) entriesIn() int64 {
+	var n int64
+	for _, lvl := range m.levels {
+		for _, r := range lvl {
+			n += r.count
+		}
+	}
+	return n
+}
+
+// view is what one search observes: a manifest and a snapshot of the write
+// buffer, published together in one atomic pointer so an entry moving from
+// buffer to run during a flush is always visible in exactly one of the two.
+type view struct {
+	man *manifest
+	buf []record.Entry // immutable prefix snapshot; appends land beyond len
+}
+
+// LSM is a CoconutLSM index. Completed and in-construction indexes are safe
+// for fully concurrent use: any number of searches may overlap with
+// inserts, flushes, and background merges. (Save, Recover, and Close still
+// require that no insert is concurrently in flight.)
 type LSM struct {
-	opts   Options
-	codec  record.Codec
-	buffer []record.Entry // unsorted in-memory write buffer
-	levels [][]run        // levels[l] = runs at level l, oldest first
-	seq    int            // run file name counter
-	count  int64
-	nextID int64
-	// Write-amplification accounting.
-	flushes int64
-	merges  int64
-	pool    *parallel.Pool
+	opts  Options
+	codec record.Codec
+
+	// mu guards buffer growth, WAL append ordering, and every publication
+	// of cur. Searches never take it.
+	mu      sync.Mutex
+	buffer  []record.Entry // append-only between flush commits
+	bufBase int64          // WAL LSN of buffer[0] (valid when WAL is set)
+
+	cur atomic.Pointer[view]
+
+	// writeMu serializes structure commits (flush, merge, manifest
+	// persistence) against each other; flushMu serializes whole Flush
+	// calls so concurrent auto-flush triggers collapse into one.
+	writeMu sync.Mutex
+	flushMu sync.Mutex
+
+	// reclaimMu guards the retired-manifest cursor.
+	reclaimMu sync.Mutex
+	oldest    *manifest
+	reclaimed atomic.Int64 // obsolete run files removed
+
+	seq     atomic.Int64 // run file name counter
+	count   atomic.Int64
+	nextID  atomic.Int64
+	flushes atomic.Int64
+	merges  atomic.Int64
+
+	pool *parallel.Pool
+
+	replaying  bool // set during Recover; suppresses WAL re-appends
+	compacting atomic.Bool
+	cerrMu     sync.Mutex
+	cerr       error // first background-compaction error, sticky
 }
 
 // New creates an empty CLSM index.
@@ -114,6 +242,9 @@ func New(opts Options) (*LSM, error) {
 	if l.codec.Size() > opts.Disk.PageSize() {
 		return nil, fmt.Errorf("clsm: entry size %d exceeds page size %d", l.codec.Size(), opts.Disk.PageSize())
 	}
+	man := &manifest{durableLSN: -1}
+	l.cur.Store(&view{man: man})
+	l.oldest = man
 	return l, nil
 }
 
@@ -126,7 +257,7 @@ func (l *LSM) Name() string {
 }
 
 // Count returns the number of indexed series (buffered included).
-func (l *LSM) Count() int64 { return l.count }
+func (l *LSM) Count() int64 { return l.count.Load() }
 
 // SetParallelism re-sizes the search worker pool (n <= 0 selects
 // GOMAXPROCS; 1 is serial). Parallelism is not persisted, so reopened
@@ -149,63 +280,214 @@ func (l *LSM) UseReader(r storage.PageReader) {
 func (l *LSM) Config() index.Config { return l.opts.Config }
 
 // Runs returns the current number of on-disk runs.
-func (l *LSM) Runs() int {
-	n := 0
-	for _, lvl := range l.levels {
-		n += len(lvl)
-	}
-	return n
-}
+func (l *LSM) Runs() int { return l.cur.Load().man.runsIn() }
 
 // Depth returns the number of levels currently holding runs.
-func (l *LSM) Depth() int { return len(l.levels) }
+func (l *LSM) Depth() int { return len(l.cur.Load().man.levels) }
 
 // Flushes returns how many buffer flushes have occurred.
-func (l *LSM) Flushes() int64 { return l.flushes }
+func (l *LSM) Flushes() int64 { return l.flushes.Load() }
 
 // Merges returns how many run merges have occurred.
-func (l *LSM) Merges() int64 { return l.merges }
+func (l *LSM) Merges() int64 { return l.merges.Load() }
+
+// pinView pins the current view for a search: the manifest cannot have its
+// dropped files reclaimed while pinned. The retry loop closes the race with
+// a concurrent swap — once the re-check sees the manifest still current,
+// its retirement (and therefore any reclaim that could free its files)
+// necessarily observes the pin.
+func (l *LSM) pinView() *view {
+	for {
+		v := l.cur.Load()
+		v.man.pins.Add(1)
+		if l.cur.Load().man == v.man {
+			return v
+		}
+		v.man.pins.Add(-1)
+	}
+}
+
+// unpinView releases a pinned view and advances reclamation.
+func (l *LSM) unpinView(v *view) {
+	v.man.pins.Add(-1)
+	l.reclaim()
+}
+
+// reclaim walks retired manifests in version order, deleting the run files
+// each transition dropped once the manifest has no pins. In-order
+// reclamation is what makes the pin a full barrier: any file an older
+// pinned manifest still references is dropped by a transition at or after
+// it, which cannot be reached before the pinned manifest itself reclaims.
+func (l *LSM) reclaim() {
+	l.reclaimMu.Lock()
+	defer l.reclaimMu.Unlock()
+	for {
+		m := l.oldest
+		next := m.next.Load()
+		if next == nil || m.pins.Load() != 0 {
+			return
+		}
+		for _, f := range m.dropped {
+			// Remove also invalidates any buffer-pool pages of the file, so
+			// no stale cached page survives the reclaim.
+			if err := l.opts.Disk.Remove(f); err == nil {
+				l.reclaimed.Add(1)
+			}
+		}
+		l.oldest = next
+	}
+}
+
+// retire links old -> new on the manifest chain, recording the files the
+// transition dropped. Callers hold l.mu (the swap lock), so retirements are
+// ordered; dropped is set before the successor pointer publishes it.
+func retire(old, new *manifest, dropped []string) {
+	old.dropped = dropped
+	old.next.Store(new)
+}
 
 // Insert adds one series with the given ingestion timestamp. IDs are
 // assigned in insertion order starting at 0.
 func (l *LSM) Insert(s series.Series, ts int64) error {
+	_, err := l.InsertID(s, ts)
+	return err
+}
+
+// InsertID is Insert returning the assigned ID, for callers that keep
+// ID-addressed state (the facade's raw-series mirror) in sync.
+func (l *LSM) InsertID(s series.Series, ts int64) (int64, error) {
 	key, z := l.opts.Config.Summarize(s)
-	e := record.Entry{Key: key, ID: l.nextID, TS: ts}
+	id := l.nextID.Add(1) - 1
+	e := record.Entry{Key: key, ID: id, TS: ts}
 	if l.opts.Config.Materialized {
 		e.Payload = z
 	}
-	l.nextID++
-	return l.InsertEntry(e)
+	return id, l.insertEntry(e, z)
 }
 
 // InsertEntry adds a pre-summarized entry with caller-controlled ID — used
 // by the streaming schemes, which summarize once and own global IDs.
 func (l *LSM) InsertEntry(e record.Entry) error {
-	if e.ID >= l.nextID {
-		l.nextID = e.ID + 1
+	l.raiseNextID(e.ID)
+	return l.insertEntry(e, e.Payload)
+}
+
+func (l *LSM) raiseNextID(id int64) {
+	for {
+		cur := l.nextID.Load()
+		if id < cur {
+			return
+		}
+		if l.nextID.CompareAndSwap(cur, id+1) {
+			return
+		}
 	}
-	l.count++
+}
+
+// insertEntry logs, buffers, and publishes one entry. walSeries is the
+// series logged alongside the entry header (the z-normalized series for
+// Insert; the payload, possibly nil, for InsertEntry) so recovery can
+// rebuild raw-series mirrors as well as the entry itself.
+func (l *LSM) insertEntry(e record.Entry, walSeries series.Series) error {
+	l.mu.Lock()
+	if l.opts.WAL != nil && !l.replaying {
+		lsn, err := l.opts.WAL.Append(encodeWALFrame(e, walSeries))
+		if err != nil {
+			l.mu.Unlock()
+			return fmt.Errorf("clsm: wal append: %w", err)
+		}
+		if want := l.bufBase + int64(len(l.buffer)); lsn != want {
+			l.mu.Unlock()
+			return fmt.Errorf("clsm: wal LSN %d, want %d (log shared with another writer?)", lsn, want)
+		}
+	}
 	l.buffer = append(l.buffer, e)
-	if len(l.buffer) >= l.opts.BufferEntries {
+	full := len(l.buffer) >= l.opts.BufferEntries
+	l.cur.Store(&view{man: l.cur.Load().man, buf: l.buffer})
+	l.mu.Unlock()
+	l.count.Add(1)
+	if full {
 		return l.Flush()
 	}
 	return nil
 }
 
-// Flush sorts the in-memory buffer into a level-0 run and triggers any
-// cascading merges. It is a no-op on an empty buffer.
+// Flush sorts the in-memory buffer into a level-0 run and triggers
+// compaction — synchronously cascading without a Scheduler, as background
+// jobs with one. Safe to call concurrently with inserts and searches; a
+// no-op on an empty buffer.
 func (l *LSM) Flush() error {
-	if len(l.buffer) == 0 {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+
+	// Snapshot the buffer prefix to flush. The buffer stays visible to
+	// searches until the commit swaps run and buffer in one step.
+	l.mu.Lock()
+	n := len(l.buffer)
+	if n == 0 {
+		l.mu.Unlock()
 		return nil
 	}
-	sort.Slice(l.buffer, func(i, j int) bool { return l.buffer[i].Less(l.buffer[j]) })
+	snap := l.buffer[:n:n]
+	flushedLSN := l.bufBase + int64(n) - 1
+	l.mu.Unlock()
+
+	if l.opts.WAL != nil && !l.replaying {
+		// The run must never get ahead of the log: sync through the last
+		// entry being flushed before the manifest can supersede it.
+		if err := l.opts.WAL.Sync(); err != nil {
+			return err
+		}
+	}
+
+	// Sort a copy — searches are scanning the live buffer.
+	sorted := make([]record.Entry, n)
+	copy(sorted, snap)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
 	name := l.runName()
+	if err := l.writeRun(name, sorted); err != nil {
+		return err
+	}
+
+	// Commit: new manifest with the run, buffer minus the flushed prefix,
+	// one atomic view swap.
+	l.writeMu.Lock()
+	l.mu.Lock()
+	v := l.cur.Load()
+	man := addRun(v.man, 0, run{file: name, count: int64(n)})
+	if l.opts.WAL != nil {
+		man.durableLSN = flushedLSN
+	}
+	l.buffer = l.buffer[n:]
+	l.bufBase += int64(n)
+	l.cur.Store(&view{man: man, buf: l.buffer})
+	retire(v.man, man, nil)
+	l.mu.Unlock()
+	perr := l.persistManifest(man)
+	l.writeMu.Unlock()
+	l.flushes.Add(1)
+	l.reclaim()
+	if perr != nil {
+		return perr
+	}
+	if l.opts.WAL != nil && l.opts.TruncateWALOnFlush && !l.replaying {
+		// The flushed entries are in a run behind a persisted manifest; the
+		// segments that held them are obsolete.
+		if err := l.opts.WAL.TruncateThrough(flushedLSN); err != nil {
+			return err
+		}
+	}
+	return l.afterStructureChange()
+}
+
+// writeRun streams sorted entries into a new run file.
+func (l *LSM) writeRun(name string, entries []record.Entry) error {
 	w, err := storage.NewRecordWriter(l.opts.Disk, name, l.codec.Size())
 	if err != nil {
 		return err
 	}
 	buf := make([]byte, 0, l.codec.Size())
-	for _, e := range l.buffer {
+	for _, e := range entries {
 		buf = buf[:0]
 		if buf, err = l.codec.Append(buf, e); err != nil {
 			return err
@@ -214,63 +496,257 @@ func (l *LSM) Flush() error {
 			return err
 		}
 	}
-	if err := w.Close(); err != nil {
-		return err
-	}
-	l.addRun(0, run{file: name, count: int64(len(l.buffer))})
-	l.buffer = l.buffer[:0]
-	l.flushes++
-	return l.compact()
+	return w.Close()
 }
 
 func (l *LSM) runName() string {
-	l.seq++
-	return fmt.Sprintf("%s.run.%06d", l.opts.Name, l.seq)
+	return fmt.Sprintf("%s.run.%06d", l.opts.Name, l.seq.Add(1))
 }
 
-func (l *LSM) addRun(level int, r run) {
-	for len(l.levels) <= level {
-		l.levels = append(l.levels, nil)
+// addRun returns a clone of m with r appended at the given level.
+func addRun(m *manifest, level int, r run) *manifest {
+	depth := len(m.levels)
+	if level >= depth {
+		depth = level + 1
 	}
-	l.levels[level] = append(l.levels[level], r)
+	levels := make([][]run, depth)
+	copy(levels, m.levels)
+	lvl := make([]run, len(levels[level])+1)
+	copy(lvl, levels[level])
+	lvl[len(lvl)-1] = r
+	levels[level] = lvl
+	return &manifest{version: m.version + 1, levels: levels, durableLSN: m.durableLSN}
 }
 
-// compact merges any level holding >= GrowthFactor runs into a single run
-// at the next level, cascading upward (tiered compaction).
-func (l *LSM) compact() error {
-	sorter := &extsort.Sorter{Disk: l.opts.Disk, Codec: l.codec, MemBudget: 1 << 20, TmpPrefix: l.opts.Name + ".merge"}
-	for level := 0; level < len(l.levels); level++ {
-		for len(l.levels[level]) >= l.opts.GrowthFactor {
-			victims := l.levels[level]
-			names := make([]string, len(victims))
-			counts := make([]int64, len(victims))
-			for i, r := range victims {
-				names[i] = r.file
-				counts[i] = r.count
-			}
-			merged := l.runName()
-			total, err := sorter.MergeSorted(names, counts, merged)
-			if err != nil {
-				return err
-			}
-			for _, r := range victims {
-				if err := l.opts.Disk.Remove(r.file); err != nil {
-					return err
-				}
-			}
-			l.levels[level] = nil
-			l.addRun(level+1, run{file: merged, count: total})
-			l.merges++
+// needsCompact reports whether any level holds GrowthFactor or more runs.
+func (l *LSM) needsCompact(m *manifest) bool {
+	for _, lvl := range m.levels {
+		if len(lvl) >= l.opts.GrowthFactor {
+			return true
 		}
 	}
+	return false
+}
+
+// afterStructureChange compacts inline without a scheduler, or arranges a
+// background job with one.
+func (l *LSM) afterStructureChange() error {
+	if l.opts.Scheduler == nil {
+		return l.compactNow()
+	}
+	l.maybeSchedule()
 	return nil
 }
 
-// allRuns returns every on-disk run, newest level first (level 0 holds the
-// freshest data).
-func (l *LSM) allRuns() []run {
+// maybeSchedule submits at most one outstanding compaction job for this
+// index. The job re-checks after clearing the flag, closing the race where
+// a flush observes the flag set just as the job is finishing.
+func (l *LSM) maybeSchedule() {
+	if l.CompactionErr() != nil {
+		return
+	}
+	if !l.needsCompact(l.cur.Load().man) {
+		return
+	}
+	if !l.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	err := l.opts.Scheduler.Submit(func() error {
+		err := l.compactNow()
+		if err != nil {
+			l.setCompactionErr(err)
+		}
+		l.compacting.Store(false)
+		if err == nil {
+			l.maybeSchedule()
+		}
+		return err
+	})
+	if err != nil {
+		// Scheduler shut down: leave the level over-full; the next flush
+		// (or a quiesce) will deal with it.
+		l.compacting.Store(false)
+	}
+}
+
+func (l *LSM) setCompactionErr(err error) {
+	l.cerrMu.Lock()
+	if l.cerr == nil {
+		l.cerr = err
+	}
+	l.cerrMu.Unlock()
+}
+
+// CompactionErr returns the first error a background merge hit, or nil.
+// Background compaction halts on error; the error also surfaces from
+// Quiesce, Save, and Close.
+func (l *LSM) CompactionErr() error {
+	l.cerrMu.Lock()
+	defer l.cerrMu.Unlock()
+	return l.cerr
+}
+
+// compactNow merges over-full levels until none remain, committing one
+// manifest swap per merge. Single-flighted: inline mode calls it from
+// Flush, background mode from the one outstanding job.
+func (l *LSM) compactNow() error {
+	sorter := &extsort.Sorter{Disk: l.opts.Disk, Codec: l.codec, MemBudget: 1 << 20, TmpPrefix: l.opts.Name + ".merge"}
+	for {
+		man := l.cur.Load().man
+		level := -1
+		for i, lvl := range man.levels {
+			if len(lvl) >= l.opts.GrowthFactor {
+				level = i
+				break
+			}
+		}
+		if level < 0 {
+			return nil
+		}
+		victims := man.levels[level]
+		names := make([]string, len(victims))
+		counts := make([]int64, len(victims))
+		files := make([]string, len(victims))
+		for i, r := range victims {
+			names[i] = r.file
+			counts[i] = r.count
+			files[i] = r.file
+		}
+		merged := l.runName()
+		total, err := sorter.MergeSorted(names, counts, merged)
+		if err != nil {
+			return err
+		}
+
+		// Commit: drop the victims (still the prefix of the level — only
+		// compactNow removes runs and it is single-flighted; concurrent
+		// flushes only append), add the merged run one level up.
+		l.writeMu.Lock()
+		l.mu.Lock()
+		v := l.cur.Load()
+		newMan, err := afterMerge(v.man, level, victims, run{file: merged, count: total})
+		if err != nil {
+			l.mu.Unlock()
+			l.writeMu.Unlock()
+			return err
+		}
+		l.cur.Store(&view{man: newMan, buf: l.buffer})
+		retire(v.man, newMan, files)
+		l.mu.Unlock()
+		perr := l.persistManifest(newMan)
+		l.writeMu.Unlock()
+		l.merges.Add(1)
+		l.reclaim()
+		if perr != nil {
+			return perr
+		}
+	}
+}
+
+// afterMerge clones m, replacing the victim prefix of level with nothing
+// and appending mergedRun at level+1.
+func afterMerge(m *manifest, level int, victims []run, mergedRun run) (*manifest, error) {
+	if len(m.levels) <= level || len(m.levels[level]) < len(victims) {
+		return nil, fmt.Errorf("clsm: merge commit lost level %d", level)
+	}
+	for i, r := range victims {
+		if m.levels[level][i].file != r.file {
+			return nil, fmt.Errorf("clsm: merge victims no longer prefix level %d", level)
+		}
+	}
+	depth := len(m.levels)
+	if level+1 >= depth {
+		depth = level + 2
+	}
+	levels := make([][]run, depth)
+	copy(levels, m.levels)
+	levels[level] = m.levels[level][len(victims):]
+	up := make([]run, len(levels[level+1])+1)
+	copy(up, levels[level+1])
+	up[len(up)-1] = mergedRun
+	levels[level+1] = up
+	return &manifest{version: m.version + 1, levels: levels, durableLSN: m.durableLSN}, nil
+}
+
+// Quiesce waits until no compaction work is pending or in flight: every
+// over-full level has merged and the background job has drained. A no-op in
+// inline mode (Flush already cascades to completion). Returns the sticky
+// background-compaction error, if any.
+func (l *LSM) Quiesce() error {
+	if l.opts.Scheduler == nil {
+		return nil
+	}
+	for {
+		l.opts.Scheduler.Drain()
+		if err := l.CompactionErr(); err != nil {
+			return err
+		}
+		if !l.compacting.Load() && !l.needsCompact(l.cur.Load().man) {
+			return nil
+		}
+		if l.opts.Scheduler.Closed() {
+			// The worker pool is gone; finish the outstanding merges
+			// inline rather than spinning (or looping) forever.
+			if l.compacting.Load() {
+				continue // a worker is still finishing its last job
+			}
+			return l.compactNow()
+		}
+		l.maybeSchedule()
+	}
+}
+
+// Close waits out in-flight background merges and surfaces their first
+// error. It does not close the WAL or the scheduler — both are owned by
+// whoever created them. Idempotent; call with no insert in flight.
+func (l *LSM) Close() error {
+	if l.opts.Scheduler != nil {
+		l.opts.Scheduler.Drain()
+	}
+	return l.CompactionErr()
+}
+
+// CompactionStats describes the state of the ingest/compaction machinery.
+type CompactionStats struct {
+	Flushes           int64 // buffer flushes so far
+	Merges            int64 // level merges so far
+	Levels            int   // levels currently holding runs
+	Runs              int   // on-disk runs in the current manifest
+	ManifestVersion   int64 // version of the current manifest
+	RetainedManifests int   // manifest versions not yet reclaimed (current included)
+	ReclaimedRuns     int64 // obsolete run files deleted so far
+	Background        bool  // merges run on a scheduler
+	Pending           bool  // a compaction job is queued or in flight
+	DurableLSN        int64 // WAL LSN safely in runs (-1 when none/no WAL)
+}
+
+// CompactionStats returns a snapshot of the ingest/compaction state.
+func (l *LSM) CompactionStats() CompactionStats {
+	man := l.cur.Load().man
+	st := CompactionStats{
+		Flushes:         l.flushes.Load(),
+		Merges:          l.merges.Load(),
+		Levels:          len(man.levels),
+		Runs:            man.runsIn(),
+		ManifestVersion: man.version,
+		ReclaimedRuns:   l.reclaimed.Load(),
+		Background:      l.opts.Scheduler != nil,
+		Pending:         l.compacting.Load(),
+		DurableLSN:      man.durableLSN,
+	}
+	l.reclaimMu.Lock()
+	for m := l.oldest; m != nil; m = m.next.Load() {
+		st.RetainedManifests++
+	}
+	l.reclaimMu.Unlock()
+	return st
+}
+
+// allRuns returns every on-disk run of a manifest, newest level first
+// (level 0 holds the freshest data).
+func allRuns(m *manifest) []run {
 	var out []run
-	for _, lvl := range l.levels {
+	for _, lvl := range m.levels {
 		out = append(out, lvl...)
 	}
 	return out

@@ -108,7 +108,7 @@ func TestFlushAndMergeCascade(t *testing.T) {
 		t.Fatal("expected merges")
 	}
 	// Tiering invariant: every level has fewer than GrowthFactor runs.
-	for lvl, runs := range l.levels {
+	for lvl, runs := range l.cur.Load().man.levels {
 		if len(runs) >= 4 {
 			t.Fatalf("level %d holds %d runs, growth factor 4", lvl, len(runs))
 		}
@@ -118,7 +118,7 @@ func TestFlushAndMergeCascade(t *testing.T) {
 	}
 	// Total entries across runs + buffer must equal count.
 	var total int64
-	for _, r := range l.allRuns() {
+	for _, r := range allRuns(l.cur.Load().man) {
 		total += r.count
 	}
 	total += int64(len(l.buffer))

@@ -6,41 +6,91 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/parallel"
+	"repro/internal/record"
 	"repro/internal/series"
+	"repro/internal/sortable"
 	"repro/internal/storage"
 )
 
-// Metadata format (stored in "<name>.meta" on the LSM's disk):
+// Two persisted structures share one payload encoding:
 //
-//	magic "CLSMMETA" | version u32 | payload length u64
+// "<name>.meta" (written by Save, read by Open) — the quiesced snapshot:
+//
+//	magic "CLSMMETA" | version u32 | payload length u64 | payload
+//
+// "<name>.manifest" (written on every manifest swap in WAL mode, read by
+// Recover) — the crash-consistent run set:
+//
+//	magic "CLSMMANI" | version u32 | payload length u64 |
+//	durableLSN u64 (two's complement; ^uint64(0) encodes -1) | payload
+//
+// payload:
+//
 //	count u64 | nextID u64 | seq u64 | flushes u64 | merges u64
 //	growth u32 | bufferEntries u32
 //	materialized u8 | seriesLen u32 | segments u32 | bits u32
 //	levelCount u32 | per level: runCount u32 |
 //	  per run: nameLen u32 | name | count u64
+//
+// In both files count is the number of entries held by the listed runs
+// (Save flushes first, so for the meta file that is also the live count).
 const (
-	lsmMetaMagic   = "CLSMMETA"
-	lsmMetaVersion = 1
+	lsmMetaMagic       = "CLSMMETA"
+	lsmMetaVersion     = 1
+	lsmManifestMagic   = "CLSMMANI"
+	lsmManifestVersion = 1
+	lsmManifestFileSfx = ".manifest"
+	lsmMetaFileSfx     = ".meta"
 )
 
-// Save flushes the write buffer and persists the LSM's structure metadata
-// to "<name>.meta" on its disk, so it can be reopened (together with the
-// disk snapshot) via Open. An existing meta file is replaced.
+// metaState is the decoded payload shared by the meta and manifest files.
+type metaState struct {
+	count, nextID, seq, flushes, merges int64
+	growth, bufferEntries               int
+	cfg                                 index.Config
+	levels                              [][]run
+}
+
+// Save flushes the write buffer, waits out any background compaction, and
+// persists the LSM's structure metadata to "<name>.meta" on its disk, so it
+// can be reopened (together with the disk snapshot) via Open. An existing
+// meta file is replaced. Call with no insert in flight.
 func (l *LSM) Save() error {
 	if err := l.Flush(); err != nil {
 		return err
 	}
-	name := l.opts.Name + ".meta"
+	if err := l.Quiesce(); err != nil {
+		return err
+	}
+	payload := l.encodePayload(l.cur.Load().man)
+	return l.writeBlob(l.opts.Name+lsmMetaFileSfx, lsmMetaMagic, lsmMetaVersion, nil, payload)
+}
+
+// persistManifest writes the crash-consistent manifest file after a swap.
+// Only the durable-ingest mode pays for it: without a WAL the disk image is
+// only ever persisted through Save, which writes the meta file instead.
+// Callers hold writeMu, so manifest files hit the disk in version order.
+func (l *LSM) persistManifest(m *manifest) error {
+	if l.opts.WAL == nil {
+		return nil
+	}
+	var head [8]byte
+	binary.LittleEndian.PutUint64(head[:], uint64(m.durableLSN))
+	return l.writeBlob(l.opts.Name+lsmManifestFileSfx, lsmManifestMagic, lsmManifestVersion, head[:], l.encodePayload(m))
+}
+
+// writeBlob replaces a small framed metadata file on the disk.
+func (l *LSM) writeBlob(name, magic string, version uint32, extra, payload []byte) error {
 	if l.opts.Disk.Exists(name) {
 		if err := l.opts.Disk.Remove(name); err != nil {
 			return err
 		}
 	}
-	payload := l.encodeMeta()
-	head := make([]byte, 0, len(lsmMetaMagic)+12+len(payload))
-	head = append(head, lsmMetaMagic...)
-	head = binary.LittleEndian.AppendUint32(head, lsmMetaVersion)
+	head := make([]byte, 0, len(magic)+12+len(extra)+len(payload))
+	head = append(head, magic...)
+	head = binary.LittleEndian.AppendUint32(head, version)
 	head = binary.LittleEndian.AppendUint64(head, uint64(len(payload)))
+	head = append(head, extra...)
 	head = append(head, payload...)
 	if err := l.opts.Disk.Create(name); err != nil {
 		return err
@@ -49,13 +99,15 @@ func (l *LSM) Save() error {
 	return err
 }
 
-func (l *LSM) encodeMeta() []byte {
+// encodePayload renders the shared payload for a given manifest; the
+// counters come from the live atomics, the run set from the manifest.
+func (l *LSM) encodePayload(m *manifest) []byte {
 	buf := make([]byte, 0, 128)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.count))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.nextID))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.seq))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.flushes))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.merges))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.entriesIn()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.nextID.Load()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.seq.Load()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.flushes.Load()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(l.merges.Load()))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.opts.GrowthFactor))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.opts.BufferEntries))
 	if l.opts.Config.Materialized {
@@ -66,8 +118,8 @@ func (l *LSM) encodeMeta() []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.opts.Config.SeriesLen))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.opts.Config.Segments))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(l.opts.Config.Bits))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.levels)))
-	for _, lvl := range l.levels {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.levels)))
+	for _, lvl := range m.levels {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(lvl)))
 		for _, r := range lvl {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.file)))
@@ -78,82 +130,61 @@ func (l *LSM) encodeMeta() []byte {
 	return buf
 }
 
-// Open reconstructs a saved LSM from a disk holding its runs and
-// "<name>.meta". The caller supplies the Raw store for non-materialized
-// searches.
-func Open(disk *storage.Disk, name string, raw series.RawStore) (*LSM, error) {
-	if disk == nil {
-		return nil, fmt.Errorf("clsm: Disk is required")
-	}
-	if name == "" {
-		name = "clsm"
-	}
-	metaName := name + ".meta"
-	npages, err := disk.NumPages(metaName)
+// readBlob reads and frames-checks a metadata file, returning the bytes
+// after the fixed header (extra bytes first, then the payload).
+func readBlob(disk *storage.Disk, name, magic string, version uint32, extraLen int) ([]byte, error) {
+	npages, err := disk.NumPages(name)
 	if err != nil {
-		return nil, fmt.Errorf("clsm: opening %q: %w", metaName, err)
+		return nil, fmt.Errorf("clsm: opening %q: %w", name, err)
 	}
 	blob := make([]byte, int(npages)*disk.PageSize())
-	if _, err := disk.ReadPages(metaName, 0, int(npages), blob); err != nil {
+	if _, err := disk.ReadPages(name, 0, int(npages), blob); err != nil {
 		return nil, err
 	}
-	if len(blob) < len(lsmMetaMagic)+12 {
-		return nil, fmt.Errorf("clsm: meta file too short")
+	if len(blob) < len(magic)+12+extraLen {
+		return nil, fmt.Errorf("clsm: %s file too short", name)
 	}
-	if string(blob[:len(lsmMetaMagic)]) != lsmMetaMagic {
-		return nil, fmt.Errorf("clsm: bad meta magic %q", blob[:len(lsmMetaMagic)])
+	if string(blob[:len(magic)]) != magic {
+		return nil, fmt.Errorf("clsm: bad magic %q in %s", blob[:len(magic)], name)
 	}
-	off := len(lsmMetaMagic)
-	if v := binary.LittleEndian.Uint32(blob[off:]); v != lsmMetaVersion {
-		return nil, fmt.Errorf("clsm: unsupported meta version %d", v)
+	off := len(magic)
+	if v := binary.LittleEndian.Uint32(blob[off:]); v != version {
+		return nil, fmt.Errorf("clsm: unsupported %s version %d", name, v)
 	}
 	off += 4
 	plen := int(binary.LittleEndian.Uint64(blob[off:]))
 	off += 8
-	if off+plen > len(blob) {
-		return nil, fmt.Errorf("clsm: truncated meta payload")
+	if off+extraLen+plen > len(blob) {
+		return nil, fmt.Errorf("clsm: truncated %s payload", name)
 	}
-	return decodeMeta(disk, name, blob[off:off+plen], raw)
+	return blob[off : off+extraLen+plen], nil
 }
 
-func decodeMeta(disk *storage.Disk, name string, buf []byte, raw series.RawStore) (*LSM, error) {
+// decodePayload parses the shared payload, verifying the listed run files
+// exist on disk and hold the recorded number of entries.
+func decodePayload(disk *storage.Disk, buf []byte) (*metaState, error) {
 	const fixed = 8*5 + 4*2 + 1 + 4*3 + 4
 	if len(buf) < fixed {
 		return nil, fmt.Errorf("clsm: meta payload too short: %d", len(buf))
 	}
-	l := &LSM{pool: parallel.New(0)}
-	l.count = int64(binary.LittleEndian.Uint64(buf))
-	l.nextID = int64(binary.LittleEndian.Uint64(buf[8:]))
-	l.seq = int(binary.LittleEndian.Uint64(buf[16:]))
-	l.flushes = int64(binary.LittleEndian.Uint64(buf[24:]))
-	l.merges = int64(binary.LittleEndian.Uint64(buf[32:]))
-	growth := int(binary.LittleEndian.Uint32(buf[40:]))
-	bufferEntries := int(binary.LittleEndian.Uint32(buf[44:]))
-	materialized := buf[48] == 1
-	seriesLen := int(binary.LittleEndian.Uint32(buf[49:]))
-	segments := int(binary.LittleEndian.Uint32(buf[53:]))
-	bits := int(binary.LittleEndian.Uint32(buf[57:]))
-	levelCount := int(binary.LittleEndian.Uint32(buf[61:]))
-
-	l.opts = Options{
-		Disk: disk,
-		Name: name,
-		Config: index.Config{
-			SeriesLen:    seriesLen,
-			Segments:     segments,
-			Bits:         bits,
-			Materialized: materialized,
-		},
-		GrowthFactor:  growth,
-		BufferEntries: bufferEntries,
-		Raw:           raw,
-		Reader:        disk,
+	st := &metaState{}
+	st.count = int64(binary.LittleEndian.Uint64(buf))
+	st.nextID = int64(binary.LittleEndian.Uint64(buf[8:]))
+	st.seq = int64(binary.LittleEndian.Uint64(buf[16:]))
+	st.flushes = int64(binary.LittleEndian.Uint64(buf[24:]))
+	st.merges = int64(binary.LittleEndian.Uint64(buf[32:]))
+	st.growth = int(binary.LittleEndian.Uint32(buf[40:]))
+	st.bufferEntries = int(binary.LittleEndian.Uint32(buf[44:]))
+	st.cfg = index.Config{
+		Materialized: buf[48] == 1,
+		SeriesLen:    int(binary.LittleEndian.Uint32(buf[49:])),
+		Segments:     int(binary.LittleEndian.Uint32(buf[53:])),
+		Bits:         int(binary.LittleEndian.Uint32(buf[57:])),
 	}
-	if err := l.opts.Config.Validate(); err != nil {
+	levelCount := int(binary.LittleEndian.Uint32(buf[61:]))
+	if err := st.cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("clsm: invalid persisted config: %w", err)
 	}
-	l.codec = l.opts.Config.Codec()
-
 	off := 65
 	var total int64
 	for lv := 0; lv < levelCount; lv++ {
@@ -183,10 +214,241 @@ func decodeMeta(disk *storage.Disk, name string, buf []byte, raw series.RawStore
 			total += r.count
 			runs = append(runs, r)
 		}
-		l.levels = append(l.levels, runs)
+		st.levels = append(st.levels, runs)
 	}
-	if total != l.count {
-		return nil, fmt.Errorf("clsm: persisted counts inconsistent: runs hold %d, meta says %d", total, l.count)
+	if total != st.count {
+		return nil, fmt.Errorf("clsm: persisted counts inconsistent: runs hold %d, meta says %d", total, st.count)
+	}
+	return st, nil
+}
+
+// install applies a decoded state to a freshly constructed LSM.
+func (l *LSM) install(st *metaState, durableLSN int64) {
+	l.count.Store(st.count)
+	l.nextID.Store(st.nextID)
+	l.seq.Store(st.seq)
+	l.flushes.Store(st.flushes)
+	l.merges.Store(st.merges)
+	man := &manifest{levels: st.levels, durableLSN: durableLSN}
+	l.cur.Store(&view{man: man})
+	l.oldest = man
+	l.bufBase = durableLSN + 1
+}
+
+// Open reconstructs a saved LSM from a disk holding its runs and
+// "<name>.meta". The caller supplies the Raw store for non-materialized
+// searches.
+func Open(disk *storage.Disk, name string, raw series.RawStore) (*LSM, error) {
+	if disk == nil {
+		return nil, fmt.Errorf("clsm: Disk is required")
+	}
+	if name == "" {
+		name = "clsm"
+	}
+	payload, err := readBlob(disk, name+lsmMetaFileSfx, lsmMetaMagic, lsmMetaVersion, 0)
+	if err != nil {
+		return nil, err
+	}
+	st, err := decodePayload(disk, payload)
+	if err != nil {
+		return nil, err
+	}
+	l := &LSM{pool: parallel.New(0)}
+	l.opts = Options{
+		Disk:          disk,
+		Name:          name,
+		Config:        st.cfg,
+		GrowthFactor:  st.growth,
+		BufferEntries: st.bufferEntries,
+		Raw:           raw,
+		Reader:        disk,
+	}
+	l.codec = l.opts.Config.Codec()
+	l.install(st, -1)
+	return l, nil
+}
+
+// Recover rebuilds an LSM from its disk plus its write-ahead log: the
+// persisted manifest (or, failing that, the meta file of the last Save)
+// provides the run set, and the log's tail — every frame past the
+// manifest's durable LSN — is replayed through the normal insert path, so
+// no acknowledged insert is lost even when the process died with a full
+// write buffer. A torn final frame (crash mid-append) ends replay cleanly.
+//
+// opts must carry the WAL; onReplay, when non-nil, observes every replayed
+// entry together with the series logged alongside it (the facade uses it to
+// rebuild its raw-series mirror). Flushes triggered by replay behave
+// normally, so recovery itself makes progress durable.
+func Recover(opts Options, onReplay func(record.Entry, series.Series) error) (*LSM, error) {
+	if opts.WAL == nil {
+		return nil, fmt.Errorf("clsm: Recover requires a WAL")
+	}
+	l, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	disk, name := l.opts.Disk, l.opts.Name
+	from := int64(0)
+	startID := int64(0)
+	switch {
+	case disk.Exists(name + lsmManifestFileSfx):
+		blob, err := readBlob(disk, name+lsmManifestFileSfx, lsmManifestMagic, lsmManifestVersion, 8)
+		if err != nil {
+			return nil, err
+		}
+		durable := int64(binary.LittleEndian.Uint64(blob))
+		st, err := decodePayload(disk, blob[8:])
+		if err != nil {
+			return nil, err
+		}
+		if err := sameShape(st.cfg, l.opts.Config); err != nil {
+			return nil, err
+		}
+		l.install(st, durable)
+		from = durable + 1
+		startID = st.nextID
+	case disk.Exists(name + lsmMetaFileSfx):
+		// Snapshot-checkpoint recovery: the meta file stores no LSN, so the
+		// whole retained log replays and entries already in the snapshot are
+		// skipped by ID (the checkpoint truncated everything older).
+		payload, err := readBlob(disk, name+lsmMetaFileSfx, lsmMetaMagic, lsmMetaVersion, 0)
+		if err != nil {
+			return nil, err
+		}
+		st, err := decodePayload(disk, payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := sameShape(st.cfg, l.opts.Config); err != nil {
+			return nil, err
+		}
+		l.install(st, -1)
+		startID = st.nextID
+	}
+
+	l.replaying = true
+	rerr := l.opts.WAL.Replay(from, func(lsn int64, payload []byte) error {
+		e, s, err := decodeWALFrame(payload, l.opts.Config.SeriesLen)
+		if err != nil {
+			return err
+		}
+		if e.ID < startID {
+			return nil // already durable in the recovered run set
+		}
+		l.mu.Lock()
+		if len(l.buffer) == 0 {
+			l.bufBase = lsn
+		} else if l.bufBase+int64(len(l.buffer)) != lsn {
+			l.mu.Unlock()
+			return fmt.Errorf("clsm: non-contiguous WAL replay at LSN %d", lsn)
+		}
+		l.mu.Unlock()
+		l.raiseNextID(e.ID)
+		entry := e
+		if !l.opts.Config.Materialized {
+			entry.Payload = nil
+		}
+		if err := l.insertEntry(entry, s); err != nil {
+			return err
+		}
+		if onReplay != nil {
+			return onReplay(e, s)
+		}
+		return nil
+	})
+	l.replaying = false
+	if rerr != nil {
+		return nil, fmt.Errorf("clsm: wal replay: %w", rerr)
 	}
 	return l, nil
+}
+
+// Saved describes the persisted state of an LSM on a disk, read from the
+// crash-consistent manifest (preferred) or the meta file of the last Save.
+type Saved struct {
+	Count         int64 // entries held by the persisted runs
+	GrowthFactor  int
+	BufferEntries int
+}
+
+// SavedState reads the persisted LSM parameters from a disk, or ok=false
+// when neither metadata file exists. The facade uses Count to size
+// snapshot-resident state (the raw-series mirror) before WAL replay grows
+// the index past it, and the tuning fields to reopen with the shape the
+// snapshot was built with.
+func SavedState(disk *storage.Disk, name string) (Saved, bool, error) {
+	var blobName, magic string
+	var version uint32
+	extra := 0
+	switch {
+	case disk.Exists(name + lsmManifestFileSfx):
+		blobName, magic, version, extra = name+lsmManifestFileSfx, lsmManifestMagic, lsmManifestVersion, 8
+	case disk.Exists(name + lsmMetaFileSfx):
+		blobName, magic, version = name+lsmMetaFileSfx, lsmMetaMagic, lsmMetaVersion
+	default:
+		return Saved{}, false, nil
+	}
+	blob, err := readBlob(disk, blobName, magic, version, extra)
+	if err != nil {
+		return Saved{}, false, err
+	}
+	st, err := decodePayload(disk, blob[extra:])
+	if err != nil {
+		return Saved{}, false, err
+	}
+	return Saved{Count: st.count, GrowthFactor: st.growth, BufferEntries: st.bufferEntries}, true, nil
+}
+
+// sameShape verifies a persisted configuration matches the caller's — the
+// entry codec layouts must agree for runs and WAL frames to decode.
+func sameShape(stored, given index.Config) error {
+	if stored != given {
+		return fmt.Errorf("clsm: persisted config %+v differs from given %+v", stored, given)
+	}
+	return nil
+}
+
+// WAL frame: flag u8 (1 = series present) | key | id u64 | ts u64 |
+// [series]. The series rides along even for non-materialized indexes so
+// recovery can rebuild ID-addressed raw mirrors.
+func encodeWALFrame(e record.Entry, s series.Series) []byte {
+	n := 1 + record.HeaderBytes
+	if s != nil {
+		n += series.Size(len(s))
+	}
+	buf := make([]byte, 0, n)
+	if s != nil {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = e.Key.AppendBinary(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.ID))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.TS))
+	if s != nil {
+		buf = s.AppendBinary(buf)
+	}
+	return buf
+}
+
+func decodeWALFrame(payload []byte, seriesLen int) (record.Entry, series.Series, error) {
+	if len(payload) < 1+record.HeaderBytes {
+		return record.Entry{}, nil, fmt.Errorf("clsm: wal frame too short: %d", len(payload))
+	}
+	hasSeries := payload[0] == 1
+	body := payload[1:]
+	e := record.Entry{
+		Key: sortable.DecodeKey(body),
+		ID:  int64(binary.LittleEndian.Uint64(body[sortable.KeyBytes:])),
+		TS:  int64(binary.LittleEndian.Uint64(body[sortable.KeyBytes+8:])),
+	}
+	if !hasSeries {
+		return e, nil, nil
+	}
+	s, err := series.DecodeBinary(body[record.HeaderBytes:], seriesLen)
+	if err != nil {
+		return record.Entry{}, nil, fmt.Errorf("clsm: wal frame series: %w", err)
+	}
+	e.Payload = s
+	return e, s, nil
 }

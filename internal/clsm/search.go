@@ -4,6 +4,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/record"
+	"repro/internal/series"
 	"repro/internal/sortable"
 )
 
@@ -16,9 +17,14 @@ import (
 // Probes run through the squared-space pruning pipeline (index.SearchCtx):
 // per-query MINDIST tables, squared bounds, and early-abandoning
 // verification straight from the page bytes, with all per-query state drawn
-// from a shared pool — so any number of searches may run concurrently
-// against one LSM; only inserts/flushes require external serialization
-// against searches.
+// from a shared pool.
+//
+// Every search pins one view — an immutable manifest plus a buffer
+// snapshot — for its whole lifetime, so any number of searches may overlap
+// with inserts, flushes, and background merges: a concurrent flush or merge
+// swaps in a new view without disturbing pinned ones, and the collectors'
+// order-independence makes the answer a pure function of the entry set,
+// which every view of the same data shares.
 
 // ApproxSearch answers an approximate k-NN query by probing each component:
 // the in-memory buffer is scanned outright, and in every on-disk run a
@@ -29,8 +35,10 @@ import (
 func (l *LSM) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 	ctx := index.AcquireCtx(q, l.opts.Config)
 	defer ctx.Release()
+	v := l.pinView()
+	defer l.unpinView(v)
 	col := index.NewCollector(k)
-	if err := l.approxInto(q, col, ctx, l.pool); err != nil {
+	if err := l.approxInto(v, q, col, ctx, l.pool); err != nil {
 		return nil, err
 	}
 	return col.Results(), nil
@@ -39,11 +47,11 @@ func (l *LSM) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 // approxInto runs the approximate phase into col with an already-acquired
 // context, so ExactSearch shares one context (and one table fill) across
 // both phases.
-func (l *LSM) approxInto(q index.Query, col *index.Collector, ctx *index.SearchCtx, pool *parallel.Pool) error {
-	if err := l.scanBuffer(q, col, false, ctx.Scratch0()); err != nil {
+func (l *LSM) approxInto(v *view, q index.Query, col *index.Collector, ctx *index.SearchCtx, pool *parallel.Pool) error {
+	if err := scanBuffer(v.buf, q, col, false, ctx.Scratch0(), l.opts.Raw); err != nil {
 		return err
 	}
-	return l.forEachRun(l.allRuns(), ctx, col, pool, func(r run, sc *index.Scratch, col *index.Collector) error {
+	return l.forEachRun(allRuns(v.man), ctx, col, pool, func(r run, sc *index.Scratch, col *index.Collector) error {
 		return l.probeRun(r, q, col, sc)
 	})
 }
@@ -96,11 +104,13 @@ func (l *LSM) exactCtx(q index.Query, k int, ctx *index.SearchCtx, pool *paralle
 
 // exactColl runs the exact search and returns the filled collector.
 func (l *LSM) exactColl(q index.Query, k int, ctx *index.SearchCtx, pool *parallel.Pool) (*index.Collector, error) {
+	v := l.pinView()
+	defer l.unpinView(v)
 	col := index.NewCollector(k)
-	if err := l.approxInto(q, col, ctx, pool); err != nil {
+	if err := l.approxInto(v, q, col, ctx, pool); err != nil {
 		return nil, err
 	}
-	err := l.forEachRun(l.allRuns(), ctx, col, pool, func(r run, sc *index.Scratch, col *index.Collector) error {
+	err := l.forEachRun(allRuns(v.man), ctx, col, pool, func(r run, sc *index.Scratch, col *index.Collector) error {
 		return l.scanRun(r, q, col, sc)
 	})
 	if err != nil {
@@ -119,17 +129,17 @@ func (l *LSM) forEachRun(runs []run, ctx *index.SearchCtx, col *index.Collector,
 		})
 }
 
-// scanBuffer evaluates in-memory entries; with prune set, entries are
-// filtered through the squared iSAX lower bound first.
-func (l *LSM) scanBuffer(q index.Query, col *index.Collector, prune bool, sc *index.Scratch) error {
-	for _, e := range l.buffer {
+// scanBuffer evaluates a buffer snapshot's entries; with prune set, entries
+// are filtered through the squared iSAX lower bound first.
+func scanBuffer(buf []record.Entry, q index.Query, col *index.Collector, prune bool, sc *index.Scratch, raw series.RawStore) error {
+	for _, e := range buf {
 		if !q.InWindow(e.TS) {
 			continue
 		}
 		if prune && col.SkipSq(sc.P.MinDistSqKey(e.Key)) {
 			continue
 		}
-		dSq, err := index.TrueDistSq(q, e, l.opts.Raw, col.WorstSq(), sc)
+		dSq, err := index.TrueDistSq(q, e, raw, col.WorstSq(), sc)
 		if err != nil {
 			return err
 		}
@@ -226,10 +236,12 @@ func (l *LSM) scanRun(r run, q index.Query, col *index.Collector, sc *index.Scra
 func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 	ctx := index.AcquireCtx(q, l.opts.Config)
 	defer ctx.Release()
+	v := l.pinView()
+	defer l.unpinView(v)
 	col := index.NewRangeCollector(eps)
 	sc := ctx.Scratch0()
 	var buffered []record.Entry
-	for _, e := range l.buffer {
+	for _, e := range v.buf {
 		if q.InWindow(e.TS) {
 			buffered = append(buffered, e)
 		}
@@ -237,7 +249,7 @@ func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 	if err := index.EvalRangeCandidates(q, buffered, l.opts.Raw, col, sc); err != nil {
 		return nil, err
 	}
-	runs := l.allRuns()
+	runs := allRuns(v.man)
 	err := index.FanOut(l.pool, len(runs), ctx, col, (*index.RangeCollector).PooledClone, (*index.RangeCollector).MergeRelease,
 		func(i int, col *index.RangeCollector, sc *index.Scratch) error {
 			return l.rangeScanRun(runs[i], q, col, sc)

@@ -1,0 +1,161 @@
+// Package compact provides the background compaction scheduler that moves
+// LSM merge work off the foreground ingest path: a bounded worker pool
+// draining an unbounded job queue. Flushes stay inline (a cheap sort plus a
+// sequential run write), but level merges — the expensive, cascading part —
+// are submitted here and execute while inserts and searches keep running
+// against the manifest the merge has not yet replaced.
+//
+// One scheduler is shared wherever merges should share a budget: the
+// sharded facade runs every shard's merges on a single scheduler so the
+// configured worker count bounds the whole deployment's background I/O, not
+// each shard's.
+//
+// The queue is unbounded on purpose: jobs submit follow-up jobs (a merge
+// that cascades schedules the next level's merge from inside a worker), so
+// a bounded queue could deadlock the pool against itself. Backpressure
+// belongs to the callers — the LSM keeps at most one outstanding compaction
+// job per index, so the queue length is bounded by the number of indexes
+// sharing the scheduler.
+package compact
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a snapshot of scheduler activity, surfaced by /api/stats.
+type Stats struct {
+	Workers   int   // pool size
+	Pending   int   // jobs queued but not yet started
+	Active    int   // jobs currently executing
+	Completed int64 // jobs finished (failed included)
+	Failed    int64 // jobs that returned an error
+}
+
+// Scheduler runs jobs on a fixed pool of workers.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []func() error
+	closed bool
+	err    error // first job error, sticky
+
+	workers   int
+	wg        sync.WaitGroup // worker goroutines
+	inflight  sync.WaitGroup // submitted-but-unfinished jobs
+	active    atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// NewScheduler starts a scheduler with n workers (n < 1 is clamped to 1).
+func NewScheduler(n int) *Scheduler {
+	if n < 1 {
+		n = 1
+	}
+	s := &Scheduler{workers: n}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		job := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+
+		s.active.Add(1)
+		err := job()
+		s.active.Add(-1)
+		s.completed.Add(1)
+		if err != nil {
+			s.failed.Add(1)
+			s.mu.Lock()
+			if s.err == nil {
+				s.err = err
+			}
+			s.mu.Unlock()
+		}
+		s.inflight.Done()
+	}
+}
+
+// Submit enqueues a job. Jobs may Submit follow-ups from inside a worker.
+// After Close, Submit fails (the work should run inline or be dropped by
+// the caller's shutdown path).
+func (s *Scheduler) Submit(job func() error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("compact: scheduler is closed")
+	}
+	s.inflight.Add(1)
+	s.queue = append(s.queue, job)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return nil
+}
+
+// Drain blocks until every job submitted so far (and every follow-up those
+// jobs submit before finishing) has completed. Safe to call concurrently
+// with Submit; it waits for the moving target to settle.
+func (s *Scheduler) Drain() {
+	s.inflight.Wait()
+}
+
+// Closed reports whether the scheduler has been shut down (Submit fails).
+func (s *Scheduler) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Err returns the first error any job has returned, or nil.
+func (s *Scheduler) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats returns a snapshot of scheduler activity.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	pending := len(s.queue)
+	s.mu.Unlock()
+	return Stats{
+		Workers:   s.workers,
+		Pending:   pending,
+		Active:    int(s.active.Load()),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+	}
+}
+
+// Close drains the queue, stops the workers, and returns the first job
+// error. Idempotent; Submit fails afterwards.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.err
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+	return s.Err()
+}

@@ -1,0 +1,114 @@
+package compact
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunsAllJobs(t *testing.T) {
+	s := NewScheduler(4)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := s.Submit(func() error { n.Add(1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d jobs, want 100", n.Load())
+	}
+	st := s.Stats()
+	if st.Completed != 100 || st.Pending != 0 || st.Active != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFollowUpSubmissionFromWorker(t *testing.T) {
+	// A job submitting its successor from inside a worker must not deadlock
+	// — the cascade pattern background merges use.
+	s := NewScheduler(1)
+	defer s.Close()
+	var depth atomic.Int64
+	var enqueue func(d int) func() error
+	enqueue = func(d int) func() error {
+		return func() error {
+			depth.Add(1)
+			if d > 0 {
+				return s.Submit(enqueue(d - 1))
+			}
+			return nil
+		}
+	}
+	if err := s.Submit(enqueue(50)); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	if depth.Load() != 51 {
+		t.Fatalf("cascade ran %d jobs, want 51", depth.Load())
+	}
+}
+
+func TestErrIsSticky(t *testing.T) {
+	s := NewScheduler(2)
+	s.Submit(func() error { return fmt.Errorf("first failure") })
+	s.Drain()
+	s.Submit(func() error { return fmt.Errorf("second failure") })
+	s.Drain()
+	if err := s.Err(); err == nil || err.Error() != "first failure" {
+		t.Fatalf("Err = %v, want the first failure", err)
+	}
+	if st := s.Stats(); st.Failed != 2 {
+		t.Fatalf("failed = %d, want 2", st.Failed)
+	}
+	if err := s.Close(); err == nil {
+		t.Fatal("Close should surface the job error")
+	}
+}
+
+func TestCloseDrainsQueueAndRejectsSubmit(t *testing.T) {
+	s := NewScheduler(1)
+	var n atomic.Int64
+	block := make(chan struct{})
+	s.Submit(func() error { <-block; n.Add(1); return nil })
+	for i := 0; i < 10; i++ {
+		s.Submit(func() error { n.Add(1); return nil })
+	}
+	go func() { time.Sleep(10 * time.Millisecond); close(block) }()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 11 {
+		t.Fatalf("Close drained %d jobs, want 11", n.Load())
+	}
+	if err := s.Submit(func() error { return nil }); err == nil {
+		t.Fatal("Submit after Close should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("Close must be idempotent")
+	}
+}
+
+func TestDrainWaitsForActiveJob(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var done atomic.Bool
+	s.Submit(func() error {
+		close(started)
+		<-release
+		done.Store(true)
+		return nil
+	})
+	<-started
+	go func() { time.Sleep(5 * time.Millisecond); close(release) }()
+	s.Drain()
+	if !done.Load() {
+		t.Fatal("Drain returned before the active job finished")
+	}
+}

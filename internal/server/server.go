@@ -11,7 +11,9 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"net/http"
+	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/heatmap"
@@ -45,6 +47,13 @@ type Server struct {
 	// defaultCacheBytes applies to builds whose request leaves the
 	// cache_bytes field unset; 0 keeps builds uncached.
 	defaultCacheBytes int64
+	// walRoot, when set, gives every CLSM build a write-ahead log in its
+	// own subdirectory; durability comes from the build request (default
+	// batched group commit).
+	walRoot string
+	// defaultCompactionWorkers applies to CLSM builds whose request leaves
+	// the compaction_workers field unset; 0 keeps merges inline.
+	defaultCompactionWorkers int
 }
 
 type dataset struct {
@@ -59,6 +68,11 @@ type build struct {
 	cfg     index.Config
 	built   *workload.Built
 	rec     *heatmap.Recorder
+	// mu serializes live inserts (exclusive) against queries and stats
+	// (shared): the CLSM write path is internally concurrent-safe, but
+	// tree and ADS+ inserts are not, and the lock keeps the contract
+	// uniform across variants.
+	mu sync.RWMutex
 }
 
 // New creates an empty server.
@@ -91,6 +105,18 @@ func (s *Server) SetDefaultShards(n int) { s.defaultShards = n }
 // setting is not synchronized with in-flight requests.
 func (s *Server) SetDefaultCacheBytes(n int64) { s.defaultCacheBytes = n }
 
+// SetWALRoot makes CLSM builds durable: each one keeps a segmented
+// write-ahead log in its own subdirectory of dir, so inserts are logged
+// before acknowledgement. Empty (the default) disables build WALs. Call
+// before serving.
+func (s *Server) SetWALRoot(dir string) { s.walRoot = dir }
+
+// SetDefaultCompactionWorkers sets the background-merge pool size applied
+// to CLSM builds whose request does not specify one: n > 0 runs level
+// merges on n background workers while inserts and queries keep running;
+// 0 keeps merges inline. Call before serving.
+func (s *Server) SetDefaultCompactionWorkers(n int) { s.defaultCompactionWorkers = n }
+
 // lookupBuild resolves a build ID under a read lock, so concurrent queries
 // never serialize on the registry mutex.
 func (s *Server) lookupBuild(id string) (*build, bool) {
@@ -109,6 +135,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/build", s.handleBuild)
 	mux.HandleFunc("/api/query", s.handleQuery)
 	mux.HandleFunc("/api/query/batch", s.handleQueryBatch)
+	mux.HandleFunc("/api/insert", s.handleInsert)
 	mux.HandleFunc("/api/stats", s.handleStats)
 	mux.HandleFunc("/api/recommend", s.handleRecommend)
 	mux.HandleFunc("/api/heatmap", s.handleHeatmap)
@@ -240,6 +267,15 @@ type BuildRequest struct {
 	// falls back to the server default; -1 forces uncached. Answers are
 	// identical at every setting — only I/O cost changes.
 	CacheBytes int64 `json:"cache_bytes"`
+	// Durability selects the WAL group-commit policy for CLSM builds when
+	// the server runs with a WAL root (-wal): "" or "batched" groups
+	// several inserts per fsync, "sync" fsyncs every insert, "off"
+	// disables the WAL for this build. Ignored without a WAL root.
+	Durability string `json:"durability"`
+	// CompactionWorkers > 0 runs this build's level merges on a background
+	// pool of that many workers; unset or 0 falls back to the server
+	// default, -1 forces inline merges. CLSM variants only, unsharded.
+	CompactionWorkers int `json:"compaction_workers"`
 }
 
 // BuildResponse reports construction accounting, the numbers the demo GUI
@@ -305,14 +341,46 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "cache_bytes must be at most %d, got %d", int64(1)<<32, req.CacheBytes)
 		return
 	}
-	b, err := workload.BuildVariant(req.Variant, d.ds, cfg, workload.BuildOptions{
+	if req.CompactionWorkers == 0 {
+		req.CompactionWorkers = s.defaultCompactionWorkers
+	}
+	if req.CompactionWorkers < 0 {
+		req.CompactionWorkers = 0 // explicit opt-out of the server default
+	}
+	if req.CompactionWorkers > 64 {
+		writeError(w, http.StatusBadRequest, "compaction_workers must be at most 64, got %d", req.CompactionWorkers)
+		return
+	}
+	isCLSM := req.Variant == "CLSM" || req.Variant == "CLSMFull"
+	opts := workload.BuildOptions{
 		FillFactor:   req.FillFactor,
 		GrowthFactor: req.GrowthFactor,
 		MemBudget:    req.MemBudget,
 		Parallelism:  req.Parallelism,
 		Shards:       req.Shards,
 		CacheBytes:   req.CacheBytes,
-	})
+	}
+	if isCLSM && req.Shards <= 1 {
+		opts.CompactionWorkers = req.CompactionWorkers
+		switch req.Durability {
+		case "off":
+		case "", "batched", "sync":
+			if s.walRoot != "" {
+				s.mu.Lock()
+				walID := s.nextID("wal")
+				s.mu.Unlock()
+				opts.WALDir = filepath.Join(s.walRoot, walID)
+				opts.Durability = req.Durability
+			} else if req.Durability != "" {
+				writeError(w, http.StatusBadRequest, "durability %q needs the server to run with a WAL root (-wal)", req.Durability)
+				return
+			}
+		default:
+			writeError(w, http.StatusBadRequest, "unknown durability %q (want batched, sync, or off)", req.Durability)
+			return
+		}
+	}
+	b, err := workload.BuildVariant(req.Variant, d.ds, cfg, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "build failed: %v", err)
 		return
@@ -390,6 +458,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.MinTS != nil && req.MaxTS != nil {
 		q = q.WithWindow(*req.MinTS, *req.MaxTS)
 	}
+	b.mu.RLock()
 	before := b.built.IOStats()
 	var rs []index.Result
 	var err error
@@ -398,6 +467,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		rs, err = b.built.Index.ApproxSearch(q, req.K)
 	}
+	b.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
 		return
@@ -469,6 +539,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qs[i] = index.NewQuery(series.Series(raw), b.cfg)
 	}
+	b.mu.RLock()
 	before := b.built.IOStats()
 	var rss [][]index.Result
 	var err error
@@ -487,6 +558,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	b.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "batch query failed: %v", err)
 		return
@@ -507,6 +579,104 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = out
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// InsertRequest appends series to an existing build — the live ingest
+// path. All series share one timestamp unless Timestamps (same length)
+// gives one each.
+type InsertRequest struct {
+	Build      string      `json:"build"`
+	Series     [][]float64 `json:"series"`
+	TS         int64       `json:"ts"`
+	Timestamps []int64     `json:"timestamps,omitempty"`
+}
+
+// InsertResponse reports the batch ingest outcome, including the WAL's
+// view when the build is durable (Synced reports whether every
+// acknowledged insert has been fsynced — with batched durability the group
+// commit is forced at the end of each request batch, so it is always true
+// on success).
+type InsertResponse struct {
+	Inserted int   `json:"inserted"`
+	Count    int64 `json:"count"`
+	Synced   bool  `json:"synced"`
+	Millis   int64 `json:"ms"`
+}
+
+// handleInsert answers POST /api/insert: batch ingest into a built index.
+// Inserts take the build's write lock, so they serialize against queries;
+// materialized variants (CLSMFull, CTreeFull, ADSFull — and their sharded
+// forms) accept inserts, since their raw series travel inline. On durable
+// CLSM builds every insert is WAL-logged before the response acknowledges
+// the batch.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req InsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	b, ok := s.lookupBuild(req.Build)
+	if !ok {
+		writeError(w, http.StatusNotFound, "build %q not found", req.Build)
+		return
+	}
+	if len(req.Series) == 0 || len(req.Series) > 1<<16 {
+		writeError(w, http.StatusBadRequest, "series must number in (0, 65536], got %d", len(req.Series))
+		return
+	}
+	if req.Timestamps != nil && len(req.Timestamps) != len(req.Series) {
+		writeError(w, http.StatusBadRequest, "timestamps length %d, series length %d", len(req.Timestamps), len(req.Series))
+		return
+	}
+	for i, ser := range req.Series {
+		if len(ser) != b.cfg.SeriesLen {
+			writeError(w, http.StatusBadRequest, "series %d length %d, want %d", i, len(ser), b.cfg.SeriesLen)
+			return
+		}
+	}
+	start := time.Now()
+	b.mu.Lock()
+	var err error
+	inserted := 0
+	for i, ser := range req.Series {
+		ts := req.TS
+		if req.Timestamps != nil {
+			ts = req.Timestamps[i]
+		}
+		if err = b.built.Ingest(series.Series(ser), ts); err != nil {
+			break
+		}
+		inserted++
+	}
+	synced := false
+	if err == nil && b.built.WAL != nil {
+		// Acknowledge the batch only once the group commit has landed.
+		if serr := b.built.WAL.Sync(); serr != nil {
+			err = serr
+		} else {
+			synced = true
+		}
+	}
+	count := b.built.Index.Count()
+	b.mu.Unlock()
+	if err != nil {
+		status := http.StatusBadRequest
+		if inserted > 0 {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "insert failed after %d series: %v", inserted, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{
+		Inserted: inserted,
+		Count:    count,
+		Synced:   synced || b.built.WAL == nil,
+		Millis:   time.Since(start).Milliseconds(),
+	})
 }
 
 // DiskStats is the JSON shape of one disk's accounting. The cache fields
@@ -535,16 +705,50 @@ type CacheStats struct {
 	Evictions      int64   `json:"evictions"`
 }
 
+// WALStats is the /api/stats section describing a durable build's
+// write-ahead log.
+type WALStats struct {
+	Enabled       bool  `json:"enabled"`
+	Segments      int   `json:"segments"`
+	FirstLSN      int64 `json:"first_lsn"`
+	NextLSN       int64 `json:"next_lsn"`
+	Appends       int64 `json:"appends"`
+	Syncs         int64 `json:"syncs"`
+	Rotations     int64 `json:"rotations"`
+	Truncated     int64 `json:"truncated_segments"`
+	BytesAppended int64 `json:"bytes_appended"`
+}
+
+// CompactionStatsJSON is the /api/stats section describing a CLSM build's
+// ingest/compaction machinery.
+type CompactionStatsJSON struct {
+	Enabled           bool  `json:"enabled"`
+	Background        bool  `json:"background"`
+	Flushes           int64 `json:"flushes"`
+	Merges            int64 `json:"merges"`
+	Levels            int   `json:"levels"`
+	Runs              int   `json:"runs"`
+	ManifestVersion   int64 `json:"manifest_version"`
+	RetainedManifests int   `json:"retained_manifests"`
+	ReclaimedRuns     int64 `json:"reclaimed_runs"`
+	Pending           bool  `json:"pending"`
+	DurableLSN        int64 `json:"durable_lsn"`
+}
+
 // StatsResponse reports a build's I/O accounting since construction:
 // aggregate over every disk backing the build, plus the per-shard
-// breakdown (one entry, equal to the aggregate, for unsharded builds).
+// breakdown (one entry, equal to the aggregate, for unsharded builds),
+// the buffer pool, and — for durable CLSM builds — the write-ahead log
+// and compaction machinery.
 type StatsResponse struct {
-	Build     string      `json:"build"`
-	Variant   string      `json:"variant"`
-	Shards    int         `json:"shards"`
-	Aggregate DiskStats   `json:"aggregate"`
-	PerShard  []DiskStats `json:"per_shard"`
-	Cache     CacheStats  `json:"cache"`
+	Build      string              `json:"build"`
+	Variant    string              `json:"variant"`
+	Shards     int                 `json:"shards"`
+	Aggregate  DiskStats           `json:"aggregate"`
+	PerShard   []DiskStats         `json:"per_shard"`
+	Cache      CacheStats          `json:"cache"`
+	WAL        WALStats            `json:"wal"`
+	Compaction CompactionStatsJSON `json:"compaction"`
 }
 
 func (s *Server) diskStats(st storage.Stats) DiskStats {
@@ -570,12 +774,42 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "build %q not found", id)
 		return
 	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	agg := b.built.IOStats()
 	resp := StatsResponse{
 		Build:     id,
 		Variant:   b.built.Index.Name(),
 		Shards:    b.built.Shards(),
 		Aggregate: s.diskStats(agg),
+	}
+	if wst, ok := b.built.WALStats(); ok {
+		resp.WAL = WALStats{
+			Enabled:       true,
+			Segments:      wst.Segments,
+			FirstLSN:      wst.FirstLSN,
+			NextLSN:       wst.NextLSN,
+			Appends:       wst.Appends,
+			Syncs:         wst.Syncs,
+			Rotations:     wst.Rotations,
+			Truncated:     wst.Truncated,
+			BytesAppended: wst.BytesAppended,
+		}
+	}
+	if cst, ok := b.built.CompactionStats(); ok {
+		resp.Compaction = CompactionStatsJSON{
+			Enabled:           true,
+			Background:        cst.Background,
+			Flushes:           cst.Flushes,
+			Merges:            cst.Merges,
+			Levels:            cst.Levels,
+			Runs:              cst.Runs,
+			ManifestVersion:   cst.ManifestVersion,
+			RetainedManifests: cst.RetainedManifests,
+			ReclaimedRuns:     cst.ReclaimedRuns,
+			Pending:           cst.Pending,
+			DurableLSN:        cst.DurableLSN,
+		}
 	}
 	if c := b.built.Cache; c != nil {
 		resp.Cache = CacheStats{

@@ -38,6 +38,7 @@ package shard
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/index"
 	"repro/internal/parallel"
@@ -105,7 +106,13 @@ type Sharded struct {
 	cfg    index.Config
 	shards []Shard
 	pool   *parallel.Pool
-	count  int64
+
+	// idsMu guards count and every shard's IDs slice so inserts may run
+	// concurrently with searches: readers snapshot a slice header under the
+	// read lock (appends never touch an index a snapshot can see), writers
+	// append under the write lock.
+	idsMu sync.RWMutex
+	count int64
 }
 
 // New assembles a sharded index from its shards. Sub-indexes should be
@@ -135,7 +142,19 @@ func (s *Sharded) Name() string {
 }
 
 // Count returns the total number of indexed series across all shards.
-func (s *Sharded) Count() int64 { return s.count }
+func (s *Sharded) Count() int64 {
+	s.idsMu.RLock()
+	defer s.idsMu.RUnlock()
+	return s.count
+}
+
+// idsOf snapshots one shard's local-to-global ID mapping for a probe.
+func (s *Sharded) idsOf(i int) []int64 {
+	s.idsMu.RLock()
+	ids := s.shards[i].IDs
+	s.idsMu.RUnlock()
+	return ids
+}
 
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
@@ -200,7 +219,7 @@ func offer(col *index.Collector, ids []int64, rs []index.Result) {
 // re-squared reported distances. ctx must already be filled for q and is
 // used serially; callers own the cross-shard parallelism.
 func (s *Sharded) exactProbe(i int, q index.Query, k int, ctx *index.SearchCtx, col *index.Collector) error {
-	ids := s.shards[i].IDs
+	ids := s.idsOf(i)
 	if cs, ok := s.shards[i].Index.(index.CollSearcher); ok {
 		sub, err := cs.ExactSearchColl(q, k, ctx)
 		if err != nil {
@@ -232,7 +251,7 @@ func (s *Sharded) fanKNN(col *index.Collector, probe func(i int) ([]index.Result
 			if err != nil {
 				return err
 			}
-			offer(col, s.shards[i].IDs, rs)
+			offer(col, s.idsOf(i), rs)
 		}
 		return nil
 	}
@@ -245,7 +264,7 @@ func (s *Sharded) fanKNN(col *index.Collector, probe func(i int) ([]index.Result
 		if perr != nil {
 			return perr
 		}
-		offer(cols[worker], s.shards[i].IDs, rs)
+		offer(cols[worker], s.idsOf(i), rs)
 		return nil
 	})
 	for _, c := range cols {
@@ -334,7 +353,7 @@ func (s *Sharded) RangeSearch(q index.Query, eps float64) ([]index.Result, error
 		if err != nil {
 			return err
 		}
-		ids := s.shards[i].IDs
+		ids := s.idsOf(i)
 		for _, r := range found {
 			into.AddSq(ids[r.ID], r.TS, r.Dist*r.Dist)
 		}
@@ -393,7 +412,9 @@ func (s *Sharded) ExactSearchBatch(qs []index.Query, k int) ([][]index.Result, e
 // current count (insertion order), exactly as an unsharded index would
 // assign it; every sub-index must implement index.Inserter.
 func (s *Sharded) Insert(ser series.Series, ts int64) error {
+	s.idsMu.Lock()
 	id := s.count
+	s.idsMu.Unlock()
 	si := Of(id, len(s.shards))
 	ins, ok := s.shards[si].Index.(index.Inserter)
 	if !ok {
@@ -402,8 +423,10 @@ func (s *Sharded) Insert(ser series.Series, ts int64) error {
 	if err := ins.Insert(ser, ts); err != nil {
 		return err
 	}
+	s.idsMu.Lock()
 	s.shards[si].IDs = append(s.shards[si].IDs, id)
 	s.count++
+	s.idsMu.Unlock()
 	return nil
 }
 
@@ -413,6 +436,8 @@ func (s *Sharded) Insert(ser series.Series, ts int64) error {
 // The target must match the hash placement; a mismatch would silently
 // corrupt the ID translation, so it panics instead.
 func (s *Sharded) NoteInsert(si int) {
+	s.idsMu.Lock()
+	defer s.idsMu.Unlock()
 	id := s.count
 	if want := Of(id, len(s.shards)); si != want {
 		panic(fmt.Sprintf("shard: NoteInsert(%d) but ID %d belongs to shard %d", si, id, want))

@@ -7,12 +7,14 @@ import (
 	"repro/internal/adsplus"
 	"repro/internal/bufpool"
 	"repro/internal/clsm"
+	"repro/internal/compact"
 	"repro/internal/ctree"
 	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/series"
 	"repro/internal/shard"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Variant names accepted by BuildVariant, matching Figure 1 of the paper.
@@ -104,10 +106,45 @@ type BuildOptions struct {
 	// builds share one pool of this size across all shards. Results are
 	// byte-identical at every cache size.
 	CacheBytes int64
+	// WALDir (CLSM variants, unsharded) makes ingest durable: every insert
+	// is appended to a segmented write-ahead log in this host-filesystem
+	// directory before it is buffered, manifests persist on every flush and
+	// merge, and segments truncate once their entries are safely in an
+	// on-disk run. The directory must be fresh. Empty disables the WAL.
+	WALDir string
+	// Durability selects the WAL group-commit policy: "" or "batched"
+	// groups several inserts per fsync; "sync" fsyncs every insert.
+	Durability string
+	// CompactionWorkers (CLSM variants, unsharded) moves level merges onto
+	// a background pool of that many workers; 0 keeps the synchronous
+	// cascade inside flushes — the paper-faithful accounting.
+	CompactionWorkers int
 
 	// cache, when set, is the shared frame store a sharded build hands each
 	// of its per-shard sub-builds (CacheBytes then sizes nothing here).
 	cache *bufpool.Cache
+}
+
+// walFor opens the build's write-ahead log under the configured policy.
+func (o BuildOptions) walFor() (*wal.Log, error) {
+	var wopts wal.Options
+	switch o.Durability {
+	case "", "batched":
+		wopts = wal.BatchedOptions(o.WALDir)
+	case "sync":
+		wopts = wal.SyncOptions(o.WALDir)
+	default:
+		return nil, fmt.Errorf("workload: unknown durability %q (want \"batched\" or \"sync\")", o.Durability)
+	}
+	w, err := wal.Open(wopts)
+	if err != nil {
+		return nil, err
+	}
+	if w.NextLSN() > 0 {
+		w.Close()
+		return nil, fmt.Errorf("workload: WAL dir %s already holds a log; builds need a fresh directory", o.WALDir)
+	}
+	return w, nil
 }
 
 // Built is a constructed index plus its cost accounting.
@@ -129,6 +166,86 @@ type Built struct {
 	ShardPools []*bufpool.Pool
 	// Cache is the shared frame store behind the pool(s); nil uncached.
 	Cache *bufpool.Cache
+	// WAL is the write-ahead log behind a durable CLSM build (nil without
+	// WALDir); Compactor the background-merge scheduler (nil inline).
+	// Both are owned by the build — Close releases them.
+	WAL       *wal.Log
+	Compactor *compact.Scheduler
+	// Materialized records whether entries carry series inline; SourceDS is
+	// the dataset backing an in-memory raw store (nil for on-disk raw files
+	// and sharded builds). Together they decide whether Ingest can keep the
+	// raw store consistent.
+	Materialized bool
+	SourceDS     *series.Dataset
+}
+
+// Ingest appends one series to a built index after construction — the
+// server's live-insert path. The index must support inserts, and the raw
+// store must stay resolvable: materialized variants carry series inline,
+// and in-memory raw stores accept appends; a non-materialized build whose
+// raw series live in a sealed on-disk file cannot ingest.
+func (b *Built) Ingest(s series.Series, ts int64) error {
+	ins, ok := b.Index.(index.Inserter)
+	if !ok {
+		return fmt.Errorf("workload: %s does not support inserts", b.Index.Name())
+	}
+	if !b.Materialized {
+		if b.SourceDS == nil {
+			return fmt.Errorf("workload: %s keeps raw series in a sealed on-disk file; ingest needs a materialized variant (or RawInMemory on an unsharded build)", b.Index.Name())
+		}
+		if _, err := b.SourceDS.Append(s); err != nil {
+			return err
+		}
+	}
+	return ins.Insert(s, ts)
+}
+
+// Quiesce waits until no background merge is pending or in flight (a no-op
+// for inline builds), surfacing any background-merge error.
+func (b *Built) Quiesce() error {
+	if l, ok := b.Index.(*clsm.LSM); ok {
+		return l.Quiesce()
+	}
+	return nil
+}
+
+// CompactionStats reports the ingest/compaction state of a CLSM build; ok
+// is false for other variants.
+func (b *Built) CompactionStats() (clsm.CompactionStats, bool) {
+	if l, ok := b.Index.(*clsm.LSM); ok {
+		return l.CompactionStats(), true
+	}
+	return clsm.CompactionStats{}, false
+}
+
+// WALStats reports the write-ahead log's accounting; ok is false when the
+// build has no WAL.
+func (b *Built) WALStats() (wal.Stats, bool) {
+	if b.WAL == nil {
+		return wal.Stats{}, false
+	}
+	return b.WAL.Stats(), true
+}
+
+// Close shuts down the build's background machinery: waits out in-flight
+// merges, stops the compaction workers, and syncs and closes the WAL.
+// Builds without either are free to skip it.
+func (b *Built) Close() error {
+	var err error
+	if l, ok := b.Index.(*clsm.LSM); ok {
+		err = l.Close()
+	}
+	if b.Compactor != nil {
+		if cerr := b.Compactor.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if b.WAL != nil {
+		if werr := b.WAL.Close(); err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 // BuildCost returns the I/O cost of construction under the model.
@@ -230,6 +347,10 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 
 	materialized := variant == "ADSFull" || variant == "CTreeFull" || variant == "CLSMFull"
 	cfg.Materialized = materialized
+	out.Materialized = materialized
+	if opts.RawInMemory {
+		out.SourceDS = ds
+	}
 
 	// Raw series file: non-materialized variants need it for queries; it is
 	// written before the build (shared by all variants, like the paper's
@@ -273,11 +394,21 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 			Parallelism: opts.Parallelism,
 		}, ds, 0)
 	case "CLSM", "CLSMFull":
+		if opts.WALDir != "" {
+			if out.WAL, err = opts.walFor(); err != nil {
+				return nil, err
+			}
+		}
+		if opts.CompactionWorkers > 0 {
+			out.Compactor = compact.NewScheduler(opts.CompactionWorkers)
+		}
 		var l *clsm.LSM
 		l, err = clsm.New(clsm.Options{
 			Disk: disk, Reader: reader, Name: "idx", Config: cfg,
 			GrowthFactor: opts.GrowthFactor, BufferEntries: entryBudget, Raw: raw,
 			Parallelism: opts.Parallelism,
+			WAL:         out.WAL, TruncateWALOnFlush: true,
+			Scheduler: out.Compactor,
 		})
 		if err == nil {
 			for id := 0; id < ds.Count() && err == nil; id++ {
@@ -317,6 +448,7 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 		return nil, fmt.Errorf("workload: unknown variant %q (want one of %v)", variant, Variants)
 	}
 	if err != nil {
+		out.Close() // release the WAL handle / worker pool of a failed build
 		return nil, err
 	}
 	out.Index = idx
@@ -343,6 +475,11 @@ func buildSharded(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	inner := opts
 	inner.Shards = 0
 	inner.Parallelism = 1
+	// Durable ingest is an unsharded-build feature at this layer (the
+	// coconut.Sharded facade owns per-shard WALs); a shared directory would
+	// collide across shards.
+	inner.WALDir = ""
+	inner.CompactionWorkers = 0
 	// One cache for the whole sharded index: CacheBytes bounds the total,
 	// and every shard's disk draws frames from the same budget.
 	if opts.CacheBytes > 0 {
@@ -374,6 +511,7 @@ func buildSharded(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 		return nil, err
 	}
 	out := &Built{BuildTime: time.Since(start), Cache: inner.cache}
+	out.Materialized = variant == "ADSFull" || variant == "CTreeFull" || variant == "CLSMFull"
 	shards := make([]shard.Shard, nsh)
 	for i, b := range builts {
 		shards[i] = shard.Shard{Index: b.Index, Disk: b.Disk, IDs: part[i]}

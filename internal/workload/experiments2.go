@@ -353,6 +353,10 @@ type RunConfig struct {
 	E14Queries  int
 	E14K        int
 	E14CacheKB  []int
+	E15N        int
+	E15Queries  int
+	E15K        int
+	E15Workers  []int
 }
 
 // DefaultRunConfig returns the laptop-scale defaults used by
@@ -391,5 +395,10 @@ func DefaultRunConfig() RunConfig {
 		// demonstrating the zero-miss warm pass.
 		E14CacheKB: []int{0, 256, 4096, 65536},
 		E14K:       5,
+		E15N:       8000,
+		E15Queries: 16,
+		E15K:       5,
+		// 0 = inline merges (the reference); 2 = background workers.
+		E15Workers: []int{0, 2},
 	}
 }

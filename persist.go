@@ -6,10 +6,12 @@ import (
 	"os"
 
 	"repro/internal/clsm"
+	"repro/internal/compact"
 	"repro/internal/ctree"
 	"repro/internal/series"
 	"repro/internal/shard"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // facadeRawFile is the on-disk mirror of the facade's raw store inside a
@@ -32,7 +34,7 @@ func (t *Tree) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	for _, s := range t.raw.ss {
+	for _, s := range t.raw.snapshot() {
 		if _, err := rf.Append(s); err != nil {
 			return err
 		}
@@ -45,7 +47,10 @@ func (t *Tree) SaveFile(path string) error {
 
 // SaveFile persists the LSM — its runs, structure metadata, and the raw
 // series store — into a single snapshot file on the host filesystem. The
-// write buffer is flushed first; reopen with OpenLSM.
+// write buffer is flushed first; reopen with OpenLSM. With a WAL
+// configured, a successful save is a checkpoint: everything the snapshot
+// holds leaves the log, so the log stays bounded by the insert traffic
+// since the last save.
 func (l *LSM) SaveFile(path string) error {
 	if err := l.lsm.Save(); err != nil {
 		return err
@@ -59,7 +64,7 @@ func (l *LSM) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	for _, s := range l.raw.ss {
+	for _, s := range l.raw.snapshot() {
 		if _, err := rf.Append(s); err != nil {
 			return err
 		}
@@ -67,27 +72,124 @@ func (l *LSM) SaveFile(path string) error {
 	if err := rf.Seal(); err != nil {
 		return err
 	}
-	return l.disk.SaveFile(path)
+	if err := l.disk.SaveFile(path); err != nil {
+		return err
+	}
+	if l.wal != nil {
+		// Checkpoint: every logged entry is in the snapshot (Save flushed
+		// the buffer); the whole retained log is obsolete.
+		if err := l.wal.Sync(); err != nil {
+			return err
+		}
+		if err := l.wal.Checkpoint(l.wal.NextLSN() - 1); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // OpenLSM reopens an LSM saved with SaveFile. Parallelism is not part of
 // the snapshot: reopened indexes use the default (GOMAXPROCS) worker pool;
 // call SetParallelism to change it.
-func OpenLSM(path string) (*LSM, error) {
+//
+// An optional Options value re-attaches the durable-ingest machinery:
+// WALDir replays the log tail past the snapshot (recovering acknowledged
+// inserts the snapshot missed — the crash story), and Durability /
+// CompactionWorkers apply as in NewLSM. Other Options fields are ignored;
+// the snapshot defines the index shape.
+func OpenLSM(path string, opts ...Options) (*LSM, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
 	disk, err := storage.LoadDiskFile(path)
 	if err != nil {
 		return nil, err
 	}
 	raw := &memStore{}
-	lsm, err := clsm.Open(disk, "clsm", raw)
+	out := &LSM{disk: disk, raw: raw}
+
+	// The raw mirror covers exactly the snapshot-resident entries; WAL
+	// replay appends past it.
+	saved, _, err := clsm.SavedState(disk, "clsm")
 	if err != nil {
 		return nil, err
 	}
-	out := &LSM{lsm: lsm, disk: disk, raw: raw}
-	out.cfg = lsm.Config()
-	if err := loadFacadeRaw(disk, raw, out.cfg.SeriesLen, int64(out.Count())); err != nil {
+	snapCount := saved.Count
+	if o.CompactionWorkers > 0 {
+		out.sched = compact.NewScheduler(o.CompactionWorkers)
+		out.ownsSched = true
+	}
+	if o.WALDir == "" {
+		lsm, err := clsm.Open(disk, "clsm", raw)
+		if err != nil {
+			out.closeOwned()
+			return nil, err
+		}
+		if out.sched != nil {
+			// Opened without a WAL there is nothing background to attach the
+			// scheduler to; drop it rather than leak workers.
+			out.sched.Close()
+			out.sched, out.ownsSched = nil, false
+		}
+		out.lsm = lsm
+		out.cfg = lsm.Config()
+		if err := loadFacadeRaw(disk, raw, out.cfg.SeriesLen, snapCount); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	// Durable reopen: probe the snapshot's shape, load the mirror, then
+	// recover through manifest + WAL tail.
+	probe, err := clsm.Open(disk, "clsm", raw)
+	if err != nil {
+		out.closeOwned()
 		return nil, err
 	}
+	out.cfg = probe.Config()
+	if err := loadFacadeRaw(disk, raw, out.cfg.SeriesLen, snapCount); err != nil {
+		out.closeOwned()
+		return nil, err
+	}
+	wopts, err := walOptions(o.WALDir, o.Durability)
+	if err != nil {
+		out.closeOwned()
+		return nil, err
+	}
+	w, err := wal.Open(wopts)
+	if err != nil {
+		out.closeOwned()
+		return nil, err
+	}
+	out.wal = w
+	// The snapshot defines the index shape: reopen with its persisted
+	// growth factor and buffer size unless the caller explicitly overrides.
+	growth, bufEntries := o.GrowthFactor, o.BufferEntries
+	if growth == 0 {
+		growth = saved.GrowthFactor
+	}
+	if bufEntries == 0 {
+		bufEntries = saved.BufferEntries
+	}
+	lsm, err := clsm.Recover(clsm.Options{
+		Disk:          disk,
+		Name:          "clsm",
+		Config:        out.cfg,
+		GrowthFactor:  growth,
+		BufferEntries: bufEntries,
+		Raw:           raw,
+		WAL:           w,
+		Scheduler:     out.sched,
+	}, func(e clsm.ReplayedEntry, z series.Series) error {
+		raw.setAt(e.ID, z)
+		return nil
+	})
+	if err != nil {
+		out.closeAll()
+		return nil, err
+	}
+	out.lsm = lsm
 	return out, nil
 }
 
@@ -109,7 +211,7 @@ func loadFacadeRaw(disk *storage.Disk, raw *memStore, seriesLen int, count int64
 		if err != nil {
 			return err
 		}
-		raw.ss = append(raw.ss, s)
+		raw.append(s)
 	}
 	return nil
 }

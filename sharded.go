@@ -2,13 +2,19 @@ package coconut
 
 import (
 	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bufpool"
+	"repro/internal/clsm"
+	"repro/internal/compact"
 	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/series"
 	"repro/internal/shard"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Sharded is a horizontally partitioned index: N independent shards (each a
@@ -33,6 +39,10 @@ type Sharded struct {
 	lsms  []*LSM
 	cache *bufpool.Cache // shared across every shard's disk; nil uncached
 	cfg   index.Config
+
+	insertMu sync.Mutex         // serializes global ID assignment across shards
+	sched    *compact.Scheduler // ONE background-merge pool shared by every shard; nil inline
+	closed   atomic.Bool
 }
 
 // shardKindTree and shardKindLSM tag snapshots and drive facade dispatch.
@@ -44,11 +54,20 @@ const (
 // innerOptions returns the per-shard build options: shards run their
 // internal scans serially because the sharded layer owns the fan-out, and
 // caching is owned by the shared cache the sharded facade attaches (one
-// budget for the whole index, not CacheBytes per shard).
+// budget for the whole index, not CacheBytes per shard). Likewise the
+// WAL and compaction scheduler are owned at the sharded level (per-shard
+// log directories, one shared worker pool), so the per-shard knobs clear.
 func innerOptions(opts Options) Options {
 	opts.Parallelism = 1
 	opts.CacheBytes = 0
+	opts.WALDir = ""
+	opts.CompactionWorkers = 0
 	return opts
+}
+
+// shardWALDir names shard i's log directory under the sharded WAL root.
+func shardWALDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%03d", i))
 }
 
 // sharedCache builds the one cache every shard's disk attaches to, sized
@@ -117,6 +136,20 @@ func assembleShardedTrees(trees []*Tree, part [][]int64, cfg index.Config, paral
 // write-optimized LSM on its own disk. Inserted series route to their
 // hash-assigned shard; IDs are assigned in insertion order, exactly as in
 // an unsharded LSM.
+//
+// With opts.WALDir set, each shard keeps its own write-ahead log in a
+// subdirectory (shard-000, shard-001, ...), and reopening over a directory
+// that already holds logs replays every shard's tail — the global ID space
+// is rebuilt from the deterministic hash placement, so recovery reproduces
+// exactly the pre-crash sharded index. The logs must be mutually
+// consistent for that rebuild: with DurabilityBatched a crash may lose
+// one shard's un-synced group-commit window while later inserts survive
+// in other shards, in which case recovery refuses (loudly) rather than
+// mislabel IDs — use DurabilitySync, or sync via Close, when sharded
+// crash recovery must cover every acknowledged insert. With
+// opts.CompactionWorkers set, one scheduler of that many workers runs
+// every shard's background merges, bounding the whole deployment's merge
+// I/O, not each shard's.
 func NewShardedLSM(n int, opts Options) (*Sharded, error) {
 	cfg, err := opts.config()
 	if err != nil {
@@ -125,16 +158,68 @@ func NewShardedLSM(n int, opts Options) (*Sharded, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("coconut: shard count must be >= 1, got %d", n)
 	}
+	var sched *compact.Scheduler
+	if opts.CompactionWorkers > 0 {
+		sched = compact.NewScheduler(opts.CompactionWorkers)
+	}
 	lsms := make([]*LSM, n)
 	cache := sharedCache(opts)
 	for i := range lsms {
-		l, lerr := newLSMCache(innerOptions(opts), cache)
+		walDir := ""
+		if opts.WALDir != "" {
+			walDir = shardWALDir(opts.WALDir, i)
+		}
+		inner := innerOptions(opts)
+		inner.Durability = opts.Durability
+		l, lerr := newLSMFull(inner, cache, sched, walDir)
 		if lerr != nil {
+			for _, built := range lsms[:i] {
+				built.Close()
+			}
+			if sched != nil {
+				sched.Close()
+			}
 			return nil, lerr
 		}
 		lsms[i] = l
 	}
-	return assembleShardedLSMs(lsms, make([][]int64, n), cfg, opts.Parallelism, cache)
+	// Rebuild the global ID space. Fresh logs leave every shard empty and
+	// the partition trivially empty; recovered logs restore per-shard
+	// counts whose hash partition must match them shard for shard. A
+	// mismatch means the logs are mutually inconsistent — a wrong shard
+	// count, or a crash under batched durability that lost one shard's
+	// un-synced group-commit window while a later-ID insert survived in
+	// another shard — and the only safe answer is to refuse: guessing a
+	// placement would silently mislabel every ID after the gap. Use
+	// DurabilitySync (or Close, which syncs every shard) when sharded
+	// recovery must be exact to the last acknowledged insert.
+	closeAll := func() {
+		for _, l := range lsms {
+			l.Close()
+		}
+		if sched != nil {
+			sched.Close()
+		}
+	}
+	var total int64
+	for _, l := range lsms {
+		total += int64(l.Count())
+	}
+	part := shard.Partition(total, n)
+	for i, l := range lsms {
+		if len(part[i]) != l.Count() {
+			closeAll()
+			return nil, fmt.Errorf("coconut: recovered shard %d holds %d series but the hash placement of %d total assigns it %d (wrong shard count, or a crash lost part of a batched group-commit window — see NewShardedLSM)",
+				i, l.Count(), total, len(part[i]))
+		}
+	}
+	sh, err := assembleShardedLSMs(lsms, part, cfg, opts.Parallelism, cache)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	sh.sched = sched
+	return sh, nil
 }
 
 func assembleShardedLSMs(lsms []*LSM, part [][]int64, cfg index.Config, parallelism int, cache *bufpool.Cache) (*Sharded, error) {
@@ -173,6 +258,8 @@ func (s *Sharded) Insert(ser []float64, ts int64) error {
 	if len(ser) != s.cfg.SeriesLen {
 		return fmt.Errorf("coconut: series length %d, want %d", len(ser), s.cfg.SeriesLen)
 	}
+	s.insertMu.Lock()
+	defer s.insertMu.Unlock()
 	si := shard.Of(s.sh.Count(), s.sh.NumShards())
 	// The facade shard insert (Tree.Insert / LSM.Insert) appends to the
 	// shard's raw store and its internal index; the sharded layer only has
@@ -200,6 +287,69 @@ func (s *Sharded) Flush() error {
 		}
 	}
 	return nil
+}
+
+// Quiesce waits until no shard has background-merge work pending or in
+// flight (a no-op without CompactionWorkers).
+func (s *Sharded) Quiesce() error {
+	for _, l := range s.lsms {
+		if err := l.Quiesce(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CompactionStats returns each LSM shard's ingest/compaction state, in
+// shard order (nil for tree-kind indexes).
+func (s *Sharded) CompactionStats() []clsm.CompactionStats {
+	if s.kind != shardKindLSM {
+		return nil
+	}
+	out := make([]clsm.CompactionStats, len(s.lsms))
+	for i, l := range s.lsms {
+		out[i] = l.CompactionStats()
+	}
+	return out
+}
+
+// WALStats returns each shard's log accounting; ok is false when the index
+// was created without a WAL.
+func (s *Sharded) WALStats() (out []wal.Stats, ok bool) {
+	for _, l := range s.lsms {
+		st, has := l.WALStats()
+		if !has {
+			return nil, false
+		}
+		out = append(out, st)
+	}
+	return out, len(out) > 0
+}
+
+// Close shuts down every shard (waiting out background merges, syncing and
+// closing per-shard WALs, releasing pools) and then the shared compaction
+// scheduler. Idempotent; call with no insert in flight.
+func (s *Sharded) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var err error
+	for _, l := range s.lsms {
+		if cerr := l.Close(); err == nil {
+			err = cerr
+		}
+	}
+	for _, t := range s.trees {
+		if cerr := t.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if s.sched != nil {
+		if cerr := s.sched.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Search returns the exact k nearest neighbors of q, byte-identical to the

@@ -90,7 +90,7 @@ func (s *Stream) Ingest(ser []float64, ts int64) (int, error) {
 	if len(ser) != s.cfg.SeriesLen {
 		return 0, fmt.Errorf("coconut: series length %d, want %d", len(ser), s.cfg.SeriesLen)
 	}
-	s.raw.ss = append(s.raw.ss, series.Series(ser).ZNormalize())
+	s.raw.append(series.Series(ser).ZNormalize())
 	id, err := s.scheme.Ingest(series.Series(ser), ts)
 	return int(id), err
 }
@@ -133,6 +133,17 @@ func (s *Stream) Name() string { return s.scheme.Name() }
 // Stats returns the I/O accounting of the stream's disk since creation,
 // cache counters included when a buffer pool is configured.
 func (s *Stream) Stats() Stats { return statsWith(s.disk, s.pool) }
+
+// Close seals buffered arrivals into the scheme's on-disk structures and
+// releases the buffer pool's pages. Idempotent; defer it like any other
+// index handle.
+func (s *Stream) Close() error {
+	err := s.scheme.Seal()
+	if s.pool != nil {
+		s.pool.Purge()
+	}
+	return err
+}
 
 // newPPBase builds the CLSM index PP wraps.
 func newPPBase(disk *storage.Disk, reader storage.PageReader, cfg index.Config, buf int, raw series.RawStore, par int) (stream.EntryIndex, error) {

@@ -534,3 +534,45 @@ func BenchmarkCachedSearch(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkFileBackendSearch measures exact k-NN search on the file-backed
+// page store against the simulated-disk baseline over the same build. The
+// bench gate watches it: a regression in the file rows means the pread
+// path or the page-file layout got slower — the algorithmic cost is pinned
+// by the sim rows, which share every line of index code.
+func BenchmarkFileBackendSearch(b *testing.B) {
+	sc := benchScale()
+	ds, _ := gen.Astronomy(gen.AstronomyConfig{N: 10000, Len: sc.SeriesLen, FracEvent: 0.05, Seed: sc.Seed})
+	cfg := index.Config{SeriesLen: sc.SeriesLen, Segments: sc.Segments, Bits: sc.Bits}
+	rng := rand.New(rand.NewSource(16))
+	queries := make([]index.Query, 32)
+	for i := range queries {
+		queries[i] = index.NewQuery(gen.RandomWalk(rng, sc.SeriesLen), cfg)
+	}
+	for _, bk := range []struct {
+		name string
+		opts workload.BuildOptions
+	}{
+		{"sim", workload.BuildOptions{}},
+		{"file", workload.BuildOptions{StorageDir: b.TempDir()}},
+	} {
+		built, err := workload.BuildVariant("CTree", ds, cfg, bk.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bk.name, func(b *testing.B) {
+			b.ReportAllocs()
+			before := built.IOStats()
+			for i := 0; i < b.N; i++ {
+				if _, err := built.Index.ExactSearch(queries[i%len(queries)], 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+			diff := built.IOStats().Sub(before)
+			b.ReportMetric(diff.Cost(storage.DefaultCostModel)/float64(b.N), "io-cost/query")
+		})
+		if err := built.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,11 +20,12 @@ import (
 
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E15) or 'all'")
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E16) or 'all'")
 		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 		shards  = flag.String("shards", "", "comma-separated shard counts for the E13 sharding experiment (default 1,2,4,8)")
 		cache   = flag.String("cache", "", "comma-separated cache sizes in KB for the E14 buffer-pool experiment, 0 = uncached (default 0,256,4096,65536)")
 		workers = flag.String("compact-workers", "", "comma-separated background-merge worker counts for the E15 ingest experiment, 0 = inline (default 0,2)")
+		storage = flag.String("storage", "", "directory for the E16 storage-backend experiment's page files (default: a temp directory, removed afterwards)")
 	)
 	flag.Parse()
 
@@ -43,7 +44,9 @@ func main() {
 		cfg.E14N, cfg.E14Queries = 2000, 8
 		cfg.E14CacheKB = []int{0, 64, 4096}
 		cfg.E15N, cfg.E15Queries = 2000, 4
+		cfg.E16N, cfg.E16Queries = 2000, 4
 	}
+	cfg.E16Dir = *storage
 	if *shards != "" {
 		var counts []int
 		for _, part := range strings.Split(*shards, ",") {
@@ -85,7 +88,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
 			want[id] = true
 		}
 	} else {
@@ -209,6 +212,13 @@ func run(cfg workload.RunConfig, want map[string]bool) error {
 	}
 	if want["E15"] {
 		t, err := workload.E15Ingest(sc, cfg.E15N, cfg.E15Queries, cfg.E15K, cfg.E15Workers)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E16"] {
+		t, err := workload.E16Backend(sc, cfg.E16N, cfg.E16Queries, cfg.E16K, cfg.E16Dir)
 		if err != nil {
 			return err
 		}

@@ -14,7 +14,7 @@
 //	health                              check the server
 //	dataset  -kind astronomy -n 10000 -len 256
 //	build    -dataset ds-1 -variant CTree [-fill 0.9] [-growth 4] [-shards 4] [-cache 4194304]
-//	         [-wal batched|sync|off] [-compact-workers 2]
+//	         [-wal batched|sync|off] [-compact-workers 2] [-storage sim|file]
 //	insert   -build build-1 -n 100 [-template supernova] [-ts 7]
 //	query    -build build-1 -template supernova [-k 5] [-exact] [-min 0 -max 99]
 //	recommend -streaming -queries 500 -memfrac 0.1 [-tight] [-smallwin]
@@ -177,6 +177,7 @@ func build(base string, args []string) error {
 	cache := fs.Int64("cache", 0, "buffer-pool bytes (0 = server default, -1 = force uncached)")
 	walMode := fs.String("wal", "", "CLSM durability: batched, sync, or off (needs the server's -wal root; empty = batched when the root is set)")
 	compactWorkers := fs.Int("compact-workers", 0, "CLSM background-merge workers (0 = server default, -1 = force inline)")
+	storage := fs.String("storage", "", "storage backend: sim (simulated disk) or file (real page files; needs the server's -storage root; empty = server default)")
 	fs.Parse(args)
 	if *ds == "" {
 		return fmt.Errorf("build: -dataset is required")
@@ -185,6 +186,11 @@ func build(base string, args []string) error {
 	case "", "batched", "sync", "off":
 	default:
 		return fmt.Errorf("build: -wal must be batched, sync, or off, got %q", *walMode)
+	}
+	switch *storage {
+	case "", "sim", "file":
+	default:
+		return fmt.Errorf("build: -storage must be sim or file, got %q", *storage)
 	}
 	if *compactWorkers < -1 || *compactWorkers > 64 {
 		return fmt.Errorf("build: -compact-workers must be in [-1, 64] (-1 = force inline, 0 = server default), got %d", *compactWorkers)
@@ -203,6 +209,7 @@ func build(base string, args []string) error {
 		FillFactor: *fill, GrowthFactor: *growth, MemBudget: *mem,
 		Shards: *shards, Parallelism: *par, CacheBytes: *cache,
 		Durability: *walMode, CompactionWorkers: *compactWorkers,
+		Storage: *storage,
 	}, &out)
 	if err != nil {
 		return err

@@ -13,12 +13,19 @@
 //	curl -s -X POST localhost:8734/api/datasets -d '{"kind":"astronomy","n":10000,"len":256}'
 //	curl -s -X POST localhost:8734/api/build -d '{"dataset":"ds-1","variant":"CTree"}'
 //	curl -s -X POST localhost:8734/api/recommend -d '{"streaming":true,"small_windows":true}'
+//
+// The server shuts down gracefully on SIGINT or SIGTERM: the listener
+// stops, in-flight requests drain, and every build's background machinery
+// (WALs, compaction workers, file-backed storage) flushes and closes.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/server"
@@ -34,6 +41,7 @@ func main() {
 	cache := flag.Int64("cache", 0, "default buffer-pool size in bytes for builds (0 = uncached, the paper-faithful accounting; N > 0 serves hot pages from a shared cache and charges only misses)")
 	walRoot := flag.String("wal", "", "WAL root directory: each CLSM build keeps a write-ahead log in its own subdirectory, making POST /api/insert durable (empty = no WALs)")
 	compactWorkers := flag.Int("compact-workers", 0, "default background-merge workers for CLSM builds (0 = inline merges; N > 0 runs level merges off the insert path)")
+	storageRoot := flag.String("storage", "", "storage root directory: builds default to the file-backed page store, each in its own subdirectory; results are byte-identical to the simulated disk (empty = simulated disk only)")
 	flag.Parse()
 	// Reject bad defaults at startup: otherwise every build request that
 	// leaves the field unset would fail with a 400 blaming the client.
@@ -53,13 +61,38 @@ func main() {
 	s.SetDefaultCacheBytes(*cache)
 	s.SetWALRoot(*walRoot)
 	s.SetDefaultCompactionWorkers(*compactWorkers)
+	s.SetStorageRoot(*storageRoot)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("coconut-palm algorithms server listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("coconut-palm algorithms server listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		log.Printf("coconut-server: shutting down (in-flight requests drain, builds flush)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("coconut-server: HTTP shutdown: %v", err)
+		}
+	}
+	// Close builds after the listener stops: WALs sync, compaction workers
+	// drain, file-backed storage fsyncs. Durable state survives restart.
+	if err := s.Close(); err != nil {
+		log.Printf("coconut-server: closing builds: %v", err)
 	}
 }

@@ -57,6 +57,7 @@ package coconut
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -64,6 +65,7 @@ import (
 	"repro/internal/clsm"
 	"repro/internal/compact"
 	"repro/internal/ctree"
+	"repro/internal/fsx"
 	"repro/internal/index"
 	"repro/internal/recommender"
 	"repro/internal/series"
@@ -123,6 +125,19 @@ type Options struct {
 	// bounded window of recent acknowledgements for ingest throughput;
 	// DurabilitySync syncs every insert before acknowledging it.
 	Durability Durability
+	// StorageDir selects the file-backed storage backend: index pages live
+	// in real page-aligned files under this host directory (pread/pwrite,
+	// fsync on Sync/Close) instead of the simulated in-memory disk. Empty
+	// (the default) keeps the simulated disk — the paper-faithful
+	// cost-accounting mode. Results are byte-identical on either backend;
+	// only where the pages live changes. Sharded indexes keep one
+	// subdirectory per shard under this directory.
+	StorageDir string
+	// FS overrides the host filesystem used by the file-backed storage
+	// backend, the write-ahead log, and snapshot saves. nil (the default)
+	// means the real filesystem; crash and fault-injection tests inject
+	// fsx.MemFS here.
+	FS fsx.FS
 	// CompactionWorkers (LSM only) moves level merges off the insert path:
 	// n > 0 runs merges as background jobs on a pool of n workers while
 	// inserts and searches keep running against the pre-merge structure
@@ -148,15 +163,32 @@ const (
 )
 
 // walOptions maps the facade durability knobs onto the log's sync policy.
-func walOptions(dir string, d Durability) (wal.Options, error) {
+func walOptions(dir string, d Durability, fsys fsx.FS) (wal.Options, error) {
+	var out wal.Options
 	switch d {
 	case DurabilityBatched, "":
-		return wal.BatchedOptions(dir), nil
+		out = wal.BatchedOptions(dir)
 	case DurabilitySync:
-		return wal.SyncOptions(dir), nil
+		out = wal.SyncOptions(dir)
 	default:
 		return wal.Options{}, fmt.Errorf("coconut: unknown durability %q (want %q or %q)", d, DurabilityBatched, DurabilitySync)
 	}
+	out.FS = fsys
+	return out, nil
+}
+
+// newBackend selects the storage backend per Options: the simulated disk
+// by default, or a file-backed store under StorageDir (plus an optional
+// subdirectory, used by sharded indexes) when set.
+func (o Options) newBackend(sub string) (storage.Backend, error) {
+	if o.StorageDir == "" {
+		return storage.NewDisk(o.PageSize), nil
+	}
+	dir := o.StorageDir
+	if sub != "" {
+		dir = filepath.Join(dir, sub)
+	}
+	return storage.NewFileDisk(storage.FileDiskOptions{Dir: dir, PageSize: o.PageSize, FS: o.FS})
 }
 
 func (o Options) config() (index.Config, error) {
@@ -272,7 +304,7 @@ func convert(rs []index.Result) []Match {
 
 // statsWith renders a disk's accounting, folding in the buffer-pool
 // counters when a pool fronts the disk.
-func statsWith(d *storage.Disk, pool *bufpool.Pool) Stats {
+func statsWith(d storage.Backend, pool *bufpool.Pool) Stats {
 	if pool != nil {
 		return toStats(pool.Stats(), d.TotalPages())
 	}
@@ -293,11 +325,12 @@ func toStats(st storage.Stats, pages int64) Stats {
 
 // Tree is a CoconutTree index.
 type Tree struct {
-	tree *ctree.Tree
-	cfg  index.Config
-	disk *storage.Disk
-	pool *bufpool.Pool // buffer pool fronting disk; nil when uncached
-	raw  *memStore
+	tree   *ctree.Tree
+	cfg    index.Config
+	disk   storage.Backend
+	pool   *bufpool.Pool // buffer pool fronting disk; nil when uncached
+	raw    *memStore
+	hostFS fsx.FS // filesystem for snapshot saves; nil means the real one
 }
 
 // BuildTree bulk-loads a CoconutTree over the given series (IDs are their
@@ -312,7 +345,7 @@ func BuildTree(data [][]float64, opts Options) (*Tree, error) {
 // uncached (index options then default to the disk) — a plain *Pool return
 // cannot serve as the reader directly because a typed-nil interface would
 // not compare equal to nil.
-func attachPool(disk *storage.Disk, opts Options, cache *bufpool.Cache) (*bufpool.Pool, storage.PageReader, error) {
+func attachPool(disk storage.Backend, opts Options, cache *bufpool.Cache) (*bufpool.Pool, storage.PageReader, error) {
 	pool, err := bufpool.AttachOrNew(disk, cache, opts.CacheBytes)
 	if err != nil || pool == nil {
 		return nil, nil, err
@@ -336,7 +369,10 @@ func buildTreeCache(data [][]float64, opts Options, cache *bufpool.Cache) (*Tree
 		}
 		raw.append(series.Series(s).ZNormalize())
 	}
-	disk := storage.NewDisk(opts.PageSize)
+	disk, err := opts.newBackend("")
+	if err != nil {
+		return nil, err
+	}
 	pool, reader, err := attachPool(disk, opts, cache)
 	if err != nil {
 		return nil, err
@@ -354,7 +390,7 @@ func buildTreeCache(data [][]float64, opts Options, cache *bufpool.Cache) (*Tree
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{tree: tr, cfg: cfg, disk: disk, pool: pool, raw: raw}, nil
+	return &Tree{tree: tr, cfg: cfg, disk: disk, pool: pool, raw: raw, hostFS: opts.FS}, nil
 }
 
 // Count returns the number of indexed series.
@@ -410,14 +446,15 @@ func (t *Tree) EnableCache(cacheBytes int64) {
 	t.tree.UseReader(t.pool)
 }
 
-// Close releases the tree's resources (its buffer pool's cached pages).
-// Trees have no background machinery, but Close keeps the facade contract
-// uniform — defer it like any other index handle. Idempotent.
+// Close releases the tree's resources: its buffer pool's cached pages and
+// the storage backend (which, on the file-backed backend, fsyncs and
+// closes the page files). Idempotent; defer it like any other index
+// handle.
 func (t *Tree) Close() error {
 	if t.pool != nil {
 		t.pool.Purge()
 	}
-	return nil
+	return t.disk.Close()
 }
 
 // LSM is a CoconutLSM index. With Options.WALDir set every insert is
@@ -427,11 +464,12 @@ func (t *Tree) Close() error {
 // of goroutines. Defer Close to stop the background machinery and sync the
 // log.
 type LSM struct {
-	lsm  *clsm.LSM
-	cfg  index.Config
-	disk *storage.Disk
-	pool *bufpool.Pool // buffer pool fronting disk; nil when uncached
-	raw  *memStore
+	lsm    *clsm.LSM
+	cfg    index.Config
+	disk   storage.Backend
+	pool   *bufpool.Pool // buffer pool fronting disk; nil when uncached
+	raw    *memStore
+	hostFS fsx.FS // filesystem for snapshot saves; nil means the real one
 
 	insertMu  sync.Mutex         // keeps the raw mirror and ID assignment in step
 	wal       *wal.Log           // nil when WALDir unset
@@ -462,12 +500,15 @@ func newLSMFull(opts Options, cache *bufpool.Cache, sched *compact.Scheduler, wa
 		return nil, err
 	}
 	raw := &memStore{}
-	disk := storage.NewDisk(opts.PageSize)
+	disk, err := opts.newBackend("")
+	if err != nil {
+		return nil, err
+	}
 	pool, reader, err := attachPool(disk, opts, cache)
 	if err != nil {
 		return nil, err
 	}
-	out := &LSM{cfg: cfg, disk: disk, pool: pool, raw: raw}
+	out := &LSM{cfg: cfg, disk: disk, pool: pool, raw: raw, hostFS: opts.FS}
 	if sched != nil {
 		out.sched = sched
 	} else if opts.CompactionWorkers > 0 {
@@ -486,7 +527,7 @@ func newLSMFull(opts Options, cache *bufpool.Cache, sched *compact.Scheduler, wa
 		Scheduler:     out.sched,
 	}
 	if walDir != "" {
-		wopts, werr := walOptions(walDir, opts.Durability)
+		wopts, werr := walOptions(walDir, opts.Durability, opts.FS)
 		if werr != nil {
 			out.closeOwned()
 			return nil, werr
@@ -661,6 +702,9 @@ func (l *LSM) Close() error {
 	}
 	if l.pool != nil {
 		l.pool.Purge()
+	}
+	if derr := l.disk.Close(); err == nil {
+		err = derr
 	}
 	return err
 }

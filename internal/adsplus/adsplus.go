@@ -22,7 +22,7 @@ import (
 
 // Options configures an ADS+ index.
 type Options struct {
-	Disk   *storage.Disk
+	Disk   storage.Backend
 	Name   string       // file name prefix
 	Config index.Config // summarization shape; Materialized selects ADSFull
 	// LeafCapacity is the maximum entries per leaf before it splits.

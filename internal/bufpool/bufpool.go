@@ -1,7 +1,7 @@
 // Package bufpool implements the shared buffer-pool layer between the
 // indexes and the simulated disks: a sharded CLOCK page cache with
 // pin/unpin semantics, per-file invalidation, and hit/miss/eviction
-// counters. A Pool fronts one *storage.Disk and satisfies
+// counters. A Pool fronts one storage.Backend and satisfies
 // storage.PageReader, so every index read path works identically against a
 // bare disk and against a cached one; several Pools may share one Cache
 // (the sharded facade attaches every shard's disk to a single cache so the
@@ -201,14 +201,14 @@ func (c *Cache) claim(sh *cacheShard) (fr *frame, tracked bool) {
 // stats stay meaningful even when many disks share one cache.
 type Pool struct {
 	c            *Cache
-	d            *storage.Disk
+	d            storage.Backend
 	id           uint32
 	hits, misses atomic.Int64
 }
 
 // Attach registers a disk with the cache and returns its cached reader.
 // The disk's page size must match the cache's.
-func (c *Cache) Attach(d *storage.Disk) (*Pool, error) {
+func (c *Cache) Attach(d storage.Backend) (*Pool, error) {
 	if d.PageSize() != c.pageSize {
 		return nil, fmt.Errorf("bufpool: disk page size %d, cache %d", d.PageSize(), c.pageSize)
 	}
@@ -218,7 +218,7 @@ func (c *Cache) Attach(d *storage.Disk) (*Pool, error) {
 }
 
 // New builds a single-disk pool: a fresh cache of cacheBytes attached to d.
-func New(d *storage.Disk, cacheBytes int64) *Pool {
+func New(d storage.Backend, cacheBytes int64) *Pool {
 	p, err := NewCache(cacheBytes, d.PageSize()).Attach(d)
 	if err != nil { // unreachable: the cache adopts the disk's page size
 		panic(err)
@@ -230,7 +230,7 @@ func New(d *storage.Disk, cacheBytes int64) *Pool {
 // shared cache when one is provided (sharded builds — one budget for the
 // whole index), build a private pool of cacheBytes when asked, and return
 // nil (uncached) otherwise.
-func AttachOrNew(d *storage.Disk, cache *Cache, cacheBytes int64) (*Pool, error) {
+func AttachOrNew(d storage.Backend, cache *Cache, cacheBytes int64) (*Pool, error) {
 	switch {
 	case cache != nil:
 		return cache.Attach(d)
@@ -244,7 +244,7 @@ func AttachOrNew(d *storage.Disk, cache *Cache, cacheBytes int64) (*Pool, error)
 func (p *Pool) Cache() *Cache { return p.c }
 
 // Disk returns the backing disk.
-func (p *Pool) Disk() *storage.Disk { return p.d }
+func (p *Pool) Disk() storage.Backend { return p.d }
 
 // PageSize implements storage.PageReader.
 func (p *Pool) PageSize() int { return p.c.pageSize }

@@ -54,7 +54,7 @@ import (
 
 // Options configures a CLSM index.
 type Options struct {
-	Disk   *storage.Disk
+	Disk   storage.Backend
 	Name   string       // file name prefix
 	Config index.Config // summarization shape; Materialized selects CLSMFull
 	// GrowthFactor T: runs per level tolerated before they are merged into

@@ -132,7 +132,7 @@ func (l *LSM) encodePayload(m *manifest) []byte {
 
 // readBlob reads and frames-checks a metadata file, returning the bytes
 // after the fixed header (extra bytes first, then the payload).
-func readBlob(disk *storage.Disk, name, magic string, version uint32, extraLen int) ([]byte, error) {
+func readBlob(disk storage.Backend, name, magic string, version uint32, extraLen int) ([]byte, error) {
 	npages, err := disk.NumPages(name)
 	if err != nil {
 		return nil, fmt.Errorf("clsm: opening %q: %w", name, err)
@@ -162,7 +162,7 @@ func readBlob(disk *storage.Disk, name, magic string, version uint32, extraLen i
 
 // decodePayload parses the shared payload, verifying the listed run files
 // exist on disk and hold the recorded number of entries.
-func decodePayload(disk *storage.Disk, buf []byte) (*metaState, error) {
+func decodePayload(disk storage.Backend, buf []byte) (*metaState, error) {
 	const fixed = 8*5 + 4*2 + 1 + 4*3 + 4
 	if len(buf) < fixed {
 		return nil, fmt.Errorf("clsm: meta payload too short: %d", len(buf))
@@ -238,7 +238,7 @@ func (l *LSM) install(st *metaState, durableLSN int64) {
 // Open reconstructs a saved LSM from a disk holding its runs and
 // "<name>.meta". The caller supplies the Raw store for non-materialized
 // searches.
-func Open(disk *storage.Disk, name string, raw series.RawStore) (*LSM, error) {
+func Open(disk storage.Backend, name string, raw series.RawStore) (*LSM, error) {
 	if disk == nil {
 		return nil, fmt.Errorf("clsm: Disk is required")
 	}
@@ -376,7 +376,7 @@ type Saved struct {
 // snapshot-resident state (the raw-series mirror) before WAL replay grows
 // the index past it, and the tuning fields to reopen with the shape the
 // snapshot was built with.
-func SavedState(disk *storage.Disk, name string) (Saved, bool, error) {
+func SavedState(disk storage.Backend, name string) (Saved, bool, error) {
 	var blobName, magic string
 	var version uint32
 	extra := 0

@@ -24,7 +24,7 @@ import (
 
 // Options configures a CTree build.
 type Options struct {
-	Disk   *storage.Disk
+	Disk   storage.Backend
 	Name   string       // file name prefix on the disk
 	Config index.Config // summarization shape; Materialized selects CTreeFull
 	// FillFactor is the fraction of each leaf page populated at build time,

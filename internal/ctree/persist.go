@@ -75,7 +75,7 @@ func (t *Tree) encodeMeta() []byte {
 // "<name>.meta". The caller supplies the Disk and (for non-materialized
 // trees) the Raw store; all structural parameters are restored from the
 // metadata and validated against opts.Config when that is non-zero.
-func Open(disk *storage.Disk, name string, raw series.RawStore) (*Tree, error) {
+func Open(disk storage.Backend, name string, raw series.RawStore) (*Tree, error) {
 	if disk == nil {
 		return nil, fmt.Errorf("ctree: Disk is required")
 	}
@@ -110,7 +110,7 @@ func Open(disk *storage.Disk, name string, raw series.RawStore) (*Tree, error) {
 	return decodeMeta(disk, name, raw2[off:off+plen], raw)
 }
 
-func decodeMeta(disk *storage.Disk, name string, buf []byte, raw series.RawStore) (*Tree, error) {
+func decodeMeta(disk storage.Backend, name string, buf []byte, raw series.RawStore) (*Tree, error) {
 	const fixed = 8 + 8 + 4 + 4 + 8 + 1 + 4 + 4 + 4 + 4
 	if len(buf) < fixed {
 		return nil, fmt.Errorf("ctree: meta payload too short: %d", len(buf))

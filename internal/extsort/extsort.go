@@ -21,7 +21,7 @@ import (
 
 // Sorter sorts entry files on a Disk under a fixed memory budget.
 type Sorter struct {
-	Disk      *storage.Disk
+	Disk      storage.Backend
 	Codec     record.Codec
 	MemBudget int    // bytes of working memory for buffering entries
 	TmpPrefix string // prefix for temporary run files (default "extsort")

@@ -1,0 +1,130 @@
+// Package fsx abstracts the host filesystem operations the durable layers
+// (the write-ahead log, snapshot checkpoints, and the file-backed page
+// store) depend on, so crash-ordering bugs become testable: production code
+// runs against OS (thin wrappers over the os package), while the crash and
+// fault-injection tests run against MemFS, an in-memory filesystem that
+// models exactly the durability semantics a POSIX filesystem provides — and
+// no more. In particular, file contents are durable only up to the last
+// Sync, and directory entries (creates, removes, renames) are durable only
+// once the parent directory has been fsynced (SyncDir). Code that forgets a
+// sync is code that loses data on MemFS.Crash, which is the point.
+package fsx
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the handle surface the durable layers use: sequential appends
+// (Write), positioned I/O (ReadAt/WriteAt), and the durability and
+// truncation calls. *os.File satisfies it directly.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	// Sync flushes the file's data to stable storage. Note the POSIX
+	// contract: syncing a file does NOT make its directory entry durable —
+	// a freshly created, fully synced file can still vanish on crash until
+	// its parent directory is synced (SyncDir).
+	Sync() error
+}
+
+// FS is the filesystem surface. All paths are host paths.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory, making the directory entries created,
+	// removed, or renamed within it durable.
+	SyncDir(name string) error
+}
+
+// OS is the production filesystem: thin wrappers over the os package.
+var OS FS = osFS{}
+
+// OrOS returns f, or the OS filesystem when f is nil — the one-line default
+// every layer with an injectable FS applies.
+func OrOS(f FS) FS {
+	if f == nil {
+		return OS
+	}
+	return f
+}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+
+// SyncDir opens the directory and fsyncs it. Filesystems that do not
+// support fsync on directories (some network or FUSE mounts return EINVAL
+// or ENOTSUP) are tolerated: there is nothing more userspace can do there.
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if pe, ok := err.(*fs.PathError); ok {
+			_ = pe // EINVAL/ENOTSUP on exotic mounts: dirent durability is best-effort there
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// WriteFileAtomic writes a file durably and atomically: the bytes are
+// produced into <path>.tmp, synced, renamed over path, and the parent
+// directory is synced. After a crash at any point, path holds either its
+// previous contents or the complete new contents — never a torn mixture —
+// and once WriteFileAtomic returns, the new contents survive a crash.
+// This is the write path every checkpoint and manifest must use: the
+// checkpoint-ordering contract ("truncate the WAL only after the snapshot
+// is durable") is only as strong as the snapshot write itself.
+func WriteFileAtomic(fsys FS, path string, write func(io.Writer) error) error {
+	fsys = OrOS(fsys)
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}

@@ -54,6 +54,11 @@ type Server struct {
 	// defaultCompactionWorkers applies to CLSM builds whose request leaves
 	// the compaction_workers field unset; 0 keeps merges inline.
 	defaultCompactionWorkers int
+	// storageRoot, when set, lets builds use the file-backed storage
+	// backend: each build's pages live in its own subdirectory. Builds
+	// default to the file backend when a root is set; requests may force
+	// either backend per build.
+	storageRoot string
 }
 
 type dataset struct {
@@ -116,6 +121,32 @@ func (s *Server) SetWALRoot(dir string) { s.walRoot = dir }
 // merges on n background workers while inserts and queries keep running;
 // 0 keeps merges inline. Call before serving.
 func (s *Server) SetDefaultCompactionWorkers(n int) { s.defaultCompactionWorkers = n }
+
+// SetStorageRoot enables the file-backed storage backend: each build's
+// index and raw pages live as page-aligned files in its own subdirectory
+// of dir. With a root set, builds default to the file backend (a request
+// may still pick "sim" per build); without one, every build uses the
+// simulated disk and requests asking for "file" are rejected. Query
+// results are byte-identical on either backend. Call before serving.
+func (s *Server) SetStorageRoot(dir string) { s.storageRoot = dir }
+
+// Close shuts down every registered build: background merges drain,
+// write-ahead logs sync and close, and file-backed storage flushes to
+// disk. Call on server shutdown, after the HTTP listener has stopped
+// accepting requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	for _, b := range s.builds {
+		b.mu.Lock()
+		if cerr := b.built.Close(); err == nil {
+			err = cerr
+		}
+		b.mu.Unlock()
+	}
+	return err
+}
 
 // lookupBuild resolves a build ID under a read lock, so concurrent queries
 // never serialize on the registry mutex.
@@ -276,6 +307,13 @@ type BuildRequest struct {
 	// pool of that many workers; unset or 0 falls back to the server
 	// default, -1 forces inline merges. CLSM variants only, unsharded.
 	CompactionWorkers int `json:"compaction_workers"`
+	// Storage selects the storage backend for this build: "sim" is the
+	// simulated in-memory disk (the paper-faithful accounting), "file"
+	// stores pages in real files under the server's storage root (-storage;
+	// rejected without one). Unset picks the server default — "file" when a
+	// storage root is configured, "sim" otherwise. Results are
+	// byte-identical on either backend.
+	Storage string `json:"storage"`
 }
 
 // BuildResponse reports construction accounting, the numbers the demo GUI
@@ -291,6 +329,7 @@ type BuildResponse struct {
 	RawPages   int64   `json:"raw_pages"`
 	BuildMilli int64   `json:"build_ms"`
 	Shards     int     `json:"shards"`
+	Backend    string  `json:"backend"` // "sim" or "file"
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
@@ -351,6 +390,24 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "compaction_workers must be at most 64, got %d", req.CompactionWorkers)
 		return
 	}
+	if req.Storage == "" {
+		if s.storageRoot != "" {
+			req.Storage = "file"
+		} else {
+			req.Storage = "sim"
+		}
+	}
+	switch req.Storage {
+	case "sim":
+	case "file":
+		if s.storageRoot == "" {
+			writeError(w, http.StatusBadRequest, "storage %q needs the server to run with a storage root (-storage)", req.Storage)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown storage %q (want sim or file)", req.Storage)
+		return
+	}
 	isCLSM := req.Variant == "CLSM" || req.Variant == "CLSMFull"
 	opts := workload.BuildOptions{
 		FillFactor:   req.FillFactor,
@@ -359,6 +416,12 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		Parallelism:  req.Parallelism,
 		Shards:       req.Shards,
 		CacheBytes:   req.CacheBytes,
+	}
+	if req.Storage == "file" {
+		s.mu.Lock()
+		storeID := s.nextID("store")
+		s.mu.Unlock()
+		opts.StorageDir = filepath.Join(s.storageRoot, storeID)
 	}
 	if isCLSM && req.Shards <= 1 {
 		opts.CompactionWorkers = req.CompactionWorkers
@@ -403,6 +466,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		RawPages:   b.RawPages,
 		BuildMilli: b.BuildTime.Milliseconds(),
 		Shards:     b.Shards(),
+		Backend:    b.Disk.Kind(),
 	})
 }
 
@@ -744,6 +808,7 @@ type StatsResponse struct {
 	Build      string              `json:"build"`
 	Variant    string              `json:"variant"`
 	Shards     int                 `json:"shards"`
+	Backend    string              `json:"backend"` // "sim" or "file"
 	Aggregate  DiskStats           `json:"aggregate"`
 	PerShard   []DiskStats         `json:"per_shard"`
 	Cache      CacheStats          `json:"cache"`
@@ -781,6 +846,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Build:     id,
 		Variant:   b.built.Index.Name(),
 		Shards:    b.built.Shards(),
+		Backend:   b.built.Disk.Kind(),
 		Aggregate: s.diskStats(agg),
 	}
 	if wst, ok := b.built.WALStats(); ok {

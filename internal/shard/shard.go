@@ -78,7 +78,7 @@ func Partition(n int64, shards int) [][]int64 {
 // its own disk, plus the local-to-global ID mapping of the series it holds.
 type Shard struct {
 	Index index.Index
-	Disk  *storage.Disk
+	Disk  storage.Backend
 	// Reader is the page reader the shard's index reads through — the disk
 	// itself, or a buffer pool over it. When it provides statistics
 	// (storage.StatsProvider — *bufpool.Pool does), shard-level accounting

@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"io"
+
+	"repro/internal/fsx"
+)
+
+// Backend is the full storage surface an index builds on: the PageReader
+// read side plus the write API, file namespace operations, accounting
+// hooks, and snapshot/durability entry points. Two implementations exist:
+//
+//   - *Disk — the simulated in-memory page disk, the paper-faithful
+//     cost-accounting mode. Durability calls are no-ops; persistence goes
+//     through explicit snapshots (SaveFile).
+//   - *FileDisk — real page-aligned files on the host filesystem via
+//     positioned reads and writes, with fsync discipline (Sync flushes
+//     file data and the directory entries).
+//
+// Both run the same accounting core (accounting.go), so an identical
+// access sequence produces identical Stats on either backend.
+type Backend interface {
+	PageReader
+	StatsProvider
+
+	// Namespace operations.
+	Create(name string) error
+	Remove(name string) error
+	Rename(oldName, newName string) error
+	Files() []string
+	TotalPages() int64
+
+	// Write API. WritePage overwrites (or appends at page == NumPages);
+	// AppendPage adds one page; AppendPages streams len(data)/PageSize
+	// pages plus a trailing partial page, returning the first new page
+	// number.
+	WritePage(name string, page int64, data []byte) error
+	AppendPage(name string, data []byte) (int64, error)
+	AppendPages(name string, data []byte) (int64, error)
+
+	// Accounting hooks.
+	SetTracer(t Tracer)
+	AddInvalidator(inv Invalidator)
+	ResetStats()
+
+	// Snapshot: serialize every file into the portable snapshot format
+	// (see snapshot.go) / write it durably to a host path. SaveFileFS is
+	// SaveFile against an injectable filesystem (crash tests).
+	WriteTo(w io.Writer) (int64, error)
+	SaveFile(path string) error
+	SaveFileFS(fsys fsx.FS, path string) error
+
+	// Durability. Sync flushes everything to stable storage (a no-op on
+	// the simulated disk); Close syncs and releases host resources. After
+	// Close only Close may be called again.
+	Sync() error
+	Close() error
+
+	// Kind names the backend ("sim" or "file") for stats and logs.
+	Kind() string
+}
+
+// Compile-time interface checks.
+var (
+	_ Backend = (*Disk)(nil)
+	_ Backend = (*FileDisk)(nil)
+)
+
+// Sync is a no-op: the simulated disk has no host state to flush.
+func (d *Disk) Sync() error { return nil }
+
+// Close is a no-op: the simulated disk holds no host resources.
+func (d *Disk) Close() error { return nil }
+
+// Kind identifies the simulated backend.
+func (d *Disk) Kind() string { return "sim" }

@@ -1,0 +1,550 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fsx"
+)
+
+// fileDiskSuffix marks the host files a FileDisk owns inside its directory;
+// the base name is the URL-path-escaped logical file name, so any logical
+// name round-trips through one flat host directory.
+const fileDiskSuffix = ".cpg"
+
+// FileDiskOptions configures a file-backed page store.
+type FileDiskOptions struct {
+	// Dir is the host directory holding the page files (created if
+	// missing). One FileDisk owns one directory.
+	Dir string
+	// PageSize is the page size in bytes (0 means DefaultPageSize). When
+	// the directory already holds page files, it must match the size they
+	// were written with.
+	PageSize int
+	// FS overrides the host filesystem; nil means the real one. Crash and
+	// fault-injection tests inject fsx.MemFS here.
+	FS fsx.FS
+}
+
+// FileDisk is the file-backed storage backend: every logical file is one
+// page-aligned host file, reads are positioned reads (pread), writes are
+// positioned writes (pwrite) of whole pages. It implements the same
+// Backend surface as the simulated Disk — same accounting core, same
+// invalidation hooks, same snapshot format — so the two are swappable
+// under every index.
+//
+// Durability discipline: namespace operations (Create, Remove, Rename)
+// fsync the parent directory before returning, so dirents are never lost;
+// page writes land in the kernel page cache and reach stable storage on
+// Sync (which fsyncs every dirty file) or Close. Rename additionally
+// fsyncs the source file first, so a renamed file is never incomplete.
+//
+// Concurrency matches Disk: reads share a read-lock (pread is
+// position-independent, so concurrent probes don't interfere), mutations
+// are exclusive. PinPage copies — a real file has no stable in-memory
+// bytes to borrow — and returns a handle with a no-op release.
+type FileDisk struct {
+	dir      string
+	pageSize int
+	fs       fsx.FS
+
+	mu         sync.RWMutex
+	files      map[string]*hostFile
+	nextFileID uint32
+	tracer     Tracer
+	invs       []Invalidator
+	closed     bool
+
+	acct ioAccounting
+}
+
+// hostFile is one logical file backed by one host file.
+type hostFile struct {
+	id    uint32 // immutable identity for head tracking; never reused
+	name  string
+	f     fsx.File
+	pages int64
+	dirty bool // has writes not yet fsynced
+}
+
+// NewFileDisk opens (or creates) a file-backed page store rooted at
+// opts.Dir. Page files already present in the directory are adopted, which
+// is how the store recovers after a crash or restart; a torn trailing
+// partial page (from a crash mid-append) is discarded.
+func NewFileDisk(opts FileDiskOptions) (*FileDisk, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("storage: FileDisk requires a directory")
+	}
+	pageSize := opts.PageSize
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	fsys := fsx.OrOS(opts.FS)
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &FileDisk{
+		dir:      opts.Dir,
+		pageSize: pageSize,
+		fs:       fsys,
+		files:    make(map[string]*hostFile),
+	}
+	entries, err := fsys.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), fileDiskSuffix) {
+			continue
+		}
+		name, uerr := url.PathUnescape(strings.TrimSuffix(e.Name(), fileDiskSuffix))
+		if uerr != nil {
+			return nil, fmt.Errorf("storage: undecodable page file %q: %w", e.Name(), uerr)
+		}
+		path := filepath.Join(opts.Dir, e.Name())
+		info, serr := fsys.Stat(path)
+		if serr != nil {
+			return nil, serr
+		}
+		h, oerr := fsys.OpenFile(path, os.O_RDWR, 0o644)
+		if oerr != nil {
+			return nil, oerr
+		}
+		pages := info.Size() / int64(pageSize)
+		if info.Size()%int64(pageSize) != 0 {
+			// Crash mid-append: drop the torn partial page.
+			if terr := h.Truncate(pages * int64(pageSize)); terr != nil {
+				h.Close()
+				return nil, terr
+			}
+		}
+		d.files[name] = &hostFile{id: d.nextFileID, name: name, f: h, pages: pages}
+		d.nextFileID++
+	}
+	return d, nil
+}
+
+// hostPath returns the host path backing a logical file name.
+func (d *FileDisk) hostPath(name string) string {
+	return filepath.Join(d.dir, url.PathEscape(name)+fileDiskSuffix)
+}
+
+// Dir returns the host directory the store lives in.
+func (d *FileDisk) Dir() string { return d.dir }
+
+// Kind identifies the file-backed backend.
+func (d *FileDisk) Kind() string { return "file" }
+
+// PageSize returns the page size in bytes.
+func (d *FileDisk) PageSize() int { return d.pageSize }
+
+// SetTracer installs (or removes, if nil) an access tracer.
+func (d *FileDisk) SetTracer(t Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracer = t
+}
+
+// Stats returns a snapshot of the accumulated I/O statistics.
+func (d *FileDisk) Stats() Stats { return d.acct.snapshot() }
+
+// ResetStats zeroes the I/O statistics and parks the head (see
+// Disk.ResetStats for why the head must reset with the counters).
+func (d *FileDisk) ResetStats() { d.acct.reset() }
+
+// AddInvalidator registers a cache invalidation hook, as on Disk.
+func (d *FileDisk) AddInvalidator(inv Invalidator) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.invs = append(d.invs, inv)
+}
+
+// account classifies one page access; call with d.mu held.
+func (d *FileDisk) account(f *hostFile, page int64, write bool) {
+	d.acct.account(f.id, page, write)
+	if d.tracer != nil {
+		d.tracer.Access(f.name, page, write)
+	}
+}
+
+// Create creates an empty file and makes its directory entry durable. It
+// fails if the name already exists.
+func (d *FileDisk) Create(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	h, err := d.fs.OpenFile(d.hostPath(name), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		h.Close()
+		d.fs.Remove(d.hostPath(name))
+		return err
+	}
+	d.files[name] = &hostFile{id: d.nextFileID, name: name, f: h}
+	d.nextFileID++
+	return nil
+}
+
+// Remove deletes a file, host file included, and makes the removal
+// durable. Registered caches drop the file's pages.
+func (d *FileDisk) Remove(name string) error {
+	d.mu.Lock()
+	f, ok := d.files[name]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	f.f.Close()
+	if err := d.fs.Remove(d.hostPath(name)); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	delete(d.files, name)
+	invs := d.invs
+	d.mu.Unlock()
+	notifyFile(invs, name)
+	return nil
+}
+
+// Rename renames a file, failing if the target exists. The source file's
+// data is fsynced first and the rename is made durable, so the new name
+// never refers to an incomplete file. Registered caches drop the pages
+// keyed under the old name.
+func (d *FileDisk) Rename(oldName, newName string) error {
+	d.mu.Lock()
+	f, ok := d.files[oldName]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, oldName)
+	}
+	if _, ok := d.files[newName]; ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, newName)
+	}
+	if f.dirty {
+		if err := f.f.Sync(); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		f.dirty = false
+	}
+	if err := d.fs.Rename(d.hostPath(oldName), d.hostPath(newName)); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	delete(d.files, oldName)
+	f.name = newName
+	d.files[newName] = f
+	invs := d.invs
+	d.mu.Unlock()
+	notifyFile(invs, oldName)
+	return nil
+}
+
+// Exists reports whether a file exists.
+func (d *FileDisk) Exists(name string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.files[name]
+	return ok
+}
+
+// Files returns the names of all files, sorted.
+func (d *FileDisk) Files() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.files))
+	for name := range d.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumPages returns the number of pages in a file.
+func (d *FileDisk) NumPages(name string) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return f.pages, nil
+}
+
+// TotalPages returns the number of pages across all files.
+func (d *FileDisk) TotalPages() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var n int64
+	for _, f := range d.files {
+		n += f.pages
+	}
+	return n
+}
+
+// readPageAt preads one full page into dst; call with d.mu held (shared
+// or exclusive).
+func (d *FileDisk) readPageAt(f *hostFile, page int64, dst []byte) (int, error) {
+	n, err := f.f.ReadAt(dst, page*int64(d.pageSize))
+	if err == io.EOF && n == len(dst) {
+		err = nil
+	}
+	if err != nil {
+		return n, fmt.Errorf("storage: reading %q page %d: %w", f.name, page, err)
+	}
+	return n, nil
+}
+
+// ReadPage reads one page into buf (at least PageSize bytes; shorter
+// buffers read a prefix, as on Disk), returning the bytes copied.
+func (d *FileDisk) ReadPage(name string, page int64, buf []byte) (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if page < 0 || page >= f.pages {
+		return 0, fmt.Errorf("%w: %q page %d of %d", ErrOutOfRange, name, page, f.pages)
+	}
+	d.account(f, page, false)
+	dst := buf
+	if len(dst) > d.pageSize {
+		dst = dst[:d.pageSize]
+	}
+	return d.readPageAt(f, page, dst)
+}
+
+// PinPage reads one page into a freshly allocated buffer and hands it out
+// as a handle with a no-op release. Unlike the simulated disk there are no
+// stable in-memory page bytes to borrow — the host file is overwritten in
+// place — so pinning on the file backend always copies; front the disk
+// with a buffer pool to get true pinned frames.
+func (d *FileDisk) PinPage(name string, page int64) (PageHandle, error) {
+	buf := make([]byte, d.pageSize)
+	if _, err := d.ReadPage(name, page, buf); err != nil {
+		return PageHandle{}, err
+	}
+	return PageHandle{data: buf}, nil
+}
+
+// WritePage overwrites one page in place (pwrite of a full zero-padded
+// page). Writing exactly one page past the end appends. Registered caches
+// drop their copy of the page.
+func (d *FileDisk) WritePage(name string, page int64, data []byte) error {
+	d.mu.Lock()
+	f, ok := d.files[name]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if page < 0 || page > f.pages {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %q page %d of %d", ErrOutOfRange, name, page, f.pages)
+	}
+	if len(data) > d.pageSize {
+		d.mu.Unlock()
+		return fmt.Errorf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize)
+	}
+	p := make([]byte, d.pageSize)
+	copy(p, data)
+	if _, err := f.f.WriteAt(p, page*int64(d.pageSize)); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.account(f, page, true)
+	f.dirty = true
+	var invs []Invalidator
+	if page == f.pages {
+		f.pages++ // append: the page cannot be cached yet
+	} else {
+		invs = d.invs
+	}
+	d.mu.Unlock()
+	notifyPage(invs, name, page)
+	return nil
+}
+
+// AppendPage appends one page, returning its page number.
+func (d *FileDisk) AppendPage(name string, data []byte) (int64, error) {
+	d.mu.Lock()
+	f, ok := d.files[name]
+	if !ok {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if len(data) > d.pageSize {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("storage: write of %d bytes exceeds page size %d", len(data), d.pageSize)
+	}
+	page := f.pages
+	p := make([]byte, d.pageSize)
+	copy(p, data)
+	if _, err := f.f.WriteAt(p, page*int64(d.pageSize)); err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
+	d.account(f, page, true)
+	f.pages++
+	f.dirty = true
+	d.mu.Unlock()
+	return page, nil
+}
+
+// AppendPages appends len(data)/PageSize full pages plus any trailing
+// partial page in one positioned write, returning the first new page
+// number. One head movement plus sequential transfers, exactly as on Disk.
+func (d *FileDisk) AppendPages(name string, data []byte) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	first := f.pages
+	if len(data) == 0 {
+		return first, nil
+	}
+	n := int64((len(data) + d.pageSize - 1) / d.pageSize)
+	padded := make([]byte, n*int64(d.pageSize))
+	copy(padded, data)
+	if _, err := f.f.WriteAt(padded, first*int64(d.pageSize)); err != nil {
+		return 0, err
+	}
+	for i := int64(0); i < n; i++ {
+		d.account(f, first+i, true)
+	}
+	f.pages += n
+	f.dirty = true
+	// No invalidation: appended page numbers cannot be cached.
+	return first, nil
+}
+
+// ReadPages reads up to n consecutive pages starting at page into buf
+// (which must hold n*PageSize bytes), returning how many pages were read
+// (clamped at end of file). One pread; accounted as one head movement plus
+// sequential transfers.
+func (d *FileDisk) ReadPages(name string, page int64, n int, buf []byte) (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if page < 0 || page >= f.pages {
+		return 0, fmt.Errorf("%w: %q page %d of %d", ErrOutOfRange, name, page, f.pages)
+	}
+	if len(buf) < n*d.pageSize {
+		return 0, fmt.Errorf("storage: buffer %d bytes for %d pages of %d", len(buf), n, d.pageSize)
+	}
+	got := n
+	if max := f.pages - page; int64(got) > max {
+		got = int(max)
+	}
+	if got == 0 {
+		return 0, nil
+	}
+	if _, err := f.f.ReadAt(buf[:got*d.pageSize], page*int64(d.pageSize)); err != nil && err != io.EOF {
+		return 0, fmt.Errorf("storage: reading %q pages [%d,%d): %w", name, page, page+int64(got), err)
+	}
+	for i := 0; i < got; i++ {
+		d.account(f, page+int64(i), false)
+	}
+	return got, nil
+}
+
+// Sync fsyncs every file with unflushed writes and then the directory.
+// After Sync returns, all pages written so far survive a crash.
+func (d *FileDisk) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncLocked()
+}
+
+func (d *FileDisk) syncLocked() error {
+	names := make([]string, 0, len(d.files))
+	for name, f := range d.files {
+		if f.dirty {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := d.files[name]
+		if err := f.f.Sync(); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	return d.fs.SyncDir(d.dir)
+}
+
+// Close syncs everything and closes the host files. Idempotent; after
+// Close every other method fails.
+func (d *FileDisk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	err := d.syncLocked()
+	for _, f := range d.files {
+		if cerr := f.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	d.closed = true
+	return err
+}
+
+// WriteTo serializes the store's full contents in the snapshot format
+// (identical to Disk.WriteTo output for identical contents). Snapshot
+// reads bypass the I/O accounting.
+func (d *FileDisk) WriteTo(w io.Writer) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.files))
+	for name := range d.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]snapshotFile, 0, len(names))
+	for _, name := range names {
+		f := d.files[name]
+		files = append(files, snapshotFile{
+			name:  name,
+			pages: f.pages,
+			read: func(page int64, buf []byte) error {
+				_, err := d.readPageAt(f, page, buf[:d.pageSize])
+				return err
+			},
+		})
+	}
+	return writeSnapshot(w, d.pageSize, files)
+}
+
+// SaveFile writes a durable snapshot of the store (see Disk.SaveFile for
+// the crash guarantees) through the store's own filesystem.
+func (d *FileDisk) SaveFile(path string) error { return saveSnapshot(d.fs, path, d) }
+
+// SaveFileFS is SaveFile against an explicit filesystem.
+func (d *FileDisk) SaveFileFS(fsys fsx.FS, path string) error { return saveSnapshot(fsys, path, d) }

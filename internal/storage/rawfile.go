@@ -14,7 +14,7 @@ type RawFile struct {
 	rf     *RecordFile
 	n      int   // series length
 	count  int64 // number of series
-	disk   *Disk
+	disk   Backend
 	reader PageReader // read path; defaults to the disk (uncached)
 	name   string
 	writer *RecordWriter
@@ -23,7 +23,7 @@ type RawFile struct {
 // CreateRawFile creates a raw series file for series of length n and returns
 // it ready for appending. Reads go straight to the disk; route them through
 // a buffer pool with UseReader.
-func CreateRawFile(d *Disk, name string, n int) (*RawFile, error) {
+func CreateRawFile(d Backend, name string, n int) (*RawFile, error) {
 	w, err := NewRecordWriter(d, name, series.Size(n))
 	if err != nil {
 		return nil, err

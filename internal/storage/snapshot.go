@@ -2,15 +2,20 @@ package storage
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+
+	"repro/internal/fsx"
 )
 
-// Snapshot format: the whole simulated disk serialized to a real file, so
-// built indexes survive process restarts and can be shipped around.
+// Snapshot format: the whole page store serialized to a real file, so built
+// indexes survive process restarts and can be shipped around. Both backends
+// write the same format, so a snapshot taken on the file-backed store opens
+// on the simulated disk and vice versa.
 //
 //	magic "CCNUTDSK" | version u32 | pageSize u32 | fileCount u32
 //	per file: nameLen u32 | name | pageCount u64 | pages (pageSize each)
@@ -19,11 +24,17 @@ const (
 	snapshotVersion = 1
 )
 
-// WriteTo serializes the disk's full contents (all files and pages) to w.
-// Serialization does not touch the I/O accounting.
-func (d *Disk) WriteTo(w io.Writer) (int64, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+// snapshotFile is one file's contribution to a snapshot: its name, page
+// count, and a page reader that must not touch the I/O accounting.
+type snapshotFile struct {
+	name  string
+	pages int64
+	read  func(page int64, buf []byte) error
+}
+
+// writeSnapshot serializes files (already sorted by name) in the snapshot
+// format.
+func writeSnapshot(w io.Writer, pageSize int, files []snapshotFile) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
 	write := func(p []byte) error {
@@ -36,38 +47,61 @@ func (d *Disk) WriteTo(w io.Writer) (int64, error) {
 	}
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:], snapshotVersion)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(d.pageSize))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(d.files)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(pageSize))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(files)))
 	if err := write(hdr[:]); err != nil {
 		return n, err
 	}
-	names := make([]string, 0, len(d.files))
-	for name := range d.files {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		f := d.files[name]
+	buf := make([]byte, pageSize)
+	for _, f := range files {
 		var fh [4]byte
-		binary.LittleEndian.PutUint32(fh[:], uint32(len(name)))
+		binary.LittleEndian.PutUint32(fh[:], uint32(len(f.name)))
 		if err := write(fh[:]); err != nil {
 			return n, err
 		}
-		if err := write([]byte(name)); err != nil {
+		if err := write([]byte(f.name)); err != nil {
 			return n, err
 		}
 		var pc [8]byte
-		binary.LittleEndian.PutUint64(pc[:], uint64(len(f.pages)))
+		binary.LittleEndian.PutUint64(pc[:], uint64(f.pages))
 		if err := write(pc[:]); err != nil {
 			return n, err
 		}
-		for _, page := range f.pages {
-			if err := write(page); err != nil {
+		for p := int64(0); p < f.pages; p++ {
+			if err := f.read(p, buf); err != nil {
+				return n, err
+			}
+			if err := write(buf); err != nil {
 				return n, err
 			}
 		}
 	}
 	return n, bw.Flush()
+}
+
+// WriteTo serializes the disk's full contents (all files and pages) to w.
+// Serialization does not touch the I/O accounting.
+func (d *Disk) WriteTo(w io.Writer) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.files))
+	for name := range d.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]snapshotFile, 0, len(names))
+	for _, name := range names {
+		f := d.files[name]
+		files = append(files, snapshotFile{
+			name:  name,
+			pages: int64(len(f.pages)),
+			read: func(page int64, buf []byte) error {
+				copy(buf, f.pages[page])
+				return nil
+			},
+		})
+	}
+	return writeSnapshot(w, d.pageSize, files)
 }
 
 // ReadDisk deserializes a disk snapshot produced by WriteTo. The returned
@@ -128,17 +162,26 @@ func ReadDisk(r io.Reader) (*Disk, error) {
 	return d, nil
 }
 
-// SaveFile writes the disk snapshot to a real file on the host filesystem.
-func (d *Disk) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+// SaveFile writes the disk snapshot durably to the host filesystem: the
+// bytes go to a temp file, are fsynced, renamed over path, and the parent
+// directory is fsynced. A crash mid-save leaves any previous snapshot at
+// path intact; once SaveFile returns, the new snapshot survives a crash —
+// the precondition for checkpointing (WAL truncation must not happen
+// before the snapshot it relies on is durable).
+func (d *Disk) SaveFile(path string) error { return saveSnapshot(fsx.OS, path, d) }
+
+// SaveFileFS is SaveFile against an injectable filesystem (crash tests).
+func (d *Disk) SaveFileFS(fsys fsx.FS, path string) error { return saveSnapshot(fsys, path, d) }
+
+// saveSnapshot durably writes any backend's snapshot via the
+// write-temp → fsync → rename → fsync-dir protocol.
+func saveSnapshot(fsys fsx.FS, path string, b interface {
+	WriteTo(io.Writer) (int64, error)
+}) error {
+	return fsx.WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		_, err := b.WriteTo(w)
 		return err
-	}
-	if _, err := d.WriteTo(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // LoadDiskFile reads a disk snapshot from the host filesystem.
@@ -149,4 +192,17 @@ func LoadDiskFile(path string) (*Disk, error) {
 	}
 	defer f.Close()
 	return ReadDisk(f)
+}
+
+// LoadDiskFileFS is LoadDiskFile against an injectable filesystem.
+func LoadDiskFileFS(fsys fsx.FS, path string) (*Disk, error) {
+	fsys = fsx.OrOS(fsys)
+	if fsys == fsx.OS {
+		return LoadDiskFile(path)
+	}
+	buf, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ReadDisk(bytes.NewReader(buf))
 }

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 )
 
 // DefaultPageSize is the page size used unless configured otherwise.
@@ -216,12 +215,9 @@ type Disk struct {
 	tracer     Tracer
 	invs       []Invalidator
 
-	seqReads, randReads   atomic.Int64
-	seqWrites, randWrites atomic.Int64
-	// head is the packed position after the last access: (fileID+1)<<32 |
-	// page, or 0 when no access has happened yet. Reading and replacing it
-	// is a single atomic swap.
-	head atomic.Uint64
+	// acct holds the atomic counters and the packed head word shared with
+	// the file-backed backend (see accounting.go for the packing).
+	acct ioAccounting
 }
 
 type file struct {
@@ -257,14 +253,7 @@ func (d *Disk) SetTracer(t Tracer) {
 }
 
 // Stats returns a snapshot of the accumulated I/O statistics.
-func (d *Disk) Stats() Stats {
-	return Stats{
-		SeqReads:   d.seqReads.Load(),
-		RandReads:  d.randReads.Load(),
-		SeqWrites:  d.seqWrites.Load(),
-		RandWrites: d.randWrites.Load(),
-	}
-}
+func (d *Disk) Stats() Stats { return d.acct.snapshot() }
 
 // ResetStats zeroes the I/O statistics, including the packed head position
 // that drives the per-file sequential-vs-random classification. Resetting
@@ -272,13 +261,7 @@ func (d *Disk) Stats() Stats {
 // could classify as sequential purely because the previous window happened
 // to park the head on the adjacent page of the same file — the window's
 // accounting would then depend on activity it claims to exclude.
-func (d *Disk) ResetStats() {
-	d.seqReads.Store(0)
-	d.randReads.Store(0)
-	d.seqWrites.Store(0)
-	d.randWrites.Store(0)
-	d.head.Store(0)
-}
+func (d *Disk) ResetStats() { d.acct.reset() }
 
 // AddInvalidator registers a cache invalidation hook; every subsequent
 // page overwrite, Remove, and Rename notifies it (appends never do: a new
@@ -554,27 +537,11 @@ var _ StatsProvider = (*Disk)(nil)
 // account classifies one page access as sequential or random and advances
 // the head. It must be called with d.mu held (shared or exclusive): the
 // head swap and counter increments are atomic, so concurrent readers under
-// the shared lock account without racing. An access is sequential when the
-// head sits on the same file at the previous page (or the same page, a
-// buffered repeat); with several workers interleaving streams the shared
-// head bounces between files and accesses classify as random — the honest
-// cost of concurrent streams on a one-head disk.
+// the shared lock account without racing. With several workers interleaving
+// streams the shared head bounces between files and accesses classify as
+// random — the honest cost of concurrent streams on a one-head disk.
 func (d *Disk) account(f *file, page int64, write bool) {
-	packed := (uint64(f.id)+1)<<32 | uint64(uint32(page))
-	prev := d.head.Swap(packed)
-	prevPage := prev & 0xffffffff
-	sequential := prev != 0 && prev>>32 == uint64(f.id)+1 &&
-		(uint64(uint32(page)) == prevPage+1 || uint64(uint32(page)) == prevPage)
-	switch {
-	case write && sequential:
-		d.seqWrites.Add(1)
-	case write:
-		d.randWrites.Add(1)
-	case sequential:
-		d.seqReads.Add(1)
-	default:
-		d.randReads.Add(1)
-	}
+	d.acct.account(f.id, page, write)
 	if d.tracer != nil {
 		d.tracer.Access(f.name, page, write)
 	}

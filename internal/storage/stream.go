@@ -18,7 +18,7 @@ const DefaultBufferPages = 16
 // Completed pages accumulate in a write-behind chunk flushed with a single
 // multi-page append. Close flushes the final partial page.
 type RecordWriter struct {
-	disk     *Disk
+	disk     Backend
 	name     string
 	recSize  int
 	perPage  int
@@ -32,13 +32,13 @@ type RecordWriter struct {
 
 // NewRecordWriter creates the file (which must not exist) and returns a
 // writer of recSize-byte records with the default write-behind buffer.
-func NewRecordWriter(d *Disk, name string, recSize int) (*RecordWriter, error) {
+func NewRecordWriter(d Backend, name string, recSize int) (*RecordWriter, error) {
 	return NewRecordWriterBuffered(d, name, recSize, DefaultBufferPages)
 }
 
 // NewRecordWriterBuffered is NewRecordWriter with an explicit write-behind
 // buffer of bufPages pages (min 1).
-func NewRecordWriterBuffered(d *Disk, name string, recSize, bufPages int) (*RecordWriter, error) {
+func NewRecordWriterBuffered(d Backend, name string, recSize, bufPages int) (*RecordWriter, error) {
 	perPage := d.PageSize() / recSize
 	if perPage < 1 {
 		return nil, fmt.Errorf("storage: record size %d exceeds page size %d", recSize, d.PageSize())

@@ -29,7 +29,7 @@ type btpPart struct {
 // queries, as TP) while older data consolidates into large contiguous runs
 // (effective pruning and bounded partition counts for large windows, as PP).
 type BTP struct {
-	disk        *storage.Disk
+	disk        storage.Backend
 	reader      storage.PageReader
 	name        string
 	cfg         index.Config
@@ -49,7 +49,7 @@ type BTP struct {
 // NewBTP builds a bounded-temporal-partitioning scheme over sorted runs.
 // mergeFactor is the number of same-class partitions that triggers a merge
 // (default 2, the most aggressive bounding).
-func NewBTP(disk *storage.Disk, name string, cfg index.Config, bufferCap, mergeFactor int, raw series.RawStore) (*BTP, error) {
+func NewBTP(disk storage.Backend, name string, cfg index.Config, bufferCap, mergeFactor int, raw series.RawStore) (*BTP, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

@@ -21,7 +21,7 @@ type PartitionFactory func(name string, entries []record.Entry) (index.Index, er
 // CTreeFactory returns a factory producing bulk-loaded CTree partitions
 // (the paper's CTreeTP / CTreeFullTP). reader serves the partitions' page
 // reads; nil selects the disk itself (uncached).
-func CTreeFactory(disk *storage.Disk, reader storage.PageReader, cfg index.Config, raw series.RawStore) PartitionFactory {
+func CTreeFactory(disk storage.Backend, reader storage.PageReader, cfg index.Config, raw series.RawStore) PartitionFactory {
 	codec := cfg.Codec()
 	return func(name string, entries []record.Entry) (index.Index, error) {
 		sorted := make([]record.Entry, len(entries))
@@ -55,7 +55,7 @@ func CTreeFactory(disk *storage.Disk, reader storage.PageReader, cfg index.Confi
 // ADSFactory returns a factory producing top-down ADS+ partitions (the
 // paper's ADS+TP / ADSFullTP baseline). reader serves the partitions' page
 // reads; nil selects the disk itself (uncached).
-func ADSFactory(disk *storage.Disk, reader storage.PageReader, cfg index.Config, raw series.RawStore) PartitionFactory {
+func ADSFactory(disk storage.Backend, reader storage.PageReader, cfg index.Config, raw series.RawStore) PartitionFactory {
 	return func(name string, entries []record.Entry) (index.Index, error) {
 		t, err := adsplus.New(adsplus.Options{Disk: disk, Reader: reader, Name: name, Config: cfg, Raw: raw})
 		if err != nil {

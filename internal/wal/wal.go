@@ -52,6 +52,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/fsx"
 )
 
 const (
@@ -84,6 +86,9 @@ type Options struct {
 	// SyncInterval fsyncs when this much time has passed since the last
 	// sync, checked on append. 0 disables the timer.
 	SyncInterval time.Duration
+	// FS overrides the host filesystem; nil means the real one. Crash
+	// tests inject fsx.MemFS here.
+	FS fsx.FS
 }
 
 // BatchedOptions returns the standard group-commit policy for dir: sync
@@ -126,10 +131,11 @@ func (s *segment) last() int64 { return s.first + s.count - 1 }
 // cover every append since the previous one (group commit).
 type Log struct {
 	opts Options
+	fs   fsx.FS
 
 	mu       sync.Mutex
 	segs     []*segment // in LSN order; last is active
-	active   *os.File   // open for append
+	active   fsx.File   // open for append
 	unsynced int        // appends since last fsync
 	lastSync time.Time
 	closed   bool
@@ -147,16 +153,17 @@ func Open(opts Options) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = DefaultSegmentBytes
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := fsx.OrOS(opts.FS)
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: creating %s: %w", opts.Dir, err)
 	}
-	l := &Log{opts: opts, lastSync: time.Now()}
-	names, err := listSegments(opts.Dir)
+	l := &Log{opts: opts, fs: fsys, lastSync: time.Now()}
+	names, err := listSegments(fsys, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
 	for i, p := range names {
-		seg, terr := scanSegment(p, i == len(names)-1)
+		seg, terr := scanSegment(fsys, p, i == len(names)-1)
 		if terr != nil {
 			return nil, terr
 		}
@@ -177,7 +184,7 @@ func Open(opts Options) (*Log, error) {
 	// Reopen the last segment for appending, dropping any torn tail so the
 	// next frame lands right after the last whole one.
 	tail := l.segs[len(l.segs)-1]
-	f, err := os.OpenFile(tail.path, os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(tail.path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -194,8 +201,8 @@ func Open(opts Options) (*Log, error) {
 }
 
 // listSegments returns the segment paths in LSN order.
-func listSegments(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys fsx.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -225,12 +232,12 @@ func segFirstLSN(path string) int64 {
 
 // scanSegment walks a segment's frames, returning its metadata. A torn tail
 // is tolerated only when isLast; anywhere else it is corruption.
-func scanSegment(path string, isLast bool) (*segment, error) {
+func scanSegment(fsys fsx.FS, path string, isLast bool) (*segment, error) {
 	first := segFirstLSN(path)
 	if first < 0 {
 		return nil, fmt.Errorf("wal: malformed segment name %q", filepath.Base(path))
 	}
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -283,8 +290,16 @@ func (l *Log) rotateLocked(firstLSN int64) error {
 		l.rotations++
 	}
 	path := filepath.Join(l.opts.Dir, fmt.Sprintf("%s%016x%s", segPrefix, firstLSN, segSuffix))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
+		return err
+	}
+	// Make the segment's dirent durable before anything is appended to it:
+	// a synced, acknowledged batch in a freshly rotated segment must not be
+	// able to vanish with an unsynced directory entry on crash.
+	if err := l.fs.SyncDir(l.opts.Dir); err != nil {
+		f.Close()
+		l.fs.Remove(path)
 		return err
 	}
 	l.active = f
@@ -427,7 +442,7 @@ func (l *Log) Replay(from int64, fn func(lsn int64, payload []byte) error) error
 		if seg.last() < from {
 			continue
 		}
-		data, err := os.ReadFile(seg.path)
+		data, err := l.fs.ReadFile(seg.path)
 		if err != nil {
 			return err
 		}
@@ -490,19 +505,31 @@ func (l *Log) Checkpoint(lsn int64) error {
 
 func (l *Log) truncateLocked(lsn int64) error {
 	kept := l.segs[:0]
+	removed := false
 	for i, seg := range l.segs {
 		if i < len(l.segs)-1 && seg.last() <= lsn {
-			if err := os.Remove(seg.path); err != nil {
+			if err := l.fs.Remove(seg.path); err != nil {
 				// Keep the log consistent: stop at the first failure.
 				l.segs = append(kept, l.segs[i:]...)
+				if removed {
+					l.fs.SyncDir(l.opts.Dir)
+				}
 				return err
 			}
+			removed = true
 			l.truncated++
 			continue
 		}
 		kept = append(kept, seg)
 	}
 	l.segs = kept
+	if removed {
+		// Make the removals durable. Without this a crash can resurrect a
+		// truncated segment; because removal runs oldest-first, resurrected
+		// segments always form a prefix and reopen cleanly, but they would
+		// replay entries the checkpoint already covers.
+		return l.fs.SyncDir(l.opts.Dir)
+	}
 	return nil
 }
 

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/fsx"
 )
 
 func openTest(t *testing.T, dir string, opts Options) *Log {
@@ -155,7 +157,7 @@ func TestTornTailTolerated(t *testing.T) {
 	}
 	// Tear the tail: append a frame header + partial payload, as a crash
 	// mid-write would leave.
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(fsx.OS, dir)
 	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +193,7 @@ func TestCorruptionMidLogFails(t *testing.T) {
 		l.Append(bytes.Repeat([]byte{byte(i)}, 30))
 	}
 	l.Close()
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(fsx.OS, dir)
 	if len(segs) < 3 {
 		t.Fatalf("need multiple segments, got %d", len(segs))
 	}
@@ -285,7 +287,7 @@ func TestOpenRejectsGappedSegments(t *testing.T) {
 		l.Append(bytes.Repeat([]byte{1}, 30))
 	}
 	l.Close()
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(fsx.OS, dir)
 	if len(segs) < 3 {
 		t.Fatalf("need >= 3 segments, got %d", len(segs))
 	}

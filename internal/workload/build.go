@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/adsplus"
@@ -52,7 +53,7 @@ func NormStore(d *series.Dataset) series.RawStore { return normStore{d} }
 // DiskRawStore materializes the z-normalized dataset onto the disk as the
 // raw series file non-materialized indexes fetch from, charging its I/O to
 // the disk like the paper's raw data file.
-func DiskRawStore(d *storage.Disk, ds *series.Dataset, name string) (*storage.RawFile, error) {
+func DiskRawStore(d storage.Backend, ds *series.Dataset, name string) (*storage.RawFile, error) {
 	rf, err := storage.CreateRawFile(d, name, ds.Len)
 	if err != nil {
 		return nil, err
@@ -119,10 +120,26 @@ type BuildOptions struct {
 	// a background pool of that many workers; 0 keeps the synchronous
 	// cascade inside flushes — the paper-faithful accounting.
 	CompactionWorkers int
+	// StorageDir selects the file-backed storage backend: index and raw
+	// pages live as page-aligned files under this host directory instead
+	// of the simulated in-memory disk. Results and Stats are byte-for-byte
+	// identical to the simulated backend; sharded builds give each shard
+	// its own shard-NNN subdirectory. Empty (the default) keeps the
+	// paper-faithful simulated disk.
+	StorageDir string
 
 	// cache, when set, is the shared frame store a sharded build hands each
 	// of its per-shard sub-builds (CacheBytes then sizes nothing here).
 	cache *bufpool.Cache
+}
+
+// newDisk creates the build's storage backend: the simulated disk by
+// default, or a file-backed FileDisk rooted at StorageDir.
+func (o BuildOptions) newDisk() (storage.Backend, error) {
+	if o.StorageDir == "" {
+		return storage.NewDisk(0), nil
+	}
+	return storage.NewFileDisk(storage.FileDiskOptions{Dir: o.StorageDir})
 }
 
 // walFor opens the build's write-ahead log under the configured policy.
@@ -150,7 +167,7 @@ func (o BuildOptions) walFor() (*wal.Log, error) {
 // Built is a constructed index plus its cost accounting.
 type Built struct {
 	Index      index.Index
-	Disk       *storage.Disk
+	Disk       storage.Backend
 	Raw        series.RawStore
 	BuildStats storage.Stats
 	BuildTime  time.Duration
@@ -158,7 +175,7 @@ type Built struct {
 	RawPages   int64 // pages used by the raw series file
 	// ShardDisks holds every shard's disk for sharded builds (Disk then
 	// aliases shard 0, keeping single-disk callers working); nil otherwise.
-	ShardDisks []*storage.Disk
+	ShardDisks []storage.Backend
 	// Pool is the buffer pool fronting Disk when CacheBytes > 0; nil when
 	// uncached. Sharded builds fill ShardPools instead (Pool then aliases
 	// shard 0's pool).
@@ -227,9 +244,12 @@ func (b *Built) WALStats() (wal.Stats, bool) {
 	return b.WAL.Stats(), true
 }
 
-// Close shuts down the build's background machinery: waits out in-flight
-// merges, stops the compaction workers, and syncs and closes the WAL.
-// Builds without either are free to skip it.
+// Close shuts down the build's background machinery — waits out in-flight
+// merges, stops the compaction workers, syncs and closes the WAL — and
+// closes every storage backend behind the build (which, on the file
+// backend, fsyncs and releases the page files; a no-op on the simulated
+// disk). Simulated-disk builds without WAL or compactor are free to skip
+// it.
 func (b *Built) Close() error {
 	var err error
 	if l, ok := b.Index.(*clsm.LSM); ok {
@@ -243,6 +263,15 @@ func (b *Built) Close() error {
 	if b.WAL != nil {
 		if werr := b.WAL.Close(); err == nil {
 			err = werr
+		}
+	}
+	disks := b.ShardDisks
+	if len(disks) == 0 && b.Disk != nil {
+		disks = []storage.Backend{b.Disk}
+	}
+	for _, d := range disks {
+		if derr := d.Close(); err == nil {
+			err = derr
 		}
 	}
 	return err
@@ -330,7 +359,10 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	if opts.Shards > 1 {
 		return buildSharded(variant, ds, cfg, opts)
 	}
-	disk := storage.NewDisk(0)
+	disk, err := opts.newDisk()
+	if err != nil {
+		return nil, err
+	}
 	out := &Built{Disk: disk}
 
 	// Buffer pool: either a slice of the sharded build's shared cache or a
@@ -385,7 +417,6 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	}
 	start := time.Now()
 	var idx index.Index
-	var err error
 	switch variant {
 	case "CTree", "CTreeFull":
 		idx, err = ctree.Build(ctree.Options{
@@ -500,7 +531,11 @@ func buildSharded(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 				return aerr
 			}
 		}
-		b, berr := BuildVariant(variant, sub, cfg, inner)
+		shardOpts := inner
+		if opts.StorageDir != "" {
+			shardOpts.StorageDir = filepath.Join(opts.StorageDir, fmt.Sprintf("shard-%03d", i))
+		}
+		b, berr := BuildVariant(variant, sub, cfg, shardOpts)
 		if berr != nil {
 			return fmt.Errorf("workload: building shard %d: %w", i, berr)
 		}

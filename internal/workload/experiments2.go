@@ -35,12 +35,12 @@ func (m *memRaw) Count() int { return len(m.ss) }
 // StreamSchemes builds the Scenario 2 contenders on fresh disks: the ADS+
 // baselines with PP and TP, the CTree variants, and the recommender's
 // choice CLSM+BTP.
-func StreamSchemes(sc Scale, bufferEntries int) (map[string]stream.Scheme, map[string]*storage.Disk, *memRaw, error) {
+func StreamSchemes(sc Scale, bufferEntries int) (map[string]stream.Scheme, map[string]storage.Backend, *memRaw, error) {
 	sc = sc.defaults()
 	cfg := sc.config()
 	raw := &memRaw{}
 	schemes := map[string]stream.Scheme{}
-	disks := map[string]*storage.Disk{}
+	disks := map[string]storage.Backend{}
 
 	dPP := storage.NewDisk(0)
 	adsPP, err := adsplus.New(adsplus.Options{Disk: dPP, Name: "adspp", Config: cfg, Raw: raw, BufferEntries: bufferEntries})
@@ -231,11 +231,11 @@ func total(m heatmap.Map) int {
 	return n
 }
 
-func buildCTreeOn(disk *storage.Disk, ds *series.Dataset, sc Scale, raw series.RawStore) (index.Index, error) {
+func buildCTreeOn(disk storage.Backend, ds *series.Dataset, sc Scale, raw series.RawStore) (index.Index, error) {
 	return ctree.Build(ctree.Options{Disk: disk, Name: "idx", Config: sc.config(), Raw: raw}, ds, 0)
 }
 
-func buildADSOn(disk *storage.Disk, ds *series.Dataset, sc Scale, raw series.RawStore) (index.Index, error) {
+func buildADSOn(disk storage.Backend, ds *series.Dataset, sc Scale, raw series.RawStore) (index.Index, error) {
 	t, err := adsplus.New(adsplus.Options{Disk: disk, Name: "idx", Config: sc.config(), Raw: raw})
 	if err != nil {
 		return nil, err
@@ -357,6 +357,12 @@ type RunConfig struct {
 	E15Queries  int
 	E15K        int
 	E15Workers  []int
+	E16N        int
+	E16Queries  int
+	E16K        int
+	// E16Dir roots the file-backend experiment's page files; empty uses a
+	// temp directory removed afterwards.
+	E16Dir string
 }
 
 // DefaultRunConfig returns the laptop-scale defaults used by
@@ -400,5 +406,8 @@ func DefaultRunConfig() RunConfig {
 		E15K:       5,
 		// 0 = inline merges (the reference); 2 = background workers.
 		E15Workers: []int{0, 2},
+		E16N:       5000,
+		E16Queries: 16,
+		E16K:       5,
 	}
 }

@@ -3,11 +3,13 @@ package coconut
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/clsm"
 	"repro/internal/compact"
 	"repro/internal/ctree"
+	"repro/internal/fsx"
 	"repro/internal/series"
 	"repro/internal/shard"
 	"repro/internal/storage"
@@ -42,7 +44,7 @@ func (t *Tree) SaveFile(path string) error {
 	if err := rf.Seal(); err != nil {
 		return err
 	}
-	return t.disk.SaveFile(path)
+	return t.disk.SaveFileFS(fsx.OrOS(t.hostFS), path)
 }
 
 // SaveFile persists the LSM — its runs, structure metadata, and the raw
@@ -72,7 +74,12 @@ func (l *LSM) SaveFile(path string) error {
 	if err := rf.Seal(); err != nil {
 		return err
 	}
-	if err := l.disk.SaveFile(path); err != nil {
+	// The snapshot write is atomic-and-durable (temp file, fsync, rename,
+	// parent-dir fsync) before the log is touched; only then may the
+	// checkpoint truncate. Reversing the order — or truncating after a
+	// non-durable write — loses acknowledged inserts if the machine dies
+	// between the truncation reaching disk and the snapshot doing so.
+	if err := l.disk.SaveFileFS(fsx.OrOS(l.hostFS), path); err != nil {
 		return err
 	}
 	if l.wal != nil {
@@ -102,12 +109,12 @@ func OpenLSM(path string, opts ...Options) (*LSM, error) {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	disk, err := storage.LoadDiskFile(path)
+	disk, err := storage.LoadDiskFileFS(fsx.OrOS(o.FS), path)
 	if err != nil {
 		return nil, err
 	}
 	raw := &memStore{}
-	out := &LSM{disk: disk, raw: raw}
+	out := &LSM{disk: disk, raw: raw, hostFS: o.FS}
 
 	// The raw mirror covers exactly the snapshot-resident entries; WAL
 	// replay appends past it.
@@ -152,7 +159,7 @@ func OpenLSM(path string, opts ...Options) (*LSM, error) {
 		out.closeOwned()
 		return nil, err
 	}
-	wopts, err := walOptions(o.WALDir, o.Durability)
+	wopts, err := walOptions(o.WALDir, o.Durability, o.FS)
 	if err != nil {
 		out.closeOwned()
 		return nil, err
@@ -194,7 +201,7 @@ func OpenLSM(path string, opts ...Options) (*LSM, error) {
 }
 
 // loadFacadeRaw reads the snapshot's raw series mirror back into memory.
-func loadFacadeRaw(disk *storage.Disk, raw *memStore, seriesLen int, count int64) error {
+func loadFacadeRaw(disk storage.Backend, raw *memStore, seriesLen int, count int64) error {
 	if !disk.Exists(facadeRawFile) {
 		return fmt.Errorf("coconut: snapshot missing raw store %q", facadeRawFile)
 	}
@@ -254,7 +261,14 @@ func (s *Sharded) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, buf, 0o644)
+	// The manifest commits the shard file set: write it atomically and
+	// durably (temp, fsync, rename, dir fsync) so a crash leaves either
+	// the previous complete snapshot or the new one, never a torn header
+	// over freshly truncated shard logs.
+	return fsx.WriteFileAtomic(fsx.OrOS(s.hostFS), path, func(w io.Writer) error {
+		_, werr := w.Write(buf)
+		return werr
+	})
 }
 
 // OpenSharded reopens a sharded index saved with SaveFile: the manifest

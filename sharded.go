@@ -9,6 +9,7 @@ import (
 	"repro/internal/bufpool"
 	"repro/internal/clsm"
 	"repro/internal/compact"
+	"repro/internal/fsx"
 	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/series"
@@ -33,12 +34,13 @@ import (
 // directly onto N machines. A single shard (ShardCount 1) behaves exactly
 // like the unsharded index plus one ID translation.
 type Sharded struct {
-	sh    *shard.Sharded
-	kind  string // "tree" or "lsm"
-	trees []*Tree
-	lsms  []*LSM
-	cache *bufpool.Cache // shared across every shard's disk; nil uncached
-	cfg   index.Config
+	sh     *shard.Sharded
+	kind   string // "tree" or "lsm"
+	trees  []*Tree
+	lsms   []*LSM
+	cache  *bufpool.Cache // shared across every shard's disk; nil uncached
+	cfg    index.Config
+	hostFS fsx.FS // filesystem for the snapshot manifest; nil means the OS
 
 	insertMu sync.Mutex         // serializes global ID assignment across shards
 	sched    *compact.Scheduler // ONE background-merge pool shared by every shard; nil inline
@@ -55,18 +57,22 @@ const (
 // internal scans serially because the sharded layer owns the fan-out, and
 // caching is owned by the shared cache the sharded facade attaches (one
 // budget for the whole index, not CacheBytes per shard). Likewise the
-// WAL and compaction scheduler are owned at the sharded level (per-shard
-// log directories, one shared worker pool), so the per-shard knobs clear.
+// WAL, storage root, and compaction scheduler are owned at the sharded
+// level (per-shard log and page-file directories, one shared worker
+// pool), so the per-shard knobs clear; callers re-point StorageDir at
+// the shard's own subdirectory via shardDir.
 func innerOptions(opts Options) Options {
 	opts.Parallelism = 1
 	opts.CacheBytes = 0
 	opts.WALDir = ""
+	opts.StorageDir = ""
 	opts.CompactionWorkers = 0
 	return opts
 }
 
-// shardWALDir names shard i's log directory under the sharded WAL root.
-func shardWALDir(root string, i int) string {
+// shardDir names shard i's directory under a sharded root (the same
+// shard-%03d layout for WAL roots and file-backed storage roots).
+func shardDir(root string, i int) string {
 	return filepath.Join(root, fmt.Sprintf("shard-%03d", i))
 }
 
@@ -104,7 +110,11 @@ func BuildShardedTree(data [][]float64, n int, opts Options) (*Sharded, error) {
 		for j, gid := range part[i] {
 			sub[j] = data[gid]
 		}
-		t, berr := buildTreeCache(sub, innerOptions(opts), cache)
+		inner := innerOptions(opts)
+		if opts.StorageDir != "" {
+			inner.StorageDir = shardDir(opts.StorageDir, i)
+		}
+		t, berr := buildTreeCache(sub, inner, cache)
 		if berr != nil {
 			return fmt.Errorf("coconut: building shard %d: %w", i, berr)
 		}
@@ -114,7 +124,12 @@ func BuildShardedTree(data [][]float64, n int, opts Options) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	return assembleShardedTrees(trees, part, cfg, opts.Parallelism, cache)
+	sh, err := assembleShardedTrees(trees, part, cfg, opts.Parallelism, cache)
+	if err != nil {
+		return nil, err
+	}
+	sh.hostFS = opts.FS
+	return sh, nil
 }
 
 func assembleShardedTrees(trees []*Tree, part [][]int64, cfg index.Config, parallelism int, cache *bufpool.Cache) (*Sharded, error) {
@@ -167,10 +182,13 @@ func NewShardedLSM(n int, opts Options) (*Sharded, error) {
 	for i := range lsms {
 		walDir := ""
 		if opts.WALDir != "" {
-			walDir = shardWALDir(opts.WALDir, i)
+			walDir = shardDir(opts.WALDir, i)
 		}
 		inner := innerOptions(opts)
 		inner.Durability = opts.Durability
+		if opts.StorageDir != "" {
+			inner.StorageDir = shardDir(opts.StorageDir, i)
+		}
 		l, lerr := newLSMFull(inner, cache, sched, walDir)
 		if lerr != nil {
 			for _, built := range lsms[:i] {
@@ -219,6 +237,7 @@ func NewShardedLSM(n int, opts Options) (*Sharded, error) {
 		return nil, err
 	}
 	sh.sched = sched
+	sh.hostFS = opts.FS
 	return sh, nil
 }
 

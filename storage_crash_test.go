@@ -1,0 +1,224 @@
+package coconut
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/fsx"
+)
+
+// Checkpoint-ordering crash tests: SaveFile must make the snapshot durable
+// (temp file, fsync, rename, directory fsync) BEFORE truncating the WAL,
+// and a failed save must leave the log untouched. Options.FS injects the
+// crash-simulating MemFS so "power loss" and partial writes are exact.
+
+func memLSMOpts(fs fsx.FS, walDir string) Options {
+	o := lsmOpts(walDir)
+	o.FS = fs
+	return o
+}
+
+// TestCheckpointSurvivesCrash is the ordering fix's happy path: insert,
+// SaveFile (snapshot durable + WAL truncated), insert more, crash. The
+// snapshot plus the log tail must reproduce every acknowledged insert.
+func TestCheckpointSurvivesCrash(t *testing.T) {
+	data := makeData(200, 64, 81)
+	mfs := fsx.NewMemFS()
+	opts := memLSMOpts(mfs, "wal")
+	l, err := NewLSM(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range data[:120] {
+		if err := l.Insert(s, int64(i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.SaveFile("snap"); err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := l.WALStats(); !ok || st.FirstLSN == 0 {
+		t.Fatalf("checkpoint did not truncate the WAL: %+v ok=%v", st, ok)
+	}
+	for i, s := range data[120:] {
+		if err := l.Insert(s, int64((120+i)%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mfs.Crash() // power cut: only fsynced state survives
+	l = nil
+
+	rec, err := OpenLSM("snap", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	ref := referenceLSM(t, data)
+	defer ref.Close()
+	assertSameAnswers(t, "post-crash checkpoint recovery", ref, rec, 810, 8)
+}
+
+// TestFailedSnapshotSaveLeavesWALIntact is the ordering bug's regression
+// test: when the snapshot write dies mid-way (here: the atomic rename
+// fails), SaveFile must return the error WITHOUT truncating the WAL — on
+// the old code path (os.Create, truncate anyway) a crash after this point
+// lost every acknowledged insert.
+func TestFailedSnapshotSaveLeavesWALIntact(t *testing.T) {
+	data := makeData(150, 64, 82)
+	mfs := fsx.NewMemFS()
+	opts := memLSMOpts(mfs, "wal")
+	l, err := NewLSM(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range data {
+		if err := l.Insert(s, int64(i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, ok := l.WALStats()
+	if !ok {
+		t.Fatal("expected a WAL")
+	}
+	mfs.SetFaultHook(func(op, path string) error {
+		if op == "rename" && strings.HasPrefix(path, "snap") {
+			return fsx.ErrInjected
+		}
+		return nil
+	})
+	if err := l.SaveFile("snap"); err == nil {
+		t.Fatal("SaveFile should fail when the snapshot rename fails")
+	}
+	mfs.SetFaultHook(nil)
+	after, _ := l.WALStats()
+	if after.FirstLSN != before.FirstLSN {
+		t.Fatalf("failed save truncated the WAL: FirstLSN %d -> %d", before.FirstLSN, after.FirstLSN)
+	}
+
+	// Crash now: no snapshot landed, so the WAL alone must recover every
+	// acknowledged insert.
+	mfs.Crash()
+	l = nil
+	rec, err := NewLSM(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	ref := referenceLSM(t, data)
+	defer ref.Close()
+	assertSameAnswers(t, "wal-only recovery after failed save", ref, rec, 820, 8)
+}
+
+// TestSnapshotSaveAtomicUnderCrash drives SaveFile into a crash at every
+// mutating filesystem operation: afterwards the snapshot path must hold
+// either nothing or a complete snapshot — never a torn file — and the WAL
+// must still cover whatever the snapshot misses.
+func TestSnapshotSaveAtomicUnderCrash(t *testing.T) {
+	data := makeData(80, 64, 83)
+	for failAt := int64(0); ; failAt++ {
+		mfs := fsx.NewMemFS()
+		opts := memLSMOpts(mfs, "wal")
+		l, err := NewLSM(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range data {
+			if err := l.Insert(s, int64(i%7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := mfs.Ops()
+		mfs.FailAfter(start+failAt, nil)
+		saveErr := l.SaveFile("snap")
+		mfs.SetFaultHook(nil)
+		mfs.Crash()
+		l = nil
+
+		var rec *LSM
+		if _, statErr := mfs.Stat("snap"); statErr == nil {
+			// A snapshot landed: it must be complete and openable.
+			rec, err = OpenLSM("snap", opts)
+			if err != nil {
+				t.Fatalf("failAt=%d: snapshot present but unopenable: %v", failAt, err)
+			}
+		} else {
+			if saveErr == nil {
+				t.Fatalf("failAt=%d: SaveFile succeeded but no durable snapshot exists", failAt)
+			}
+			rec, err = NewLSM(opts)
+			if err != nil {
+				t.Fatalf("failAt=%d: WAL-only recovery failed: %v", failAt, err)
+			}
+		}
+		ref := referenceLSM(t, data)
+		assertSameAnswers(t, "atomic-save recovery", ref, rec, 830, 4)
+		rec.Close()
+		ref.Close()
+		if saveErr == nil {
+			return // the whole save ran fault-free; the matrix is covered
+		}
+	}
+}
+
+// TestShardedManifestAtomicSave pins the sharded-manifest half of the fix:
+// the manifest commits via write-temp -> fsync -> rename -> dir fsync, so
+// a crash during a re-save leaves the previous complete manifest, not a
+// torn JSON header (the old code used a bare os.WriteFile).
+func TestShardedManifestAtomicSave(t *testing.T) {
+	data := makeData(240, 64, 84)
+	mfs := fsx.NewMemFS()
+	opts := memLSMOpts(mfs, "wal")
+	sh, err := NewShardedLSM(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range data[:160] {
+		if err := sh.Insert(s, int64(i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.SaveFile("snap"); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := mfs.ReadFile("snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Format string `json:"format"`
+		Count  int64  `json:"count"`
+	}
+	if err := json.Unmarshal(v1, &m); err != nil || m.Format != "coconut-sharded" {
+		t.Fatalf("first manifest not a complete header: %v (%q)", err, v1)
+	}
+
+	for i, s := range data[160:] {
+		if err := sh.Insert(s, int64((160+i)%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The re-save dies at the manifest rename; shard snapshots (different
+	// paths) go through.
+	mfs.SetFaultHook(func(op, path string) error {
+		if op == "rename" && path == "snap.tmp" {
+			return fsx.ErrInjected
+		}
+		return nil
+	})
+	if err := sh.SaveFile("snap"); err == nil {
+		t.Fatal("SaveFile should surface the manifest rename failure")
+	}
+	mfs.SetFaultHook(nil)
+	mfs.Crash()
+
+	got, err := mfs.ReadFile("snap")
+	if err != nil {
+		t.Fatalf("manifest lost after crashed re-save: %v", err)
+	}
+	if !bytes.Equal(got, v1) {
+		t.Fatalf("manifest torn after crashed re-save:\nwant %q\ngot  %q", v1, got)
+	}
+	sh.Close()
+}

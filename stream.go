@@ -32,7 +32,7 @@ const (
 type Stream struct {
 	scheme stream.Scheme
 	cfg    index.Config
-	disk   *storage.Disk
+	disk   storage.Backend
 	pool   *bufpool.Pool // buffer pool fronting disk; nil when uncached
 	raw    *memStore
 }
@@ -50,7 +50,10 @@ func NewStream(kind SchemeKind, opts Options) (*Stream, error) {
 		buf = 1024
 	}
 	raw := &memStore{}
-	disk := storage.NewDisk(opts.PageSize)
+	disk, err := opts.newBackend("")
+	if err != nil {
+		return nil, err
+	}
 	st := &Stream{cfg: cfg, disk: disk, raw: raw}
 	var reader storage.PageReader
 	if opts.CacheBytes > 0 {
@@ -134,19 +137,23 @@ func (s *Stream) Name() string { return s.scheme.Name() }
 // cache counters included when a buffer pool is configured.
 func (s *Stream) Stats() Stats { return statsWith(s.disk, s.pool) }
 
-// Close seals buffered arrivals into the scheme's on-disk structures and
-// releases the buffer pool's pages. Idempotent; defer it like any other
-// index handle.
+// Close seals buffered arrivals into the scheme's on-disk structures,
+// releases the buffer pool's pages, and closes the storage backend (which,
+// on the file-backed backend, fsyncs and closes the page files).
+// Idempotent; defer it like any other index handle.
 func (s *Stream) Close() error {
 	err := s.scheme.Seal()
 	if s.pool != nil {
 		s.pool.Purge()
 	}
+	if derr := s.disk.Close(); err == nil {
+		err = derr
+	}
 	return err
 }
 
 // newPPBase builds the CLSM index PP wraps.
-func newPPBase(disk *storage.Disk, reader storage.PageReader, cfg index.Config, buf int, raw series.RawStore, par int) (stream.EntryIndex, error) {
+func newPPBase(disk storage.Backend, reader storage.PageReader, cfg index.Config, buf int, raw series.RawStore, par int) (stream.EntryIndex, error) {
 	return clsm.New(clsm.Options{
 		Disk:          disk,
 		Reader:        reader,

@@ -576,3 +576,67 @@ func BenchmarkFileBackendSearch(b *testing.B) {
 		}
 	}
 }
+
+// --- Query-planner benchmark (PR 7's layer): planner off/on, cold/warm plan cache. ---
+
+// BenchmarkPlannedSearch measures exact k-NN latency on a non-materialized
+// CTree under the statistics-driven planner, on the workload where it earns
+// its keep: skewed queries (perturbations of indexed series), so the
+// collector's bound tightens immediately and leaf-range envelopes
+// disqualify most probes before their pages are read. "off" disables the
+// planner (the paper-faithful probe order), "cold" plans every query from
+// scratch, and "warm" reuses cached plans after a warming sweep — planning
+// must add zero allocations over the off path (the gate asserts
+// allocations never grow; the warm planned fill itself is pinned at
+// 0 allocs/op by planner_test.go).
+// Every configuration returns byte-identical results (pinned by
+// planner_equivalence_test.go); io-cost/query shows the savings, which the
+// bench gate tracks alongside time and allocations.
+func BenchmarkPlannedSearch(b *testing.B) {
+	sc := benchScale()
+	ds, _ := gen.Astronomy(gen.AstronomyConfig{N: 10000, Len: sc.SeriesLen, FracEvent: 0.05, Seed: sc.Seed})
+	cfg := index.Config{SeriesLen: sc.SeriesLen, Segments: sc.Segments, Bits: sc.Bits}
+	raw, _ := gen.Queries(ds, 32, 0.02, sc.Seed+17)
+	queries := make([]index.Query, len(raw))
+	for i, q := range raw {
+		queries[i] = index.NewQuery(q, cfg)
+	}
+	run := func(b *testing.B, built *workload.Built) {
+		b.ReportAllocs()
+		before := built.IOStats()
+		skipsBefore := built.Planner.Skips()
+		for i := 0; i < b.N; i++ {
+			if _, err := built.Index.ExactSearch(queries[i%len(queries)], 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+		diff := built.IOStats().Sub(before)
+		b.ReportMetric(diff.Cost(storage.DefaultCostModel)/float64(b.N), "io-cost/query")
+		b.ReportMetric(float64(built.Planner.Skips()-skipsBefore)/float64(b.N), "skips/query")
+	}
+	// MemBudget keeps leaves small: many leaf ranges, the unit the planner
+	// orders and skips.
+	base := workload.BuildOptions{MemBudget: 64 << 10}
+	for _, mode := range []struct {
+		name string
+		opts workload.BuildOptions
+		warm bool
+	}{
+		{"off", workload.BuildOptions{MemBudget: base.MemBudget, DisablePlanner: true}, false},
+		{"cold", base, false},
+		{"warm", workload.BuildOptions{MemBudget: base.MemBudget, PlanCacheSize: 64}, true},
+	} {
+		built, err := workload.BuildVariant("CTree", ds, cfg, mode.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mode.warm {
+			for _, q := range queries {
+				if _, err := built.Index.ExactSearch(q, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(mode.name, func(b *testing.B) { run(b, built) })
+	}
+}

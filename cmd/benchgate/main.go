@@ -1,9 +1,10 @@
 // Command benchgate is the benchmark-regression gate run by CI: it parses
 // two `go test -bench` output files — the PR head and the merge base — and
 // fails (exit 1) when the head regresses more than the allowed time ratio
-// on any benchmark, or allocates more per operation at all. It also writes
-// a machine-readable JSON comparison so the perf trajectory can be tracked
-// as a build artifact.
+// on any benchmark, allocates more per operation at all, or reports a
+// higher io-cost/query than the allowed ratio on benchmarks that track the
+// custom metric. It also writes a machine-readable JSON comparison so the
+// perf trajectory can be tracked as a build artifact.
 //
 // Usage:
 //
@@ -12,16 +13,21 @@
 //	benchgate -base base.txt -head head.txt -max-time-ratio 1.15 -json BENCH_compare.json
 //
 // The CI workflow currently gates BenchmarkParallelSearch, BenchmarkMinDist,
-// BenchmarkVerify, and BenchmarkCachedSearch (the GATE_BENCH list in
-// .github/workflows/ci.yml); the alloc/op rule is what pins the cached
-// search's zero-allocation warm page fetches.
+// BenchmarkVerify, BenchmarkCachedSearch, and BenchmarkPlannedSearch (the
+// GATE_BENCH list in .github/workflows/ci.yml); the alloc/op rule is what
+// pins the cached search's zero-allocation warm page fetches and the warm
+// plan-cache path, and the io-cost/query rule is what pins the planner's
+// I/O savings.
 //
 // Time comparisons use the minimum across -count runs (noise only ever
 // slows a run down), and regressions below -noise-floor-ns are ignored so
 // sub-microsecond benchmarks cannot flake the gate. Allocation counts are
-// deterministic, so any increase fails. Benchmarks present on only one
-// side are reported but never fail the gate (new benchmarks must be
-// landable; deleted ones are the diff's business, not the gate's).
+// deterministic, so any increase fails. The io-cost/query metric is
+// deterministic too, but its per-op average amortizes one-time cold costs
+// over b.N, so a small -max-io-ratio slack absorbs iteration-count skew.
+// Benchmarks present on only one side are reported but never fail the gate
+// (new benchmarks must be landable; deleted ones are the diff's business,
+// not the gate's).
 package main
 
 import (
@@ -35,14 +41,19 @@ import (
 // Comparison is one benchmark's base-vs-head verdict, serialized into the
 // JSON artifact.
 type Comparison struct {
-	Name        string   `json:"name"`
-	BaseNs      float64  `json:"base_ns_per_op"`
-	HeadNs      float64  `json:"head_ns_per_op"`
-	TimeRatio   float64  `json:"time_ratio"`
-	BaseAllocs  float64  `json:"base_allocs_per_op"`
-	HeadAllocs  float64  `json:"head_allocs_per_op"`
-	BaseBytes   float64  `json:"base_bytes_per_op"`
-	HeadBytes   float64  `json:"head_bytes_per_op"`
+	Name       string  `json:"name"`
+	BaseNs     float64 `json:"base_ns_per_op"`
+	HeadNs     float64 `json:"head_ns_per_op"`
+	TimeRatio  float64 `json:"time_ratio"`
+	BaseAllocs float64 `json:"base_allocs_per_op"`
+	HeadAllocs float64 `json:"head_allocs_per_op"`
+	BaseBytes  float64 `json:"base_bytes_per_op"`
+	HeadBytes  float64 `json:"head_bytes_per_op"`
+	// BaseIOCost / HeadIOCost are -1 when the benchmark does not report
+	// the io-cost/query metric; IORatio is 0 in that case.
+	BaseIOCost  float64  `json:"base_io_cost_per_query"`
+	HeadIOCost  float64  `json:"head_io_cost_per_query"`
+	IORatio     float64  `json:"io_ratio"`
 	Regressions []string `json:"regressions,omitempty"`
 }
 
@@ -50,6 +61,7 @@ type Comparison struct {
 // configuration and verdict.
 type Report struct {
 	MaxTimeRatio float64      `json:"max_time_ratio"`
+	MaxIORatio   float64      `json:"max_io_ratio"`
 	NoiseFloorNs float64      `json:"noise_floor_ns"`
 	Compared     []Comparison `json:"compared"`
 	HeadOnly     []string     `json:"head_only,omitempty"`
@@ -62,6 +74,7 @@ func main() {
 		basePath   = flag.String("base", "", "bench output of the merge base (required)")
 		headPath   = flag.String("head", "", "bench output of the PR head (required)")
 		maxRatio   = flag.Float64("max-time-ratio", 1.15, "fail when head time exceeds base time by this ratio")
+		maxIORatio = flag.Float64("max-io-ratio", 1.02, "fail when head io-cost/query exceeds base by this ratio (on benchmarks reporting the metric)")
 		noiseFloor = flag.Float64("noise-floor-ns", 200, "ignore time regressions where both sides are below this many ns/op")
 		jsonPath   = flag.String("json", "", "write the machine-readable comparison to this file")
 	)
@@ -70,7 +83,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
 		os.Exit(2)
 	}
-	report, err := gate(*basePath, *headPath, *maxRatio, *noiseFloor)
+	report, err := gate(*basePath, *headPath, *maxRatio, *maxIORatio, *noiseFloor)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
@@ -80,8 +93,12 @@ func main() {
 		if len(c.Regressions) > 0 {
 			status = "REGRESSION"
 		}
-		fmt.Printf("%-60s %12.0f -> %12.0f ns/op (%.2fx)  %5.0f -> %5.0f allocs/op  [%s]\n",
-			c.Name, c.BaseNs, c.HeadNs, c.TimeRatio, c.BaseAllocs, c.HeadAllocs, status)
+		io := ""
+		if c.BaseIOCost >= 0 && c.HeadIOCost >= 0 {
+			io = fmt.Sprintf("  %.0f -> %.0f io-cost/query", c.BaseIOCost, c.HeadIOCost)
+		}
+		fmt.Printf("%-60s %12.0f -> %12.0f ns/op (%.2fx)  %5.0f -> %5.0f allocs/op%s  [%s]\n",
+			c.Name, c.BaseNs, c.HeadNs, c.TimeRatio, c.BaseAllocs, c.HeadAllocs, io, status)
 		for _, r := range c.Regressions {
 			fmt.Printf("    %s\n", r)
 		}
@@ -111,7 +128,7 @@ func main() {
 }
 
 // gate loads both files and compares every benchmark present in both.
-func gate(basePath, headPath string, maxRatio, noiseFloor float64) (*Report, error) {
+func gate(basePath, headPath string, maxRatio, maxIORatio, noiseFloor float64) (*Report, error) {
 	base, err := loadBench(basePath)
 	if err != nil {
 		return nil, err
@@ -120,7 +137,7 @@ func gate(basePath, headPath string, maxRatio, noiseFloor float64) (*Report, err
 	if err != nil {
 		return nil, err
 	}
-	report := &Report{MaxTimeRatio: maxRatio, NoiseFloorNs: noiseFloor}
+	report := &Report{MaxTimeRatio: maxRatio, MaxIORatio: maxIORatio, NoiseFloorNs: noiseFloor}
 	for _, name := range sortedNames(base, head) {
 		b, h := base[name], head[name]
 		c := Comparison{
@@ -128,6 +145,7 @@ func gate(basePath, headPath string, maxRatio, noiseFloor float64) (*Report, err
 			BaseNs: b.MinNs(), HeadNs: h.MinNs(),
 			BaseAllocs: b.AllocsPerOp, HeadAllocs: h.AllocsPerOp,
 			BaseBytes: b.BytesPerOp, HeadBytes: h.BytesPerOp,
+			BaseIOCost: b.IOCostPerQuery, HeadIOCost: h.IOCostPerQuery,
 		}
 		if c.BaseNs > 0 {
 			c.TimeRatio = c.HeadNs / c.BaseNs
@@ -141,6 +159,17 @@ func gate(basePath, headPath string, maxRatio, noiseFloor float64) (*Report, err
 		if c.BaseAllocs >= 0 && c.HeadAllocs > c.BaseAllocs {
 			c.Regressions = append(c.Regressions,
 				fmt.Sprintf("allocs/op regressed %.0f -> %.0f", c.BaseAllocs, c.HeadAllocs))
+		}
+		// io-cost/query is gated only when both sides report it: the
+		// simulated-disk accounting is deterministic, with a small ratio
+		// slack absorbing b.N amortization skew between runs.
+		if c.BaseIOCost > 0 && c.HeadIOCost >= 0 {
+			c.IORatio = c.HeadIOCost / c.BaseIOCost
+			if c.IORatio > maxIORatio {
+				c.Regressions = append(c.Regressions,
+					fmt.Sprintf("io-cost/query regressed %.2fx (limit %.2fx): %.0f -> %.0f",
+						c.IORatio, maxIORatio, c.BaseIOCost, c.HeadIOCost))
+			}
 		}
 		if len(c.Regressions) > 0 {
 			report.Failed = true

@@ -52,7 +52,7 @@ func TestParseBench(t *testing.T) {
 
 func TestGatePassesOnEqualAndFaster(t *testing.T) {
 	head := strings.ReplaceAll(baseBench, "5400000", "4300000") // faster is fine
-	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 200)
+	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 1.02, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestGatePassesOnEqualAndFaster(t *testing.T) {
 func TestGateTripsOnTimeRegression(t *testing.T) {
 	head := strings.ReplaceAll(baseBench, "   5400000 ns/op", "  27000000 ns/op")
 	head = strings.ReplaceAll(head, "   5500000 ns/op", "  27500000 ns/op")
-	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 200)
+	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 1.02, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestGateTripsOnTimeRegression(t *testing.T) {
 func TestGateTripsOnAllocRegression(t *testing.T) {
 	// Times unchanged; one benchmark grows a single allocation.
 	head := strings.ReplaceAll(baseBench, "       0 allocs/op", "       1 allocs/op")
-	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 200)
+	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 1.02, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestGateIgnoresNoiseFloor(t *testing.T) {
 	// A 219ns benchmark jumping 30% stays under the 400ns floor: not gated.
 	head := strings.ReplaceAll(baseBench, "       219 ns/op", "       290 ns/op")
 	head = strings.ReplaceAll(head, "       225 ns/op", "       292 ns/op")
-	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 400)
+	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", head), 1.15, 1.02, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestGateToleratesMissingBenchmarks(t *testing.T) {
 	// the base has one the head dropped: reported, never gated.
 	head := baseBench + "BenchmarkNewThing-8    100    999999 ns/op    10 B/op    1 allocs/op\n"
 	base := baseBench + "BenchmarkOldThing-8    100    999999 ns/op    10 B/op    1 allocs/op\n"
-	report, err := gate(writeTemp(t, "base.txt", base), writeTemp(t, "head.txt", head), 1.15, 200)
+	report, err := gate(writeTemp(t, "base.txt", base), writeTemp(t, "head.txt", head), 1.15, 1.02, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestGateToleratesMissingBenchmarks(t *testing.T) {
 }
 
 func TestReportJSONRoundTrips(t *testing.T) {
-	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", baseBench), 1.15, 200)
+	report, err := gate(writeTemp(t, "base.txt", baseBench), writeTemp(t, "head.txt", baseBench), 1.15, 1.02, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,5 +150,71 @@ func TestReportJSONRoundTrips(t *testing.T) {
 	}
 	if back.Failed || len(back.Compared) != len(report.Compared) {
 		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+}
+
+const ioBench = `
+BenchmarkPlannedSearch/cold-8    100    2100000 ns/op    9000 io-cost/query    120 B/op    3 allocs/op
+BenchmarkPlannedSearch/warm-8    200    1100000 ns/op    9000 io-cost/query      0 B/op    0 allocs/op
+PASS
+`
+
+func TestParseIOCostMetric(t *testing.T) {
+	ms, err := ParseBench(strings.NewReader(ioBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ms["BenchmarkPlannedSearch/cold"]
+	if m == nil || m.IOCostPerQuery != 9000 {
+		t.Fatalf("cold io-cost = %+v, want 9000", m)
+	}
+	if got := ms["BenchmarkMinDist/table"]; got != nil {
+		t.Fatalf("unexpected benchmark %+v", got)
+	}
+	// Benchmarks without the metric keep the -1 sentinel.
+	base, _ := ParseBench(strings.NewReader(baseBench))
+	if got := base["BenchmarkMinDist/table"].IOCostPerQuery; got != -1 {
+		t.Fatalf("metric-less benchmark io-cost = %v, want -1", got)
+	}
+}
+
+func TestGateTripsOnIOCostRegression(t *testing.T) {
+	head := strings.ReplaceAll(ioBench, "9000 io-cost/query", "9500 io-cost/query")
+	report, err := gate(writeTemp(t, "base.txt", ioBench), writeTemp(t, "head.txt", head), 1.15, 1.02, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Failed {
+		t.Fatal("gate passed a 5% io-cost/query regression")
+	}
+	var hit bool
+	for _, c := range report.Compared {
+		if len(c.Regressions) > 0 {
+			hit = true
+			if c.IORatio < 1.05 || c.IORatio > 1.06 {
+				t.Fatalf("io ratio %v, want ~1.056", c.IORatio)
+			}
+		}
+	}
+	if !hit {
+		t.Fatalf("regression not attributed: %+v", report.Compared)
+	}
+	// Inside the ratio slack (1% < 2%): not gated.
+	head = strings.ReplaceAll(ioBench, "9000 io-cost/query", "9080 io-cost/query")
+	report, err = gate(writeTemp(t, "base.txt", ioBench), writeTemp(t, "head.txt", head), 1.15, 1.02, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed {
+		t.Fatalf("gate failed inside the io-ratio slack: %+v", report.Compared)
+	}
+	// A lower io-cost (the planner doing its job) passes.
+	head = strings.ReplaceAll(ioBench, "9000 io-cost/query", "4000 io-cost/query")
+	report, err = gate(writeTemp(t, "base.txt", ioBench), writeTemp(t, "head.txt", head), 1.15, 1.02, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed {
+		t.Fatalf("gate failed on an io-cost improvement: %+v", report.Compared)
 	}
 }

@@ -20,6 +20,11 @@ type Measurement struct {
 	// keeps the minimum across runs.
 	AllocsPerOp float64
 	BytesPerOp  float64
+	// IOCostPerQuery is -1 until a run reports the custom io-cost/query
+	// metric (b.ReportMetric in the search benchmarks). Simulated-disk
+	// accounting is deterministic, but the per-op average amortizes one-time
+	// cold costs over b.N, so the gate keeps the minimum across runs.
+	IOCostPerQuery float64
 }
 
 // MinNs returns the fastest run — the standard noise-robust summary for
@@ -58,7 +63,7 @@ func ParseBench(r io.Reader) (map[string]*Measurement, error) {
 		name := normalizeName(fields[0])
 		m := out[name]
 		if m == nil {
-			m = &Measurement{Name: name, AllocsPerOp: -1, BytesPerOp: -1}
+			m = &Measurement{Name: name, AllocsPerOp: -1, BytesPerOp: -1, IOCostPerQuery: -1}
 			out[name] = m
 		}
 		for i := 2; i+1 < len(fields); i += 2 {
@@ -76,6 +81,10 @@ func ParseBench(r io.Reader) (map[string]*Measurement, error) {
 			case "B/op":
 				if m.BytesPerOp < 0 || val < m.BytesPerOp {
 					m.BytesPerOp = val
+				}
+			case "io-cost/query":
+				if m.IOCostPerQuery < 0 || val < m.IOCostPerQuery {
+					m.IOCostPerQuery = val
 				}
 			}
 		}

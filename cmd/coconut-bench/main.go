@@ -18,14 +18,22 @@ import (
 	"repro/internal/workload"
 )
 
+// knownExperiments lists every experiment id -exp accepts, in run order.
+var knownExperiments = []string{
+	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+	"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17",
+}
+
 func main() {
 	var (
-		expFlag = flag.String("exp", "all", "comma-separated experiment ids (E1..E16) or 'all'")
-		quick   = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
-		shards  = flag.String("shards", "", "comma-separated shard counts for the E13 sharding experiment (default 1,2,4,8)")
-		cache   = flag.String("cache", "", "comma-separated cache sizes in KB for the E14 buffer-pool experiment, 0 = uncached (default 0,256,4096,65536)")
-		workers = flag.String("compact-workers", "", "comma-separated background-merge worker counts for the E15 ingest experiment, 0 = inline (default 0,2)")
-		storage = flag.String("storage", "", "directory for the E16 storage-backend experiment's page files (default: a temp directory, removed afterwards)")
+		expFlag   = flag.String("exp", "all", "comma-separated experiment ids or 'all'; known: "+strings.Join(knownExperiments, ","))
+		quick     = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+		shards    = flag.String("shards", "", "comma-separated shard counts for the E13 sharding experiment (default 1,2,4,8)")
+		cache     = flag.String("cache", "", "comma-separated cache sizes in KB for the E14 buffer-pool experiment, 0 = uncached (default 0,256,4096,65536)")
+		workers   = flag.String("compact-workers", "", "comma-separated background-merge worker counts for the E15 ingest experiment, 0 = inline (default 0,2)")
+		storage   = flag.String("storage", "", "directory for the E16 storage-backend experiment's page files (default: a temp directory, removed afterwards)")
+		planCache = flag.Int("plan-cache", -1, "plan-cache entries per experiment index build, 0 = no cache; also sizes the E17 planner experiment's cached rows when > 0 (default: 0 for E1-E16 builds, 64 for E17)")
+		noPlanner = flag.Bool("no-planner", false, "disable statistics-driven probe ordering and skipping in every experiment build (E17, which A/B-tests the planner, is then skipped)")
 	)
 	flag.Parse()
 
@@ -45,6 +53,8 @@ func main() {
 		cfg.E14CacheKB = []int{0, 64, 4096}
 		cfg.E15N, cfg.E15Queries = 2000, 4
 		cfg.E16N, cfg.E16Queries = 2000, 4
+		cfg.E17N, cfg.E17Queries = 2000, 8
+		cfg.E17Repeats, cfg.E17PlanCache = 3, 16
 	}
 	cfg.E16Dir = *storage
 	if *shards != "" {
@@ -86,14 +96,46 @@ func main() {
 		cfg.E15Workers = counts
 	}
 
+	if *planCache != -1 {
+		if *planCache < 0 {
+			fmt.Fprintf(os.Stderr, "coconut-bench: -plan-cache must be >= 0 entries (0 = no cache), got %d\n", *planCache)
+			os.Exit(2)
+		}
+		workload.PlannerDefaults(*noPlanner, *planCache)
+		if *planCache > 0 {
+			cfg.E17PlanCache = *planCache
+		}
+	} else if *noPlanner {
+		workload.PlannerDefaults(true, 0)
+	}
+
+	known := map[string]bool{}
+	for _, id := range knownExperiments {
+		known[id] = true
+	}
 	want := map[string]bool{}
 	if *expFlag == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
+		for _, id := range knownExperiments {
 			want[id] = true
+		}
+		if *noPlanner {
+			// E17 A/B-tests the planner; with planning globally off its
+			// planner-on arm would silently measure nothing.
+			delete(want, "E17")
+			fmt.Fprintln(os.Stderr, "coconut-bench: -no-planner set; skipping E17 (it A/B-tests the planner)")
 		}
 	} else {
 		for _, id := range strings.Split(*expFlag, ",") {
-			want[strings.ToUpper(strings.TrimSpace(id))] = true
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "coconut-bench: unknown experiment %q (known: %s)\n", id, strings.Join(knownExperiments, ", "))
+				os.Exit(2)
+			}
+			want[id] = true
+		}
+		if *noPlanner && want["E17"] {
+			fmt.Fprintln(os.Stderr, "coconut-bench: -no-planner conflicts with -exp E17 (the experiment A/B-tests the planner)")
+			os.Exit(2)
 		}
 	}
 
@@ -219,6 +261,13 @@ func run(cfg workload.RunConfig, want map[string]bool) error {
 	}
 	if want["E16"] {
 		t, err := workload.E16Backend(sc, cfg.E16N, cfg.E16Queries, cfg.E16K, cfg.E16Dir)
+		if err != nil {
+			return err
+		}
+		emit(t)
+	}
+	if want["E17"] {
+		t, err := workload.E17Planner(sc, cfg.E17N, cfg.E17Queries, cfg.E17K, cfg.E17Repeats, cfg.E17PlanCache)
 		if err != nil {
 			return err
 		}

@@ -138,6 +138,22 @@ type Options struct {
 	// means the real filesystem; crash and fault-injection tests inject
 	// fsx.MemFS here.
 	FS fsx.FS
+	// PlanCacheSize bounds the query-plan cache: an LRU of filled pruning
+	// tables keyed by the query's quantized PAA signature and the index
+	// configuration, so repeated query shapes skip the per-query table
+	// build. 0 (the default) disables the cache. Sharded indexes share one
+	// cache across all shards, like the buffer pool; batch searches share
+	// it across worker slots. Results are byte-identical at every size —
+	// a hit requires exact PAA equality, the signature only buckets.
+	PlanCacheSize int
+	// DisablePlanner turns off statistics-driven probe planning: with the
+	// planner on (the default), searches order LSM-run, stream-partition,
+	// tree-leaf-range, and shard probes by a per-unit synopsis envelope
+	// lower bound and skip units that provably cannot improve the current
+	// answer. Answers are byte-identical either way; only I/O cost
+	// changes. The escape hatch exists for A/B measurement (experiment
+	// E17) and as a safety valve.
+	DisablePlanner bool
 	// CompactionWorkers (LSM only) moves level merges off the insert path:
 	// n > 0 runs merges as background jobs on a pool of n workers while
 	// inserts and searches keep running against the pre-merge structure
@@ -191,6 +207,13 @@ func (o Options) newBackend(sub string) (storage.Backend, error) {
 	return storage.NewFileDisk(storage.FileDiskOptions{Dir: dir, PageSize: o.PageSize, FS: o.FS})
 }
 
+// newPlanner builds the facade's query planner from the planning knobs.
+// Every facade handle owns exactly one (shared across shards and batch
+// slots), so skip and cache counters aggregate per index.
+func (o Options) newPlanner() *index.Planner {
+	return &index.Planner{Disabled: o.DisablePlanner, Cache: index.NewPlanCache(o.PlanCacheSize)}
+}
+
 func (o Options) config() (index.Config, error) {
 	cfg := index.Config{
 		SeriesLen:    o.SeriesLen,
@@ -225,6 +248,14 @@ type Stats struct {
 	CacheHits             int64
 	CacheMisses           int64
 	Pages                 int64 // total pages on the index's disk
+	// PlannedSkips counts probe units (runs, partitions, leaf ranges,
+	// shards) the query planner skipped because their synopsis envelope
+	// bound proved they could not improve the answer. PlanCacheHits and
+	// PlanCacheMisses count plan-cache lookups (both zero when
+	// Options.PlanCacheSize is 0).
+	PlannedSkips    int64
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 }
 
 // Cost prices the accesses with random I/O costing ratio times a
@@ -311,6 +342,14 @@ func statsWith(d storage.Backend, pool *bufpool.Pool) Stats {
 	return toStats(d.Stats(), d.TotalPages())
 }
 
+// withPlanner folds a planner's skip and plan-cache counters into the
+// stats; a nil planner contributes zeros.
+func (s Stats) withPlanner(pl *index.Planner) Stats {
+	s.PlannedSkips = pl.Skips()
+	s.PlanCacheHits, s.PlanCacheMisses = pl.CacheStats()
+	return s
+}
+
 // toStats is the one storage.Stats → facade Stats conversion; every stats
 // surface funnels through it so new counters cannot silently diverge
 // between the aggregate, per-shard, and single-disk views.
@@ -325,19 +364,20 @@ func toStats(st storage.Stats, pages int64) Stats {
 
 // Tree is a CoconutTree index.
 type Tree struct {
-	tree   *ctree.Tree
-	cfg    index.Config
-	disk   storage.Backend
-	pool   *bufpool.Pool // buffer pool fronting disk; nil when uncached
-	raw    *memStore
-	hostFS fsx.FS // filesystem for snapshot saves; nil means the real one
+	tree    *ctree.Tree
+	cfg     index.Config
+	disk    storage.Backend
+	pool    *bufpool.Pool // buffer pool fronting disk; nil when uncached
+	planner *index.Planner
+	raw     *memStore
+	hostFS  fsx.FS // filesystem for snapshot saves; nil means the real one
 }
 
 // BuildTree bulk-loads a CoconutTree over the given series (IDs are their
 // positions). Construction summarizes, external-sorts, and packs leaves
 // contiguously — sequential I/O end to end.
 func BuildTree(data [][]float64, opts Options) (*Tree, error) {
-	return buildTreeCache(data, opts, nil)
+	return buildTreeCache(data, opts, nil, nil)
 }
 
 // attachPool wires a disk into the caching layer (bufpool.AttachOrNew):
@@ -353,10 +393,10 @@ func attachPool(disk storage.Backend, opts Options, cache *bufpool.Cache) (*bufp
 	return pool, pool, nil
 }
 
-// buildTreeCache is BuildTree with an optional shared cache (the sharded
-// facade passes one so every shard's disk draws frames from a single
-// budget).
-func buildTreeCache(data [][]float64, opts Options, cache *bufpool.Cache) (*Tree, error) {
+// buildTreeCache is BuildTree with an optional shared cache and planner
+// (the sharded facade passes both so every shard's disk draws frames from a
+// single budget and every shard's searches share one plan cache).
+func buildTreeCache(data [][]float64, opts Options, cache *bufpool.Cache, pl *index.Planner) (*Tree, error) {
 	cfg, err := opts.config()
 	if err != nil {
 		return nil, err
@@ -377,6 +417,9 @@ func buildTreeCache(data [][]float64, opts Options, cache *bufpool.Cache) (*Tree
 	if err != nil {
 		return nil, err
 	}
+	if pl == nil {
+		pl = opts.newPlanner()
+	}
 	tr, err := ctree.Build(ctree.Options{
 		Disk:        disk,
 		Reader:      reader,
@@ -386,11 +429,12 @@ func buildTreeCache(data [][]float64, opts Options, cache *bufpool.Cache) (*Tree
 		MemBudget:   opts.MemBudget,
 		Raw:         raw,
 		Parallelism: opts.Parallelism,
+		Planner:     pl,
 	}, ds, 0)
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{tree: tr, cfg: cfg, disk: disk, pool: pool, raw: raw, hostFS: opts.FS}, nil
+	return &Tree{tree: tr, cfg: cfg, disk: disk, pool: pool, planner: pl, raw: raw, hostFS: opts.FS}, nil
 }
 
 // Count returns the number of indexed series.
@@ -432,8 +476,9 @@ func (t *Tree) SearchRange(q []float64, eps float64) ([]Match, error) {
 func (t *Tree) SetParallelism(n int) { t.tree.SetParallelism(n) }
 
 // Stats returns the I/O accounting of the tree's disk since creation,
-// cache counters included when a buffer pool is configured.
-func (t *Tree) Stats() Stats { return statsWith(t.disk, t.pool) }
+// cache counters included when a buffer pool is configured, plus the query
+// planner's skip and plan-cache counters.
+func (t *Tree) Stats() Stats { return statsWith(t.disk, t.pool).withPlanner(t.planner) }
 
 // EnableCache installs a buffer pool of cacheBytes between the tree and
 // its disk (useful after OpenTree, which reopens uncached). A no-op if a
@@ -464,12 +509,13 @@ func (t *Tree) Close() error {
 // of goroutines. Defer Close to stop the background machinery and sync the
 // log.
 type LSM struct {
-	lsm    *clsm.LSM
-	cfg    index.Config
-	disk   storage.Backend
-	pool   *bufpool.Pool // buffer pool fronting disk; nil when uncached
-	raw    *memStore
-	hostFS fsx.FS // filesystem for snapshot saves; nil means the real one
+	lsm     *clsm.LSM
+	cfg     index.Config
+	disk    storage.Backend
+	pool    *bufpool.Pool // buffer pool fronting disk; nil when uncached
+	planner *index.Planner
+	raw     *memStore
+	hostFS  fsx.FS // filesystem for snapshot saves; nil means the real one
 
 	insertMu  sync.Mutex         // keeps the raw mirror and ID assignment in step
 	wal       *wal.Log           // nil when WALDir unset
@@ -483,18 +529,19 @@ type LSM struct {
 // aftermath of a crash — the log replays first, so the returned index
 // contains every previously acknowledged insert.
 func NewLSM(opts Options) (*LSM, error) {
-	return newLSMFull(opts, nil, nil, opts.WALDir)
+	return newLSMFull(opts, nil, nil, nil, opts.WALDir)
 }
 
 // newLSMCache is NewLSM with an optional shared cache (sharded facade).
 func newLSMCache(opts Options, cache *bufpool.Cache) (*LSM, error) {
-	return newLSMFull(opts, cache, nil, opts.WALDir)
+	return newLSMFull(opts, cache, nil, nil, opts.WALDir)
 }
 
 // newLSMFull is the full constructor: shared cache, shared compaction
-// scheduler, and an explicit WAL directory (the sharded facade passes a
-// per-shard subdirectory and one scheduler for all shards).
-func newLSMFull(opts Options, cache *bufpool.Cache, sched *compact.Scheduler, walDir string) (*LSM, error) {
+// scheduler, shared query planner, and an explicit WAL directory (the
+// sharded facade passes a per-shard subdirectory and one scheduler and
+// planner for all shards).
+func newLSMFull(opts Options, cache *bufpool.Cache, sched *compact.Scheduler, pl *index.Planner, walDir string) (*LSM, error) {
 	cfg, err := opts.config()
 	if err != nil {
 		return nil, err
@@ -508,7 +555,10 @@ func newLSMFull(opts Options, cache *bufpool.Cache, sched *compact.Scheduler, wa
 	if err != nil {
 		return nil, err
 	}
-	out := &LSM{cfg: cfg, disk: disk, pool: pool, raw: raw, hostFS: opts.FS}
+	if pl == nil {
+		pl = opts.newPlanner()
+	}
+	out := &LSM{cfg: cfg, disk: disk, pool: pool, planner: pl, raw: raw, hostFS: opts.FS}
 	if sched != nil {
 		out.sched = sched
 	} else if opts.CompactionWorkers > 0 {
@@ -525,6 +575,7 @@ func newLSMFull(opts Options, cache *bufpool.Cache, sched *compact.Scheduler, wa
 		Raw:           raw,
 		Parallelism:   opts.Parallelism,
 		Scheduler:     out.sched,
+		Planner:       pl,
 	}
 	if walDir != "" {
 		wopts, werr := walOptions(walDir, opts.Durability, opts.FS)
@@ -647,9 +698,10 @@ func (l *LSM) SearchRange(q []float64, eps float64) ([]Match, error) {
 // only while no search is in flight.
 func (l *LSM) SetParallelism(n int) { l.lsm.SetParallelism(n) }
 
-// Stats returns the I/O accounting of the LSM's disk since creation,
-// cache counters included when a buffer pool is configured.
-func (l *LSM) Stats() Stats { return statsWith(l.disk, l.pool) }
+// Stats returns the I/O accounting of the LSM's disk since creation, cache
+// counters included when a buffer pool is configured, plus the query
+// planner's skip and plan-cache counters.
+func (l *LSM) Stats() Stats { return statsWith(l.disk, l.pool).withPlanner(l.planner) }
 
 // EnableCache installs a buffer pool of cacheBytes between the LSM and its
 // disk (useful after OpenLSM, which reopens uncached). A no-op if a pool

@@ -50,6 +50,7 @@ import (
 	"repro/internal/series"
 	"repro/internal/storage"
 	"repro/internal/wal"
+	"repro/internal/zonestat"
 )
 
 // Options configures a CLSM index.
@@ -99,6 +100,10 @@ type Options struct {
 	// The scheduler is owned by the caller and may be shared across many
 	// indexes (one background-work budget for a whole sharded deployment).
 	Scheduler *compact.Scheduler
+	// Planner carries the query planner's switches, plan cache, and skip
+	// counter. nil plans with defaults (ordering and skipping on, no cache);
+	// it may be shared across many indexes, like the Scheduler.
+	Planner *index.Planner
 }
 
 func (o *Options) setDefaults() error {
@@ -133,10 +138,15 @@ func (o *Options) setDefaults() error {
 // so facade layers need not import the record package for the one type.
 type ReplayedEntry = record.Entry
 
-// run is one sorted run on disk.
+// run is one sorted run on disk. syn summarizes the run's entries for the
+// query planner: built incrementally at flush, unioned (exactly, with no
+// re-scan) at merge, persisted with the manifest. nil — a run recovered
+// from pre-synopsis metadata — means unknown: the planner never skips or
+// bounds such a run; new flushes and merges repopulate the statistics.
 type run struct {
 	file  string
 	count int64
+	syn   *zonestat.Synopsis
 }
 
 // manifest is one immutable version of the on-disk run set. Searches pin
@@ -264,6 +274,11 @@ func (l *LSM) Count() int64 { return l.count.Load() }
 // indexes default to GOMAXPROCS — call this after Open to restore a serial
 // configuration. Call only while no search is in flight.
 func (l *LSM) SetParallelism(n int) { l.pool = parallel.New(n) }
+
+// SetPlanner attaches the query planner (switches, plan cache, counters).
+// Like SetParallelism it is not persisted; call after Open. Call only while
+// no search is in flight.
+func (l *LSM) SetPlanner(pl *index.Planner) { l.opts.Planner = pl }
 
 // UseReader routes subsequent page reads through r — typically a buffer
 // pool over the LSM's disk (nil restores the uncached disk). Like
@@ -444,6 +459,10 @@ func (l *LSM) Flush() error {
 	sorted := make([]record.Entry, n)
 	copy(sorted, snap)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	syn := zonestat.New(l.opts.Config.Segments, l.opts.Config.Bits)
+	for _, e := range sorted {
+		syn.Add(e.Key, e.TS)
+	}
 	name := l.runName()
 	if err := l.writeRun(name, sorted); err != nil {
 		return err
@@ -454,7 +473,7 @@ func (l *LSM) Flush() error {
 	l.writeMu.Lock()
 	l.mu.Lock()
 	v := l.cur.Load()
-	man := addRun(v.man, 0, run{file: name, count: int64(n)})
+	man := addRun(v.man, 0, run{file: name, count: int64(n), syn: syn})
 	if l.opts.WAL != nil {
 		man.durableLSN = flushedLSN
 	}
@@ -617,6 +636,18 @@ func (l *LSM) compactNow() error {
 		if err != nil {
 			return err
 		}
+		// The merged run's synopsis is the exact union of its victims' —
+		// every statistic is a monotone envelope, so no re-scan is needed.
+		// Any victim with unknown statistics poisons the union: unknown, not
+		// empty.
+		msyn := zonestat.New(l.opts.Config.Segments, l.opts.Config.Bits)
+		for _, r := range victims {
+			if r.syn == nil {
+				msyn = nil
+				break
+			}
+			msyn.Union(r.syn)
+		}
 
 		// Commit: drop the victims (still the prefix of the level — only
 		// compactNow removes runs and it is single-flighted; concurrent
@@ -624,7 +655,7 @@ func (l *LSM) compactNow() error {
 		l.writeMu.Lock()
 		l.mu.Lock()
 		v := l.cur.Load()
-		newMan, err := afterMerge(v.man, level, victims, run{file: merged, count: total})
+		newMan, err := afterMerge(v.man, level, victims, run{file: merged, count: total, syn: msyn})
 		if err != nil {
 			l.mu.Unlock()
 			l.writeMu.Unlock()
@@ -751,3 +782,25 @@ func allRuns(m *manifest) []run {
 	}
 	return out
 }
+
+// PlanSynopses implements zonestat.Provider for shard-level planning: one
+// synopsis per on-disk run of the current view. complete is false whenever
+// the write buffer holds entries or any run lacks statistics (recovered
+// from pre-synopsis metadata) — a shard-level bound would then not cover
+// every entry, so the caller must always probe this index.
+func (l *LSM) PlanSynopses() ([]*zonestat.Synopsis, bool) {
+	v := l.cur.Load()
+	runs := allRuns(v.man)
+	syns := make([]*zonestat.Synopsis, 0, len(runs))
+	complete := len(v.buf) == 0
+	for _, r := range runs {
+		if r.syn == nil {
+			complete = false
+			continue
+		}
+		syns = append(syns, r.syn)
+	}
+	return syns, complete
+}
+
+var _ zonestat.Provider = (*LSM)(nil)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/series"
 	"repro/internal/sortable"
 	"repro/internal/storage"
+	"repro/internal/zonestat"
 )
 
 // Two persisted structures share one payload encoding:
@@ -30,15 +31,20 @@ import (
 //	growth u32 | bufferEntries u32
 //	materialized u8 | seriesLen u32 | segments u32 | bits u32
 //	levelCount u32 | per level: runCount u32 |
-//	  per run: nameLen u32 | name | count u64
+//	  per run: nameLen u32 | name | count u64 | [v2: synLen u32 | synopsis]
+//
+// Version 2 appends each run's planner synopsis (zonestat encoding; synLen
+// 0 when the run has none). Version-1 files are still read — their runs
+// simply carry no statistics, which disables planning for them until new
+// flushes and merges repopulate the synopses.
 //
 // In both files count is the number of entries held by the listed runs
 // (Save flushes first, so for the meta file that is also the live count).
 const (
 	lsmMetaMagic       = "CLSMMETA"
-	lsmMetaVersion     = 1
+	lsmMetaVersion     = 2
 	lsmManifestMagic   = "CLSMMANI"
-	lsmManifestVersion = 1
+	lsmManifestVersion = 2
 	lsmManifestFileSfx = ".manifest"
 	lsmMetaFileSfx     = ".meta"
 )
@@ -125,44 +131,54 @@ func (l *LSM) encodePayload(m *manifest) []byte {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.file)))
 			buf = append(buf, r.file...)
 			buf = binary.LittleEndian.AppendUint64(buf, uint64(r.count))
+			if r.syn == nil {
+				buf = binary.LittleEndian.AppendUint32(buf, 0)
+			} else {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(r.syn.EncodedSize()))
+				buf = r.syn.AppendBinary(buf)
+			}
 		}
 	}
 	return buf
 }
 
 // readBlob reads and frames-checks a metadata file, returning the bytes
-// after the fixed header (extra bytes first, then the payload).
-func readBlob(disk storage.Backend, name, magic string, version uint32, extraLen int) ([]byte, error) {
+// after the fixed header (extra bytes first, then the payload) plus the
+// file's format version. Every version from 1 through maxVersion is
+// accepted; the caller decodes the payload per version.
+func readBlob(disk storage.Backend, name, magic string, maxVersion uint32, extraLen int) ([]byte, uint32, error) {
 	npages, err := disk.NumPages(name)
 	if err != nil {
-		return nil, fmt.Errorf("clsm: opening %q: %w", name, err)
+		return nil, 0, fmt.Errorf("clsm: opening %q: %w", name, err)
 	}
 	blob := make([]byte, int(npages)*disk.PageSize())
 	if _, err := disk.ReadPages(name, 0, int(npages), blob); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(blob) < len(magic)+12+extraLen {
-		return nil, fmt.Errorf("clsm: %s file too short", name)
+		return nil, 0, fmt.Errorf("clsm: %s file too short", name)
 	}
 	if string(blob[:len(magic)]) != magic {
-		return nil, fmt.Errorf("clsm: bad magic %q in %s", blob[:len(magic)], name)
+		return nil, 0, fmt.Errorf("clsm: bad magic %q in %s", blob[:len(magic)], name)
 	}
 	off := len(magic)
-	if v := binary.LittleEndian.Uint32(blob[off:]); v != version {
-		return nil, fmt.Errorf("clsm: unsupported %s version %d", name, v)
+	version := binary.LittleEndian.Uint32(blob[off:])
+	if version < 1 || version > maxVersion {
+		return nil, 0, fmt.Errorf("clsm: unsupported %s version %d", name, version)
 	}
 	off += 4
 	plen := int(binary.LittleEndian.Uint64(blob[off:]))
 	off += 8
 	if off+extraLen+plen > len(blob) {
-		return nil, fmt.Errorf("clsm: truncated %s payload", name)
+		return nil, 0, fmt.Errorf("clsm: truncated %s payload", name)
 	}
-	return blob[off : off+extraLen+plen], nil
+	return blob[off : off+extraLen+plen], version, nil
 }
 
-// decodePayload parses the shared payload, verifying the listed run files
-// exist on disk and hold the recorded number of entries.
-func decodePayload(disk storage.Backend, buf []byte) (*metaState, error) {
+// decodePayload parses the shared payload (at the given format version),
+// verifying the listed run files exist on disk and hold the recorded number
+// of entries.
+func decodePayload(disk storage.Backend, buf []byte, version uint32) (*metaState, error) {
 	const fixed = 8*5 + 4*2 + 1 + 4*3 + 4
 	if len(buf) < fixed {
 		return nil, fmt.Errorf("clsm: meta payload too short: %d", len(buf))
@@ -208,6 +224,27 @@ func decodePayload(disk storage.Backend, buf []byte) (*metaState, error) {
 				count: int64(binary.LittleEndian.Uint64(buf[off+nameLen:])),
 			}
 			off += nameLen + 8
+			if version >= 2 {
+				if off+4 > len(buf) {
+					return nil, fmt.Errorf("clsm: meta truncated at synopsis length")
+				}
+				synLen := int(binary.LittleEndian.Uint32(buf[off:]))
+				off += 4
+				if synLen > 0 {
+					if off+synLen > len(buf) {
+						return nil, fmt.Errorf("clsm: meta truncated in synopsis")
+					}
+					syn, n, err := zonestat.Decode(buf[off : off+synLen])
+					if err != nil {
+						return nil, err
+					}
+					if n != synLen {
+						return nil, fmt.Errorf("clsm: synopsis length mismatch: %d != %d", n, synLen)
+					}
+					r.syn = syn
+					off += synLen
+				}
+			}
 			if !disk.Exists(r.file) {
 				return nil, fmt.Errorf("clsm: run file %q missing", r.file)
 			}
@@ -245,11 +282,11 @@ func Open(disk storage.Backend, name string, raw series.RawStore) (*LSM, error) 
 	if name == "" {
 		name = "clsm"
 	}
-	payload, err := readBlob(disk, name+lsmMetaFileSfx, lsmMetaMagic, lsmMetaVersion, 0)
+	payload, ver, err := readBlob(disk, name+lsmMetaFileSfx, lsmMetaMagic, lsmMetaVersion, 0)
 	if err != nil {
 		return nil, err
 	}
-	st, err := decodePayload(disk, payload)
+	st, err := decodePayload(disk, payload, ver)
 	if err != nil {
 		return nil, err
 	}
@@ -292,12 +329,12 @@ func Recover(opts Options, onReplay func(record.Entry, series.Series) error) (*L
 	startID := int64(0)
 	switch {
 	case disk.Exists(name + lsmManifestFileSfx):
-		blob, err := readBlob(disk, name+lsmManifestFileSfx, lsmManifestMagic, lsmManifestVersion, 8)
+		blob, ver, err := readBlob(disk, name+lsmManifestFileSfx, lsmManifestMagic, lsmManifestVersion, 8)
 		if err != nil {
 			return nil, err
 		}
 		durable := int64(binary.LittleEndian.Uint64(blob))
-		st, err := decodePayload(disk, blob[8:])
+		st, err := decodePayload(disk, blob[8:], ver)
 		if err != nil {
 			return nil, err
 		}
@@ -311,11 +348,11 @@ func Recover(opts Options, onReplay func(record.Entry, series.Series) error) (*L
 		// Snapshot-checkpoint recovery: the meta file stores no LSN, so the
 		// whole retained log replays and entries already in the snapshot are
 		// skipped by ID (the checkpoint truncated everything older).
-		payload, err := readBlob(disk, name+lsmMetaFileSfx, lsmMetaMagic, lsmMetaVersion, 0)
+		payload, ver, err := readBlob(disk, name+lsmMetaFileSfx, lsmMetaMagic, lsmMetaVersion, 0)
 		if err != nil {
 			return nil, err
 		}
-		st, err := decodePayload(disk, payload)
+		st, err := decodePayload(disk, payload, ver)
 		if err != nil {
 			return nil, err
 		}
@@ -388,11 +425,11 @@ func SavedState(disk storage.Backend, name string) (Saved, bool, error) {
 	default:
 		return Saved{}, false, nil
 	}
-	blob, err := readBlob(disk, blobName, magic, version, extra)
+	blob, ver, err := readBlob(disk, blobName, magic, version, extra)
 	if err != nil {
 		return Saved{}, false, err
 	}
-	st, err := decodePayload(disk, blob[extra:])
+	st, err := decodePayload(disk, blob[extra:], ver)
 	if err != nil {
 		return Saved{}, false, err
 	}

@@ -1,6 +1,8 @@
 package clsm
 
 import (
+	"math"
+
 	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/record"
@@ -33,7 +35,7 @@ import (
 // of the LSM trade-off; concurrency over runs is what claws the latency
 // back.
 func (l *LSM) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
-	ctx := index.AcquireCtx(q, l.opts.Config)
+	ctx := l.opts.Planner.AcquireCtx(q, l.opts.Config)
 	defer ctx.Release()
 	v := l.pinView()
 	defer l.unpinView(v)
@@ -51,7 +53,7 @@ func (l *LSM) approxInto(v *view, q index.Query, col *index.Collector, ctx *inde
 	if err := scanBuffer(v.buf, q, col, false, ctx.Scratch0(), l.opts.Raw); err != nil {
 		return err
 	}
-	return l.forEachRun(allRuns(v.man), ctx, col, pool, func(r run, sc *index.Scratch, col *index.Collector) error {
+	return l.forEachRun(allRuns(v.man), q, ctx, col, pool, func(r run, sc *index.Scratch, col *index.Collector) error {
 		return l.probeRun(r, q, col, sc)
 	})
 }
@@ -62,7 +64,7 @@ func (l *LSM) approxInto(v *view, q index.Query, col *index.Collector, ctx *inde
 // fully evaluated by the approximate phase (deduplication by ID makes
 // re-offering it a no-op), so only the runs need the full pass.
 func (l *LSM) ExactSearch(q index.Query, k int) ([]index.Result, error) {
-	ctx := index.AcquireCtx(q, l.opts.Config)
+	ctx := l.opts.Planner.AcquireCtx(q, l.opts.Config)
 	defer ctx.Release()
 	return l.exactCtx(q, k, ctx, l.pool)
 }
@@ -87,7 +89,7 @@ func (l *LSM) ExactSearchColl(q index.Query, k int, ctx *index.SearchCtx) (*inde
 // (tables refilled per query, scratch buffers persistent) for every query it
 // executes. out[i] is byte-identical to ExactSearch(qs[i], k).
 func (l *LSM) ExactSearchBatch(qs []index.Query, k int) ([][]index.Result, error) {
-	return index.Batch(l.pool, l.opts.Config, qs, func(q index.Query, ctx *index.SearchCtx) ([]index.Result, error) {
+	return index.BatchPlanned(l.opts.Planner, l.pool, l.opts.Config, qs, func(q index.Query, ctx *index.SearchCtx) ([]index.Result, error) {
 		return l.ExactSearchCtx(q, k, ctx)
 	})
 }
@@ -110,7 +112,7 @@ func (l *LSM) exactColl(q index.Query, k int, ctx *index.SearchCtx, pool *parall
 	if err := l.approxInto(v, q, col, ctx, pool); err != nil {
 		return nil, err
 	}
-	err := l.forEachRun(allRuns(v.man), ctx, col, pool, func(r run, sc *index.Scratch, col *index.Collector) error {
+	err := l.forEachRun(allRuns(v.man), q, ctx, col, pool, func(r run, sc *index.Scratch, col *index.Collector) error {
 		return l.scanRun(r, q, col, sc)
 	})
 	if err != nil {
@@ -119,13 +121,74 @@ func (l *LSM) exactColl(q index.Query, k int, ctx *index.SearchCtx, pool *parall
 	return col, nil
 }
 
-// forEachRun applies scan to every run through index.FanOut: serial into
-// col directly with one worker, per-worker pooled clones merged back
-// otherwise, identical results either way.
-func (l *LSM) forEachRun(runs []run, ctx *index.SearchCtx, col *index.Collector, pool *parallel.Pool, scan func(run, *index.Scratch, *index.Collector) error) error {
-	return index.FanOut(pool, len(runs), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
+// forEachRun applies scan to every run, planned: runs are visited in
+// ascending order of their synopsis's envelope MINDIST lower bound (the
+// most promising run tightens the collector's pruning bound first) and a
+// run is skipped outright when its bound already exceeds the collector's
+// current worst, or its time range misses the query window. Both moves are
+// answer-preserving — the envelope bound never exceeds the per-entry bound
+// the scan itself prunes with, and the collector is order-independent — so
+// results are byte-identical to the unplanned fan-out, which a disabled
+// planner falls back to. Serial execution probes directly into col with the
+// bound tightening between runs; parallel execution pre-orders and
+// pre-filters on the approximate phase's bound, then each worker re-checks
+// against its own clone's evolving bound before scanning.
+func (l *LSM) forEachRun(runs []run, q index.Query, ctx *index.SearchCtx, col *index.Collector, pool *parallel.Pool, scan func(run, *index.Scratch, *index.Collector) error) error {
+	pl := l.opts.Planner
+	if !pl.Enabled() || len(runs) == 0 {
+		return index.FanOut(pool, len(runs), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
+			func(i int, col *index.Collector, sc *index.Scratch) error {
+				return scan(runs[i], sc, col)
+			})
+	}
+	units := ctx.PlanUnits(len(runs))
+	for i := range runs {
+		b := ctx.P.SynopsisBoundSq(runs[i].syn)
+		if q.Windowed && runs[i].syn != nil && !runs[i].syn.IntersectsWindow(q.MinTS, q.MaxTS) {
+			b = math.Inf(1)
+		}
+		units[i] = index.PlanUnit{BoundSq: b, Idx: i}
+	}
+	index.SortPlan(units)
+	if pool.WorkersFor(len(runs)) <= 1 {
+		sc := ctx.Scratch0()
+		skipped := int64(0)
+		for ui, u := range units {
+			if math.IsInf(u.BoundSq, 1) {
+				skipped++
+				continue
+			}
+			if col.SkipSq(u.BoundSq) {
+				// Bounds ascend from here on and the collector's worst only
+				// tightens, so every remaining unit is skippable too.
+				skipped += int64(len(units) - ui)
+				break
+			}
+			if err := scan(runs[u.Idx], sc, col); err != nil {
+				pl.NoteSkips(skipped)
+				return err
+			}
+		}
+		pl.NoteSkips(skipped)
+		return nil
+	}
+	live := units[:0]
+	skipped := int64(0)
+	for _, u := range units {
+		if math.IsInf(u.BoundSq, 1) || col.SkipSq(u.BoundSq) {
+			skipped++
+			continue
+		}
+		live = append(live, u)
+	}
+	pl.NoteSkips(skipped)
+	return index.FanOut(pool, len(live), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
 		func(i int, col *index.Collector, sc *index.Scratch) error {
-			return scan(runs[i], sc, col)
+			if col.SkipSq(live[i].BoundSq) {
+				pl.NoteSkips(1)
+				return nil
+			}
+			return scan(runs[live[i].Idx], sc, col)
 		})
 }
 
@@ -234,7 +297,7 @@ func (l *LSM) scanRun(r run, q index.Query, col *index.Collector, sc *index.Scra
 // pruning. Runs scan concurrently; the epsilon bound is static, so
 // per-worker range collectors merge into exactly the serial answer.
 func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
-	ctx := index.AcquireCtx(q, l.opts.Config)
+	ctx := l.opts.Planner.AcquireCtx(q, l.opts.Config)
 	defer ctx.Release()
 	v := l.pinView()
 	defer l.unpinView(v)
@@ -250,6 +313,22 @@ func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 		return nil, err
 	}
 	runs := allRuns(v.man)
+	if pl := l.opts.Planner; pl.Enabled() {
+		// The epsilon bound is static, so planned range search is a pure
+		// pre-filter: drop every run whose envelope bound prunes or whose
+		// time range misses the window (allRuns returned a fresh slice).
+		n := 0
+		for _, r := range runs {
+			if r.syn != nil && ((q.Windowed && !r.syn.IntersectsWindow(q.MinTS, q.MaxTS)) ||
+				col.PruneSq(ctx.P.SynopsisBoundSq(r.syn))) {
+				continue
+			}
+			runs[n] = r
+			n++
+		}
+		pl.NoteSkips(int64(len(runs) - n))
+		runs = runs[:n]
+	}
 	err := index.FanOut(l.pool, len(runs), ctx, col, (*index.RangeCollector).PooledClone, (*index.RangeCollector).MergeRelease,
 		func(i int, col *index.RangeCollector, sc *index.Scratch) error {
 			return l.rangeScanRun(runs[i], q, col, sc)

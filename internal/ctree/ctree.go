@@ -20,6 +20,7 @@ import (
 	"repro/internal/series"
 	"repro/internal/sortable"
 	"repro/internal/storage"
+	"repro/internal/zonestat"
 )
 
 // Options configures a CTree build.
@@ -50,6 +51,10 @@ type Options struct {
 	// paths; values <= 0 select GOMAXPROCS. Search results and the built
 	// index are identical at every setting.
 	Parallelism int
+	// Planner carries the query planner's switches, plan cache, and skip
+	// counter. nil plans with defaults (zone-map leaf skipping on, no
+	// cache); it may be shared across many indexes.
+	Planner *index.Planner
 }
 
 func (o *Options) setDefaults() error {
@@ -105,7 +110,73 @@ type Tree struct {
 	nextID64 int64  // next auto-assigned insert ID
 	pageBuf  []byte // insert-path scratch; searches allocate their own
 	pool     *parallel.Pool
+	// Planner statistics. synMin/synMax are flat per-leaf symbol envelopes:
+	// leaf li's envelope occupies [li*Segments, (li+1)*Segments). They are
+	// built during packLeaves, maintained by inserts and splits, and
+	// persisted with the directory; nil (a tree opened from pre-statistics
+	// metadata) disables zone-map skipping until the tree is rebuilt. syn is
+	// the whole-tree synopsis the sharded fan-out plans with.
+	synMin []uint8
+	synMax []uint8
+	syn    *zonestat.Synopsis
+	envOK  bool // per-leaf envelopes are maintained (false after a v1 Open)
 }
+
+// hasEnv reports whether per-leaf envelopes are available for planning.
+func (t *Tree) hasEnv() bool { return t.envOK }
+
+// leafEnv returns leaf li's symbol envelope (valid only when hasEnv).
+func (t *Tree) leafEnv(li int) (minSym, maxSym []uint8) {
+	w := t.opts.Config.Segments
+	return t.synMin[li*w : (li+1)*w], t.synMax[li*w : (li+1)*w]
+}
+
+// setLeafEnv recomputes leaf li's envelope from its (decoded) entries; the
+// envelope slots must already exist.
+func (t *Tree) setLeafEnv(li int, entries []record.Entry) {
+	w, bits := t.opts.Config.Segments, t.opts.Config.Bits
+	mn := t.synMin[li*w : (li+1)*w]
+	mx := t.synMax[li*w : (li+1)*w]
+	var syms [sortable.MaxSegments]uint8
+	for ei, e := range entries {
+		zonestat.DecodeSyms(e.Key, w, bits, syms[:w])
+		if ei == 0 {
+			copy(mn, syms[:w])
+			copy(mx, syms[:w])
+			continue
+		}
+		for s := 0; s < w; s++ {
+			if syms[s] < mn[s] {
+				mn[s] = syms[s]
+			}
+			if syms[s] > mx[s] {
+				mx[s] = syms[s]
+			}
+		}
+	}
+}
+
+// insertEnvSlot makes room for a new leaf's envelope at directory position
+// li (the split path inserts mid-directory; appends pass li == len-1).
+func (t *Tree) insertEnvSlot(li int) {
+	w := t.opts.Config.Segments
+	t.synMin = append(t.synMin, make([]uint8, w)...)
+	t.synMax = append(t.synMax, make([]uint8, w)...)
+	copy(t.synMin[(li+1)*w:], t.synMin[li*w:])
+	copy(t.synMax[(li+1)*w:], t.synMax[li*w:])
+}
+
+// PlanSynopses implements zonestat.Provider for shard-level planning: the
+// whole tree is one probe unit, summarized by one synopsis. complete is
+// false for trees opened from pre-statistics metadata.
+func (t *Tree) PlanSynopses() ([]*zonestat.Synopsis, bool) {
+	if t.syn == nil {
+		return nil, false
+	}
+	return []*zonestat.Synopsis{t.syn}, true
+}
+
+var _ zonestat.Provider = (*Tree)(nil)
 
 func (t *Tree) nextID() int64 {
 	id := t.nextID64
@@ -135,6 +206,11 @@ func (t *Tree) Leaves() int { return len(t.leaves) }
 // trees default to GOMAXPROCS — call this after Open to restore a serial
 // configuration. Call only while no search is in flight.
 func (t *Tree) SetParallelism(n int) { t.pool = parallel.New(n) }
+
+// SetPlanner attaches the query planner (switches, plan cache, counters).
+// Like SetParallelism it is not persisted; call after Open. Call only while
+// no search is in flight.
+func (t *Tree) SetPlanner(pl *index.Planner) { t.opts.Planner = pl }
 
 // UseReader routes subsequent page reads through r — typically a buffer
 // pool over the tree's disk (nil restores the uncached disk). Like
@@ -266,6 +342,10 @@ func (t *Tree) packLeaves(sorted string, n int64) error {
 	}
 	recSize := t.codec.Size()
 	pageSize := t.opts.Disk.PageSize()
+	w, bits := t.opts.Config.Segments, t.opts.Config.Bits
+	t.syn = zonestat.New(w, bits)
+	t.envOK = true
+	var envMin, envMax, syms [sortable.MaxSegments]uint8
 	// Leaf pages are assembled in a write-behind chunk and appended in
 	// batches, keeping the leaf file write stream sequential even though it
 	// interleaves with reads of the sorted input.
@@ -293,6 +373,8 @@ func (t *Tree) packLeaves(sorted string, n int64) error {
 		}
 		chunk = append(chunk, page...)
 		t.leaves = append(t.leaves, leaf{minKey: first, count: inPage})
+		t.synMin = append(t.synMin, envMin[:w]...)
+		t.synMax = append(t.synMax, envMax[:w]...)
 		inPage = 0
 		if len(chunk) >= chunkPages*pageSize {
 			return flushChunk()
@@ -307,8 +389,22 @@ func (t *Tree) packLeaves(sorted string, n int64) error {
 		if err != nil {
 			return err
 		}
+		key := record.DecodeKeyOnly(rec)
+		t.syn.Add(key, record.DecodeTS(rec))
+		zonestat.DecodeSyms(key, w, bits, syms[:w])
 		if inPage == 0 {
-			first = record.DecodeKeyOnly(rec)
+			first = key
+			copy(envMin[:w], syms[:w])
+			copy(envMax[:w], syms[:w])
+		} else {
+			for s := 0; s < w; s++ {
+				if syms[s] < envMin[s] {
+					envMin[s] = syms[s]
+				}
+				if syms[s] > envMax[s] {
+					envMax[s] = syms[s]
+				}
+			}
 		}
 		copy(page[inPage*recSize:], rec)
 		inPage++
@@ -378,6 +474,11 @@ func (t *Tree) InsertEntry(e record.Entry) error {
 	if e.ID >= t.nextID64 {
 		t.nextID64 = e.ID + 1
 	}
+	// Widening the statistics before the write can only leave them too wide
+	// on a failed insert — safe; too narrow would be a wrong bound.
+	if t.syn != nil {
+		t.syn.Add(e.Key, e.TS)
+	}
 	if len(t.leaves) == 0 {
 		return t.insertEntryIntoEmpty(e)
 	}
@@ -394,6 +495,9 @@ func (t *Tree) InsertEntry(e record.Entry) error {
 	if len(entries) <= t.capacity {
 		if err := t.writeLeaf(li, entries); err != nil {
 			return err
+		}
+		if t.envOK {
+			t.setLeafEnv(li, entries)
 		}
 		t.count++
 		return nil
@@ -421,6 +525,11 @@ func (t *Tree) InsertEntry(e record.Entry) error {
 	t.pageOf = append(t.pageOf, 0)
 	copy(t.pageOf[li+2:], t.pageOf[li+1:])
 	t.pageOf[li+1] = newPage
+	if t.envOK {
+		t.insertEnvSlot(li + 1)
+		t.setLeafEnv(li, entries[:mid])
+		t.setLeafEnv(li+1, hi)
+	}
 	t.count++
 	return nil
 }
@@ -440,6 +549,12 @@ func (t *Tree) insertEntryIntoEmpty(e record.Entry) error {
 		return err
 	}
 	t.leaves = append(t.leaves, leaf{minKey: e.Key, count: 1})
+	if t.envOK {
+		w := t.opts.Config.Segments
+		t.synMin = append(t.synMin, make([]uint8, w)...)
+		t.synMax = append(t.synMax, make([]uint8, w)...)
+		t.setLeafEnv(len(t.leaves)-1, []record.Entry{e})
+	}
 	t.count++
 	return nil
 }

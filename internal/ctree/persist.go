@@ -10,6 +10,7 @@ import (
 	"repro/internal/series"
 	"repro/internal/sortable"
 	"repro/internal/storage"
+	"repro/internal/zonestat"
 )
 
 // Metadata format (stored on the same disk as the leaves, in
@@ -19,9 +20,15 @@ import (
 //	count u64 | nextID u64 | capacity u32 | target u32 | fill f64-bits u64
 //	materialized u8 | seriesLen u32 | segments u32 | bits u32
 //	leafCount u32 | per leaf: minKey 16B | count u32 | page u64
+//	[v2: envPresent u8 | synMin leafCount*segments B | synMax ... B
+//	     | synLen u32 | whole-tree synopsis]
+//
+// Version 2 appends the planner statistics: the flat per-leaf symbol
+// envelopes and the whole-tree synopsis. Version-1 files still open; their
+// trees simply plan nothing until rebuilt.
 const (
 	metaMagic   = "CTREEMTA"
-	metaVersion = 1
+	metaVersion = 2
 )
 
 // Save persists the tree's directory metadata to "<name>.meta" on its
@@ -68,6 +75,19 @@ func (t *Tree) encodeMeta() []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(l.count))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.pageNum(i)))
 	}
+	if t.envOK {
+		buf = append(buf, 1)
+		buf = append(buf, t.synMin...)
+		buf = append(buf, t.synMax...)
+	} else {
+		buf = append(buf, 0)
+	}
+	if t.syn != nil {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(t.syn.EncodedSize()))
+		buf = t.syn.AppendBinary(buf)
+	} else {
+		buf = binary.LittleEndian.AppendUint32(buf, 0)
+	}
 	return buf
 }
 
@@ -98,8 +118,9 @@ func Open(disk storage.Backend, name string, raw series.RawStore) (*Tree, error)
 		return nil, fmt.Errorf("ctree: bad meta magic %q", raw2[:len(metaMagic)])
 	}
 	off := len(metaMagic)
-	if v := binary.LittleEndian.Uint32(raw2[off:]); v != metaVersion {
-		return nil, fmt.Errorf("ctree: unsupported meta version %d", v)
+	version := binary.LittleEndian.Uint32(raw2[off:])
+	if version < 1 || version > metaVersion {
+		return nil, fmt.Errorf("ctree: unsupported meta version %d", version)
 	}
 	off += 4
 	plen := int(binary.LittleEndian.Uint64(raw2[off:]))
@@ -107,10 +128,10 @@ func Open(disk storage.Backend, name string, raw series.RawStore) (*Tree, error)
 	if off+plen > len(raw2) {
 		return nil, fmt.Errorf("ctree: truncated meta payload: want %d bytes", plen)
 	}
-	return decodeMeta(disk, name, raw2[off:off+plen], raw)
+	return decodeMeta(disk, name, raw2[off:off+plen], raw, version)
 }
 
-func decodeMeta(disk storage.Backend, name string, buf []byte, raw series.RawStore) (*Tree, error) {
+func decodeMeta(disk storage.Backend, name string, buf []byte, raw series.RawStore, version uint32) (*Tree, error) {
 	const fixed = 8 + 8 + 4 + 4 + 8 + 1 + 4 + 4 + 4 + 4
 	if len(buf) < fixed {
 		return nil, fmt.Errorf("ctree: meta payload too short: %d", len(buf))
@@ -179,6 +200,42 @@ func decodeMeta(disk storage.Backend, name string, buf []byte, raw series.RawSto
 	}
 	if !identity {
 		t.pageOf = pages
+	}
+	if version >= 2 {
+		rest = rest[leafCount*perLeaf:]
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("ctree: meta truncated at envelope flag")
+		}
+		envPresent := rest[0] == 1
+		rest = rest[1:]
+		if envPresent {
+			envBytes := leafCount * segments
+			if len(rest) < 2*envBytes {
+				return nil, fmt.Errorf("ctree: meta truncated in leaf envelopes")
+			}
+			t.synMin = append([]uint8(nil), rest[:envBytes]...)
+			t.synMax = append([]uint8(nil), rest[envBytes:2*envBytes]...)
+			rest = rest[2*envBytes:]
+			t.envOK = true
+		}
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("ctree: meta truncated at synopsis length")
+		}
+		synLen := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if synLen > 0 {
+			if len(rest) < synLen {
+				return nil, fmt.Errorf("ctree: meta truncated in synopsis")
+			}
+			syn, n, err := zonestat.Decode(rest[:synLen])
+			if err != nil {
+				return nil, err
+			}
+			if n != synLen {
+				return nil, fmt.Errorf("ctree: synopsis length mismatch: %d != %d", n, synLen)
+			}
+			t.syn = syn
+		}
 	}
 	return t, nil
 }

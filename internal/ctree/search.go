@@ -23,7 +23,7 @@ import (
 // search of the demo: one or two page reads, inherently navigational, so it
 // stays serial at every parallelism setting.
 func (t *Tree) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
-	ctx := index.AcquireCtx(q, t.opts.Config)
+	ctx := t.opts.Planner.AcquireCtx(q, t.opts.Config)
 	defer ctx.Release()
 	col := index.NewCollector(k)
 	if err := t.approxInto(q, k, col, ctx); err != nil {
@@ -106,7 +106,7 @@ func (t *Tree) leafChunks(pool *parallel.Pool) [][2]int {
 // one contiguous leaf range per worker — the sequential access pattern of
 // Coconut's sortable layout, striped across the pool.
 func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
-	ctx := index.AcquireCtx(q, t.opts.Config)
+	ctx := t.opts.Planner.AcquireCtx(q, t.opts.Config)
 	defer ctx.Release()
 	return t.exactCtx(q, k, ctx, t.pool)
 }
@@ -131,7 +131,7 @@ func (t *Tree) ExactSearchColl(q index.Query, k int, ctx *index.SearchCtx) (*ind
 // (tables refilled per query, scratch buffers persistent) for every query it
 // executes. out[i] is byte-identical to ExactSearch(qs[i], k).
 func (t *Tree) ExactSearchBatch(qs []index.Query, k int) ([][]index.Result, error) {
-	return index.Batch(t.pool, t.opts.Config, qs, func(q index.Query, ctx *index.SearchCtx) ([]index.Result, error) {
+	return index.BatchPlanned(t.opts.Planner, t.pool, t.opts.Config, qs, func(q index.Query, ctx *index.SearchCtx) ([]index.Result, error) {
 		return t.ExactSearchCtx(q, k, ctx)
 	})
 }
@@ -169,18 +169,85 @@ func (t *Tree) exactColl(q index.Query, k int, ctx *index.SearchCtx, pool *paral
 // exactScanRange scans leaves [lo, hi) with squared lower-bound pruning
 // into col, evaluating candidates straight from the pinned page bytes —
 // zero copies whether the pin lands in a buffer pool or on the bare disk.
+// With planning enabled it applies zone-map skipping: a leaf whose symbol
+// envelope's MINDIST bound already exceeds the collector's worst cannot
+// contribute (the envelope bound is never larger than any member entry's
+// bound, which EvalEncoded would prune anyway), so skipping it drops only
+// work, never answers. Skips are committed run-length-aware — see skipRuns.
 func (t *Tree) exactScanRange(lo, hi int, q index.Query, col *index.Collector, sc *index.Scratch) error {
-	for li := lo; li < hi; li++ {
+	read := func(li int) error {
 		h, err := t.opts.Reader.PinPage(t.leafFile, t.pageNum(li))
 		if err != nil {
 			return err
 		}
 		_, err = index.EvalEncoded(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
 		h.Release()
-		if err != nil {
+		return err
+	}
+	if !t.opts.Planner.Enabled() || !t.hasEnv() {
+		for li := lo; li < hi; li++ {
+			if err := read(li); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return t.skipRuns(lo, hi, read, func(li int) bool {
+		mn, mx := t.leafEnv(li)
+		return col.SkipSq(sc.P.EnvelopeSq(mn, mx))
+	})
+}
+
+// interiorSkipRun is the minimum length of an interior run of skippable
+// leaves worth actually skipping. Leaves are read in ascending page order,
+// so consecutive reads are sequential; skipping m pages mid-range saves m
+// sequential reads but turns the next read into a random one (10x under the
+// default cost model). Runs at the start or end of a worker's range are
+// free to skip — the first read was random anyway, and after the last there
+// is nothing to re-enter.
+const interiorSkipRun = 12
+
+// skipRuns drives one leaf range through run-length-aware zone-map
+// skipping: skippable leaves accumulate into a pending run, committed as an
+// actual skip only when the run is leading, trailing, or at least
+// interiorSkipRun long — otherwise the pending leaves are read after all,
+// in the same ascending order the plain scan uses, so the I/O pattern of a
+// declined skip is identical to no planner at all. Deferral never changes
+// answers: a leaf marked skippable stays answer-free forever (the
+// collector's bound only tightens), and reading it anyway is the unplanned
+// behaviour.
+func (t *Tree) skipRuns(lo, hi int, read func(li int) error, skippable func(li int) bool) error {
+	pl := t.opts.Planner
+	pendStart, pending := 0, 0
+	started := false // a leaf in [lo,hi) has actually been read
+	skipped := int64(0)
+	defer func() { pl.NoteSkips(skipped) }()
+	for li := lo; li < hi; li++ {
+		if skippable(li) {
+			if pending == 0 {
+				pendStart = li
+			}
+			pending++
+			continue
+		}
+		if pending > 0 {
+			if !started || pending >= interiorSkipRun {
+				skipped += int64(pending)
+			} else {
+				for p := pendStart; p < pendStart+pending; p++ {
+					if err := read(p); err != nil {
+						return err
+					}
+				}
+			}
+			pending = 0
+		}
+		if err := read(li); err != nil {
 			return err
 		}
+		started = true
 	}
+	skipped += int64(pending) // trailing run: nothing re-enters, free
 	return nil
 }
 
@@ -188,7 +255,7 @@ func (t *Tree) exactScanRange(lo, hi int, q index.Query, col *index.Collector, s
 // of the query: one pruned scan of the leaf file, striped across the pool
 // in contiguous leaf ranges.
 func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
-	ctx := index.AcquireCtx(q, t.opts.Config)
+	ctx := t.opts.Planner.AcquireCtx(q, t.opts.Config)
 	defer ctx.Release()
 	col := index.NewRangeCollector(eps)
 	if len(t.leaves) == 0 {
@@ -206,20 +273,30 @@ func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 }
 
 // rangeScanRange scans leaves [lo, hi) with squared epsilon pruning into
-// col.
+// col, zone-map skipping leaves whose envelope bound the epsilon prunes
+// (run-length-aware, like exactScanRange).
 func (t *Tree) rangeScanRange(lo, hi int, q index.Query, col *index.RangeCollector, sc *index.Scratch) error {
-	for li := lo; li < hi; li++ {
+	read := func(li int) error {
 		h, err := t.opts.Reader.PinPage(t.leafFile, t.pageNum(li))
 		if err != nil {
 			return err
 		}
 		err = index.EvalEncodedRange(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
 		h.Release()
-		if err != nil {
-			return err
-		}
+		return err
 	}
-	return nil
+	if !t.opts.Planner.Enabled() || !t.hasEnv() {
+		for li := lo; li < hi; li++ {
+			if err := read(li); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return t.skipRuns(lo, hi, read, func(li int) bool {
+		mn, mx := t.leafEnv(li)
+		return col.PruneSq(sc.P.EnvelopeSq(mn, mx))
+	})
 }
 
 var (

@@ -57,6 +57,14 @@ func (c *SearchCtx) Refill(q Query, cfg Config) { c.P.Fill(q.PAA, cfg) }
 // lowest-indexed query's error is reported (parallel.Pool's deterministic
 // error contract) and the partial outputs are discarded.
 func Batch(pool *parallel.Pool, cfg Config, qs []Query, search func(q Query, ctx *SearchCtx) ([]Result, error)) ([][]Result, error) {
+	return BatchPlanned(nil, pool, cfg, qs, search)
+}
+
+// BatchPlanned is Batch with per-query table fills routed through a
+// planner's plan cache, so worker slots share cached tables across repeated
+// query shapes. A nil planner (or one without a cache) fills directly —
+// identical to Batch.
+func BatchPlanned(pl *Planner, pool *parallel.Pool, cfg Config, qs []Query, search func(q Query, ctx *SearchCtx) ([]Result, error)) ([][]Result, error) {
 	if len(qs) == 0 {
 		return nil, nil
 	}
@@ -73,7 +81,7 @@ func Batch(pool *parallel.Pool, cfg Config, qs []Query, search func(q Query, ctx
 	}()
 	err := pool.ForEach(len(qs), func(worker, i int) error {
 		ctx := ctxs[worker]
-		ctx.Refill(qs[i], cfg)
+		pl.Refill(ctx, qs[i], cfg)
 		rs, err := search(qs[i], ctx)
 		if err != nil {
 			return err

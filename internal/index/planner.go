@@ -1,0 +1,334 @@
+package index
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sax"
+	"repro/internal/zonestat"
+)
+
+// This file implements the statistics-driven query planner shared by every
+// index: given a zonestat.Synopsis per probe unit (LSM run, stream
+// partition, tree leaf range, shard), the planner
+//
+//   - orders units by their envelope MINDIST lower bound so the collector's
+//     pruning bound tightens as early as possible, and
+//   - skips any unit whose bound already exceeds the collector's current
+//     worst (Collector.SkipSq / RangeCollector.PruneSq).
+//
+// Both transformations are answer-preserving: the per-unit envelope bound
+// is never larger than the per-entry bound the probe itself would have
+// pruned with, and the collectors are order-independent (deterministic
+// (distance, id) ordering), so planned and unplanned searches return
+// byte-identical results. Tests assert this exactly.
+//
+// A Planner also optionally carries a PlanCache that reuses filled Pruner
+// tables across queries with identical PAA under the same Config — the
+// dominant cost of starting a query on repeated-shape workloads. All
+// methods are nil-receiver safe: a nil *Planner plans (ordering and
+// skipping need no state) but has no cache and drops its counters.
+
+// PlanUnit pairs a probe unit's index in the caller's unit list with its
+// squared envelope lower bound, for sorting into probe order.
+type PlanUnit struct {
+	BoundSq float64
+	Idx     int
+}
+
+// PlanUnits returns a reusable []PlanUnit of length n from the context,
+// initialized to the identity probe order with zero bounds, so planning a
+// probe order allocates nothing on the warm path. Callers overwrite the
+// bounds and sort.
+func (c *SearchCtx) PlanUnits(n int) []PlanUnit {
+	return planBuf(&c.plan, n)
+}
+
+// OuterPlanUnits is PlanUnits from a second, independent buffer. The sharded
+// fan-out plans shard probes with the same context it then hands to each
+// shard's inner index — whose own run/partition/leaf planning reuses the
+// primary buffer. Two buffers keep the nested plans from aliasing.
+func (c *SearchCtx) OuterPlanUnits(n int) []PlanUnit {
+	return planBuf(&c.outerPlan, n)
+}
+
+func planBuf(buf *[]PlanUnit, n int) []PlanUnit {
+	if cap(*buf) < n {
+		*buf = make([]PlanUnit, n)
+	}
+	units := (*buf)[:n]
+	for i := range units {
+		units[i] = PlanUnit{Idx: i}
+	}
+	return units
+}
+
+// SortPlan orders units by ascending (BoundSq, Idx). Unit counts are small
+// (runs, partitions, shards), so an insertion sort wins — and unlike
+// sort.Slice it allocates nothing, which keeps the warm planned probe path
+// at 0 allocs/op.
+func SortPlan(units []PlanUnit) {
+	for i := 1; i < len(units); i++ {
+		u := units[i]
+		j := i - 1
+		for j >= 0 && (units[j].BoundSq > u.BoundSq ||
+			(units[j].BoundSq == u.BoundSq && units[j].Idx > u.Idx)) {
+			units[j+1] = units[j]
+			j--
+		}
+		units[j+1] = u
+	}
+}
+
+// SynopsisBoundSq returns the squared lower bound between the query and
+// every entry in the unit summarized by syn. A nil or shape-mismatched
+// synopsis yields 0 (no bound: always probe); an empty unit yields +Inf
+// (nothing to find: always skippable).
+func (p *Pruner) SynopsisBoundSq(syn *zonestat.Synopsis) float64 {
+	if syn == nil || syn.Segments != p.segments || syn.Bits != p.bits {
+		return 0
+	}
+	if syn.Count == 0 {
+		return math.Inf(1)
+	}
+	return p.EnvelopeSq(syn.MinSym, syn.MaxSym)
+}
+
+// Planner is the per-index planning handle: an enable switch, an optional
+// shared PlanCache, and a skip counter. Indexes hold a *Planner and call
+// its helpers on the query path; a nil Planner behaves like an enabled
+// planner with no cache, so constructors only materialize one when there is
+// a cache or counter to carry. One Planner may be shared by many indexes
+// (every shard of a Sharded facade shares one, like the buffer-pool cache).
+type Planner struct {
+	Disabled bool
+	Cache    *PlanCache
+	skips    atomic.Int64
+}
+
+// Enabled reports whether probe ordering and unit skipping should run.
+func (pl *Planner) Enabled() bool { return pl == nil || !pl.Disabled }
+
+// NoteSkips records n probe units skipped by their envelope bound.
+func (pl *Planner) NoteSkips(n int64) {
+	if pl != nil && n != 0 {
+		pl.skips.Add(n)
+	}
+}
+
+// Skips returns the number of probe units skipped so far.
+func (pl *Planner) Skips() int64 {
+	if pl == nil {
+		return 0
+	}
+	return pl.skips.Load()
+}
+
+// CacheStats returns the plan cache's hit and miss counters (zero without a
+// cache).
+func (pl *Planner) CacheStats() (hits, misses int64) {
+	if pl == nil || pl.Cache == nil {
+		return 0, 0
+	}
+	return pl.Cache.hits.Load(), pl.Cache.misses.Load()
+}
+
+// AcquireCtx is index.AcquireCtx routed through the planner's cache: on a
+// cache hit the pooled context is loaded from the cached tables instead of
+// recomputing them.
+func (pl *Planner) AcquireCtx(q Query, cfg Config) *SearchCtx {
+	ctx := ctxPool.Get().(*SearchCtx)
+	pl.Refill(ctx, q, cfg)
+	return ctx
+}
+
+// Refill fills ctx's pruning tables for q under cfg through the planner's
+// cache, for batch paths that reuse one context across queries.
+func (pl *Planner) Refill(ctx *SearchCtx, q Query, cfg Config) {
+	if pl == nil || pl.Cache == nil {
+		ctx.P.Fill(q.PAA, cfg)
+		return
+	}
+	pl.Cache.fill(&ctx.P, q, cfg)
+}
+
+// planKey buckets cache entries by the quantized query signature — the
+// query's full-cardinality iSAX word interleaved into a sortable key — plus
+// the index Config. Any Config change (bits, segments, series length,
+// materialization) changes the key, so reconfigured indexes can never see a
+// foreign table. The quantized signature is only the bucket key: a hit
+// additionally requires exact element-wise PAA equality, because tables
+// from a merely-similar PAA would be invalid bounds.
+type planKey struct {
+	cfg Config
+	sig [2]uint64
+}
+
+// planEntry is an immutable snapshot of a filled Pruner. Entries are never
+// mutated after insertion, so readers copy from them outside the cache
+// lock.
+type planEntry struct {
+	key     planKey
+	paa     []float64
+	backing []float64
+	filled  [sax.MaxBits + 1]bool
+	qsyms   []uint8
+	prev    *planEntry
+	next    *planEntry
+}
+
+// load copies the snapshot into p, reproducing exactly the state
+// p.Fill(e.paa, cfg) would have produced (including FillAll extensions
+// captured at snapshot time).
+func (e *planEntry) load(p *Pruner, cfg Config) {
+	p.segments = cfg.Segments
+	p.bits = cfg.Bits
+	p.seriesLen = cfg.SeriesLen
+	p.paa = append(p.paa[:0], e.paa...)
+	total := len(e.backing)
+	if cap(p.backing) < total {
+		p.backing = make([]float64, total)
+	}
+	copy(p.backing[:total], e.backing)
+	off := 0
+	for b := 1; b <= cfg.Bits; b++ {
+		size := cfg.Segments << b
+		p.tab[b] = p.backing[off : off+size]
+		p.filled[b] = e.filled[b]
+		off += size
+	}
+	for b := cfg.Bits + 1; b <= sax.MaxBits; b++ {
+		p.tab[b] = nil
+		p.filled[b] = false
+	}
+	p.qsyms = append(p.qsyms[:0], e.qsyms...)
+}
+
+// PlanCache is a mutexed LRU of filled Pruner snapshots keyed by quantized
+// query signature + Config. Repeated query shapes (a dashboard refreshing
+// the same patterns, a batch with duplicated queries) skip the
+// O(Segments·2^Bits) table build entirely; a hit costs two memcopies into
+// the pooled context. Safe for concurrent use by any number of searches.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	m        map[planKey]*planEntry
+	head     *planEntry // most recently used
+	tail     *planEntry // least recently used
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// NewPlanCache returns a cache holding at most capacity entries, or nil if
+// capacity is not positive (callers treat a nil cache as "no caching").
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &PlanCache{capacity: capacity, m: make(map[planKey]*planEntry, capacity)}
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Hits and Misses return the cache's counters.
+func (c *PlanCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+func (c *PlanCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+func (c *PlanCache) unlink(e *planEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *PlanCache) pushFront(e *planEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func paaEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fill populates p for q under cfg, from the cache when an exact-PAA entry
+// exists, computing and inserting a snapshot otherwise.
+func (c *PlanCache) fill(p *Pruner, q Query, cfg Config) {
+	key := planKey{cfg: cfg, sig: [2]uint64{q.Key.Hi, q.Key.Lo}}
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok && paaEqual(e.paa, q.PAA) {
+		c.unlink(e)
+		c.pushFront(e)
+		c.mu.Unlock()
+		// Entries are immutable after insertion; copying outside the lock
+		// keeps the critical section to pointer shuffling.
+		e.load(p, cfg)
+		c.hits.Add(1)
+		return
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	p.Fill(q.PAA, cfg)
+	total := cfg.Segments * (2<<cfg.Bits - 2)
+	e := &planEntry{
+		key:     key,
+		paa:     append([]float64(nil), p.paa...),
+		backing: append([]float64(nil), p.backing[:total]...),
+		filled:  p.filled,
+		qsyms:   append([]uint8(nil), p.qsyms...),
+	}
+	c.mu.Lock()
+	if old, ok := c.m[key]; ok {
+		// Same bucket filled meanwhile (a racing miss, or a different exact
+		// PAA sharing the quantized signature): the newest snapshot wins.
+		c.unlink(old)
+	}
+	c.m[key] = e
+	c.pushFront(e)
+	for len(c.m) > c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,310 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sax"
+	"repro/internal/series"
+	"repro/internal/sortable"
+	"repro/internal/zonestat"
+)
+
+func randSeries(rng *rand.Rand, n int) series.Series {
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+// The envelope bound must never exceed the per-entry bound of any member —
+// that inequality is the entire byte-identity argument for unit skipping.
+func TestEnvelopeBoundIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, cfg := range []Config{
+		{SeriesLen: 128, Segments: 16, Bits: 8},
+		{SeriesLen: 96, Segments: 8, Bits: 4},
+		{SeriesLen: 64, Segments: 7, Bits: 3},
+	} {
+		q := NewQuery(randSeries(rng, cfg.SeriesLen), cfg)
+		var p Pruner
+		p.Fill(q.PAA, cfg)
+		syn := zonestat.New(cfg.Segments, cfg.Bits)
+		minEntry := 0.0
+		for n := 0; n < 300; n++ {
+			w := sax.FromPAA(sax.PAA(randSeries(rng, cfg.SeriesLen).ZNormalize(), cfg.Segments), cfg.Bits)
+			key := sortable.Interleave(w)
+			syn.Add(key, int64(n))
+			lb := p.MinDistSqKey(key)
+			if n == 0 || lb < minEntry {
+				minEntry = lb
+			}
+		}
+		env := p.SynopsisBoundSq(syn)
+		if env > minEntry+1e-12 {
+			t.Fatalf("cfg %+v: envelope bound %g exceeds tightest member bound %g", cfg, env, minEntry)
+		}
+		// A single-entry synopsis collapses to that entry's own bound.
+		one := zonestat.New(cfg.Segments, cfg.Bits)
+		w := sax.FromPAA(sax.PAA(randSeries(rng, cfg.SeriesLen).ZNormalize(), cfg.Segments), cfg.Bits)
+		key := sortable.Interleave(w)
+		one.Add(key, 0)
+		if got, want := p.SynopsisBoundSq(one), p.MinDistSqKey(key); got != want {
+			t.Fatalf("singleton envelope %g != entry bound %g", got, want)
+		}
+	}
+}
+
+func TestSynopsisBoundEdgeCases(t *testing.T) {
+	cfg := Config{SeriesLen: 64, Segments: 8, Bits: 4}
+	rng := rand.New(rand.NewSource(1))
+	q := NewQuery(randSeries(rng, cfg.SeriesLen), cfg)
+	var p Pruner
+	p.Fill(q.PAA, cfg)
+	if got := p.SynopsisBoundSq(nil); got != 0 {
+		t.Fatalf("nil synopsis bound = %g, want 0", got)
+	}
+	if got := p.SynopsisBoundSq(zonestat.New(4, 2)); got != 0 {
+		t.Fatalf("shape-mismatched synopsis bound = %g, want 0", got)
+	}
+	empty := zonestat.New(cfg.Segments, cfg.Bits)
+	if got := p.SynopsisBoundSq(empty); !(got > 1e300) {
+		t.Fatalf("empty synopsis bound = %g, want +Inf", got)
+	}
+}
+
+func TestSortPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(20)
+		units := make([]PlanUnit, n)
+		want := make([]PlanUnit, n)
+		for i := range units {
+			units[i] = PlanUnit{BoundSq: float64(rng.Intn(5)), Idx: i}
+			want[i] = units[i]
+		}
+		sort.SliceStable(want, func(i, j int) bool { return want[i].BoundSq < want[j].BoundSq })
+		SortPlan(units)
+		for i := range units {
+			if units[i] != want[i] {
+				t.Fatalf("trial %d: SortPlan diverges from stable sort at %d: %v vs %v", trial, i, units, want)
+			}
+		}
+	}
+}
+
+func fillEqual(a, b *Pruner) bool {
+	if a.segments != b.segments || a.bits != b.bits || a.seriesLen != b.seriesLen {
+		return false
+	}
+	if !paaEqual(a.paa, b.paa) {
+		return false
+	}
+	for lv := 1; lv <= a.bits; lv++ {
+		if a.filled[lv] != b.filled[lv] || len(a.tab[lv]) != len(b.tab[lv]) {
+			return false
+		}
+		if a.filled[lv] && !paaEqual(a.tab[lv], b.tab[lv]) {
+			return false
+		}
+	}
+	for i := range a.qsyms {
+		if a.qsyms[i] != b.qsyms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlanCacheHitsAndInvalidation(t *testing.T) {
+	cfg := Config{SeriesLen: 128, Segments: 16, Bits: 8}
+	rng := rand.New(rand.NewSource(9))
+	q := NewQuery(randSeries(rng, cfg.SeriesLen), cfg)
+	pl := &Planner{Cache: NewPlanCache(4)}
+
+	ctx := pl.AcquireCtx(q, cfg)
+	var direct Pruner
+	direct.Fill(q.PAA, cfg)
+	if !fillEqual(&ctx.P, &direct) {
+		t.Fatal("miss path diverges from direct Fill")
+	}
+	if h, m := pl.CacheStats(); h != 0 || m != 1 {
+		t.Fatalf("after first fill: hits=%d misses=%d", h, m)
+	}
+	pl.Refill(ctx, q, cfg)
+	if !fillEqual(&ctx.P, &direct) {
+		t.Fatal("hit path diverges from direct Fill")
+	}
+	if h, m := pl.CacheStats(); h != 1 || m != 1 {
+		t.Fatalf("after repeat: hits=%d misses=%d", h, m)
+	}
+
+	// A changed Config must miss even with the identical series.
+	cfg2 := Config{SeriesLen: 128, Segments: 16, Bits: 6}
+	q2 := NewQuery(randSeries(rand.New(rand.NewSource(9)), cfg.SeriesLen), cfg2)
+	pl.Refill(ctx, q2, cfg2)
+	if h, m := pl.CacheStats(); h != 1 || m != 2 {
+		t.Fatalf("after bits change: hits=%d misses=%d", h, m)
+	}
+	cfg3 := Config{SeriesLen: 128, Segments: 8, Bits: 8}
+	q3 := NewQuery(randSeries(rand.New(rand.NewSource(9)), cfg.SeriesLen), cfg3)
+	pl.Refill(ctx, q3, cfg3)
+	if h, m := pl.CacheStats(); h != 1 || m != 3 {
+		t.Fatalf("after segments change: hits=%d misses=%d", h, m)
+	}
+
+	// Same quantized signature but different exact PAA must miss: nudge one
+	// PAA value within its breakpoint region so the iSAX word is unchanged.
+	q4 := q
+	q4.PAA = append([]float64(nil), q.PAA...)
+	card := 1 << cfg.Bits
+	bp := sax.Breakpoints(card)
+	sym := sax.Symbol(q4.PAA[0], card)
+	lo, hi := -4.0, 4.0
+	if sym > 0 {
+		lo = bp[sym-1]
+	}
+	if int(sym) < card-1 {
+		hi = bp[sym]
+	}
+	q4.PAA[0] = lo + (hi-lo)/2
+	if q4.PAA[0] == q.PAA[0] {
+		q4.PAA[0] = lo + (hi-lo)/3
+	}
+	if sortable.Interleave(sax.FromPAA(q4.PAA, cfg.Bits)) != q.Key {
+		t.Fatal("test setup: perturbed PAA changed the quantized signature")
+	}
+	pl.Refill(ctx, q4, cfg)
+	if h, m := pl.CacheStats(); h != 1 || m != 4 {
+		t.Fatalf("after exact-PAA change: hits=%d misses=%d", h, m)
+	}
+	var direct4 Pruner
+	direct4.Fill(q4.PAA, cfg)
+	if !fillEqual(&ctx.P, &direct4) {
+		t.Fatal("signature-collision path diverges from direct Fill")
+	}
+	ctx.Release()
+}
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	cfg := Config{SeriesLen: 64, Segments: 8, Bits: 4}
+	rng := rand.New(rand.NewSource(21))
+	cache := NewPlanCache(2)
+	pl := &Planner{Cache: cache}
+	qs := make([]Query, 3)
+	for i := range qs {
+		qs[i] = NewQuery(randSeries(rng, cfg.SeriesLen), cfg)
+	}
+	ctx := pl.AcquireCtx(qs[0], cfg)
+	pl.Refill(ctx, qs[1], cfg)
+	pl.Refill(ctx, qs[0], cfg) // touch 0: now 1 is LRU
+	pl.Refill(ctx, qs[2], cfg) // evicts 1
+	if cache.Len() != 2 {
+		t.Fatalf("cache len %d, want 2", cache.Len())
+	}
+	pl.Refill(ctx, qs[0], cfg)
+	pl.Refill(ctx, qs[1], cfg) // must be a miss again
+	h, m := pl.CacheStats()
+	if h != 2 || m != 4 {
+		t.Fatalf("hits=%d misses=%d, want 2/4", h, m)
+	}
+	ctx.Release()
+}
+
+func TestPlanCacheConcurrent(t *testing.T) {
+	cfg := Config{SeriesLen: 64, Segments: 8, Bits: 4}
+	rng := rand.New(rand.NewSource(33))
+	qs := make([]Query, 8)
+	for i := range qs {
+		qs[i] = NewQuery(randSeries(rng, cfg.SeriesLen), cfg)
+	}
+	pl := &Planner{Cache: NewPlanCache(4)}
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			r := rand.New(rand.NewSource(seed))
+			var direct Pruner
+			for n := 0; n < 200; n++ {
+				q := qs[r.Intn(len(qs))]
+				ctx := pl.AcquireCtx(q, cfg)
+				direct.Fill(q.PAA, cfg)
+				if !fillEqual(&ctx.P, &direct) {
+					t.Error("concurrent cache fill diverges from direct Fill")
+					ctx.Release()
+					return
+				}
+				ctx.Release()
+			}
+		}(int64(w))
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}
+
+// The warm planned path — cache hit + probe-order planning — must not
+// allocate: it runs once per query on every index.
+func TestPlannedWarmPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	cfg := Config{SeriesLen: 128, Segments: 16, Bits: 8}
+	rng := rand.New(rand.NewSource(77))
+	q := NewQuery(randSeries(rng, cfg.SeriesLen), cfg)
+	pl := &Planner{Cache: NewPlanCache(8)}
+	syns := make([]*zonestat.Synopsis, 6)
+	for i := range syns {
+		syns[i] = zonestat.New(cfg.Segments, cfg.Bits)
+		for n := 0; n < 10; n++ {
+			w := sax.FromPAA(sax.PAA(randSeries(rng, cfg.SeriesLen).ZNormalize(), cfg.Segments), cfg.Bits)
+			syns[i].Add(sortable.Interleave(w), int64(n))
+		}
+	}
+	// Warm the pools and the cache.
+	ctx := pl.AcquireCtx(q, cfg)
+	_ = ctx.PlanUnits(len(syns))
+	ctx.Release()
+	allocs := testing.AllocsPerRun(100, func() {
+		c := pl.AcquireCtx(q, cfg)
+		units := c.PlanUnits(len(syns))
+		for i, syn := range syns {
+			units[i] = PlanUnit{BoundSq: c.P.SynopsisBoundSq(syn), Idx: i}
+		}
+		SortPlan(units)
+		pl.NoteSkips(1)
+		c.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("warm planned path allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestNilPlannerIsEnabledNoop(t *testing.T) {
+	var pl *Planner
+	if !pl.Enabled() {
+		t.Fatal("nil planner must plan")
+	}
+	pl.NoteSkips(3)
+	if pl.Skips() != 0 {
+		t.Fatal("nil planner must drop counters")
+	}
+	if h, m := pl.CacheStats(); h != 0 || m != 0 {
+		t.Fatal("nil planner cache stats must be zero")
+	}
+	cfg := Config{SeriesLen: 64, Segments: 8, Bits: 4}
+	q := NewQuery(randSeries(rand.New(rand.NewSource(2)), cfg.SeriesLen), cfg)
+	ctx := pl.AcquireCtx(q, cfg)
+	var direct Pruner
+	direct.Fill(q.PAA, cfg)
+	if !fillEqual(&ctx.P, &direct) {
+		t.Fatal("nil planner AcquireCtx diverges from direct Fill")
+	}
+	ctx.Release()
+	disabled := &Planner{Disabled: true}
+	if disabled.Enabled() {
+		t.Fatal("disabled planner must not plan")
+	}
+}

@@ -70,6 +70,10 @@ type Pruner struct {
 	tab     [sax.MaxBits + 1][]float64
 	filled  [sax.MaxBits + 1]bool
 	backing []float64
+	// qsyms holds the query's own symbol per segment at the configured
+	// cardinality — the argmin of each table row — so EnvelopeSq can clamp
+	// into a symbol envelope without scanning the row.
+	qsyms []uint8
 }
 
 // Fill prepares the pruner for a query with the given PAA under cfg,
@@ -101,6 +105,16 @@ func (p *Pruner) Fill(paa []float64, cfg Config) {
 		p.filled[b] = false
 	}
 	p.fillLevel(cfg.Bits)
+	// The query's own symbols at full cardinality index each table row's
+	// zero region; EnvelopeSq clamps them into a unit's symbol envelope.
+	if cap(p.qsyms) < cfg.Segments {
+		p.qsyms = make([]uint8, cfg.Segments)
+	}
+	p.qsyms = p.qsyms[:cfg.Segments]
+	card := 1 << cfg.Bits
+	for seg, v := range p.paa {
+		p.qsyms[seg] = sax.Symbol(v, card)
+	}
 }
 
 // FillAll materializes the tables for every cardinality 1..Bits. Indexes
@@ -172,6 +186,32 @@ func (p *Pruner) MinDistSqKey(k sortable.Key) float64 {
 	return acc
 }
 
+// EnvelopeSq returns the squared iSAX lower bound between the query and
+// every series whose per-segment symbols lie inside the envelope
+// [minSym[s], maxSym[s]]: no series in the envelope can be closer than the
+// square root of the returned value. Because each table row is unimodal
+// with its zero region at the query's own symbol, the row minimum over an
+// interval of symbols is attained at the query symbol clamped into the
+// interval — a single lookup per segment. A shape mismatch returns 0 (no
+// bound), so a stale or foreign envelope can only cost work, never answers.
+func (p *Pruner) EnvelopeSq(minSym, maxSym []uint8) float64 {
+	if len(minSym) != p.segments || len(maxSym) != p.segments {
+		return 0
+	}
+	t := p.tab[p.bits]
+	acc := 0.0
+	for s := 0; s < p.segments; s++ {
+		q := p.qsyms[s]
+		if q < minSym[s] {
+			q = minSym[s]
+		} else if q > maxSym[s] {
+			q = maxSym[s]
+		}
+		acc += t[s<<uint(p.bits)|int(q)]
+	}
+	return acc
+}
+
 // MinDistSqMixed returns the squared lower bound for a summarization with
 // per-segment cardinalities: symbol syms[i] at bits[i] cardinality bits on
 // segment i — the shape of ADS+ tree nodes. Requires FillAll; touching an
@@ -228,6 +268,8 @@ func (s *Scratch) SeriesBuf(n int) series.Series {
 type SearchCtx struct {
 	P         Pruner
 	scratches []*Scratch
+	plan      []PlanUnit // inner-level probe plan (runs, partitions, leaf ranges)
+	outerPlan []PlanUnit // shard-level probe plan; see OuterPlanUnits
 }
 
 var ctxPool = sync.Pool{New: func() any { return new(SearchCtx) }}

@@ -59,6 +59,12 @@ type Server struct {
 	// default to the file backend when a root is set; requests may force
 	// either backend per build.
 	storageRoot string
+	// defaultPlanCache applies to builds whose request leaves the
+	// plan_cache field unset; 0 keeps builds without a plan cache.
+	defaultPlanCache int
+	// defaultDisablePlanner turns statistics-driven probe ordering and
+	// skipping off for builds whose request does not ask for it.
+	defaultDisablePlanner bool
 }
 
 type dataset struct {
@@ -129,6 +135,18 @@ func (s *Server) SetDefaultCompactionWorkers(n int) { s.defaultCompactionWorkers
 // simulated disk and requests asking for "file" are rejected. Query
 // results are byte-identical on either backend. Call before serving.
 func (s *Server) SetStorageRoot(dir string) { s.storageRoot = dir }
+
+// SetDefaultPlanCache sets the plan-cache capacity (entries) applied to
+// builds whose request does not specify one: n > 0 lets repeated query
+// shapes reuse their filled pruning tables; 0 keeps builds without a plan
+// cache. Call before serving.
+func (s *Server) SetDefaultPlanCache(n int) { s.defaultPlanCache = n }
+
+// SetDefaultPlannerDisabled turns statistics-driven probe ordering and
+// envelope skipping off for builds whose request does not ask for it.
+// Answers are byte-identical either way — only I/O cost changes. Call
+// before serving.
+func (s *Server) SetDefaultPlannerDisabled(v bool) { s.defaultDisablePlanner = v }
 
 // Close shuts down every registered build: background merges drain,
 // write-ahead logs sync and close, and file-backed storage flushes to
@@ -307,6 +325,15 @@ type BuildRequest struct {
 	// pool of that many workers; unset or 0 falls back to the server
 	// default, -1 forces inline merges. CLSM variants only, unsharded.
 	CompactionWorkers int `json:"compaction_workers"`
+	// PlanCache > 0 gives the build a plan cache of that many entries, so
+	// repeated query shapes reuse their filled pruning tables; unset or 0
+	// falls back to the server default, -1 forces no cache. Answers are
+	// identical at every setting.
+	PlanCache int `json:"plan_cache"`
+	// DisablePlanner turns statistics-driven probe ordering and envelope
+	// skipping off for this build. Answers are byte-identical either way —
+	// only I/O cost changes.
+	DisablePlanner bool `json:"disable_planner"`
 	// Storage selects the storage backend for this build: "sim" is the
 	// simulated in-memory disk (the paper-faithful accounting), "file"
 	// stores pages in real files under the server's storage root (-storage;
@@ -330,6 +357,8 @@ type BuildResponse struct {
 	BuildMilli int64   `json:"build_ms"`
 	Shards     int     `json:"shards"`
 	Backend    string  `json:"backend"` // "sim" or "file"
+	Planner    bool    `json:"planner"`
+	PlanCache  int     `json:"plan_cache"`
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
@@ -390,6 +419,19 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "compaction_workers must be at most 64, got %d", req.CompactionWorkers)
 		return
 	}
+	if req.PlanCache == 0 {
+		req.PlanCache = s.defaultPlanCache
+	}
+	if req.PlanCache < 0 {
+		req.PlanCache = 0 // explicit opt-out of the server default
+	}
+	if req.PlanCache > 1<<20 {
+		writeError(w, http.StatusBadRequest, "plan_cache must be at most %d entries, got %d", 1<<20, req.PlanCache)
+		return
+	}
+	if s.defaultDisablePlanner {
+		req.DisablePlanner = true
+	}
 	if req.Storage == "" {
 		if s.storageRoot != "" {
 			req.Storage = "file"
@@ -410,12 +452,14 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	isCLSM := req.Variant == "CLSM" || req.Variant == "CLSMFull"
 	opts := workload.BuildOptions{
-		FillFactor:   req.FillFactor,
-		GrowthFactor: req.GrowthFactor,
-		MemBudget:    req.MemBudget,
-		Parallelism:  req.Parallelism,
-		Shards:       req.Shards,
-		CacheBytes:   req.CacheBytes,
+		FillFactor:     req.FillFactor,
+		GrowthFactor:   req.GrowthFactor,
+		MemBudget:      req.MemBudget,
+		Parallelism:    req.Parallelism,
+		Shards:         req.Shards,
+		CacheBytes:     req.CacheBytes,
+		PlanCacheSize:  req.PlanCache,
+		DisablePlanner: req.DisablePlanner,
 	}
 	if req.Storage == "file" {
 		s.mu.Lock()
@@ -467,6 +511,8 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		BuildMilli: b.BuildTime.Milliseconds(),
 		Shards:     b.Shards(),
 		Backend:    b.Disk.Kind(),
+		Planner:    b.Planner != nil && b.Planner.Enabled(),
+		PlanCache:  req.PlanCache,
 	})
 }
 
@@ -489,11 +535,15 @@ type QueryResult struct {
 }
 
 // QueryResponse reports answers plus the I/O cost the demo GUI charts.
+// PlannedSkips counts the probe units (runs, partitions, leaf ranges,
+// shards) whose synopsis envelope let the planner skip them outright for
+// this query; 0 on planner-disabled builds.
 type QueryResponse struct {
-	Results []QueryResult `json:"results"`
-	Cost    float64       `json:"cost"`
-	SeqIO   int64         `json:"seq_io"`
-	RandIO  int64         `json:"rand_io"`
+	Results      []QueryResult `json:"results"`
+	Cost         float64       `json:"cost"`
+	SeqIO        int64         `json:"seq_io"`
+	RandIO       int64         `json:"rand_io"`
+	PlannedSkips int64         `json:"planned_skips"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -524,6 +574,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	b.mu.RLock()
 	before := b.built.IOStats()
+	skipsBefore := b.built.Planner.Skips()
 	var rs []index.Result
 	var err error
 	if req.Exact {
@@ -531,6 +582,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		rs, err = b.built.Index.ApproxSearch(q, req.K)
 	}
+	skips := b.built.Planner.Skips() - skipsBefore
 	b.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
@@ -538,9 +590,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	diff := b.built.IOStats().Sub(before)
 	resp := QueryResponse{
-		Cost:   diff.Cost(s.cost),
-		SeqIO:  diff.SeqReads + diff.SeqWrites,
-		RandIO: diff.RandReads + diff.RandWrites,
+		Cost:         diff.Cost(s.cost),
+		SeqIO:        diff.SeqReads + diff.SeqWrites,
+		RandIO:       diff.RandReads + diff.RandWrites,
+		PlannedSkips: skips,
 	}
 	for _, res := range rs {
 		resp.Results = append(resp.Results, QueryResult{ID: res.ID, TS: res.TS, Dist: res.Dist})
@@ -558,13 +611,16 @@ type BatchQueryRequest struct {
 }
 
 // BatchQueryResponse reports per-query answers plus the batch's aggregate
-// I/O cost.
+// I/O cost and planner accounting (envelope skips and plan-cache hits
+// across the whole batch; zero on planner-disabled builds).
 type BatchQueryResponse struct {
-	Results [][]QueryResult `json:"results"`
-	Queries int             `json:"queries"`
-	Cost    float64         `json:"cost"`
-	SeqIO   int64           `json:"seq_io"`
-	RandIO  int64           `json:"rand_io"`
+	Results       [][]QueryResult `json:"results"`
+	Queries       int             `json:"queries"`
+	Cost          float64         `json:"cost"`
+	SeqIO         int64           `json:"seq_io"`
+	RandIO        int64           `json:"rand_io"`
+	PlannedSkips  int64           `json:"planned_skips"`
+	PlanCacheHits int64           `json:"plan_cache_hits"`
 }
 
 // handleQueryBatch answers POST /api/query/batch: many queries executed
@@ -605,6 +661,8 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	b.mu.RLock()
 	before := b.built.IOStats()
+	skipsBefore := b.built.Planner.Skips()
+	hitsBefore, _ := b.built.Planner.CacheStats()
 	var rss [][]index.Result
 	var err error
 	if bs, ok := b.built.Index.(index.BatchSearcher); ok && req.Exact {
@@ -622,6 +680,8 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	skips := b.built.Planner.Skips() - skipsBefore
+	hits, _ := b.built.Planner.CacheStats()
 	b.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "batch query failed: %v", err)
@@ -629,11 +689,13 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	diff := b.built.IOStats().Sub(before)
 	resp := BatchQueryResponse{
-		Results: make([][]QueryResult, len(rss)),
-		Queries: len(rss),
-		Cost:    diff.Cost(s.cost),
-		SeqIO:   diff.SeqReads + diff.SeqWrites,
-		RandIO:  diff.RandReads + diff.RandWrites,
+		Results:       make([][]QueryResult, len(rss)),
+		Queries:       len(rss),
+		Cost:          diff.Cost(s.cost),
+		SeqIO:         diff.SeqReads + diff.SeqWrites,
+		RandIO:        diff.RandReads + diff.RandWrites,
+		PlannedSkips:  skips,
+		PlanCacheHits: hits - hitsBefore,
 	}
 	for i, rs := range rss {
 		out := make([]QueryResult, 0, len(rs))
@@ -799,11 +861,22 @@ type CompactionStatsJSON struct {
 	DurableLSN        int64 `json:"durable_lsn"`
 }
 
+// PlannerStats is the /api/stats section describing a build's query
+// planner: envelope skips across every query so far, and — when the build
+// has a plan cache — its hit/miss counters.
+type PlannerStats struct {
+	Enabled       bool    `json:"enabled"`
+	PlannedSkips  int64   `json:"planned_skips"`
+	PlanCacheHits int64   `json:"plan_cache_hits"`
+	PlanCacheMiss int64   `json:"plan_cache_misses"`
+	HitRatio      float64 `json:"hit_ratio"`
+}
+
 // StatsResponse reports a build's I/O accounting since construction:
 // aggregate over every disk backing the build, plus the per-shard
 // breakdown (one entry, equal to the aggregate, for unsharded builds),
-// the buffer pool, and — for durable CLSM builds — the write-ahead log
-// and compaction machinery.
+// the buffer pool, the query planner, and — for durable CLSM builds —
+// the write-ahead log and compaction machinery.
 type StatsResponse struct {
 	Build      string              `json:"build"`
 	Variant    string              `json:"variant"`
@@ -812,6 +885,7 @@ type StatsResponse struct {
 	Aggregate  DiskStats           `json:"aggregate"`
 	PerShard   []DiskStats         `json:"per_shard"`
 	Cache      CacheStats          `json:"cache"`
+	Planner    PlannerStats        `json:"planner"`
 	WAL        WALStats            `json:"wal"`
 	Compaction CompactionStatsJSON `json:"compaction"`
 }
@@ -876,6 +950,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Pending:           cst.Pending,
 			DurableLSN:        cst.DurableLSN,
 		}
+	}
+	if pl := b.built.Planner; pl != nil && pl.Enabled() {
+		hits, misses := pl.CacheStats()
+		ps := PlannerStats{Enabled: true, PlannedSkips: pl.Skips(), PlanCacheHits: hits, PlanCacheMiss: misses}
+		if hits+misses > 0 {
+			ps.HitRatio = float64(hits) / float64(hits+misses)
+		}
+		resp.Planner = ps
 	}
 	if c := b.built.Cache; c != nil {
 		resp.Cache = CacheStats{

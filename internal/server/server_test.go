@@ -535,3 +535,79 @@ func TestCachedBuildStats(t *testing.T) {
 		t.Fatalf("oversized cache_bytes accepted with status %d", code)
 	}
 }
+
+func TestPlannerBuildAndStats(t *testing.T) {
+	ts := newTestServer(t)
+	var d DatasetResponse
+	postJSON(t, ts.URL+"/api/datasets", DatasetRequest{Kind: "astronomy", N: 400, Len: 64, Seed: 7}, &d)
+	var b BuildResponse
+	code := postJSON(t, ts.URL+"/api/build", BuildRequest{
+		Dataset: d.ID, Variant: "CTree", Segments: 8, Bits: 8, MemBudget: 16 << 10, PlanCache: 16,
+	}, &b)
+	if code != http.StatusCreated {
+		t.Fatalf("planned build status %d", code)
+	}
+	if !b.Planner || b.PlanCache != 16 {
+		t.Fatalf("build response planner=%v plan_cache=%d, want enabled with 16 entries", b.Planner, b.PlanCache)
+	}
+	q := make([]float64, 64)
+	for i := range q {
+		q[i] = float64(i % 5)
+	}
+	// The same exact query twice: the second run reuses the cached plan.
+	var qr QueryResponse
+	for i := 0; i < 2; i++ {
+		if code := postJSON(t, ts.URL+"/api/query", QueryRequest{Build: b.ID, Series: q, K: 2, Exact: true}, &qr); code != http.StatusOK {
+			t.Fatalf("query status %d", code)
+		}
+	}
+	var st StatsResponse
+	if code := getJSON(t, ts.URL+"/api/stats?build="+b.ID, &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if !st.Planner.Enabled {
+		t.Fatalf("planner section disabled: %+v", st.Planner)
+	}
+	if st.Planner.PlanCacheHits == 0 || st.Planner.PlanCacheMiss == 0 {
+		t.Fatalf("repeated exact query recorded no plan-cache traffic: %+v", st.Planner)
+	}
+	if st.Planner.HitRatio <= 0 || st.Planner.HitRatio >= 1 {
+		t.Fatalf("hit ratio %v out of (0,1)", st.Planner.HitRatio)
+	}
+	// Batch responses aggregate the planner deltas too.
+	var br BatchQueryResponse
+	if code := postJSON(t, ts.URL+"/api/query/batch", BatchQueryRequest{
+		Build: b.ID, Queries: [][]float64{q, q}, K: 2, Exact: true,
+	}, &br); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if br.PlanCacheHits == 0 {
+		t.Fatalf("batch of repeated queries recorded no plan-cache hits: %+v", br)
+	}
+	// A planner-disabled build reports a disabled section and zero counters.
+	var off BuildResponse
+	postJSON(t, ts.URL+"/api/build", BuildRequest{
+		Dataset: d.ID, Variant: "CTree", Segments: 8, Bits: 8, MemBudget: 16 << 10, DisablePlanner: true,
+	}, &off)
+	if off.Planner {
+		t.Fatalf("disable_planner build reports an enabled planner: %+v", off)
+	}
+	if code := postJSON(t, ts.URL+"/api/query", QueryRequest{Build: off.ID, Series: q, K: 2, Exact: true}, &qr); code != http.StatusOK {
+		t.Fatalf("planner-off query status %d", code)
+	}
+	if qr.PlannedSkips != 0 {
+		t.Fatalf("planner-off query reports %d skips", qr.PlannedSkips)
+	}
+	if code := getJSON(t, ts.URL+"/api/stats?build="+off.ID, &st); code != http.StatusOK {
+		t.Fatalf("planner-off stats status %d", code)
+	}
+	if st.Planner.Enabled || st.Planner.PlannedSkips != 0 {
+		t.Fatalf("planner-off build reports planner activity: %+v", st.Planner)
+	}
+	// Oversized plan-cache requests are rejected with a clear error.
+	if code := postJSON(t, ts.URL+"/api/build", BuildRequest{
+		Dataset: d.ID, Variant: "CTree", Segments: 8, Bits: 8, PlanCache: 1 << 21,
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized plan_cache accepted with status %d", code)
+	}
+}

@@ -38,12 +38,14 @@ package shard
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"repro/internal/index"
 	"repro/internal/parallel"
 	"repro/internal/series"
 	"repro/internal/storage"
+	"repro/internal/zonestat"
 )
 
 // Of returns the shard that owns global series ID id among n shards. The
@@ -103,9 +105,10 @@ func (sh Shard) IOStats() storage.Stats {
 // indexes, a Sharded is safe for concurrent searches; inserts require
 // external serialization against searches.
 type Sharded struct {
-	cfg    index.Config
-	shards []Shard
-	pool   *parallel.Pool
+	cfg     index.Config
+	shards  []Shard
+	pool    *parallel.Pool
+	planner *index.Planner
 
 	// idsMu guards count and every shard's IDs slice so inserts may run
 	// concurrently with searches: readers snapshot a slice header under the
@@ -170,6 +173,45 @@ func (s *Sharded) Config() index.Config { return s.cfg }
 // GOMAXPROCS; 1 probes shards serially). Answers are identical at every
 // setting. Call only while no search is in flight.
 func (s *Sharded) SetParallelism(n int) { s.pool = parallel.New(n) }
+
+// SetPlanner installs the query planner that orders the cross-shard fan-out
+// by each shard's best synopsis envelope bound and skips shards that cannot
+// improve the current answer. The same *index.Planner is typically also
+// installed in every shard's sub-index, so run- and leaf-level planning
+// share one plan cache and one set of counters. nil (the default) plans
+// with default settings; a planner with Disabled set restores the unplanned
+// fan-out. Call only while no search is in flight.
+func (s *Sharded) SetPlanner(pl *index.Planner) { s.planner = pl }
+
+// shardBoundSq returns the squared envelope lower bound between the query
+// and every series in shard i: the minimum of the shard's per-unit synopsis
+// bounds, with window-disjoint units contributing +Inf. A shard whose index
+// exposes no synopses — or whose synopses do not cover every entry (an
+// unflushed write buffer, a pre-synopsis snapshot) — yields 0: no bound,
+// always probe. An empty (or fully out-of-window) shard yields +Inf.
+func (s *Sharded) shardBoundSq(i int, q index.Query, ctx *index.SearchCtx) float64 {
+	prov, ok := s.shards[i].Index.(zonestat.Provider)
+	if !ok {
+		return 0
+	}
+	syns, complete := prov.PlanSynopses()
+	if !complete {
+		return 0
+	}
+	bound := math.Inf(1)
+	for _, syn := range syns {
+		var b float64
+		if q.Windowed && syn != nil && !syn.IntersectsWindow(q.MinTS, q.MaxTS) {
+			b = math.Inf(1)
+		} else {
+			b = ctx.P.SynopsisBoundSq(syn)
+		}
+		if b < bound {
+			bound = b
+		}
+	}
+	return bound
+}
 
 // IOStats returns the disk statistics aggregated across every shard,
 // including buffer-pool hit/miss counters when shards read through one.
@@ -282,27 +324,46 @@ func (s *Sharded) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	n := len(s.shards)
 	w := s.pool.WorkersFor(n)
 	col := index.NewCollector(k)
+	pl := s.planner
 	if w <= 1 {
-		ctx := index.AcquireCtx(q, s.cfg)
+		ctx := pl.AcquireCtx(q, s.cfg)
 		defer ctx.Release()
-		for i := 0; i < n; i++ {
-			if err := s.exactProbe(i, q, k, ctx, col); err != nil {
-				return nil, err
-			}
+		if err := s.exactShards(q, k, ctx, col); err != nil {
+			return nil, err
 		}
 		return col.Results(), nil
 	}
 	ctxs := make([]*index.SearchCtx, w)
 	for i := range ctxs {
-		ctxs[i] = index.AcquireCtx(q, s.cfg)
+		ctxs[i] = pl.AcquireCtx(q, s.cfg)
 	}
 	cols := make([]*index.Collector, w)
 	for i := range cols {
 		cols[i] = col.PooledClone()
 	}
-	err := s.pool.ForEach(n, func(worker, i int) error {
-		return s.exactProbe(i, q, k, ctxs[worker], cols[worker])
-	})
+	var err error
+	if pl.Enabled() {
+		// Probe shards in ascending bound order; each worker re-checks the
+		// next shard's bound against its clone right before probing. A
+		// clone's worst is never tighter than the final merged worst, so a
+		// late skip can only drop candidates the merge would reject anyway.
+		units := ctxs[0].OuterPlanUnits(n)
+		for i := range units {
+			units[i].BoundSq = s.shardBoundSq(units[i].Idx, q, ctxs[0])
+		}
+		index.SortPlan(units)
+		err = s.pool.ForEach(n, func(worker, i int) error {
+			if cols[worker].SkipSq(units[i].BoundSq) {
+				pl.NoteSkips(1)
+				return nil
+			}
+			return s.exactProbe(units[i].Idx, q, k, ctxs[worker], cols[worker])
+		})
+	} else {
+		err = s.pool.ForEach(n, func(worker, i int) error {
+			return s.exactProbe(i, q, k, ctxs[worker], cols[worker])
+		})
+	}
 	for _, c := range cols {
 		col.MergeRelease(c)
 	}
@@ -313,6 +374,38 @@ func (s *Sharded) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 		return nil, err
 	}
 	return col.Results(), nil
+}
+
+// exactShards probes every shard serially into col with one shared context,
+// in planned order (skipping bound-dominated shards) when planning is on.
+func (s *Sharded) exactShards(q index.Query, k int, ctx *index.SearchCtx, col *index.Collector) error {
+	n := len(s.shards)
+	pl := s.planner
+	if !pl.Enabled() {
+		for i := 0; i < n; i++ {
+			if err := s.exactProbe(i, q, k, ctx, col); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	units := ctx.OuterPlanUnits(n)
+	for i := range units {
+		units[i].BoundSq = s.shardBoundSq(units[i].Idx, q, ctx)
+	}
+	index.SortPlan(units)
+	for ui, u := range units {
+		// Bounds ascend and the collector's worst only tightens, so the
+		// first skippable shard ends the fan-out.
+		if col.SkipSq(u.BoundSq) {
+			pl.NoteSkips(int64(len(units) - ui))
+			break
+		}
+		if err := s.exactProbe(u.Idx, q, k, ctx, col); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ApproxSearch probes every shard's approximate path and merges the best k.
@@ -343,7 +436,6 @@ func (s *Sharded) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 func (s *Sharded) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 	col := index.NewRangeCollector(eps)
 	n := len(s.shards)
-	w := s.pool.WorkersFor(n)
 	probe := func(i int, into *index.RangeCollector) error {
 		rs, ok := s.shards[i].Index.(index.RangeSearcher)
 		if !ok {
@@ -359,8 +451,30 @@ func (s *Sharded) RangeSearch(q index.Query, eps float64) ([]index.Result, error
 		}
 		return nil
 	}
-	if w <= 1 {
+	// The epsilon bound is static, so a shard whose envelope bound exceeds
+	// it can be dropped before the fan-out — no series in the shard can lie
+	// within eps of the query. Pre-filtering is all the skipping a range
+	// scan admits (nothing tightens as probes complete).
+	targets := make([]int, 0, n)
+	pl := s.planner
+	if pl.Enabled() {
+		ctx := pl.AcquireCtx(q, s.cfg)
 		for i := 0; i < n; i++ {
+			if col.PruneSq(s.shardBoundSq(i, q, ctx)) {
+				pl.NoteSkips(1)
+				continue
+			}
+			targets = append(targets, i)
+		}
+		ctx.Release()
+	} else {
+		for i := 0; i < n; i++ {
+			targets = append(targets, i)
+		}
+	}
+	w := s.pool.WorkersFor(len(targets))
+	if w <= 1 {
+		for _, i := range targets {
 			if err := probe(i, col); err != nil {
 				return nil, err
 			}
@@ -371,8 +485,8 @@ func (s *Sharded) RangeSearch(q index.Query, eps float64) ([]index.Result, error
 	for i := range cols {
 		cols[i] = col.PooledClone()
 	}
-	err := s.pool.ForEach(n, func(worker, i int) error {
-		return probe(i, cols[worker])
+	err := s.pool.ForEach(len(targets), func(worker, i int) error {
+		return probe(targets[i], cols[worker])
 	})
 	for _, c := range cols {
 		col.MergeRelease(c)
@@ -390,10 +504,8 @@ func (s *Sharded) RangeSearch(q index.Query, eps float64) ([]index.Result, error
 // across queries while each query pays a single context.
 func (s *Sharded) ExactSearchCtx(q index.Query, k int, ctx *index.SearchCtx) ([]index.Result, error) {
 	col := index.NewCollector(k)
-	for i := range s.shards {
-		if err := s.exactProbe(i, q, k, ctx, col); err != nil {
-			return nil, err
-		}
+	if err := s.exactShards(q, k, ctx, col); err != nil {
+		return nil, err
 	}
 	return col.Results(), nil
 }
@@ -403,7 +515,7 @@ func (s *Sharded) ExactSearchCtx(q index.Query, k int, ctx *index.SearchCtx) ([]
 // context across every query it executes, and each query probes all shards
 // with that single context. out[i] is byte-identical to ExactSearch(qs[i], k).
 func (s *Sharded) ExactSearchBatch(qs []index.Query, k int) ([][]index.Result, error) {
-	return index.Batch(s.pool, s.cfg, qs, func(q index.Query, ctx *index.SearchCtx) ([]index.Result, error) {
+	return index.BatchPlanned(s.planner, s.pool, s.cfg, qs, func(q index.Query, ctx *index.SearchCtx) ([]index.Result, error) {
 		return s.ExactSearchCtx(q, k, ctx)
 	})
 }

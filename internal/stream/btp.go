@@ -10,6 +10,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/series"
 	"repro/internal/storage"
+	"repro/internal/zonestat"
 )
 
 // btpPart is one temporal partition: a key-sorted run on disk covering a
@@ -19,6 +20,7 @@ type btpPart struct {
 	count        int64
 	minTS, maxTS int64
 	class        int // size class; merging K class-c parts yields class c+1
+	syn          *zonestat.Synopsis
 }
 
 // BTP implements Bounded Temporal Partitioning — the scheme the sortable
@@ -44,6 +46,7 @@ type BTP struct {
 	count       int64
 	merges      int64
 	pool        *parallel.Pool
+	planner     *index.Planner
 }
 
 // NewBTP builds a bounded-temporal-partitioning scheme over sorted runs.
@@ -89,6 +92,14 @@ func NewBTP(disk storage.Backend, name string, cfg index.Config, bufferCap, merg
 // synchronized with in-flight searches.
 func (b *BTP) SetParallelism(n int) { b.pool = parallel.New(n) }
 
+// SetPlanner installs the query planner that orders partition probes by
+// their synopsis envelope bound and skips partitions that cannot improve
+// the current answer. nil (the default) plans with default settings; a
+// planner with Disabled set restores the unplanned probe order. Call
+// before querying; the setting is not synchronized with in-flight
+// searches.
+func (b *BTP) SetPlanner(pl *index.Planner) { b.planner = pl }
+
 // UseReader routes partition page reads through r (typically a buffer pool
 // over the scheme's disk); nil restores the uncached disk. Call before
 // querying; the setting is not synchronized with in-flight searches.
@@ -127,14 +138,9 @@ func (b *BTP) Seal() error {
 	if len(b.buffer) == 0 {
 		return nil
 	}
-	minTS, maxTS := b.buffer[0].TS, b.buffer[0].TS
+	syn := zonestat.New(b.cfg.Segments, b.cfg.Bits)
 	for _, e := range b.buffer {
-		if e.TS < minTS {
-			minTS = e.TS
-		}
-		if e.TS > maxTS {
-			maxTS = e.TS
-		}
+		syn.Add(e.Key, e.TS)
 	}
 	sort.Slice(b.buffer, func(i, j int) bool { return b.buffer[i].Less(b.buffer[j]) })
 	b.seq++
@@ -156,7 +162,7 @@ func (b *BTP) Seal() error {
 	if err := w.Close(); err != nil {
 		return err
 	}
-	b.parts = append(b.parts, btpPart{file: file, count: int64(len(b.buffer)), minTS: minTS, maxTS: maxTS, class: 0})
+	b.parts = append(b.parts, btpPart{file: file, count: int64(len(b.buffer)), minTS: syn.MinTS, maxTS: syn.MaxTS, class: 0, syn: syn})
 	b.buffer = nil
 	return b.bound()
 }
@@ -176,6 +182,11 @@ func (b *BTP) bound() error {
 		names := make([]string, len(group))
 		counts := make([]int64, len(group))
 		minTS, maxTS := group[0].minTS, group[0].maxTS
+		// The merged partition's synopsis is the exact union of its inputs'
+		// — every recorded statistic is a monotone envelope, so no re-scan
+		// of the merged run is needed. An unknown input poisons the union:
+		// treating it as empty would produce a too-tight (wrong) bound.
+		msyn := zonestat.New(b.cfg.Segments, b.cfg.Bits)
 		for j, p := range group {
 			names[j] = p.file
 			counts[j] = p.count
@@ -184,6 +195,13 @@ func (b *BTP) bound() error {
 			}
 			if p.maxTS > maxTS {
 				maxTS = p.maxTS
+			}
+			if msyn != nil {
+				if p.syn == nil {
+					msyn = nil
+				} else {
+					msyn.Union(p.syn)
+				}
 			}
 		}
 		b.seq++
@@ -197,7 +215,7 @@ func (b *BTP) bound() error {
 				return err
 			}
 		}
-		newPart := btpPart{file: merged, count: total, minTS: minTS, maxTS: maxTS, class: group[0].class + 1}
+		newPart := btpPart{file: merged, count: total, minTS: minTS, maxTS: maxTS, class: group[0].class + 1, syn: msyn}
 		rest := append([]btpPart{}, b.parts[:i]...)
 		rest = append(rest, newPart)
 		rest = append(rest, b.parts[i+b.mergeFactor:]...)
@@ -239,7 +257,7 @@ func (b *BTP) Merges() int64 { return b.merges }
 // independent sorted runs, so probes execute concurrently on the worker
 // pool.
 func (b *BTP) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
-	ctx := index.AcquireCtx(q, b.cfg)
+	ctx := b.planner.AcquireCtx(q, b.cfg)
 	defer ctx.Release()
 	col := index.NewCollector(k)
 	if err := b.approxInto(q, col, ctx); err != nil {
@@ -268,7 +286,7 @@ func (b *BTP) approxInto(q index.Query, col *index.Collector, ctx *index.SearchC
 // window are skipped wholesale — the bandwidth saving TP pioneered, here
 // with a bounded partition count.
 func (b *BTP) ExactSearch(q index.Query, k int) ([]index.Result, error) {
-	ctx := index.AcquireCtx(q, b.cfg)
+	ctx := b.planner.AcquireCtx(q, b.cfg)
 	defer ctx.Release()
 	col := index.NewCollector(k)
 	if err := b.approxInto(q, col, ctx); err != nil {
@@ -285,7 +303,12 @@ func (b *BTP) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 
 // forEachPart applies scan to every partition intersecting the query
 // window through index.FanOut — the same fan-out/merge discipline as CLSM
-// runs, with the same determinism guarantee.
+// runs, with the same determinism guarantee. With the planner enabled
+// (the default), partitions are probed in ascending order of their
+// synopsis envelope bound and a partition whose bound already exceeds the
+// collector's worst is skipped outright; the envelope bound never exceeds
+// any member's per-entry bound, so skipped partitions could not have
+// changed the answer.
 func (b *BTP) forEachPart(q index.Query, ctx *index.SearchCtx, col *index.Collector, scan func(btpPart, *index.Scratch, *index.Collector) error) error {
 	var active []btpPart
 	for _, p := range b.parts {
@@ -293,9 +316,54 @@ func (b *BTP) forEachPart(q index.Query, ctx *index.SearchCtx, col *index.Collec
 			active = append(active, p)
 		}
 	}
-	return index.FanOut(b.pool, len(active), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
-		func(i int, col *index.Collector, sc *index.Scratch) error {
-			return scan(active[i], sc, col)
+	pl := b.planner
+	if !pl.Enabled() || len(active) == 0 {
+		return index.FanOut(b.pool, len(active), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
+			func(i int, col *index.Collector, sc *index.Scratch) error {
+				return scan(active[i], sc, col)
+			})
+	}
+	units := ctx.PlanUnits(len(active))
+	for i := range units {
+		units[i].BoundSq = ctx.P.SynopsisBoundSq(active[i].syn)
+	}
+	index.SortPlan(units)
+	if b.pool.WorkersFor(len(units)) <= 1 {
+		// Serial: bounds are sorted ascending and the collector's worst
+		// only tightens, so the first skippable unit ends the scan.
+		sc := ctx.Scratch0()
+		var skipped int64
+		for ui, u := range units {
+			if col.SkipSq(u.BoundSq) {
+				skipped += int64(len(units) - ui)
+				break
+			}
+			if err := scan(active[u.Idx], sc, col); err != nil {
+				return err
+			}
+		}
+		pl.NoteSkips(skipped)
+		return nil
+	}
+	// Parallel: drop statically skippable units, fan out over the rest in
+	// bound order, and let each worker re-check against its clone's bound
+	// right before scanning (the clone's worst is never tighter than the
+	// final merged worst, so late skips remain answer-preserving).
+	live := units[:0]
+	for _, u := range units {
+		if col.SkipSq(u.BoundSq) {
+			pl.NoteSkips(1)
+			continue
+		}
+		live = append(live, u)
+	}
+	return index.FanOut(b.pool, len(live), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
+		func(i int, wcol *index.Collector, sc *index.Scratch) error {
+			if wcol.SkipSq(live[i].BoundSq) {
+				pl.NoteSkips(1)
+				return nil
+			}
+			return scan(active[live[i].Idx], sc, wcol)
 		})
 }
 

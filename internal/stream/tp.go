@@ -12,6 +12,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/series"
 	"repro/internal/storage"
+	"repro/internal/zonestat"
 )
 
 // PartitionFactory builds a searchable partition from one buffer's worth of
@@ -76,6 +77,7 @@ func ADSFactory(disk storage.Backend, reader storage.PageReader, cfg index.Confi
 type tpPart struct {
 	idx          index.Index
 	minTS, maxTS int64
+	syn          *zonestat.Synopsis
 }
 
 // TP implements Temporal Partitioning: every buffer fill seals a new
@@ -93,6 +95,7 @@ type TP struct {
 	seq       int
 	count     int64
 	pool      *parallel.Pool
+	planner   *index.Planner
 }
 
 // NewTP builds a temporal-partitioning scheme. baseName names partition
@@ -122,6 +125,14 @@ func NewTP(baseName string, cfg index.Config, factory PartitionFactory, bufferCa
 // synchronized with in-flight searches.
 func (t *TP) SetParallelism(n int) { t.pool = parallel.New(n) }
 
+// SetPlanner installs the query planner that orders partition probes by
+// their synopsis envelope bound and skips partitions that cannot improve
+// the current answer. nil (the default) plans with default settings; a
+// planner with Disabled set restores the unplanned probe order. Call
+// before querying; the setting is not synchronized with in-flight
+// searches.
+func (t *TP) SetPlanner(pl *index.Planner) { t.planner = pl }
+
 // Name implements Scheme: "<base>+TP" after the first partition exists, or
 // the generic "TP" before.
 func (t *TP) Name() string {
@@ -150,14 +161,9 @@ func (t *TP) Seal() error {
 	if len(t.buffer) == 0 {
 		return nil
 	}
-	minTS, maxTS := t.buffer[0].TS, t.buffer[0].TS
+	syn := zonestat.New(t.sum.cfg.Segments, t.sum.cfg.Bits)
 	for _, e := range t.buffer {
-		if e.TS < minTS {
-			minTS = e.TS
-		}
-		if e.TS > maxTS {
-			maxTS = e.TS
-		}
+		syn.Add(e.Key, e.TS)
 	}
 	t.seq++
 	name := fmt.Sprintf("%s.part.%04d", t.baseName, t.seq)
@@ -165,7 +171,7 @@ func (t *TP) Seal() error {
 	if err != nil {
 		return err
 	}
-	t.parts = append(t.parts, tpPart{idx: idx, minTS: minTS, maxTS: maxTS})
+	t.parts = append(t.parts, tpPart{idx: idx, minTS: syn.MinTS, maxTS: syn.MaxTS, syn: syn})
 	t.buffer = nil
 	return nil
 }
@@ -200,7 +206,7 @@ func (t *TP) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 // collector, giving the same answer as the serial partition-by-partition
 // loop.
 func (t *TP) search(q index.Query, k int, f func(index.Index) ([]index.Result, error)) ([]index.Result, error) {
-	ctx := index.AcquireCtx(q, t.sum.cfg)
+	ctx := t.planner.AcquireCtx(q, t.sum.cfg)
 	defer ctx.Release()
 	sc := ctx.Scratch0()
 	col := index.NewCollector(k)
@@ -223,15 +229,76 @@ func (t *TP) search(q index.Query, k int, f func(index.Index) ([]index.Result, e
 		// distances.
 		col.Add(index.Result{ID: e.ID, TS: e.TS, Dist: math.Sqrt(dSq)})
 	}
-	var active []index.Index
+	var active []tpPart
 	for _, p := range t.parts {
 		if intersects(q, p.minTS, p.maxTS) {
-			active = append(active, p.idx)
+			active = append(active, p)
 		}
+	}
+	pl := t.planner
+	if pl.Enabled() && len(active) > 0 {
+		// Order partitions by their synopsis envelope bound and skip those
+		// whose bound already exceeds the collector's worst. The envelope
+		// bound never exceeds any member's true distance, so a skipped
+		// partition could not have contributed a result — answers match the
+		// unplanned probe order byte for byte.
+		units := ctx.PlanUnits(len(active))
+		for i := range units {
+			units[i].BoundSq = ctx.P.SynopsisBoundSq(active[i].syn)
+		}
+		index.SortPlan(units)
+		if t.pool.WorkersFor(len(units)) <= 1 {
+			// Serial: merge each partition's results before deciding on the
+			// next, so the bound tightens as probes proceed; bounds are
+			// sorted ascending, so the first skippable unit ends the scan.
+			for ui, u := range units {
+				if col.SkipSq(u.BoundSq) {
+					pl.NoteSkips(int64(len(units) - ui))
+					break
+				}
+				rs, err := f(active[u.Idx].idx)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range rs {
+					col.Add(r)
+				}
+			}
+			return col.Results(), nil
+		}
+		// Parallel: the bound only tightens once results merge, so the
+		// static pre-filter against the buffer-seeded collector is all the
+		// skipping available before the fan-out.
+		live := units[:0]
+		for _, u := range units {
+			if col.SkipSq(u.BoundSq) {
+				pl.NoteSkips(1)
+				continue
+			}
+			live = append(live, u)
+		}
+		results := make([][]index.Result, len(live))
+		err := t.pool.ForEach(len(live), func(_, i int) error {
+			rs, err := f(active[live[i].Idx].idx)
+			if err != nil {
+				return err
+			}
+			results[i] = rs
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, rs := range results {
+			for _, r := range rs {
+				col.Add(r)
+			}
+		}
+		return col.Results(), nil
 	}
 	results := make([][]index.Result, len(active))
 	err := t.pool.ForEach(len(active), func(_, i int) error {
-		rs, err := f(active[i])
+		rs, err := f(active[i].idx)
 		if err != nil {
 			return err
 		}

@@ -127,10 +127,49 @@ type BuildOptions struct {
 	// its own shard-NNN subdirectory. Empty (the default) keeps the
 	// paper-faithful simulated disk.
 	StorageDir string
+	// DisablePlanner turns off statistics-driven probe ordering and
+	// envelope skipping on the built index's query paths. Answers are
+	// byte-identical either way; only I/O cost changes (the A/B switch
+	// experiment E17 measures).
+	DisablePlanner bool
+	// PlanCacheSize bounds the LRU plan cache (filled pruning tables keyed
+	// by quantized query signature + config). 0 disables caching; sharded
+	// builds share one cache across all shards.
+	PlanCacheSize int
 
 	// cache, when set, is the shared frame store a sharded build hands each
 	// of its per-shard sub-builds (CacheBytes then sizes nothing here).
 	cache *bufpool.Cache
+	// planner, when set, is the shared query planner a sharded build hands
+	// each of its per-shard sub-builds.
+	planner *index.Planner
+}
+
+// Process-wide planner defaults, applied by BuildVariant to builds whose
+// BuildOptions leave the planner knobs unset. cmd/coconut-bench's
+// -no-planner and -plan-cache flags steer whole experiment sweeps through
+// them. Set before any build runs; not safe to change concurrently.
+var (
+	defaultDisablePlanner bool
+	defaultPlanCacheSize  int
+)
+
+// PlannerDefaults sets the process-wide planner defaults (see above).
+func PlannerDefaults(disable bool, cacheSize int) {
+	defaultDisablePlanner, defaultPlanCacheSize = disable, cacheSize
+}
+
+// plannerFor builds the planner a BuildVariant call should use, folding the
+// process-wide defaults under the explicit options.
+func (o BuildOptions) plannerFor() *index.Planner {
+	size := o.PlanCacheSize
+	if size == 0 {
+		size = defaultPlanCacheSize
+	}
+	return &index.Planner{
+		Disabled: o.DisablePlanner || defaultDisablePlanner,
+		Cache:    index.NewPlanCache(size),
+	}
 }
 
 // newDisk creates the build's storage backend: the simulated disk by
@@ -183,6 +222,10 @@ type Built struct {
 	ShardPools []*bufpool.Pool
 	// Cache is the shared frame store behind the pool(s); nil uncached.
 	Cache *bufpool.Cache
+	// Planner carries the build's query-planning state (skip counter, plan
+	// cache). Shared across shards of a sharded build. Nil for variants
+	// without a planned query path (ADS+).
+	Planner *index.Planner
 	// WAL is the write-ahead log behind a durable CLSM build (nil without
 	// WALDir); Compactor the background-merge scheduler (nil inline).
 	// Both are owned by the build — Close releases them.
@@ -415,6 +458,11 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	if entryBudget < 4 {
 		entryBudget = 4
 	}
+	pl := opts.planner
+	if pl == nil {
+		pl = opts.plannerFor()
+	}
+	out.Planner = pl
 	start := time.Now()
 	var idx index.Index
 	switch variant {
@@ -422,7 +470,7 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 		idx, err = ctree.Build(ctree.Options{
 			Disk: disk, Reader: reader, Name: "idx", Config: cfg,
 			FillFactor: opts.FillFactor, MemBudget: opts.MemBudget, Raw: raw,
-			Parallelism: opts.Parallelism,
+			Parallelism: opts.Parallelism, Planner: pl,
 		}, ds, 0)
 	case "CLSM", "CLSMFull":
 		if opts.WALDir != "" {
@@ -437,8 +485,8 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 		l, err = clsm.New(clsm.Options{
 			Disk: disk, Reader: reader, Name: "idx", Config: cfg,
 			GrowthFactor: opts.GrowthFactor, BufferEntries: entryBudget, Raw: raw,
-			Parallelism: opts.Parallelism,
-			WAL:         out.WAL, TruncateWALOnFlush: true,
+			Parallelism: opts.Parallelism, Planner: pl,
+			WAL: out.WAL, TruncateWALOnFlush: true,
 			Scheduler: out.Compactor,
 		})
 		if err == nil {
@@ -517,6 +565,9 @@ func buildSharded(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 		inner.cache = bufpool.NewCache(opts.CacheBytes, storage.DefaultPageSize)
 		inner.CacheBytes = 0
 	}
+	// Likewise one planner (and plan cache) for the whole sharded index.
+	inner.planner = opts.plannerFor()
+	inner.PlanCacheSize = 0
 	builts := make([]*Built, nsh)
 	pool := parallel.New(opts.Parallelism)
 	start := time.Now()
@@ -563,6 +614,8 @@ func buildSharded(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	if err != nil {
 		return nil, err
 	}
+	sh.SetPlanner(inner.planner)
+	out.Planner = inner.planner
 	out.Index = sh
 	out.Disk = builts[0].Disk
 	out.Raw = builts[0].Raw
@@ -579,6 +632,12 @@ type QueryStats struct {
 	WallTime  time.Duration
 	MeanDist  float64 // mean distance of the best answer (quality indicator)
 	ExactDist float64 // mean true 1-NN distance (for approximate recall context)
+	// Planner activity during the workload: probe units skipped by their
+	// synopsis bound and plan-cache hits/misses (all zero with the planner
+	// disabled or absent).
+	PlannedSkips    int64
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 }
 
 // Cost returns the workload's I/O cost per query under the model.
@@ -594,6 +653,8 @@ func (q QueryStats) Cost(m storage.CostModel) float64 {
 func RunQueries(b *Built, queries []series.Series, cfg index.Config, k int, exact bool) (QueryStats, error) {
 	cfg.Materialized = false // query preparation does not depend on it
 	before := b.IOStats()
+	skipsBefore := b.Planner.Skips()
+	hitsBefore, missesBefore := b.Planner.CacheStats()
 	start := time.Now()
 	var distSum float64
 	for _, q := range queries {
@@ -614,11 +675,15 @@ func RunQueries(b *Built, queries []series.Series, cfg index.Config, k int, exac
 			distSum += rs[0].Dist
 		}
 	}
+	hits, misses := b.Planner.CacheStats()
 	return QueryStats{
-		Queries:  len(queries),
-		Stats:    b.IOStats().Sub(before),
-		WallTime: time.Since(start),
-		MeanDist: distSum / float64(max(1, len(queries))),
+		Queries:         len(queries),
+		Stats:           b.IOStats().Sub(before),
+		WallTime:        time.Since(start),
+		MeanDist:        distSum / float64(max(1, len(queries))),
+		PlannedSkips:    b.Planner.Skips() - skipsBefore,
+		PlanCacheHits:   hits - hitsBefore,
+		PlanCacheMisses: misses - missesBefore,
 	}, nil
 }
 

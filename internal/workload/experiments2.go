@@ -362,7 +362,12 @@ type RunConfig struct {
 	E16K        int
 	// E16Dir roots the file-backend experiment's page files; empty uses a
 	// temp directory removed afterwards.
-	E16Dir string
+	E16Dir       string
+	E17N         int
+	E17Queries   int
+	E17K         int
+	E17Repeats   int
+	E17PlanCache int
 }
 
 // DefaultRunConfig returns the laptop-scale defaults used by
@@ -409,5 +414,12 @@ func DefaultRunConfig() RunConfig {
 		E16N:       5000,
 		E16Queries: 16,
 		E16K:       5,
+		E17N:       10000,
+		E17Queries: 32,
+		E17K:       5,
+		// 4 repeats put the ideal plan-cache hit rate at 75%; 64 entries
+		// hold the whole 32-query set.
+		E17Repeats:   4,
+		E17PlanCache: 64,
 	}
 }

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestE17Planner runs the planner experiment at test scale: the experiment
+// itself asserts byte-identity against the planner-off path, non-zero
+// envelope skips with a strictly lower io-cost/query on the skewed
+// workload, and plan-cache hits on the repeated workload — so a clean
+// return is the property.
+func TestE17Planner(t *testing.T) {
+	sc := Scale{SeriesLen: 64, Segments: 8, Bits: 6}
+	tbl, err := E17Planner(sc, 3000, 8, 3, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tbl.Rows); got != 3 {
+		t.Fatalf("E17 produced %d rows, want 3", got)
+	}
+	if !strings.Contains(tbl.Rows[2][0], "repeated") {
+		t.Fatalf("last row is %v, want the repeated workload", tbl.Rows[2])
+	}
+}
+
+// TestBuildVariantPlannerKnobs pins the BuildOptions plumbing: planner-off
+// builds report no planner activity, sharded builds share one planner
+// across shards, and RunQueries surfaces the counter deltas.
+func TestBuildVariantPlannerKnobs(t *testing.T) {
+	sc := Scale{SeriesLen: 64, Segments: 8, Bits: 6}
+	sc = sc.defaults()
+	ds := sc.dataset(1500)
+	queries, _ := gen.Queries(ds, 6, 0.05, sc.Seed+18)
+
+	off, err := BuildVariant("CTree", ds, sc.config(), BuildOptions{DisablePlanner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunQueries(off, queries, sc.config(), 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlannedSkips != 0 || st.PlanCacheHits != 0 || st.PlanCacheMisses != 0 {
+		t.Fatalf("planner-off build reports planner activity: %+v", st)
+	}
+
+	sh, err := BuildVariant("CTree", ds, sc.config(), BuildOptions{Shards: 3, PlanCacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Planner == nil {
+		t.Fatal("sharded build has no planner")
+	}
+	if _, err := RunQueries(sh, queries, sc.config(), 3, true); err != nil {
+		t.Fatal(err)
+	}
+	st, err = RunQueries(sh, queries, sc.config(), 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanCacheHits == 0 {
+		t.Fatalf("repeated sharded queries recorded no plan-cache hits: %+v", st)
+	}
+}

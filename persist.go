@@ -114,7 +114,9 @@ func OpenLSM(path string, opts ...Options) (*LSM, error) {
 		return nil, err
 	}
 	raw := &memStore{}
-	out := &LSM{disk: disk, raw: raw, hostFS: o.FS}
+	// Planning state is not persisted (like parallelism); the optional
+	// Options value carries the planner knobs for the reopened index.
+	out := &LSM{disk: disk, planner: o.newPlanner(), raw: raw, hostFS: o.FS}
 
 	// The raw mirror covers exactly the snapshot-resident entries; WAL
 	// replay appends past it.
@@ -139,6 +141,7 @@ func OpenLSM(path string, opts ...Options) (*LSM, error) {
 			out.sched.Close()
 			out.sched, out.ownsSched = nil, false
 		}
+		lsm.SetPlanner(out.planner)
 		out.lsm = lsm
 		out.cfg = lsm.Config()
 		if err := loadFacadeRaw(disk, raw, out.cfg.SeriesLen, snapCount); err != nil {
@@ -188,6 +191,7 @@ func OpenLSM(path string, opts ...Options) (*LSM, error) {
 		Raw:           raw,
 		WAL:           w,
 		Scheduler:     out.sched,
+		Planner:       out.planner,
 	}, func(e clsm.ReplayedEntry, z series.Series) error {
 		raw.setAt(e.ID, z)
 		return nil
@@ -304,7 +308,7 @@ func OpenSharded(path string) (*Sharded, error) {
 			t.SetParallelism(1)
 			trees[i] = t
 		}
-		return assembleShardedTrees(trees, part, trees[0].cfg, 0, nil)
+		return assembleShardedTrees(trees, part, trees[0].cfg, 0, nil, (Options{}).newPlanner())
 	case shardKindLSM:
 		lsms := make([]*LSM, m.Shards)
 		for i := range lsms {
@@ -315,7 +319,7 @@ func OpenSharded(path string) (*Sharded, error) {
 			l.SetParallelism(1)
 			lsms[i] = l
 		}
-		return assembleShardedLSMs(lsms, part, lsms[0].cfg, 0, nil)
+		return assembleShardedLSMs(lsms, part, lsms[0].cfg, 0, nil, (Options{}).newPlanner())
 	default:
 		return nil, fmt.Errorf("coconut: manifest %s has unknown kind %q", path, m.Kind)
 	}
@@ -335,7 +339,8 @@ func OpenTree(path string) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Tree{tree: tr, disk: disk, raw: raw}
+	out := &Tree{tree: tr, disk: disk, planner: (Options{}).newPlanner(), raw: raw}
+	tr.SetPlanner(out.planner)
 	out.cfg = tr.Config() // restored from the persisted metadata
 	if err := loadFacadeRaw(disk, raw, out.cfg.SeriesLen, tr.Count()); err != nil {
 		return nil, err

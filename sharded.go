@@ -34,13 +34,14 @@ import (
 // directly onto N machines. A single shard (ShardCount 1) behaves exactly
 // like the unsharded index plus one ID translation.
 type Sharded struct {
-	sh     *shard.Sharded
-	kind   string // "tree" or "lsm"
-	trees  []*Tree
-	lsms   []*LSM
-	cache  *bufpool.Cache // shared across every shard's disk; nil uncached
-	cfg    index.Config
-	hostFS fsx.FS // filesystem for the snapshot manifest; nil means the OS
+	sh      *shard.Sharded
+	kind    string // "tree" or "lsm"
+	trees   []*Tree
+	lsms    []*LSM
+	cache   *bufpool.Cache // shared across every shard's disk; nil uncached
+	planner *index.Planner // ONE planner (and plan cache) shared by every shard
+	cfg     index.Config
+	hostFS  fsx.FS // filesystem for the snapshot manifest; nil means the OS
 
 	insertMu sync.Mutex         // serializes global ID assignment across shards
 	sched    *compact.Scheduler // ONE background-merge pool shared by every shard; nil inline
@@ -67,6 +68,10 @@ func innerOptions(opts Options) Options {
 	opts.WALDir = ""
 	opts.StorageDir = ""
 	opts.CompactionWorkers = 0
+	// The plan cache is likewise owned at the sharded level: one cache for
+	// the whole index, passed alongside the shared buffer cache, so shards
+	// never allocate private ones that would immediately be replaced.
+	opts.PlanCacheSize = 0
 	return opts
 }
 
@@ -104,6 +109,7 @@ func BuildShardedTree(data [][]float64, n int, opts Options) (*Sharded, error) {
 	part := shard.Partition(int64(len(data)), n)
 	trees := make([]*Tree, n)
 	cache := sharedCache(opts)
+	planner := opts.newPlanner()
 	pool := parallel.New(opts.Parallelism)
 	err = pool.ForEach(n, func(_, i int) error {
 		sub := make([][]float64, len(part[i]))
@@ -114,7 +120,7 @@ func BuildShardedTree(data [][]float64, n int, opts Options) (*Sharded, error) {
 		if opts.StorageDir != "" {
 			inner.StorageDir = shardDir(opts.StorageDir, i)
 		}
-		t, berr := buildTreeCache(sub, inner, cache)
+		t, berr := buildTreeCache(sub, inner, cache, planner)
 		if berr != nil {
 			return fmt.Errorf("coconut: building shard %d: %w", i, berr)
 		}
@@ -124,7 +130,7 @@ func BuildShardedTree(data [][]float64, n int, opts Options) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	sh, err := assembleShardedTrees(trees, part, cfg, opts.Parallelism, cache)
+	sh, err := assembleShardedTrees(trees, part, cfg, opts.Parallelism, cache, planner)
 	if err != nil {
 		return nil, err
 	}
@@ -132,9 +138,14 @@ func BuildShardedTree(data [][]float64, n int, opts Options) (*Sharded, error) {
 	return sh, nil
 }
 
-func assembleShardedTrees(trees []*Tree, part [][]int64, cfg index.Config, parallelism int, cache *bufpool.Cache) (*Sharded, error) {
+// assembleShardedTrees wires built (or reopened) per-shard trees into one
+// sharded index, re-pointing every shard at the single shared planner so
+// plan-cache entries and counters aggregate across the whole index.
+func assembleShardedTrees(trees []*Tree, part [][]int64, cfg index.Config, parallelism int, cache *bufpool.Cache, planner *index.Planner) (*Sharded, error) {
 	shards := make([]shard.Shard, len(trees))
 	for i, t := range trees {
+		t.planner = planner
+		t.tree.SetPlanner(planner)
 		shards[i] = shard.Shard{Index: t.tree, Disk: t.disk, IDs: part[i]}
 		if t.pool != nil {
 			shards[i].Reader = t.pool
@@ -144,7 +155,8 @@ func assembleShardedTrees(trees []*Tree, part [][]int64, cfg index.Config, paral
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{sh: sh, kind: shardKindTree, trees: trees, cache: cache, cfg: cfg}, nil
+	sh.SetPlanner(planner)
+	return &Sharded{sh: sh, kind: shardKindTree, trees: trees, cache: cache, planner: planner, cfg: cfg}, nil
 }
 
 // NewShardedLSM creates an empty sharded CoconutLSM with n shards, each a
@@ -179,6 +191,7 @@ func NewShardedLSM(n int, opts Options) (*Sharded, error) {
 	}
 	lsms := make([]*LSM, n)
 	cache := sharedCache(opts)
+	planner := opts.newPlanner()
 	for i := range lsms {
 		walDir := ""
 		if opts.WALDir != "" {
@@ -189,7 +202,7 @@ func NewShardedLSM(n int, opts Options) (*Sharded, error) {
 		if opts.StorageDir != "" {
 			inner.StorageDir = shardDir(opts.StorageDir, i)
 		}
-		l, lerr := newLSMFull(inner, cache, sched, walDir)
+		l, lerr := newLSMFull(inner, cache, sched, planner, walDir)
 		if lerr != nil {
 			for _, built := range lsms[:i] {
 				built.Close()
@@ -231,7 +244,7 @@ func NewShardedLSM(n int, opts Options) (*Sharded, error) {
 				i, l.Count(), total, len(part[i]))
 		}
 	}
-	sh, err := assembleShardedLSMs(lsms, part, cfg, opts.Parallelism, cache)
+	sh, err := assembleShardedLSMs(lsms, part, cfg, opts.Parallelism, cache, planner)
 	if err != nil {
 		closeAll()
 		return nil, err
@@ -241,9 +254,13 @@ func NewShardedLSM(n int, opts Options) (*Sharded, error) {
 	return sh, nil
 }
 
-func assembleShardedLSMs(lsms []*LSM, part [][]int64, cfg index.Config, parallelism int, cache *bufpool.Cache) (*Sharded, error) {
+// assembleShardedLSMs mirrors assembleShardedTrees for LSM shards, sharing
+// one planner across every shard.
+func assembleShardedLSMs(lsms []*LSM, part [][]int64, cfg index.Config, parallelism int, cache *bufpool.Cache, planner *index.Planner) (*Sharded, error) {
 	shards := make([]shard.Shard, len(lsms))
 	for i, l := range lsms {
+		l.planner = planner
+		l.lsm.SetPlanner(planner)
 		shards[i] = shard.Shard{Index: l.lsm, Disk: l.disk, IDs: part[i]}
 		if l.pool != nil {
 			shards[i].Reader = l.pool
@@ -253,7 +270,8 @@ func assembleShardedLSMs(lsms []*LSM, part [][]int64, cfg index.Config, parallel
 	if err != nil {
 		return nil, err
 	}
-	return &Sharded{sh: sh, kind: shardKindLSM, lsms: lsms, cache: cache, cfg: cfg}, nil
+	sh.SetPlanner(planner)
+	return &Sharded{sh: sh, kind: shardKindLSM, lsms: lsms, cache: cache, planner: planner, cfg: cfg}, nil
 }
 
 // Kind reports the shard index variant: "tree" or "lsm".
@@ -427,9 +445,10 @@ func (s *Sharded) prepareBatch(qs [][]float64) ([]index.Query, error) {
 
 // Stats returns the I/O accounting aggregated across every shard's disk,
 // including the shared buffer pool's hit/miss counters when one is
-// configured (CacheBytes > 0 — one pool serves every shard).
+// configured (CacheBytes > 0 — one pool serves every shard), plus the
+// shared query planner's skip and plan-cache counters.
 func (s *Sharded) Stats() Stats {
-	return toStats(s.sh.IOStats(), s.sh.TotalPages())
+	return toStats(s.sh.IOStats(), s.sh.TotalPages()).withPlanner(s.planner)
 }
 
 // ShardStats returns each shard's I/O accounting, in shard order (cache

@@ -30,11 +30,12 @@ const (
 // Stream explores continuously arriving data series within temporal
 // windows.
 type Stream struct {
-	scheme stream.Scheme
-	cfg    index.Config
-	disk   storage.Backend
-	pool   *bufpool.Pool // buffer pool fronting disk; nil when uncached
-	raw    *memStore
+	scheme  stream.Scheme
+	cfg     index.Config
+	disk    storage.Backend
+	pool    *bufpool.Pool // buffer pool fronting disk; nil when uncached
+	planner *index.Planner
+	raw     *memStore
 }
 
 // NewStream creates a streaming index using the given scheme. BufferEntries
@@ -54,7 +55,7 @@ func NewStream(kind SchemeKind, opts Options) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &Stream{cfg: cfg, disk: disk, raw: raw}
+	st := &Stream{cfg: cfg, disk: disk, planner: opts.newPlanner(), raw: raw}
 	var reader storage.PageReader
 	if opts.CacheBytes > 0 {
 		st.pool = bufpool.New(disk, opts.CacheBytes)
@@ -62,7 +63,7 @@ func NewStream(kind SchemeKind, opts Options) (*Stream, error) {
 	}
 	switch kind {
 	case PP:
-		base, err := newPPBase(disk, reader, cfg, buf, raw, opts.Parallelism)
+		base, err := newPPBase(disk, reader, cfg, buf, raw, opts.Parallelism, st.planner)
 		if err != nil {
 			return nil, err
 		}
@@ -73,6 +74,7 @@ func NewStream(kind SchemeKind, opts Options) (*Stream, error) {
 			return nil, err
 		}
 		tp.SetParallelism(opts.Parallelism)
+		tp.SetPlanner(st.planner)
 		st.scheme = tp
 	case BTP:
 		btp, err := stream.NewBTP(disk, "stream", cfg, buf, 2, raw)
@@ -81,6 +83,7 @@ func NewStream(kind SchemeKind, opts Options) (*Stream, error) {
 		}
 		btp.SetParallelism(opts.Parallelism)
 		btp.UseReader(reader)
+		btp.SetPlanner(st.planner)
 		st.scheme = btp
 	default:
 		return nil, fmt.Errorf("coconut: unknown scheme %q (want PP, TP, or BTP)", kind)
@@ -134,8 +137,9 @@ func (s *Stream) Partitions() int { return s.scheme.Partitions() }
 func (s *Stream) Name() string { return s.scheme.Name() }
 
 // Stats returns the I/O accounting of the stream's disk since creation,
-// cache counters included when a buffer pool is configured.
-func (s *Stream) Stats() Stats { return statsWith(s.disk, s.pool) }
+// cache counters included when a buffer pool is configured, plus the query
+// planner's skip and plan-cache counters.
+func (s *Stream) Stats() Stats { return statsWith(s.disk, s.pool).withPlanner(s.planner) }
 
 // Close seals buffered arrivals into the scheme's on-disk structures,
 // releases the buffer pool's pages, and closes the storage backend (which,
@@ -153,7 +157,7 @@ func (s *Stream) Close() error {
 }
 
 // newPPBase builds the CLSM index PP wraps.
-func newPPBase(disk storage.Backend, reader storage.PageReader, cfg index.Config, buf int, raw series.RawStore, par int) (stream.EntryIndex, error) {
+func newPPBase(disk storage.Backend, reader storage.PageReader, cfg index.Config, buf int, raw series.RawStore, par int, pl *index.Planner) (stream.EntryIndex, error) {
 	return clsm.New(clsm.Options{
 		Disk:          disk,
 		Reader:        reader,
@@ -162,5 +166,6 @@ func newPPBase(disk storage.Backend, reader storage.PageReader, cfg index.Config
 		BufferEntries: buf,
 		Raw:           raw,
 		Parallelism:   par,
+		Planner:       pl,
 	})
 }

@@ -1,0 +1,217 @@
+// Command coconut-loadgen drives a coconut-router (or a single
+// coconut-server) with an open-loop query load and reports p50/p99
+// latency. Before publishing any number it can assert distributed
+// correctness: with -baseline it first replays probe queries against both
+// the target and a reference endpoint and requires byte-identical answers
+// (IDs, timestamps, and distance bit patterns) — if identity fails, no load
+// numbers are produced.
+//
+// Usage:
+//
+//	coconut-loadgen -target http://localhost:8735 \
+//	  -baseline http://localhost:8734 -baseline-build build-1 \
+//	  -rate 200 -duration 15s
+//
+// The load phase is open-loop: queries launch on a fixed schedule
+// regardless of completions, so a slow server accumulates concurrency and
+// the measured latency includes queueing — no coordinated omission.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/server"
+)
+
+func main() {
+	target := flag.String("target", "", "endpoint under load: a coconut-router or coconut-server base URL (required)")
+	baseline := flag.String("baseline", "", "reference endpoint for the byte-identity check (empty = skip the check)")
+	baselineBuild := flag.String("baseline-build", "", "build ID on the baseline endpoint (required with -baseline)")
+	targetBuild := flag.String("target-build", "", "build ID on the target (routers ignore it; set when the target is a plain coconut-server)")
+	seriesLen := flag.Int("len", 0, "query series length (0 = discover from the target's /api/cluster/topology)")
+	k := flag.Int("k", 10, "neighbors per query")
+	exact := flag.Bool("exact", true, "exact queries (the distributed-identity guarantee; false = approximate)")
+	identity := flag.Int("identity", 20, "probe queries in the identity phase (0 = skip; ignored without -baseline)")
+	rate := flag.Float64("rate", 50, "open-loop arrival rate, queries/second")
+	duration := flag.Duration("duration", 10*time.Second, "load phase length")
+	seed := flag.Int64("seed", 42, "query-generation seed")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	flag.Parse()
+	if *target == "" {
+		log.Fatal("coconut-loadgen: -target is required")
+	}
+	if *baseline != "" && *baselineBuild == "" {
+		log.Fatal("coconut-loadgen: -baseline needs -baseline-build")
+	}
+	if *rate <= 0 || *rate > 100000 {
+		log.Fatalf("coconut-loadgen: -rate must be in (0, 100000], got %g", *rate)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	n := *seriesLen
+	if n == 0 {
+		var err error
+		if n, err = discoverLen(client, *target); err != nil {
+			log.Fatalf("coconut-loadgen: cannot discover series length (pass -len): %v", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	mkQuery := func() []float64 { return []float64(gen.RandomWalk(rng, n)) }
+
+	if *baseline != "" && *identity > 0 {
+		if err := identityPhase(client, *target, *targetBuild, *baseline, *baselineBuild, *identity, *k, *exact, mkQuery); err != nil {
+			log.Fatalf("coconut-loadgen: IDENTITY FAILED — refusing to publish load numbers: %v", err)
+		}
+		fmt.Printf("identity: %d/%d exact answers byte-identical to baseline\n", *identity, *identity)
+	}
+
+	lat, errs := loadPhase(client, *target, *targetBuild, *rate, *duration, *k, *exact, mkQuery)
+	if len(lat) == 0 {
+		log.Fatalf("coconut-loadgen: no successful queries (%d errors)", errs)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) time.Duration {
+		i := int(math.Ceil(p*float64(len(lat)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lat[i]
+	}
+	fmt.Printf("load: %d queries in %s (open loop at %g qps), %d errors\n",
+		len(lat)+errs, duration.String(), *rate, errs)
+	fmt.Printf("latency: p50 %s  p90 %s  p99 %s  max %s\n",
+		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+// discoverLen asks a router for its topology; plain servers 404 here.
+func discoverLen(client *http.Client, target string) (int, error) {
+	resp, err := client.Get(target + "/api/cluster/topology")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: %s", target, resp.Status)
+	}
+	var t struct {
+		SeriesLen int `json:"series_len"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		return 0, err
+	}
+	if t.SeriesLen < 1 {
+		return 0, fmt.Errorf("topology reports series_len %d", t.SeriesLen)
+	}
+	return t.SeriesLen, nil
+}
+
+func query(client *http.Client, base, build string, q []float64, k int, exact bool) (*server.QueryResponse, error) {
+	body, _ := json.Marshal(server.QueryRequest{Build: build, Series: q, K: k, Exact: exact})
+	resp, err := client.Post(base+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	var out server.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// identityPhase replays probe queries against target and baseline and
+// requires byte-identical result lists: same IDs, same timestamps, and the
+// same distance bit patterns (math.Float64bits, not approximate equality).
+func identityPhase(client *http.Client, target, targetBuild, baseline, baselineBuild string,
+	count, k int, exact bool, mkQuery func() []float64) error {
+	for i := 0; i < count; i++ {
+		qs := mkQuery()
+		got, err := query(client, target, targetBuild, qs, k, exact)
+		if err != nil {
+			return fmt.Errorf("probe %d: target: %w", i, err)
+		}
+		want, err := query(client, baseline, baselineBuild, qs, k, exact)
+		if err != nil {
+			return fmt.Errorf("probe %d: baseline: %w", i, err)
+		}
+		if len(got.Results) != len(want.Results) {
+			return fmt.Errorf("probe %d: %d results, baseline has %d", i, len(got.Results), len(want.Results))
+		}
+		for j := range got.Results {
+			g, w := got.Results[j], want.Results[j]
+			if g.ID != w.ID || g.TS != w.TS || math.Float64bits(g.Dist) != math.Float64bits(w.Dist) {
+				return fmt.Errorf("probe %d result %d: got (id %d, ts %d, dist %x), baseline (id %d, ts %d, dist %x)",
+					i, j, g.ID, g.TS, math.Float64bits(g.Dist), w.ID, w.TS, math.Float64bits(w.Dist))
+			}
+		}
+	}
+	return nil
+}
+
+// loadPhase fires queries on a fixed open-loop schedule and collects
+// per-query latencies. Query series are pre-generated so the generator's
+// cost (and its shared rng) stays off the timed path.
+func loadPhase(client *http.Client, target, build string, rate float64, duration time.Duration,
+	k int, exact bool, mkQuery func() []float64) ([]time.Duration, int) {
+	total := int(rate * duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	queries := make([][]float64, total)
+	for i := range queries {
+		queries[i] = mkQuery()
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	lat := make([]time.Duration, 0, total)
+	errs := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; i < total; i++ {
+		<-tick.C
+		wg.Add(1)
+		go func(q []float64) {
+			defer wg.Done()
+			start := time.Now()
+			_, err := query(client, target, build, q, k, exact)
+			d := time.Since(start)
+			mu.Lock()
+			if err != nil {
+				errs++
+			} else {
+				lat = append(lat, d)
+			}
+			mu.Unlock()
+		}(queries[i])
+	}
+	wg.Wait()
+	return lat, errs
+}

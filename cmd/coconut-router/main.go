@@ -1,0 +1,111 @@
+// Command coconut-router fronts a cluster of coconut-server index nodes:
+// it owns the hash-placement map (a topology JSON file), fans each query
+// out over the nodes holding the cluster's shards, and merges their exact
+// per-shard answers so the distributed result is byte-identical to a
+// single-node index — at any node count and replication factor.
+//
+// Usage:
+//
+//	coconut-router -topology cluster.json -addr :8735
+//
+// where cluster.json names the shard count and each node's base URL, build
+// ID, and shard set (see docs/OPERATIONS.md for a worked deployment):
+//
+//	{
+//	  "shards": 4,
+//	  "series_len": 256,
+//	  "nodes": [
+//	    {"name": "a", "url": "http://10.0.0.7:8734", "build": "build-1", "shards": [0, 1]},
+//	    {"name": "b", "url": "http://10.0.0.8:8734", "build": "build-1", "shards": [2, 3]},
+//	    {"name": "c", "url": "http://10.0.0.9:8734", "build": "build-1", "shards": [0, 1, 2, 3]}
+//	  ]
+//	}
+//
+// The router serves the same /api/query, /api/query/batch, and /api/insert
+// the nodes do — clients need not know they face a cluster — plus
+// /api/cluster/topology (placement + node health) and /api/cluster/drain
+// (graceful node removal). Startup is strict: every node must be reachable
+// and its build must match the topology, or the router refuses to serve.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8735", "listen address")
+	topoPath := flag.String("topology", "", "topology JSON file: shard count plus each node's URL, build ID, and shard set (required)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-node request attempt timeout")
+	hedge := flag.Duration("hedge-after", 0, "duplicate a node request on another replica when still outstanding after this long; fastest response wins (0 = no hedging)")
+	retries := flag.Int("retries", 2, "per-shard retry budget beyond the first attempt; each retry prefers a different replica")
+	backoff := flag.Duration("backoff", 25*time.Millisecond, "base delay before a retry, doubling per attempt")
+	inflight := flag.Int("max-inflight-inserts", 4, "admitted insert batches before new ones get HTTP 429 (backpressure)")
+	health := flag.Duration("health-interval", 5*time.Second, "background node health-check period (0 = disabled)")
+	par := flag.Int("parallelism", -1, "batch-query fan-out workers (-1 = one per CPU)")
+	flag.Parse()
+	if *topoPath == "" {
+		log.Fatal("coconut-router: -topology is required")
+	}
+	if *retries < 0 || *retries > 16 {
+		log.Fatalf("coconut-router: -retries must be in [0, 16], got %d", *retries)
+	}
+	if *inflight < 1 || *inflight > 1024 {
+		log.Fatalf("coconut-router: -max-inflight-inserts must be in [1, 1024], got %d", *inflight)
+	}
+
+	topo, err := cluster.LoadTopology(*topoPath)
+	if err != nil {
+		log.Fatalf("coconut-router: %v", err)
+	}
+	r, err := cluster.New(topo, cluster.Options{
+		Timeout:            *timeout,
+		HedgeAfter:         *hedge,
+		Retries:            *retries,
+		Backoff:            *backoff,
+		MaxInflightInserts: *inflight,
+		HealthInterval:     *health,
+		Parallelism:        *par,
+	})
+	if err != nil {
+		log.Fatalf("coconut-router: %v", err)
+	}
+	log.Printf("coconut-router: verified %d node(s), %d shard(s), replication >= %d, count %d",
+		len(topo.Nodes), topo.Shards, topo.MinReplication(), r.Count())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           r.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("coconut-router listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		log.Printf("coconut-router: shutting down (in-flight queries drain)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("coconut-router: HTTP shutdown: %v", err)
+		}
+	}
+	r.Close()
+}

@@ -1,0 +1,161 @@
+// Command doccheck validates the repository's markdown documentation:
+// every relative link and image reference in the given files must point at
+// a file or directory that exists, and every intra-document or
+// cross-document #fragment must match a heading anchor in its target.
+// External links (http/https/mailto) are not fetched — CI must not depend
+// on the network — but their URLs must at least parse.
+//
+// Usage:
+//
+//	doccheck README.md docs/*.md
+//
+// Exit status is non-zero if any reference is broken, with one line per
+// problem: file:line: message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target) and
+// ![alt](target). Reference-style links are rare in this repo and skipped.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings; setext headings are not used here.
+var headingRe = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*#*\s*$`)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: doccheck <file.md> [file.md ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	problems := 0
+	anchors := map[string]map[string]bool{} // file -> set of heading anchors
+	for _, f := range flag.Args() {
+		if _, err := anchorsOf(anchors, f); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", f, err)
+			problems++
+		}
+	}
+	for _, f := range flag.Args() {
+		problems += checkFile(f, anchors)
+	}
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d broken reference(s)\n", problems)
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d file(s) clean\n", flag.NArg())
+}
+
+// anchorsOf loads (and caches) the set of GitHub-style heading anchors in
+// a markdown file.
+func anchorsOf(cache map[string]map[string]bool, path string) (map[string]bool, error) {
+	if a, ok := cache[path]; ok {
+		return a, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := headingRe.FindStringSubmatch(line); m != nil {
+			a[slugify(m[2])] = true
+		}
+	}
+	cache[path] = a
+	return a, nil
+}
+
+// slugify reproduces GitHub's heading-anchor algorithm closely enough for
+// this repository: lowercase, strip everything but letters/digits/space/
+// hyphen, spaces to hyphens. Inline code/emphasis markers are dropped.
+func slugify(h string) string {
+	h = strings.ToLower(h)
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-', r == '_':
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func checkFile(path string, anchors map[string]map[string]bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	problems := 0
+	dir := filepath.Dir(path)
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			if msg := checkTarget(path, dir, m[1], anchors); msg != "" {
+				fmt.Fprintf(os.Stderr, "%s:%d: %s\n", path, i+1, msg)
+				problems++
+			}
+		}
+	}
+	return problems
+}
+
+func checkTarget(src, dir, target string, anchors map[string]map[string]bool) string {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") {
+		if _, err := url.Parse(target); err != nil {
+			return fmt.Sprintf("unparseable URL %q: %v", target, err)
+		}
+		return ""
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := src
+	if file != "" {
+		resolved = filepath.Join(dir, file)
+		if _, err := os.Stat(resolved); err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, resolved)
+		}
+	}
+	if frag != "" && strings.HasSuffix(resolved, ".md") {
+		a, err := anchorsOf(anchors, resolved)
+		if err != nil {
+			return fmt.Sprintf("link %q: cannot read target: %v", target, err)
+		}
+		if !a[frag] {
+			return fmt.Sprintf("link %q: no heading anchor #%s in %s", target, frag, resolved)
+		}
+	}
+	return ""
+}

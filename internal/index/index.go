@@ -7,6 +7,17 @@
 // preparation, so all distances are Euclidean distances between
 // z-normalized series — the standard setting in the data series similarity
 // search literature the paper builds on.
+//
+// # Planning
+//
+// The package also hosts the statistics-driven query planner (Planner,
+// PlanUnit, PlanCache): zone-map synopses from package zonestat turn into
+// MINDIST lower bounds that order probe units best-bound-first and skip
+// units whose bound exceeds the collector's current worst. The bound is a
+// true lower bound, so planned and unplanned searches return byte-identical
+// results; only I/O cost changes. A PlanCache lets repeated query shapes
+// (keyed by quantized iSAX signature, hit only on exact PAA equality) reuse
+// their filled pruning tables.
 package index
 
 import (
@@ -452,6 +463,17 @@ func (c *RangeCollector) MergeRelease(o *RangeCollector) {
 func (c *RangeCollector) Merge(o *RangeCollector) {
 	for _, it := range o.items {
 		c.AddSq(it.id, it.ts, it.distSq)
+	}
+}
+
+// Each visits every collected result with its exact squared distance, in
+// collection order. The distributed tier uses it to ship qualifying series
+// to the router as (global ID, TS, squared distance) triples; on the range
+// path re-squaring is exact, so the wire preserves every distance
+// bit-for-bit either way.
+func (c *RangeCollector) Each(fn func(id, ts int64, distSq float64)) {
+	for _, it := range c.items {
+		fn(it.id, it.ts, it.distSq)
 	}
 }
 

@@ -186,6 +186,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/query/batch", s.handleQueryBatch)
 	mux.HandleFunc("/api/insert", s.handleInsert)
 	mux.HandleFunc("/api/stats", s.handleStats)
+	mux.HandleFunc("/api/cluster/search", s.handleClusterSearch)
+	mux.HandleFunc("/api/cluster/insert", s.handleClusterInsert)
+	mux.HandleFunc("/api/cluster/info", s.handleClusterInfo)
 	mux.HandleFunc("/api/recommend", s.handleRecommend)
 	mux.HandleFunc("/api/heatmap", s.handleHeatmap)
 	return mux
@@ -341,6 +344,16 @@ type BuildRequest struct {
 	// storage root is configured, "sim" otherwise. Results are
 	// byte-identical on either backend.
 	Storage string `json:"storage"`
+	// ClusterShards > 0 makes this an index-node build for the distributed
+	// tier: the dataset is hash-partitioned into that many logical shards,
+	// and only the NodeShards subset is materialized here (a shard.Group
+	// the coconut-router scatter-gathers over via /api/cluster/search).
+	// Mutually exclusive with Shards. Distributed answers merged across
+	// nodes are byte-identical to a single-node build of the same dataset.
+	ClusterShards int `json:"cluster_shards"`
+	// NodeShards lists which logical shards this node holds, each in
+	// [0, ClusterShards), no duplicates. Required with ClusterShards.
+	NodeShards []int `json:"node_shards"`
 }
 
 // BuildResponse reports construction accounting, the numbers the demo GUI
@@ -359,6 +372,10 @@ type BuildResponse struct {
 	Backend    string  `json:"backend"` // "sim" or "file"
 	Planner    bool    `json:"planner"`
 	PlanCache  int     `json:"plan_cache"`
+	// Cluster builds only: the cluster-wide logical shard count and the
+	// subset this node materialized.
+	ClusterShards int   `json:"cluster_shards,omitempty"`
+	NodeShards    []int `json:"node_shards,omitempty"`
 }
 
 func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
@@ -398,6 +415,36 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	if req.Shards < 0 || req.Shards > 256 {
 		writeError(w, http.StatusBadRequest, "shards must be in [0, 256], got %d", req.Shards)
 		return
+	}
+	if req.ClusterShards < 0 || req.ClusterShards > 1024 {
+		writeError(w, http.StatusBadRequest, "cluster_shards must be in [0, 1024], got %d", req.ClusterShards)
+		return
+	}
+	if req.ClusterShards > 0 || len(req.NodeShards) > 0 {
+		if req.ClusterShards == 0 {
+			writeError(w, http.StatusBadRequest, "node_shards needs cluster_shards")
+			return
+		}
+		if len(req.NodeShards) == 0 {
+			writeError(w, http.StatusBadRequest, "cluster_shards %d needs node_shards (which shards this node holds)", req.ClusterShards)
+			return
+		}
+		if req.Shards > 1 {
+			writeError(w, http.StatusBadRequest, "cluster builds partition by cluster_shards; shards must stay unset")
+			return
+		}
+		seen := make(map[int]bool, len(req.NodeShards))
+		for _, si := range req.NodeShards {
+			if si < 0 || si >= req.ClusterShards {
+				writeError(w, http.StatusBadRequest, "node shard %d outside [0, %d)", si, req.ClusterShards)
+				return
+			}
+			if seen[si] {
+				writeError(w, http.StatusBadRequest, "node shard %d listed twice", si)
+				return
+			}
+			seen[si] = true
+		}
 	}
 	if req.CacheBytes == 0 {
 		req.CacheBytes = s.defaultCacheBytes
@@ -450,7 +497,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown storage %q (want sim or file)", req.Storage)
 		return
 	}
-	isCLSM := req.Variant == "CLSM" || req.Variant == "CLSMFull"
+	isCLSM := (req.Variant == "CLSM" || req.Variant == "CLSMFull") && req.ClusterShards == 0
 	opts := workload.BuildOptions{
 		FillFactor:     req.FillFactor,
 		GrowthFactor:   req.GrowthFactor,
@@ -460,6 +507,8 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		CacheBytes:     req.CacheBytes,
 		PlanCacheSize:  req.PlanCache,
 		DisablePlanner: req.DisablePlanner,
+		ClusterShards:  req.ClusterShards,
+		NodeShards:     req.NodeShards,
 	}
 	if req.Storage == "file" {
 		s.mu.Lock()
@@ -499,20 +548,28 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 	s.builds[id] = &build{id: id, variant: req.Variant, cfg: cfg, built: b, rec: rec}
 	s.mu.Unlock()
 	st := b.BuildStats
+	var clusterShards int
+	var nodeShards []int
+	if b.Group != nil {
+		clusterShards = b.Group.NShards()
+		nodeShards = b.Group.Owned()
+	}
 	writeJSON(w, http.StatusCreated, BuildResponse{
-		ID:         id,
-		Variant:    b.Index.Name(),
-		Count:      b.Index.Count(),
-		BuildCost:  b.BuildCost(s.cost),
-		SeqIO:      st.SeqReads + st.SeqWrites,
-		RandIO:     st.RandReads + st.RandWrites,
-		IndexPages: b.IndexPages,
-		RawPages:   b.RawPages,
-		BuildMilli: b.BuildTime.Milliseconds(),
-		Shards:     b.Shards(),
-		Backend:    b.Disk.Kind(),
-		Planner:    b.Planner != nil && b.Planner.Enabled(),
-		PlanCache:  req.PlanCache,
+		ID:            id,
+		Variant:       b.Index.Name(),
+		Count:         b.Index.Count(),
+		BuildCost:     b.BuildCost(s.cost),
+		SeqIO:         st.SeqReads + st.SeqWrites,
+		RandIO:        st.RandReads + st.RandWrites,
+		IndexPages:    b.IndexPages,
+		RawPages:      b.RawPages,
+		BuildMilli:    b.BuildTime.Milliseconds(),
+		Shards:        b.Shards(),
+		Backend:       b.Disk.Kind(),
+		Planner:       b.Planner != nil && b.Planner.Enabled(),
+		PlanCache:     req.PlanCache,
+		ClusterShards: clusterShards,
+		NodeShards:    nodeShards,
 	})
 }
 
@@ -523,8 +580,12 @@ type QueryRequest struct {
 	Series []float64 `json:"series"`
 	K      int       `json:"k"`
 	Exact  bool      `json:"exact"`
-	MinTS  *int64    `json:"min_ts,omitempty"`
-	MaxTS  *int64    `json:"max_ts,omitempty"`
+	// Eps > 0 switches to a range query: every series within Euclidean
+	// distance eps of the query (K and Exact are then ignored; the index
+	// must support range search).
+	Eps   float64 `json:"eps,omitempty"`
+	MinTS *int64  `json:"min_ts,omitempty"`
+	MaxTS *int64  `json:"max_ts,omitempty"`
 }
 
 // QueryResult is one neighbor.
@@ -577,9 +638,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	skipsBefore := b.built.Planner.Skips()
 	var rs []index.Result
 	var err error
-	if req.Exact {
+	switch {
+	case req.Eps > 0:
+		if rsr, ok := b.built.Index.(index.RangeSearcher); ok {
+			rs, err = rsr.RangeSearch(q, req.Eps)
+		} else {
+			err = fmt.Errorf("%s does not support range search", b.built.Index.Name())
+		}
+	case req.Exact:
 		rs, err = b.built.Index.ExactSearch(q, req.K)
-	} else {
+	default:
 		rs, err = b.built.Index.ApproxSearch(q, req.K)
 	}
 	skips := b.built.Planner.Skips() - skipsBefore

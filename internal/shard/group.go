@@ -1,0 +1,379 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// Group is the node-local portion of a cluster-sharded index: of a logical
+// index hash-partitioned into NShards shards (the same Of placement the
+// in-process Sharded uses), a Group holds the subset of shards assigned to
+// this node. It is the server-side building block of the distributed
+// scatter-gather tier: the router asks each node for exact per-shard
+// answers over a requested shard list, and a Group answers them with the
+// collectors' exact accumulated squared sums under global IDs — so the
+// router-side merge reproduces the single-node collector selection
+// bit-for-bit, exactly as Sharded's in-process merge does.
+//
+// A Group also implements index.Index (and index.RangeSearcher) over its
+// whole owned subset, so a node's ordinary query endpoints keep working on
+// cluster builds; on a fully replicated node (owning every shard) those
+// answers equal the cluster-wide ones.
+//
+// Concurrency matches Sharded: searches may run concurrently with each
+// other and with inserts (the ID mappings are RWMutex-guarded and readers
+// snapshot slice headers); the sub-indexes' own insert paths require the
+// caller to serialize inserts against each other, which the server's
+// per-build write lock provides.
+type Group struct {
+	cfg     index.Config
+	nshards int
+	owned   []int // ascending shard indices
+	shards  map[int]*Shard
+	planner *index.Planner
+
+	// idsMu guards every owned shard's IDs slice and lastID so inserts can
+	// run concurrently with searches, mirroring Sharded.idsMu.
+	idsMu  sync.RWMutex
+	lastID map[int]int64 // last appended global ID per owned shard, -1 when empty
+	count  int64         // series held locally (sum over owned shards)
+}
+
+// NewGroup assembles a node-local shard group. nshards is the cluster-wide
+// logical shard count; owned maps shard index -> shard. Every owned shard's
+// IDs must be ascending and hash-placed into that shard (Of(id, nshards)),
+// and its index must hold exactly len(IDs) series.
+func NewGroup(cfg index.Config, nshards int, owned map[int]*Shard) (*Group, error) {
+	if nshards < 1 {
+		return nil, fmt.Errorf("shard: cluster needs at least one shard, got %d", nshards)
+	}
+	if len(owned) == 0 {
+		return nil, fmt.Errorf("shard: group owns no shards")
+	}
+	g := &Group{
+		cfg:     cfg,
+		nshards: nshards,
+		shards:  make(map[int]*Shard, len(owned)),
+		lastID:  make(map[int]int64, len(owned)),
+	}
+	for si, sh := range owned {
+		if si < 0 || si >= nshards {
+			return nil, fmt.Errorf("shard: owned shard %d outside [0, %d)", si, nshards)
+		}
+		if sh == nil || sh.Index == nil {
+			return nil, fmt.Errorf("shard: owned shard %d has no index", si)
+		}
+		if got := sh.Index.Count(); got != int64(len(sh.IDs)) {
+			return nil, fmt.Errorf("shard: shard %d holds %d series but maps %d IDs", si, got, len(sh.IDs))
+		}
+		last := int64(-1)
+		for _, id := range sh.IDs {
+			if id <= last {
+				return nil, fmt.Errorf("shard: shard %d IDs not ascending at %d", si, id)
+			}
+			if Of(id, nshards) != si {
+				return nil, fmt.Errorf("shard: ID %d hashed to shard %d, held by %d", id, Of(id, nshards), si)
+			}
+			last = id
+		}
+		g.shards[si] = sh
+		g.lastID[si] = last
+		g.owned = append(g.owned, si)
+		g.count += int64(len(sh.IDs))
+	}
+	sort.Ints(g.owned)
+	return g, nil
+}
+
+// NShards returns the cluster-wide logical shard count.
+func (g *Group) NShards() int { return g.nshards }
+
+// Owned returns the shard indices this group holds, ascending. The slice is
+// owned by the group; callers must not mutate it.
+func (g *Group) Owned() []int { return g.owned }
+
+// Owns reports whether the group holds shard si.
+func (g *Group) Owns(si int) bool { _, ok := g.shards[si]; return ok }
+
+// Shard returns the owned shard si, or nil.
+func (g *Group) Shard(si int) *Shard { return g.shards[si] }
+
+// SetPlanner installs the query planner shared by the group's probe paths
+// (typically the same planner installed in every sub-index, so plan caching
+// and skip counters are shared). Call only while no search is in flight.
+func (g *Group) SetPlanner(pl *index.Planner) { g.planner = pl }
+
+// Name identifies the group, e.g. "Group2of4xCTreeFull".
+func (g *Group) Name() string {
+	return fmt.Sprintf("Group%dof%dx%s", len(g.owned), g.nshards, g.shards[g.owned[0]].Index.Name())
+}
+
+// Count returns the number of series held locally (owned shards only — not
+// the cluster-wide count).
+func (g *Group) Count() int64 {
+	g.idsMu.RLock()
+	defer g.idsMu.RUnlock()
+	return g.count
+}
+
+// MaxID returns the largest global ID held locally, or -1 when empty. The
+// router derives the cluster-wide series count (max over nodes + 1) from it
+// at startup: global IDs are dense, so any node owning at least one shard
+// has seen an ID within nshards of the global maximum.
+func (g *Group) MaxID() int64 {
+	g.idsMu.RLock()
+	defer g.idsMu.RUnlock()
+	m := int64(-1)
+	for _, si := range g.owned {
+		if ids := g.shards[si].IDs; len(ids) > 0 && ids[len(ids)-1] > m {
+			m = ids[len(ids)-1]
+		}
+	}
+	return m
+}
+
+// idsOf snapshots one owned shard's local-to-global mapping for a probe.
+func (g *Group) idsOf(si int) []int64 {
+	g.idsMu.RLock()
+	ids := g.shards[si].IDs
+	g.idsMu.RUnlock()
+	return ids
+}
+
+// resolve maps a requested shard list to owned shards, rejecting requests
+// for shards this node does not hold (a router/topology mismatch the node
+// must surface, not silently answer incompletely). nil requests every owned
+// shard.
+func (g *Group) resolve(reqs []int) ([]int, error) {
+	if reqs == nil {
+		return g.owned, nil
+	}
+	for _, si := range reqs {
+		if !g.Owns(si) {
+			return nil, fmt.Errorf("shard: node does not own shard %d (owned %v of %d)", si, g.owned, g.nshards)
+		}
+	}
+	return reqs, nil
+}
+
+// exactProbe mirrors Sharded.exactProbe: one shard's exact top-k folded
+// into col under global IDs, on the exact accumulated squared sums when the
+// sub-index exposes its collector.
+func (g *Group) exactProbe(si int, q index.Query, k int, ctx *index.SearchCtx, col *index.Collector) error {
+	ids := g.idsOf(si)
+	sub := g.shards[si].Index
+	if cs, ok := sub.(index.CollSearcher); ok {
+		c, err := cs.ExactSearchColl(q, k, ctx)
+		if err != nil {
+			return err
+		}
+		c.Each(func(id, ts int64, distSq float64) {
+			col.AddSq(ids[id], ts, distSq)
+		})
+		return nil
+	}
+	rs, err := sub.ExactSearch(q, k)
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		col.AddSq(ids[r.ID], r.TS, r.Dist*r.Dist)
+	}
+	return nil
+}
+
+// ExactSearchShards answers an exact k-NN over the requested shard subset
+// (nil = all owned), returning the collector itself: its contents are the k
+// best (squared distance, global ID) pairs over the union of the requested
+// shards' series, with the exact accumulated squared sums intact for a
+// higher-level merge. Probes run serially with one pooled context — node
+// throughput comes from concurrent requests, and serial probing keeps the
+// distributed answer trivially byte-identical to the in-process one.
+func (g *Group) ExactSearchShards(q index.Query, k int, reqs []int) (*index.Collector, error) {
+	shards, err := g.resolve(reqs)
+	if err != nil {
+		return nil, err
+	}
+	ctx := g.planner.AcquireCtx(q, g.cfg)
+	defer ctx.Release()
+	col := index.NewCollector(k)
+	for _, si := range shards {
+		if err := g.exactProbe(si, q, k, ctx, col); err != nil {
+			return nil, err
+		}
+	}
+	return col, nil
+}
+
+// RangeSearchShards answers a range (epsilon) query over the requested
+// shard subset (nil = all owned), returning the collector with every
+// qualifying series under its global ID. Re-squaring reported distances is
+// exact on the range path (see Sharded.RangeSearch), so merging range
+// collectors across nodes preserves every distance bit-for-bit.
+func (g *Group) RangeSearchShards(q index.Query, eps float64, reqs []int) (*index.RangeCollector, error) {
+	shards, err := g.resolve(reqs)
+	if err != nil {
+		return nil, err
+	}
+	col := index.NewRangeCollector(eps)
+	for _, si := range shards {
+		rs, ok := g.shards[si].Index.(index.RangeSearcher)
+		if !ok {
+			return nil, fmt.Errorf("shard: %s does not support range search", g.shards[si].Index.Name())
+		}
+		found, err := rs.RangeSearch(q, eps)
+		if err != nil {
+			return nil, err
+		}
+		ids := g.idsOf(si)
+		for _, r := range found {
+			col.AddSq(ids[r.ID], r.TS, r.Dist*r.Dist)
+		}
+	}
+	return col, nil
+}
+
+// ApproxSearchShards answers an approximate k-NN over the requested shard
+// subset (nil = all owned): per-shard approximate probes merged on reported
+// distances. Like every approximate search it carries no distance
+// guarantee, so distributed approximate answers match the merge contract
+// (up to k deduplicated results ordered by (distance, ID)) rather than
+// being byte-identical across topologies.
+func (g *Group) ApproxSearchShards(q index.Query, k int, reqs []int) (*index.Collector, error) {
+	shards, err := g.resolve(reqs)
+	if err != nil {
+		return nil, err
+	}
+	col := index.NewCollector(k)
+	for _, si := range shards {
+		rs, err := g.shards[si].Index.ApproxSearch(q, k)
+		if err != nil {
+			return nil, err
+		}
+		ids := g.idsOf(si)
+		for _, r := range rs {
+			col.AddSq(ids[r.ID], r.TS, r.Dist*r.Dist)
+		}
+	}
+	return col, nil
+}
+
+// ExactSearch answers an exact k-NN over every owned shard — the node-local
+// view of the cluster index (index.Index).
+func (g *Group) ExactSearch(q index.Query, k int) ([]index.Result, error) {
+	col, err := g.ExactSearchShards(q, k, nil)
+	if err != nil {
+		return nil, err
+	}
+	return col.Results(), nil
+}
+
+// ApproxSearch answers an approximate k-NN over every owned shard.
+func (g *Group) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
+	col, err := g.ApproxSearchShards(q, k, nil)
+	if err != nil {
+		return nil, err
+	}
+	return col.Results(), nil
+}
+
+// RangeSearch answers a range query over every owned shard
+// (index.RangeSearcher).
+func (g *Group) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
+	col, err := g.RangeSearchShards(q, eps, nil)
+	if err != nil {
+		return nil, err
+	}
+	return col.Results(), nil
+}
+
+// PrepareInsert validates that global ID id may be appended next: the node
+// must own its hash-assigned shard, and id must be exactly the shard's next
+// expected ID. Global IDs are dense (the router assigns them sequentially)
+// and placement is the pure function Of, so after last appended ID L the
+// shard's next ID is the smallest id > L hashing to it — computable
+// locally, with no knowledge of other shards' progress. The exactness is
+// what makes replica failover safe: a replica that missed a write (it was
+// down, or a previous batch failed on it) sees a later ID than it expects
+// and rejects the insert instead of silently diverging, so the router marks
+// it stale rather than serving wrong answers from it.
+func (g *Group) PrepareInsert(id int64) (int, error) {
+	si := Of(id, g.nshards)
+	if !g.Owns(si) {
+		return 0, fmt.Errorf("shard: ID %d belongs to shard %d, not owned (owned %v)", id, si, g.owned)
+	}
+	g.idsMu.RLock()
+	last := g.lastID[si]
+	g.idsMu.RUnlock()
+	if id <= last {
+		return 0, fmt.Errorf("shard: ID %d not ascending on shard %d (last %d)", id, si, last)
+	}
+	if next := nextIDFor(si, last, g.nshards); next >= 0 && id != next {
+		return 0, fmt.Errorf("shard: ID %d skips shard %d's next expected ID %d (last %d): this replica missed a write",
+			id, si, next, last)
+	}
+	return si, nil
+}
+
+// nextIDFor returns the smallest global ID greater than last that hash-
+// places into shard si — the only ID a dense ID assignment can send to the
+// shard next. Returns -1 when the scan bound is exceeded (the probability
+// of a gap that long is negligible; callers then skip the exactness check
+// rather than reject a valid insert).
+func nextIDFor(si int, last int64, nshards int) int64 {
+	bound := int64(nshards) * 64
+	if bound < 1<<16 {
+		bound = 1 << 16
+	}
+	for id := last + 1; id <= last+bound; id++ {
+		if Of(id, nshards) == si {
+			return id
+		}
+	}
+	return -1
+}
+
+// NoteInsert records that the caller appended the series with global ID id
+// to shard si through the shard's own build (which keeps raw mirrors in
+// sync before the sub-index sees the series). Callers must have validated
+// the append with PrepareInsert under the same external insert lock.
+func (g *Group) NoteInsert(si int, id int64) {
+	g.idsMu.Lock()
+	defer g.idsMu.Unlock()
+	g.shards[si].IDs = append(g.shards[si].IDs, id)
+	g.lastID[si] = id
+	g.count++
+}
+
+// IOStats returns disk statistics aggregated over every owned shard,
+// cache-aware when shards read through a buffer pool.
+func (g *Group) IOStats() storage.Stats {
+	var agg storage.Stats
+	for _, si := range g.owned {
+		agg = agg.Add(g.shards[si].IOStats())
+	}
+	return agg
+}
+
+// ShardStats returns each owned shard's statistics, in ascending shard
+// order (matching Owned).
+func (g *Group) ShardStats() []storage.Stats {
+	out := make([]storage.Stats, 0, len(g.owned))
+	for _, si := range g.owned {
+		out = append(out, g.shards[si].IOStats())
+	}
+	return out
+}
+
+// index.Inserter is deliberately not implemented: cluster inserts carry
+// explicit router-assigned global IDs (PrepareInsert/NoteInsert around the
+// sub-build's own ingest), and a plain Insert assigning the local count as
+// the ID would corrupt the global ID space.
+var (
+	_ index.Index         = (*Group)(nil)
+	_ index.RangeSearcher = (*Group)(nil)
+)

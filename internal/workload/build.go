@@ -127,6 +127,15 @@ type BuildOptions struct {
 	// its own shard-NNN subdirectory. Empty (the default) keeps the
 	// paper-faithful simulated disk.
 	StorageDir string
+	// ClusterShards > 0 builds the node-local portion of a distributed
+	// index: the dataset is hash-partitioned into ClusterShards logical
+	// shards (the same placement Shards uses), but only the NodeShards
+	// subset is materialized here, wrapped in a shard.Group the cluster
+	// router scatter-gathers over. Mutually exclusive with Shards.
+	ClusterShards int
+	// NodeShards lists which logical shards this node holds (each in
+	// [0, ClusterShards), no duplicates). Required when ClusterShards > 0.
+	NodeShards []int
 	// DisablePlanner turns off statistics-driven probe ordering and
 	// envelope skipping on the built index's query paths. Answers are
 	// byte-identical either way; only I/O cost changes (the A/B switch
@@ -237,6 +246,11 @@ type Built struct {
 	// raw store consistent.
 	Materialized bool
 	SourceDS     *series.Dataset
+	// Group is the node-local shard subset of a cluster build (nil
+	// otherwise); Index then aliases it. groupBuilts maps each owned shard
+	// to its sub-build for the ClusterInsert replica-write path.
+	Group       *shard.Group
+	groupBuilts map[int]*Built
 }
 
 // Ingest appends one series to a built index after construction — the
@@ -398,6 +412,15 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 	}
 	if opts.Parallelism == 0 {
 		opts.Parallelism = 1
+	}
+	if opts.ClusterShards > 0 || len(opts.NodeShards) > 0 {
+		if opts.Shards > 1 {
+			return nil, fmt.Errorf("workload: cluster builds partition by cluster_shards; shards must stay unset")
+		}
+		if opts.ClusterShards < 1 {
+			return nil, fmt.Errorf("workload: node_shards needs cluster_shards >= 1, got %d", opts.ClusterShards)
+		}
+		return buildClusterGroup(variant, ds, cfg, opts)
 	}
 	if opts.Shards > 1 {
 		return buildSharded(variant, ds, cfg, opts)

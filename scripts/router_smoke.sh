@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Router smoke test: bring up two coconut-server index nodes with
+# replicated cluster builds, front them with a coconut-router, and require
+# byte-identical answers to a single-node baseline via coconut-loadgen's
+# identity phase. This is the end-to-end proof the distributed tier makes
+# no answer different — CI runs it on every PR.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT_N1=18741
+PORT_N2=18742
+PORT_BASE=18739
+PORT_ROUTER=18740
+N=2000
+LEN=64
+SEED=7
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$WORK/coconut-server" ./cmd/coconut-server
+go build -o "$WORK/coconut-router" ./cmd/coconut-router
+go build -o "$WORK/coconut-loadgen" ./cmd/coconut-loadgen
+
+echo "== starting nodes"
+"$WORK/coconut-server" -addr "127.0.0.1:$PORT_N1" >"$WORK/n1.log" 2>&1 & PIDS+=($!)
+"$WORK/coconut-server" -addr "127.0.0.1:$PORT_N2" >"$WORK/n2.log" 2>&1 & PIDS+=($!)
+"$WORK/coconut-server" -addr "127.0.0.1:$PORT_BASE" >"$WORK/base.log" 2>&1 & PIDS+=($!)
+
+wait_http() {
+    for _ in $(seq 1 100); do
+        if curl -sf "http://127.0.0.1:$1/api/health" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "server on port $1 never came up" >&2
+    return 1
+}
+wait_http "$PORT_N1"; wait_http "$PORT_N2"; wait_http "$PORT_BASE"
+
+dataset() { # port
+    curl -sf "http://127.0.0.1:$1/api/datasets" \
+        -d "{\"kind\":\"randomwalk\",\"n\":$N,\"len\":$LEN,\"seed\":$SEED}" >/dev/null
+}
+
+echo "== loading the same dataset on every server"
+dataset "$PORT_N1"; dataset "$PORT_N2"; dataset "$PORT_BASE"
+
+build_id() { # extracts "id":"..." from a build response
+    sed -n 's/.*"id":"\([^"]*\)".*/\1/p'
+}
+
+echo "== building indexes (cluster builds on nodes, plain on baseline)"
+# 4 logical shards, both nodes hold all of them: 2-way replication.
+B1=$(curl -sf "http://127.0.0.1:$PORT_N1/api/build" \
+    -d '{"dataset":"ds-1","variant":"CTreeFull","cluster_shards":4,"node_shards":[0,1,2,3]}' | build_id)
+B2=$(curl -sf "http://127.0.0.1:$PORT_N2/api/build" \
+    -d '{"dataset":"ds-1","variant":"CTreeFull","cluster_shards":4,"node_shards":[0,1,2,3]}' | build_id)
+BBASE=$(curl -sf "http://127.0.0.1:$PORT_BASE/api/build" \
+    -d '{"dataset":"ds-1","variant":"CTreeFull"}' | build_id)
+[ -n "$B1" ] && [ -n "$B2" ] && [ -n "$BBASE" ] || { echo "build failed" >&2; exit 1; }
+
+cat > "$WORK/topo.json" <<EOF
+{"shards": 4, "series_len": $LEN, "nodes": [
+  {"name": "n1", "url": "http://127.0.0.1:$PORT_N1", "build": "$B1", "shards": [0,1,2,3]},
+  {"name": "n2", "url": "http://127.0.0.1:$PORT_N2", "build": "$B2", "shards": [0,1,2,3]}
+]}
+EOF
+
+echo "== starting router"
+"$WORK/coconut-router" -addr "127.0.0.1:$PORT_ROUTER" -topology "$WORK/topo.json" \
+    -hedge-after 100ms >"$WORK/router.log" 2>&1 & PIDS+=($!)
+wait_http "$PORT_ROUTER"
+
+echo "== identity + load through the router (refuses numbers on any mismatch)"
+"$WORK/coconut-loadgen" \
+    -target "http://127.0.0.1:$PORT_ROUTER" \
+    -baseline "http://127.0.0.1:$PORT_BASE" -baseline-build "$BBASE" \
+    -identity 25 -k 5 -rate 40 -duration 3s
+
+echo "== drain/undrain round-trip"
+curl -sf "http://127.0.0.1:$PORT_ROUTER/api/cluster/drain" -d '{"node":"n2"}' >/dev/null
+"$WORK/coconut-loadgen" \
+    -target "http://127.0.0.1:$PORT_ROUTER" \
+    -baseline "http://127.0.0.1:$PORT_BASE" -baseline-build "$BBASE" \
+    -identity 10 -k 5 -rate 20 -duration 1s
+curl -sf "http://127.0.0.1:$PORT_ROUTER/api/cluster/drain" -d '{"node":"n2","undrain":true}' >/dev/null
+
+echo "== router smoke OK"

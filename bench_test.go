@@ -6,6 +6,7 @@ package coconut
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/sax"
 	"repro/internal/series"
+	"repro/internal/simd"
 	"repro/internal/sortable"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -638,5 +640,99 @@ func BenchmarkPlannedSearch(b *testing.B) {
 			}
 		}
 		b.Run(mode.name, func(b *testing.B) { run(b, built) })
+	}
+}
+
+// --- SIMD + compression benchmarks (PR 9's layer). ---
+
+// BenchmarkDistKernels measures the three hot distance primitives under
+// each kernel set this machine offers (always "scalar", plus "avx2" or
+// "neon" when usable): the raw early-abandoning squared distance, its
+// fused decode-from-page variant, and the blocked MinDist table sum. The
+// bench gate watches the sub-benchmarks by name, so a regression in either
+// the accelerated or the portable path fails on its own row.
+func BenchmarkDistKernels(b *testing.B) {
+	defer simd.Select("auto")
+	rng := rand.New(rand.NewSource(27))
+	const points = 256
+	q := make([]float64, points)
+	t := make([]float64, points)
+	for i := range q {
+		q[i], t[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	enc := series.Series(t).AppendBinary(nil)
+	tab := make([]float64, 4096)
+	for i := range tab {
+		tab[i] = rng.Float64()
+	}
+	idx := make([]int32, 16)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(len(tab)))
+	}
+	inf := math.Inf(1)
+	for _, impl := range simd.Available() {
+		if err := simd.Select(impl); err != nil {
+			b.Fatal(err)
+		}
+		b.Run("SqDist/"+impl, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = simd.SqDist(q, t, inf)
+			}
+		})
+		b.Run("SqDistEncoded/"+impl, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = simd.SqDistEncoded(q, enc, inf)
+			}
+		})
+		b.Run("TableSum/"+impl, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = simd.TableSum(tab, idx)
+			}
+		})
+	}
+}
+
+// BenchmarkCompressedSearch measures exact k-NN search over packed pages
+// against the fixed-layout baseline on the same build — tree and LSM, the
+// two on-disk shapes the codec serves. Answers are byte-identical (pinned
+// by compress_equivalence_test.go); what the packed rows must show is the
+// io-cost/query drop from fitting more candidates per page, with time and
+// allocations no worse than the fixed rows the gate tracks alongside.
+func BenchmarkCompressedSearch(b *testing.B) {
+	sc := benchScale()
+	ds, _ := gen.Astronomy(gen.AstronomyConfig{N: 10000, Len: sc.SeriesLen, FracEvent: 0.05, Seed: sc.Seed})
+	cfg := index.Config{SeriesLen: sc.SeriesLen, Segments: sc.Segments, Bits: sc.Bits}
+	rng := rand.New(rand.NewSource(28))
+	queries := make([]index.Query, 32)
+	for i := range queries {
+		queries[i] = index.NewQuery(gen.RandomWalk(rng, sc.SeriesLen), cfg)
+	}
+	for _, variant := range []string{"CTree", "CLSM"} {
+		for _, enc := range []struct {
+			name     string
+			compress bool
+		}{
+			{"fixed", false},
+			{"packed", true},
+		} {
+			built, err := workload.BuildVariant(variant, ds, cfg, workload.BuildOptions{Compress: enc.compress})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(variant+"/"+enc.name, func(b *testing.B) {
+				b.ReportAllocs()
+				before := built.IOStats()
+				for i := 0; i < b.N; i++ {
+					if _, err := built.Index.ExactSearch(queries[i%len(queries)], 5); err != nil {
+						b.Fatal(err)
+					}
+				}
+				diff := built.IOStats().Sub(before)
+				b.ReportMetric(diff.Cost(storage.DefaultCostModel)/float64(b.N), "io-cost/query")
+			})
+		}
 	}
 }

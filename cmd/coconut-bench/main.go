@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/simd"
 	"repro/internal/workload"
 )
 
@@ -34,8 +35,21 @@ func main() {
 		storage   = flag.String("storage", "", "directory for the E16 storage-backend experiment's page files (default: a temp directory, removed afterwards)")
 		planCache = flag.Int("plan-cache", -1, "plan-cache entries per experiment index build, 0 = no cache; also sizes the E17 planner experiment's cached rows when > 0 (default: 0 for E1-E16 builds, 64 for E17)")
 		noPlanner = flag.Bool("no-planner", false, "disable statistics-driven probe ordering and skipping in every experiment build (E17, which A/B-tests the planner, is then skipped)")
+		kernels   = flag.String("kernels", "", "force a distance-kernel implementation: avx2, neon, or scalar (default: auto-detect)")
+		compress  = flag.Bool("compress", false, "store on-disk pages (tree leaves, LSM runs) in the packed encoding in every experiment build; results are identical, I/O cost drops")
 	)
 	flag.Parse()
+
+	if *kernels != "" {
+		if err := simd.Select(*kernels); err != nil {
+			fmt.Fprintf(os.Stderr, "coconut-bench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("distance kernels: %s; compressed runs: %v\n", simd.Active(), *compress)
+	if *compress {
+		workload.CompressDefault(true)
+	}
 
 	cfg := workload.DefaultRunConfig()
 	if *quick {

@@ -15,7 +15,7 @@
 //	dataset  -kind astronomy -n 10000 -len 256
 //	build    -dataset ds-1 -variant CTree [-fill 0.9] [-growth 4] [-shards 4] [-cache 4194304]
 //	         [-wal batched|sync|off] [-compact-workers 2] [-storage sim|file]
-//	         [-plan-cache 64] [-no-planner]
+//	         [-plan-cache 64] [-no-planner] [-compress]
 //	insert   -build build-1 -n 100 [-template supernova] [-ts 7]
 //	query    -build build-1 -template supernova [-k 5] [-exact] [-min 0 -max 99]
 //	recommend -streaming -queries 500 -memfrac 0.1 [-tight] [-smallwin]
@@ -181,6 +181,7 @@ func build(base string, args []string) error {
 	storage := fs.String("storage", "", "storage backend: sim (simulated disk) or file (real page files; needs the server's -storage root; empty = server default)")
 	planCache := fs.Int("plan-cache", 0, "plan-cache entries (0 = server default, -1 = force no cache)")
 	noPlanner := fs.Bool("no-planner", false, "disable statistics-driven probe ordering and skipping for this build")
+	compress := fs.Bool("compress", false, "store on-disk pages (tree leaves, LSM runs) in the packed encoding; answers identical, I/O cost lower")
 	fs.Parse(args)
 	if *ds == "" {
 		return fmt.Errorf("build: -dataset is required")
@@ -216,6 +217,7 @@ func build(base string, args []string) error {
 		Shards: *shards, Parallelism: *par, CacheBytes: *cache,
 		Durability: *walMode, CompactionWorkers: *compactWorkers,
 		Storage: *storage, PlanCache: *planCache, DisablePlanner: *noPlanner,
+		Compress: *compress,
 	}, &out)
 	if err != nil {
 		return err

@@ -69,6 +69,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/recommender"
 	"repro/internal/series"
+	"repro/internal/simd"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -162,6 +163,22 @@ type Options struct {
 	// flushes, the paper-faithful accounting. A sharded LSM shares one
 	// worker pool across all shards.
 	CompactionWorkers int
+	// CompressRuns stores on-disk pages — LSM runs and tree leaves — in the
+	// packed encoding: delta/bit-packed sortable keys, frame-of-reference
+	// IDs and timestamps, payloads verbatim. Each page holds as many
+	// entries as its compressed bytes allow, so scans evaluate more
+	// candidates per page read and I/O cost per query drops. Results are
+	// byte-identical either way. Encoding is a per-run property: an LSM
+	// reopened with a different setting keeps old runs readable and
+	// re-encodes them as merges rewrite them. Streaming temporal schemes
+	// (TP/BTP) keep their fixed-size partitions regardless.
+	CompressRuns bool
+	// Kernels forces a distance-kernel implementation: "avx2", "neon", or
+	// "scalar". Empty (the default) auto-detects the best kernel for the
+	// CPU (also overridable via the COCONUT_KERNELS environment variable).
+	// All kernels return bit-identical distances; only speed differs. The
+	// selection is process-wide. See Stats.Kernel for the active one.
+	Kernels string
 }
 
 // Durability selects how eagerly the write-ahead log syncs; see
@@ -215,6 +232,11 @@ func (o Options) newPlanner() *index.Planner {
 }
 
 func (o Options) config() (index.Config, error) {
+	if o.Kernels != "" {
+		if err := simd.Select(o.Kernels); err != nil {
+			return index.Config{}, fmt.Errorf("coconut: %w", err)
+		}
+	}
 	cfg := index.Config{
 		SeriesLen:    o.SeriesLen,
 		Segments:     o.Segments,
@@ -256,6 +278,9 @@ type Stats struct {
 	PlannedSkips    int64
 	PlanCacheHits   int64
 	PlanCacheMisses int64
+	// Kernel names the active distance-kernel implementation ("avx2",
+	// "neon", or "scalar") — see Options.Kernels.
+	Kernel string
 }
 
 // Cost prices the accesses with random I/O costing ratio times a
@@ -358,7 +383,8 @@ func toStats(st storage.Stats, pages int64) Stats {
 		SeqReads: st.SeqReads, RandReads: st.RandReads,
 		SeqWrites: st.SeqWrites, RandWrites: st.RandWrites,
 		CacheHits: st.CacheHits, CacheMisses: st.CacheMisses,
-		Pages: pages,
+		Pages:  pages,
+		Kernel: simd.Active(),
 	}
 }
 
@@ -430,6 +456,7 @@ func buildTreeCache(data [][]float64, opts Options, cache *bufpool.Cache, pl *in
 		Raw:         raw,
 		Parallelism: opts.Parallelism,
 		Planner:     pl,
+		Compress:    opts.CompressRuns,
 	}, ds, 0)
 	if err != nil {
 		return nil, err
@@ -576,6 +603,7 @@ func newLSMFull(opts Options, cache *bufpool.Cache, sched *compact.Scheduler, pl
 		Parallelism:   opts.Parallelism,
 		Scheduler:     out.sched,
 		Planner:       pl,
+		Compress:      opts.CompressRuns,
 	}
 	if walDir != "" {
 		wopts, werr := walOptions(walDir, opts.Durability, opts.FS)

@@ -104,6 +104,12 @@ type Options struct {
 	// counter. nil plans with defaults (ordering and skipping on, no cache);
 	// it may be shared across many indexes, like the Scheduler.
 	Planner *index.Planner
+	// Compress writes new runs in the packed page encoding (record.PageBuilder):
+	// frame-of-reference bit-packed keys, IDs, and timestamps with verbatim
+	// payloads, so each run page carries more candidates per I/O. Existing
+	// uncompressed runs remain readable — the manifest tracks each run's
+	// encoding — and merges re-encode per this setting.
+	Compress bool
 }
 
 func (o *Options) setDefaults() error {
@@ -144,9 +150,10 @@ type ReplayedEntry = record.Entry
 // from pre-synopsis metadata — means unknown: the planner never skips or
 // bounds such a run; new flushes and merges repopulate the statistics.
 type run struct {
-	file  string
-	count int64
-	syn   *zonestat.Synopsis
+	file   string
+	count  int64
+	syn    *zonestat.Synopsis
+	packed bool // pages use the packed (compressed) encoding
 }
 
 // manifest is one immutable version of the on-disk run set. Searches pin
@@ -251,6 +258,9 @@ func New(opts Options) (*LSM, error) {
 	}
 	if l.codec.Size() > opts.Disk.PageSize() {
 		return nil, fmt.Errorf("clsm: entry size %d exceeds page size %d", l.codec.Size(), opts.Disk.PageSize())
+	}
+	if opts.Compress && !record.PackedFits(l.codec, opts.Disk.PageSize()) {
+		return nil, fmt.Errorf("clsm: packed entry size exceeds page size %d", opts.Disk.PageSize())
 	}
 	man := &manifest{durableLSN: -1}
 	l.cur.Store(&view{man: man})
@@ -473,7 +483,7 @@ func (l *LSM) Flush() error {
 	l.writeMu.Lock()
 	l.mu.Lock()
 	v := l.cur.Load()
-	man := addRun(v.man, 0, run{file: name, count: int64(n), syn: syn})
+	man := addRun(v.man, 0, run{file: name, count: int64(n), syn: syn, packed: l.opts.Compress})
 	if l.opts.WAL != nil {
 		man.durableLSN = flushedLSN
 	}
@@ -499,8 +509,21 @@ func (l *LSM) Flush() error {
 	return l.afterStructureChange()
 }
 
-// writeRun streams sorted entries into a new run file.
+// writeRun streams sorted entries into a new run file, packed when the
+// index compresses its runs.
 func (l *LSM) writeRun(name string, entries []record.Entry) error {
+	if l.opts.Compress {
+		w, err := record.NewPackedWriter(l.opts.Disk, name, l.codec)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if err := w.WriteEntry(e); err != nil {
+				return err
+			}
+		}
+		return w.Close()
+	}
 	w, err := storage.NewRecordWriter(l.opts.Disk, name, l.codec.Size())
 	if err != nil {
 		return err
@@ -625,14 +648,16 @@ func (l *LSM) compactNow() error {
 		victims := man.levels[level]
 		names := make([]string, len(victims))
 		counts := make([]int64, len(victims))
+		packed := make([]bool, len(victims))
 		files := make([]string, len(victims))
 		for i, r := range victims {
 			names[i] = r.file
 			counts[i] = r.count
+			packed[i] = r.packed
 			files[i] = r.file
 		}
 		merged := l.runName()
-		total, err := sorter.MergeSorted(names, counts, merged)
+		total, err := sorter.MergeSortedPacked(names, counts, packed, merged, l.opts.Compress)
 		if err != nil {
 			return err
 		}
@@ -655,7 +680,7 @@ func (l *LSM) compactNow() error {
 		l.writeMu.Lock()
 		l.mu.Lock()
 		v := l.cur.Load()
-		newMan, err := afterMerge(v.man, level, victims, run{file: merged, count: total, syn: msyn})
+		newMan, err := afterMerge(v.man, level, victims, run{file: merged, count: total, syn: msyn, packed: l.opts.Compress})
 		if err != nil {
 			l.mu.Unlock()
 			l.writeMu.Unlock()

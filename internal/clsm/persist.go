@@ -38,13 +38,18 @@ import (
 // simply carry no statistics, which disables planning for them until new
 // flushes and merges repopulate the synopses.
 //
+// Version 3 appends a per-run packed flag byte (after the synopsis): 1 when
+// the run's pages use the packed codec (record.IsPacked), 0 for the
+// fixed-size record layout. Version-1/2 files decode with packed=false,
+// which is exactly what they contain.
+//
 // In both files count is the number of entries held by the listed runs
 // (Save flushes first, so for the meta file that is also the live count).
 const (
 	lsmMetaMagic       = "CLSMMETA"
-	lsmMetaVersion     = 2
+	lsmMetaVersion     = 3
 	lsmManifestMagic   = "CLSMMANI"
-	lsmManifestVersion = 2
+	lsmManifestVersion = 3
 	lsmManifestFileSfx = ".manifest"
 	lsmMetaFileSfx     = ".meta"
 )
@@ -136,6 +141,11 @@ func (l *LSM) encodePayload(m *manifest) []byte {
 			} else {
 				buf = binary.LittleEndian.AppendUint32(buf, uint32(r.syn.EncodedSize()))
 				buf = r.syn.AppendBinary(buf)
+			}
+			if r.packed {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
 			}
 		}
 	}
@@ -245,6 +255,13 @@ func decodePayload(disk storage.Backend, buf []byte, version uint32) (*metaState
 					off += synLen
 				}
 			}
+			if version >= 3 {
+				if off+1 > len(buf) {
+					return nil, fmt.Errorf("clsm: meta truncated at packed flag")
+				}
+				r.packed = buf[off] == 1
+				off++
+			}
 			if !disk.Exists(r.file) {
 				return nil, fmt.Errorf("clsm: run file %q missing", r.file)
 			}
@@ -303,6 +320,21 @@ func Open(disk storage.Backend, name string, raw series.RawStore) (*LSM, error) 
 	l.codec = l.opts.Config.Codec()
 	l.install(st, -1)
 	return l, nil
+}
+
+// SetCompress switches the encoding used for runs written from here on:
+// future flushes and merges emit packed pages when on. Existing runs keep
+// their recorded encoding (the per-run manifest flag) and remain fully
+// searchable; background merges gradually re-encode them. Intended for use
+// right after Open, which cannot learn the setting from the meta file —
+// encoding is a property of each run, not of the index. Call before any
+// flush or merge runs.
+func (l *LSM) SetCompress(on bool) error {
+	if on && !record.PackedFits(l.codec, l.opts.Disk.PageSize()) {
+		return fmt.Errorf("clsm: packed entry shape exceeds page size %d", l.opts.Disk.PageSize())
+	}
+	l.opts.Compress = on
+	return nil
 }
 
 // Recover rebuilds an LSM from its disk plus its write-ahead log: the

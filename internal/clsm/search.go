@@ -211,11 +211,28 @@ func scanBuffer(buf []record.Entry, q index.Query, col *index.Collector, prune b
 	return nil
 }
 
+// runPages returns the number of pages a run occupies. Fixed-size runs
+// derive it from the entry count; packed runs hold a data-dependent number
+// of entries per page, so the file length is authoritative.
+func (l *LSM) runPages(r run) (int, error) {
+	if !r.packed {
+		perPage := l.opts.Disk.PageSize() / l.codec.Size()
+		return int((r.count + int64(perPage) - 1) / int64(perPage)), nil
+	}
+	if r.count == 0 {
+		return 0, nil
+	}
+	n, err := l.opts.Reader.NumPages(r.file)
+	return int(n), err
+}
+
 // probeRun binary-searches the run's pages for the query key and evaluates
 // the covering page.
 func (l *LSM) probeRun(r run, q index.Query, col *index.Collector, sc *index.Scratch) error {
-	perPage := l.opts.Disk.PageSize() / l.codec.Size()
-	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
+	pages, err := l.runPages(r)
+	if err != nil {
+		return err
+	}
 	if pages == 0 {
 		return nil
 	}
@@ -241,7 +258,12 @@ func (l *LSM) firstKey(r run, page int) (sortable.Key, error) {
 	if err != nil {
 		return sortable.Key{}, err
 	}
-	k := record.DecodeKeyOnly(h.Data())
+	var k sortable.Key
+	if r.packed {
+		k = record.PackedFirstKey(h.Data())
+	} else {
+		k = record.DecodeKeyOnly(h.Data())
+	}
 	h.Release()
 	return k, nil
 }
@@ -254,6 +276,11 @@ func (l *LSM) firstKey(r run, page int) (sortable.Key, error) {
 func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector, sc *index.Scratch) error {
 	h, err := l.opts.Reader.PinPage(r.file, int64(page))
 	if err != nil {
+		return err
+	}
+	if r.packed {
+		_, err = index.EvalEncodedPacked(q, h.Data(), l.codec, l.opts.Raw, col, sc)
+		h.Release()
 		return err
 	}
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
@@ -272,18 +299,25 @@ func (l *LSM) evalPage(r run, page int, q index.Query, col *index.Collector, sc 
 // order.
 func (l *LSM) scanRun(r run, q index.Query, col *index.Collector, sc *index.Scratch) error {
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
-	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
+	pages, err := l.runPages(r)
+	if err != nil {
+		return err
+	}
 	for p := 0; p < pages; p++ {
 		h, err := l.opts.Reader.PinPage(r.file, int64(p))
 		if err != nil {
 			return err
 		}
-		start := int64(p) * int64(perPage)
-		n := perPage
-		if rem := r.count - start; rem < int64(n) {
-			n = int(rem)
+		if r.packed {
+			_, err = index.EvalEncodedPacked(q, h.Data(), l.codec, l.opts.Raw, col, sc)
+		} else {
+			start := int64(p) * int64(perPage)
+			n := perPage
+			if rem := r.count - start; rem < int64(n) {
+				n = int(rem)
+			}
+			_, err = index.EvalEncoded(q, h.Data(), n, l.codec, l.opts.Raw, col, sc)
 		}
-		_, err = index.EvalEncoded(q, h.Data(), n, l.codec, l.opts.Raw, col, sc)
 		h.Release()
 		if err != nil {
 			return err
@@ -341,18 +375,25 @@ func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 
 func (l *LSM) rangeScanRun(r run, q index.Query, col *index.RangeCollector, sc *index.Scratch) error {
 	perPage := l.opts.Disk.PageSize() / l.codec.Size()
-	pages := int((r.count + int64(perPage) - 1) / int64(perPage))
+	pages, err := l.runPages(r)
+	if err != nil {
+		return err
+	}
 	for p := 0; p < pages; p++ {
 		h, err := l.opts.Reader.PinPage(r.file, int64(p))
 		if err != nil {
 			return err
 		}
-		start := int64(p) * int64(perPage)
-		n := perPage
-		if rem := r.count - start; rem < int64(n) {
-			n = int(rem)
+		if r.packed {
+			err = index.EvalEncodedPackedRange(q, h.Data(), l.codec, l.opts.Raw, col, sc)
+		} else {
+			start := int64(p) * int64(perPage)
+			n := perPage
+			if rem := r.count - start; rem < int64(n) {
+				n = int(rem)
+			}
+			err = index.EvalEncodedRange(q, h.Data(), n, l.codec, l.opts.Raw, col, sc)
 		}
-		err = index.EvalEncodedRange(q, h.Data(), n, l.codec, l.opts.Raw, col, sc)
 		h.Release()
 		if err != nil {
 			return err

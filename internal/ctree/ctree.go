@@ -55,6 +55,13 @@ type Options struct {
 	// counter. nil plans with defaults (zone-map leaf skipping on, no
 	// cache); it may be shared across many indexes.
 	Planner *index.Planner
+	// Compress selects the packed page encoding for leaf pages
+	// (delta/bit-packed keys, frame-of-reference IDs and timestamps): each
+	// leaf holds as many entries as its compressed bytes allow instead of a
+	// fixed record count. The encoding is a per-tree build-time property
+	// recorded in the metadata; searches and inserts are answer-identical
+	// either way.
+	Compress bool
 }
 
 func (o *Options) setDefaults() error {
@@ -104,7 +111,8 @@ type Tree struct {
 	// It is nil while the bulk-loaded identity mapping holds and is
 	// materialized by the first split, whose appended page breaks it.
 	pageOf   []int64
-	capacity int    // max entries per leaf page
+	packed   bool   // leaf pages use the packed codec
+	capacity int    // max entries per leaf page (fixed-size layout)
 	target   int    // entries per leaf at build time (fill factor applied)
 	count    int64  // total entries
 	nextID64 int64  // next auto-assigned insert ID
@@ -242,12 +250,9 @@ func BuildTS(opts Options, src series.RawStore, tsOf func(id int) int64) (*Tree,
 		pageBuf: make([]byte, opts.Disk.PageSize()),
 		pool:    parallel.New(opts.Parallelism),
 	}
-	perPage := opts.Disk.PageSize() / t.codec.Size()
-	if perPage < 1 {
-		return nil, fmt.Errorf("ctree: entry size %d exceeds page size %d", t.codec.Size(), opts.Disk.PageSize())
+	if err := t.initLayout(); err != nil {
+		return nil, err
 	}
-	t.capacity = perPage
-	t.target = int(math.Max(1, math.Floor(float64(perPage)*opts.FillFactor)))
 
 	// Pass 0: summarize every series into an unsorted entry file
 	// (sequential read of the source, sequential write of entries).
@@ -318,17 +323,35 @@ func BuildFromEntries(opts Options, sortedFile string, n int64) (*Tree, error) {
 		pageBuf: make([]byte, opts.Disk.PageSize()),
 		pool:    parallel.New(opts.Parallelism),
 	}
-	perPage := opts.Disk.PageSize() / t.codec.Size()
-	if perPage < 1 {
-		return nil, fmt.Errorf("ctree: entry size %d exceeds page size %d", t.codec.Size(), opts.Disk.PageSize())
+	if err := t.initLayout(); err != nil {
+		return nil, err
 	}
-	t.capacity = perPage
-	t.target = int(math.Max(1, math.Floor(float64(perPage)*opts.FillFactor)))
 	if err := t.packLeaves(sortedFile, n); err != nil {
 		return nil, err
 	}
 	t.nextID64 = n
 	return t, opts.Disk.Remove(sortedFile)
+}
+
+// initLayout derives the per-leaf capacities from the page size and the
+// selected encoding. Fixed-size leaves hold a fixed record count; packed
+// leaves hold whatever their compressed bytes allow, so only the worst-case
+// single-entry shape is validated up front.
+func (t *Tree) initLayout() error {
+	pageSize := t.opts.Disk.PageSize()
+	if t.opts.Compress {
+		if !record.PackedFits(t.codec, pageSize) {
+			return fmt.Errorf("ctree: packed entry shape exceeds page size %d", pageSize)
+		}
+		t.packed = true
+	}
+	perPage := pageSize / t.codec.Size()
+	if perPage < 1 && !t.packed {
+		return fmt.Errorf("ctree: entry size %d exceeds page size %d", t.codec.Size(), pageSize)
+	}
+	t.capacity = perPage
+	t.target = int(math.Max(1, math.Floor(float64(perPage)*t.opts.FillFactor)))
+	return nil
 }
 
 func (t *Tree) packLeaves(sorted string, n int64) error {
@@ -354,6 +377,19 @@ func (t *Tree) packLeaves(sorted string, n int64) error {
 	page := make([]byte, pageSize)
 	inPage := 0
 	var first sortable.Key
+	var pb *record.PageBuilder
+	packTarget := 0
+	if t.packed {
+		var err error
+		if pb, err = record.NewPageBuilder(t.codec, pageSize); err != nil {
+			return err
+		}
+		// The fill factor governs bytes, not entries: a packed leaf closes
+		// once its encoded size crosses the fraction, leaving the remaining
+		// bytes as insert slack. At factor 1.0 the threshold is unreachable
+		// (TryAdd caps below the page size), so leaves close only when full.
+		packTarget = int(math.Floor(float64(pageSize) * t.opts.FillFactor))
+	}
 	flushChunk := func() error {
 		if len(chunk) == 0 {
 			return nil
@@ -365,14 +401,24 @@ func (t *Tree) packLeaves(sorted string, n int64) error {
 		return nil
 	}
 	closeLeaf := func() error {
-		if inPage == 0 {
+		cnt := inPage
+		if t.packed {
+			cnt = pb.Count()
+		}
+		if cnt == 0 {
 			return nil
 		}
-		for i := inPage * recSize; i < pageSize; i++ {
-			page[i] = 0
+		if t.packed {
+			if _, err := pb.Encode(page); err != nil {
+				return err
+			}
+		} else {
+			for i := inPage * recSize; i < pageSize; i++ {
+				page[i] = 0
+			}
 		}
 		chunk = append(chunk, page...)
-		t.leaves = append(t.leaves, leaf{minKey: first, count: inPage})
+		t.leaves = append(t.leaves, leaf{minKey: first, count: cnt})
 		t.synMin = append(t.synMin, envMin[:w]...)
 		t.synMax = append(t.synMax, envMax[:w]...)
 		inPage = 0
@@ -392,6 +438,49 @@ func (t *Tree) packLeaves(sorted string, n int64) error {
 		key := record.DecodeKeyOnly(rec)
 		t.syn.Add(key, record.DecodeTS(rec))
 		zonestat.DecodeSyms(key, w, bits, syms[:w])
+		if t.packed {
+			// Add before touching the envelope: a rejected entry belongs to
+			// the next leaf, whose statistics it must seed, not widen ours.
+			e, err := t.codec.Decode(rec)
+			if err != nil {
+				return err
+			}
+			ok, err := pb.TryAdd(e)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				if err := closeLeaf(); err != nil {
+					return err
+				}
+				if ok, err = pb.TryAdd(e); err != nil {
+					return err
+				} else if !ok {
+					return fmt.Errorf("ctree: entry rejected by empty packed page")
+				}
+			}
+			if pb.Count() == 1 {
+				first = key
+				copy(envMin[:w], syms[:w])
+				copy(envMax[:w], syms[:w])
+			} else {
+				for s := 0; s < w; s++ {
+					if syms[s] < envMin[s] {
+						envMin[s] = syms[s]
+					}
+					if syms[s] > envMax[s] {
+						envMax[s] = syms[s]
+					}
+				}
+			}
+			t.count++
+			if pb.EncodedBytes() >= packTarget {
+				if err := closeLeaf(); err != nil {
+					return err
+				}
+			}
+			continue
+		}
 		if inPage == 0 {
 			first = key
 			copy(envMin[:w], syms[:w])
@@ -443,6 +532,21 @@ func (t *Tree) readLeafBuf(li int, buf []byte) ([]record.Entry, error) {
 	if _, err := t.opts.Reader.ReadPage(t.leafFile, t.pageNum(li), buf); err != nil {
 		return nil, err
 	}
+	if t.packed {
+		v, err := t.codec.ViewPacked(buf)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]record.Entry, 0, v.Count())
+		for i := 0; i < v.Count(); i++ {
+			e, err := v.Entry(i, t.codec)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, e)
+		}
+		return out, nil
+	}
 	recSize := t.codec.Size()
 	out := make([]record.Entry, 0, t.leaves[li].count)
 	for i := 0; i < t.leaves[li].count; i++ {
@@ -492,7 +596,11 @@ func (t *Tree) InsertEntry(e record.Entry) error {
 	copy(entries[pos+1:], entries[pos:])
 	entries[pos] = e
 
-	if len(entries) <= t.capacity {
+	fits, err := t.fitsLeaf(entries)
+	if err != nil {
+		return err
+	}
+	if fits {
 		if err := t.writeLeaf(li, entries); err != nil {
 			return err
 		}
@@ -559,9 +667,48 @@ func (t *Tree) insertEntryIntoEmpty(e record.Entry) error {
 	return nil
 }
 
+// fitsLeaf reports whether entries fit in one leaf page under the tree's
+// encoding: a record count against capacity for the fixed layout, a trial
+// encode for the packed one (compressed size is data-dependent).
+func (t *Tree) fitsLeaf(entries []record.Entry) (bool, error) {
+	if !t.packed {
+		return len(entries) <= t.capacity, nil
+	}
+	pb, err := record.NewPageBuilder(t.codec, t.opts.Disk.PageSize())
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		ok, err := pb.TryAdd(e)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
 func (t *Tree) encodePage(entries []record.Entry) ([]byte, int, error) {
-	recSize := t.codec.Size()
 	page := make([]byte, t.opts.Disk.PageSize())
+	if t.packed {
+		pb, err := record.NewPageBuilder(t.codec, t.opts.Disk.PageSize())
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, e := range entries {
+			ok, err := pb.TryAdd(e)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !ok {
+				return nil, 0, fmt.Errorf("ctree: %d entries overflow a packed leaf page", len(entries))
+			}
+		}
+		if _, err := pb.Encode(page); err != nil {
+			return nil, 0, err
+		}
+		return page, len(page), nil
+	}
+	recSize := t.codec.Size()
 	for i, e := range entries {
 		buf, err := t.codec.Encode(e)
 		if err != nil {

@@ -26,9 +26,13 @@ import (
 // Version 2 appends the planner statistics: the flat per-leaf symbol
 // envelopes and the whole-tree synopsis. Version-1 files still open; their
 // trees simply plan nothing until rebuilt.
+//
+// Version 3 appends a packed flag byte: 1 when the leaf file uses the
+// packed page encoding (record.IsPacked), 0 for fixed-size records.
+// Version-1/2 files decode with packed=false, which is what they contain.
 const (
 	metaMagic   = "CTREEMTA"
-	metaVersion = 2
+	metaVersion = 3
 )
 
 // Save persists the tree's directory metadata to "<name>.meta" on its
@@ -87,6 +91,11 @@ func (t *Tree) encodeMeta() []byte {
 		buf = t.syn.AppendBinary(buf)
 	} else {
 		buf = binary.LittleEndian.AppendUint32(buf, 0)
+	}
+	if t.packed {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
 	}
 	return buf
 }
@@ -235,6 +244,14 @@ func decodeMeta(disk storage.Backend, name string, buf []byte, raw series.RawSto
 				return nil, fmt.Errorf("ctree: synopsis length mismatch: %d != %d", n, synLen)
 			}
 			t.syn = syn
+			rest = rest[synLen:]
+		}
+		if version >= 3 {
+			if len(rest) < 1 {
+				return nil, fmt.Errorf("ctree: meta truncated at packed flag")
+			}
+			t.packed = rest[0] == 1
+			t.opts.Compress = t.packed
 		}
 	}
 	return t, nil

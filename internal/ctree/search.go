@@ -75,7 +75,12 @@ func (t *Tree) scanLeafInto(li int, q index.Query, col *index.Collector, sc *ind
 	if err != nil {
 		return 0, err
 	}
-	n, err := index.EvalEncoded(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
+	var n int
+	if t.packed {
+		n, err = index.EvalEncodedPacked(q, h.Data(), t.codec, t.opts.Raw, col, sc)
+	} else {
+		n, err = index.EvalEncoded(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
+	}
 	h.Release()
 	return n, err
 }
@@ -180,7 +185,11 @@ func (t *Tree) exactScanRange(lo, hi int, q index.Query, col *index.Collector, s
 		if err != nil {
 			return err
 		}
-		_, err = index.EvalEncoded(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
+		if t.packed {
+			_, err = index.EvalEncodedPacked(q, h.Data(), t.codec, t.opts.Raw, col, sc)
+		} else {
+			_, err = index.EvalEncoded(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
+		}
 		h.Release()
 		return err
 	}
@@ -281,7 +290,11 @@ func (t *Tree) rangeScanRange(lo, hi int, q index.Query, col *index.RangeCollect
 		if err != nil {
 			return err
 		}
-		err = index.EvalEncodedRange(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
+		if t.packed {
+			err = index.EvalEncodedPackedRange(q, h.Data(), t.codec, t.opts.Raw, col, sc)
+		} else {
+			err = index.EvalEncodedRange(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
+		}
 		h.Release()
 		return err
 	}

@@ -331,44 +331,25 @@ func (s *Sorter) mergeBudget(runs []runInfo, outName string, budget int) (runInf
 	if err != nil {
 		return runInfo{}, err
 	}
-	h := &mergeHeap{}
+	srcs := make([]*mergeSource, len(runs))
 	for i, r := range runs {
 		rd, err := storage.NewRecordReaderBuffered(s.Disk, r.name, s.Codec.Size(), r.count, bufPages)
 		if err != nil {
 			return runInfo{}, err
 		}
-		src := &mergeSource{reader: rd, codec: s.Codec, idx: i}
-		ok, err := src.advance()
-		if err != nil {
-			return runInfo{}, err
-		}
-		if ok {
-			h.items = append(h.items, src)
-		}
+		srcs[i] = &mergeSource{src: &recordEntryReader{reader: rd, codec: s.Codec}, idx: i}
 	}
-	heap.Init(h)
 	buf := make([]byte, 0, s.Codec.Size())
-	var total int64
-	for h.Len() > 0 {
-		src := h.items[0]
+	total, err := mergeLoop(srcs, func(e record.Entry) error {
 		buf = buf[:0]
-		buf, err = s.Codec.Append(buf, src.cur)
-		if err != nil {
-			return runInfo{}, err
+		var aerr error
+		if buf, aerr = s.Codec.Append(buf, e); aerr != nil {
+			return aerr
 		}
-		if err := w.Write(buf); err != nil {
-			return runInfo{}, err
-		}
-		total++
-		ok, err := src.advance()
-		if err != nil {
-			return runInfo{}, err
-		}
-		if ok {
-			heap.Fix(h, 0)
-		} else {
-			heap.Pop(h)
-		}
+		return w.Write(buf)
+	})
+	if err != nil {
+		return runInfo{}, err
 	}
 	if err := w.Close(); err != nil {
 		return runInfo{}, err
@@ -376,25 +357,76 @@ func (s *Sorter) mergeBudget(runs []runInfo, outName string, budget int) (runInf
 	return runInfo{name: outName, count: total}, nil
 }
 
-type mergeSource struct {
+// mergeLoop drains the sources through the tournament heap in (Key, ID)
+// order, invoking write on every entry. It returns the entry count.
+func mergeLoop(srcs []*mergeSource, write func(record.Entry) error) (int64, error) {
+	h := &mergeHeap{}
+	for _, src := range srcs {
+		ok, err := src.advance()
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			h.items = append(h.items, src)
+		}
+	}
+	heap.Init(h)
+	var total int64
+	for h.Len() > 0 {
+		src := h.items[0]
+		if err := write(src.cur); err != nil {
+			return total, err
+		}
+		total++
+		ok, err := src.advance()
+		if err != nil {
+			return total, err
+		}
+		if ok {
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return total, nil
+}
+
+// entrySource yields entries in sorted order; io.EOF ends the stream. Both
+// the fixed-size RecordReader (via recordEntryReader) and the packed
+// record.PackedReader satisfy it.
+type entrySource interface {
+	NextEntry() (record.Entry, error)
+}
+
+// recordEntryReader adapts a fixed-size record stream to entrySource.
+type recordEntryReader struct {
 	reader *storage.RecordReader
 	codec  record.Codec
-	cur    record.Entry
-	idx    int
+}
+
+func (r *recordEntryReader) NextEntry() (record.Entry, error) {
+	rec, err := r.reader.Next()
+	if err != nil {
+		return record.Entry{}, err
+	}
+	return r.codec.Decode(rec)
+}
+
+type mergeSource struct {
+	src entrySource
+	cur record.Entry
+	idx int
 }
 
 func (m *mergeSource) advance() (bool, error) {
-	rec, err := m.reader.Next()
+	e, err := m.src.NextEntry()
 	if err == io.EOF {
 		return false, nil
 	}
 	if err != nil {
 		return false, err
 	}
-	m.cur, err = m.codec.Decode(rec)
-	if err != nil {
-		return false, err
-	}
+	m.cur = e
 	return true, nil
 }
 
@@ -438,6 +470,66 @@ func (s *Sorter) MergeSorted(inputs []string, counts []int64, output string) (in
 		return 0, err
 	}
 	return merged.count, nil
+}
+
+// MergeSortedPacked is MergeSorted over any mix of fixed-size and packed
+// input encodings: packed[i] names input i's encoding, and packOutput
+// selects the output's. Inputs are left intact. A CLSM that toggles run
+// compression between sessions merges its legacy runs through this path.
+func (s *Sorter) MergeSortedPacked(inputs []string, counts []int64, packed []bool, output string, packOutput bool) (int64, error) {
+	if len(inputs) != len(counts) || len(inputs) != len(packed) {
+		return 0, fmt.Errorf("extsort: %d inputs but %d counts, %d packed flags", len(inputs), len(counts), len(packed))
+	}
+	bufPages := s.MemBudget / s.Disk.PageSize() / (len(inputs) + 1)
+	if bufPages < 1 {
+		bufPages = 1
+	}
+	srcs := make([]*mergeSource, len(inputs))
+	for i := range inputs {
+		var es entrySource
+		if packed[i] {
+			rd, err := record.NewPackedReader(s.Disk, inputs[i], s.Codec, counts[i])
+			if err != nil {
+				return 0, err
+			}
+			es = rd
+		} else {
+			rd, err := storage.NewRecordReaderBuffered(s.Disk, inputs[i], s.Codec.Size(), counts[i], bufPages)
+			if err != nil {
+				return 0, err
+			}
+			es = &recordEntryReader{reader: rd, codec: s.Codec}
+		}
+		srcs[i] = &mergeSource{src: es, idx: i}
+	}
+	if packOutput {
+		w, err := record.NewPackedWriter(s.Disk, output, s.Codec)
+		if err != nil {
+			return 0, err
+		}
+		total, err := mergeLoop(srcs, w.WriteEntry)
+		if err != nil {
+			return total, err
+		}
+		return total, w.Close()
+	}
+	w, err := storage.NewRecordWriterBuffered(s.Disk, output, s.Codec.Size(), bufPages)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 0, s.Codec.Size())
+	total, err := mergeLoop(srcs, func(e record.Entry) error {
+		buf = buf[:0]
+		var aerr error
+		if buf, aerr = s.Codec.Append(buf, e); aerr != nil {
+			return aerr
+		}
+		return w.Write(buf)
+	})
+	if err != nil {
+		return total, err
+	}
+	return total, w.Close()
 }
 
 func min(a, b int) int {

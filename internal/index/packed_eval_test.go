@@ -1,0 +1,196 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/series"
+)
+
+// buildEvalFixture summarizes n random series into key-sorted entries plus
+// both page encodings of the same entry sequence: the fixed-size layout
+// EvalEncoded walks and a packed page EvalEncodedPacked decodes.
+func buildEvalFixture(t *testing.T, rng *rand.Rand, cfg Config, n, pageSize int) (*series.Dataset, []record.Entry, []byte, []byte) {
+	t.Helper()
+	codec := cfg.Codec()
+	ds := series.NewDataset(cfg.SeriesLen)
+	entries := make([]record.Entry, 0, n)
+	zs := make([]series.Series, 0, n)
+	for i := 0; i < n; i++ {
+		s := make(series.Series, cfg.SeriesLen)
+		for j := range s {
+			s[j] = rng.NormFloat64()
+		}
+		key, z := cfg.Summarize(s)
+		e := record.Entry{Key: key, ID: int64(i), TS: int64(i % 7)}
+		if cfg.Materialized {
+			e.Payload = z
+		}
+		entries = append(entries, e)
+		zs = append(zs, z)
+	}
+	// The raw store is ID-addressed; append in ID order before sorting.
+	for _, z := range zs {
+		if _, err := ds.Append(z); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].Less(entries[b]) })
+
+	var fixed []byte
+	for _, e := range entries {
+		var err error
+		if fixed, err = codec.Append(fixed, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := record.NewPageBuilder(codec, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		ok, err := b.TryAdd(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("fixture of %d entries does not fit one %d-byte packed page", n, pageSize)
+		}
+	}
+	packed := make([]byte, pageSize)
+	if _, err := b.Encode(packed); err != nil {
+		t.Fatal(err)
+	}
+	return ds, entries, fixed, packed
+}
+
+// TestEvalEncodedPackedMatchesFixed is the compressed-probe equivalence
+// property: the packed-page evaluator must produce byte-identical collector
+// contents (and identical window-survivor counts) to the fixed-layout one,
+// materialized or not, windowed or not.
+func TestEvalEncodedPackedMatchesFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, materialized := range []bool{false, true} {
+		cfg := Config{SeriesLen: 32, Segments: 8, Bits: 4, Materialized: materialized}
+		codec := cfg.Codec()
+		ds, entries, fixed, packed := buildEvalFixture(t, rng, cfg, 48, 32768)
+
+		for trial := 0; trial < 20; trial++ {
+			qs := make(series.Series, cfg.SeriesLen)
+			for j := range qs {
+				qs[j] = rng.NormFloat64()
+			}
+			q := NewQuery(qs, cfg)
+			if trial%2 == 1 {
+				q.Windowed, q.MinTS, q.MaxTS = true, 2, 5
+			}
+
+			ctx1 := AcquireCtx(q, cfg)
+			colA := NewCollector(5)
+			nA, err := EvalEncoded(q, fixed, len(entries), codec, ds, colA, ctx1.Scratch0())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx1.Release()
+
+			ctx2 := AcquireCtx(q, cfg)
+			colB := NewCollector(5)
+			nB, err := EvalEncodedPacked(q, packed, codec, ds, colB, ctx2.Scratch0())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx2.Release()
+
+			if nA != nB {
+				t.Fatalf("materialized=%v trial %d: %d vs %d window survivors", materialized, trial, nA, nB)
+			}
+			ra, rb := colA.Results(), colB.Results()
+			if len(ra) != len(rb) {
+				t.Fatalf("materialized=%v trial %d: %d vs %d results", materialized, trial, len(ra), len(rb))
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("materialized=%v trial %d result %d: %+v vs %+v", materialized, trial, i, ra[i], rb[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEvalEncodedPackedRangeMatchesFixed mirrors the k-NN equivalence for
+// the epsilon-range evaluator.
+func TestEvalEncodedPackedRangeMatchesFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, materialized := range []bool{false, true} {
+		cfg := Config{SeriesLen: 32, Segments: 8, Bits: 4, Materialized: materialized}
+		codec := cfg.Codec()
+		ds, entries, fixed, packed := buildEvalFixture(t, rng, cfg, 48, 32768)
+
+		qs := make(series.Series, cfg.SeriesLen)
+		for j := range qs {
+			qs[j] = rng.NormFloat64()
+		}
+		q := NewQuery(qs, cfg)
+		for _, eps := range []float64{0.1, 5, 50} {
+			ctx1 := AcquireCtx(q, cfg)
+			colA := NewRangeCollector(eps)
+			if err := EvalEncodedRange(q, fixed, len(entries), codec, ds, colA, ctx1.Scratch0()); err != nil {
+				t.Fatal(err)
+			}
+			ctx1.Release()
+
+			ctx2 := AcquireCtx(q, cfg)
+			colB := NewRangeCollector(eps)
+			if err := EvalEncodedPackedRange(q, packed, codec, ds, colB, ctx2.Scratch0()); err != nil {
+				t.Fatal(err)
+			}
+			ctx2.Release()
+
+			ra, rb := colA.Results(), colB.Results()
+			if len(ra) != len(rb) {
+				t.Fatalf("materialized=%v eps=%v: %d vs %d results", materialized, eps, len(ra), len(rb))
+			}
+			for i := range ra {
+				if ra[i] != rb[i] {
+					t.Fatalf("materialized=%v eps=%v result %d: %+v vs %+v", materialized, eps, i, ra[i], rb[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEvalEncodedPackedDoesNotAllocate pins the packed probe path's
+// zero-allocation property: decompression is fused into the scan, with the
+// candidate buffer drawn from scratch.
+func TestEvalEncodedPackedDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	rng := rand.New(rand.NewSource(23))
+	cfg := Config{SeriesLen: 32, Segments: 8, Bits: 4, Materialized: true}
+	codec := cfg.Codec()
+	ds, _, _, packed := buildEvalFixture(t, rng, cfg, 24, 16384)
+	qs := make(series.Series, cfg.SeriesLen)
+	for j := range qs {
+		qs[j] = rng.NormFloat64()
+	}
+	q := NewQuery(qs, cfg)
+	ctx := AcquireCtx(q, cfg)
+	defer ctx.Release()
+	sc := ctx.Scratch0()
+	col := NewCollector(3)
+	// Warm the scratch candidate buffer to its high-water mark.
+	if _, err := EvalEncodedPacked(q, packed, codec, ds, col, sc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := EvalEncodedPacked(q, packed, codec, ds, col, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("packed probe allocated %v times per run, want 0", allocs)
+	}
+}

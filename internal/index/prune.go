@@ -9,6 +9,7 @@ import (
 	"repro/internal/record"
 	"repro/internal/sax"
 	"repro/internal/series"
+	"repro/internal/simd"
 	"repro/internal/sortable"
 )
 
@@ -159,31 +160,33 @@ func (p *Pruner) Bits() int { return p.bits }
 // MinDistSqKey returns the squared iSAX lower bound between the query and
 // any series summarized by the interleaved key k: no series with this key
 // can be closer than the square root of the returned value. Symbols are
-// decoded from the key's bit rounds into a stack array, so the probe
-// performs no allocation and no trigonometric or square-root work — just
-// bit twiddling and table lookups.
+// decoded from the key's bit rounds into a stack array of table indexes
+// (row s starts at s<<bits), then summed by the simd table kernel — no
+// allocation, no trigonometric or square-root work, and data-level
+// parallelism on the lookups when an accelerated kernel set is active.
 func (p *Pruner) MinDistSqKey(k sortable.Key) float64 {
-	var syms [sortable.MaxSegments]uint8
+	var idx [sortable.MaxSegments]int32
 	w := p.segments
+	// Seeding idx[s] with the segment number makes the bit rounds deposit
+	// the symbol below it: after p.bits shifts each entry is exactly
+	// s<<bits | symbol, the flattened table index, with no fix-up pass.
+	for s := 0; s < w; s++ {
+		idx[s] = int32(s)
+	}
 	pos := 0
 	for r := 0; r < p.bits; r++ {
 		for s := 0; s < w; s++ {
-			var bit uint8
+			var bit int32
 			if pos < 64 {
-				bit = uint8(k.Hi >> uint(63-pos) & 1)
+				bit = int32(k.Hi >> uint(63-pos) & 1)
 			} else {
-				bit = uint8(k.Lo >> uint(127-pos) & 1)
+				bit = int32(k.Lo >> uint(127-pos) & 1)
 			}
-			syms[s] = syms[s]<<1 | bit
+			idx[s] = idx[s]<<1 | bit
 			pos++
 		}
 	}
-	t := p.tab[p.bits]
-	acc := 0.0
-	for s := 0; s < w; s++ {
-		acc += t[s<<uint(p.bits)|int(syms[s])]
-	}
-	return acc
+	return simd.TableSum(p.tab[p.bits], idx[:w])
 }
 
 // EnvelopeSq returns the squared iSAX lower bound between the query and
@@ -425,6 +428,85 @@ func EvalEncoded(q Query, page []byte, n int, codec record.Codec, raw series.Raw
 		col.AddSq(record.DecodeID(rec), record.DecodeTS(rec), dSq)
 	}
 	return count, nil
+}
+
+// EvalEncodedPacked is EvalEncoded for a packed (compressed) page: the
+// column decoders are fused into the probe loop, so timestamps and keys
+// unpack straight into the window filter and the MINDIST table sum, and
+// surviving candidates verify with the same early-abandoning kernels over
+// the page's verbatim payload bytes. The view is a stack value and candidate
+// offsets reuse the scratch slice, so a packed probe allocates nothing —
+// results are byte-identical to decompressing the page and running
+// EvalEncoded. It returns the number of in-window candidates seen.
+func EvalEncodedPacked(q Query, page []byte, codec record.Codec, raw series.RawStore, col *Collector, sc *Scratch) (int, error) {
+	v, err := codec.ViewPacked(page)
+	if err != nil {
+		return 0, err
+	}
+	n := v.Count()
+	cands := sc.ocands[:0]
+	count := 0
+	for i := 0; i < n; i++ {
+		if !q.InWindow(v.TS(i)) {
+			continue
+		}
+		count++
+		lbSq := sc.P.MinDistSqKey(v.Key(i))
+		if col.SkipSq(lbSq) {
+			continue
+		}
+		cands = append(cands, offCand{lbSq: lbSq, off: int32(i)})
+	}
+	slices.SortFunc(cands, func(a, b offCand) int { return cmp.Compare(a.lbSq, b.lbSq) })
+	sc.ocands = cands
+	for _, c := range cands {
+		if col.SkipSq(c.lbSq) {
+			break
+		}
+		i := int(c.off)
+		var dSq float64
+		if codec.Materialized {
+			dSq = q.Norm.SqDistEncodedEarlyAbandon(v.PayloadBytes(i), col.WorstSq())
+		} else {
+			var err error
+			dSq, err = rawDistSq(q, v.ID(i), raw, col.WorstSq(), sc)
+			if err != nil {
+				return count, err
+			}
+		}
+		col.AddSq(v.ID(i), v.TS(i), dSq)
+	}
+	return count, nil
+}
+
+// EvalEncodedPackedRange is EvalEncodedRange for a packed page: static
+// epsilon bound, no candidate ordering, fused column decode.
+func EvalEncodedPackedRange(q Query, page []byte, codec record.Codec, raw series.RawStore, col *RangeCollector, sc *Scratch) error {
+	v, err := codec.ViewPacked(page)
+	if err != nil {
+		return err
+	}
+	n := v.Count()
+	for i := 0; i < n; i++ {
+		if !q.InWindow(v.TS(i)) {
+			continue
+		}
+		if col.PruneSq(sc.P.MinDistSqKey(v.Key(i))) {
+			continue
+		}
+		var dSq float64
+		if codec.Materialized {
+			dSq = q.Norm.SqDistEncodedEarlyAbandon(v.PayloadBytes(i), col.BoundSq())
+		} else {
+			var err error
+			dSq, err = rawDistSq(q, v.ID(i), raw, col.BoundSq(), sc)
+			if err != nil {
+				return err
+			}
+		}
+		col.AddSq(v.ID(i), v.TS(i), dSq)
+	}
+	return nil
 }
 
 // EvalEncodedRange is EvalEncoded against a range collector: the epsilon

@@ -1,0 +1,228 @@
+package record
+
+import (
+	"fmt"
+	"io"
+)
+
+// The packed stream types mirror storage.RecordWriter / RecordReader for the
+// packed page encoding: sequential entry appends assembled into packed pages
+// with a write-behind chunk, and sequential entry scans with read-ahead.
+// They depend only on the narrow page-device interfaces below, which
+// storage.Backend and storage.PageReader satisfy structurally, so the codec
+// layer stays free of a storage dependency.
+
+// PageAppender is the write surface a packed writer needs.
+type PageAppender interface {
+	PageSize() int
+	Create(name string) error
+	AppendPages(name string, data []byte) (int64, error)
+}
+
+// PageSource is the read surface a packed reader needs.
+type PageSource interface {
+	PageSize() int
+	NumPages(name string) (int64, error)
+	ReadPages(name string, page int64, n int, buf []byte) (int, error)
+}
+
+// packedBufferPages is the write-behind / read-ahead chunk size, matching
+// storage.DefaultBufferPages so packed and fixed-size streams have the same
+// sequential I/O profile.
+const packedBufferPages = 16
+
+// PackedWriter appends entries (in (Key, ID) order) to a file of packed
+// pages. Completed pages accumulate in a write-behind chunk flushed with one
+// multi-page append; Close flushes the final partial page.
+type PackedWriter struct {
+	disk    PageAppender
+	name    string
+	builder *PageBuilder
+	chunk   []byte
+	total   int64
+	pages   int64
+	closed  bool
+}
+
+// NewPackedWriter creates the file (which must not exist) and returns a
+// packed-page writer for entries of the codec's shape.
+func NewPackedWriter(d PageAppender, name string, c Codec) (*PackedWriter, error) {
+	b, err := NewPageBuilder(c, d.PageSize())
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Create(name); err != nil {
+		return nil, err
+	}
+	return &PackedWriter{
+		disk:    d,
+		name:    name,
+		builder: b,
+		chunk:   make([]byte, 0, packedBufferPages*d.PageSize()),
+	}, nil
+}
+
+// WriteEntry appends one entry. Entries must arrive in (Key, ID) order.
+func (w *PackedWriter) WriteEntry(e Entry) error {
+	if w.closed {
+		return fmt.Errorf("record: write to closed packed writer %q", w.name)
+	}
+	ok, err := w.builder.TryAdd(e)
+	if err != nil {
+		return err
+	}
+	if ok {
+		w.total++
+		return nil
+	}
+	if err := w.closePage(); err != nil {
+		return err
+	}
+	ok, err = w.builder.TryAdd(e)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("record: entry rejected by empty packed page (unsorted input?)")
+	}
+	w.total++
+	return nil
+}
+
+// closePage encodes the staged entries as one page into the chunk.
+func (w *PackedWriter) closePage() error {
+	if w.builder.Count() == 0 {
+		return nil
+	}
+	pageSize := w.disk.PageSize()
+	w.chunk = append(w.chunk, make([]byte, pageSize)...)
+	if _, err := w.builder.Encode(w.chunk[len(w.chunk)-pageSize:]); err != nil {
+		return err
+	}
+	w.pages++
+	if len(w.chunk) >= packedBufferPages*pageSize {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+func (w *PackedWriter) flushChunk() error {
+	if len(w.chunk) == 0 {
+		return nil
+	}
+	if _, err := w.disk.AppendPages(w.name, w.chunk); err != nil {
+		return err
+	}
+	w.chunk = w.chunk[:0]
+	return nil
+}
+
+// Count returns the number of entries written so far.
+func (w *PackedWriter) Count() int64 { return w.total }
+
+// Pages returns the number of pages written (Close completes the count).
+func (w *PackedWriter) Pages() int64 { return w.pages }
+
+// Close encodes the final partial page and flushes buffered pages.
+func (w *PackedWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.closePage(); err != nil {
+		return err
+	}
+	return w.flushChunk()
+}
+
+// PackedReader scans entries from a packed-page file sequentially with
+// read-ahead. Unlike fixed-size files, packed files are self-describing (the
+// per-page counts add up to the total), but callers still pass the expected
+// count as a cross-check against truncated or mismatched files.
+type PackedReader struct {
+	reader   PageSource
+	name     string
+	codec    Codec
+	chunk    []byte
+	chunkN   int
+	pageIdx  int
+	view     PackedView
+	viewOK   bool
+	idx      int
+	nextPage int64
+	npages   int64
+	read     int64
+	count    int64
+}
+
+// NewPackedReader opens a sequential entry reader over the named packed
+// file, expecting count entries in total.
+func NewPackedReader(r PageSource, name string, c Codec, count int64) (*PackedReader, error) {
+	npages, err := r.NumPages(name)
+	if err != nil {
+		return nil, err
+	}
+	return &PackedReader{
+		reader: r,
+		name:   name,
+		codec:  c,
+		chunk:  make([]byte, packedBufferPages*r.PageSize()),
+		npages: npages,
+		count:  count,
+	}, nil
+}
+
+// NextEntry returns the next entry, or io.EOF when exhausted. Payloads are
+// freshly allocated and remain valid across calls.
+func (r *PackedReader) NextEntry() (Entry, error) {
+	if r.read >= r.count {
+		return Entry{}, io.EOF
+	}
+	for !r.viewOK || r.idx >= r.view.Count() {
+		if err := r.nextView(); err != nil {
+			return Entry{}, err
+		}
+	}
+	e, err := r.view.Entry(r.idx, r.codec)
+	if err != nil {
+		return Entry{}, err
+	}
+	r.idx++
+	r.read++
+	return e, nil
+}
+
+// nextView advances to the next page in the chunk, refilling it as needed.
+func (r *PackedReader) nextView() error {
+	if r.viewOK && r.pageIdx+1 < r.chunkN {
+		r.pageIdx++
+	} else {
+		if r.nextPage >= r.npages {
+			return fmt.Errorf("record: packed file %q exhausted after %d of %d entries", r.name, r.read, r.count)
+		}
+		want := packedBufferPages
+		if rem := r.npages - r.nextPage; rem < int64(want) {
+			want = int(rem)
+		}
+		got, err := r.reader.ReadPages(r.name, r.nextPage, want, r.chunk)
+		if err != nil {
+			return err
+		}
+		r.nextPage += int64(got)
+		r.chunkN = got
+		r.pageIdx = 0
+	}
+	pageSize := r.reader.PageSize()
+	page := r.chunk[r.pageIdx*pageSize : (r.pageIdx+1)*pageSize]
+	v, err := r.codec.ViewPacked(page)
+	if err != nil {
+		return err
+	}
+	r.view = v
+	r.viewOK = true
+	r.idx = 0
+	return nil
+}
+
+// Remaining returns how many entries are left to read.
+func (r *PackedReader) Remaining() int64 { return r.count - r.read }

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/simd"
 )
 
 // Series is a single data series: an ordered sequence of real values.
@@ -111,37 +113,27 @@ func (s Series) SqDistEarlyAbandon(t Series, limit float64) float64 {
 	return s.sqDist(t, limit)
 }
 
+// sqDist delegates to the simd kernel layer: blocked accumulation with one
+// abandon check per 8-point block, identical bits on every kernel set (see
+// package simd). Abandoning is therefore per block, not per point — the
+// returned value still exceeds limit whenever the full distance would.
 func (s Series) sqDist(t Series, limit float64) float64 {
-	acc := 0.0
-	for i, v := range s {
-		d := v - t[i]
-		acc += d * d
-		if acc > limit {
-			return acc
-		}
-	}
-	return acc
+	return simd.SqDist(s, t, limit)
 }
 
 // SqDistEncodedEarlyAbandon computes the early-abandoning squared Euclidean
 // distance between s and a series stored in its AppendBinary encoding,
 // decoding points on the fly. This fuses payload decoding with distance
 // accumulation so verifying a materialized candidate straight out of a page
-// buffer costs no allocation and stops at the first point where the partial
-// sum exceeds limit. buf must hold at least Size(len(s)) bytes.
+// buffer costs no allocation and abandons as soon as a block's partial sum
+// exceeds limit. buf must hold at least Size(len(s)) bytes. It shares the
+// kernel entry point with sqDist, so the decoded and encoded paths cannot
+// drift: both return bit-identical values on every kernel set.
 func (s Series) SqDistEncodedEarlyAbandon(buf []byte, limit float64) float64 {
 	if len(buf) < Size(len(s)) {
 		panic(fmt.Sprintf("series: SqDistEncodedEarlyAbandon short buffer %d for %d points", len(buf), len(s)))
 	}
-	acc := 0.0
-	for i, v := range s {
-		d := v - math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
-		acc += d * d
-		if acc > limit {
-			return acc
-		}
-	}
-	return acc
+	return simd.SqDistEncoded(s, buf, limit)
 }
 
 // Size is the serialized size in bytes of a series of length n.
@@ -171,9 +163,7 @@ func DecodeBinaryInto(buf []byte, dst Series) (Series, error) {
 	if len(buf) < Size(len(dst)) {
 		return nil, fmt.Errorf("series: short buffer: have %d want %d", len(buf), Size(len(dst)))
 	}
-	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
-	}
+	simd.Decode(buf, dst)
 	return dst, nil
 }
 

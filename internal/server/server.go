@@ -20,6 +20,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/recommender"
 	"repro/internal/series"
+	"repro/internal/simd"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -354,6 +355,10 @@ type BuildRequest struct {
 	// NodeShards lists which logical shards this node holds, each in
 	// [0, ClusterShards), no duplicates. Required with ClusterShards.
 	NodeShards []int `json:"node_shards"`
+	// Compress stores this build's on-disk pages (tree leaves, LSM runs)
+	// in the packed encoding: more entries per page, lower I/O cost per
+	// query, byte-identical answers.
+	Compress bool `json:"compress"`
 }
 
 // BuildResponse reports construction accounting, the numbers the demo GUI
@@ -372,6 +377,10 @@ type BuildResponse struct {
 	Backend    string  `json:"backend"` // "sim" or "file"
 	Planner    bool    `json:"planner"`
 	PlanCache  int     `json:"plan_cache"`
+	Compress   bool    `json:"compress"`
+	// Kernel names the distance-kernel implementation the process selected
+	// at startup ("avx2", "neon", or "scalar").
+	Kernel string `json:"kernel"`
 	// Cluster builds only: the cluster-wide logical shard count and the
 	// subset this node materialized.
 	ClusterShards int   `json:"cluster_shards,omitempty"`
@@ -509,6 +518,7 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		DisablePlanner: req.DisablePlanner,
 		ClusterShards:  req.ClusterShards,
 		NodeShards:     req.NodeShards,
+		Compress:       req.Compress,
 	}
 	if req.Storage == "file" {
 		s.mu.Lock()
@@ -568,6 +578,8 @@ func (s *Server) handleBuild(w http.ResponseWriter, r *http.Request) {
 		Backend:       b.Disk.Kind(),
 		Planner:       b.Planner != nil && b.Planner.Enabled(),
 		PlanCache:     req.PlanCache,
+		Compress:      req.Compress,
+		Kernel:        simd.Active(),
 		ClusterShards: clusterShards,
 		NodeShards:    nodeShards,
 	})
@@ -950,6 +962,7 @@ type StatsResponse struct {
 	Variant    string              `json:"variant"`
 	Shards     int                 `json:"shards"`
 	Backend    string              `json:"backend"` // "sim" or "file"
+	Kernel     string              `json:"kernel"`  // active distance-kernel implementation
 	Aggregate  DiskStats           `json:"aggregate"`
 	PerShard   []DiskStats         `json:"per_shard"`
 	Cache      CacheStats          `json:"cache"`
@@ -989,6 +1002,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Variant:   b.built.Index.Name(),
 		Shards:    b.built.Shards(),
 		Backend:   b.built.Disk.Kind(),
+		Kernel:    simd.Active(),
 		Aggregate: s.diskStats(agg),
 	}
 	if wst, ok := b.built.WALStats(); ok {

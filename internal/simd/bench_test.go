@@ -1,0 +1,65 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) (q, t []float64, buf []byte) {
+	rng := rand.New(rand.NewSource(7))
+	q = make([]float64, n)
+	t = make([]float64, n)
+	for i := range q {
+		q[i] = rng.NormFloat64()
+		t[i] = rng.NormFloat64()
+	}
+	return q, t, encode(t)
+}
+
+func BenchmarkKernelSqDist(b *testing.B) {
+	q, t, _ := benchData(256)
+	defer Select("auto")
+	for _, name := range Available() {
+		Select(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = SqDist(q, t, math.Inf(1))
+			}
+		})
+	}
+}
+
+func BenchmarkKernelSqDistEncoded(b *testing.B) {
+	q, _, buf := benchData(256)
+	defer Select("auto")
+	for _, name := range Available() {
+		Select(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = SqDistEncoded(q, buf, math.Inf(1))
+			}
+		})
+	}
+}
+
+func BenchmarkKernelTableSum(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	tab := make([]float64, 16*256)
+	for i := range tab {
+		tab[i] = rng.NormFloat64()
+	}
+	idx := make([]int32, 16)
+	for i := range idx {
+		idx[i] = int32(i*256 + rng.Intn(256))
+	}
+	defer Select("auto")
+	for _, name := range Available() {
+		Select(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = TableSum(tab, idx)
+			}
+		})
+	}
+}

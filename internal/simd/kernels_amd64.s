@@ -1,0 +1,83 @@
+#include "textflag.h"
+
+// AVX2 kernels. The algorithm matches sqBlocksScalar exactly: one YMM
+// accumulator whose four lanes hold (a0,a1,a2,a3); each 8-point block adds
+// two 4-wide chunks, then the abandon check horizontally sums the lanes as
+// (a0+a2)+(a1+a3) and compares against the limit. VMULPD+VADDPD are used
+// instead of FMA on purpose — FMA skips the intermediate rounding of d*d
+// and would break bit-equality with the scalar reference.
+
+// func sqBlocksBytesAVX2(q *float64, t unsafe.Pointer, nb int64, limit float64, acc *[4]float64) int64
+TEXT ·sqBlocksBytesAVX2(SB), NOSPLIT, $0-48
+	MOVQ  q+0(FP), SI
+	MOVQ  t+8(FP), DI
+	MOVQ  nb+16(FP), CX
+	VMOVSD limit+24(FP), X5
+	MOVQ  acc+32(FP), DX
+	VXORPD Y0, Y0, Y0     // lanes (a0,a1,a2,a3)
+	XORQ  AX, AX          // blocks processed
+
+loop:
+	CMPQ  AX, CX
+	JGE   done
+
+	// First 4-wide chunk: lanes += (q[i+j]-t[i+j])^2, j=0..3.
+	VMOVUPD (SI), Y1
+	VMOVUPD (DI), Y2
+	VSUBPD  Y2, Y1, Y1
+	VMULPD  Y1, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+
+	// Second chunk: lanes += (q[i+4+j]-t[i+4+j])^2.
+	VMOVUPD 32(SI), Y1
+	VMOVUPD 32(DI), Y2
+	VSUBPD  Y2, Y1, Y1
+	VMULPD  Y1, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+
+	ADDQ  $64, SI
+	ADDQ  $64, DI
+	INCQ  AX
+
+	// check = (a0+a2)+(a1+a3); abandon when check > limit.
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD  X1, X0, X2    // (a0+a2, a1+a3)
+	VSHUFPD $1, X2, X2, X3
+	VADDSD  X3, X2, X4
+	VUCOMISD X5, X4
+	JA    done
+	JMP   loop
+
+done:
+	VMOVUPD Y0, (DX)
+	VZEROUPPER
+	MOVQ  AX, ret+40(FP)
+	RET
+
+// func tableQuadsAVX2(tab *float64, idx *int32, nq int64, acc *[4]float64)
+//
+// Lane j of the accumulator sums tab[idx[4b+j]] over quads b, gathered four
+// at a time with VGATHERQPD. Callers guarantee every index is in range.
+TEXT ·tableQuadsAVX2(SB), NOSPLIT, $0-32
+	MOVQ tab+0(FP), SI
+	MOVQ idx+8(FP), DI
+	MOVQ nq+16(FP), CX
+	MOVQ acc+24(FP), DX
+	VXORPD Y0, Y0, Y0
+
+tloop:
+	TESTQ CX, CX
+	JZ    tdone
+	VPMOVSXDQ (DI), Y1         // 4 x int32 -> 4 x int64 indices
+	VPCMPEQD  Y2, Y2, Y2       // all-ones mask (gather consumes it)
+	VXORPD    Y3, Y3, Y3
+	VGATHERQPD Y2, (SI)(Y1*8), Y3
+	VADDPD    Y3, Y0, Y0
+	ADDQ  $16, DI
+	DECQ  CX
+	JMP   tloop
+
+tdone:
+	VMOVUPD Y0, (DX)
+	VZEROUPPER
+	RET

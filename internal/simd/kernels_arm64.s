@@ -1,0 +1,99 @@
+#include "textflag.h"
+
+// NEON kernels. Same algorithm as sqBlocksScalar: the four conceptual
+// accumulator lanes live in two 2-lane vectors, V0 = (a0,a1) and
+// V1 = (a2,a3); each 8-point block adds four 2-wide chunks, then the
+// abandon check sums V0+V1 pairwise and adds the pair — exactly
+// (a0+a2)+(a1+a3). Separate FMUL+FADD (not FMLA): fused multiply-add
+// skips the intermediate rounding of d*d and would break bit-equality
+// with the scalar reference.
+//
+// The Go assembler has no vector FSUB/FMUL/FADD/FADDP mnemonics for
+// arm64, so those four instructions are WORD-encoded; each carries its
+// assembly form in a comment. Everything else is regular Go asm.
+
+// func sqBlocksBytesNEON(q *float64, t unsafe.Pointer, nb int64, limit float64, acc *[4]float64) int64
+TEXT ·sqBlocksBytesNEON(SB), NOSPLIT, $0-48
+	MOVD  q+0(FP), R0
+	MOVD  t+8(FP), R1
+	MOVD  nb+16(FP), R2
+	FMOVD limit+24(FP), F8
+	MOVD  acc+32(FP), R3
+	VEOR  V0.B16, V0.B16, V0.B16 // (a0,a1)
+	VEOR  V1.B16, V1.B16, V1.B16 // (a2,a3)
+	MOVD  ZR, R4                 // blocks processed
+
+loop:
+	CMP   R2, R4
+	BGE   done
+	VLD1.P 64(R0), [V2.D2, V3.D2, V4.D2, V5.D2]     // q[i..i+7]
+	VLD1.P 64(R1), [V16.D2, V17.D2, V18.D2, V19.D2] // t[i..i+7]
+	WORD  $0x4EF0D442 // FSUB V16.2D, V2.2D, V2.2D   (d0,d1)
+	WORD  $0x4EF1D463 // FSUB V17.2D, V3.2D, V3.2D   (d2,d3)
+	WORD  $0x4EF2D484 // FSUB V18.2D, V4.2D, V4.2D   (d4,d5)
+	WORD  $0x4EF3D4A5 // FSUB V19.2D, V5.2D, V5.2D   (d6,d7)
+	WORD  $0x6E62DC42 // FMUL V2.2D, V2.2D, V2.2D
+	WORD  $0x6E63DC63 // FMUL V3.2D, V3.2D, V3.2D
+	WORD  $0x6E64DC84 // FMUL V4.2D, V4.2D, V4.2D
+	WORD  $0x6E65DCA5 // FMUL V5.2D, V5.2D, V5.2D
+	WORD  $0x4E62D400 // FADD V2.2D, V0.2D, V0.2D    a0+=d0d0 a1+=d1d1
+	WORD  $0x4E63D421 // FADD V3.2D, V1.2D, V1.2D    a2+=d2d2 a3+=d3d3
+	WORD  $0x4E64D400 // FADD V4.2D, V0.2D, V0.2D    a0+=d4d4 a1+=d5d5
+	WORD  $0x4E65D421 // FADD V5.2D, V1.2D, V1.2D    a2+=d6d6 a3+=d7d7
+	ADD   $1, R4
+
+	// check = (a0+a2)+(a1+a3); abandon when check > limit.
+	WORD  $0x4E61D406 // FADD V1.2D, V0.2D, V6.2D    (a0+a2, a1+a3)
+	WORD  $0x7E70D8C6 // FADDP D6, V6.2D             lane0+lane1
+	FCMPD F8, F6
+	BGT   done
+	B     loop
+
+done:
+	VST1  [V0.D2, V1.D2], (R3)
+	MOVD  R4, ret+40(FP)
+	RET
+
+// func tableQuadsNEON(tab *float64, idx *int32, nq int64, acc *[4]float64)
+//
+// NEON has no gather: the four lanes are four independent scalar
+// load+add chains, which is the same blocked shape with the same
+// per-lane addition order as tableQuadsScalar. Callers guarantee every
+// index is in range.
+TEXT ·tableQuadsNEON(SB), NOSPLIT, $0-32
+	MOVD  tab+0(FP), R0
+	MOVD  idx+8(FP), R1
+	MOVD  nq+16(FP), R2
+	MOVD  acc+24(FP), R3
+	FMOVD ZR, F0
+	FMOVD ZR, F1
+	FMOVD ZR, F2
+	FMOVD ZR, F3
+	CBZ   R2, tdone
+
+tloop:
+	MOVW.P 4(R1), R4
+	MOVW.P 4(R1), R5
+	MOVW.P 4(R1), R6
+	MOVW.P 4(R1), R7
+	ADD   R4<<3, R0, R8
+	FMOVD (R8), F4
+	FADDD F4, F0
+	ADD   R5<<3, R0, R8
+	FMOVD (R8), F4
+	FADDD F4, F1
+	ADD   R6<<3, R0, R8
+	FMOVD (R8), F4
+	FADDD F4, F2
+	ADD   R7<<3, R0, R8
+	FMOVD (R8), F4
+	FADDD F4, F3
+	SUB   $1, R2
+	CBNZ  R2, tloop
+
+tdone:
+	FMOVD F0, 0(R3)
+	FMOVD F1, 8(R3)
+	FMOVD F2, 16(R3)
+	FMOVD F3, 24(R3)
+	RET

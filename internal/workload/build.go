@@ -120,6 +120,11 @@ type BuildOptions struct {
 	// a background pool of that many workers; 0 keeps the synchronous
 	// cascade inside flushes — the paper-faithful accounting.
 	CompactionWorkers int
+	// Compress stores on-disk pages (CTree leaves, CLSM runs) in the
+	// packed encoding: delta/bit-packed keys, frame-of-reference IDs and
+	// timestamps. More entries per page, lower I/O cost per query,
+	// byte-identical results.
+	Compress bool
 	// StorageDir selects the file-backed storage backend: index and raw
 	// pages live as page-aligned files under this host directory instead
 	// of the simulated in-memory disk. Results and Stats are byte-for-byte
@@ -167,6 +172,17 @@ var (
 func PlannerDefaults(disable bool, cacheSize int) {
 	defaultDisablePlanner, defaultPlanCacheSize = disable, cacheSize
 }
+
+// defaultCompress, like the planner defaults, steers whole experiment
+// sweeps through cmd/coconut-bench's -compress flag: builds whose
+// BuildOptions leave Compress unset inherit it. Set before any build runs.
+var defaultCompress bool
+
+// CompressDefault sets the process-wide run-encoding default (see above).
+func CompressDefault(on bool) { defaultCompress = on }
+
+// compressOn folds the process-wide default under the explicit option.
+func (o BuildOptions) compressOn() bool { return o.Compress || defaultCompress }
 
 // plannerFor builds the planner a BuildVariant call should use, folding the
 // process-wide defaults under the explicit options.
@@ -494,6 +510,7 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 			Disk: disk, Reader: reader, Name: "idx", Config: cfg,
 			FillFactor: opts.FillFactor, MemBudget: opts.MemBudget, Raw: raw,
 			Parallelism: opts.Parallelism, Planner: pl,
+			Compress: opts.compressOn(),
 		}, ds, 0)
 	case "CLSM", "CLSMFull":
 		if opts.WALDir != "" {
@@ -511,6 +528,7 @@ func BuildVariant(variant string, ds *series.Dataset, cfg index.Config, opts Bui
 			Parallelism: opts.Parallelism, Planner: pl,
 			WAL: out.WAL, TruncateWALOnFlush: true,
 			Scheduler: out.Compactor,
+			Compress:  opts.compressOn(),
 		})
 		if err == nil {
 			for id := 0; id < ds.Count() && err == nil; id++ {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/fsx"
 	"repro/internal/series"
 	"repro/internal/shard"
+	"repro/internal/simd"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -102,12 +103,20 @@ func (l *LSM) SaveFile(path string) error {
 // An optional Options value re-attaches the durable-ingest machinery:
 // WALDir replays the log tail past the snapshot (recovering acknowledged
 // inserts the snapshot missed — the crash story), and Durability /
-// CompactionWorkers apply as in NewLSM. Other Options fields are ignored;
-// the snapshot defines the index shape.
+// CompactionWorkers apply as in NewLSM. CompressRuns and Kernels also
+// apply: run encoding is a property of each run, so existing runs keep the
+// encoding they were written with while new flushes and merges follow the
+// reopened setting. Other Options fields are ignored; the snapshot defines
+// the index shape.
 func OpenLSM(path string, opts ...Options) (*LSM, error) {
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]
+	}
+	if o.Kernels != "" {
+		if err := simd.Select(o.Kernels); err != nil {
+			return nil, fmt.Errorf("coconut: %w", err)
+		}
 	}
 	disk, err := storage.LoadDiskFileFS(fsx.OrOS(o.FS), path)
 	if err != nil {
@@ -142,6 +151,10 @@ func OpenLSM(path string, opts ...Options) (*LSM, error) {
 			out.sched, out.ownsSched = nil, false
 		}
 		lsm.SetPlanner(out.planner)
+		if err := lsm.SetCompress(o.CompressRuns); err != nil {
+			out.closeOwned()
+			return nil, err
+		}
 		out.lsm = lsm
 		out.cfg = lsm.Config()
 		if err := loadFacadeRaw(disk, raw, out.cfg.SeriesLen, snapCount); err != nil {
@@ -192,6 +205,7 @@ func OpenLSM(path string, opts ...Options) (*LSM, error) {
 		WAL:           w,
 		Scheduler:     out.sched,
 		Planner:       out.planner,
+		Compress:      o.CompressRuns,
 	}, func(e clsm.ReplayedEntry, z series.Series) error {
 		raw.setAt(e.ID, z)
 		return nil

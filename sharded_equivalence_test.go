@@ -370,6 +370,7 @@ func TestShardedStatsAggregate(t *testing.T) {
 			populated++
 		}
 	}
+	sum.Kernel = per[0].Kernel // process-wide selection, not an additive counter
 	if got := sh.Stats(); got != sum {
 		t.Fatalf("aggregate stats %+v, sum of shards %+v", got, sum)
 	}

@@ -63,6 +63,8 @@ func main() {
 		err = insertCmd(serverURL, rest)
 	case "query":
 		err = query(serverURL, rest)
+	case "explain":
+		err = explainCmd(serverURL, rest)
 	case "stats":
 		err = statsCmd(serverURL, rest)
 	case "recommend":
@@ -80,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: coconut-cli [-server URL] <health|dataset|build|insert|query|stats|recommend|heatmap> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: coconut-cli [-server URL] <health|dataset|build|insert|query|explain|stats|recommend|heatmap> [flags]")
 }
 
 // statsCmd prints a build's I/O and buffer-pool accounting.
@@ -286,18 +288,9 @@ func query(base string, args []string) error {
 	if *buildID == "" {
 		return fmt.Errorf("query: -build is required")
 	}
-	var q []float64
-	switch *template {
-	case "supernova":
-		q = gen.TemplateQueries(gen.TemplateSupernova, *length, 1, 0.1, *seed)[0]
-	case "binary-star":
-		q = gen.TemplateQueries(gen.TemplateBinaryStar, *length, 1, 0.1, *seed)[0]
-	case "earthquake":
-		q = gen.TemplateQueries(gen.TemplateEarthquake, *length, 1, 0.1, *seed)[0]
-	case "randomwalk":
-		q = gen.TemplateQueries(gen.TemplateSupernova, *length, 1, 10, *seed)[0]
-	default:
-		return fmt.Errorf("query: unknown template %q", *template)
+	q, err := templateQuery(*template, *length, *seed)
+	if err != nil {
+		return fmt.Errorf("query: %v", err)
 	}
 	req := server.QueryRequest{Build: *buildID, Series: q, K: *k, Exact: *exact}
 	if *minTS >= 0 && *maxTS >= 0 {
@@ -309,6 +302,94 @@ func query(base string, args []string) error {
 	}
 	pretty(out)
 	return nil
+}
+
+// explainCmd runs one traced query and renders the execution trace — plan
+// cache outcome, per-kind probe/skip counts, candidate verification,
+// phase timings, per-query I/O — followed by the build's access heat map.
+func explainCmd(base string, args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	buildID := fs.String("build", "", "build id (required)")
+	template := fs.String("template", "supernova", "query pattern: supernova, binary-star, earthquake, randomwalk")
+	length := fs.Int("len", 256, "query length (must match the dataset)")
+	k := fs.Int("k", 1, "neighbors")
+	exact := fs.Bool("exact", false, "exact (vs approximate) search")
+	minTS := fs.Int64("min", -1, "window lower bound (with -max)")
+	maxTS := fs.Int64("max", -1, "window upper bound (with -min)")
+	seed := fs.Int64("seed", 1, "pattern seed")
+	units := fs.Bool("units", false, "also list per-unit probe records (bounds per run/partition/leaf/shard)")
+	noHeat := fs.Bool("no-heatmap", false, "skip the access heat map")
+	fs.Parse(args)
+	if *buildID == "" {
+		return fmt.Errorf("explain: -build is required")
+	}
+	q, err := templateQuery(*template, *length, *seed)
+	if err != nil {
+		return fmt.Errorf("explain: %v", err)
+	}
+	req := server.QueryRequest{Build: *buildID, Series: q, K: *k, Exact: *exact, Trace: true}
+	if *minTS >= 0 && *maxTS >= 0 {
+		req.MinTS, req.MaxTS = minTS, maxTS
+	}
+	var out server.QueryResponse
+	if err := call("POST", base+"/api/query", req, &out); err != nil {
+		return err
+	}
+	for i, r := range out.Results {
+		fmt.Printf("#%d id=%d ts=%d dist=%.6f\n", i+1, r.ID, r.TS, r.Dist)
+	}
+	tr := out.Trace
+	if tr == nil {
+		return fmt.Errorf("explain: server returned no trace (older server?)")
+	}
+	fmt.Printf("\nmode=%s k=%d kernel=%s wall=%dus plan_cache=%s planned_skips=%d\n",
+		tr.Mode, tr.K, tr.Kernel, tr.WallMicros, tr.PlanCache, tr.PlannedSkips)
+	for _, kc := range tr.Kinds {
+		fmt.Printf("  %-10s probed=%-6d skipped=%d\n", kc.Kind, kc.Probed, kc.Skipped)
+	}
+	c := tr.Candidates
+	fmt.Printf("candidates: seen=%d verified=%d abandoned=%d pruned=%d\n",
+		c.Seen, c.Verified, c.Abandoned, c.Pruned)
+	for _, ph := range tr.Phases {
+		fmt.Printf("  phase %-8s %dus\n", ph.Name, ph.Micros)
+	}
+	io := tr.IO
+	fmt.Printf("io: seq_r=%d rand_r=%d seq_w=%d rand_w=%d cache_hit=%d cache_miss=%d cost=%.1f\n",
+		io.SeqReads, io.RandReads, io.SeqWrites, io.RandWrites, io.CacheHits, io.CacheMisses, io.Cost)
+	if *units {
+		for _, u := range tr.Units {
+			state := "probe"
+			if u.Skipped {
+				state = "skip"
+			}
+			fmt.Printf("  unit %-10s idx=%-5d bound_sq=%-12.4f %s\n", u.Kind, u.Idx, u.BoundSq, state)
+		}
+		if tr.UnitsTruncated > 0 {
+			fmt.Printf("  ... %d more units (detail capped)\n", tr.UnitsTruncated)
+		}
+	}
+	if !*noHeat {
+		fmt.Println()
+		if err := heatmapCmd(base, []string{"-build", *buildID}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// templateQuery generates one query series from a named pattern.
+func templateQuery(template string, length int, seed int64) ([]float64, error) {
+	switch template {
+	case "supernova":
+		return gen.TemplateQueries(gen.TemplateSupernova, length, 1, 0.1, seed)[0], nil
+	case "binary-star":
+		return gen.TemplateQueries(gen.TemplateBinaryStar, length, 1, 0.1, seed)[0], nil
+	case "earthquake":
+		return gen.TemplateQueries(gen.TemplateEarthquake, length, 1, 0.1, seed)[0], nil
+	case "randomwalk":
+		return gen.TemplateQueries(gen.TemplateSupernova, length, 1, 10, seed)[0], nil
+	}
+	return nil, fmt.Errorf("unknown template %q", template)
 }
 
 func recommend(base string, args []string) error {

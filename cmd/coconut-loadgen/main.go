@@ -15,6 +15,10 @@
 // The load phase is open-loop: queries launch on a fixed schedule
 // regardless of completions, so a slow server accumulates concurrency and
 // the measured latency includes queueing — no coordinated omission.
+//
+// Beyond the quantile line, -hist prints the full latency histogram (the
+// same exponential buckets the servers' /metrics use) and -json writes a
+// machine-readable summary for benchmark artifacts.
 package main
 
 import (
@@ -29,10 +33,12 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -49,6 +55,8 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "load phase length")
 	seed := flag.Int64("seed", 42, "query-generation seed")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	hist := flag.Bool("hist", false, "print the full latency histogram (exponential buckets matching the servers' /metrics)")
+	jsonPath := flag.String("json", "", "write a machine-readable JSON summary (quantiles + histogram) to this file ('-' = stdout)")
 	flag.Parse()
 	if *target == "" {
 		log.Fatal("coconut-loadgen: -target is required")
@@ -95,9 +103,122 @@ func main() {
 	fmt.Printf("latency: p50 %s  p90 %s  p99 %s  max %s\n",
 		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 		q(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
+	buckets := latencyHistogram(lat)
+	if *hist {
+		printHistogram(buckets, len(lat))
+	}
+	if *jsonPath != "" {
+		if err := writeSummary(*jsonPath, summary{
+			Target:          *target,
+			RateQPS:         *rate,
+			DurationSeconds: duration.Seconds(),
+			K:               *k,
+			Exact:           *exact,
+			SeriesLen:       n,
+			Queries:         len(lat) + errs,
+			Errors:          errs,
+			LatencyMicros: quantiles{
+				P50:  q(0.50).Microseconds(),
+				P90:  q(0.90).Microseconds(),
+				P99:  q(0.99).Microseconds(),
+				Max:  lat[len(lat)-1].Microseconds(),
+				Mean: meanMicros(lat),
+			},
+			Histogram: buckets,
+		}); err != nil {
+			log.Fatalf("coconut-loadgen: writing -json summary: %v", err)
+		}
+	}
 	if errs > 0 {
 		os.Exit(1)
 	}
+}
+
+// summary is the machine-readable benchmark artifact written by -json.
+type summary struct {
+	Target          string    `json:"target"`
+	RateQPS         float64   `json:"rate_qps"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	K               int       `json:"k"`
+	Exact           bool      `json:"exact"`
+	SeriesLen       int       `json:"series_len"`
+	Queries         int       `json:"queries"`
+	Errors          int       `json:"errors"`
+	LatencyMicros   quantiles `json:"latency_micros"`
+	Histogram       []bucket  `json:"histogram"`
+}
+
+type quantiles struct {
+	P50  int64 `json:"p50"`
+	P90  int64 `json:"p90"`
+	P99  int64 `json:"p99"`
+	Max  int64 `json:"max"`
+	Mean int64 `json:"mean"`
+}
+
+// bucket is one cumulative histogram bucket: Count observations took
+// LeSeconds or less, Prometheus le-style (the final bucket is +Inf,
+// serialized as le_seconds 0 with All set).
+type bucket struct {
+	LeSeconds float64 `json:"le_seconds,omitempty"`
+	All       bool    `json:"all,omitempty"`
+	Count     int64   `json:"count"`
+}
+
+// latencyHistogram buckets the sorted latencies into the same exponential
+// grid the servers' /metrics histograms use, cumulative counts.
+func latencyHistogram(lat []time.Duration) []bucket {
+	uppers := obs.LatencyBuckets()
+	out := make([]bucket, 0, len(uppers)+1)
+	i := 0
+	for _, up := range uppers {
+		for i < len(lat) && lat[i].Seconds() <= up {
+			i++
+		}
+		out = append(out, bucket{LeSeconds: up, Count: int64(i)})
+	}
+	out = append(out, bucket{All: true, Count: int64(len(lat))})
+	return out
+}
+
+// printHistogram renders the non-empty buckets with a proportional bar.
+func printHistogram(buckets []bucket, total int) {
+	fmt.Println("histogram:")
+	prev := int64(0)
+	for _, b := range buckets {
+		inBucket := b.Count - prev
+		prev = b.Count
+		if inBucket == 0 {
+			continue
+		}
+		label := "+Inf"
+		if !b.All {
+			label = time.Duration(b.LeSeconds * float64(time.Second)).String()
+		}
+		bar := strings.Repeat("#", int(math.Ceil(40*float64(inBucket)/float64(total))))
+		fmt.Printf("  le %-10s %6d %s\n", label, inBucket, bar)
+	}
+}
+
+func meanMicros(lat []time.Duration) int64 {
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	return (sum / time.Duration(len(lat))).Microseconds()
+}
+
+func writeSummary(path string, s summary) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // discoverLen asks a router for its topology; plain servers 404 here.

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -50,6 +51,8 @@ func main() {
 	inflight := flag.Int("max-inflight-inserts", 4, "admitted insert batches before new ones get HTTP 429 (backpressure)")
 	health := flag.Duration("health-interval", 5*time.Second, "background node health-check period (0 = disabled)")
 	par := flag.Int("parallelism", -1, "batch-query fan-out workers (-1 = one per CPU)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this private address (e.g. localhost:6061; empty = disabled)")
+	slowQuery := flag.Duration("slow-query", 0, "record routed requests slower than this in the slow-query log at GET /api/slowlog (0 = disabled)")
 	flag.Parse()
 	if *topoPath == "" {
 		log.Fatal("coconut-router: -topology is required")
@@ -79,6 +82,15 @@ func main() {
 	}
 	log.Printf("coconut-router: verified %d node(s), %d shard(s), replication >= %d, count %d",
 		len(topo.Nodes), topo.Shards, topo.MinReplication(), r.Count())
+	r.SetSlowQuery(*slowQuery)
+	if *pprofAddr != "" {
+		psrv, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatalf("coconut-router: pprof: %v", err)
+		}
+		defer psrv.Close()
+		log.Printf("coconut-router: pprof listening on %s", *pprofAddr)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -44,6 +45,8 @@ func main() {
 	storageRoot := flag.String("storage", "", "storage root directory: builds default to the file-backed page store, each in its own subdirectory; results are byte-identical to the simulated disk (empty = simulated disk only)")
 	planCache := flag.Int("plan-cache", 0, "default plan-cache entries for builds (0 = no cache; N > 0 lets repeated query shapes reuse their pruning tables)")
 	noPlanner := flag.Bool("no-planner", false, "disable statistics-driven probe ordering and skipping for builds; answers are byte-identical either way, only I/O cost changes")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this private address (e.g. localhost:6060; empty = disabled)")
+	slowQuery := flag.Duration("slow-query", 0, "record queries and inserts slower than this in the slow-query log at GET /api/slowlog (0 = disabled)")
 	flag.Parse()
 	// Reject bad defaults at startup: otherwise every build request that
 	// leaves the field unset would fail with a 400 blaming the client.
@@ -69,6 +72,15 @@ func main() {
 	s.SetStorageRoot(*storageRoot)
 	s.SetDefaultPlanCache(*planCache)
 	s.SetDefaultPlannerDisabled(*noPlanner)
+	s.SetSlowQuery(*slowQuery)
+	if *pprofAddr != "" {
+		psrv, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatalf("coconut-server: pprof: %v", err)
+		}
+		defer psrv.Close()
+		log.Printf("coconut-server: pprof listening on %s", *pprofAddr)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

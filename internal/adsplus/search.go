@@ -34,9 +34,11 @@ func (t *Tree) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 	defer ctx.Release()
 	ctx.P.FillAll()
 	col := index.NewCollector(k)
+	sp := ctx.Trace.Start("approx")
 	if err := t.approxInto(q, k, col, ctx); err != nil {
 		return nil, err
 	}
+	sp.End()
 	return col.Results(), nil
 }
 
@@ -89,9 +91,13 @@ func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 	defer ctx.Release()
 	ctx.P.FillAll()
 	col := index.NewCollector(k)
+	sp := ctx.Trace.Start("approx")
 	if err := t.approxInto(q, k, col, ctx); err != nil {
 		return nil, err
 	}
+	sp.End()
+	sp = ctx.Trace.Start("scan")
+	defer sp.End()
 	sc := ctx.Scratch0()
 	pq := &nodePQ{}
 	for _, n := range t.roots {
@@ -112,6 +118,8 @@ func (t *Tree) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 			c := nd.n.children[b]
 			if d := nodeMinDistSq(sc.P, c); d < col.WorstSq() {
 				heap.Push(pq, &nodeDist{n: c, d: d})
+			} else if c.leaf {
+				sc.Trace.NoteSkips("leaf", 1)
 			}
 		}
 	}
@@ -126,6 +134,7 @@ func (t *Tree) evalLeaf(n *node, q index.Query, col *index.Collector, sc *index.
 	if err != nil {
 		return err
 	}
+	sc.Trace.NoteProbes("leaf", 1)
 	inWin := entries[:0:0]
 	for _, e := range entries {
 		if q.InWindow(e.TS) {
@@ -182,6 +191,9 @@ func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 	var visit func(n *node) error
 	visit = func(n *node) error {
 		if col.PruneSq(nodeMinDistSq(sc.P, n)) {
+			if n.leaf {
+				sc.Trace.NoteSkips("leaf", 1)
+			}
 			return nil
 		}
 		if !n.leaf {
@@ -194,6 +206,7 @@ func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 		if err != nil {
 			return err
 		}
+		sc.Trace.NoteProbes("leaf", 1)
 		inWin := entries[:0:0]
 		for _, e := range entries {
 			if q.InWindow(e.TS) {

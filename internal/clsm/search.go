@@ -40,9 +40,11 @@ func (l *LSM) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 	v := l.pinView()
 	defer l.unpinView(v)
 	col := index.NewCollector(k)
+	sp := ctx.Trace.Start("approx")
 	if err := l.approxInto(v, q, col, ctx, l.pool); err != nil {
 		return nil, err
 	}
+	sp.End()
 	return col.Results(), nil
 }
 
@@ -109,12 +111,16 @@ func (l *LSM) exactColl(q index.Query, k int, ctx *index.SearchCtx, pool *parall
 	v := l.pinView()
 	defer l.unpinView(v)
 	col := index.NewCollector(k)
+	sp := ctx.Trace.Start("approx")
 	if err := l.approxInto(v, q, col, ctx, pool); err != nil {
 		return nil, err
 	}
+	sp.End()
+	sp = ctx.Trace.Start("scan")
 	err := l.forEachRun(allRuns(v.man), q, ctx, col, pool, func(r run, sc *index.Scratch, col *index.Collector) error {
 		return l.scanRun(r, q, col, sc)
 	})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +141,9 @@ func (l *LSM) exactColl(q index.Query, k int, ctx *index.SearchCtx, pool *parall
 // against its own clone's evolving bound before scanning.
 func (l *LSM) forEachRun(runs []run, q index.Query, ctx *index.SearchCtx, col *index.Collector, pool *parallel.Pool, scan func(run, *index.Scratch, *index.Collector) error) error {
 	pl := l.opts.Planner
+	tr := ctx.Trace
 	if !pl.Enabled() || len(runs) == 0 {
+		tr.NoteProbes("run", int64(len(runs)))
 		return index.FanOut(pool, len(runs), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
 			func(i int, col *index.Collector, sc *index.Scratch) error {
 				return scan(runs[i], sc, col)
@@ -156,14 +164,21 @@ func (l *LSM) forEachRun(runs []run, q index.Query, ctx *index.SearchCtx, col *i
 		for ui, u := range units {
 			if math.IsInf(u.BoundSq, 1) {
 				skipped++
+				tr.NoteUnit("run", u.Idx, u.BoundSq, true)
 				continue
 			}
 			if col.SkipSq(u.BoundSq) {
 				// Bounds ascend from here on and the collector's worst only
 				// tightens, so every remaining unit is skippable too.
 				skipped += int64(len(units) - ui)
+				if tr != nil {
+					for _, su := range units[ui:] {
+						tr.NoteUnit("run", su.Idx, su.BoundSq, true)
+					}
+				}
 				break
 			}
+			tr.NoteUnit("run", u.Idx, u.BoundSq, false)
 			if err := scan(runs[u.Idx], sc, col); err != nil {
 				pl.NoteSkips(skipped)
 				return err
@@ -177,6 +192,7 @@ func (l *LSM) forEachRun(runs []run, q index.Query, ctx *index.SearchCtx, col *i
 	for _, u := range units {
 		if math.IsInf(u.BoundSq, 1) || col.SkipSq(u.BoundSq) {
 			skipped++
+			tr.NoteUnit("run", u.Idx, u.BoundSq, true)
 			continue
 		}
 		live = append(live, u)
@@ -186,8 +202,10 @@ func (l *LSM) forEachRun(runs []run, q index.Query, ctx *index.SearchCtx, col *i
 		func(i int, col *index.Collector, sc *index.Scratch) error {
 			if col.SkipSq(live[i].BoundSq) {
 				pl.NoteSkips(1)
+				tr.NoteUnit("run", live[i].Idx, live[i].BoundSq, true)
 				return nil
 			}
+			tr.NoteUnit("run", live[i].Idx, live[i].BoundSq, false)
 			return scan(runs[live[i].Idx], sc, col)
 		})
 }
@@ -347,26 +365,37 @@ func (l *LSM) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 		return nil, err
 	}
 	runs := allRuns(v.man)
+	tr := ctx.Trace
 	if pl := l.opts.Planner; pl.Enabled() {
 		// The epsilon bound is static, so planned range search is a pure
 		// pre-filter: drop every run whose envelope bound prunes or whose
 		// time range misses the window (allRuns returned a fresh slice).
 		n := 0
-		for _, r := range runs {
-			if r.syn != nil && ((q.Windowed && !r.syn.IntersectsWindow(q.MinTS, q.MaxTS)) ||
-				col.PruneSq(ctx.P.SynopsisBoundSq(r.syn))) {
-				continue
+		for i, r := range runs {
+			if r.syn != nil {
+				b := ctx.P.SynopsisBoundSq(r.syn)
+				if (q.Windowed && !r.syn.IntersectsWindow(q.MinTS, q.MaxTS)) || col.PruneSq(b) {
+					tr.NoteUnit("run", i, b, true)
+					continue
+				}
+				tr.NoteUnit("run", i, b, false)
+			} else {
+				tr.NoteUnit("run", i, 0, false)
 			}
 			runs[n] = r
 			n++
 		}
 		pl.NoteSkips(int64(len(runs) - n))
 		runs = runs[:n]
+	} else {
+		tr.NoteProbes("run", int64(len(runs)))
 	}
+	sp := tr.Start("scan")
 	err := index.FanOut(l.pool, len(runs), ctx, col, (*index.RangeCollector).PooledClone, (*index.RangeCollector).MergeRelease,
 		func(i int, col *index.RangeCollector, sc *index.Scratch) error {
 			return l.rangeScanRun(runs[i], q, col, sc)
 		})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -11,8 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -35,7 +37,23 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/api/insert", r.handleInsert)
 	mux.HandleFunc("/api/cluster/topology", r.handleTopology)
 	mux.HandleFunc("/api/cluster/drain", r.handleDrain)
+	mux.HandleFunc("/api/slowlog", r.handleSlowLog)
+	mux.Handle("/metrics", r.metrics.reg.Handler())
 	return mux
+}
+
+// handleSlowLog answers GET /api/slowlog: the most recent slow requests
+// (newest first) and the active threshold.
+func (r *Router) handleSlowLog(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_micros": r.slow.Threshold().Microseconds(),
+		"total":            r.slow.Total(),
+		"entries":          r.slow.Entries(),
+	})
 }
 
 func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
@@ -67,6 +85,18 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request: %v", err)
 		return
 	}
+	mode := "approx"
+	switch {
+	case qr.Eps > 0:
+		mode = "range"
+	case qr.Exact:
+		mode = "exact"
+	}
+	traced := qr.Trace || req.URL.Query().Get("trace") == "1"
+	if traced {
+		r.metrics.traced.Inc()
+	}
+	start := time.Now()
 	var (
 		rs    []index.Result
 		stats Stats
@@ -77,14 +107,34 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	} else {
 		rs, stats, err = r.Search(qr.Series, qr.K, qr.Exact, qr.MinTS, qr.MaxTS)
 	}
+	elapsed := time.Since(start)
+	r.observeQuery(mode, elapsed, stats, err)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "cluster query failed: %v", err)
 		return
 	}
-	resp := server.QueryResponse{
-		Cost:   stats.Cost,
-		SeqIO:  stats.SeqIO,
-		RandIO: stats.RandIO,
+	// The router's trace rides next to the node-shaped response body, so
+	// untraced clients see exactly the single-node response shape.
+	resp := struct {
+		server.QueryResponse
+		RouterTrace *RouterTrace `json:"router_trace,omitempty"`
+	}{
+		QueryResponse: server.QueryResponse{
+			Cost:   stats.Cost,
+			SeqIO:  stats.SeqIO,
+			RandIO: stats.RandIO,
+		},
+	}
+	if traced {
+		resp.RouterTrace = &RouterTrace{
+			Calls:      stats.Calls,
+			Retries:    stats.Retries,
+			Hedges:     stats.Hedges,
+			Cost:       stats.Cost,
+			SeqIO:      stats.SeqIO,
+			RandIO:     stats.RandIO,
+			WallMicros: elapsed.Microseconds(),
+		}
 	}
 	for _, res := range rs {
 		resp.Results = append(resp.Results, server.QueryResult{ID: res.ID, TS: res.TS, Dist: res.Dist})
@@ -108,7 +158,9 @@ func (r *Router) handleQueryBatch(w http.ResponseWriter, req *http.Request) {
 		writeError(w, http.StatusBadRequest, "queries must number in (0, 65536], got %d", len(qr.Queries))
 		return
 	}
+	start := time.Now()
 	rss, stats, err := r.SearchBatch(qr.Queries, qr.K, qr.Exact)
+	r.observeQuery("batch", time.Since(start), stats, err)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "cluster batch query failed: %v", err)
 		return
@@ -154,14 +206,28 @@ func (r *Router) handleInsert(w http.ResponseWriter, req *http.Request) {
 			ts[i] = ir.TS
 		}
 	}
+	start := time.Now()
 	count, err := r.Insert(ir.Series, ts)
+	elapsed := time.Since(start)
 	if err != nil {
 		if errors.Is(err, ErrBusy) {
+			r.metrics.insertRejects.Inc()
 			writeError(w, http.StatusTooManyRequests, "%v", err)
 			return
 		}
+		r.metrics.insertErrors.Inc()
 		writeError(w, http.StatusBadGateway, "cluster insert failed: %v", err)
 		return
+	}
+	r.metrics.inserts.Inc()
+	r.metrics.insertedRows.Add(int64(len(ir.Series)))
+	r.metrics.insertLatency.Observe(elapsed.Seconds())
+	if r.slow.Slow(elapsed) {
+		r.slow.Record(obs.SlowEntry{
+			DurationMicros: elapsed.Microseconds(),
+			Kind:           "insert",
+			Detail:         fmt.Sprintf("%d series", len(ir.Series)),
+		})
 	}
 	writeJSON(w, http.StatusOK, server.InsertResponse{
 		Inserted: len(ir.Series),

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// routerMetrics is the router's /metrics surface: request-path counters
+// and latency histograms, plus a scrape-time collector deriving fan-out
+// totals and per-node replica health from the state the router already
+// maintains.
+type routerMetrics struct {
+	reg *obs.Registry
+
+	queries       map[string]*obs.Counter   // by mode: approx, exact, range, batch
+	queryLatency  map[string]*obs.Histogram // by mode
+	queryErrors   *obs.Counter
+	inserts       *obs.Counter
+	insertedRows  *obs.Counter
+	insertErrors  *obs.Counter
+	insertRejects *obs.Counter
+	insertLatency *obs.Histogram
+	traced        *obs.Counter
+}
+
+func newRouterMetrics(r *Router) *routerMetrics {
+	reg := obs.NewRegistry()
+	m := &routerMetrics{
+		reg:          reg,
+		queries:      make(map[string]*obs.Counter, 4),
+		queryLatency: make(map[string]*obs.Histogram, 4),
+	}
+	for _, mode := range []string{"approx", "exact", "range", "batch"} {
+		m.queries[mode] = reg.Counter("coconut_router_queries_total",
+			"Queries routed, by mode.", "mode", mode)
+		m.queryLatency[mode] = reg.Histogram("coconut_router_query_latency_seconds",
+			"End-to-end routed query wall time in seconds, by mode.",
+			obs.LatencyBuckets(), "mode", mode)
+	}
+	m.queryErrors = reg.Counter("coconut_router_query_errors_total",
+		"Routed queries that failed.")
+	m.inserts = reg.Counter("coconut_router_inserts_total",
+		"Insert batches admitted and fanned out.")
+	m.insertedRows = reg.Counter("coconut_router_inserted_series_total",
+		"Series inserted cluster-wide through the router.")
+	m.insertErrors = reg.Counter("coconut_router_insert_errors_total",
+		"Insert batches that failed after admission.")
+	m.insertRejects = reg.Counter("coconut_router_insert_rejects_total",
+		"Insert batches rejected by admission control (HTTP 429).")
+	m.insertLatency = reg.Histogram("coconut_router_insert_latency_seconds",
+		"Insert batch wall time in seconds.", obs.LatencyBuckets())
+	m.traced = reg.Counter("coconut_router_traced_queries_total",
+		"Routed queries that carried a trace.")
+	reg.Collect(r.collectRouter)
+	return m
+}
+
+// collectRouter derives the fan-out totals and per-node health series at
+// scrape time from the router's existing atomics.
+func (r *Router) collectRouter(e *obs.Emit) {
+	e.Counter("coconut_router_node_calls_total",
+		"Node requests issued across all fan-outs (retries and hedges included).",
+		float64(r.calls.Load()))
+	e.Counter("coconut_router_retries_total",
+		"Node requests reissued to another replica after a failure.",
+		float64(r.retries.Load()))
+	e.Counter("coconut_router_hedges_total",
+		"Duplicate node requests launched after HedgeAfter.",
+		float64(r.hedges.Load()))
+	e.Gauge("coconut_router_shards", "Logical shards in the topology.",
+		float64(r.topo.Shards))
+	e.Gauge("coconut_router_series", "Cluster-wide series count.",
+		float64(r.count.Load()))
+	for _, st := range r.nodes {
+		name := st.node.Name
+		b := func(v bool) float64 {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		e.Gauge("coconut_router_node_healthy", "1 while the node passes health checks.",
+			b(st.healthy.Load()), "node", name)
+		e.Gauge("coconut_router_node_draining", "1 while the node is draining.",
+			b(st.draining.Load()), "node", name)
+		e.Gauge("coconut_router_node_stale", "1 once the node missed a replica write and left read rotation.",
+			b(st.stale.Load()), "node", name)
+		e.Gauge("coconut_router_node_fails", "Consecutive failed calls to the node.",
+			float64(st.fails.Load()), "node", name)
+	}
+}
+
+// RouterTrace is the router's side of a traced query: the fan-out
+// accounting for this one request. Nodes' own traces stay on the nodes —
+// query them directly with ?trace=1 to drill in.
+type RouterTrace struct {
+	Calls      int64   `json:"calls"`
+	Retries    int64   `json:"retries"`
+	Hedges     int64   `json:"hedges"`
+	Cost       float64 `json:"cost"`
+	SeqIO      int64   `json:"seq_io"`
+	RandIO     int64   `json:"rand_io"`
+	WallMicros int64   `json:"wall_micros"`
+}
+
+// observeQuery feeds one routed query into the histograms and, past the
+// threshold, the slow-query log.
+func (r *Router) observeQuery(mode string, elapsed time.Duration, stats Stats, err error) {
+	if err != nil {
+		r.metrics.queryErrors.Inc()
+		return
+	}
+	r.metrics.queries[mode].Inc()
+	r.metrics.queryLatency[mode].Observe(elapsed.Seconds())
+	if r.slow.Slow(elapsed) {
+		r.slow.Record(obs.SlowEntry{
+			DurationMicros: elapsed.Microseconds(),
+			Kind:           "query",
+			Mode:           mode,
+			Cost:           stats.Cost,
+		})
+	}
+}
+
+// SetSlowQuery arms the router's slow-query log: requests slower than d
+// are recorded in a bounded ring served at GET /api/slowlog. d <= 0
+// disables it. Safe to call while serving.
+func (r *Router) SetSlowQuery(d time.Duration) { r.slow.SetThreshold(d) }
+
+// Metrics exposes the router's metrics registry.
+func (r *Router) Metrics() *obs.Registry { return r.metrics.reg }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -108,6 +109,9 @@ type Router struct {
 	calls   atomic.Int64
 	retries atomic.Int64
 	hedges  atomic.Int64
+
+	metrics *routerMetrics
+	slow    *obs.SlowLog
 }
 
 // New validates the topology, contacts every node to verify its build
@@ -139,7 +143,9 @@ func New(topo Topology, opts Options) (*Router, error) {
 		client:    opts.Client,
 		insertSem: make(chan struct{}, opts.MaxInflightInserts),
 		stop:      make(chan struct{}),
+		slow:      obs.NewSlowLog(0),
 	}
+	r.metrics = newRouterMetrics(r)
 	if r.client == nil {
 		r.client = &http.Client{}
 	}

@@ -2,6 +2,7 @@ package ctree
 
 import (
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -26,9 +27,11 @@ func (t *Tree) ApproxSearch(q index.Query, k int) ([]index.Result, error) {
 	ctx := t.opts.Planner.AcquireCtx(q, t.opts.Config)
 	defer ctx.Release()
 	col := index.NewCollector(k)
+	sp := ctx.Trace.Start("approx")
 	if err := t.approxInto(q, k, col, ctx); err != nil {
 		return nil, err
 	}
+	sp.End()
 	return col.Results(), nil
 }
 
@@ -82,6 +85,7 @@ func (t *Tree) scanLeafInto(li int, q index.Query, col *index.Collector, sc *ind
 		n, err = index.EvalEncoded(q, h.Data(), t.leaves[li].count, t.codec, t.opts.Raw, col, sc)
 	}
 	h.Release()
+	sc.Trace.NoteProbes("leaf", 1)
 	return n, err
 }
 
@@ -157,14 +161,18 @@ func (t *Tree) exactColl(q index.Query, k int, ctx *index.SearchCtx, pool *paral
 	if len(t.leaves) == 0 {
 		return col, nil
 	}
+	sp := ctx.Trace.Start("approx")
 	if err := t.approxInto(q, k, col, ctx); err != nil {
 		return nil, err
 	}
+	sp.End()
+	sp = ctx.Trace.Start("scan")
 	chunks := t.leafChunks(pool)
 	err := index.FanOut(pool, len(chunks), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
 		func(i int, col *index.Collector, sc *index.Scratch) error {
 			return t.exactScanRange(chunks[i][0], chunks[i][1], q, col, sc)
 		})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -199,9 +207,10 @@ func (t *Tree) exactScanRange(lo, hi int, q index.Query, col *index.Collector, s
 				return err
 			}
 		}
+		sc.Trace.NoteProbes("leaf", int64(hi-lo))
 		return nil
 	}
-	return t.skipRuns(lo, hi, read, func(li int) bool {
+	return t.skipRuns(lo, hi, sc.Trace, read, func(li int) bool {
 		mn, mx := t.leafEnv(li)
 		return col.SkipSq(sc.P.EnvelopeSq(mn, mx))
 	})
@@ -225,12 +234,17 @@ const interiorSkipRun = 12
 // answers: a leaf marked skippable stays answer-free forever (the
 // collector's bound only tightens), and reading it anyway is the unplanned
 // behaviour.
-func (t *Tree) skipRuns(lo, hi int, read func(li int) error, skippable func(li int) bool) error {
+func (t *Tree) skipRuns(lo, hi int, tr *obs.QueryTrace, read func(li int) error, skippable func(li int) bool) error {
 	pl := t.opts.Planner
 	pendStart, pending := 0, 0
 	started := false // a leaf in [lo,hi) has actually been read
 	skipped := int64(0)
-	defer func() { pl.NoteSkips(skipped) }()
+	probed := int64(0)
+	defer func() {
+		pl.NoteSkips(skipped)
+		tr.NoteSkips("leaf", skipped)
+		tr.NoteProbes("leaf", probed)
+	}()
 	for li := lo; li < hi; li++ {
 		if skippable(li) {
 			if pending == 0 {
@@ -247,6 +261,7 @@ func (t *Tree) skipRuns(lo, hi int, read func(li int) error, skippable func(li i
 					if err := read(p); err != nil {
 						return err
 					}
+					probed++
 				}
 			}
 			pending = 0
@@ -254,6 +269,7 @@ func (t *Tree) skipRuns(lo, hi int, read func(li int) error, skippable func(li i
 		if err := read(li); err != nil {
 			return err
 		}
+		probed++
 		started = true
 	}
 	skipped += int64(pending) // trailing run: nothing re-enters, free
@@ -271,10 +287,12 @@ func (t *Tree) RangeSearch(q index.Query, eps float64) ([]index.Result, error) {
 		return col.Results(), nil
 	}
 	chunks := t.leafChunks(t.pool)
+	sp := ctx.Trace.Start("scan")
 	err := index.FanOut(t.pool, len(chunks), ctx, col, (*index.RangeCollector).PooledClone, (*index.RangeCollector).MergeRelease,
 		func(i int, col *index.RangeCollector, sc *index.Scratch) error {
 			return t.rangeScanRange(chunks[i][0], chunks[i][1], q, col, sc)
 		})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -304,9 +322,10 @@ func (t *Tree) rangeScanRange(lo, hi int, q index.Query, col *index.RangeCollect
 				return err
 			}
 		}
+		sc.Trace.NoteProbes("leaf", int64(hi-lo))
 		return nil
 	}
-	return t.skipRuns(lo, hi, read, func(li int) bool {
+	return t.skipRuns(lo, hi, sc.Trace, read, func(li int) bool {
 		mn, mx := t.leafEnv(li)
 		return col.PruneSq(sc.P.EnvelopeSq(mn, mx))
 	})

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/sax"
 	"repro/internal/series"
@@ -85,6 +86,14 @@ type Query struct {
 	// both zero means unrestricted. Used by the streaming schemes.
 	MinTS, MaxTS int64
 	Windowed     bool
+	// Trace, when non-nil, records this query's execution — probe units
+	// probed vs. skipped with their synopsis bounds, plan-cache behavior,
+	// candidate verification tallies, per-phase wall time — for the
+	// ?trace=1 / explain surface. It flows into the pooled SearchCtx and
+	// its Scratches via AcquireCtx; the untraced default (nil) costs the
+	// hot path one nil check per instrumentation point. Answers are
+	// byte-identical traced or not.
+	Trace *obs.QueryTrace
 }
 
 // NewQuery prepares a raw series as a query under config c.

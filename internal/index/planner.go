@@ -144,13 +144,18 @@ func (pl *Planner) AcquireCtx(q Query, cfg Config) *SearchCtx {
 }
 
 // Refill fills ctx's pruning tables for q under cfg through the planner's
-// cache, for batch paths that reuse one context across queries.
+// cache, for batch paths that reuse one context across queries. It also
+// re-binds the context's trace to the query's (so pooled batch contexts
+// follow each query's tracing state) and records the plan-cache outcome
+// into the trace.
 func (pl *Planner) Refill(ctx *SearchCtx, q Query, cfg Config) {
+	ctx.Trace = q.Trace
 	if pl == nil || pl.Cache == nil {
 		ctx.P.Fill(q.PAA, cfg)
 		return
 	}
-	pl.Cache.fill(&ctx.P, q, cfg)
+	hit := pl.Cache.fill(&ctx.P, q, cfg)
+	q.Trace.NotePlanCache(hit)
 }
 
 // planKey buckets cache entries by the quantized query signature — the
@@ -292,8 +297,9 @@ func paaEqual(a, b []float64) bool {
 }
 
 // fill populates p for q under cfg, from the cache when an exact-PAA entry
-// exists, computing and inserting a snapshot otherwise.
-func (c *PlanCache) fill(p *Pruner, q Query, cfg Config) {
+// exists, computing and inserting a snapshot otherwise. It reports whether
+// the fill was a cache hit.
+func (c *PlanCache) fill(p *Pruner, q Query, cfg Config) bool {
 	key := planKey{cfg: cfg, sig: [2]uint64{q.Key.Hi, q.Key.Lo}}
 	c.mu.Lock()
 	if e, ok := c.m[key]; ok && paaEqual(e.paa, q.PAA) {
@@ -304,7 +310,7 @@ func (c *PlanCache) fill(p *Pruner, q Query, cfg Config) {
 		// keeps the critical section to pointer shuffling.
 		e.load(p, cfg)
 		c.hits.Add(1)
-		return
+		return true
 	}
 	c.mu.Unlock()
 	c.misses.Add(1)
@@ -331,4 +337,5 @@ func (c *PlanCache) fill(p *Pruner, q Query, cfg Config) {
 		delete(c.m, lru.key)
 	}
 	c.mu.Unlock()
+	return false
 }

@@ -6,6 +6,7 @@ import (
 	"slices"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/sax"
 	"repro/internal/series"
@@ -255,6 +256,9 @@ type Scratch struct {
 	ser    series.Series
 	ecands []entCand
 	ocands []offCand
+	// Trace aliases the query's trace recorder (nil untraced); workers
+	// report candidate tallies through it. Refreshed by Scratches.
+	Trace *obs.QueryTrace
 }
 
 // SeriesBuf returns the scratch series buffer resized to n points.
@@ -273,6 +277,10 @@ type SearchCtx struct {
 	scratches []*Scratch
 	plan      []PlanUnit // inner-level probe plan (runs, partitions, leaf ranges)
 	outerPlan []PlanUnit // shard-level probe plan; see OuterPlanUnits
+	// Trace is the query's trace recorder, copied from Query.Trace at
+	// acquisition (nil untraced) and cleared on Release so pooled
+	// contexts never leak a trace across queries.
+	Trace *obs.QueryTrace
 }
 
 var ctxPool = sync.Pool{New: func() any { return new(SearchCtx) }}
@@ -283,22 +291,31 @@ var ctxPool = sync.Pool{New: func() any { return new(SearchCtx) }}
 func AcquireCtx(q Query, cfg Config) *SearchCtx {
 	ctx := ctxPool.Get().(*SearchCtx)
 	ctx.P.Fill(q.PAA, cfg)
+	ctx.Trace = q.Trace
 	return ctx
 }
 
 // Release returns the context and all its scratch buffers to the pool. The
 // context must not be used afterwards.
-func (c *SearchCtx) Release() { ctxPool.Put(c) }
+func (c *SearchCtx) Release() {
+	c.Trace = nil
+	ctxPool.Put(c)
+}
 
 // Scratches returns scratch states for worker slots 0..n-1, growing the set
 // as needed. It must be called on the coordinating goroutine before workers
 // start; the returned scratches may then be used concurrently, one per
-// slot.
+// slot. Each call refreshes the scratches' trace alias from the context,
+// so pooled scratches follow the current query's tracing state.
 func (c *SearchCtx) Scratches(n int) []*Scratch {
 	for len(c.scratches) < n {
 		c.scratches = append(c.scratches, &Scratch{P: &c.P})
 	}
-	return c.scratches[:n]
+	out := c.scratches[:n]
+	for _, sc := range out {
+		sc.Trace = c.Trace
+	}
+	return out
 }
 
 // Scratch0 returns the serial path's scratch (worker slot 0).
@@ -355,15 +372,30 @@ func EvalCandidates(q Query, entries []record.Entry, raw series.RawStore, col *C
 		clear(cands)
 		sc.ecands = cands[:0]
 	}()
-	for _, c := range cands {
+	traced := sc.Trace != nil
+	var ver, ab, pr int64
+	for i, c := range cands {
 		if col.SkipSq(c.lbSq) {
+			if traced {
+				pr += int64(len(cands) - i)
+			}
 			break // all remaining candidates have larger lower bounds
 		}
-		dSq, err := TrueDistSq(q, c.e, raw, col.WorstSq(), sc)
+		limitSq := col.WorstSq()
+		dSq, err := TrueDistSq(q, c.e, raw, limitSq, sc)
 		if err != nil {
 			return len(cands), err
 		}
+		if traced {
+			ver++
+			if dSq > limitSq {
+				ab++
+			}
+		}
 		col.AddSq(c.e.ID, c.e.TS, dSq)
+	}
+	if traced {
+		sc.Trace.NoteCands(int64(len(cands)), ver, ab, pr)
 	}
 	return len(cands), nil
 }
@@ -371,15 +403,29 @@ func EvalCandidates(q Query, entries []record.Entry, raw series.RawStore, col *C
 // EvalRangeCandidates verifies in-memory candidates against a range
 // collector, pruning table-computed lower bounds by the epsilon bound.
 func EvalRangeCandidates(q Query, entries []record.Entry, raw series.RawStore, col *RangeCollector, sc *Scratch) error {
+	traced := sc.Trace != nil
+	var ver, ab, pr int64
 	for _, e := range entries {
 		if col.PruneSq(sc.P.MinDistSqKey(e.Key)) {
+			if traced {
+				pr++
+			}
 			continue
 		}
 		dSq, err := TrueDistSq(q, e, raw, col.BoundSq(), sc)
 		if err != nil {
 			return err
 		}
+		if traced {
+			ver++
+			if dSq > col.BoundSq() {
+				ab++
+			}
+		}
 		col.AddSq(e.ID, e.TS, dSq)
+	}
+	if traced {
+		sc.Trace.NoteCands(int64(len(entries)), ver, ab, pr)
 	}
 	return nil
 }
@@ -396,6 +442,8 @@ func EvalEncoded(q Query, page []byte, n int, codec record.Codec, raw series.Raw
 	recSize := codec.Size()
 	cands := sc.ocands[:0]
 	count := 0
+	traced := sc.Trace != nil
+	var ver, ab, pr int64
 	for i := 0; i < n; i++ {
 		rec := page[i*recSize : (i+1)*recSize]
 		if !q.InWindow(record.DecodeTS(rec)) {
@@ -404,28 +452,44 @@ func EvalEncoded(q Query, page []byte, n int, codec record.Codec, raw series.Raw
 		count++
 		lbSq := sc.P.MinDistSqKey(record.DecodeKeyOnly(rec))
 		if col.SkipSq(lbSq) {
+			if traced {
+				pr++
+			}
 			continue // cheap reject before even locating the payload
 		}
 		cands = append(cands, offCand{lbSq: lbSq, off: int32(i * recSize)})
 	}
 	slices.SortFunc(cands, func(a, b offCand) int { return cmp.Compare(a.lbSq, b.lbSq) })
 	sc.ocands = cands
-	for _, c := range cands {
+	for ci, c := range cands {
 		if col.SkipSq(c.lbSq) {
+			if traced {
+				pr += int64(len(cands) - ci)
+			}
 			break
 		}
 		rec := page[c.off : int(c.off)+recSize]
+		limitSq := col.WorstSq()
 		var dSq float64
 		if codec.Materialized {
-			dSq = q.Norm.SqDistEncodedEarlyAbandon(codec.PayloadBytes(rec), col.WorstSq())
+			dSq = q.Norm.SqDistEncodedEarlyAbandon(codec.PayloadBytes(rec), limitSq)
 		} else {
 			var err error
-			dSq, err = rawDistSq(q, record.DecodeID(rec), raw, col.WorstSq(), sc)
+			dSq, err = rawDistSq(q, record.DecodeID(rec), raw, limitSq, sc)
 			if err != nil {
 				return count, err
 			}
 		}
+		if traced {
+			ver++
+			if dSq > limitSq {
+				ab++
+			}
+		}
 		col.AddSq(record.DecodeID(rec), record.DecodeTS(rec), dSq)
+	}
+	if traced {
+		sc.Trace.NoteCands(int64(count), ver, ab, pr)
 	}
 	return count, nil
 }
@@ -446,6 +510,8 @@ func EvalEncodedPacked(q Query, page []byte, codec record.Codec, raw series.RawS
 	n := v.Count()
 	cands := sc.ocands[:0]
 	count := 0
+	traced := sc.Trace != nil
+	var ver, ab, pr int64
 	for i := 0; i < n; i++ {
 		if !q.InWindow(v.TS(i)) {
 			continue
@@ -453,28 +519,44 @@ func EvalEncodedPacked(q Query, page []byte, codec record.Codec, raw series.RawS
 		count++
 		lbSq := sc.P.MinDistSqKey(v.Key(i))
 		if col.SkipSq(lbSq) {
+			if traced {
+				pr++
+			}
 			continue
 		}
 		cands = append(cands, offCand{lbSq: lbSq, off: int32(i)})
 	}
 	slices.SortFunc(cands, func(a, b offCand) int { return cmp.Compare(a.lbSq, b.lbSq) })
 	sc.ocands = cands
-	for _, c := range cands {
+	for ci, c := range cands {
 		if col.SkipSq(c.lbSq) {
+			if traced {
+				pr += int64(len(cands) - ci)
+			}
 			break
 		}
 		i := int(c.off)
+		limitSq := col.WorstSq()
 		var dSq float64
 		if codec.Materialized {
-			dSq = q.Norm.SqDistEncodedEarlyAbandon(v.PayloadBytes(i), col.WorstSq())
+			dSq = q.Norm.SqDistEncodedEarlyAbandon(v.PayloadBytes(i), limitSq)
 		} else {
 			var err error
-			dSq, err = rawDistSq(q, v.ID(i), raw, col.WorstSq(), sc)
+			dSq, err = rawDistSq(q, v.ID(i), raw, limitSq, sc)
 			if err != nil {
 				return count, err
 			}
 		}
+		if traced {
+			ver++
+			if dSq > limitSq {
+				ab++
+			}
+		}
 		col.AddSq(v.ID(i), v.TS(i), dSq)
+	}
+	if traced {
+		sc.Trace.NoteCands(int64(count), ver, ab, pr)
 	}
 	return count, nil
 }
@@ -487,11 +569,19 @@ func EvalEncodedPackedRange(q Query, page []byte, codec record.Codec, raw series
 		return err
 	}
 	n := v.Count()
+	traced := sc.Trace != nil
+	var seen, ver, ab, pr int64
 	for i := 0; i < n; i++ {
 		if !q.InWindow(v.TS(i)) {
 			continue
 		}
+		if traced {
+			seen++
+		}
 		if col.PruneSq(sc.P.MinDistSqKey(v.Key(i))) {
+			if traced {
+				pr++
+			}
 			continue
 		}
 		var dSq float64
@@ -504,7 +594,16 @@ func EvalEncodedPackedRange(q Query, page []byte, codec record.Codec, raw series
 				return err
 			}
 		}
+		if traced {
+			ver++
+			if dSq > col.BoundSq() {
+				ab++
+			}
+		}
 		col.AddSq(v.ID(i), v.TS(i), dSq)
+	}
+	if traced {
+		sc.Trace.NoteCands(seen, ver, ab, pr)
 	}
 	return nil
 }
@@ -514,12 +613,20 @@ func EvalEncodedPackedRange(q Query, page []byte, codec record.Codec, raw series
 // unpruned record verifies directly from the encoded bytes.
 func EvalEncodedRange(q Query, page []byte, n int, codec record.Codec, raw series.RawStore, col *RangeCollector, sc *Scratch) error {
 	recSize := codec.Size()
+	traced := sc.Trace != nil
+	var seen, ver, ab, pr int64
 	for i := 0; i < n; i++ {
 		rec := page[i*recSize : (i+1)*recSize]
 		if !q.InWindow(record.DecodeTS(rec)) {
 			continue
 		}
+		if traced {
+			seen++
+		}
 		if col.PruneSq(sc.P.MinDistSqKey(record.DecodeKeyOnly(rec))) {
+			if traced {
+				pr++
+			}
 			continue
 		}
 		var dSq float64
@@ -532,7 +639,16 @@ func EvalEncodedRange(q Query, page []byte, n int, codec record.Codec, raw serie
 				return err
 			}
 		}
+		if traced {
+			ver++
+			if dSq > col.BoundSq() {
+				ab++
+			}
+		}
 		col.AddSq(record.DecodeID(rec), record.DecodeTS(rec), dSq)
+	}
+	if traced {
+		sc.Trace.NoteCands(seen, ver, ab, pr)
 	}
 	return nil
 }

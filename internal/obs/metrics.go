@@ -1,0 +1,422 @@
+// Package obs is the observability core: dependency-free metrics
+// (atomic counters, gauges, and fixed-bucket histograms with 0-alloc
+// hot-path increments; Prometheus text exposition), a per-query trace
+// recorder, and a threshold-based slow-query log. Every layer of the
+// engine reports through it — the planner and the five index read
+// paths record into a QueryTrace threaded through index.Query, and the
+// HTTP servers expose a Registry on GET /metrics.
+//
+// The package imports nothing outside the standard library and nothing
+// from this repository, so any layer (including internal/index) may
+// depend on it without cycles.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. Inc and Add are
+// lock-free and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. Set/Add are lock-free and
+// allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta via a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed upper-bound buckets
+// (cumulative at exposition, like Prometheus' classic histograms).
+// Observe is lock-free and allocation-free: one atomic add into the
+// bucket, one into the count, and a CAS loop on the float64 sum bits.
+type Histogram struct {
+	upper  []float64      // sorted upper bounds; implicit +Inf after
+	counts []atomic.Int64 // len(upper)+1; last bucket is +Inf
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a detached histogram (no registry) over the given
+// upper bounds. Registry.Histogram is the usual constructor.
+func NewHistogram(upper []float64) *Histogram {
+	u := make([]float64, len(upper))
+	copy(u, upper)
+	sort.Float64s(u)
+	return &Histogram{upper: u, counts: make([]atomic.Int64, len(u)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) assuming
+// observations sit at their bucket's upper bound — good enough for
+// operator-facing summaries; scrape the buckets for anything better.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.upper) {
+				return h.upper[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at
+// start and multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets spans 10µs..~84s in powers of two — wide enough for
+// in-memory probes and cold distributed scans alike (values in
+// seconds).
+func LatencyBuckets() []float64 { return ExpBuckets(1e-5, 2, 23) }
+
+// IOBuckets spans 1..65536 pages (or cost units) in powers of two.
+func IOBuckets() []float64 { return ExpBuckets(1, 2, 17) }
+
+// metric is one registered series: a pre-rendered label block plus a
+// value source.
+type metric struct {
+	labels string // "" or `{k="v",...}`
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups same-named series for one # HELP/# TYPE block.
+type family struct {
+	name, help, typ string
+	metrics         []*metric
+}
+
+// Registry holds registered metrics and scrape-time collectors, and
+// renders the Prometheus text exposition.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []func(*Emit)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// LabelString renders k/v pairs into a `{k="v",...}` block ("" when
+// empty). Values are escaped per the exposition format.
+func LabelString(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func (r *Registry) fam(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+	}
+	return f
+}
+
+// Counter registers (or extends) a counter family and returns the new
+// series. kv are label key/value pairs.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	c := &Counter{}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "counter")
+	f.metrics = append(f.metrics, &metric{labels: LabelString(kv...), c: c})
+	return c
+}
+
+// Gauge registers a gauge series.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	g := &Gauge{}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "gauge")
+	f.metrics = append(f.metrics, &metric{labels: LabelString(kv...), g: g})
+	return g
+}
+
+// Histogram registers a histogram series over the given upper bounds.
+func (r *Registry) Histogram(name, help string, upper []float64, kv ...string) *Histogram {
+	h := NewHistogram(upper)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fam(name, help, "histogram")
+	f.metrics = append(f.metrics, &metric{labels: LabelString(kv...), h: h})
+	return h
+}
+
+// Collect adds a scrape-time collector: fn runs on every exposition and
+// emits point-in-time series (per-build gauges, ratios derived from
+// existing stats structs, …). Collectors may allocate — they run off
+// the query hot path.
+func (r *Registry) Collect(fn func(*Emit)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// Emit receives dynamic samples from a collector.
+type Emit struct {
+	fams map[string]*family
+}
+
+func (e *Emit) sample(name, help, typ string, v float64, kv ...string) {
+	f, ok := e.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ}
+		e.fams[name] = f
+	}
+	g := &Gauge{}
+	g.Set(v)
+	f.metrics = append(f.metrics, &metric{labels: LabelString(kv...), g: g})
+}
+
+// Counter emits a counter sample (the value must be monotone across
+// scrapes — typically read from an existing atomic total).
+func (e *Emit) Counter(name, help string, v float64, kv ...string) {
+	e.sample(name, help, "counter", v, kv...)
+}
+
+// Gauge emits a gauge sample.
+func (e *Emit) Gauge(name, help string, v float64, kv ...string) {
+	e.sample(name, help, "gauge", v, kv...)
+}
+
+// WritePrometheus renders every registered series plus every
+// collector's samples in the Prometheus text exposition format,
+// families sorted by name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	collectors := make([]func(*Emit), len(r.collectors))
+	copy(collectors, r.collectors)
+	merged := make(map[string]*family, len(r.families))
+	for n, f := range r.families {
+		cp := &family{name: f.name, help: f.help, typ: f.typ}
+		cp.metrics = append(cp.metrics, f.metrics...)
+		merged[n] = cp
+	}
+	r.mu.Unlock()
+
+	em := &Emit{fams: make(map[string]*family)}
+	for _, fn := range collectors {
+		fn(em)
+	}
+	for n, f := range em.fams {
+		if have, ok := merged[n]; ok {
+			have.metrics = append(have.metrics, f.metrics...)
+		} else {
+			merged[n] = f
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b []byte
+	for _, n := range names {
+		f := merged[n]
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.typ...)
+		b = append(b, '\n')
+		for _, m := range f.metrics {
+			b = m.appendLines(b, f.name)
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// appendLines renders one series' sample line(s).
+func (m *metric) appendLines(b []byte, name string) []byte {
+	switch {
+	case m.c != nil:
+		b = append(b, name...)
+		b = append(b, m.labels...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, m.c.Value(), 10)
+		b = append(b, '\n')
+	case m.g != nil:
+		b = append(b, name...)
+		b = append(b, m.labels...)
+		b = append(b, ' ')
+		b = appendFloat(b, m.g.Value())
+		b = append(b, '\n')
+	case m.h != nil:
+		var cum int64
+		for i := range m.h.counts {
+			cum += m.h.counts[i].Load()
+			b = append(b, name...)
+			b = append(b, "_bucket"...)
+			b = m.appendLE(b, i)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, cum, 10)
+			b = append(b, '\n')
+		}
+		b = append(b, name...)
+		b = append(b, "_sum"...)
+		b = append(b, m.labels...)
+		b = append(b, ' ')
+		b = appendFloat(b, m.h.Sum())
+		b = append(b, '\n')
+		b = append(b, name...)
+		b = append(b, "_count"...)
+		b = append(b, m.labels...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, m.h.Count(), 10)
+		b = append(b, '\n')
+	}
+	return b
+}
+
+// appendLE renders the series' label block with the le bound merged in.
+func (m *metric) appendLE(b []byte, bucket int) []byte {
+	le := "+Inf"
+	if bucket < len(m.h.upper) {
+		le = strconv.FormatFloat(m.h.upper[bucket], 'g', -1, 64)
+	}
+	if m.labels == "" {
+		b = append(b, `{le="`...)
+		b = append(b, le...)
+		b = append(b, `"}`...)
+		return b
+	}
+	// insert before the closing brace: {a="b"} -> {a="b",le="..."}
+	b = append(b, m.labels[:len(m.labels)-1]...)
+	b = append(b, `,le="`...)
+	b = append(b, le...)
+	b = append(b, `"}`...)
+	return b
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the exposition — mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Too late for a status change; surface in the body.
+			fmt.Fprintf(w, "# scrape error: %v\n", err)
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// StartPprof serves the standard net/http/pprof profiles (CPU, heap,
+// goroutine, block, mutex, allocs, trace) on a dedicated listener and
+// returns the server (Close it on shutdown). It enables moderate
+// block/mutex sampling so those profiles carry data without measurably
+// taxing the query path. The listen error surfaces synchronously so a
+// bad -pprof flag fails at startup, not silently.
+func StartPprof(addr string) (*http.Server, error) {
+	// One sample per ~millisecond of blocking, one mutex event in 64:
+	// cheap enough to leave on while profiling endpoints are exposed.
+	runtime.SetBlockProfileRate(int(time.Millisecond))
+	runtime.SetMutexProfileFraction(64)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return srv, nil
+}

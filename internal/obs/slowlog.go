@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowEntry is one slow-operation record.
+type SlowEntry struct {
+	UnixNanos      int64   `json:"unix_nanos"`
+	DurationMicros int64   `json:"duration_micros"`
+	Kind           string  `json:"kind"` // "query", "batch", "insert", ...
+	Build          string  `json:"build,omitempty"`
+	Mode           string  `json:"mode,omitempty"`
+	K              int     `json:"k,omitempty"`
+	Cost           float64 `json:"cost,omitempty"`
+	Detail         string  `json:"detail,omitempty"`
+}
+
+// SlowLog keeps the most recent operations that crossed a latency
+// threshold in a fixed ring, counts the total, and optionally mirrors
+// each entry to a log function. The threshold check is one atomic load;
+// a zero threshold disables the log entirely. Nil-safe throughout.
+type SlowLog struct {
+	threshold atomic.Int64 // nanoseconds; 0 = disabled
+	total     atomic.Int64
+
+	mu   sync.Mutex
+	ring []SlowEntry
+	next int
+	n    int
+
+	// Logf, when set, receives a printf-style line per slow entry
+	// (e.g. log.Printf). Set before serving; not synchronized.
+	Logf func(format string, args ...any)
+}
+
+// NewSlowLog returns a log retaining the last capacity entries
+// (capacity < 1 keeps 64).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 64
+	}
+	return &SlowLog{ring: make([]SlowEntry, capacity)}
+}
+
+// SetThreshold sets the slow threshold; 0 disables.
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	if l == nil {
+		return
+	}
+	l.threshold.Store(int64(d))
+}
+
+// Threshold returns the current threshold (0 = disabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return time.Duration(l.threshold.Load())
+}
+
+// Slow reports whether d crosses the threshold — the cheap gate callers
+// check before building an entry.
+func (l *SlowLog) Slow(d time.Duration) bool {
+	if l == nil {
+		return false
+	}
+	th := l.threshold.Load()
+	return th > 0 && int64(d) >= th
+}
+
+// Record stores e (stamping its time if unset) and bumps the total.
+func (l *SlowLog) Record(e SlowEntry) {
+	if l == nil {
+		return
+	}
+	if e.UnixNanos == 0 {
+		e.UnixNanos = time.Now().UnixNano()
+	}
+	l.total.Add(1)
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+	if l.Logf != nil {
+		l.Logf("slow %s: %.3fms build=%s mode=%s k=%d cost=%.1f %s",
+			e.Kind, float64(e.DurationMicros)/1e3, e.Build, e.Mode, e.K, e.Cost, e.Detail)
+	}
+}
+
+// Total returns how many entries have ever been recorded (including
+// ones evicted from the ring).
+func (l *SlowLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.total.Load()
+}
+
+// Entries returns the retained entries, newest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		idx := (l.next - 1 - i + len(l.ring)) % len(l.ring)
+		out = append(out, l.ring[idx])
+	}
+	return out
+}

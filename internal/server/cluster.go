@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/index"
 	"repro/internal/series"
@@ -103,6 +104,11 @@ func (s *Server) handleClusterSearch(w http.ResponseWriter, r *http.Request) {
 	if len(shards) == 0 {
 		shards = g.Owned()
 	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "exact"
+	}
+	start := time.Now()
 	b.mu.RLock()
 	before := b.built.IOStats()
 	resp := ClusterSearchResponse{Results: []ClusterResult{}, Shards: shards}
@@ -139,9 +145,13 @@ func (s *Server) handleClusterSearch(w http.ResponseWriter, r *http.Request) {
 	diff := b.built.IOStats().Sub(before)
 	b.mu.RUnlock()
 	if err != nil {
+		s.metrics.queryErrors.Inc()
 		writeError(w, http.StatusBadRequest, "cluster search failed: %v", err)
 		return
 	}
+	// Router-driven probes count in the node's query metrics too: a scrape
+	// of a cluster node reflects the load it actually served.
+	s.observeQuery(mode, time.Since(start), diff, req.Build)
 	resp.Cost = diff.Cost(s.cost)
 	resp.SeqIO = diff.SeqReads + diff.SeqWrites
 	resp.RandIO = diff.RandReads + diff.RandWrites

@@ -18,6 +18,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/heatmap"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/recommender"
 	"repro/internal/series"
 	"repro/internal/simd"
@@ -66,6 +67,10 @@ type Server struct {
 	// defaultDisablePlanner turns statistics-driven probe ordering and
 	// skipping off for builds whose request does not ask for it.
 	defaultDisablePlanner bool
+	// metrics is the node's /metrics surface; slow is the slow-query ring
+	// (inert until SetSlowQuery arms a threshold).
+	metrics *serverMetrics
+	slow    *obs.SlowLog
 }
 
 type dataset struct {
@@ -89,11 +94,14 @@ type build struct {
 
 // New creates an empty server.
 func New() *Server {
-	return &Server{
+	s := &Server{
 		datasets: make(map[string]*dataset),
 		builds:   make(map[string]*build),
 		cost:     storage.DefaultCostModel,
+		slow:     obs.NewSlowLog(0),
 	}
+	s.metrics = newServerMetrics(s)
+	return s
 }
 
 // SetDefaultParallelism sets the worker-pool bound applied to builds whose
@@ -149,6 +157,19 @@ func (s *Server) SetDefaultPlanCache(n int) { s.defaultPlanCache = n }
 // before serving.
 func (s *Server) SetDefaultPlannerDisabled(v bool) { s.defaultDisablePlanner = v }
 
+// SetSlowQuery arms the slow-query log: queries slower than d are
+// recorded in a bounded ring served at GET /api/slowlog (and mirrored to
+// the process log). d <= 0 disables it. Safe to call while serving.
+func (s *Server) SetSlowQuery(d time.Duration) { s.slow.SetThreshold(d) }
+
+// SlowLog exposes the server's slow-query ring (for embedding callers;
+// the HTTP surface is GET /api/slowlog).
+func (s *Server) SlowLog() *obs.SlowLog { return s.slow }
+
+// Metrics exposes the server's metrics registry, so embedding callers can
+// register their own series next to the node's.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
+
 // Close shuts down every registered build: background merges drain,
 // write-ahead logs sync and close, and file-backed storage flushes to
 // disk. Call on server shutdown, after the HTTP listener has stopped
@@ -192,7 +213,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/cluster/info", s.handleClusterInfo)
 	mux.HandleFunc("/api/recommend", s.handleRecommend)
 	mux.HandleFunc("/api/heatmap", s.handleHeatmap)
+	mux.HandleFunc("/api/slowlog", s.handleSlowLog)
+	mux.Handle("/metrics", s.metrics.reg.Handler())
 	return mux
+}
+
+// handleSlowLog answers GET /api/slowlog: the most recent slow queries
+// (newest first) and the active threshold.
+func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"threshold_micros": s.slow.Threshold().Microseconds(),
+		"total":            s.slow.Total(),
+		"entries":          s.slow.Entries(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -598,6 +635,11 @@ type QueryRequest struct {
 	Eps   float64 `json:"eps,omitempty"`
 	MinTS *int64  `json:"min_ts,omitempty"`
 	MaxTS *int64  `json:"max_ts,omitempty"`
+	// Trace asks the server to record this query's execution and return
+	// the structured trace in the response (also enabled by ?trace=1 on
+	// the URL). Traced queries return identical answers; they pay the
+	// recording overhead, so leave it off in steady state.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResult is one neighbor.
@@ -617,6 +659,10 @@ type QueryResponse struct {
 	SeqIO        int64         `json:"seq_io"`
 	RandIO       int64         `json:"rand_io"`
 	PlannedSkips int64         `json:"planned_skips"`
+	// Trace is present only on traced queries (request trace=true or
+	// ?trace=1): the structured execution trace, with I/O filled from the
+	// build's storage-stats delta for this query.
+	Trace *obs.TraceSnapshot `json:"trace,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -641,10 +687,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 1
 	}
+	mode := modeApprox
+	switch {
+	case req.Eps > 0:
+		mode = modeRange
+	case req.Exact:
+		mode = modeExact
+	}
 	q := index.NewQuery(series.Series(req.Series), b.cfg)
 	if req.MinTS != nil && req.MaxTS != nil {
 		q = q.WithWindow(*req.MinTS, *req.MaxTS)
 	}
+	var tr *obs.QueryTrace
+	if req.Trace || r.URL.Query().Get("trace") == "1" {
+		tr = obs.NewQueryTrace()
+		q.Trace = tr
+		s.metrics.traced.Inc()
+	}
+	start := time.Now()
 	b.mu.RLock()
 	before := b.built.IOStats()
 	skipsBefore := b.built.Planner.Skips()
@@ -664,21 +724,54 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	skips := b.built.Planner.Skips() - skipsBefore
 	b.mu.RUnlock()
+	elapsed := time.Since(start)
 	if err != nil {
+		s.metrics.queryErrors.Inc()
 		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
 		return
 	}
 	diff := b.built.IOStats().Sub(before)
+	s.observeQuery(mode, elapsed, diff, req.Build)
 	resp := QueryResponse{
 		Cost:         diff.Cost(s.cost),
 		SeqIO:        diff.SeqReads + diff.SeqWrites,
 		RandIO:       diff.RandReads + diff.RandWrites,
 		PlannedSkips: skips,
 	}
+	if tr != nil {
+		resp.Trace = tr.Snapshot()
+		resp.Trace.Mode = mode
+		resp.Trace.K = req.K
+		resp.Trace.Kernel = simd.Active()
+		resp.Trace.WallMicros = elapsed.Microseconds()
+		resp.Trace.IO = obs.IOSnapshot{
+			SeqReads: diff.SeqReads, RandReads: diff.RandReads,
+			SeqWrites: diff.SeqWrites, RandWrites: diff.RandWrites,
+			CacheHits: diff.CacheHits, CacheMisses: diff.CacheMisses,
+			Cost: diff.Cost(s.cost),
+		}
+	}
 	for _, res := range rs {
 		resp.Results = append(resp.Results, QueryResult{ID: res.ID, TS: res.TS, Dist: res.Dist})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// observeQuery feeds one finished query into the node's histograms and,
+// past the threshold, the slow-query log.
+func (s *Server) observeQuery(mode string, elapsed time.Duration, diff storage.Stats, build string) {
+	s.metrics.queries[mode].Inc()
+	s.metrics.queryLatency[mode].Observe(elapsed.Seconds())
+	s.metrics.queryIOCost[mode].Observe(diff.Cost(s.cost))
+	if s.slow.Slow(elapsed) {
+		s.slow.Record(obs.SlowEntry{
+			DurationMicros: elapsed.Microseconds(),
+			Kind:           "query",
+			Build:          build,
+			Mode:           mode,
+			Cost:           diff.Cost(s.cost),
+		})
+	}
 }
 
 // BatchQueryRequest issues many similarity queries against a build in one
@@ -739,6 +832,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		qs[i] = index.NewQuery(series.Series(raw), b.cfg)
 	}
+	start := time.Now()
 	b.mu.RLock()
 	before := b.built.IOStats()
 	skipsBefore := b.built.Planner.Skips()
@@ -764,10 +858,12 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	hits, _ := b.built.Planner.CacheStats()
 	b.mu.RUnlock()
 	if err != nil {
+		s.metrics.queryErrors.Inc()
 		writeError(w, http.StatusInternalServerError, "batch query failed: %v", err)
 		return
 	}
 	diff := b.built.IOStats().Sub(before)
+	s.observeQuery(modeBatch, time.Since(start), diff, req.Build)
 	resp := BatchQueryResponse{
 		Results:       make([][]QueryResult, len(rss)),
 		Queries:       len(rss),
@@ -870,6 +966,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	count := b.built.Index.Count()
 	b.mu.Unlock()
 	if err != nil {
+		s.metrics.insertErrors.Inc()
 		status := http.StatusBadRequest
 		if inserted > 0 {
 			status = http.StatusInternalServerError
@@ -877,11 +974,23 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "insert failed after %d series: %v", inserted, err)
 		return
 	}
+	elapsed := time.Since(start)
+	s.metrics.inserts.Inc()
+	s.metrics.insertedRows.Add(int64(inserted))
+	s.metrics.insertLatency.Observe(elapsed.Seconds())
+	if s.slow.Slow(elapsed) {
+		s.slow.Record(obs.SlowEntry{
+			DurationMicros: elapsed.Microseconds(),
+			Kind:           "insert",
+			Build:          req.Build,
+			Detail:         fmt.Sprintf("%d series", inserted),
+		})
+	}
 	writeJSON(w, http.StatusOK, InsertResponse{
 		Inserted: inserted,
 		Count:    count,
 		Synced:   synced || b.built.WAL == nil,
-		Millis:   time.Since(start).Milliseconds(),
+		Millis:   elapsed.Milliseconds(),
 	})
 }
 

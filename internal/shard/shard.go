@@ -355,11 +355,14 @@ func (s *Sharded) ExactSearch(q index.Query, k int) ([]index.Result, error) {
 		err = s.pool.ForEach(n, func(worker, i int) error {
 			if cols[worker].SkipSq(units[i].BoundSq) {
 				pl.NoteSkips(1)
+				q.Trace.NoteUnit("shard", units[i].Idx, units[i].BoundSq, true)
 				return nil
 			}
+			q.Trace.NoteUnit("shard", units[i].Idx, units[i].BoundSq, false)
 			return s.exactProbe(units[i].Idx, q, k, ctxs[worker], cols[worker])
 		})
 	} else {
+		q.Trace.NoteProbes("shard", int64(n))
 		err = s.pool.ForEach(n, func(worker, i int) error {
 			return s.exactProbe(i, q, k, ctxs[worker], cols[worker])
 		})
@@ -382,6 +385,7 @@ func (s *Sharded) exactShards(q index.Query, k int, ctx *index.SearchCtx, col *i
 	n := len(s.shards)
 	pl := s.planner
 	if !pl.Enabled() {
+		q.Trace.NoteProbes("shard", int64(n))
 		for i := 0; i < n; i++ {
 			if err := s.exactProbe(i, q, k, ctx, col); err != nil {
 				return err
@@ -394,13 +398,20 @@ func (s *Sharded) exactShards(q index.Query, k int, ctx *index.SearchCtx, col *i
 		units[i].BoundSq = s.shardBoundSq(units[i].Idx, q, ctx)
 	}
 	index.SortPlan(units)
+	tr := q.Trace
 	for ui, u := range units {
 		// Bounds ascend and the collector's worst only tightens, so the
 		// first skippable shard ends the fan-out.
 		if col.SkipSq(u.BoundSq) {
 			pl.NoteSkips(int64(len(units) - ui))
+			if tr != nil {
+				for _, su := range units[ui:] {
+					tr.NoteUnit("shard", su.Idx, su.BoundSq, true)
+				}
+			}
 			break
 		}
+		tr.NoteUnit("shard", u.Idx, u.BoundSq, false)
 		if err := s.exactProbe(u.Idx, q, k, ctx, col); err != nil {
 			return err
 		}
@@ -460,14 +471,18 @@ func (s *Sharded) RangeSearch(q index.Query, eps float64) ([]index.Result, error
 	if pl.Enabled() {
 		ctx := pl.AcquireCtx(q, s.cfg)
 		for i := 0; i < n; i++ {
-			if col.PruneSq(s.shardBoundSq(i, q, ctx)) {
+			b := s.shardBoundSq(i, q, ctx)
+			if col.PruneSq(b) {
 				pl.NoteSkips(1)
+				q.Trace.NoteUnit("shard", i, b, true)
 				continue
 			}
+			q.Trace.NoteUnit("shard", i, b, false)
 			targets = append(targets, i)
 		}
 		ctx.Release()
 	} else {
+		q.Trace.NoteProbes("shard", int64(n))
 		for i := 0; i < n; i++ {
 			targets = append(targets, i)
 		}

@@ -317,7 +317,9 @@ func (b *BTP) forEachPart(q index.Query, ctx *index.SearchCtx, col *index.Collec
 		}
 	}
 	pl := b.planner
+	tr := ctx.Trace
 	if !pl.Enabled() || len(active) == 0 {
+		tr.NoteProbes("partition", int64(len(active)))
 		return index.FanOut(b.pool, len(active), ctx, col, (*index.Collector).PooledClone, (*index.Collector).MergeRelease,
 			func(i int, col *index.Collector, sc *index.Scratch) error {
 				return scan(active[i], sc, col)
@@ -336,8 +338,14 @@ func (b *BTP) forEachPart(q index.Query, ctx *index.SearchCtx, col *index.Collec
 		for ui, u := range units {
 			if col.SkipSq(u.BoundSq) {
 				skipped += int64(len(units) - ui)
+				if tr != nil {
+					for _, su := range units[ui:] {
+						tr.NoteUnit("partition", su.Idx, su.BoundSq, true)
+					}
+				}
 				break
 			}
+			tr.NoteUnit("partition", u.Idx, u.BoundSq, false)
 			if err := scan(active[u.Idx], sc, col); err != nil {
 				return err
 			}
@@ -353,6 +361,7 @@ func (b *BTP) forEachPart(q index.Query, ctx *index.SearchCtx, col *index.Collec
 	for _, u := range units {
 		if col.SkipSq(u.BoundSq) {
 			pl.NoteSkips(1)
+			tr.NoteUnit("partition", u.Idx, u.BoundSq, true)
 			continue
 		}
 		live = append(live, u)
@@ -361,8 +370,10 @@ func (b *BTP) forEachPart(q index.Query, ctx *index.SearchCtx, col *index.Collec
 		func(i int, wcol *index.Collector, sc *index.Scratch) error {
 			if wcol.SkipSq(live[i].BoundSq) {
 				pl.NoteSkips(1)
+				tr.NoteUnit("partition", live[i].Idx, live[i].BoundSq, true)
 				return nil
 			}
+			tr.NoteUnit("partition", live[i].Idx, live[i].BoundSq, false)
 			return scan(active[live[i].Idx], sc, wcol)
 		})
 }

@@ -247,6 +247,7 @@ func (t *TP) search(q index.Query, k int, f func(index.Index) ([]index.Result, e
 			units[i].BoundSq = ctx.P.SynopsisBoundSq(active[i].syn)
 		}
 		index.SortPlan(units)
+		tr := ctx.Trace
 		if t.pool.WorkersFor(len(units)) <= 1 {
 			// Serial: merge each partition's results before deciding on the
 			// next, so the bound tightens as probes proceed; bounds are
@@ -254,8 +255,14 @@ func (t *TP) search(q index.Query, k int, f func(index.Index) ([]index.Result, e
 			for ui, u := range units {
 				if col.SkipSq(u.BoundSq) {
 					pl.NoteSkips(int64(len(units) - ui))
+					if tr != nil {
+						for _, su := range units[ui:] {
+							tr.NoteUnit("partition", su.Idx, su.BoundSq, true)
+						}
+					}
 					break
 				}
+				tr.NoteUnit("partition", u.Idx, u.BoundSq, false)
 				rs, err := f(active[u.Idx].idx)
 				if err != nil {
 					return nil, err
@@ -273,8 +280,10 @@ func (t *TP) search(q index.Query, k int, f func(index.Index) ([]index.Result, e
 		for _, u := range units {
 			if col.SkipSq(u.BoundSq) {
 				pl.NoteSkips(1)
+				tr.NoteUnit("partition", u.Idx, u.BoundSq, true)
 				continue
 			}
+			tr.NoteUnit("partition", u.Idx, u.BoundSq, false)
 			live = append(live, u)
 		}
 		results := make([][]index.Result, len(live))
@@ -296,6 +305,7 @@ func (t *TP) search(q index.Query, k int, f func(index.Index) ([]index.Result, e
 		}
 		return col.Results(), nil
 	}
+	ctx.Trace.NoteProbes("partition", int64(len(active)))
 	results := make([][]index.Result, len(active))
 	err := t.pool.ForEach(len(active), func(_, i int) error {
 		rs, err := f(active[i].idx)

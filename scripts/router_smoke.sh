@@ -83,7 +83,48 @@ echo "== identity + load through the router (refuses numbers on any mismatch)"
 "$WORK/coconut-loadgen" \
     -target "http://127.0.0.1:$PORT_ROUTER" \
     -baseline "http://127.0.0.1:$PORT_BASE" -baseline-build "$BBASE" \
-    -identity 25 -k 5 -rate 40 -duration 3s
+    -identity 25 -k 5 -rate 40 -duration 3s -json "$WORK/load.json"
+grep -q '"p50"' "$WORK/load.json" || { echo "loadgen -json summary missing quantiles" >&2; exit 1; }
+
+echo "== metrics exposition (node + router)"
+metric() { # port series-prefix
+    curl -sf "http://127.0.0.1:$1/metrics" | grep "^$2" || {
+        echo "port $1: /metrics missing series $2" >&2
+        curl -sf "http://127.0.0.1:$1/metrics" | head -40 >&2
+        exit 1
+    }
+}
+# Node: the load phase ran exact queries against n1/n2; at least the
+# query counter, latency histogram, and per-build gauges must be present.
+metric "$PORT_N1" 'coconut_queries_total{mode="exact"}' >/dev/null
+metric "$PORT_N1" 'coconut_query_latency_seconds_count{mode="exact"}' >/dev/null
+metric "$PORT_N1" "coconut_builds " >/dev/null
+metric "$PORT_N1" 'coconut_build_series{' >/dev/null
+# Router: fan-out counters and per-node health gauges.
+metric "$PORT_ROUTER" 'coconut_router_queries_total{mode="exact"}' >/dev/null
+metric "$PORT_ROUTER" 'coconut_router_node_calls_total' >/dev/null
+metric "$PORT_ROUTER" 'coconut_router_node_healthy{node="n1"} 1' >/dev/null
+metric "$PORT_ROUTER" 'coconut_router_node_healthy{node="n2"} 1' >/dev/null
+# Consistency: router exact-query count must equal the node-side total
+# (every routed exact query lands on exactly one replica per shard set,
+# and no client bypassed the router on n1/n2 in this script).
+router_q=$(metric "$PORT_ROUTER" 'coconut_router_queries_total{mode="exact"}' | awk '{print $2}')
+n1_q=$(metric "$PORT_N1" 'coconut_queries_total{mode="exact"}' | awk '{print $2}')
+n2_q=$(metric "$PORT_N2" 'coconut_queries_total{mode="exact"}' | awk '{print $2}')
+if [ "$((n1_q + n2_q))" -lt "$router_q" ]; then
+    echo "metrics inconsistent: router served $router_q exact queries but nodes only saw $n1_q + $n2_q" >&2
+    exit 1
+fi
+echo "   router exact queries: $router_q (nodes saw $n1_q + $n2_q)"
+
+echo "== traced query returns a structured trace"
+SERIES=$(printf '0,%.0s' $(seq 1 "$LEN")); SERIES="[${SERIES%,}]"
+TRACE=$(curl -sf "http://127.0.0.1:$PORT_ROUTER/api/query?trace=1" \
+    -d "{\"series\":$SERIES,\"k\":3,\"exact\":true}")
+echo "$TRACE" | grep -q '"router_trace"' || { echo "router ?trace=1 returned no router_trace: $TRACE" >&2; exit 1; }
+NTRACE=$(curl -sf "http://127.0.0.1:$PORT_N1/api/query?trace=1" \
+    -d "{\"build\":\"$B1\",\"series\":$SERIES,\"k\":3,\"exact\":true}")
+echo "$NTRACE" | grep -q '"trace"' || { echo "node ?trace=1 returned no trace: $NTRACE" >&2; exit 1; }
 
 echo "== drain/undrain round-trip"
 curl -sf "http://127.0.0.1:$PORT_ROUTER/api/cluster/drain" -d '{"node":"n2"}' >/dev/null
